@@ -1,0 +1,49 @@
+//! Baseline k-mer counters the paper compares HySortK against.
+//!
+//! Each baseline re-implements the *strategy* of the corresponding tool on the same
+//! substrates (simulated cluster, performance model, synthetic datasets), so the
+//! comparisons isolate the algorithmic differences the paper discusses:
+//!
+//! * [`hashtable`] — the classic two-pass distributed hash-table pipeline of Georganas
+//!   et al. (HipMer / ELBA's original counter): HyperLogLog cardinality estimate, Bloom
+//!   filter first pass, hash-table second pass (§2.2).
+//! * [`kmerind`] — a one-pass distributed counter with a Robin-Hood open-addressing
+//!   table and communication/computation overlap, modelling the improved kmerind of Pan
+//!   et al. (§4.4, Figures 7–8), including its out-of-memory behaviour at low node
+//!   counts.
+//! * [`kmc3`] — a shared-memory sorting-based counter in the spirit of KMC3 (§4.3,
+//!   Figure 6): one process, bins by minimizer, per-bin radix sort, no task layer.
+//! * [`mhm2`] — the GPU supermer counter of MetaHipMer2 (§4.4, Figure 9), whose GPU
+//!   kernels and PCIe transfers are represented by the GPU cost model.
+//! * [`robinhood`] — the Robin-Hood hash table used by the kmerind baseline (also a
+//!   reusable component in its own right).
+//!
+//! All baselines produce exact counts (verified against the reference counter); what
+//! differs is the measured traffic and the modeled time/memory in their reports.
+
+pub mod hashtable;
+pub mod kmc3;
+pub mod kmerind;
+pub mod mhm2;
+pub mod robinhood;
+
+pub use hashtable::two_pass_hash_count;
+pub use kmc3::kmc3_count;
+pub use kmerind::{kmerind_count, KmerindOutcome};
+pub use mhm2::mhm2_count;
+pub use robinhood::RobinHoodTable;
+
+use hysortk_core::result::KmerHistogram;
+use hysortk_core::RunReport;
+use hysortk_dna::kmer::KmerCode;
+
+/// Result of a baseline counting run: exact counts plus the modeled report.
+#[derive(Debug, Clone)]
+pub struct BaselineResult<K: KmerCode> {
+    /// `(canonical k-mer, count)` pairs within the configured band, sorted by k-mer.
+    pub counts: Vec<(K, u64)>,
+    /// Histogram over all distinct k-mers.
+    pub histogram: KmerHistogram,
+    /// Measured traffic and modeled time/memory.
+    pub report: RunReport,
+}

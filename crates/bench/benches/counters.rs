@@ -1,0 +1,32 @@
+//! Criterion end-to-end benchmarks of the counters on a small synthetic dataset
+//! (wall-clock of the real algorithms, complementing the modeled projections of the
+//! `repro` harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hysortk_baselines::{kmc3_count, two_pass_hash_count};
+use hysortk_core::{count_kmers, HySortKConfig};
+use hysortk_datasets::DatasetPreset;
+use hysortk_dna::Kmer1;
+
+fn bench_counters(c: &mut Criterion) {
+    let data = DatasetPreset::ABaumannii.generate(1e-4, 3);
+    let mut cfg = HySortKConfig::small(31, 15, 4);
+    cfg.min_count = 2;
+    cfg.max_count = 50;
+    cfg.data_scale = data.data_scale;
+
+    let mut group = c.benchmark_group("counters_abaumannii_small");
+    group.sample_size(10);
+    group.bench_function("hysortk", |b| b.iter(|| count_kmers::<Kmer1>(&data.reads, &cfg)));
+    group.bench_function("two_pass_hash_table", |b| {
+        b.iter(|| two_pass_hash_count::<Kmer1>(&data.reads, &cfg))
+    });
+    group.bench_function("kmc3_shared_memory", |b| b.iter(|| kmc3_count::<Kmer1>(&data.reads, &cfg)));
+    group.bench_function("reference_btreemap", |b| {
+        b.iter(|| hysortk_core::reference_counts::<Kmer1>(&data.reads, 31))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

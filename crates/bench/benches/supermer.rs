@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of minimizer selection, supermer construction, the
+//! extension codec and the hash functions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hysortk_dna::{DnaSeq, Extension, Read};
+use hysortk_hash::{murmur3_x64_128, murmur3_x86_32};
+use hysortk_supermer::codec::encode_extensions;
+use hysortk_supermer::minimizer::{minimizers_deque, minimizers_naive};
+use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
+use hysortk_supermer::supermer::build_supermers;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_read(len: usize) -> Read {
+    let mut rng = StdRng::seed_from_u64(7);
+    let bases: Vec<u8> = (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+    Read::from_ascii(0, "bench", &bases)
+}
+
+fn bench_minimizers(c: &mut Criterion) {
+    let read = random_read(20_000);
+    let scorer = MmerScorer::new(13, ScoreFunction::Hash { seed: 31 });
+    let mut group = c.benchmark_group("minimizers_k31_m13_20kb");
+    group.sample_size(20);
+    group.bench_function("deque_sliding_window", |b| {
+        b.iter(|| minimizers_deque(&read.seq, 31, &scorer))
+    });
+    group.bench_function("naive_rescan", |b| b.iter(|| minimizers_naive(&read.seq, 31, &scorer)));
+    group.bench_function("build_supermers_256_targets", |b| {
+        b.iter(|| build_supermers(&read, 31, &scorer, 256))
+    });
+    group.finish();
+}
+
+fn bench_codec_and_hash(c: &mut Criterion) {
+    let records: Vec<Extension> =
+        (0..10_000u32).map(|i| Extension::new(i / 200, (i % 200) * 3)).collect();
+    let mut group = c.benchmark_group("codec_and_hash");
+    group.sample_size(20);
+    group.bench_function("encode_10k_extensions", |b| b.iter(|| encode_extensions(&records)));
+    let payload: Vec<u8> = (0..64u8).collect();
+    group.bench_function("murmur3_x64_128_64B", |b| b.iter(|| murmur3_x64_128(&payload, 0)));
+    group.bench_function("murmur3_x86_32_64B", |b| b.iter(|| murmur3_x86_32(&payload, 0)));
+    let seq = DnaSeq::from_ascii(&vec![b'A'; 10_000]);
+    group.bench_function("pack_10kb_read", |b| {
+        b.iter(|| DnaSeq::from_ascii(&seq.to_ascii()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimizers, bench_codec_and_hash);
+criterion_main!(benches);

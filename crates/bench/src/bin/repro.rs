@@ -1,0 +1,54 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p hysortk-bench --release --bin repro -- list
+//! cargo run -p hysortk-bench --release --bin repro -- table2
+//! cargo run -p hysortk-bench --release --bin repro -- all
+//! ```
+
+use hysortk_bench as bench;
+
+type Experiment = (&'static str, &'static str, fn() -> Vec<bench::Row>);
+
+const EXPERIMENTS: &[Experiment] = &[
+    ("ablation", "§4.1.1 optimisation-strategy ablation (task layer, heavy hitters)", bench::ablation_task_layer),
+    ("tpw", "§4.1.1 tasks-per-worker sweep", bench::ablation_tasks_per_worker),
+    ("table2", "Table 2: runtime vs processes per node", bench::table2_processes_per_node),
+    ("table3", "Table 3: communication time vs batch size", bench::table3_batch_size),
+    ("table4", "Table 4: runtime vs minimizer length m", bench::table4_m_length),
+    ("fig4", "Figure 4: strong scaling on H. sapiens 10x", bench::figure4_strong_scaling),
+    ("fig5", "Figure 5: weak scaling (2 GB/node) with stage breakdown", bench::figure5_weak_scaling),
+    ("fig6", "Figure 6: HySortK vs KMC3 (shared memory)", bench::figure6_vs_kmc3),
+    ("fig7", "Figure 7: HySortK vs kmerind on H. sapiens 10x", bench::figure7_vs_kmerind_hs10x),
+    ("fig8", "Figure 8: HySortK vs kmerind on H. sapiens 52x", bench::figure8_vs_kmerind_hs52x),
+    ("fig9", "Figure 9: HySortK vs MetaHipMer2 (GPU) on C. elegans", bench::figure9_vs_mhm2),
+    ("fig10", "Figure 10: ELBA integration", bench::figure10_elba),
+    ("supermer_stats", "§3.2 supermer communication and balance claims", bench::supermer_statistics),
+    ("comm_opt", "§3.3 overlap and compression claims", bench::communication_optimisations),
+];
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
+    match arg.as_str() {
+        "list" => {
+            println!("available experiments:\n");
+            for (name, description, _) in EXPERIMENTS {
+                println!("  {name:<16} {description}");
+            }
+            println!("\nrun one with `repro <name>`, or `repro all` for everything");
+        }
+        "all" => {
+            for (name, description, f) in EXPERIMENTS {
+                eprintln!("[repro] running {name} …");
+                println!("{}", bench::render(description, &f()));
+            }
+        }
+        name => match EXPERIMENTS.iter().find(|(n, _, _)| *n == name) {
+            Some((_, description, f)) => println!("{}", bench::render(description, &f())),
+            None => {
+                eprintln!("unknown experiment `{name}`; try `repro list`");
+                std::process::exit(1);
+            }
+        },
+    }
+}

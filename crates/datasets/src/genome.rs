@@ -1,0 +1,159 @@
+//! Synthetic reference genomes.
+
+use hysortk_dna::sequence::DnaSeq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic genome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenomeConfig {
+    /// Genome length in bases.
+    pub length: usize,
+    /// GC content in `[0, 1]` (human ≈ 0.41).
+    pub gc_content: f64,
+    /// Fraction of the genome covered by tandem satellite repeats such as the human
+    /// centromeric `(AATGG)n` (paper §3.5). These regions create heavy-hitter k-mers.
+    pub satellite_fraction: f64,
+    /// The satellite repeat unit.
+    pub satellite_unit: Vec<u8>,
+    /// Fraction of the genome covered by long segmental duplications (copies of earlier
+    /// genome stretches), which raise k-mer multiplicities without being heavy hitters.
+    pub duplication_fraction: f64,
+    /// RNG seed; the same configuration and seed always produce the same genome.
+    pub seed: u64,
+}
+
+impl Default for GenomeConfig {
+    fn default() -> Self {
+        GenomeConfig {
+            length: 100_000,
+            gc_content: 0.41,
+            satellite_fraction: 0.03,
+            satellite_unit: b"AATGG".to_vec(),
+            duplication_fraction: 0.05,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// A generated genome.
+#[derive(Debug, Clone)]
+pub struct SyntheticGenome {
+    /// The genome sequence.
+    pub seq: DnaSeq,
+    /// Configuration it was generated from.
+    pub config: GenomeConfig,
+}
+
+impl SyntheticGenome {
+    /// Generate a genome from `config`.
+    pub fn generate(config: GenomeConfig) -> Self {
+        assert!(config.length > 0, "genome length must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut bases: Vec<u8> = Vec::with_capacity(config.length);
+
+        // Background sequence with the requested GC content.
+        let gc = config.gc_content.clamp(0.0, 1.0);
+        while bases.len() < config.length {
+            let c = if rng.gen_bool(gc) {
+                if rng.gen_bool(0.5) {
+                    b'G'
+                } else {
+                    b'C'
+                }
+            } else if rng.gen_bool(0.5) {
+                b'A'
+            } else {
+                b'T'
+            };
+            bases.push(c);
+        }
+
+        // Satellite arrays: a handful of long tandem stretches of the repeat unit.
+        let satellite_total = (config.length as f64 * config.satellite_fraction) as usize;
+        if satellite_total >= config.satellite_unit.len() && !config.satellite_unit.is_empty() {
+            let arrays = 4usize.min(satellite_total / config.satellite_unit.len()).max(1);
+            let per_array = satellite_total / arrays;
+            for _ in 0..arrays {
+                let start = rng.gen_range(0..config.length.saturating_sub(per_array).max(1));
+                for i in 0..per_array {
+                    bases[start + i] = config.satellite_unit[i % config.satellite_unit.len()];
+                }
+            }
+        }
+
+        // Segmental duplications: copy earlier stretches to later positions.
+        let dup_total = (config.length as f64 * config.duplication_fraction) as usize;
+        if dup_total > 1_000 && config.length > 10_000 {
+            let dups = 5;
+            let per_dup = dup_total / dups;
+            for _ in 0..dups {
+                let src = rng.gen_range(0..config.length - per_dup);
+                let dst = rng.gen_range(0..config.length - per_dup);
+                let copy: Vec<u8> = bases[src..src + per_dup].to_vec();
+                bases[dst..dst + per_dup].copy_from_slice(&copy);
+            }
+        }
+
+        SyntheticGenome { seq: DnaSeq::from_ascii(&bases), config }
+    }
+
+    /// Genome length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the genome is empty (never the case for a valid config).
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticGenome::generate(GenomeConfig::default());
+        let b = SyntheticGenome::generate(GenomeConfig::default());
+        assert_eq!(a.seq, b.seq);
+        let c = SyntheticGenome::generate(GenomeConfig { seed: 1, ..GenomeConfig::default() });
+        assert_ne!(a.seq, c.seq);
+    }
+
+    #[test]
+    fn length_and_gc_content_are_respected() {
+        let cfg = GenomeConfig { length: 50_000, gc_content: 0.6, ..GenomeConfig::default() };
+        let g = SyntheticGenome::generate(cfg);
+        assert_eq!(g.len(), 50_000);
+        let gc = g
+            .seq
+            .codes()
+            .filter(|&c| c == 1 || c == 2) // C or G
+            .count() as f64
+            / g.len() as f64;
+        assert!((gc - 0.6).abs() < 0.05, "gc = {gc}");
+    }
+
+    #[test]
+    fn satellite_arrays_are_present() {
+        let cfg = GenomeConfig { length: 100_000, satellite_fraction: 0.05, ..GenomeConfig::default() };
+        let g = SyntheticGenome::generate(cfg);
+        let ascii = g.seq.to_ascii();
+        let needle = b"AATGGAATGGAATGGAATGG"; // 4 tandem units
+        let found = ascii.windows(needle.len()).any(|w| w == needle);
+        assert!(found, "no satellite array found");
+    }
+
+    #[test]
+    fn zero_fraction_configs_still_generate() {
+        let cfg = GenomeConfig {
+            length: 5_000,
+            satellite_fraction: 0.0,
+            duplication_fraction: 0.0,
+            ..GenomeConfig::default()
+        };
+        assert_eq!(SyntheticGenome::generate(cfg).len(), 5_000);
+    }
+}

@@ -1,0 +1,218 @@
+//! Named dataset presets mirroring Table 1 of the paper.
+//!
+//! Each preset records the full-size properties of the corresponding real dataset
+//! (uncompressed FASTA bytes, genome size, coverage, read type) and can generate a
+//! scaled-down synthetic equivalent. The returned [`GeneratedDataset`] carries the
+//! `data_scale` value that the HySortK configuration needs so that the performance
+//! model projects the *full-size* experiment from the scaled run.
+
+use hysortk_dna::readset::ReadSet;
+
+use crate::genome::{GenomeConfig, SyntheticGenome};
+use crate::reads::ReadSimulator;
+
+/// The datasets of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetPreset {
+    /// *A. baumannii*, 0.2 GB, long reads (used for the ELBA integration, Figure 10).
+    ABaumannii,
+    /// *C. elegans*, 4.5 GB, long reads.
+    CElegans,
+    /// Citrus, 17 GB, long reads.
+    Citrus,
+    /// *H. sapiens* 10x, 31 GB, long reads.
+    HSapiens10x,
+    /// *H. sapiens* short reads, 36 GB.
+    HSapiensShortRead,
+    /// *H. sapiens* 52x, 156 GB, long reads.
+    HSapiens52x,
+}
+
+impl DatasetPreset {
+    /// All presets in Table 1 order.
+    pub const ALL: [DatasetPreset; 6] = [
+        DatasetPreset::ABaumannii,
+        DatasetPreset::CElegans,
+        DatasetPreset::Citrus,
+        DatasetPreset::HSapiens10x,
+        DatasetPreset::HSapiensShortRead,
+        DatasetPreset::HSapiens52x,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetPreset::ABaumannii => "A. baumannii",
+            DatasetPreset::CElegans => "C. elegans",
+            DatasetPreset::Citrus => "Citrus",
+            DatasetPreset::HSapiens10x => "H. sapiens 10x",
+            DatasetPreset::HSapiensShortRead => "H. sapiens (Short Read)",
+            DatasetPreset::HSapiens52x => "H. sapiens 52x",
+        }
+    }
+
+    /// Full (unscaled) dataset size in bytes, from Table 1.
+    pub fn full_size_bytes(&self) -> u64 {
+        let gb = 1_000_000_000u64;
+        match self {
+            DatasetPreset::ABaumannii => gb / 5,
+            DatasetPreset::CElegans => 9 * gb / 2,
+            DatasetPreset::Citrus => 17 * gb,
+            DatasetPreset::HSapiens10x => 31 * gb,
+            DatasetPreset::HSapiensShortRead => 36 * gb,
+            DatasetPreset::HSapiens52x => 156 * gb,
+        }
+    }
+
+    /// Genome (haploid reference) size in bases used for the synthetic stand-in.
+    pub fn genome_size(&self) -> u64 {
+        match self {
+            DatasetPreset::ABaumannii => 4_000_000,
+            DatasetPreset::CElegans => 100_000_000,
+            DatasetPreset::Citrus => 310_000_000,
+            DatasetPreset::HSapiens10x
+            | DatasetPreset::HSapiensShortRead
+            | DatasetPreset::HSapiens52x => 3_100_000_000,
+        }
+    }
+
+    /// Sequencing coverage implied by the dataset size and genome size.
+    pub fn coverage(&self) -> f64 {
+        self.full_size_bytes() as f64 / self.genome_size() as f64
+    }
+
+    /// Whether the dataset consists of short reads.
+    pub fn is_short_read(&self) -> bool {
+        matches!(self, DatasetPreset::HSapiensShortRead)
+    }
+
+    /// Satellite-repeat fraction of the synthetic genome: the human presets carry the
+    /// centromeric `(AATGG)n` arrays that produce heavy hitters (§3.5).
+    fn satellite_fraction(&self) -> f64 {
+        match self {
+            DatasetPreset::HSapiens10x
+            | DatasetPreset::HSapiensShortRead
+            | DatasetPreset::HSapiens52x => 0.06,
+            DatasetPreset::Citrus => 0.03,
+            _ => 0.01,
+        }
+    }
+
+    /// Generate a synthetic dataset approximately `scale` times the full size.
+    ///
+    /// `scale` is clamped so that the scaled genome keeps at least ~20 kb, which keeps
+    /// read simulation meaningful. The returned scale is the *effective* scale after
+    /// clamping — pass it to `HySortKConfig::data_scale`.
+    pub fn generate(&self, scale: f64, seed: u64) -> GeneratedDataset {
+        let min_genome = 20_000f64;
+        let requested = scale.clamp(1e-9, 1.0);
+        let genome_len = (self.genome_size() as f64 * requested).max(min_genome);
+        let effective_scale = genome_len / self.genome_size() as f64;
+
+        let genome = SyntheticGenome::generate(GenomeConfig {
+            length: genome_len as usize,
+            gc_content: 0.41,
+            satellite_fraction: self.satellite_fraction(),
+            satellite_unit: b"AATGG".to_vec(),
+            duplication_fraction: 0.05,
+            seed,
+        });
+        let coverage = self.coverage();
+        let mut simulator = if self.is_short_read() {
+            ReadSimulator::short_reads(coverage, seed ^ 0xABCD)
+        } else {
+            ReadSimulator::long_reads(coverage, seed ^ 0xABCD)
+        };
+        // Keep long reads shorter than tiny scaled genomes.
+        if let crate::reads::ReadLengthProfile::Long { min, max } = &mut simulator.lengths {
+            *max = (*max).min(genome.len() / 4).max(*min + 1);
+        }
+        let reads = simulator.simulate(&genome);
+        GeneratedDataset { preset: *self, reads, data_scale: effective_scale, genome_len: genome.len() }
+    }
+}
+
+/// A generated, scaled-down dataset.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// Which preset it models.
+    pub preset: DatasetPreset,
+    /// The simulated reads.
+    pub reads: ReadSet,
+    /// Effective scale factor relative to the full dataset (pass to `data_scale`).
+    pub data_scale: f64,
+    /// Length of the scaled synthetic genome.
+    pub genome_len: usize,
+}
+
+impl GeneratedDataset {
+    /// Approximate size the generated reads would occupy as ASCII FASTA.
+    pub fn ascii_bytes(&self) -> usize {
+        self.reads.ascii_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sizes_match_the_paper() {
+        assert_eq!(DatasetPreset::ABaumannii.full_size_bytes(), 200_000_000);
+        assert_eq!(DatasetPreset::CElegans.full_size_bytes(), 4_500_000_000);
+        assert_eq!(DatasetPreset::Citrus.full_size_bytes(), 17_000_000_000);
+        assert_eq!(DatasetPreset::HSapiens10x.full_size_bytes(), 31_000_000_000);
+        assert_eq!(DatasetPreset::HSapiensShortRead.full_size_bytes(), 36_000_000_000);
+        assert_eq!(DatasetPreset::HSapiens52x.full_size_bytes(), 156_000_000_000);
+    }
+
+    #[test]
+    fn coverage_is_plausible() {
+        assert!((DatasetPreset::HSapiens10x.coverage() - 10.0).abs() < 1.0);
+        assert!((DatasetPreset::HSapiens52x.coverage() - 50.3).abs() < 2.0);
+        assert!(DatasetPreset::ABaumannii.coverage() > 20.0);
+    }
+
+    #[test]
+    fn generation_scales_with_the_scale_factor() {
+        let small = DatasetPreset::CElegans.generate(2e-4, 1);
+        let large = DatasetPreset::CElegans.generate(6e-4, 1);
+        assert!(large.reads.total_bases() > small.reads.total_bases() * 2);
+        assert!(small.data_scale > 0.0 && small.data_scale < 1.0);
+        // Generated volume ≈ full size × effective scale (ASCII bytes ≈ bases).
+        let expected = DatasetPreset::CElegans.full_size_bytes() as f64 * small.data_scale;
+        let actual = small.reads.total_bases() as f64;
+        assert!((actual / expected - 1.0).abs() < 0.3, "actual {actual} expected {expected}");
+    }
+
+    #[test]
+    fn tiny_scales_are_clamped_to_a_usable_genome() {
+        let d = DatasetPreset::HSapiens52x.generate(1e-9, 2);
+        assert!(d.genome_len >= 20_000);
+        assert!(d.reads.len() > 0);
+        assert!(d.data_scale >= 1e-9);
+    }
+
+    #[test]
+    fn short_read_preset_produces_short_reads() {
+        let d = DatasetPreset::HSapiensShortRead.generate(1e-5, 3);
+        assert!(d.reads.iter().all(|r| r.len() == 150));
+    }
+
+    #[test]
+    fn human_presets_contain_satellite_heavy_hitters() {
+        use hysortk_dna::Kmer1;
+        use std::collections::HashMap;
+        let d = DatasetPreset::HSapiens10x.generate(1e-5, 4);
+        let k = 15;
+        let mut counts: HashMap<Kmer1, u64> = HashMap::new();
+        for r in d.reads.iter() {
+            for km in r.seq.canonical_kmers::<Kmer1>(k) {
+                *counts.entry(km).or_insert(0) += 1;
+            }
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        let mean = counts.values().sum::<u64>() as f64 / counts.len() as f64;
+        assert!(max as f64 > mean * 20.0, "max {max} mean {mean}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Sequencing-read simulation.
+
+use hysortk_dna::readset::{Read, ReadSet};
+use hysortk_dna::sequence::DnaSeq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::genome::SyntheticGenome;
+
+/// Read-length distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadLengthProfile {
+    /// Long reads (PacBio/ONT-like): uniform between min and max (the paper quotes
+    /// 1 000–20 000 bases for long reads, §3.3.2).
+    Long {
+        /// Shortest read length.
+        min: usize,
+        /// Longest read length.
+        max: usize,
+    },
+    /// Short reads (Illumina-like): fixed length.
+    Short {
+        /// Read length.
+        length: usize,
+    },
+}
+
+impl ReadLengthProfile {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        match *self {
+            ReadLengthProfile::Long { min, max } => rng.gen_range(min..=max.max(min)),
+            ReadLengthProfile::Short { length } => length,
+        }
+    }
+
+    /// Mean read length of the profile.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ReadLengthProfile::Long { min, max } => (min + max) as f64 / 2.0,
+            ReadLengthProfile::Short { length } => length as f64,
+        }
+    }
+}
+
+/// Per-base sequencing error model (substitutions only; indels would only complicate the
+/// k-mer spectrum without changing the counting behaviour being studied).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequencingErrorModel {
+    /// Probability that a base is read incorrectly.
+    pub substitution_rate: f64,
+}
+
+impl SequencingErrorModel {
+    /// HiFi-like long reads (~0.5 % errors).
+    pub fn long_read_hifi() -> Self {
+        SequencingErrorModel { substitution_rate: 0.005 }
+    }
+
+    /// Illumina-like short reads (~0.2 % errors).
+    pub fn short_read() -> Self {
+        SequencingErrorModel { substitution_rate: 0.002 }
+    }
+
+    /// Error-free reads (useful in tests).
+    pub fn perfect() -> Self {
+        SequencingErrorModel { substitution_rate: 0.0 }
+    }
+}
+
+/// Samples reads from a genome at a target coverage.
+#[derive(Debug, Clone)]
+pub struct ReadSimulator {
+    /// Read-length profile.
+    pub lengths: ReadLengthProfile,
+    /// Error model.
+    pub errors: SequencingErrorModel,
+    /// Mean coverage (total read bases / genome length).
+    pub coverage: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ReadSimulator {
+    /// Long-read simulator at the given coverage.
+    pub fn long_reads(coverage: f64, seed: u64) -> Self {
+        ReadSimulator {
+            lengths: ReadLengthProfile::Long { min: 1_000, max: 20_000 },
+            errors: SequencingErrorModel::long_read_hifi(),
+            coverage,
+            seed,
+        }
+    }
+
+    /// Short-read simulator at the given coverage.
+    pub fn short_reads(coverage: f64, seed: u64) -> Self {
+        ReadSimulator {
+            lengths: ReadLengthProfile::Short { length: 150 },
+            errors: SequencingErrorModel::short_read(),
+            coverage,
+            seed,
+        }
+    }
+
+    /// Sample reads from `genome` until the target coverage is reached. Roughly half of
+    /// the reads are reverse-complemented, as in real sequencing.
+    pub fn simulate(&self, genome: &SyntheticGenome) -> ReadSet {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let glen = genome.len();
+        let target_bases = (glen as f64 * self.coverage) as usize;
+        let mut reads = ReadSet::new();
+        let mut produced = 0usize;
+        let mut next_id = 0u32;
+        while produced < target_bases {
+            let len = self.lengths.sample(&mut rng).min(glen);
+            if len == 0 {
+                break;
+            }
+            let start = rng.gen_range(0..=glen - len);
+            let mut seq = DnaSeq::with_capacity(len);
+            for i in 0..len {
+                let mut code = genome.seq.get_code(start + i);
+                if self.errors.substitution_rate > 0.0 && rng.gen_bool(self.errors.substitution_rate) {
+                    code = (code + rng.gen_range(1..4)) & 0b11;
+                }
+                seq.push_code(code);
+            }
+            if rng.gen_bool(0.5) {
+                seq = seq.reverse_complement();
+            }
+            produced += len;
+            reads.push(Read { id: next_id, name: format!("sim{next_id}"), seq });
+            next_id += 1;
+        }
+        reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{GenomeConfig, SyntheticGenome};
+
+    fn genome(len: usize) -> SyntheticGenome {
+        SyntheticGenome::generate(GenomeConfig { length: len, ..GenomeConfig::default() })
+    }
+
+    #[test]
+    fn coverage_target_is_met_approximately() {
+        let g = genome(50_000);
+        let reads = ReadSimulator::long_reads(8.0, 1).simulate(&g);
+        let coverage = reads.total_bases() as f64 / g.len() as f64;
+        assert!((7.5..9.5).contains(&coverage), "coverage {coverage}");
+    }
+
+    #[test]
+    fn short_reads_have_fixed_length() {
+        let g = genome(20_000);
+        let reads = ReadSimulator::short_reads(3.0, 2).simulate(&g);
+        assert!(reads.iter().all(|r| r.len() == 150));
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let g = genome(20_000);
+        let a = ReadSimulator::long_reads(2.0, 7).simulate(&g);
+        let b = ReadSimulator::long_reads(2.0, 7).simulate(&g);
+        assert_eq!(a, b);
+        let c = ReadSimulator::long_reads(2.0, 8).simulate(&g);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn perfect_reads_only_contain_genome_kmers() {
+        use hysortk_dna::Kmer1;
+        use std::collections::HashSet;
+        let g = genome(10_000);
+        let mut sim = ReadSimulator::long_reads(3.0, 3);
+        sim.errors = SequencingErrorModel::perfect();
+        let reads = sim.simulate(&g);
+        let k = 21;
+        let genome_kmers: HashSet<Kmer1> = g.seq.canonical_kmers(k).collect();
+        for read in reads.iter() {
+            for km in read.seq.canonical_kmers::<Kmer1>(k) {
+                assert!(genome_kmers.contains(&km));
+            }
+        }
+    }
+
+    #[test]
+    fn errors_introduce_novel_kmers() {
+        use hysortk_dna::Kmer1;
+        use std::collections::HashSet;
+        let g = genome(10_000);
+        let mut sim = ReadSimulator::long_reads(5.0, 4);
+        sim.errors = SequencingErrorModel { substitution_rate: 0.02 };
+        let reads = sim.simulate(&g);
+        let k = 21;
+        let genome_kmers: HashSet<Kmer1> = g.seq.canonical_kmers(k).collect();
+        let novel = reads
+            .iter()
+            .flat_map(|r| r.seq.canonical_kmers::<Kmer1>(k))
+            .filter(|km| !genome_kmers.contains(km))
+            .count();
+        assert!(novel > 0, "expected error k-mers");
+    }
+}

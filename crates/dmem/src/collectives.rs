@@ -1,0 +1,396 @@
+//! Rank context and collective operations.
+//!
+//! The collectives follow MPI semantics in SPMD style: every rank must call the same
+//! sequence of collectives with compatible types, and each call is a synchronisation
+//! point. Data moves through a shared *exchange board* — one posting slot per rank plus
+//! a reusable barrier — so a rank can only observe another rank's data by receiving it
+//! through a collective, mirroring real distributed memory.
+
+use std::any::Any;
+use std::sync::{Arc, Barrier, Mutex};
+
+use crate::stats::CommStats;
+
+pub(crate) struct Shared {
+    size: usize,
+    barrier: Barrier,
+    slots: Vec<Mutex<Option<Box<dyn Any + Send>>>>,
+}
+
+impl Shared {
+    pub(crate) fn new(size: usize) -> Self {
+        Shared {
+            size,
+            barrier: Barrier::new(size),
+            slots: (0..size).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+}
+
+/// The per-rank handle passed to the closure given to [`crate::Cluster::run`].
+pub struct RankCtx {
+    rank: usize,
+    shared: Arc<Shared>,
+    stats: CommStats,
+}
+
+/// Result of a round-limited padded exchange ([`RankCtx::alltoall_rounds`]).
+#[derive(Debug, Clone)]
+pub struct RoundedExchange<T> {
+    /// Received items, indexed by source rank.
+    pub received: Vec<Vec<T>>,
+    /// Number of communication rounds the exchange needed.
+    pub rounds: usize,
+}
+
+impl RankCtx {
+    pub(crate) fn new(rank: usize, shared: Arc<Shared>) -> Self {
+        let size = shared.size;
+        RankCtx { rank, shared, stats: CommStats::new(size) }
+    }
+
+    pub(crate) fn into_stats(self) -> CommStats {
+        self.stats
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Read-only view of the traffic recorded so far by this rank.
+    pub fn comm_stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Synchronise all ranks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Core primitive: every rank posts one vector of items per destination and receives
+    /// one vector per source. Returns `received[src]`. Does not record statistics —
+    /// the public collectives wrap this and do their own accounting.
+    fn exchange_matrix<T: Clone + Send + 'static>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(send.len(), self.size(), "send matrix must have one row per destination");
+        // Post.
+        {
+            let mut slot = self.shared.slots[self.rank].lock().unwrap();
+            *slot = Some(Box::new(send));
+        }
+        self.barrier();
+        // Read own column.
+        let mut received: Vec<Vec<T>> = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            let slot = self.shared.slots[src].lock().unwrap();
+            let posted = slot
+                .as_ref()
+                .expect("collective mismatch: a rank did not post")
+                .downcast_ref::<Vec<Vec<T>>>()
+                .expect("collective mismatch: inconsistent element type");
+            received.push(posted[self.rank].clone());
+        }
+        // Wait until everyone has read before clearing our slot for the next collective.
+        self.barrier();
+        {
+            let mut slot = self.shared.slots[self.rank].lock().unwrap();
+            *slot = None;
+        }
+        received
+    }
+
+    /// Irregular all-to-all (`MPI_Alltoallv`): `send[dst]` goes to rank `dst`; returns
+    /// `received[src]`. Traffic is recorded under `label`.
+    pub fn alltoallv<T: Clone + Send + 'static>(
+        &mut self,
+        send: Vec<Vec<T>>,
+        label: &str,
+    ) -> Vec<Vec<T>> {
+        let elem = std::mem::size_of::<T>() as u64;
+        let per_dest: Vec<u64> = send.iter().map(|v| v.len() as u64 * elem).collect();
+        let max_pair = per_dest
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.rank)
+            .map(|(_, &b)| b)
+            .max()
+            .unwrap_or(0);
+        let received = self.exchange_matrix(send);
+        self.stats.record(label, &per_dest, 0, 1, self.rank, max_pair);
+        received
+    }
+
+    /// Regular padded all-to-all in rounds, the exchange pattern HySortK uses (§3.3.1):
+    /// each round every rank sends exactly `batch` items to every destination, padding
+    /// short messages; the number of rounds is the global maximum `⌈len/batch⌉`.
+    ///
+    /// The returned data is identical to [`RankCtx::alltoallv`]; what differs is the
+    /// recorded traffic (padding) and round count, which the performance model uses.
+    pub fn alltoall_rounds<T: Clone + Send + 'static>(
+        &mut self,
+        send: Vec<Vec<T>>,
+        batch: usize,
+        label: &str,
+    ) -> RoundedExchange<T> {
+        assert!(batch > 0, "batch size must be positive");
+        let elem = std::mem::size_of::<T>() as u64;
+        let local_max = send.iter().map(|v| v.len()).max().unwrap_or(0);
+        let global_max = self.allreduce_u64(local_max as u64, "exchange-sizing", u64::max) as usize;
+        let rounds = global_max.div_ceil(batch).max(1);
+
+        let per_dest: Vec<u64> = send.iter().map(|v| v.len() as u64 * elem).collect();
+        // Padding: every (round, destination) slot is `batch` items on the wire.
+        let padded_total = (rounds * batch * (self.size().saturating_sub(1))) as u64 * elem;
+        let payload_total: u64 = per_dest
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.rank)
+            .map(|(_, &b)| b)
+            .sum();
+        let padding = padded_total.saturating_sub(payload_total);
+        let max_pair = (batch as u64 * elem).min(
+            per_dest
+                .iter()
+                .enumerate()
+                .filter(|(d, _)| *d != self.rank)
+                .map(|(_, &b)| b)
+                .max()
+                .unwrap_or(0)
+                .max(batch as u64 * elem),
+        );
+
+        let received = self.exchange_matrix(send);
+        self.stats.record(label, &per_dest, padding, rounds, self.rank, max_pair);
+        RoundedExchange { received, rounds }
+    }
+
+    /// All-gather a single value from every rank (indexed by rank).
+    pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T, label: &str) -> Vec<T> {
+        let elem = std::mem::size_of::<T>() as u64;
+        let send: Vec<Vec<T>> = (0..self.size()).map(|_| vec![value.clone()]).collect();
+        let per_dest: Vec<u64> = vec![elem; self.size()];
+        let received = self.exchange_matrix(send);
+        self.stats.record(label, &per_dest, 0, 1, self.rank, elem);
+        received.into_iter().map(|mut v| v.pop().expect("one value per source")).collect()
+    }
+
+    /// All-reduce with an arbitrary associative combine function. Implemented as an
+    /// all-gather followed by a deterministic left fold, so every rank computes exactly
+    /// the same result (MPI requires the same determinism from its reduction ops).
+    pub fn allreduce<T, F>(&mut self, value: T, label: &str, combine: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let mut gathered = self.allgather(value, label).into_iter();
+        let first = gathered.next().expect("at least one rank");
+        gathered.fold(first, combine)
+    }
+
+    /// Convenience u64 all-reduce.
+    pub fn allreduce_u64(&mut self, value: u64, label: &str, combine: fn(u64, u64) -> u64) -> u64 {
+        self.allreduce(value, label, combine)
+    }
+
+    /// Gather one value per rank at `root`; other ranks receive `None`.
+    pub fn gather<T: Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        root: usize,
+        label: &str,
+    ) -> Option<Vec<T>> {
+        let elem = std::mem::size_of::<T>() as u64;
+        let send: Vec<Vec<T>> = (0..self.size())
+            .map(|dst| if dst == root { vec![value.clone()] } else { Vec::new() })
+            .collect();
+        let mut per_dest = vec![0u64; self.size()];
+        per_dest[root] = elem;
+        let received = self.exchange_matrix(send);
+        self.stats.record(label, &per_dest, 0, 1, self.rank, if root == self.rank { 0 } else { elem });
+        if self.rank == root {
+            Some(received.into_iter().map(|mut v| v.pop().expect("one value per source")).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Broadcast `value` from `root` to every rank (non-root ranks pass their own value,
+    /// which is ignored, mirroring `MPI_Bcast`'s in-place buffer semantics).
+    pub fn broadcast<T: Clone + Send + 'static>(&mut self, value: T, root: usize, label: &str) -> T {
+        let elem = std::mem::size_of::<T>() as u64;
+        let send: Vec<Vec<T>> = if self.rank == root {
+            (0..self.size()).map(|_| vec![value.clone()]).collect()
+        } else {
+            (0..self.size()).map(|_| Vec::new()).collect()
+        };
+        let per_dest: Vec<u64> = if self.rank == root { vec![elem; self.size()] } else { vec![0; self.size()] };
+        let received = self.exchange_matrix(send);
+        self.stats.record(label, &per_dest, 0, 1, self.rank, if self.rank == root { elem } else { 0 });
+        received
+            .into_iter()
+            .nth(root)
+            .and_then(|mut v| v.pop())
+            .expect("root broadcast value missing")
+    }
+
+    /// Scatter task assignments from `root`: `parts[dst]` (only meaningful at the root)
+    /// is delivered to rank `dst`.
+    pub fn scatter<T: Clone + Send + 'static>(
+        &mut self,
+        parts: Vec<Vec<T>>,
+        root: usize,
+        label: &str,
+    ) -> Vec<T> {
+        let elem = std::mem::size_of::<T>() as u64;
+        let send: Vec<Vec<T>> = if self.rank == root {
+            assert_eq!(parts.len(), self.size());
+            parts
+        } else {
+            (0..self.size()).map(|_| Vec::new()).collect()
+        };
+        let per_dest: Vec<u64> = send.iter().map(|v| v.len() as u64 * elem).collect();
+        let max_pair = per_dest.iter().copied().max().unwrap_or(0);
+        let received = self.exchange_matrix(send);
+        self.stats.record(label, &per_dest, 0, 1, self.rank, max_pair);
+        received.into_iter().nth(root).expect("scatter root row missing")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Cluster;
+
+    #[test]
+    fn alltoallv_routes_data_to_the_right_ranks() {
+        let p = 6;
+        let run = Cluster::new(p).run(|ctx| {
+            // Rank r sends the value 100*r + dst to each destination dst, repeated r+1 times.
+            let send: Vec<Vec<u32>> = (0..ctx.size())
+                .map(|dst| vec![(100 * ctx.rank() + dst) as u32; ctx.rank() + 1])
+                .collect();
+            ctx.alltoallv(send, "test")
+        });
+        for (dst, received) in run.results.iter().enumerate() {
+            for (src, items) in received.iter().enumerate() {
+                assert_eq!(items.len(), src + 1);
+                assert!(items.iter().all(|&v| v == (100 * src + dst) as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_conserves_total_items() {
+        let p = 5;
+        let run = Cluster::new(p).run(|ctx| {
+            let send: Vec<Vec<u8>> =
+                (0..ctx.size()).map(|dst| vec![0u8; (ctx.rank() * 7 + dst * 3) % 11]).collect();
+            let sent: usize = send.iter().map(|v| v.len()).sum();
+            let recv = ctx.alltoallv(send, "conserve");
+            let received: usize = recv.iter().map(|v| v.len()).sum();
+            (sent, received)
+        });
+        let total_sent: usize = run.results.iter().map(|(s, _)| s).sum();
+        let total_received: usize = run.results.iter().map(|(_, r)| r).sum();
+        assert_eq!(total_sent, total_received);
+    }
+
+    #[test]
+    fn rounds_exchange_counts_rounds_and_padding() {
+        let p = 4;
+        let run = Cluster::new(p).run(|ctx| {
+            // Rank 0 sends 10 items to each destination, everyone else sends 1.
+            let n = if ctx.rank() == 0 { 10 } else { 1 };
+            let send: Vec<Vec<u64>> = (0..ctx.size()).map(|_| vec![7u64; n]).collect();
+            let ex = ctx.alltoall_rounds(send, 4, "rounds");
+            (ex.rounds, ctx.comm_stats().padding_bytes)
+        });
+        // Global max message is 10 items, batch 4 -> 3 rounds everywhere.
+        for (rounds, _) in &run.results {
+            assert_eq!(*rounds, 3);
+        }
+        // Rank 1 sends 1 real item per destination but pays for 3 rounds * 4 slots.
+        let (_, padding_rank1) = run.results[1];
+        assert_eq!(padding_rank1, (3 * 4 - 1) as u64 * 8 * 3);
+    }
+
+    #[test]
+    fn allreduce_and_allgather_agree_across_ranks() {
+        let run = Cluster::new(7).run(|ctx| {
+            let sum = ctx.allreduce_u64(ctx.rank() as u64 + 1, "sum", |a, b| a + b);
+            let max = ctx.allreduce_u64(ctx.rank() as u64, "max", u64::max);
+            let all = ctx.allgather(ctx.rank() as u32, "gather");
+            (sum, max, all)
+        });
+        for (sum, max, all) in run.results {
+            assert_eq!(sum, 28);
+            assert_eq!(max, 6);
+            assert_eq!(all, (0..7u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn gather_delivers_only_to_root() {
+        let run = Cluster::new(5).run(|ctx| ctx.gather(ctx.rank() as u64 * 2, 3, "g"));
+        for (rank, res) in run.results.iter().enumerate() {
+            if rank == 3 {
+                assert_eq!(res.as_ref().unwrap(), &vec![0, 2, 4, 6, 8]);
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_and_scatter_from_root() {
+        let run = Cluster::new(4).run(|ctx| {
+            let value = if ctx.rank() == 2 { 99u32 } else { 0 };
+            let b = ctx.broadcast(value, 2, "bcast");
+            let parts: Vec<Vec<u32>> = if ctx.rank() == 2 {
+                (0..4).map(|d| vec![d as u32 * 10]).collect()
+            } else {
+                vec![Vec::new(); 4]
+            };
+            let s = ctx.scatter(parts, 2, "scatter");
+            (b, s)
+        });
+        for (rank, (b, s)) in run.results.iter().enumerate() {
+            assert_eq!(*b, 99);
+            assert_eq!(s, &vec![rank as u32 * 10]);
+        }
+    }
+
+    #[test]
+    fn stats_track_payload_per_destination() {
+        let run = Cluster::new(3).run(|ctx| {
+            let send: Vec<Vec<u32>> = vec![vec![1], vec![2, 2], vec![3, 3, 3]];
+            ctx.alltoallv(send, "stage-a");
+            ctx.comm_stats().clone()
+        });
+        let s0 = &run.comm[0];
+        assert_eq!(s0.sent_to, vec![4, 8, 12]);
+        assert_eq!(s0.payload_bytes, 20); // self-send (4 bytes) excluded
+        assert_eq!(s0.stage("stage-a").unwrap().payload_bytes, 20);
+        let total = run.total_comm();
+        assert_eq!(total.collectives, 3);
+    }
+
+    #[test]
+    fn many_successive_collectives_do_not_deadlock_or_mix() {
+        let run = Cluster::new(4).run(|ctx| {
+            let mut acc = 0u64;
+            for round in 0..50u64 {
+                let send: Vec<Vec<u64>> =
+                    (0..ctx.size()).map(|_| vec![round + ctx.rank() as u64]).collect();
+                let recv = ctx.alltoallv(send, "loop");
+                acc += recv.iter().map(|v| v[0]).sum::<u64>();
+            }
+            acc
+        });
+        assert!(run.results.iter().all(|&x| x == run.results[0]));
+    }
+}

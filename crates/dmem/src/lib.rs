@@ -1,0 +1,140 @@
+//! Simulated distributed-memory runtime.
+//!
+//! The paper runs HySortK with MPI across up to 64 Perlmutter nodes. This crate
+//! substitutes an **in-process distributed-memory simulator**: every rank is a real OS
+//! thread with its own private data, and the MPI collectives the pipelines need
+//! (`Alltoallv`, padded `Alltoall` in rounds, `Allreduce`, `Gather`, `Allgather`,
+//! `Broadcast`, `Barrier`) move real bytes between rank-private buffers through a shared
+//! exchange board. No data is shared behind the ranks' backs — a rank can only obtain
+//! another rank's data through a collective, exactly as in MPI — so algorithmic
+//! behaviour (who sends what to whom, how many rounds, how much padding) is preserved.
+//!
+//! What is *not* simulated here is wall-clock network time; instead every collective
+//! records its traffic into [`stats::CommStats`], and the `hysortk-perfmodel` crate
+//! converts those measurements into modeled seconds for the scaling experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use hysortk_dmem::Cluster;
+//!
+//! // Each rank r sends r copies of its id to every other rank.
+//! let outcome = Cluster::new(4).run(|ctx| {
+//!     let send: Vec<Vec<u64>> =
+//!         (0..ctx.size()).map(|_| vec![ctx.rank() as u64; ctx.rank()]).collect();
+//!     let recv = ctx.alltoallv(send, "demo");
+//!     recv.iter().map(|v| v.len()).sum::<usize>()
+//! });
+//! // Every rank receives 0 + 1 + 2 + 3 = 6 items.
+//! assert_eq!(outcome.results, vec![6, 6, 6, 6]);
+//! ```
+
+pub mod collectives;
+pub mod stats;
+
+pub use collectives::{RankCtx, RoundedExchange};
+pub use stats::{CommStats, StageTraffic};
+
+use std::sync::Arc;
+
+use collectives::Shared;
+
+/// A simulated cluster: `p` ranks, each executed on its own OS thread.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    ranks: usize,
+}
+
+/// The result of a cluster run: the per-rank return values plus the aggregated
+/// communication statistics.
+#[derive(Debug)]
+pub struct ClusterRun<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank communication statistics, indexed by rank.
+    pub comm: Vec<CommStats>,
+}
+
+impl<R> ClusterRun<R> {
+    /// Aggregate the per-rank statistics (sums volumes, maxes the per-pair maxima).
+    pub fn total_comm(&self) -> CommStats {
+        CommStats::aggregate(&self.comm)
+    }
+}
+
+impl Cluster {
+    /// Create a cluster of `ranks` simulated processes.
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks > 0, "a cluster needs at least one rank");
+        Cluster { ranks }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Run `f` once per rank (in parallel) and collect results and traffic statistics.
+    ///
+    /// The closure receives a [`RankCtx`] giving the rank id, the cluster size and the
+    /// collective operations.
+    pub fn run<R, F>(&self, f: F) -> ClusterRun<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        let shared = Arc::new(Shared::new(self.ranks));
+        let mut results: Vec<Option<R>> = (0..self.ranks).map(|_| None).collect();
+        let mut comm: Vec<Option<CommStats>> = (0..self.ranks).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.ranks);
+            for (rank, (res_slot, comm_slot)) in
+                results.iter_mut().zip(comm.iter_mut()).enumerate()
+            {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = RankCtx::new(rank, shared);
+                    let out = f(&mut ctx);
+                    *res_slot = Some(out);
+                    *comm_slot = Some(ctx.into_stats());
+                }));
+            }
+            for h in handles {
+                h.join().expect("rank thread panicked");
+            }
+        });
+
+        ClusterRun {
+            results: results.into_iter().map(|r| r.expect("rank produced no result")).collect(),
+            comm: comm.into_iter().map(|c| c.expect("rank produced no stats")).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rank_runs_exactly_once() {
+        let run = Cluster::new(8).run(|ctx| ctx.rank());
+        assert_eq!(run.results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_rank_cluster_works() {
+        let run = Cluster::new(1).run(|ctx| {
+            let recv = ctx.alltoallv(vec![vec![1u32, 2, 3]], "self");
+            recv[0].len()
+        });
+        assert_eq!(run.results, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Cluster::new(0);
+    }
+}

@@ -1,0 +1,148 @@
+//! 2-bit nucleotide encoding.
+//!
+//! The whole workspace uses the canonical mapping `A=0, C=1, G=2, T=3`. With this
+//! mapping the complement of a base code is simply `3 - code` (equivalently
+//! `code ^ 0b11`), which keeps reverse-complement computation branch-free.
+
+/// A single DNA nucleotide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine (code 0).
+    A = 0,
+    /// Cytosine (code 1).
+    C = 1,
+    /// Guanine (code 2).
+    G = 2,
+    /// Thymine (code 3).
+    T = 3,
+}
+
+impl Base {
+    /// All bases in code order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// The 2-bit code of this base.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Construct a base from a 2-bit code. Only the two low bits are used.
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        match code & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// Watson-Crick complement.
+    #[inline]
+    pub fn complement(self) -> Base {
+        Base::from_code(self.code() ^ 0b11)
+    }
+
+    /// ASCII representation (upper-case).
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// Parse an ASCII nucleotide (case-insensitive). Ambiguous IUPAC codes such as `N`
+    /// return `None`; callers decide how to handle them (the read simulators never emit
+    /// them, the FASTA parser maps them deterministically).
+    #[inline]
+    pub fn from_ascii(c: u8) -> Option<Base> {
+        match c {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+}
+
+/// Encode an ASCII nucleotide to its 2-bit code, mapping unknown characters to `A`.
+///
+/// Real pipelines either drop k-mers containing ambiguous bases or replace them; the
+/// paper's datasets are pre-cleaned, so a deterministic replacement keeps parsing simple
+/// and branch-predictable.
+#[inline]
+pub fn encode_base(c: u8) -> u8 {
+    match c {
+        b'A' | b'a' => 0,
+        b'C' | b'c' => 1,
+        b'G' | b'g' => 2,
+        b'T' | b't' => 3,
+        _ => 0,
+    }
+}
+
+/// Decode a 2-bit code to its ASCII nucleotide.
+#[inline]
+pub fn decode_base(code: u8) -> u8 {
+    match code & 0b11 {
+        0 => b'A',
+        1 => b'C',
+        2 => b'G',
+        _ => b'T',
+    }
+}
+
+/// Complement of a 2-bit base code.
+#[inline]
+pub fn complement_code(code: u8) -> u8 {
+    (code & 0b11) ^ 0b11
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_code(b.code()), b);
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+            assert_eq!(encode_base(b.to_ascii()), b.code());
+            assert_eq!(decode_base(b.code()), b.to_ascii());
+        }
+    }
+
+    #[test]
+    fn complements_are_involutions() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+            assert_eq!(complement_code(complement_code(b.code())), b.code());
+        }
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::C.complement(), Base::G);
+    }
+
+    #[test]
+    fn lowercase_and_ambiguous_ascii() {
+        assert_eq!(Base::from_ascii(b'a'), Some(Base::A));
+        assert_eq!(Base::from_ascii(b'N'), None);
+        assert_eq!(encode_base(b'N'), 0);
+        assert_eq!(encode_base(b'g'), 2);
+    }
+
+    #[test]
+    fn code_ordering_matches_lexicographic_ordering() {
+        // A < C < G < T both as characters and as codes.
+        let mut by_code = Base::ALL;
+        by_code.sort_by_key(|b| b.code());
+        let mut by_ascii = Base::ALL;
+        by_ascii.sort_by_key(|b| b.to_ascii());
+        assert_eq!(by_code, by_ascii);
+    }
+}

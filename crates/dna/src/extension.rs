@@ -1,0 +1,73 @@
+//! Per-k-mer provenance ("extension information").
+//!
+//! Genome-assembly consumers of a k-mer counter (ELBA in the paper's §4.5) need to know
+//! *where* each surviving k-mer occurrence came from: the identifier of the read it was
+//! extracted from and its offset inside that read. The paper calls this the *extension
+//! information* and notes that, for reasonable k, it is larger than the k-mer itself —
+//! which is what motivates the delta-compression codec in the `hysortk-supermer` crate.
+
+/// Provenance of a single k-mer occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Extension {
+    /// Identifier of the read the k-mer occurrence was parsed from.
+    pub read_id: u32,
+    /// 0-based offset of the k-mer's first base within that read.
+    pub pos_in_read: u32,
+}
+
+impl Extension {
+    /// Create a new extension record.
+    #[inline]
+    pub fn new(read_id: u32, pos_in_read: u32) -> Self {
+        Extension { read_id, pos_in_read }
+    }
+
+    /// Size of the uncompressed wire representation in bytes (two `u32` fields), as used
+    /// by the communication-volume accounting.
+    pub const WIRE_BYTES: usize = 8;
+
+    /// Serialise to the fixed-width wire format.
+    #[inline]
+    pub fn to_bytes(self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.read_id.to_le_bytes());
+        out[4..].copy_from_slice(&self.pos_in_read.to_le_bytes());
+        out
+    }
+
+    /// Deserialise from the fixed-width wire format.
+    #[inline]
+    pub fn from_bytes(bytes: &[u8; 8]) -> Self {
+        Extension {
+            read_id: u32::from_le_bytes(bytes[..4].try_into().unwrap()),
+            pos_in_read: u32::from_le_bytes(bytes[4..].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        let e = Extension::new(123_456, 7_890);
+        assert_eq!(Extension::from_bytes(&e.to_bytes()), e);
+    }
+
+    #[test]
+    fn wire_size_matches_constant() {
+        let e = Extension::new(1, 2);
+        assert_eq!(e.to_bytes().len(), Extension::WIRE_BYTES);
+    }
+
+    #[test]
+    fn ordering_groups_by_read_then_position() {
+        let a = Extension::new(1, 50);
+        let b = Extension::new(2, 3);
+        let c = Extension::new(2, 10);
+        let mut v = vec![c, b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+}

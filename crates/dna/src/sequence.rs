@@ -1,0 +1,225 @@
+//! Packed DNA sequences (reads) and rolling k-mer extraction.
+
+use crate::base::{complement_code, decode_base, encode_base};
+use crate::kmer::KmerCode;
+
+/// A DNA sequence packed 2 bits per base.
+///
+/// Sequences are append-only; the counting pipelines only ever parse them forwards.
+/// Bases are stored 32 per `u64` word in *little* position order (base `i` lives in bits
+/// `2*(i % 32)` of word `i / 32`), which makes `push`/`get` cheap. Ordering of whole
+/// sequences is never required, unlike for [`crate::kmer::Kmer`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DnaSeq {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DnaSeq {
+    /// Empty sequence.
+    pub fn new() -> Self {
+        DnaSeq { words: Vec::new(), len: 0 }
+    }
+
+    /// Empty sequence with room for `n` bases.
+    pub fn with_capacity(n: usize) -> Self {
+        DnaSeq { words: Vec::with_capacity(n.div_ceil(32)), len: 0 }
+    }
+
+    /// Parse from ASCII (unknown characters become `A`).
+    pub fn from_ascii(seq: &[u8]) -> Self {
+        let mut s = Self::with_capacity(seq.len());
+        for &c in seq {
+            s.push_code(encode_base(c));
+        }
+        s
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the sequence holds no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one 2-bit base code.
+    #[inline]
+    pub fn push_code(&mut self, code: u8) {
+        let word = self.len / 32;
+        let shift = 2 * (self.len % 32);
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= u64::from(code & 0b11) << shift;
+        self.len += 1;
+    }
+
+    /// The 2-bit code of base `i`.
+    #[inline]
+    pub fn get_code(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        let word = i / 32;
+        let shift = 2 * (i % 32);
+        ((self.words[word] >> shift) & 0b11) as u8
+    }
+
+    /// Iterate over the 2-bit base codes.
+    pub fn codes(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.len).map(move |i| self.get_code(i))
+    }
+
+    /// Render as an ASCII string.
+    pub fn to_ascii(&self) -> Vec<u8> {
+        self.codes().map(decode_base).collect()
+    }
+
+    /// Reverse complement of the whole sequence.
+    pub fn reverse_complement(&self) -> Self {
+        let mut rc = Self::with_capacity(self.len);
+        for i in (0..self.len).rev() {
+            rc.push_code(complement_code(self.get_code(i)));
+        }
+        rc
+    }
+
+    /// Number of k-mers in this sequence (0 if shorter than k).
+    #[inline]
+    pub fn num_kmers(&self, k: usize) -> usize {
+        if self.len < k {
+            0
+        } else {
+            self.len - k + 1
+        }
+    }
+
+    /// Rolling iterator over all k-mers (in forward orientation).
+    pub fn kmers<K: KmerCode>(&self, k: usize) -> KmerIter<'_, K> {
+        assert!(k >= 1 && k <= K::max_k(), "k = {k} out of range for this k-mer width");
+        KmerIter { seq: self, k, next_base: 0, current: K::zero() }
+    }
+
+    /// Rolling iterator over canonical k-mers.
+    pub fn canonical_kmers<K: KmerCode>(&self, k: usize) -> impl Iterator<Item = K> + '_ {
+        self.kmers::<K>(k).map(move |km| km.canonical(k))
+    }
+
+    /// Approximate heap memory used by the packed representation, in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Rolling k-mer iterator produced by [`DnaSeq::kmers`].
+pub struct KmerIter<'a, K: KmerCode> {
+    seq: &'a DnaSeq,
+    k: usize,
+    next_base: usize,
+    current: K,
+}
+
+impl<K: KmerCode> Iterator for KmerIter<'_, K> {
+    type Item = K;
+
+    fn next(&mut self) -> Option<K> {
+        // Warm up the window until it holds k bases, then emit one k-mer per base.
+        while self.next_base < self.seq.len() {
+            let code = self.seq.get_code(self.next_base);
+            self.current = self.current.push_base(self.k, code);
+            self.next_base += 1;
+            if self.next_base >= self.k {
+                return Some(self.current);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = if self.seq.len() < self.k {
+            0
+        } else {
+            self.seq.len() + 1 - self.k.max(self.next_base + 1) + 1
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer::Kmer1;
+
+    #[test]
+    fn ascii_round_trip() {
+        let s = b"ACGTTGCAACGTGGGTTTAAACCC";
+        let seq = DnaSeq::from_ascii(s);
+        assert_eq!(seq.len(), s.len());
+        assert_eq!(seq.to_ascii(), s.to_vec());
+    }
+
+    #[test]
+    fn push_and_get_across_word_boundaries() {
+        let long: Vec<u8> = (0..100).map(|i| b"ACGT"[(i * 7 + 3) % 4]).collect();
+        let seq = DnaSeq::from_ascii(&long);
+        for (i, &c) in long.iter().enumerate() {
+            assert_eq!(decode_base(seq.get_code(i)), c);
+        }
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let seq = DnaSeq::from_ascii(b"ACGTTGCAACGTGGGTTTAAACCCTAGCAT");
+        assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+        assert_eq!(
+            DnaSeq::from_ascii(b"ACGT").reverse_complement().to_ascii(),
+            b"ACGT".to_vec()
+        );
+        assert_eq!(
+            DnaSeq::from_ascii(b"AAACC").reverse_complement().to_ascii(),
+            b"GGTTT".to_vec()
+        );
+    }
+
+    #[test]
+    fn kmer_iteration_matches_slices() {
+        let s = b"ACGTTGCAACGTGGGTTTAAACCC";
+        let seq = DnaSeq::from_ascii(s);
+        let k = 7;
+        let kmers: Vec<Kmer1> = seq.kmers(k).collect();
+        assert_eq!(kmers.len(), s.len() - k + 1);
+        for (i, km) in kmers.iter().enumerate() {
+            assert_eq!(km.to_string_k(k), String::from_utf8_lossy(&s[i..i + k]));
+        }
+    }
+
+    #[test]
+    fn short_sequences_yield_no_kmers() {
+        let seq = DnaSeq::from_ascii(b"ACG");
+        assert_eq!(seq.num_kmers(5), 0);
+        assert_eq!(seq.kmers::<Kmer1>(5).count(), 0);
+        assert_eq!(seq.num_kmers(3), 1);
+    }
+
+    #[test]
+    fn canonical_kmers_are_strand_invariant() {
+        let s = b"ACGTTGCAACGTGGGTTTAAACCCTAG";
+        let k = 9;
+        let fwd = DnaSeq::from_ascii(s);
+        let rev = fwd.reverse_complement();
+        let mut a: Vec<Kmer1> = fwd.canonical_kmers(k).collect();
+        let mut b: Vec<Kmer1> = rev.canonical_kmers(k).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn packed_memory_is_quarter_of_ascii() {
+        let seq = DnaSeq::from_ascii(&vec![b'A'; 1024]);
+        assert_eq!(seq.packed_bytes(), 1024 / 4);
+    }
+}

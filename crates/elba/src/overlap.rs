@@ -1,0 +1,120 @@
+//! Seed-based overlap detection ("seed and extend" without the extend).
+//!
+//! ELBA finds candidate read overlaps from shared k-mer seeds: every k-mer in the
+//! `[min, max]` frequency band contributes its occurrence list, and every pair of reads
+//! sharing enough seeds with a consistent relative offset becomes an overlap edge. The
+//! full ELBA uses sparse matrix multiplication and x-drop alignment; the simplified
+//! version keeps the seed statistics (which is what drives the pipeline-level cost
+//! behaviour) and a diagonal-consistency vote instead of alignment.
+
+use std::collections::HashMap;
+
+use hysortk_dna::extension::Extension;
+use rayon::prelude::*;
+
+/// A candidate overlap between two reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overlap {
+    /// Lower read id.
+    pub read_a: u32,
+    /// Higher read id.
+    pub read_b: u32,
+    /// Number of shared seed k-mers supporting the overlap.
+    pub shared_seeds: u32,
+    /// Estimated offset of read b relative to read a (median seed diagonal).
+    pub offset: i32,
+}
+
+/// Detect overlaps from per-k-mer occurrence lists.
+///
+/// `seeds` is the output of a counter run in extension mode: one occurrence list per
+/// retained k-mer. `min_shared` is the number of consistent seeds required to call an
+/// overlap (ELBA uses a similar threshold before alignment).
+pub fn detect_overlaps(seeds: &[Vec<Extension>], min_shared: u32) -> Vec<Overlap> {
+    // Pair votes: (read_a, read_b) -> diagonal histogram.
+    let pair_votes: HashMap<(u32, u32), Vec<i32>> = seeds
+        .par_iter()
+        .fold(HashMap::new, |mut acc: HashMap<(u32, u32), Vec<i32>>, occurrences| {
+            // Heavy k-mers produce quadratic pairs; counters cap them via max_count, but
+            // guard anyway so a pathological list cannot blow up the pair generation.
+            let occ = if occurrences.len() > 50 { &occurrences[..50] } else { &occurrences[..] };
+            for (i, a) in occ.iter().enumerate() {
+                for b in &occ[i + 1..] {
+                    if a.read_id == b.read_id {
+                        continue;
+                    }
+                    let (x, y) = if a.read_id < b.read_id { (a, b) } else { (b, a) };
+                    let diagonal = x.pos_in_read as i32 - y.pos_in_read as i32;
+                    acc.entry((x.read_id, y.read_id)).or_default().push(diagonal);
+                }
+            }
+            acc
+        })
+        .reduce(HashMap::new, |mut a, b| {
+            for (k, mut v) in b {
+                a.entry(k).or_default().append(&mut v);
+            }
+            a
+        });
+
+    let mut overlaps: Vec<Overlap> = pair_votes
+        .into_iter()
+        .filter_map(|((read_a, read_b), mut diagonals)| {
+            if (diagonals.len() as u32) < min_shared {
+                return None;
+            }
+            diagonals.sort_unstable();
+            let median = diagonals[diagonals.len() / 2];
+            // Require the majority of the seeds to agree with the median diagonal
+            // (within a small band), which filters repeat-induced spurious pairs.
+            let consistent =
+                diagonals.iter().filter(|&&d| (d - median).abs() <= 32).count() as u32;
+            if consistent < min_shared {
+                return None;
+            }
+            Some(Overlap { read_a, read_b, shared_seeds: consistent, offset: median })
+        })
+        .collect();
+    overlaps.sort_by_key(|o| (o.read_a, o.read_b));
+    overlaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext(read: u32, pos: u32) -> Extension {
+        Extension::new(read, pos)
+    }
+
+    #[test]
+    fn overlapping_reads_are_detected_with_the_right_offset() {
+        // Reads 0 and 1 overlap with read 1 shifted by 100 bases: shared k-mers appear
+        // at positions p in read 0 and p-100 in read 1.
+        let seeds: Vec<Vec<Extension>> =
+            (0..20).map(|i| vec![ext(0, 100 + i * 7), ext(1, i * 7)]).collect();
+        let overlaps = detect_overlaps(&seeds, 5);
+        assert_eq!(overlaps.len(), 1);
+        assert_eq!(overlaps[0].read_a, 0);
+        assert_eq!(overlaps[0].read_b, 1);
+        assert_eq!(overlaps[0].offset, 100);
+        assert!(overlaps[0].shared_seeds >= 5);
+    }
+
+    #[test]
+    fn insufficient_or_inconsistent_seeds_are_rejected() {
+        // Only 2 shared seeds: below threshold.
+        let few: Vec<Vec<Extension>> = (0..2).map(|i| vec![ext(0, i), ext(1, i)]).collect();
+        assert!(detect_overlaps(&few, 5).is_empty());
+        // Many shared seeds but on wildly different diagonals (repeat-induced).
+        let inconsistent: Vec<Vec<Extension>> =
+            (0..20).map(|i| vec![ext(0, i * 200), ext(1, ((19 - i) * 173) % 4000)]).collect();
+        assert!(detect_overlaps(&inconsistent, 15).is_empty());
+    }
+
+    #[test]
+    fn same_read_occurrences_do_not_create_self_overlaps() {
+        let seeds = vec![vec![ext(3, 0), ext(3, 500), ext(3, 900)]; 10];
+        assert!(detect_overlaps(&seeds, 1).is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Configuration of a HySortK run.
+
+use hysortk_perfmodel::{ExecutionConfig, MachineConfig};
+use hysortk_task::HeavyHitterPolicy;
+
+/// All tunables of the HySortK pipeline.
+///
+/// The defaults mirror the paper's recommended settings: 16 processes per node,
+/// 4 threads per worker, 3 tasks per worker, a batch size of 80 000 records per round,
+/// valid counts in `[2, 50]`, supermers on, heavy-hitter handling on, overlap on.
+#[derive(Debug, Clone)]
+pub struct HySortKConfig {
+    /// k-mer length.
+    pub k: usize,
+    /// m-mer (minimizer) length. The paper recommends `m = k/2` for small k and
+    /// `m = 23` for large k; [`HySortKConfig::recommended_m`] encodes that rule.
+    pub m: usize,
+    /// Hash seed used for both the minimizer score and the destination mapping.
+    pub seed: u32,
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// MPI ranks per node.
+    pub processes_per_node: usize,
+    /// Threads per rank (defaults to filling the node: `cores_per_node / ppn`).
+    pub threads_per_process: usize,
+    /// Threads per worker in the task abstraction layer (paper default 4).
+    pub threads_per_worker: usize,
+    /// Average tasks per worker (the `tpw` parameter of §4.1.1; paper default 3).
+    pub tasks_per_worker: usize,
+    /// Records per destination per communication round (paper default 80 000).
+    pub batch_size: usize,
+    /// Lowest k-mer frequency kept in the output (2 filters singletons).
+    pub min_count: u64,
+    /// Highest k-mer frequency kept in the output (the paper uses 50).
+    pub max_count: u64,
+    /// Record and return extension information (read id, position).
+    pub with_extension: bool,
+    /// Compress extension information with the delta codec (§3.3.2); only relevant when
+    /// `with_extension` is set and `use_supermers` is off (supermers already carry the
+    /// provenance in their header).
+    pub compress_extension: bool,
+    /// Group k-mers into supermers before the exchange (§2.4/§3.2). Disabling this is
+    /// the "naive exchange" ablation.
+    pub use_supermers: bool,
+    /// Use the task abstraction layer (`s ≫ p` tasks, workers, greedy assignment).
+    /// Disabling it reverts to one task per rank (§4.1.1 baseline).
+    pub use_task_layer: bool,
+    /// Heavy-hitter detection and kmerlist transformation policy (§3.5).
+    pub heavy_hitter: HeavyHitterPolicy,
+    /// Overlap communication with encode/decode computation (§3.3.1).
+    pub overlap: bool,
+    /// Machine model used for the time/memory projection.
+    pub machine: MachineConfig,
+    /// Fraction of the full-size dataset that is actually being processed. Measured
+    /// work and traffic counters are divided by this factor before being fed into the
+    /// performance model, so a run on a 1/10 000-scale synthetic dataset still projects
+    /// the full-size experiment (see DESIGN.md, substitutions).
+    pub data_scale: f64,
+}
+
+impl Default for HySortKConfig {
+    fn default() -> Self {
+        let machine = MachineConfig::perlmutter_cpu();
+        HySortKConfig {
+            k: 31,
+            m: 15,
+            seed: 0x9747b28c,
+            nodes: 1,
+            processes_per_node: 16,
+            threads_per_process: machine.cores_per_node / 16,
+            threads_per_worker: 4,
+            tasks_per_worker: 3,
+            batch_size: 80_000,
+            min_count: 2,
+            max_count: 50,
+            with_extension: false,
+            compress_extension: true,
+            use_supermers: true,
+            use_task_layer: true,
+            heavy_hitter: HeavyHitterPolicy::default(),
+            overlap: true,
+            machine,
+            data_scale: 1.0,
+        }
+    }
+}
+
+impl HySortKConfig {
+    /// A configuration for quick local experiments: a handful of ranks, small batches,
+    /// workstation machine model, no scaling projection.
+    pub fn small(k: usize, m: usize, ranks: usize) -> Self {
+        let machine = MachineConfig::workstation(8, 32);
+        HySortKConfig {
+            k,
+            m,
+            nodes: 1,
+            processes_per_node: ranks,
+            threads_per_process: 2,
+            threads_per_worker: 1,
+            tasks_per_worker: 3,
+            batch_size: 4_096,
+            machine,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's rule of thumb for m (§4.1.4): `k/2` for small k, 23 for large k.
+    pub fn recommended_m(k: usize) -> usize {
+        if k <= 34 {
+            (k / 2).max(3)
+        } else {
+            23
+        }
+    }
+
+    /// Total simulated ranks.
+    pub fn total_ranks(&self) -> usize {
+        self.nodes * self.processes_per_node
+    }
+
+    /// Workers per rank.
+    pub fn workers_per_process(&self) -> usize {
+        (self.threads_per_process / self.threads_per_worker).max(1)
+    }
+
+    /// Number of tasks the k-mer space is partitioned into.
+    pub fn num_tasks(&self) -> usize {
+        if self.use_task_layer {
+            hysortk_task::num_tasks(
+                self.total_ranks(),
+                self.workers_per_process(),
+                self.tasks_per_worker,
+            )
+        } else {
+            self.total_ranks()
+        }
+    }
+
+    /// The execution configuration handed to the performance model.
+    pub fn execution(&self) -> ExecutionConfig {
+        ExecutionConfig::new(
+            self.nodes,
+            self.processes_per_node,
+            self.threads_per_process,
+            self.threads_per_worker,
+        )
+    }
+
+    /// Validate the configuration, returning a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 || self.k > 64 {
+            return Err(format!("k = {} out of supported range 1..=64", self.k));
+        }
+        if self.m == 0 || self.m > 32 {
+            return Err(format!("m = {} out of supported range 1..=32", self.m));
+        }
+        if self.m > self.k {
+            return Err(format!("m = {} must not exceed k = {}", self.m, self.k));
+        }
+        if self.nodes == 0 || self.processes_per_node == 0 {
+            return Err("nodes and processes_per_node must be positive".to_string());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".to_string());
+        }
+        if self.min_count > self.max_count {
+            return Err(format!(
+                "min_count {} exceeds max_count {}",
+                self.min_count, self.max_count
+            ));
+        }
+        if !(self.data_scale > 0.0 && self.data_scale <= 1.0) {
+            return Err(format!("data_scale {} must be in (0, 1]", self.data_scale));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_paperlike() {
+        let cfg = HySortKConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.batch_size, 80_000);
+        assert_eq!(cfg.min_count, 2);
+        assert_eq!(cfg.max_count, 50);
+        assert_eq!(cfg.threads_per_worker, 4);
+        assert_eq!(cfg.processes_per_node, 16);
+        assert_eq!(cfg.threads_per_process * cfg.processes_per_node, 128);
+    }
+
+    #[test]
+    fn recommended_m_follows_the_paper_rule() {
+        assert_eq!(HySortKConfig::recommended_m(17), 8);
+        assert_eq!(HySortKConfig::recommended_m(31), 15);
+        assert_eq!(HySortKConfig::recommended_m(55), 23);
+    }
+
+    #[test]
+    fn task_count_depends_on_layer_toggle() {
+        let mut cfg = HySortKConfig::default();
+        cfg.nodes = 2;
+        let with_layer = cfg.num_tasks();
+        assert_eq!(with_layer, 2 * 16 * 2 * 3); // ranks × workers × tpw
+        cfg.use_task_layer = false;
+        assert_eq!(cfg.num_tasks(), 32);
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let mut cfg = HySortKConfig::default();
+        cfg.k = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = HySortKConfig::default();
+        cfg.m = cfg.k + 1;
+        assert!(cfg.validate().is_err());
+        let mut cfg = HySortKConfig::default();
+        cfg.min_count = 100;
+        assert!(cfg.validate().is_err());
+        let mut cfg = HySortKConfig::default();
+        cfg.data_scale = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        HySortKConfig::small(21, 9, 4).validate().unwrap();
+    }
+}

@@ -1,0 +1,37 @@
+//! # HySortK — sorting-based distributed-memory k-mer counting
+//!
+//! A from-scratch Rust reproduction of *"High-Performance Sorting-Based k-mer Counting
+//! in Distributed Memory with Flexible Hybrid Parallelism"* (Li & Guidi, ICPP 2024).
+//!
+//! The crate exposes one main entry point, [`count_kmers`], which runs the full
+//! three-stage pipeline — parse into supermers, exchange across simulated ranks,
+//! radix-sort and linearly scan — and returns both the exact canonical k-mer counts and
+//! a [`RunReport`] containing measured traffic and modeled per-stage times.
+//!
+//! ```
+//! use hysortk_core::{count_kmers, HySortKConfig};
+//! use hysortk_dna::{Kmer1, ReadSet};
+//!
+//! let reads = ReadSet::from_ascii_reads(&[
+//!     b"ACGTACGTACGTACGTACGTACGTACGTACGTAGGT".as_slice(),
+//!     b"ACGTACGTACGTACGTACGTACGTACGTACGTAGGT".as_slice(),
+//! ]);
+//! let mut cfg = HySortKConfig::small(21, 9, 2);
+//! cfg.min_count = 1;
+//! let result = count_kmers::<Kmer1>(&reads, &cfg);
+//! assert!(result.counts.iter().all(|(_, c)| *c >= 1));
+//! ```
+//!
+//! The other modules are the pieces the pipeline is assembled from and are public so
+//! that the baselines, the ELBA integration and the benchmark harness can reuse them.
+
+pub mod config;
+pub mod pipeline;
+pub mod reference;
+pub mod result;
+pub mod wire;
+
+pub use config::HySortKConfig;
+pub use pipeline::count_kmers;
+pub use reference::{reference_counts, reference_counts_bounded, reference_extensions};
+pub use result::{CountResult, KmerHistogram, RunReport};

@@ -1,0 +1,781 @@
+//! The HySortK counting pipeline.
+//!
+//! One call to [`count_kmers`] runs the full three-stage algorithm of the paper on a
+//! simulated cluster:
+//!
+//! 1. **Parse** — every rank reads its share of the input, finds minimizers with the
+//!    monotone-deque sliding window and groups consecutive k-mers into supermers
+//!    addressed to one of `s` tasks (`s ≫ p` when the task layer is on).
+//! 2. **Exchange** — task sizes are reduced across ranks, tasks are assigned to ranks
+//!    with the greedy Partition heuristic, heavy-hitter tasks are converted to
+//!    pre-counted kmerlists, and the per-destination byte streams are exchanged with the
+//!    round-limited padded all-to-all.
+//! 3. **Sort & count** — each rank parses its receive buffer back into per-task record
+//!    arrays, workers of `threads_per_worker` threads radix-sort each task (choosing the
+//!    in-place or out-of-place sorter by modeled memory pressure) and a linear scan
+//!    produces the counts, which are filtered to the `[min_count, max_count]` band.
+//!
+//! All data movement happens through the simulated cluster, so the traffic and work
+//! counters in the returned [`RunReport`] are measurements, not estimates; only the
+//! conversion to seconds goes through the performance model.
+
+use std::collections::BTreeMap;
+
+use hysortk_dmem::{Cluster, CommStats, RankCtx};
+use hysortk_dna::extension::Extension;
+use hysortk_dna::kmer::KmerCode;
+use hysortk_dna::readset::{Read, ReadSet};
+use hysortk_hash::hash_kmer;
+use hysortk_perfmodel::network::ExchangeProfile;
+use hysortk_perfmodel::{PerfModel, SortAlgorithm, StageTimes};
+use hysortk_sort::{count_sorted_runs, paradis_sort_by, raduls_sort_by};
+use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
+use hysortk_supermer::supermer::{build_supermers, Supermer};
+use hysortk_task::{assign_greedy, detect_heavy_tasks, schedule_lpt, Assignment, WorkerPool};
+
+use crate::config::HySortKConfig;
+use crate::result::{CountResult, KmerHistogram, RunReport};
+use crate::wire::{read_blocks, write_block, write_records_uncompressed, TaskBlock, TaskPayload};
+
+/// Work counters measured by one rank.
+#[derive(Debug, Clone, Default)]
+struct RankCounters {
+    bases_parsed: u64,
+    kmers_parsed: u64,
+    supermers_built: u64,
+    heavy_local_sorted: u64,
+    received_elements: u64,
+    precounted_elements: u64,
+    worker_makespan: u64,
+    exchange_rounds: usize,
+    assignment_imbalance: f64,
+    heavy_tasks: usize,
+}
+
+/// Per-rank result of the pipeline.
+struct RankOutput<K: KmerCode> {
+    counts: Vec<(K, u64)>,
+    extensions: Option<Vec<Vec<Extension>>>,
+    histogram: KmerHistogram,
+    counters: RankCounters,
+}
+
+/// What a rank accumulates locally for one task before the exchange.
+enum LocalTask<K: KmerCode> {
+    Supermers(Vec<Supermer>),
+    Records(Vec<K>, Vec<Extension>),
+}
+
+impl<K: KmerCode> LocalTask<K> {
+    fn kmer_count(&self, k: usize) -> u64 {
+        match self {
+            LocalTask::Supermers(s) => s.iter().map(|x| x.num_kmers(k) as u64).sum(),
+            LocalTask::Records(kmers, _) => kmers.len() as u64,
+        }
+    }
+}
+
+/// Count the canonical k-mers of `reads` with the full HySortK pipeline.
+///
+/// The k-mer width `K` must satisfy `cfg.k <= K::max_k()`; use
+/// [`hysortk_dna::Kmer1`] for k ≤ 32 and [`hysortk_dna::Kmer2`] for k ≤ 64.
+pub fn count_kmers<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> CountResult<K> {
+    cfg.validate().expect("invalid HySortK configuration");
+    assert!(cfg.k <= K::max_k(), "k = {} exceeds the chosen k-mer width", cfg.k);
+
+    let p = cfg.total_ranks();
+    let num_tasks = cfg.num_tasks();
+    let ranges = reads.partition_by_bases(p);
+    let model = PerfModel::new(cfg.machine.clone(), cfg.execution());
+
+    // Decide the local sorter the way HySortK does: look at the (projected) payload and
+    // the node memory. The decision is deterministic and identical on every rank.
+    let projected_kmers = (reads.total_kmers(cfg.k) as f64 / cfg.data_scale) as u64;
+    let bytes_per_record = record_bytes::<K>(cfg);
+    let projected_input_per_node = (reads.total_bases() as f64 / 4.0 / cfg.data_scale) as u64
+        / cfg.nodes.max(1) as u64;
+    let raduls_ok = model.memory().raduls_fits(
+        projected_kmers / cfg.nodes.max(1) as u64,
+        bytes_per_record,
+        projected_input_per_node,
+    );
+    let sorter = if raduls_ok { SortAlgorithm::Raduls } else { SortAlgorithm::Paradis };
+
+    let cluster = Cluster::new(p);
+    let run = cluster.run(|ctx| rank_pipeline::<K>(ctx, reads, &ranges, cfg, num_tasks, sorter));
+
+    merge_outputs(run.results, run.comm, cfg, &model, sorter, reads)
+}
+
+/// Wire size of one k-mer record in the receive buffer (used for the memory projection
+/// and the sort-cost byte width).
+fn record_bytes<K: KmerCode>(cfg: &HySortKConfig) -> usize {
+    K::WORDS * 8 + if cfg.with_extension { Extension::WIRE_BYTES } else { 0 }
+}
+
+fn rank_pipeline<K: KmerCode>(
+    ctx: &mut RankCtx,
+    reads: &ReadSet,
+    ranges: &[std::ops::Range<usize>],
+    cfg: &HySortKConfig,
+    num_tasks: usize,
+    sorter: SortAlgorithm,
+) -> RankOutput<K> {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    let k = cfg.k;
+    let mut counters = RankCounters::default();
+    let scorer = MmerScorer::new(cfg.m, ScoreFunction::Hash { seed: cfg.seed });
+
+    // ---------------- stage 1: parse ------------------------------------------------
+    let my_reads: Vec<&Read> = reads.reads()[ranges[rank].clone()].iter().collect();
+    let mut local: Vec<LocalTask<K>> = (0..num_tasks)
+        .map(|_| {
+            if cfg.use_supermers {
+                LocalTask::Supermers(Vec::new())
+            } else {
+                LocalTask::Records(Vec::new(), Vec::new())
+            }
+        })
+        .collect();
+
+    for read in &my_reads {
+        counters.bases_parsed += read.len() as u64;
+        counters.kmers_parsed += read.seq.num_kmers(k) as u64;
+        if cfg.use_supermers {
+            for sm in build_supermers(read, k, &scorer, num_tasks as u32) {
+                counters.supermers_built += 1;
+                match &mut local[sm.target as usize] {
+                    LocalTask::Supermers(v) => v.push(sm),
+                    LocalTask::Records(..) => unreachable!("mode is fixed per run"),
+                }
+            }
+        } else {
+            for (pos, km) in read.seq.kmers::<K>(k).enumerate() {
+                let canon = km.canonical(k);
+                let task = (hash_kmer(&canon, cfg.seed) % num_tasks as u64) as usize;
+                match &mut local[task] {
+                    LocalTask::Records(kmers, exts) => {
+                        kmers.push(canon);
+                        exts.push(Extension::new(read.id, pos as u32));
+                    }
+                    LocalTask::Supermers(_) => unreachable!("mode is fixed per run"),
+                }
+            }
+        }
+    }
+
+    // ---------------- task sizing, assignment, heavy hitters -------------------------
+    let local_sizes: Vec<u64> = local.iter().map(|t| t.kmer_count(k)).collect();
+    let global_sizes = allreduce_sizes(ctx, &local_sizes);
+
+    let assignment = if cfg.use_task_layer {
+        assign_greedy(&global_sizes, p)
+    } else {
+        identity_assignment(&global_sizes, p)
+    };
+    counters.assignment_imbalance = assignment.imbalance();
+
+    let heavy: Vec<usize> = if cfg.use_supermers {
+        detect_heavy_tasks(&global_sizes, &cfg.heavy_hitter)
+    } else {
+        Vec::new()
+    };
+    counters.heavy_tasks = heavy.len();
+    let is_heavy = |t: usize| heavy.binary_search(&t).is_ok();
+
+    // ---------------- stage 2: serialise and exchange --------------------------------
+    let mut send: Vec<Vec<u8>> = vec![Vec::new(); p];
+    let levels = K::num_bytes(k);
+    for (t, content) in local.into_iter().enumerate() {
+        let dest = assignment.rank_of[t];
+        match content {
+            LocalTask::Supermers(sms) => {
+                if sms.is_empty() {
+                    continue;
+                }
+                if is_heavy(t) {
+                    // Heavy-hitter path: pre-count locally and ship a kmerlist (§3.5).
+                    let mut kmers: Vec<K> = sms
+                        .iter()
+                        .flat_map(|s| {
+                            s.canonical_kmers_with_pos::<K>(k).into_iter().map(|(km, _)| km)
+                        })
+                        .collect();
+                    counters.heavy_local_sorted += kmers.len() as u64;
+                    paradis_sort_by(&mut kmers, levels, |km, l| km.byte_msb(k, l));
+                    let list = count_sorted_runs(&kmers, |km| *km);
+                    write_block(&mut send[dest], t as u32, &TaskPayload::<K>::KmerList(list));
+                } else {
+                    write_block(&mut send[dest], t as u32, &TaskPayload::<K>::Supermers(sms));
+                }
+            }
+            LocalTask::Records(kmers, exts) => {
+                if kmers.is_empty() {
+                    continue;
+                }
+                if cfg.with_extension {
+                    if cfg.compress_extension {
+                        write_block(&mut send[dest], t as u32, &TaskPayload::Records(kmers, Some(exts)));
+                    } else {
+                        write_records_uncompressed(&mut send[dest], t as u32, &kmers, &exts);
+                    }
+                } else {
+                    write_block(&mut send[dest], t as u32, &TaskPayload::Records(kmers, None));
+                }
+            }
+        }
+    }
+
+    let batch_bytes = cfg.batch_size * K::num_bytes(k);
+    let exchange = ctx.alltoall_rounds(send, batch_bytes.max(1), "exchange");
+    counters.exchange_rounds = exchange.rounds;
+
+    // ---------------- stage 3: sort & count ------------------------------------------
+    // Gather the blocks addressed to this rank, grouped by task.
+    let mut task_records: BTreeMap<u32, Vec<(K, Extension)>> = BTreeMap::new();
+    let mut task_precounted: BTreeMap<u32, Vec<(K, u64)>> = BTreeMap::new();
+    for bytes in &exchange.received {
+        let blocks: Vec<TaskBlock<K>> =
+            read_blocks(bytes).expect("exchange produced a malformed stream");
+        for block in blocks {
+            match block.payload {
+                TaskPayload::Supermers(sms) => {
+                    let entry = task_records.entry(block.task).or_default();
+                    for s in sms {
+                        for (km, pos) in s.canonical_kmers_with_pos::<K>(k) {
+                            entry.push((km, Extension::new(s.read_id, pos)));
+                        }
+                    }
+                }
+                TaskPayload::KmerList(list) => {
+                    task_precounted.entry(block.task).or_default().extend(list);
+                }
+                TaskPayload::Records(kmers, exts) => {
+                    let entry = task_records.entry(block.task).or_default();
+                    match exts {
+                        Some(exts) => entry.extend(kmers.into_iter().zip(exts)),
+                        None => entry
+                            .extend(kmers.into_iter().map(|km| (km, Extension::default()))),
+                    }
+                }
+            }
+        }
+    }
+
+    // Build the per-task work items for the worker pool.
+    let mut task_ids: Vec<u32> = task_records
+        .keys()
+        .copied()
+        .chain(task_precounted.keys().copied())
+        .collect();
+    task_ids.sort_unstable();
+    task_ids.dedup();
+
+    let mut work: Vec<(Vec<(K, Extension)>, Vec<(K, u64)>)> = Vec::with_capacity(task_ids.len());
+    let mut task_sizes: Vec<u64> = Vec::with_capacity(task_ids.len());
+    for t in &task_ids {
+        let records = task_records.remove(t).unwrap_or_default();
+        let pre = task_precounted.remove(t).unwrap_or_default();
+        counters.received_elements += records.len() as u64;
+        counters.precounted_elements += pre.len() as u64;
+        task_sizes.push(records.len() as u64 + pre.len() as u64);
+        work.push((records, pre));
+    }
+
+    let workers = cfg.workers_per_process();
+    counters.worker_makespan = schedule_lpt(&task_sizes, workers).makespan();
+
+    let pool = WorkerPool::new(workers, cfg.threads_per_worker);
+    let min = cfg.min_count;
+    let max = cfg.max_count;
+    let with_ext = cfg.with_extension;
+    let task_outputs = pool.execute(work, |(records, pre)| {
+        count_one_task::<K>(records, pre, k, levels, sorter, min, max, with_ext)
+    });
+
+    // ---------------- merge the task outputs of this rank ----------------------------
+    let mut counts: Vec<(K, u64)> = Vec::new();
+    let mut extensions: Option<Vec<Vec<Extension>>> = if with_ext { Some(Vec::new()) } else { None };
+    let mut histogram = KmerHistogram::new(max as usize + 2);
+    for out in task_outputs {
+        counts.extend(out.counts);
+        if let (Some(all), Some(mine)) = (extensions.as_mut(), out.extensions) {
+            all.extend(mine);
+        }
+        histogram.merge(&out.histogram);
+    }
+    // Tasks hold disjoint k-mer ranges only in the sense of "same k-mer, same task", so
+    // the concatenation has no duplicates; sort it for a deterministic, searchable output.
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| counts[a].0.cmp(&counts[b].0));
+    let counts: Vec<(K, u64)> = order.iter().map(|&i| counts[i]).collect();
+    let extensions = extensions.map(|ext| order.iter().map(|&i| ext[i].clone()).collect());
+
+    RankOutput { counts, extensions, histogram, counters }
+}
+
+/// Output of counting one task.
+struct TaskOutput<K: KmerCode> {
+    counts: Vec<(K, u64)>,
+    extensions: Option<Vec<Vec<Extension>>>,
+    histogram: KmerHistogram,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn count_one_task<K: KmerCode>(
+    mut records: Vec<(K, Extension)>,
+    mut pre: Vec<(K, u64)>,
+    k: usize,
+    levels: usize,
+    sorter: SortAlgorithm,
+    min: u64,
+    max: u64,
+    with_ext: bool,
+) -> TaskOutput<K> {
+    // Sort the received records by k-mer with the selected radix sort. The default
+    // Extension value makes the record Copy + Default as required by the sorters.
+    match sorter {
+        SortAlgorithm::Raduls => {
+            raduls_sort_by(&mut records, levels, |(km, _), l| km.byte_msb(k, l))
+        }
+        _ => paradis_sort_by(&mut records, levels, |(km, _), l| km.byte_msb(k, l)),
+    }
+    let mut counted: Vec<(K, u64, Vec<Extension>)> = Vec::new();
+    hysortk_sort::for_each_sorted_run(&records, |(km, _)| *km, |range| {
+        let km = records[range.start].0;
+        let exts: Vec<Extension> = if with_ext {
+            records[range.clone()].iter().map(|(_, e)| *e).collect()
+        } else {
+            Vec::new()
+        };
+        counted.push((km, range.len() as u64, exts));
+    });
+
+    // Merge the pre-counted kmerlist contributions (heavy-hitter tasks).
+    if !pre.is_empty() {
+        pre.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut merged_pre: Vec<(K, u64)> = Vec::with_capacity(pre.len());
+        for (km, c) in pre {
+            match merged_pre.last_mut() {
+                Some((last, lc)) if *last == km => *lc += c,
+                _ => merged_pre.push((km, c)),
+            }
+        }
+        // Two-way sorted merge into `counted`.
+        let mut result: Vec<(K, u64, Vec<Extension>)> =
+            Vec::with_capacity(counted.len() + merged_pre.len());
+        let mut i = 0;
+        let mut j = 0;
+        while i < counted.len() || j < merged_pre.len() {
+            if j >= merged_pre.len() {
+                result.push(std::mem::replace(&mut counted[i], (K::zero(), 0, Vec::new())));
+                i += 1;
+            } else if i >= counted.len() {
+                result.push((merged_pre[j].0, merged_pre[j].1, Vec::new()));
+                j += 1;
+            } else {
+                match counted[i].0.cmp(&merged_pre[j].0) {
+                    std::cmp::Ordering::Less => {
+                        result.push(std::mem::replace(&mut counted[i], (K::zero(), 0, Vec::new())));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        result.push((merged_pre[j].0, merged_pre[j].1, Vec::new()));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let (km, c, exts) =
+                            std::mem::replace(&mut counted[i], (K::zero(), 0, Vec::new()));
+                        result.push((km, c + merged_pre[j].1, exts));
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        counted = result;
+    }
+
+    let mut histogram = KmerHistogram::new(max as usize + 2);
+    let mut counts = Vec::new();
+    let mut extensions = if with_ext { Some(Vec::new()) } else { None };
+    for (km, c, exts) in counted {
+        histogram.record(c);
+        if c >= min && c <= max {
+            counts.push((km, c));
+            if let Some(all) = extensions.as_mut() {
+                let mut exts = exts;
+                exts.sort();
+                all.push(exts);
+            }
+        }
+    }
+    TaskOutput { counts, extensions, histogram }
+}
+
+/// Element-wise sum of per-task sizes across ranks (the "root retrieves data about the
+/// size of each task" step, realised as an all-reduce so every rank can compute the
+/// same assignment deterministically).
+fn allreduce_sizes(ctx: &mut RankCtx, local: &[u64]) -> Vec<u64> {
+    let send: Vec<Vec<u64>> = (0..ctx.size()).map(|_| local.to_vec()).collect();
+    let received = ctx.alltoallv(send, "task-sizes");
+    let mut total = vec![0u64; local.len()];
+    for row in received {
+        for (t, v) in row.into_iter().enumerate() {
+            total[t] += v;
+        }
+    }
+    total
+}
+
+/// The trivial assignment used when the task layer is disabled: task `t` → rank `t`.
+fn identity_assignment(sizes: &[u64], ranks: usize) -> Assignment {
+    assert_eq!(sizes.len(), ranks, "without the task layer there is one task per rank");
+    Assignment {
+        rank_of: (0..ranks).collect(),
+        tasks_of: (0..ranks).map(|r| vec![r]).collect(),
+        load_of: sizes.to_vec(),
+    }
+}
+
+/// Combine the per-rank outputs into the public result and build the report.
+fn merge_outputs<K: KmerCode>(
+    outputs: Vec<RankOutput<K>>,
+    comm: Vec<CommStats>,
+    cfg: &HySortKConfig,
+    model: &PerfModel,
+    sorter: SortAlgorithm,
+    reads: &ReadSet,
+) -> CountResult<K> {
+    let scale = 1.0 / cfg.data_scale;
+
+    // ---- merge counts (ranks hold disjoint canonical k-mers) ------------------------
+    let mut counts: Vec<(K, u64)> = Vec::new();
+    let mut extensions: Option<Vec<Vec<Extension>>> =
+        if cfg.with_extension { Some(Vec::new()) } else { None };
+    let mut histogram = KmerHistogram::new(cfg.max_count as usize + 2);
+    let mut counters: Vec<RankCounters> = Vec::with_capacity(outputs.len());
+    for out in outputs {
+        counts.extend(out.counts);
+        if let (Some(all), Some(mine)) = (extensions.as_mut(), out.extensions) {
+            all.extend(mine);
+        }
+        histogram.merge(&out.histogram);
+        counters.push(out.counters);
+    }
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| counts[a].0.cmp(&counts[b].0));
+    let counts: Vec<(K, u64)> = order.iter().map(|&i| counts[i]).collect();
+    let extensions = extensions.map(|ext| order.iter().map(|&i| ext[i].clone()).collect::<Vec<_>>());
+
+    // ---- projected work counters -----------------------------------------------------
+    let max_bases = counters.iter().map(|c| c.bases_parsed).max().unwrap_or(0) as f64 * scale;
+    let max_heavy_local =
+        counters.iter().map(|c| c.heavy_local_sorted).max().unwrap_or(0) as f64 * scale;
+    let max_makespan =
+        counters.iter().map(|c| c.worker_makespan).max().unwrap_or(0) as f64 * scale;
+    let max_received = counters
+        .iter()
+        .map(|c| c.received_elements + c.precounted_elements)
+        .max()
+        .unwrap_or(0) as f64
+        * scale;
+    let total_kmers: u64 =
+        (counters.iter().map(|c| c.kmers_parsed).sum::<u64>() as f64 * scale) as u64;
+    let heavy_tasks = counters.first().map(|c| c.heavy_tasks).unwrap_or(0);
+    let assignment_imbalance =
+        counters.first().map(|c| c.assignment_imbalance).unwrap_or(1.0);
+
+    // ---- exchange traffic --------------------------------------------------------------
+    // Project payloads to full scale first, then recompute rounds and padding from the
+    // projected figures (padding measured on scaled-down data is an artefact of the
+    // fixed batch size and must not be scaled up).
+    let p = cfg.total_ranks();
+    let batch_bytes = (cfg.batch_size * K::num_bytes(cfg.k)) as u64;
+    let exchange_payload = |s: &CommStats| s.stage("exchange").map(|st| st.payload_bytes).unwrap_or(0);
+    let max_rank_payload =
+        (comm.iter().map(|s| exchange_payload(s)).max().unwrap_or(0) as f64 * scale) as u64;
+    let total_payload =
+        (comm.iter().map(|s| exchange_payload(s)).sum::<u64>() as f64 * scale) as u64;
+    let max_pair_payload = comm
+        .iter()
+        .enumerate()
+        .map(|(r, s)| {
+            s.sent_to
+                .iter()
+                .enumerate()
+                .filter(|(d, _)| *d != r)
+                .map(|(_, &b)| b)
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0);
+    let max_pair_projected = (max_pair_payload as f64 * scale) as u64;
+    let (max_rank_wire, rounds_projected) = hysortk_perfmodel::project_padded_exchange(
+        max_rank_payload,
+        max_pair_projected,
+        batch_bytes,
+        p.saturating_sub(1).max(1),
+    );
+    let total_wire = total_payload + (max_rank_wire - max_rank_payload) * p as u64;
+    let off_node = comm
+        .iter()
+        .enumerate()
+        .map(|(r, s)| s.off_node_fraction(r, cfg.processes_per_node))
+        .fold(0.0f64, f64::max);
+
+    // ---- modeled stage times -----------------------------------------------------------
+    let compute = model.compute();
+    let network = model.network();
+    let bytes_per_record = record_bytes::<K>(cfg);
+
+    let mut stages = StageTimes::new();
+    stages.add("parse", compute.parse_time(max_bases as u64));
+    if max_heavy_local > 0.0 {
+        stages.add(
+            "local-count",
+            compute.sort_time_makespan(
+                (max_heavy_local as u64).div_ceil(cfg.workers_per_process() as u64),
+                K::WORDS * 8,
+                sorter,
+            ),
+        );
+    }
+    // Encode/decode work that the non-blocking exchange can hide (§3.3.1): moving the
+    // wire bytes once more through memory on each side.
+    let codec_rate = model.machine.mem_bandwidth_per_node / cfg.processes_per_node as f64 / 4.0;
+    let overlappable = max_rank_wire as f64 / codec_rate;
+    let profile = ExchangeProfile {
+        max_rank_wire_bytes: max_rank_wire,
+        off_node_fraction: off_node,
+        rounds: rounds_projected,
+        overlappable_compute: overlappable,
+        overlap_enabled: cfg.overlap,
+    };
+    stages.add("exchange", network.exchange_time(&profile));
+    stages.add("task-collectives", network.small_collective_time((cfg.num_tasks() * 8) as u64));
+    stages.add(
+        "sort",
+        compute.sort_time_makespan(max_makespan as u64, bytes_per_record, sorter),
+    );
+    stages.add("scan", compute.scan_time(max_received as u64));
+
+    // ---- memory ------------------------------------------------------------------------
+    let elements_per_node = (max_received as u64) * cfg.processes_per_node as u64;
+    let aux_fraction = 1.0 / cfg.tasks_per_worker.max(1) as f64;
+    let input_per_node =
+        (reads.total_bases() as f64 / 4.0 * scale) as u64 / cfg.nodes.max(1) as u64;
+    let peak = model.memory().sort_counter_peak(
+        elements_per_node,
+        bytes_per_record,
+        sorter == SortAlgorithm::Raduls,
+        aux_fraction,
+    ) + input_per_node;
+
+    let retained = counts.len() as u64;
+    let report = RunReport {
+        stage_times: stages,
+        comm: CommStats::aggregate(&comm),
+        peak_memory_per_node: peak,
+        sorter,
+        total_kmers,
+        distinct_kmers: histogram.distinct(),
+        retained_kmers: retained,
+        heavy_tasks,
+        max_rank_wire_bytes: max_rank_wire as u64,
+        total_wire_bytes: total_wire as u64,
+        exchange_rounds: rounds_projected,
+        assignment_imbalance,
+    };
+
+    CountResult { counts, histogram, extensions, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{reference_counts_bounded, reference_extensions};
+    use hysortk_dna::kmer::{Kmer1, Kmer2};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_reads(n: usize, len: usize, seed: u64) -> ReadSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seqs: Vec<Vec<u8>> = (0..n)
+            .map(|_| (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect())
+            .collect();
+        ReadSet::from_ascii_reads(&seqs)
+    }
+
+    /// Reads with duplicated regions so that multiplicities above 1 actually occur.
+    fn overlapping_reads(seed: u64) -> ReadSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genome: Vec<u8> = (0..3_000).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+        let reads: Vec<Vec<u8>> = (0..120)
+            .map(|_| {
+                let start = rng.gen_range(0..genome.len() - 300);
+                genome[start..start + 300].to_vec()
+            })
+            .collect();
+        ReadSet::from_ascii_reads(&reads)
+    }
+
+    fn small_cfg(k: usize, m: usize, ranks: usize) -> HySortKConfig {
+        let mut cfg = HySortKConfig::small(k, m, ranks);
+        cfg.min_count = 1;
+        cfg.max_count = 1_000_000;
+        cfg
+    }
+
+    #[test]
+    fn matches_reference_on_random_reads() {
+        let reads = random_reads(60, 200, 1);
+        let cfg = small_cfg(21, 9, 4);
+        let result = count_kmers::<Kmer1>(&reads, &cfg);
+        let expected = reference_counts_bounded::<Kmer1>(&reads, 21, 1, 1_000_000);
+        assert_eq!(result.counts, expected);
+    }
+
+    #[test]
+    fn matches_reference_with_repeats_and_bounds() {
+        let reads = overlapping_reads(2);
+        let mut cfg = small_cfg(17, 8, 4);
+        cfg.min_count = 2;
+        cfg.max_count = 50;
+        let result = count_kmers::<Kmer1>(&reads, &cfg);
+        let expected = reference_counts_bounded::<Kmer1>(&reads, 17, 2, 50);
+        assert_eq!(result.counts, expected);
+        assert!(result.report.total_kmers > 0);
+    }
+
+    #[test]
+    fn two_word_kmers_work_for_large_k() {
+        let reads = overlapping_reads(3);
+        let cfg = small_cfg(41, 17, 3);
+        let result = count_kmers::<Kmer2>(&reads, &cfg);
+        let expected = reference_counts_bounded::<Kmer2>(&reads, 41, 1, 1_000_000);
+        assert_eq!(result.counts, expected);
+    }
+
+    #[test]
+    fn extension_mode_returns_correct_provenance() {
+        let reads = overlapping_reads(4);
+        let mut cfg = small_cfg(19, 9, 4);
+        cfg.with_extension = true;
+        cfg.min_count = 2;
+        cfg.max_count = 60;
+        let result = count_kmers::<Kmer1>(&reads, &cfg);
+        let expected = reference_extensions::<Kmer1>(&reads, 19, 2, 60);
+        assert_eq!(result.counts.len(), expected.len());
+        let exts = result.extensions.as_ref().unwrap();
+        for (i, (km, expected_exts)) in expected.iter().enumerate() {
+            assert_eq!(&result.counts[i].0, km);
+            assert_eq!(&exts[i], expected_exts, "extensions of kmer {i}");
+        }
+    }
+
+    #[test]
+    fn all_ablation_paths_agree_with_each_other() {
+        let reads = overlapping_reads(5);
+        let k = 21;
+        let base = small_cfg(k, 9, 4);
+        let expected = reference_counts_bounded::<Kmer1>(&reads, k, 1, 1_000_000);
+
+        for (name, cfg) in [
+            ("no-task-layer", {
+                let mut c = base.clone();
+                c.use_task_layer = false;
+                c
+            }),
+            ("no-supermers", {
+                let mut c = base.clone();
+                c.use_supermers = false;
+                c
+            }),
+            ("no-heavy-hitters", {
+                let mut c = base.clone();
+                c.heavy_hitter = hysortk_task::HeavyHitterPolicy::disabled();
+                c
+            }),
+            ("no-overlap-no-compress", {
+                let mut c = base.clone();
+                c.overlap = false;
+                c.compress_extension = false;
+                c
+            }),
+            ("single-rank", {
+                let mut c = base.clone();
+                c.processes_per_node = 1;
+                c
+            }),
+        ] {
+            let result = count_kmers::<Kmer1>(&reads, &cfg);
+            assert_eq!(result.counts, expected, "ablation {name}");
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_path_triggers_on_satellite_repeats_and_stays_correct() {
+        // Centromere-like (AATGG)n repeats: a huge number of identical k-mers that all
+        // land in one task.
+        let mut seqs: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..40 {
+            seqs.push(b"AATGG".repeat(60));
+        }
+        // Plus some background reads.
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..40 {
+            seqs.push((0..300).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect());
+        }
+        let reads = ReadSet::from_ascii_reads(&seqs);
+        let mut cfg = small_cfg(15, 7, 4);
+        cfg.heavy_hitter = hysortk_task::HeavyHitterPolicy { factor: 2.0, enabled: true };
+        let result = count_kmers::<Kmer1>(&reads, &cfg);
+        assert!(result.report.heavy_tasks > 0, "expected at least one heavy task");
+        let expected = reference_counts_bounded::<Kmer1>(&reads, 15, 1, 1_000_000);
+        assert_eq!(result.counts, expected);
+    }
+
+    #[test]
+    fn histogram_and_report_are_consistent() {
+        let reads = overlapping_reads(7);
+        let cfg = small_cfg(21, 9, 2);
+        let result = count_kmers::<Kmer1>(&reads, &cfg);
+        assert_eq!(result.report.distinct_kmers, result.histogram.distinct());
+        assert_eq!(result.report.retained_kmers, result.counts.len() as u64);
+        assert!(result.report.total_time() > 0.0);
+        assert!(result.report.total_wire_bytes > 0);
+        assert!(result.report.peak_memory_per_node > 0);
+    }
+
+    #[test]
+    fn data_scale_projects_counters_but_not_counts() {
+        let reads = overlapping_reads(8);
+        let mut cfg = small_cfg(21, 9, 2);
+        let unscaled = count_kmers::<Kmer1>(&reads, &cfg);
+        cfg.data_scale = 0.01;
+        let scaled = count_kmers::<Kmer1>(&reads, &cfg);
+        assert_eq!(unscaled.counts, scaled.counts);
+        assert!(scaled.report.total_kmers > unscaled.report.total_kmers * 50);
+        assert!(scaled.report.total_time() > unscaled.report.total_time());
+    }
+
+    #[test]
+    fn empty_and_too_short_inputs_yield_empty_results() {
+        let reads = ReadSet::from_ascii_reads(&[b"ACGT".as_slice()]);
+        let cfg = small_cfg(21, 9, 2);
+        let result = count_kmers::<Kmer1>(&reads, &cfg);
+        assert!(result.is_empty());
+        assert_eq!(result.report.distinct_kmers, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the chosen k-mer width")]
+    fn oversized_k_for_width_panics() {
+        let reads = random_reads(2, 100, 9);
+        let cfg = small_cfg(40, 15, 2);
+        count_kmers::<Kmer1>(&reads, &cfg);
+    }
+}

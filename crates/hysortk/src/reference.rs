@@ -1,0 +1,94 @@
+//! Naive reference counter used to validate every other counter in the workspace.
+//!
+//! A single-threaded `BTreeMap` count of canonical k-mers. Slow, obviously correct, and
+//! the ground truth the tests compare HySortK and all baselines against.
+
+use std::collections::BTreeMap;
+
+use hysortk_dna::extension::Extension;
+use hysortk_dna::kmer::KmerCode;
+use hysortk_dna::readset::ReadSet;
+
+/// Count canonical k-mers with a plain map; returns `(kmer, count)` sorted by k-mer.
+pub fn reference_counts<K: KmerCode>(reads: &ReadSet, k: usize) -> Vec<(K, u64)> {
+    let mut map: BTreeMap<K, u64> = BTreeMap::new();
+    for read in reads.iter() {
+        for km in read.seq.canonical_kmers::<K>(k) {
+            *map.entry(km).or_insert(0) += 1;
+        }
+    }
+    map.into_iter().collect()
+}
+
+/// Reference counts restricted to a `[min, max]` multiplicity band.
+pub fn reference_counts_bounded<K: KmerCode>(
+    reads: &ReadSet,
+    k: usize,
+    min: u64,
+    max: u64,
+) -> Vec<(K, u64)> {
+    reference_counts(reads, k)
+        .into_iter()
+        .filter(|(_, c)| *c >= min && *c <= max)
+        .collect()
+}
+
+/// Reference extension lists: for every canonical k-mer in the `[min, max]` band, the
+/// sorted list of `(read_id, pos_in_read)` occurrences.
+pub fn reference_extensions<K: KmerCode>(
+    reads: &ReadSet,
+    k: usize,
+    min: u64,
+    max: u64,
+) -> Vec<(K, Vec<Extension>)> {
+    let mut map: BTreeMap<K, Vec<Extension>> = BTreeMap::new();
+    for read in reads.iter() {
+        for (pos, km) in read.seq.canonical_kmers::<K>(k).enumerate() {
+            map.entry(km).or_default().push(Extension::new(read.id, pos as u32));
+        }
+    }
+    map.into_iter()
+        .filter(|(_, v)| (v.len() as u64) >= min && (v.len() as u64) <= max)
+        .map(|(k, mut v)| {
+            v.sort();
+            (k, v)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hysortk_dna::kmer::Kmer1;
+
+    #[test]
+    fn counts_tiny_example_by_hand() {
+        // "ACGTACGT": 3-mers ACG CGT GTA TAC ACG CGT; canonical(ACG)=ACG, canonical(CGT)=ACG!
+        // (CGT rc = ACG). canonical(GTA)=GTA? rc(GTA)=TAC -> min(GTA,TAC)=GTA. canonical(TAC)=GTA.
+        let reads = ReadSet::from_ascii_reads(&[b"ACGTACGT".as_slice()]);
+        let counts = reference_counts::<Kmer1>(&reads, 3);
+        let as_strings: Vec<(String, u64)> =
+            counts.iter().map(|(k, c)| (k.to_string_k(3), *c)).collect();
+        assert_eq!(as_strings, vec![("ACG".to_string(), 4), ("GTA".to_string(), 2)]);
+    }
+
+    #[test]
+    fn bounded_counts_filter_singletons() {
+        let reads = ReadSet::from_ascii_reads(&[b"ACGTACGTTTTTTTTTT".as_slice()]);
+        let all = reference_counts::<Kmer1>(&reads, 5);
+        let bounded = reference_counts_bounded::<Kmer1>(&reads, 5, 2, 1000);
+        assert!(bounded.len() < all.len());
+        assert!(bounded.iter().all(|(_, c)| *c >= 2));
+    }
+
+    #[test]
+    fn extensions_record_read_and_position() {
+        let reads = ReadSet::from_ascii_reads(&[b"AAAAAA".as_slice(), b"AAAA".as_slice()]);
+        let exts = reference_extensions::<Kmer1>(&reads, 4, 1, 100);
+        assert_eq!(exts.len(), 1); // only AAAA
+        let (_, occurrences) = &exts[0];
+        assert_eq!(occurrences.len(), 3 + 1);
+        assert_eq!(occurrences[0], Extension::new(0, 0));
+        assert_eq!(occurrences[3], Extension::new(1, 0));
+    }
+}

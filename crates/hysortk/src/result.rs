@@ -1,0 +1,157 @@
+//! Results and run reports.
+
+use hysortk_dna::extension::Extension;
+use hysortk_dna::kmer::KmerCode;
+use hysortk_dmem::CommStats;
+use hysortk_perfmodel::{SortAlgorithm, StageTimes};
+
+/// The histogram of k-mer multiplicities: `histogram[c]` is the number of distinct
+/// canonical k-mers observed exactly `c` times (index 0 unused). Counts above the cap
+/// are accumulated in the last bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KmerHistogram {
+    buckets: Vec<u64>,
+}
+
+impl KmerHistogram {
+    /// Create a histogram with `cap` buckets (counts ≥ cap land in the last bucket).
+    /// The bucket count is clamped to 65 536 so that extreme `max_count` settings do not
+    /// allocate absurd histograms.
+    pub fn new(cap: usize) -> Self {
+        KmerHistogram { buckets: vec![0; cap.clamp(2, 65_536)] }
+    }
+
+    /// Record one distinct k-mer with multiplicity `count`.
+    pub fn record(&mut self, count: u64) {
+        let idx = (count as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of distinct k-mers with multiplicity exactly `count` (or ≥ cap for the
+    /// last bucket).
+    pub fn get(&self, count: usize) -> u64 {
+        self.buckets.get(count).copied().unwrap_or(0)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &KmerHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &v) in other.buckets.iter().enumerate() {
+            self.buckets[i] += v;
+        }
+    }
+
+    /// Total distinct k-mers recorded.
+    pub fn distinct(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The raw buckets.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Everything measured and modeled about one counting run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-stage modeled seconds (parse / exchange / sort / scan …).
+    pub stage_times: StageTimes,
+    /// Aggregated communication statistics from the simulated cluster.
+    pub comm: CommStats,
+    /// Modeled peak memory per node, bytes.
+    pub peak_memory_per_node: u64,
+    /// Which local sorter the memory-aware selection picked.
+    pub sorter: SortAlgorithm,
+    /// Total k-mer instances processed (projected to full scale).
+    pub total_kmers: u64,
+    /// Distinct canonical k-mers observed.
+    pub distinct_kmers: u64,
+    /// Distinct k-mers within the `[min_count, max_count]` band.
+    pub retained_kmers: u64,
+    /// Number of tasks flagged as heavy hitters.
+    pub heavy_tasks: usize,
+    /// Wire bytes of the exchange stage sent by the most loaded rank (projected).
+    pub max_rank_wire_bytes: u64,
+    /// Total wire bytes of the exchange stage across all ranks (projected).
+    pub total_wire_bytes: u64,
+    /// Number of communication rounds of the main exchange.
+    pub exchange_rounds: usize,
+    /// Imbalance (max/mean) of the task → rank assignment.
+    pub assignment_imbalance: f64,
+}
+
+impl RunReport {
+    /// Total modeled runtime in seconds.
+    pub fn total_time(&self) -> f64 {
+        self.stage_times.total()
+    }
+}
+
+/// The output of a counting run.
+#[derive(Debug, Clone)]
+pub struct CountResult<K: KmerCode> {
+    /// `(canonical k-mer, count)` pairs within `[min_count, max_count]`, sorted by
+    /// k-mer. Globally merged across ranks (each canonical k-mer appears exactly once).
+    pub counts: Vec<(K, u64)>,
+    /// Histogram over *all* distinct k-mers (not only the retained band).
+    pub histogram: KmerHistogram,
+    /// Extension (provenance) lists for the retained k-mers, parallel to `counts`, when
+    /// the run was configured with `with_extension`.
+    pub extensions: Option<Vec<Vec<Extension>>>,
+    /// Measured and modeled run report.
+    pub report: RunReport,
+}
+
+impl<K: KmerCode> CountResult<K> {
+    /// Look up the count of a canonical k-mer (None if it was filtered out or absent).
+    pub fn count_of(&self, kmer: &K) -> Option<u64> {
+        self.counts
+            .binary_search_by(|(k, _)| k.cmp(kmer))
+            .ok()
+            .map(|i| self.counts[i].1)
+    }
+
+    /// Number of retained distinct k-mers.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_caps() {
+        let mut h = KmerHistogram::new(10);
+        h.record(1);
+        h.record(1);
+        h.record(5);
+        h.record(500); // lands in the cap bucket
+        assert_eq!(h.get(1), 2);
+        assert_eq!(h.get(5), 1);
+        assert_eq!(h.get(9), 1);
+        assert_eq!(h.distinct(), 4);
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets() {
+        let mut a = KmerHistogram::new(5);
+        a.record(1);
+        let mut b = KmerHistogram::new(8);
+        b.record(1);
+        b.record(6);
+        a.merge(&b);
+        assert_eq!(a.get(1), 2);
+        assert_eq!(a.get(6), 1);
+        assert_eq!(a.distinct(), 3);
+    }
+}

@@ -1,0 +1,238 @@
+//! Bloom filters (plain and counting).
+//!
+//! The two-pass hash-table pipeline (paper §2.2) exchanges bare k-mers in its first
+//! pass and inserts them into a Bloom filter on the destination rank; only k-mers seen
+//! at least twice survive into the hash table, which filters out most sequencing-error
+//! singletons at the cost of an extra exchange round. The counting variant is the
+//! alternative used by SWAPCounter-style tools. HySortK needs neither — the sorting
+//! approach makes singleton removal a by-product of the linear scan — but the baselines
+//! here reproduce the classic design, including its memory footprint.
+
+use crate::murmur3::murmur3_x64_128;
+
+/// Derive the `i`-th of `k` hash values from a 128-bit base hash (Kirsch–Mitzenmacher
+/// double hashing).
+#[inline]
+fn nth_hash(h1: u64, h2: u64, i: u64) -> u64 {
+    h1.wrapping_add(i.wrapping_mul(h2)).wrapping_add(i.wrapping_mul(i))
+}
+
+/// A standard Bloom filter over byte-slice items.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: u32,
+    items_inserted: usize,
+}
+
+impl BloomFilter {
+    /// Build a filter sized for `expected_items` at the requested false-positive rate.
+    pub fn with_rate(expected_items: usize, fp_rate: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = fp_rate.clamp(1e-9, 0.5);
+        let ln2 = std::f64::consts::LN_2;
+        let num_bits = ((-n * p.ln()) / (ln2 * ln2)).ceil().max(64.0) as usize;
+        let num_hashes = ((num_bits as f64 / n) * ln2).round().clamp(1.0, 16.0) as u32;
+        Self::with_parameters(num_bits, num_hashes)
+    }
+
+    /// Build a filter with explicit bit count and hash count. The bit count is rounded
+    /// up to a multiple of 64 (one machine word).
+    pub fn with_parameters(num_bits: usize, num_hashes: u32) -> Self {
+        let num_bits = num_bits.max(64).div_ceil(64) * 64;
+        BloomFilter {
+            bits: vec![0u64; num_bits.div_ceil(64)],
+            num_bits,
+            num_hashes: num_hashes.max(1),
+            items_inserted: 0,
+        }
+    }
+
+    /// Size of the bit array in bytes (used for peak-memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Number of hash functions in use.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Number of `insert` calls so far.
+    pub fn items_inserted(&self) -> usize {
+        self.items_inserted
+    }
+
+    #[inline]
+    fn positions<'a>(&'a self, item: &[u8]) -> impl Iterator<Item = usize> + 'a {
+        let (h1, h2) = murmur3_x64_128(item, 0xb100f);
+        let n = self.num_bits as u64;
+        (0..u64::from(self.num_hashes)).map(move |i| (nth_hash(h1, h2, i) % n) as usize)
+    }
+
+    /// Insert an item, returning whether it was (probably) already present — i.e. all of
+    /// its bits were already set. The two-pass pipeline uses this return value to decide
+    /// which k-mers are non-singletons.
+    pub fn insert(&mut self, item: &[u8]) -> bool {
+        let positions: Vec<usize> = self.positions(item).collect();
+        let mut already = true;
+        for pos in positions {
+            let (w, b) = (pos / 64, pos % 64);
+            if self.bits[w] & (1u64 << b) == 0 {
+                already = false;
+                self.bits[w] |= 1u64 << b;
+            }
+        }
+        self.items_inserted += 1;
+        already
+    }
+
+    /// Membership query (false positives possible, false negatives impossible).
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.positions(item).all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Convenience wrappers over a packed 64-bit item (e.g. a one-word k-mer).
+    pub fn insert_u64(&mut self, item: u64) -> bool {
+        self.insert(&item.to_le_bytes())
+    }
+
+    /// Membership query for a packed 64-bit item.
+    pub fn contains_u64(&self, item: u64) -> bool {
+        self.contains(&item.to_le_bytes())
+    }
+
+    /// Fraction of bits currently set (diagnostic; ~0.5 at design load).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        f64::from(set) / self.num_bits as f64
+    }
+}
+
+/// A counting Bloom filter with 8-bit saturating counters.
+///
+/// Supports deletion and approximate multiplicity queries; costs 8× the memory of the
+/// plain filter — which is exactly the trade-off the paper mentions when discussing why
+/// counting filters "may limit functionality or accuracy" for some applications.
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    counters: Vec<u8>,
+    num_hashes: u32,
+}
+
+impl CountingBloomFilter {
+    /// Build a counting filter sized like [`BloomFilter::with_rate`].
+    pub fn with_rate(expected_items: usize, fp_rate: f64) -> Self {
+        let plain = BloomFilter::with_rate(expected_items, fp_rate);
+        CountingBloomFilter { counters: vec![0u8; plain.num_bits], num_hashes: plain.num_hashes }
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.counters.len()
+    }
+
+    #[inline]
+    fn positions<'a>(&'a self, item: &[u8]) -> impl Iterator<Item = usize> + 'a {
+        let (h1, h2) = murmur3_x64_128(item, 0xb100f);
+        let n = self.counters.len() as u64;
+        (0..u64::from(self.num_hashes)).map(move |i| (nth_hash(h1, h2, i) % n) as usize)
+    }
+
+    /// Increment the counters for an item and return the estimated count *after*
+    /// insertion (minimum over its counters).
+    pub fn insert(&mut self, item: &[u8]) -> u8 {
+        let positions: Vec<usize> = self.positions(item).collect();
+        for &pos in &positions {
+            self.counters[pos] = self.counters[pos].saturating_add(1);
+        }
+        positions.iter().map(|&p| self.counters[p]).min().unwrap_or(0)
+    }
+
+    /// Estimated multiplicity of an item (upper bound; saturates at 255).
+    pub fn estimate(&self, item: &[u8]) -> u8 {
+        self.positions(item).map(|p| self.counters[p]).min().unwrap_or(0)
+    }
+
+    /// Remove one occurrence of an item (no-op on zero counters).
+    pub fn remove(&mut self, item: &[u8]) {
+        let positions: Vec<usize> = self.positions(item).collect();
+        for pos in positions {
+            self.counters[pos] = self.counters[pos].saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::with_rate(10_000, 0.01);
+        for i in 0..10_000u64 {
+            bf.insert(&i.to_le_bytes());
+        }
+        for i in 0..10_000u64 {
+            assert!(bf.contains(&i.to_le_bytes()), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_design_point() {
+        let n = 20_000;
+        let mut bf = BloomFilter::with_rate(n, 0.01);
+        for i in 0..n as u64 {
+            bf.insert(&i.to_le_bytes());
+        }
+        let mut fp = 0usize;
+        let probes = 20_000u64;
+        for i in 0..probes {
+            if bf.contains(&(i + 1_000_000).to_le_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.03, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn insert_reports_probable_duplicates() {
+        let mut bf = BloomFilter::with_rate(1_000, 0.01);
+        assert!(!bf.insert(b"ACGTACGTACGT"));
+        assert!(bf.insert(b"ACGTACGTACGT"));
+    }
+
+    #[test]
+    fn fill_ratio_grows_with_insertions() {
+        let mut bf = BloomFilter::with_rate(1_000, 0.01);
+        let before = bf.fill_ratio();
+        for i in 0..1_000u64 {
+            bf.insert_u64(i);
+        }
+        assert!(bf.fill_ratio() > before);
+        assert!(bf.fill_ratio() < 0.75);
+    }
+
+    #[test]
+    fn counting_filter_tracks_multiplicity() {
+        let mut cbf = CountingBloomFilter::with_rate(1_000, 0.01);
+        for _ in 0..5 {
+            cbf.insert(b"kmer-a");
+        }
+        cbf.insert(b"kmer-b");
+        assert!(cbf.estimate(b"kmer-a") >= 5);
+        assert!(cbf.estimate(b"kmer-b") >= 1);
+        assert_eq!(cbf.estimate(b"never-seen"), 0);
+        cbf.remove(b"kmer-b");
+        assert_eq!(cbf.estimate(b"kmer-b"), 0);
+    }
+
+    #[test]
+    fn counting_filter_memory_is_8x_plain() {
+        let plain = BloomFilter::with_rate(50_000, 0.01);
+        let counting = CountingBloomFilter::with_rate(50_000, 0.01);
+        assert_eq!(counting.memory_bytes(), plain.memory_bytes() * 8);
+    }
+}

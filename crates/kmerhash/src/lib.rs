@@ -1,0 +1,84 @@
+//! Hashing substrate: MurmurHash3, HyperLogLog and Bloom filters.
+//!
+//! The paper's pipelines rely on three hashing components:
+//!
+//! * **MurmurHash3** ([`murmur3`]) — used both as the m-mer *score function* that
+//!   selects minimizers and as the k-mer → destination mapping (HySortK §3.2), and by
+//!   the hash-table baselines as their table hash.
+//! * **HyperLogLog** ([`hyperloglog`]) — the cardinality sketch the conventional
+//!   two-pass counters build (and merge across ranks) to size their Bloom filters
+//!   (§2.2). HySortK itself does not need it; the baseline does.
+//! * **Bloom filters** ([`bloom`]) — plain and counting variants used by the two-pass
+//!   hash-table baseline to drop singleton k-mers before building the hash table.
+
+pub mod bloom;
+pub mod hyperloglog;
+pub mod murmur3;
+
+pub use bloom::{BloomFilter, CountingBloomFilter};
+pub use hyperloglog::HyperLogLog;
+pub use murmur3::{fmix64, murmur3_x64_128, murmur3_x86_32, MurmurHasher};
+
+use hysortk_dna::KmerCode;
+
+/// Hash a packed k-mer with MurmurHash3 (x64_128, low word), the hash HySortK uses for
+/// destination assignment and the baselines use for table placement.
+#[inline]
+pub fn hash_kmer<K: KmerCode>(kmer: &K, seed: u32) -> u64 {
+    let words = kmer.word_slice();
+    let mut bytes = [0u8; 16];
+    match words.len() {
+        1 => {
+            bytes[..8].copy_from_slice(&words[0].to_le_bytes());
+            murmur3_x64_128(&bytes[..8], seed).0
+        }
+        _ => {
+            bytes[..8].copy_from_slice(&words[0].to_le_bytes());
+            bytes[8..16].copy_from_slice(&words[1].to_le_bytes());
+            murmur3_x64_128(&bytes[..16], seed).0
+        }
+    }
+}
+
+/// Hash a packed m-mer (m ≤ 32, stored in a single `u64`) with MurmurHash3. This is the
+/// minimizer *score function* of HySortK §3.2.
+#[inline]
+pub fn hash_mmer(packed: u64, seed: u32) -> u64 {
+    murmur3_x64_128(&packed.to_le_bytes(), seed).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hysortk_dna::Kmer1;
+
+    #[test]
+    fn kmer_hash_is_deterministic_and_spreads() {
+        let a = Kmer1::from_ascii(b"ACGTACGTACGTACG");
+        let b = Kmer1::from_ascii(b"ACGTACGTACGTACC");
+        assert_eq!(hash_kmer(&a, 7), hash_kmer(&a, 7));
+        assert_ne!(hash_kmer(&a, 7), hash_kmer(&b, 7));
+        assert_ne!(hash_kmer(&a, 7), hash_kmer(&a, 8));
+    }
+
+    #[test]
+    fn two_word_kmer_hash_uses_both_words() {
+        use hysortk_dna::Kmer2;
+        let mut s1: Vec<u8> = (0..55).map(|i| b"ACGT"[i % 4]).collect();
+        let s2 = s1.clone();
+        s1[54] = b'T'; // differs only in the least significant word
+        let a = Kmer2::from_ascii(&s1);
+        let b = Kmer2::from_ascii(&s2);
+        assert_ne!(hash_kmer(&a, 0), hash_kmer(&b, 0));
+    }
+
+    #[test]
+    fn mmer_hash_differs_from_identity() {
+        // The whole point of a hash score function is to decorrelate the score from the
+        // lexicographic value (paper §3.2): adjacent m-mers should not get adjacent
+        // scores.
+        let h0 = hash_mmer(0, 0);
+        let h1 = hash_mmer(1, 0);
+        assert_ne!(h1.wrapping_sub(h0), 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! In-place MSD parallel radix sort (PARADIS-like).
+//!
+//! PARADIS (Cho et al., VLDB 2015) sorts in place by partitioning the array into the
+//! 256 destination buckets of the current digit with a *speculative* parallel
+//! permutation — each thread owns one stripe of every bucket and permutes only within
+//! its own stripes — followed by a *repair* pass that fixes the elements the speculation
+//! could not place, and finally recurses into the buckets in parallel.
+//!
+//! This implementation follows that structure (stripe-parallel speculation, serial
+//! repair, parallel recursion) without PARADIS's adaptive stripe rebalancing; the
+//! speculative phase is written entirely with safe disjoint sub-slices obtained by
+//! repeated `split_at_mut`.
+
+use rayon::prelude::*;
+
+const RADIX: usize = 256;
+/// Below this length a comparison sort on the remaining digits is faster than another
+/// radix pass.
+const SMALL_SORT_THRESHOLD: usize = 128;
+/// Work below this size is not worth another layer of rayon tasks.
+const PARALLEL_THRESHOLD: usize = 8 * 1024;
+
+/// Sort `data` in place by the radix digits supplied by `digit`.
+///
+/// * `levels` — number of radix digits; `digit(item, 0)` is the most significant.
+/// * The sort is not stable (neither is PARADIS); k-mer counting only needs grouping.
+pub fn paradis_sort_by<T, F>(data: &mut [T], levels: usize, digit: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, usize) -> u8 + Sync,
+{
+    if levels == 0 || data.len() <= 1 {
+        return;
+    }
+    sort_level(data, 0, levels, &digit);
+}
+
+fn sort_level<T, F>(data: &mut [T], level: usize, levels: usize, digit: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, usize) -> u8 + Sync,
+{
+    if data.len() <= 1 || level >= levels {
+        return;
+    }
+    if data.len() <= SMALL_SORT_THRESHOLD {
+        comparison_sort_remaining(data, level, levels, digit);
+        return;
+    }
+
+    // ---- Histogram of the current digit --------------------------------------------
+    let histogram = parallel_histogram(data, level, digit);
+
+    // If every element falls into one bucket this level is a no-op; recurse directly.
+    if histogram.iter().any(|&c| c == data.len()) {
+        sort_level(data, level + 1, levels, digit);
+        return;
+    }
+
+    // ---- Bucket boundaries ----------------------------------------------------------
+    let mut bucket_start = [0usize; RADIX + 1];
+    for b in 0..RADIX {
+        bucket_start[b + 1] = bucket_start[b] + histogram[b];
+    }
+
+    // ---- Speculative parallel permutation + repair -----------------------------------
+    permute_in_place(data, &bucket_start, level, digit);
+
+    // ---- Parallel recursion into buckets ---------------------------------------------
+    if level + 1 < levels {
+        let mut buckets: Vec<&mut [T]> = Vec::with_capacity(RADIX);
+        let mut rest = data;
+        let mut prev = 0usize;
+        for b in 0..RADIX {
+            let len = bucket_start[b + 1] - prev;
+            prev = bucket_start[b + 1];
+            let (head, tail) = rest.split_at_mut(len);
+            buckets.push(head);
+            rest = tail;
+        }
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        if total >= PARALLEL_THRESHOLD {
+            buckets
+                .into_par_iter()
+                .for_each(|bucket| sort_level(bucket, level + 1, levels, digit));
+        } else {
+            for bucket in buckets {
+                sort_level(bucket, level + 1, levels, digit);
+            }
+        }
+    }
+}
+
+fn comparison_sort_remaining<T, F>(data: &mut [T], level: usize, levels: usize, digit: &F)
+where
+    T: Copy,
+    F: Fn(&T, usize) -> u8,
+{
+    data.sort_unstable_by(|a, b| {
+        for l in level..levels {
+            match digit(a, l).cmp(&digit(b, l)) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+fn parallel_histogram<T, F>(data: &[T], level: usize, digit: &F) -> Vec<usize>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, usize) -> u8 + Sync,
+{
+    if data.len() < PARALLEL_THRESHOLD {
+        let mut hist = vec![0usize; RADIX];
+        for item in data {
+            hist[digit(item, level) as usize] += 1;
+        }
+        return hist;
+    }
+    data.par_chunks(64 * 1024)
+        .map(|chunk| {
+            let mut hist = vec![0usize; RADIX];
+            for item in chunk {
+                hist[digit(item, level) as usize] += 1;
+            }
+            hist
+        })
+        .reduce(
+            || vec![0usize; RADIX],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Partition `data` so that bucket `b` occupies `bucket_start[b]..bucket_start[b+1]`.
+///
+/// Phase 1 splits every bucket region into one stripe per rayon thread and lets each
+/// thread permute within the stripes it owns (safe: the stripes are disjoint sub-slices).
+/// Phase 2 serially repairs whatever the speculation could not place — the repair
+/// workload is the sum of stripe imbalances, normally a small fraction of `n`.
+fn permute_in_place<T, F>(data: &mut [T], bucket_start: &[usize; RADIX + 1], level: usize, digit: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, usize) -> u8 + Sync,
+{
+    let n = data.len();
+    let threads = if n >= PARALLEL_THRESHOLD {
+        rayon::current_num_threads().max(1)
+    } else {
+        1
+    };
+
+    if threads > 1 {
+        // --- carve the slice into (thread, bucket) stripes --------------------------
+        // stripe t of bucket b covers an equal share of the bucket's region.
+        #[derive(Clone, Copy)]
+        struct StripeMeta {
+            start: usize,
+            len: usize,
+            bucket: usize,
+            thread: usize,
+        }
+        let mut metas: Vec<StripeMeta> = Vec::with_capacity(threads * RADIX);
+        for b in 0..RADIX {
+            let start = bucket_start[b];
+            let len = bucket_start[b + 1] - start;
+            let per = len / threads;
+            let mut off = start;
+            for t in 0..threads {
+                let this = if t + 1 == threads { bucket_start[b + 1] - off } else { per };
+                metas.push(StripeMeta { start: off, len: this, bucket: b, thread: t });
+                off += this;
+            }
+        }
+        metas.sort_by_key(|m| m.start);
+
+        // Successive split_at_mut over the ordered, disjoint, covering stripes.
+        let mut stripe_slices: Vec<(StripeMeta, &mut [T])> = Vec::with_capacity(metas.len());
+        {
+            let mut rest: &mut [T] = data;
+            let mut consumed = 0usize;
+            for m in &metas {
+                debug_assert_eq!(m.start, consumed);
+                let (head, tail) = rest.split_at_mut(m.len);
+                stripe_slices.push((*m, head));
+                rest = tail;
+                consumed += m.len;
+            }
+            debug_assert_eq!(consumed, n);
+        }
+
+        // Group stripes per thread, indexed by bucket.
+        let mut per_thread: Vec<Vec<Option<&mut [T]>>> = (0..threads)
+            .map(|_| (0..RADIX).map(|_| None).collect())
+            .collect();
+        for (m, slice) in stripe_slices {
+            per_thread[m.thread][m.bucket] = Some(slice);
+        }
+
+        // --- speculative phase -------------------------------------------------------
+        per_thread.into_par_iter().for_each(|mut stripes| {
+            let mut heads = [0usize; RADIX];
+            for b in 0..RADIX {
+                let mut i = heads[b];
+                loop {
+                    let len_b = stripes[b].as_ref().map_or(0, |s| s.len());
+                    if i >= len_b {
+                        break;
+                    }
+                    let e = stripes[b].as_ref().unwrap()[i];
+                    let d = digit(&e, level) as usize;
+                    if d == b {
+                        i += 1;
+                        continue;
+                    }
+                    // Advance the destination head past elements already in place.
+                    let len_d = stripes[d].as_ref().map_or(0, |s| s.len());
+                    while heads[d] < len_d {
+                        let v = stripes[d].as_ref().unwrap()[heads[d]];
+                        if digit(&v, level) as usize == d {
+                            heads[d] += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if heads[d] < len_d {
+                        // Swap the misplaced element into its destination stripe.
+                        let incoming = stripes[d].as_ref().unwrap()[heads[d]];
+                        stripes[d].as_mut().unwrap()[heads[d]] = e;
+                        stripes[b].as_mut().unwrap()[i] = incoming;
+                        heads[d] += 1;
+                        // Re-examine position i with the incoming element.
+                    } else {
+                        // Destination stripe is full: leave for the repair phase.
+                        i += 1;
+                    }
+                }
+                heads[b] = heads[b].max(i);
+            }
+        });
+    }
+
+    // --- repair phase (also the whole permutation when running single stripe) --------
+    // Collect, per bucket, the positions still holding a foreign element, then fix them
+    // with cycle-following swaps. Each swap finalises at least one position.
+    let mut misplaced: Vec<Vec<usize>> = vec![Vec::new(); RADIX];
+    for b in 0..RADIX {
+        for pos in bucket_start[b]..bucket_start[b + 1] {
+            if digit(&data[pos], level) as usize != b {
+                misplaced[b].push(pos);
+            }
+        }
+    }
+    let mut cursor = [0usize; RADIX];
+    for b in 0..RADIX {
+        for idx in 0..misplaced[b].len() {
+            let pos = misplaced[b][idx];
+            loop {
+                let d = digit(&data[pos], level) as usize;
+                if d == b {
+                    break;
+                }
+                // Find the next slot in bucket d that still holds a foreign element.
+                let dest = misplaced[d][cursor[d]];
+                cursor[d] += 1;
+                data.swap(pos, dest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_sorts_u64(v: &mut Vec<u64>) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        paradis_sort_by(v, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+        assert_eq!(*v, expected);
+    }
+
+    #[test]
+    fn sorts_empty_and_singleton() {
+        let mut v: Vec<u64> = vec![];
+        check_sorts_u64(&mut v);
+        let mut v = vec![42u64];
+        check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn sorts_small_random() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u64> = (0..100).map(|_| rng.gen()).collect();
+        check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn sorts_large_random() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<u64> = (0..200_000).map(|_| rng.gen()).collect();
+        check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn sorts_skewed_distribution() {
+        // Heavy-hitter-like input: 90 % of the items share one value.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u64> = (0..100_000)
+            .map(|_| if rng.gen_bool(0.9) { 0xDEADBEEF } else { rng.gen() })
+            .collect();
+        check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reversed() {
+        let mut v: Vec<u64> = (0..50_000).collect();
+        check_sorts_u64(&mut v);
+        let mut v: Vec<u64> = (0..50_000).rev().collect();
+        check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn sorts_with_few_distinct_leading_bytes() {
+        // All values share the top 5 bytes, exercising the trivial-level skip.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u64> = (0..30_000).map(|_| rng.gen::<u64>() & 0xFF_FFFF).collect();
+        check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn sorts_pairs_by_key_only() {
+        // Items carry a payload; sorting must group by key while ignoring the payload.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<(u32, u32)> = (0..50_000).map(|i| (rng.gen::<u32>() % 1000, i)).collect();
+        paradis_sort_by(&mut v, 4, |x, l| (x.0 >> (8 * (3 - l))) as u8);
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // All payloads must survive (it is a permutation).
+        let mut payloads: Vec<u32> = v.iter().map(|x| x.1).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, (0..50_000).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,265 @@
+//! Out-of-place LSD parallel radix sort (RADULS-like).
+//!
+//! RADULS (Kokot et al., BDAS 2017) trades memory for speed: it keeps an auxiliary
+//! buffer the size of the input and performs stable least-significant-digit passes with
+//! per-chunk histograms so that every thread scatters into its own pre-computed,
+//! disjoint destination ranges. This implementation follows that structure:
+//!
+//! 1. one parallel pass computes the digit histograms of **all** levels at once,
+//! 2. levels whose histogram is concentrated in a single bucket are skipped entirely
+//!    (for k-mers the leading bytes beyond `2k` bits are always zero),
+//! 3. each remaining level performs a stable parallel scatter between the ping-pong
+//!    buffers, with the (chunk × bucket) destination ranges carved into disjoint
+//!    sub-slices so the scatter needs no synchronisation and no `unsafe`.
+
+use rayon::prelude::*;
+
+const RADIX: usize = 256;
+const PARALLEL_THRESHOLD: usize = 8 * 1024;
+const CHUNK: usize = 64 * 1024;
+
+/// Sort `data` by the radix digits supplied by `digit`, using an auxiliary buffer of the
+/// same length. `digit(item, 0)` is the most significant digit; the sort is stable.
+pub fn raduls_sort_by<T, F>(data: &mut [T], levels: usize, digit: F)
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T, usize) -> u8 + Sync,
+{
+    let n = data.len();
+    if n <= 1 || levels == 0 {
+        return;
+    }
+
+    // ---- Pass 0: histograms of every level in one sweep ------------------------------
+    let histograms = all_level_histograms(data, levels, &digit);
+
+    // Levels where all items share one digit value contribute nothing to the order.
+    let active_levels: Vec<usize> = (0..levels)
+        .filter(|&l| !histograms[l].iter().any(|&c| c == n))
+        .collect();
+    if active_levels.is_empty() {
+        return;
+    }
+
+    let mut aux: Vec<T> = vec![T::default(); n];
+    let mut src_is_data = true;
+
+    // LSD: least significant active level first.
+    for &level in active_levels.iter().rev() {
+        {
+            let (src, dst): (&[T], &mut [T]) = if src_is_data {
+                (&*data, &mut aux[..])
+            } else {
+                (&aux[..], &mut *data)
+            };
+            scatter_level(src, dst, level, &digit);
+        }
+        src_is_data = !src_is_data;
+    }
+
+    // Make sure the result ends up in `data`.
+    if !src_is_data {
+        data.copy_from_slice(&aux);
+    }
+}
+
+fn all_level_histograms<T, F>(data: &[T], levels: usize, digit: &F) -> Vec<Vec<usize>>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, usize) -> u8 + Sync,
+{
+    let fold = |mut hists: Vec<Vec<usize>>, chunk: &[T]| {
+        for item in chunk {
+            for (l, hist) in hists.iter_mut().enumerate() {
+                hist[digit(item, l) as usize] += 1;
+            }
+        }
+        hists
+    };
+    let identity = || vec![vec![0usize; RADIX]; levels];
+    if data.len() < PARALLEL_THRESHOLD {
+        return fold(identity(), data);
+    }
+    data.par_chunks(CHUNK)
+        .fold(identity, |acc, chunk| fold(acc, chunk))
+        .reduce(identity, |mut a, b| {
+            for (ha, hb) in a.iter_mut().zip(b) {
+                for (x, y) in ha.iter_mut().zip(hb) {
+                    *x += y;
+                }
+            }
+            a
+        })
+}
+
+/// One stable counting-sort pass from `src` to `dst` on `level`.
+fn scatter_level<T, F>(src: &[T], dst: &mut [T], level: usize, digit: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, usize) -> u8 + Sync,
+{
+    let n = src.len();
+    if n < PARALLEL_THRESHOLD {
+        // Serial stable counting sort.
+        let mut hist = [0usize; RADIX];
+        for item in src {
+            hist[digit(item, level) as usize] += 1;
+        }
+        let mut offsets = [0usize; RADIX];
+        let mut acc = 0;
+        for b in 0..RADIX {
+            offsets[b] = acc;
+            acc += hist[b];
+        }
+        for item in src {
+            let b = digit(item, level) as usize;
+            dst[offsets[b]] = *item;
+            offsets[b] += 1;
+        }
+        return;
+    }
+
+    // ---- per-chunk histograms --------------------------------------------------------
+    let chunks: Vec<&[T]> = src.chunks(CHUNK).collect();
+    let chunk_hists: Vec<[usize; RADIX]> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut hist = [0usize; RADIX];
+            for item in *chunk {
+                hist[digit(item, level) as usize] += 1;
+            }
+            hist
+        })
+        .collect();
+
+    // ---- destination offset for every (bucket, chunk) pair ---------------------------
+    // Stable order: bucket-major, then chunk index, then original order inside the chunk.
+    let num_chunks = chunks.len();
+    let mut offsets = vec![0usize; num_chunks * RADIX]; // [chunk][bucket]
+    let mut acc = 0usize;
+    for b in 0..RADIX {
+        for (c, hist) in chunk_hists.iter().enumerate() {
+            offsets[c * RADIX + b] = acc;
+            acc += hist[b];
+        }
+    }
+    debug_assert_eq!(acc, n);
+
+    // ---- carve dst into disjoint (chunk, bucket) destination sub-slices --------------
+    struct Dest {
+        chunk: usize,
+        bucket: usize,
+        start: usize,
+        len: usize,
+    }
+    let mut dests: Vec<Dest> = Vec::with_capacity(num_chunks * RADIX);
+    for c in 0..num_chunks {
+        for b in 0..RADIX {
+            let len = chunk_hists[c][b];
+            if len > 0 {
+                dests.push(Dest { chunk: c, bucket: b, start: offsets[c * RADIX + b], len });
+            }
+        }
+    }
+    dests.sort_by_key(|d| d.start);
+
+    let mut per_chunk_slices: Vec<Vec<(usize, &mut [T])>> = (0..num_chunks).map(|_| Vec::new()).collect();
+    {
+        let mut rest: &mut [T] = dst;
+        let mut consumed = 0usize;
+        for d in &dests {
+            debug_assert_eq!(d.start, consumed);
+            let (head, tail) = rest.split_at_mut(d.len);
+            per_chunk_slices[d.chunk].push((d.bucket, head));
+            rest = tail;
+            consumed += d.len;
+        }
+        debug_assert_eq!(consumed, n);
+    }
+
+    // ---- parallel scatter: each chunk writes only into its own sub-slices ------------
+    chunks
+        .into_par_iter()
+        .zip(per_chunk_slices.into_par_iter())
+        .for_each(|(chunk, mut slices)| {
+            // Index the chunk's destination slices by bucket.
+            let mut by_bucket: [Option<(usize, &mut [T])>; RADIX] = std::array::from_fn(|_| None);
+            for (bucket, slice) in slices.drain(..) {
+                by_bucket[bucket] = Some((0, slice));
+            }
+            for item in chunk {
+                let b = digit(item, level) as usize;
+                let entry = by_bucket[b].as_mut().expect("histogram covers every digit");
+                entry.1[entry.0] = *item;
+                entry.0 += 1;
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_sorts_u64(v: &mut Vec<u64>) {
+        let mut expected = v.clone();
+        expected.sort();
+        raduls_sort_by(v, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+        assert_eq!(*v, expected);
+    }
+
+    #[test]
+    fn sorts_empty_singleton_and_duplicates() {
+        let mut v: Vec<u64> = vec![];
+        check_sorts_u64(&mut v);
+        let mut v = vec![7u64];
+        check_sorts_u64(&mut v);
+        let mut v = vec![3u64; 1000];
+        check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn sorts_large_random() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u64> = (0..300_000).map(|_| rng.gen()).collect();
+        check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn sorts_low_entropy_keys() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut v: Vec<u64> = (0..100_000).map(|_| rng.gen_range(0..=255u64)).collect();
+        check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn odd_number_of_active_levels_lands_back_in_data() {
+        // Keys confined to 3 bytes -> 3 active levels (odd), forcing the final copy-back.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<u64> = (0..60_000).map(|_| rng.gen::<u64>() & 0xFF_FFFF).collect();
+        check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn stability_within_equal_keys() {
+        // Stable: payload order inside equal keys must be preserved.
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut v: Vec<(u16, u32)> = (0..50_000u32).map(|i| (rng.gen_range(0..32u16), i)).collect();
+        raduls_sort_by(&mut v, 2, |x, l| (x.0 >> (8 * (1 - l))) as u8);
+        for w in v.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn agrees_with_paradis_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let original: Vec<u64> = (0..80_000).map(|_| rng.gen()).collect();
+        let mut a = original.clone();
+        let mut b = original;
+        raduls_sort_by(&mut a, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+        crate::paradis_sort_by(&mut b, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,86 @@
+//! Linear counting scan over sorted data.
+//!
+//! After sorting, equal k-mers occupy adjacent positions; a single linear scan yields
+//! the multiplicity of every distinct k-mer (paper §3.1). These helpers are shared by
+//! HySortK's counting stage and the KMC3-style baseline.
+
+/// Call `f(key_index_range)` for every maximal run of equal keys in `data` (equality
+/// judged by the `key` projection). Runs are visited in order.
+pub fn for_each_sorted_run<T, K, F, G>(data: &[T], key: G, mut f: F)
+where
+    K: PartialEq,
+    G: Fn(&T) -> K,
+    F: FnMut(std::ops::Range<usize>),
+{
+    let n = data.len();
+    let mut start = 0usize;
+    while start < n {
+        let k = key(&data[start]);
+        let mut end = start + 1;
+        while end < n && key(&data[end]) == k {
+            end += 1;
+        }
+        f(start..end);
+        start = end;
+    }
+}
+
+/// Count the multiplicity of every distinct key in sorted `data`, returning
+/// `(key, count)` pairs in sorted key order.
+pub fn count_sorted_runs<T, K, G>(data: &[T], key: G) -> Vec<(K, u64)>
+where
+    K: PartialEq + Copy,
+    G: Fn(&T) -> K,
+{
+    let mut out = Vec::new();
+    for_each_sorted_run(data, &key, |range| {
+        out.push((key(&data[range.start]), range.len() as u64));
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_has_no_runs() {
+        let data: Vec<u32> = vec![];
+        assert!(count_sorted_runs(&data, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn counts_simple_runs() {
+        let data = vec![1u32, 1, 2, 3, 3, 3, 9];
+        assert_eq!(
+            count_sorted_runs(&data, |x| *x),
+            vec![(1, 2), (2, 1), (3, 3), (9, 1)]
+        );
+    }
+
+    #[test]
+    fn single_run_covers_everything() {
+        let data = vec![5u8; 100];
+        assert_eq!(count_sorted_runs(&data, |x| *x), vec![(5, 100)]);
+    }
+
+    #[test]
+    fn run_ranges_partition_the_slice() {
+        let data = vec![0u32, 0, 1, 2, 2, 2, 4, 4, 7];
+        let mut covered = 0;
+        let mut last_end = 0;
+        for_each_sorted_run(&data, |x| *x, |r| {
+            assert_eq!(r.start, last_end);
+            last_end = r.end;
+            covered += r.len();
+        });
+        assert_eq!(covered, data.len());
+    }
+
+    #[test]
+    fn works_with_projected_keys() {
+        let data = vec![(1u32, 'a'), (1, 'b'), (2, 'c')];
+        let runs = count_sorted_runs(&data, |x| x.0);
+        assert_eq!(runs, vec![(1, 2), (2, 1)]);
+    }
+}

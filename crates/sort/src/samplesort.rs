@@ -1,0 +1,128 @@
+//! Comparison-based parallel sample sort.
+//!
+//! The paper notes that the newest kmerind offers a *sample-sort* based counting mode
+//! and that it is slower than both its hash-table mode and HySortK's radix approach
+//! (§3.1). This module implements that strategy so the comparison point can be
+//! reproduced: sample splitters, partition into per-splitter buckets, sort buckets in
+//! parallel with a comparison sort, and concatenate.
+
+use rayon::prelude::*;
+
+/// Oversampling factor: splitter candidates per output bucket.
+const OVERSAMPLE: usize = 16;
+const PARALLEL_THRESHOLD: usize = 4 * 1024;
+
+/// Sort `data` in place by the key extracted by `key`, using sample sort with
+/// `buckets` partitions (typically the number of worker threads).
+pub fn sample_sort_by_key<T, K, F>(data: &mut [T], buckets: usize, key: F)
+where
+    T: Copy + Send + Sync,
+    K: Ord + Copy + Send + Sync,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = data.len();
+    if n <= PARALLEL_THRESHOLD || buckets <= 1 {
+        data.sort_unstable_by_key(|x| key(x));
+        return;
+    }
+
+    // ---- splitter selection -----------------------------------------------------------
+    // Deterministic systematic sample (every n / (buckets * OVERSAMPLE)-th element);
+    // deterministic sampling keeps the sort reproducible across runs.
+    let sample_size = (buckets * OVERSAMPLE).min(n);
+    let stride = (n / sample_size).max(1);
+    let mut sample: Vec<K> = (0..sample_size).map(|i| key(&data[(i * stride).min(n - 1)])).collect();
+    sample.sort_unstable();
+    let splitters: Vec<K> = (1..buckets).map(|b| sample[b * sample.len() / buckets]).collect();
+
+    // ---- classification ----------------------------------------------------------------
+    // Each input chunk classifies its items into `buckets` local vectors, which are then
+    // concatenated bucket-major — this is the all-to-all of a distributed sample sort,
+    // done in shared memory.
+    let classified: Vec<Vec<Vec<T>>> = data
+        .par_chunks(64 * 1024)
+        .map(|chunk| {
+            let mut local: Vec<Vec<T>> = vec![Vec::new(); buckets];
+            for item in chunk {
+                let b = splitters.partition_point(|s| *s <= key(item));
+                local[b].push(*item);
+            }
+            local
+        })
+        .collect();
+
+    // ---- gather buckets and sort them in parallel --------------------------------------
+    let mut bucket_data: Vec<Vec<T>> = vec![Vec::new(); buckets];
+    for local in classified {
+        for (b, mut items) in local.into_iter().enumerate() {
+            bucket_data[b].append(&mut items);
+        }
+    }
+    bucket_data.par_iter_mut().for_each(|bucket| bucket.sort_unstable_by_key(|x| key(x)));
+
+    // ---- concatenate back into the input slice -----------------------------------------
+    let mut offset = 0;
+    for bucket in bucket_data {
+        data[offset..offset + bucket.len()].copy_from_slice(&bucket);
+        offset += bucket.len();
+    }
+    debug_assert_eq!(offset, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_random_u64() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut v: Vec<u64> = (0..100_000).map(|_| rng.gen()).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        sample_sort_by_key(&mut v, 8, |x| *x);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn sorts_small_inputs_via_fallback() {
+        let mut v: Vec<u32> = vec![5, 3, 9, 1];
+        sample_sort_by_key(&mut v, 4, |x| *x);
+        assert_eq!(v, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn sorts_highly_skewed_input() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut v: Vec<u64> = (0..50_000)
+            .map(|_| if rng.gen_bool(0.8) { 42 } else { rng.gen() })
+            .collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        sample_sort_by_key(&mut v, 8, |x| *x);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn sorts_by_extracted_key() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut v: Vec<(u64, u64)> = (0..30_000).map(|i| (rng.gen(), i)).collect();
+        sample_sort_by_key(&mut v, 6, |x| x.0);
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(v.len(), 30_000);
+    }
+
+    #[test]
+    fn agrees_with_radix_sorts() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let original: Vec<u64> = (0..60_000).map(|_| rng.gen()).collect();
+        let mut a = original.clone();
+        let mut b = original;
+        sample_sort_by_key(&mut a, 8, |x| *x);
+        crate::raduls_sort_by(&mut b, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,24 @@
+//! Minimizer and supermer machinery (paper §2.4 and §3.2) plus the extension-info
+//! compression codec (§3.3.2).
+//!
+//! * [`mmer`] — rolling extraction and canonical packing of m-mers, and the
+//!   MurmurHash3-based score function HySortK uses (with a lexicographic score kept for
+//!   the load-balance comparison of §3.2).
+//! * [`minimizer`] — the improved sliding-window minimum with a monotone deque, which
+//!   finds the minimizer of every k-mer of a read in O(n) regardless of k, plus a naive
+//!   reference implementation used by the tests.
+//! * [`supermer`] — grouping of consecutive k-mers that share a destination into
+//!   supermers, the measurement of the communication saving, and the re-extraction of
+//!   k-mers on the receiving side.
+//! * [`codec`] — the domain-specific delta compression of `(read_id, pos_in_read)`
+//!   extension records.
+
+pub mod codec;
+pub mod minimizer;
+pub mod mmer;
+pub mod supermer;
+
+pub use codec::{decode_extensions, encode_extensions, EncodedExtensions};
+pub use minimizer::{minimizers_deque, minimizers_naive, MinimizerRun};
+pub use mmer::{canonical_mmers, MmerScorer, ScoreFunction};
+pub use supermer::{build_supermers, partition_stats, PartitionStats, Supermer};

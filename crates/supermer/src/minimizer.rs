@@ -1,0 +1,191 @@
+//! Sliding-window minimizer selection.
+//!
+//! For every k-mer of a read we need the m-mer with the lowest score among the
+//! `k - m + 1` m-mers it contains. DEDUKT recomputes the window for every k-mer
+//! (O(n·k) work) and the classic sliding-window approach must rescan when the current
+//! minimizer "expires". HySortK instead keeps a **monotone deque** of candidate m-mers
+//! (§3.2): each m-mer enters and leaves the deque at most once, so the whole read costs
+//! O(n) regardless of k. [`minimizers_deque`] implements that algorithm and
+//! [`minimizers_naive`] is the quadratic reference the property tests compare against.
+
+use crate::mmer::{MmerScorer, ScoredMmer};
+use hysortk_dna::sequence::DnaSeq;
+use std::collections::VecDeque;
+
+/// The minimizer chosen for one k-mer of a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinimizerRun {
+    /// Index of the k-mer within the read (k-mer covers bases `kmer_index..kmer_index+k`).
+    pub kmer_index: usize,
+    /// Index of the chosen m-mer within the read.
+    pub mmer_index: usize,
+    /// Canonical packed value of the chosen m-mer.
+    pub mmer_canonical: u64,
+    /// Score of the chosen m-mer (lower is better).
+    pub score: u64,
+}
+
+/// O(n) minimizer selection with a monotone deque.
+///
+/// Returns one entry per k-mer of `seq` (empty if the read is shorter than k). Ties are
+/// broken towards the **leftmost** lowest-scoring m-mer, matching the naive reference.
+pub fn minimizers_deque(seq: &DnaSeq, k: usize, scorer: &MmerScorer) -> Vec<MinimizerRun> {
+    let m = scorer.m();
+    assert!(m <= k, "m must not exceed k");
+    let n = seq.len();
+    if n < k {
+        return Vec::new();
+    }
+    let mmers = scorer.score_sequence(seq);
+    let window = k - m + 1; // m-mers per k-mer
+    let mut deque: VecDeque<ScoredMmer> = VecDeque::new();
+    let mut out = Vec::with_capacity(n - k + 1);
+
+    for (j, mm) in mmers.iter().enumerate() {
+        // Insert: drop candidates from the back that are no better than the newcomer.
+        // Using strict `>` keeps the earlier candidate on ties (leftmost tie-break).
+        while let Some(back) = deque.back() {
+            if back.score > mm.score {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(*mm);
+
+        if j + 1 >= window {
+            let kmer_index = j + 1 - window;
+            // Expire: the front may now lie before the window.
+            while let Some(front) = deque.front() {
+                if front.index < kmer_index {
+                    deque.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let best = deque.front().expect("window is non-empty");
+            out.push(MinimizerRun {
+                kmer_index,
+                mmer_index: best.index,
+                mmer_canonical: best.canonical,
+                score: best.score,
+            });
+        }
+    }
+    out
+}
+
+/// O(n·k) reference: rescan the full window for every k-mer.
+pub fn minimizers_naive(seq: &DnaSeq, k: usize, scorer: &MmerScorer) -> Vec<MinimizerRun> {
+    let m = scorer.m();
+    assert!(m <= k, "m must not exceed k");
+    let n = seq.len();
+    if n < k {
+        return Vec::new();
+    }
+    let mmers = scorer.score_sequence(seq);
+    let window = k - m + 1;
+    (0..=n - k)
+        .map(|kmer_index| {
+            let best = mmers[kmer_index..kmer_index + window]
+                .iter()
+                .min_by_key(|mm| (mm.score, mm.index))
+                .expect("window is non-empty");
+            MinimizerRun {
+                kmer_index,
+                mmer_index: best.index,
+                mmer_canonical: best.canonical,
+                score: best.score,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmer::ScoreFunction;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_seq(len: usize, seed: u64) -> DnaSeq {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bases: Vec<u8> = (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+        DnaSeq::from_ascii(&bases)
+    }
+
+    #[test]
+    fn deque_matches_naive_on_random_reads() {
+        for seed in 0..5u64 {
+            let seq = random_seq(300, seed);
+            for (k, m) in [(31, 13), (17, 7), (55, 23), (9, 3)] {
+                let scorer = MmerScorer::new(m, ScoreFunction::Hash { seed: 42 });
+                assert_eq!(
+                    minimizers_deque(&seq, k, &scorer),
+                    minimizers_naive(&seq, k, &scorer),
+                    "k={k} m={m} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_minimizer_per_kmer() {
+        let seq = random_seq(200, 9);
+        let scorer = MmerScorer::new(11, ScoreFunction::Hash { seed: 0 });
+        let runs = minimizers_deque(&seq, 31, &scorer);
+        assert_eq!(runs.len(), 200 - 31 + 1);
+        for r in &runs {
+            // The chosen m-mer must lie inside its k-mer.
+            assert!(r.mmer_index >= r.kmer_index);
+            assert!(r.mmer_index + 11 <= r.kmer_index + 31);
+        }
+    }
+
+    #[test]
+    fn consecutive_kmers_frequently_share_minimizers() {
+        // The whole point of minimizers: adjacent k-mers usually agree, producing long
+        // supermers. With k=31, m=13 the expected run length is on the order of k-m.
+        let seq = random_seq(5_000, 2);
+        let scorer = MmerScorer::new(13, ScoreFunction::Hash { seed: 7 });
+        let runs = minimizers_deque(&seq, 31, &scorer);
+        let changes = runs.windows(2).filter(|w| w[0].mmer_index != w[1].mmer_index).count();
+        let avg_run = runs.len() as f64 / (changes + 1) as f64;
+        assert!(avg_run > 4.0, "average minimizer run too short: {avg_run}");
+    }
+
+    #[test]
+    fn short_reads_and_equal_k_m_are_handled() {
+        let seq = random_seq(40, 3);
+        let scorer = MmerScorer::new(31, ScoreFunction::Hash { seed: 1 });
+        // m == k: every k-mer is its own minimizer.
+        let runs = minimizers_deque(&seq, 31, &scorer);
+        assert_eq!(runs.len(), 10);
+        for r in &runs {
+            assert_eq!(r.mmer_index, r.kmer_index);
+        }
+        // Read shorter than k: nothing.
+        let tiny = random_seq(10, 4);
+        assert!(minimizers_deque(&tiny, 31, &scorer).is_empty());
+    }
+
+    #[test]
+    fn minimizer_is_strand_invariant_for_the_same_kmer() {
+        // The canonical-m-mer scoring makes the minimizer value (not its position) equal
+        // for a k-mer and its reverse complement — the property destination assignment
+        // relies on.
+        let seq = random_seq(100, 11);
+        let rc = seq.reverse_complement();
+        let k = 21;
+        let scorer = MmerScorer::new(9, ScoreFunction::Hash { seed: 5 });
+        let fwd_runs = minimizers_deque(&seq, k, &scorer);
+        let rc_runs = minimizers_deque(&rc, k, &scorer);
+        let n = seq.len();
+        for (i, f) in fwd_runs.iter().enumerate() {
+            // k-mer i on the forward strand corresponds to k-mer n-k-i on the reverse.
+            let j = n - k - i;
+            assert_eq!(f.score, rc_runs[j].score, "kmer {i}");
+            assert_eq!(f.mmer_canonical, rc_runs[j].mmer_canonical, "kmer {i}");
+        }
+    }
+}

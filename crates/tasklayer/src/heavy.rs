@@ -1,0 +1,90 @@
+//! Heavy-hitter task detection (paper §3.5).
+//!
+//! Genomic repeats (e.g. the human centromeric `(AATGG)n` satellite) put an enormous
+//! number of identical k-mers into the same task no matter how good the score function
+//! is. HySortK does not try to identify individual heavy k-mers; it flags whole *tasks*
+//! whose size exceeds `mean × factor` and switches them to the `kmerlist`
+//! representation: the sender counts its local copies, sends `(k-mer, count)` tuples,
+//! and the receiver merges the pre-aggregated lists.
+
+/// Policy describing when a task is treated as a heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyHitterPolicy {
+    /// A task is heavy when its size exceeds `mean_task_size × factor`.
+    pub factor: f64,
+    /// Heavy-hitter handling can be disabled entirely (the §4.1.1 ablation baseline).
+    pub enabled: bool,
+}
+
+impl Default for HeavyHitterPolicy {
+    fn default() -> Self {
+        HeavyHitterPolicy { factor: 3.0, enabled: true }
+    }
+}
+
+impl HeavyHitterPolicy {
+    /// Disabled policy (no task is ever heavy).
+    pub fn disabled() -> Self {
+        HeavyHitterPolicy { factor: f64::INFINITY, enabled: false }
+    }
+
+    /// The absolute size threshold for a given mean task size.
+    pub fn threshold(&self, mean_task_size: f64) -> f64 {
+        mean_task_size * self.factor
+    }
+}
+
+/// Return the indices of the tasks considered heavy hitters under `policy`.
+pub fn detect_heavy_tasks(task_sizes: &[u64], policy: &HeavyHitterPolicy) -> Vec<usize> {
+    if !policy.enabled || task_sizes.is_empty() {
+        return Vec::new();
+    }
+    let mean = task_sizes.iter().sum::<u64>() as f64 / task_sizes.len() as f64;
+    let threshold = policy.threshold(mean);
+    task_sizes
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| (s as f64) > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sizes_have_no_heavy_hitters() {
+        let sizes = vec![100u64; 64];
+        assert!(detect_heavy_tasks(&sizes, &HeavyHitterPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn an_outlier_task_is_detected() {
+        let mut sizes = vec![100u64; 63];
+        sizes.push(10_000);
+        let heavy = detect_heavy_tasks(&sizes, &HeavyHitterPolicy::default());
+        assert_eq!(heavy, vec![63]);
+    }
+
+    #[test]
+    fn disabled_policy_never_flags() {
+        let mut sizes = vec![100u64; 10];
+        sizes.push(1_000_000);
+        assert!(detect_heavy_tasks(&sizes, &HeavyHitterPolicy::disabled()).is_empty());
+    }
+
+    #[test]
+    fn factor_controls_sensitivity() {
+        let sizes = vec![100, 100, 100, 100, 250u64];
+        let strict = HeavyHitterPolicy { factor: 1.5, enabled: true };
+        let lax = HeavyHitterPolicy { factor: 5.0, enabled: true };
+        assert_eq!(detect_heavy_tasks(&sizes, &strict), vec![4]);
+        assert!(detect_heavy_tasks(&sizes, &lax).is_empty());
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(detect_heavy_tasks(&[], &HeavyHitterPolicy::default()).is_empty());
+    }
+}

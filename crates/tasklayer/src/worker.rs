@@ -1,0 +1,163 @@
+//! Workers and task scheduling inside one rank (paper §3.4).
+//!
+//! Instead of throwing all of a process's threads at one big sort (which scales poorly
+//! beyond 16 threads), HySortK splits them into *workers* of a fixed small width
+//! (default 4 threads) and gives each worker a queue of tasks. [`WorkerPool`] executes
+//! tasks on a dedicated rayon pool sized `workers × threads_per_worker`, and
+//! [`schedule_lpt`] computes the static longest-processing-time assignment whose
+//! makespan the performance model uses.
+
+use rayon::prelude::*;
+
+use crate::TaskId;
+
+/// A pool of workers inside one simulated rank.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    workers: usize,
+    threads_per_worker: usize,
+}
+
+impl WorkerPool {
+    /// Create a pool of `workers`, each `threads_per_worker` threads wide.
+    pub fn new(workers: usize, threads_per_worker: usize) -> Self {
+        WorkerPool { workers: workers.max(1), threads_per_worker: threads_per_worker.max(1) }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Threads per worker.
+    pub fn threads_per_worker(&self) -> usize {
+        self.threads_per_worker
+    }
+
+    /// Total threads the pool may use.
+    pub fn total_threads(&self) -> usize {
+        self.workers * self.threads_per_worker
+    }
+
+    /// Execute `f` over every task, with the pool's total thread budget. Tasks are
+    /// processed independently (the defining property of the task abstraction: k-mers
+    /// with equal value never span two tasks, so no cross-task coordination is needed).
+    ///
+    /// Results are returned in task order.
+    pub fn execute<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.total_threads())
+            .build()
+            .expect("failed to build worker thread pool");
+        pool.install(|| tasks.into_par_iter().map(f).collect())
+    }
+}
+
+/// A static schedule of tasks onto workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSchedule {
+    /// Tasks assigned to each worker.
+    pub tasks_of: Vec<Vec<TaskId>>,
+    /// Total size per worker.
+    pub load_of: Vec<u64>,
+}
+
+impl WorkerSchedule {
+    /// The makespan (heaviest worker load), which bounds the stage time.
+    pub fn makespan(&self) -> u64 {
+        self.load_of.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Imbalance: makespan / mean load.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.load_of.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        self.makespan() as f64 / (total as f64 / self.load_of.len() as f64)
+    }
+}
+
+/// Longest-processing-time-first scheduling of tasks onto `workers` workers.
+pub fn schedule_lpt(task_sizes: &[u64], workers: usize) -> WorkerSchedule {
+    let workers = workers.max(1);
+    let mut order: Vec<TaskId> = (0..task_sizes.len()).collect();
+    order.sort_by_key(|&t| std::cmp::Reverse(task_sizes[t]));
+    let mut tasks_of = vec![Vec::new(); workers];
+    let mut load_of = vec![0u64; workers];
+    for t in order {
+        let w = (0..workers).min_by_key(|&w| load_of[w]).expect("at least one worker");
+        tasks_of[w].push(t);
+        load_of[w] += task_sizes[t];
+    }
+    WorkerSchedule { tasks_of, load_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pool_executes_every_task_once_in_order() {
+        let pool = WorkerPool::new(2, 2);
+        let results = pool.execute((0..100u64).collect(), |x| x * 2);
+        assert_eq!(results, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_dimensions_are_reported() {
+        let pool = WorkerPool::new(3, 4);
+        assert_eq!(pool.workers(), 3);
+        assert_eq!(pool.threads_per_worker(), 4);
+        assert_eq!(pool.total_threads(), 12);
+        // Degenerate values clamp to one.
+        assert_eq!(WorkerPool::new(0, 0).total_threads(), 1);
+    }
+
+    #[test]
+    fn lpt_schedule_covers_all_tasks_and_balances() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sizes: Vec<u64> = (0..96).map(|_| rng.gen_range(1_000..20_000)).collect();
+        let schedule = schedule_lpt(&sizes, 8);
+        let assigned: usize = schedule.tasks_of.iter().map(|t| t.len()).sum();
+        assert_eq!(assigned, sizes.len());
+        assert!(schedule.imbalance() < 1.15, "imbalance {}", schedule.imbalance());
+    }
+
+    #[test]
+    fn more_tasks_per_worker_improve_balance() {
+        // The §4.1.1 tpw experiment: more (smaller) tasks per worker yield a better
+        // makespan than one big task per worker.
+        let mut rng = StdRng::seed_from_u64(4);
+        let workers = 8;
+        let total: u64 = 8_000_000;
+        let mut makespan_for = |tasks: usize| {
+            let mut sizes: Vec<u64> = (0..tasks)
+                .map(|_| rng.gen_range(total / tasks as u64 / 2..total / tasks as u64 * 2))
+                .collect();
+            // Normalise to the same total.
+            let s: u64 = sizes.iter().sum();
+            for x in &mut sizes {
+                *x = *x * total / s;
+            }
+            schedule_lpt(&sizes, workers).makespan()
+        };
+        let tpw1 = makespan_for(workers);
+        let tpw3 = makespan_for(workers * 3);
+        assert!(tpw3 <= tpw1, "tpw3={tpw3} tpw1={tpw1}");
+    }
+
+    #[test]
+    fn makespan_of_empty_schedule_is_zero() {
+        let schedule = schedule_lpt(&[], 4);
+        assert_eq!(schedule.makespan(), 0);
+        assert_eq!(schedule.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration-test crate for the HySortK reproduction. All content lives in `tests/`.

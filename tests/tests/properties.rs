@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) on the core data structures and invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hysortk_dna::{DnaSeq, Extension, Kmer1, Kmer2, ReadSet};
+use hysortk_sort::{paradis_sort_by, raduls_sort_by, sample_sort_by_key};
+use hysortk_supermer::codec::{decode_extensions, encode_extensions};
+use hysortk_supermer::minimizer::{minimizers_deque, minimizers_naive};
+use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
+use hysortk_supermer::supermer::build_supermers;
+
+/// Strategy producing DNA strings over ACGT.
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- k-mer packing --------------------------------------------------
+
+    #[test]
+    fn kmer_pack_unpack_round_trips(seq in dna(32).prop_filter("non-empty", |s| !s.is_empty())) {
+        let k = seq.len();
+        let km = Kmer1::from_ascii(&seq);
+        let rendered = km.to_string_k(k);
+        prop_assert_eq!(rendered.as_bytes(), &seq[..]);
+    }
+
+    #[test]
+    fn kmer2_reverse_complement_is_an_involution(seq in dna(64).prop_filter("k>=1", |s| !s.is_empty())) {
+        let k = seq.len();
+        let km = Kmer2::from_ascii(&seq);
+        prop_assert_eq!(km.reverse_complement(k).reverse_complement(k), km);
+    }
+
+    #[test]
+    fn kmer_ordering_matches_string_ordering(
+        (a, b) in (1usize..21).prop_flat_map(|len| (
+            vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], len),
+            vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], len),
+        ))
+    ) {
+        let ka = Kmer1::from_ascii(&a);
+        let kb = Kmer1::from_ascii(&b);
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+
+    #[test]
+    fn canonical_kmer_is_strand_invariant(seq in dna(32).prop_filter("non-empty", |s| !s.is_empty())) {
+        let k = seq.len();
+        let km = Kmer1::from_ascii(&seq);
+        let rc = km.reverse_complement(k);
+        prop_assert_eq!(km.canonical(k), rc.canonical(k));
+    }
+
+    // ---------------- packed sequences ------------------------------------------------
+
+    #[test]
+    fn dnaseq_round_trips_and_counts_kmers(seq in dna(500), k in 1usize..40) {
+        let packed = DnaSeq::from_ascii(&seq);
+        prop_assert_eq!(packed.to_ascii(), seq.clone());
+        let expected = if seq.len() >= k { seq.len() - k + 1 } else { 0 };
+        prop_assert_eq!(packed.num_kmers(k), expected);
+    }
+
+    // ---------------- sorting ----------------------------------------------------------
+
+    #[test]
+    fn radix_sorts_agree_with_std_sort(mut v in vec(any::<u64>(), 0..3000)) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let mut a = v.clone();
+        paradis_sort_by(&mut a, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+        prop_assert_eq!(&a, &expected);
+        raduls_sort_by(&mut v, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+        prop_assert_eq!(&v, &expected);
+    }
+
+    #[test]
+    fn sample_sort_agrees_with_std_sort(mut v in vec(any::<u32>(), 0..3000)) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        sample_sort_by_key(&mut v, 4, |x| *x);
+        prop_assert_eq!(v, expected);
+    }
+
+    // ---------------- minimizers and supermers -----------------------------------------
+
+    #[test]
+    fn deque_minimizers_equal_naive_minimizers(seq in dna(400), m in 3usize..16, window in 0usize..30) {
+        let k = m + window;
+        let packed = DnaSeq::from_ascii(&seq);
+        let scorer = MmerScorer::new(m, ScoreFunction::Hash { seed: 17 });
+        prop_assert_eq!(
+            minimizers_deque(&packed, k, &scorer),
+            minimizers_naive(&packed, k, &scorer)
+        );
+    }
+
+    #[test]
+    fn supermers_partition_the_kmers_of_a_read(seq in dna(600), targets in 1u32..64) {
+        prop_assume!(seq.len() >= 31);
+        let read = hysortk_dna::Read::from_ascii(0, "p", &seq);
+        let scorer = MmerScorer::new(11, ScoreFunction::Hash { seed: 3 });
+        let supermers = build_supermers(&read, 31, &scorer, targets);
+        let total: usize = supermers.iter().map(|s| s.num_kmers(31)).sum();
+        prop_assert_eq!(total, read.seq.num_kmers(31));
+        let mut from_supermers: Vec<Kmer1> = supermers
+            .iter()
+            .flat_map(|s| s.canonical_kmers_with_pos::<Kmer1>(31).into_iter().map(|(km, _)| km))
+            .collect();
+        let mut direct: Vec<Kmer1> = read.seq.canonical_kmers(31).collect();
+        from_supermers.sort();
+        direct.sort();
+        prop_assert_eq!(from_supermers, direct);
+    }
+
+    // ---------------- extension codec ---------------------------------------------------
+
+    #[test]
+    fn extension_codec_round_trips(records in vec((any::<u32>(), any::<u32>()), 0..500)) {
+        let records: Vec<Extension> =
+            records.into_iter().map(|(r, p)| Extension::new(r, p)).collect();
+        let encoded = encode_extensions(&records);
+        prop_assert_eq!(decode_extensions(&encoded), Some(records.clone()));
+        // Lossless and never larger than ~9/8 of the raw encoding.
+        prop_assert!(encoded.wire_bytes() <= records.len() * 9);
+    }
+
+    // ---------------- counting invariants -----------------------------------------------
+
+    #[test]
+    fn hysortk_counts_match_reference_on_arbitrary_reads(
+        seqs in vec(dna(200), 1..12),
+        k in 5usize..24,
+        ranks in 1usize..5,
+    ) {
+        let reads = ReadSet::from_ascii_reads(&seqs);
+        let mut cfg = hysortk_core::HySortKConfig::small(k, (k / 2).max(3), ranks);
+        cfg.min_count = 1;
+        cfg.max_count = 1_000_000;
+        let result = hysortk_core::count_kmers::<Kmer1>(&reads, &cfg);
+        let expected = hysortk_core::reference_counts_bounded::<Kmer1>(&reads, k, 1, 1_000_000);
+        prop_assert_eq!(result.counts, expected);
+        prop_assert_eq!(result.report.distinct_kmers, result.histogram.distinct());
+    }
+}
