@@ -117,7 +117,7 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
                 counts.push((kmer_from_word_vec::<K>(words), *count));
             }
         }
-        counts.sort_by(|a, b| a.0.cmp(&b.0));
+        counts.sort_by_key(|a| a.0);
 
         RankOut {
             counts,
@@ -142,18 +142,25 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
         counts.extend(out.counts.iter().cloned());
         histogram.merge(&out.histogram);
     }
-    counts.sort_by(|a, b| a.0.cmp(&b.0));
+    counts.sort_by_key(|a| a.0);
 
     let max_bases = run.results.iter().map(|o| o.bases).max().unwrap_or(0) as f64 * scale;
     let max_received = run.results.iter().map(|o| o.received).max().unwrap_or(0) as f64 * scale;
     let total_kmers: u64 =
         (run.results.iter().map(|o| o.kmers_sent).sum::<u64>() as f64 * scale) as u64;
-    let max_distinct = run.results.iter().map(|o| o.table_distinct).max().unwrap_or(0) as f64 * scale;
+    let max_distinct = run
+        .results
+        .iter()
+        .map(|o| o.table_distinct)
+        .max()
+        .unwrap_or(0) as f64
+        * scale;
     let bloom_bytes = run.results.iter().map(|o| o.bloom_bytes).max().unwrap_or(0) as f64 * scale;
 
     // Project payloads to full scale, then recompute rounds/padding (see the same logic
     // in the HySortK pipeline): both passes move the same k-mer payload.
-    let payload = |s: &CommStats, label: &str| s.stage(label).map(|st| st.payload_bytes).unwrap_or(0);
+    let payload =
+        |s: &CommStats, label: &str| s.stage(label).map(|st| st.payload_bytes).unwrap_or(0);
     let per_pass_payload_max = run
         .comm
         .iter()
@@ -185,10 +192,14 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
         p.saturating_sub(1).max(1),
     );
     let max_rank_wire = (per_pass_wire * 2) as f64;
-    let total_wire = run.comm.iter().map(|s| payload(s, "pass1") + payload(s, "pass2")).sum::<u64>()
-        as f64
+    let total_wire = run
+        .comm
+        .iter()
+        .map(|s| payload(s, "pass1") + payload(s, "pass2"))
+        .sum::<u64>() as f64
         * scale
-        + ((per_pass_wire * 2).saturating_sub((per_pass_payload_max * 2.0) as u64) * p as u64) as f64;
+        + ((per_pass_wire * 2).saturating_sub((per_pass_payload_max * 2.0) as u64) * p as u64)
+            as f64;
     let off_node = run
         .comm
         .iter()
@@ -236,7 +247,11 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
         assignment_imbalance: 1.0,
     };
 
-    BaselineResult { counts, histogram, report }
+    BaselineResult {
+        counts,
+        histogram,
+        report,
+    }
 }
 
 fn bytemuck_words(words: &[u64]) -> &[u8] {
@@ -262,8 +277,8 @@ pub(crate) fn kmer_from_word_vec<K: KmerCode>(words: &[u64]) -> K {
 mod tests {
     use super::*;
     use hysortk_core::reference::reference_counts_bounded;
+    use hysortk_datasets::DatasetPreset;
     use hysortk_dna::Kmer1;
-    use hysortk_datasets::{DatasetPreset};
 
     #[test]
     fn matches_reference_above_the_singleton_threshold() {

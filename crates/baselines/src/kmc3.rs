@@ -71,7 +71,7 @@ pub fn kmc3_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         histogram.merge(h);
         total_instances += c.iter().map(|(_, n)| *n).sum::<u64>();
     }
-    counts.sort_by(|a, b| a.0.cmp(&b.0));
+    counts.sort_by_key(|a| a.0);
 
     // ---- model: one process spanning the whole node ------------------------------------
     let scale = 1.0 / cfg.data_scale;
@@ -93,7 +93,10 @@ pub fn kmc3_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
             SortAlgorithm::Raduls,
         ),
     );
-    stages.add("scan", compute.scan_time((total_instances as f64 * scale) as u64));
+    stages.add(
+        "scan",
+        compute.scan_time((total_instances as f64 * scale) as u64),
+    );
 
     let peak = model.memory().sort_counter_peak(
         (total_instances as f64 * scale) as u64,
@@ -117,7 +120,11 @@ pub fn kmc3_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         assignment_imbalance: 1.0,
     };
 
-    BaselineResult { counts, histogram, report }
+    BaselineResult {
+        counts,
+        histogram,
+        report,
+    }
 }
 
 #[cfg(test)]

@@ -67,9 +67,15 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
         0.7,
         None,
     );
-    let available = cfg.machine.mem_per_node_bytes.saturating_sub(16 * (1 << 30));
+    let available = cfg
+        .machine
+        .mem_per_node_bytes
+        .saturating_sub(16 * (1 << 30));
     if projected_peak > available {
-        return KmerindOutcome::OutOfMemory { projected_peak, available };
+        return KmerindOutcome::OutOfMemory {
+            projected_peak,
+            available,
+        };
     }
 
     struct RankOut<K: KmerCode> {
@@ -117,7 +123,14 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
                 counts.push((km, c));
             }
         }
-        RankOut { counts, histogram, bases, received, table_bytes, distinct }
+        RankOut {
+            counts,
+            histogram,
+            bases,
+            received,
+            table_bytes,
+            distinct,
+        }
     });
 
     // ---- merge -------------------------------------------------------------------------
@@ -127,7 +140,7 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
         counts.extend(out.counts.iter().cloned());
         histogram.merge(&out.histogram);
     }
-    counts.sort_by(|a, b| a.0.cmp(&b.0));
+    counts.sort_by_key(|a| a.0);
 
     let compute = model.compute();
     let network = model.network();
@@ -137,10 +150,8 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
     let total_kmers = (reads.total_kmers(k) as f64 * scale) as u64;
 
     let payload = |s: &CommStats| s.stage("exchange").map(|st| st.payload_bytes).unwrap_or(0);
-    let max_rank_payload =
-        (run.comm.iter().map(|s| payload(s)).max().unwrap_or(0) as f64 * scale) as u64;
-    let total_payload =
-        (run.comm.iter().map(|s| payload(s)).sum::<u64>() as f64 * scale) as u64;
+    let max_rank_payload = (run.comm.iter().map(&payload).max().unwrap_or(0) as f64 * scale) as u64;
+    let total_payload = (run.comm.iter().map(payload).sum::<u64>() as f64 * scale) as u64;
     let max_pair_payload = run
         .comm
         .iter()
@@ -165,8 +176,7 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
         p.saturating_sub(1).max(1),
     );
     let max_rank_wire = max_rank_wire as f64;
-    let total_wire =
-        (total_payload + (max_rank_wire as u64 - max_rank_payload) * p as u64) as f64;
+    let total_wire = (total_payload + (max_rank_wire as u64 - max_rank_payload) * p as u64) as f64;
     let off_node = run
         .comm
         .iter()
@@ -200,7 +210,13 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
     let table_measured: u64 = run.results.iter().map(|o| o.table_bytes).max().unwrap_or(0);
     let peak = model
         .memory()
-        .hash_counter_peak(distinct_per_node, elements_per_node, K::WORDS * 8, 0.7, None)
+        .hash_counter_peak(
+            distinct_per_node,
+            elements_per_node,
+            K::WORDS * 8,
+            0.7,
+            None,
+        )
         .max(table_measured * cfg.processes_per_node as u64);
 
     let report = RunReport {
@@ -218,7 +234,11 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
         assignment_imbalance: 1.0,
     };
 
-    KmerindOutcome::Completed(Box::new(BaselineResult { counts, histogram, report }))
+    KmerindOutcome::Completed(Box::new(BaselineResult {
+        counts,
+        histogram,
+        report,
+    }))
 }
 
 #[cfg(test)]
@@ -249,7 +269,10 @@ mod tests {
         cfg.nodes = 1;
         cfg.data_scale = data.data_scale;
         let outcome = kmerind_count::<Kmer1>(&data.reads, &cfg);
-        assert!(outcome.result().is_none(), "expected an out-of-memory verdict");
+        assert!(
+            outcome.result().is_none(),
+            "expected an out-of-memory verdict"
+        );
         // With 4 nodes it fits.
         cfg.nodes = 4;
         let outcome = kmerind_count::<Kmer1>(&data.reads, &cfg);

@@ -68,12 +68,12 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         for bytes in &exchange.received {
             let blocks = hysortk_core::wire::read_blocks::<K>(bytes).expect("well-formed stream");
             for block in blocks {
-                if let hysortk_core::wire::TaskPayload::Supermers(sms) = block.payload {
-                    for sm in sms {
-                        for (km, _) in sm.canonical_kmers_with_pos::<K>(k) {
+                if let hysortk_core::wire::PayloadView::Supermers(view) = block.payload {
+                    for sm in view.iter() {
+                        sm.for_each_canonical_kmer::<K>(k, |km, _| {
                             received_kmers += 1;
                             *table.entry(km).or_insert(0) += 1;
-                        }
+                        });
                     }
                 }
             }
@@ -87,7 +87,12 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
                 counts.push((km, c));
             }
         }
-        RankOut { counts, histogram, bases, received_kmers }
+        RankOut {
+            counts,
+            histogram,
+            bases,
+            received_kmers,
+        }
     });
 
     // ---- merge and model -----------------------------------------------------------------
@@ -97,7 +102,7 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         counts.extend(out.counts.iter().cloned());
         histogram.merge(&out.histogram);
     }
-    counts.sort_by(|a, b| a.0.cmp(&b.0));
+    counts.sort_by_key(|a| a.0);
 
     let scale = 1.0 / cfg.data_scale;
     let exec = ExecutionConfig::new(cfg.nodes, gpus, machine.cores_per_node / gpus, 4);
@@ -106,14 +111,18 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
     let network = model.network();
 
     let max_bases = run.results.iter().map(|o| o.bases).max().unwrap_or(0) as f64 * scale;
-    let max_received = run.results.iter().map(|o| o.received_kmers).max().unwrap_or(0) as f64 * scale;
+    let max_received = run
+        .results
+        .iter()
+        .map(|o| o.received_kmers)
+        .max()
+        .unwrap_or(0) as f64
+        * scale;
     let total_kmers = (reads.total_kmers(k) as f64 * scale) as u64;
 
     let payload = |s: &CommStats| s.stage("exchange").map(|st| st.payload_bytes).unwrap_or(0);
-    let max_rank_payload =
-        (run.comm.iter().map(|s| payload(s)).max().unwrap_or(0) as f64 * scale) as u64;
-    let total_payload =
-        (run.comm.iter().map(|s| payload(s)).sum::<u64>() as f64 * scale) as u64;
+    let max_rank_payload = (run.comm.iter().map(&payload).max().unwrap_or(0) as f64 * scale) as u64;
+    let total_payload = (run.comm.iter().map(payload).sum::<u64>() as f64 * scale) as u64;
     let max_pair_payload = run
         .comm
         .iter()
@@ -138,8 +147,7 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         p.saturating_sub(1).max(1),
     );
     let max_rank_wire = max_rank_wire as f64;
-    let total_wire =
-        (total_payload + (max_rank_wire as u64 - max_rank_payload) * p as u64) as f64;
+    let total_wire = (total_payload + (max_rank_wire as u64 - max_rank_payload) * p as u64) as f64;
     let off_node = run
         .comm
         .iter()
@@ -187,7 +195,11 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         assignment_imbalance: 1.0,
     };
 
-    BaselineResult { counts, histogram, report }
+    BaselineResult {
+        counts,
+        histogram,
+        report,
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,14 @@ impl<K: KmerCode> RobinHoodTable<K> {
     pub fn with_expected(expected: usize) -> Self {
         let capacity = ((expected.max(8) as f64 / 0.7).ceil() as usize).next_power_of_two();
         RobinHoodTable {
-            slots: vec![Slot { key: K::zero(), value: 0, dib: 0 }; capacity],
+            slots: vec![
+                Slot {
+                    key: K::zero(),
+                    value: 0,
+                    dib: 0
+                };
+                capacity
+            ],
             mask: capacity - 1,
             len: 0,
             max_load: 0.7,
@@ -72,7 +79,11 @@ impl<K: KmerCode> RobinHoodTable<K> {
             self.grow();
         }
         let mut pos = self.home(&key);
-        let mut entry = Slot { key, value: delta, dib: 1 };
+        let mut entry = Slot {
+            key,
+            value: delta,
+            dib: 1,
+        };
         loop {
             let slot = &mut self.slots[pos];
             if slot.dib == 0 {
@@ -114,7 +125,14 @@ impl<K: KmerCode> RobinHoodTable<K> {
         let new_capacity = self.slots.len() * 2;
         let old = std::mem::replace(
             &mut self.slots,
-            vec![Slot { key: K::zero(), value: 0, dib: 0 }; new_capacity],
+            vec![
+                Slot {
+                    key: K::zero(),
+                    value: 0,
+                    dib: 0
+                };
+                new_capacity
+            ],
         );
         self.mask = self.slots.len() - 1;
         self.len = 0;
@@ -133,7 +151,7 @@ impl<K: KmerCode> RobinHoodTable<K> {
             .filter(|s| s.dib != 0)
             .map(|s| (s.key, s.value))
             .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_by_key(|a| a.0);
         out
     }
 }
@@ -167,8 +185,12 @@ mod tests {
         for (k, v) in &reference {
             assert_eq!(table.get(k), Some(*v));
         }
-        assert_eq!(table.get(&Kmer1::from_ascii(b"AAAAAAAAAAAAAAAAAAAAA")).is_some(),
-                   reference.contains_key(&Kmer1::from_ascii(b"AAAAAAAAAAAAAAAAAAAAA")));
+        assert_eq!(
+            table
+                .get(&Kmer1::from_ascii(b"AAAAAAAAAAAAAAAAAAAAA"))
+                .is_some(),
+            reference.contains_key(&Kmer1::from_ascii(b"AAAAAAAAAAAAAAAAAAAAA"))
+        );
     }
 
     #[test]
@@ -203,6 +225,9 @@ mod tests {
     fn missing_keys_return_none() {
         let table: RobinHoodTable<Kmer1> = RobinHoodTable::with_expected(8);
         assert!(table.is_empty());
-        assert_eq!(table.get(&Kmer1::from_ascii(b"ACGTACGTACGTACGTACGTA")), None);
+        assert_eq!(
+            table.get(&Kmer1::from_ascii(b"ACGTACGTACGTACGTACGTA")),
+            None
+        );
     }
 }

@@ -17,11 +17,15 @@ fn bench_counters(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("counters_abaumannii_small");
     group.sample_size(10);
-    group.bench_function("hysortk", |b| b.iter(|| count_kmers::<Kmer1>(&data.reads, &cfg)));
+    group.bench_function("hysortk", |b| {
+        b.iter(|| count_kmers::<Kmer1>(&data.reads, &cfg))
+    });
     group.bench_function("two_pass_hash_table", |b| {
         b.iter(|| two_pass_hash_count::<Kmer1>(&data.reads, &cfg))
     });
-    group.bench_function("kmc3_shared_memory", |b| b.iter(|| kmc3_count::<Kmer1>(&data.reads, &cfg)));
+    group.bench_function("kmc3_shared_memory", |b| {
+        b.iter(|| kmc3_count::<Kmer1>(&data.reads, &cfg))
+    });
     group.bench_function("reference_btreemap", |b| {
         b.iter(|| hysortk_core::reference_counts::<Kmer1>(&data.reads, 31))
     });

@@ -15,20 +15,28 @@ fn bench_sorts(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[100_000usize, 1_000_000] {
         let input = keys(n);
-        group.bench_with_input(BenchmarkId::new("paradis_inplace", n), &input, |b, input| {
-            b.iter(|| {
-                let mut v = input.clone();
-                hysortk_sort::paradis_sort_by(&mut v, 8, |x, l| (x >> (8 * (7 - l))) as u8);
-                v
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("raduls_outofplace", n), &input, |b, input| {
-            b.iter(|| {
-                let mut v = input.clone();
-                hysortk_sort::raduls_sort_by(&mut v, 8, |x, l| (x >> (8 * (7 - l))) as u8);
-                v
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("paradis_inplace", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut v = input.clone();
+                    hysortk_sort::paradis_sort_by(&mut v, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+                    v
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("raduls_outofplace", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut v = input.clone();
+                    hysortk_sort::raduls_sort_by(&mut v, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+                    v
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("sample_sort", n), &input, |b, input| {
             b.iter(|| {
                 let mut v = input.clone();

@@ -25,7 +25,9 @@ fn bench_minimizers(c: &mut Criterion) {
     group.bench_function("deque_sliding_window", |b| {
         b.iter(|| minimizers_deque(&read.seq, 31, &scorer))
     });
-    group.bench_function("naive_rescan", |b| b.iter(|| minimizers_naive(&read.seq, 31, &scorer)));
+    group.bench_function("naive_rescan", |b| {
+        b.iter(|| minimizers_naive(&read.seq, 31, &scorer))
+    });
     group.bench_function("build_supermers_256_targets", |b| {
         b.iter(|| build_supermers(&read, 31, &scorer, 256))
     });
@@ -33,14 +35,21 @@ fn bench_minimizers(c: &mut Criterion) {
 }
 
 fn bench_codec_and_hash(c: &mut Criterion) {
-    let records: Vec<Extension> =
-        (0..10_000u32).map(|i| Extension::new(i / 200, (i % 200) * 3)).collect();
+    let records: Vec<Extension> = (0..10_000u32)
+        .map(|i| Extension::new(i / 200, (i % 200) * 3))
+        .collect();
     let mut group = c.benchmark_group("codec_and_hash");
     group.sample_size(20);
-    group.bench_function("encode_10k_extensions", |b| b.iter(|| encode_extensions(&records)));
+    group.bench_function("encode_10k_extensions", |b| {
+        b.iter(|| encode_extensions(&records))
+    });
     let payload: Vec<u8> = (0..64u8).collect();
-    group.bench_function("murmur3_x64_128_64B", |b| b.iter(|| murmur3_x64_128(&payload, 0)));
-    group.bench_function("murmur3_x86_32_64B", |b| b.iter(|| murmur3_x86_32(&payload, 0)));
+    group.bench_function("murmur3_x64_128_64B", |b| {
+        b.iter(|| murmur3_x64_128(&payload, 0))
+    });
+    group.bench_function("murmur3_x86_32_64B", |b| {
+        b.iter(|| murmur3_x86_32(&payload, 0))
+    });
     let seq = DnaSeq::from_ascii(&vec![b'A'; 10_000]);
     group.bench_function("pack_10kb_read", |b| {
         b.iter(|| DnaSeq::from_ascii(&seq.to_ascii()))

@@ -1,9 +1,10 @@
-//! Regenerate the paper's tables and figures.
+//! Regenerate the paper's tables and figures, and the sort-kernel benchmark point.
 //!
 //! ```text
 //! cargo run -p hysortk-bench --release --bin repro -- list
 //! cargo run -p hysortk-bench --release --bin repro -- table2
 //! cargo run -p hysortk-bench --release --bin repro -- all
+//! cargo run -p hysortk-bench --release --bin repro -- bench-sort   # writes BENCH_sort.json
 //! ```
 
 use hysortk_bench as bench;
@@ -11,32 +12,109 @@ use hysortk_bench as bench;
 type Experiment = (&'static str, &'static str, fn() -> Vec<bench::Row>);
 
 const EXPERIMENTS: &[Experiment] = &[
-    ("ablation", "§4.1.1 optimisation-strategy ablation (task layer, heavy hitters)", bench::ablation_task_layer),
-    ("tpw", "§4.1.1 tasks-per-worker sweep", bench::ablation_tasks_per_worker),
-    ("table2", "Table 2: runtime vs processes per node", bench::table2_processes_per_node),
-    ("table3", "Table 3: communication time vs batch size", bench::table3_batch_size),
-    ("table4", "Table 4: runtime vs minimizer length m", bench::table4_m_length),
-    ("fig4", "Figure 4: strong scaling on H. sapiens 10x", bench::figure4_strong_scaling),
-    ("fig5", "Figure 5: weak scaling (2 GB/node) with stage breakdown", bench::figure5_weak_scaling),
-    ("fig6", "Figure 6: HySortK vs KMC3 (shared memory)", bench::figure6_vs_kmc3),
-    ("fig7", "Figure 7: HySortK vs kmerind on H. sapiens 10x", bench::figure7_vs_kmerind_hs10x),
-    ("fig8", "Figure 8: HySortK vs kmerind on H. sapiens 52x", bench::figure8_vs_kmerind_hs52x),
-    ("fig9", "Figure 9: HySortK vs MetaHipMer2 (GPU) on C. elegans", bench::figure9_vs_mhm2),
+    (
+        "ablation",
+        "§4.1.1 optimisation-strategy ablation (task layer, heavy hitters)",
+        bench::ablation_task_layer,
+    ),
+    (
+        "tpw",
+        "§4.1.1 tasks-per-worker sweep",
+        bench::ablation_tasks_per_worker,
+    ),
+    (
+        "table2",
+        "Table 2: runtime vs processes per node",
+        bench::table2_processes_per_node,
+    ),
+    (
+        "table3",
+        "Table 3: communication time vs batch size",
+        bench::table3_batch_size,
+    ),
+    (
+        "table4",
+        "Table 4: runtime vs minimizer length m",
+        bench::table4_m_length,
+    ),
+    (
+        "fig4",
+        "Figure 4: strong scaling on H. sapiens 10x",
+        bench::figure4_strong_scaling,
+    ),
+    (
+        "fig5",
+        "Figure 5: weak scaling (2 GB/node) with stage breakdown",
+        bench::figure5_weak_scaling,
+    ),
+    (
+        "fig6",
+        "Figure 6: HySortK vs KMC3 (shared memory)",
+        bench::figure6_vs_kmc3,
+    ),
+    (
+        "fig7",
+        "Figure 7: HySortK vs kmerind on H. sapiens 10x",
+        bench::figure7_vs_kmerind_hs10x,
+    ),
+    (
+        "fig8",
+        "Figure 8: HySortK vs kmerind on H. sapiens 52x",
+        bench::figure8_vs_kmerind_hs52x,
+    ),
+    (
+        "fig9",
+        "Figure 9: HySortK vs MetaHipMer2 (GPU) on C. elegans",
+        bench::figure9_vs_mhm2,
+    ),
     ("fig10", "Figure 10: ELBA integration", bench::figure10_elba),
-    ("supermer_stats", "§3.2 supermer communication and balance claims", bench::supermer_statistics),
-    ("comm_opt", "§3.3 overlap and compression claims", bench::communication_optimisations),
+    (
+        "supermer_stats",
+        "§3.2 supermer communication and balance claims",
+        bench::supermer_statistics,
+    ),
+    (
+        "comm_opt",
+        "§3.3 overlap and compression claims",
+        bench::communication_optimisations,
+    ),
 ];
 
+/// Time the sort kernels and the end-to-end pipeline, then write `BENCH_sort.json` —
+/// the first point on the repo's performance trajectory.
+fn bench_sort() {
+    eprintln!("[repro] timing sort kernels on 1M random 8-byte keys …");
+    let report = bench::bench_sort_kernels(1_000_000);
+    let json = report.to_json();
+    print!("{json}");
+    println!(
+        "raduls kernel speedup: {:.2}x, paradis kernel speedup: {:.2}x, \
+         end-to-end: {:.2} Mkmers/s",
+        report.raduls_speedup(),
+        report.paradis_speedup(),
+        report.counts_per_sec() / 1e6
+    );
+    let path = "BENCH_sort.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[repro] wrote {path}"),
+        Err(e) => eprintln!("[repro] could not write {path}: {e}"),
+    }
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "list".to_string());
     match arg.as_str() {
         "list" => {
             println!("available experiments:\n");
             for (name, description, _) in EXPERIMENTS {
                 println!("  {name:<16} {description}");
             }
-            println!("\nrun one with `repro <name>`, or `repro all` for everything");
+            println!("\nrun one with `repro <name>`, `repro bench-sort` for the kernel");
+            println!("microbenchmark (writes BENCH_sort.json), or `repro all` for everything");
         }
+        "bench-sort" => bench_sort(),
         "all" => {
             for (name, description, f) in EXPERIMENTS {
                 eprintln!("[repro] running {name} …");

@@ -32,7 +32,10 @@ pub struct Row {
 impl Row {
     /// Create a row.
     pub fn new(label: impl Into<String>) -> Self {
-        Row { label: label.into(), values: Vec::new() }
+        Row {
+            label: label.into(),
+            values: Vec::new(),
+        }
     }
 
     /// Append a named value.
@@ -130,16 +133,20 @@ pub fn ablation_task_layer() -> Vec<Row> {
 
     let full = base_cfg;
 
-    [("supermer+sort baseline", baseline), ("+ task abstraction layer", task_layer), ("+ heavy hitters (full)", full)]
-        .into_iter()
-        .map(|(label, cfg)| {
-            let report = run_hysortk(&data.reads, &cfg);
-            Row::new(label)
-                .push("time_s", report.total_time())
-                .push("imbalance", report.assignment_imbalance)
-                .push("heavy_tasks", report.heavy_tasks as f64)
-        })
-        .collect()
+    [
+        ("supermer+sort baseline", baseline),
+        ("+ task abstraction layer", task_layer),
+        ("+ heavy hitters (full)", full),
+    ]
+    .into_iter()
+    .map(|(label, cfg)| {
+        let report = run_hysortk(&data.reads, &cfg);
+        Row::new(label)
+            .push("time_s", report.total_time())
+            .push("imbalance", report.assignment_imbalance)
+            .push("heavy_tasks", report.heavy_tasks as f64)
+    })
+    .collect()
 }
 
 /// The §4.1.1 tasks-per-worker sweep (tpw ∈ {1, 2, 3}).
@@ -166,9 +173,10 @@ pub fn table2_processes_per_node() -> Vec<Row> {
     let celegans = dataset(DatasetPreset::CElegans, 3);
     let hsapiens = dataset(DatasetPreset::HSapiens10x, 3);
     let mut rows = Vec::new();
-    for (name, data, nodes) in
-        [("C. elegans (2 nodes)", &celegans, 2usize), ("H. sapiens 10x (4 nodes)", &hsapiens, 4)]
-    {
+    for (name, data, nodes) in [
+        ("C. elegans (2 nodes)", &celegans, 2usize),
+        ("H. sapiens 10x (4 nodes)", &hsapiens, 4),
+    ] {
         let mut row = Row::new(name);
         for ppn in [4usize, 8, 16, 32, 64] {
             let mut cfg = paper_config(31, nodes, data.data_scale);
@@ -192,15 +200,19 @@ pub fn table3_batch_size() -> Vec<Row> {
     let citrus = dataset(DatasetPreset::Citrus, 4);
     let hs52 = dataset(DatasetPreset::HSapiens52x, 4);
     let mut rows = Vec::new();
-    for (name, data, nodes) in
-        [("Citrus (4 nodes)", &citrus, 4usize), ("H. sapiens 52x (32 nodes)", &hs52, 32)]
-    {
+    for (name, data, nodes) in [
+        ("Citrus (4 nodes)", &citrus, 4usize),
+        ("H. sapiens 52x (32 nodes)", &hs52, 32),
+    ] {
         let mut row = Row::new(name);
         for batch in [10_000usize, 20_000, 40_000, 80_000, 160_000] {
             let mut cfg = paper_config(31, nodes, data.data_scale);
             cfg.batch_size = batch;
             let report = run_hysortk(&data.reads, &cfg);
-            row = row.push(&format!("b{}k", batch / 1000), report.stage_times.get("exchange"));
+            row = row.push(
+                &format!("b{}k", batch / 1000),
+                report.stage_times.get("exchange"),
+            );
         }
         rows.push(row);
     }
@@ -216,9 +228,10 @@ pub fn table4_m_length() -> Vec<Row> {
     let celegans = dataset(DatasetPreset::CElegans, 5);
     let hsapiens = dataset(DatasetPreset::HSapiens10x, 5);
     let mut rows = Vec::new();
-    for (name, data, nodes) in
-        [("C. elegans (1 node)", &celegans, 1usize), ("H. sapiens 10x (4 nodes)", &hsapiens, 4)]
-    {
+    for (name, data, nodes) in [
+        ("C. elegans (1 node)", &celegans, 1usize),
+        ("H. sapiens 10x (4 nodes)", &hsapiens, 4),
+    ] {
         let mut row = Row::new(name);
         for m in [7usize, 13, 17, 21, 27] {
             let mut cfg = paper_config(31, nodes, data.data_scale);
@@ -250,7 +263,10 @@ pub fn figure4_strong_scaling() -> Vec<Row> {
                 .push("time_s", t)
                 .push("speedup", base / t)
                 .push("efficiency", base / t / nodes as f64)
-                .push("raduls", matches!(report.sorter, hysortk_perfmodel::SortAlgorithm::Raduls) as u8 as f64),
+                .push(
+                    "raduls",
+                    matches!(report.sorter, hysortk_perfmodel::SortAlgorithm::Raduls) as u8 as f64,
+                ),
         );
     }
     rows
@@ -270,8 +286,7 @@ pub fn figure5_weak_scaling() -> Vec<Row> {
         let gen_scale = default_scale(DatasetPreset::HSapiensShortRead) * nodes as f64;
         let data = DatasetPreset::HSapiensShortRead.generate(gen_scale, 7 + nodes as u64);
         let mut cfg = paper_config(31, nodes, 1.0);
-        cfg.data_scale =
-            (data.reads.total_bases() as f64 / (2e9 * nodes as f64)).clamp(1e-9, 1.0);
+        cfg.data_scale = (data.reads.total_bases() as f64 / (2e9 * nodes as f64)).clamp(1e-9, 1.0);
         let report = run_hysortk(&data.reads, &cfg);
         let t = report.total_time();
         let base = *baseline.get_or_insert(t);
@@ -281,7 +296,10 @@ pub fn figure5_weak_scaling() -> Vec<Row> {
                 .push("weak_efficiency", base / t)
                 .push("parse_s", report.stage_times.get("parse"))
                 .push("exchange_s", report.stage_times.get("exchange"))
-                .push("sort_scan_s", report.stage_times.get("sort") + report.stage_times.get("scan")),
+                .push(
+                    "sort_scan_s",
+                    report.stage_times.get("sort") + report.stage_times.get("scan"),
+                ),
         );
     }
     rows
@@ -331,8 +349,15 @@ fn vs_kmerind(preset: DatasetPreset, node_counts: &[usize], seed: u64) -> Vec<Ro
             KmerindOutcome::Completed(res) => {
                 row = row
                     .push("kmerind_s", res.report.total_time())
-                    .push("kmerind_mem_gb", res.report.peak_memory_per_node as f64 / 1e9)
-                    .push("mem_saving", 1.0 - hysortk.peak_memory_per_node as f64 / res.report.peak_memory_per_node as f64);
+                    .push(
+                        "kmerind_mem_gb",
+                        res.report.peak_memory_per_node as f64 / 1e9,
+                    )
+                    .push(
+                        "mem_saving",
+                        1.0 - hysortk.peak_memory_per_node as f64
+                            / res.report.peak_memory_per_node as f64,
+                    );
             }
             KmerindOutcome::OutOfMemory { projected_peak, .. } => {
                 row = row.push("kmerind_oom_gb", projected_peak as f64 / 1e9);
@@ -394,7 +419,12 @@ pub fn figure9_vs_mhm2() -> Vec<Row> {
 pub fn figure10_elba() -> Vec<Row> {
     let data = dataset(DatasetPreset::ABaumannii, 12);
     let runs = [
-        ("ELBA original 64p1t", CounterChoice::Original, 64usize, 1usize),
+        (
+            "ELBA original 64p1t",
+            CounterChoice::Original,
+            64usize,
+            1usize,
+        ),
         ("ELBA original 4p16t", CounterChoice::Original, 4, 16),
         ("ELBA + HySortK 4p16t", CounterChoice::HySortK, 4, 16),
     ];
@@ -443,16 +473,20 @@ pub fn supermer_statistics() -> Vec<Row> {
     let (lex_stats, _, _) = stats_for(ScoreFunction::Lexicographic);
 
     vec![
-        Row::new("supermer vs raw k-mer exchange")
-            .push("comm_reduction", 1.0 - supermer_bytes as f64 / kmer_bytes as f64),
+        Row::new("supermer vs raw k-mer exchange").push(
+            "comm_reduction",
+            1.0 - supermer_bytes as f64 / kmer_bytes as f64,
+        ),
         Row::new("murmur hash score (256 batches)")
             .push("std_dev", hash_stats.std_dev)
             .push("max_min_ratio", hash_stats.max_min_ratio),
         Row::new("lexicographic score (256 batches)")
             .push("std_dev", lex_stats.std_dev)
             .push("max_min_ratio", lex_stats.max_min_ratio),
-        Row::new("stddev improvement")
-            .push("lex_over_hash", lex_stats.std_dev / hash_stats.std_dev.max(1e-9)),
+        Row::new("stddev improvement").push(
+            "lex_over_hash",
+            lex_stats.std_dev / hash_stats.std_dev.max(1e-9),
+        ),
     ]
 }
 
@@ -482,8 +516,8 @@ pub fn communication_optimisations() -> Vec<Row> {
 
     let overlap_speedup = no_opt.get("exchange_s").unwrap_or(0.0)
         / with_overlap.get("exchange_s").unwrap_or(1.0).max(1e-9);
-    let volume_reduction =
-        1.0 - with_both.get("wire_gb").unwrap_or(0.0) / no_opt.get("wire_gb").unwrap_or(1.0).max(1e-12);
+    let volume_reduction = 1.0
+        - with_both.get("wire_gb").unwrap_or(0.0) / no_opt.get("wire_gb").unwrap_or(1.0).max(1e-12);
 
     vec![
         no_opt,
@@ -495,9 +529,168 @@ pub fn communication_optimisations() -> Vec<Row> {
     ]
 }
 
+// ---------------------------------------------------------------------------------------
+// Sort-kernel microbenchmark → BENCH_sort.json
+// ---------------------------------------------------------------------------------------
+
+/// Result of the sort-kernel microbenchmark and the end-to-end throughput probe.
+#[derive(Debug, Clone)]
+pub struct SortBenchReport {
+    /// Number of random 8-byte keys the kernels were timed on.
+    pub keys: usize,
+    /// ns/element of the closure-dispatched RADULS path.
+    pub raduls_closure_ns: f64,
+    /// ns/element of the monomorphized RADULS kernel.
+    pub raduls_kernel_ns: f64,
+    /// ns/element of the closure-dispatched PARADIS path.
+    pub paradis_closure_ns: f64,
+    /// ns/element of the monomorphized PARADIS kernel.
+    pub paradis_kernel_ns: f64,
+    /// Total k-mers counted by the end-to-end probe.
+    pub end_to_end_kmers: u64,
+    /// Wall-clock seconds of the end-to-end probe.
+    pub end_to_end_seconds: f64,
+}
+
+impl SortBenchReport {
+    /// Closure-path time over kernel time for RADULS (> 1 means the kernel is faster).
+    pub fn raduls_speedup(&self) -> f64 {
+        self.raduls_closure_ns / self.raduls_kernel_ns.max(1e-12)
+    }
+
+    /// Closure-path time over kernel time for PARADIS.
+    pub fn paradis_speedup(&self) -> f64 {
+        self.paradis_closure_ns / self.paradis_kernel_ns.max(1e-12)
+    }
+
+    /// Counted k-mers per wall-clock second of the end-to-end probe.
+    pub fn counts_per_sec(&self) -> f64 {
+        self.end_to_end_kmers as f64 / self.end_to_end_seconds.max(1e-12)
+    }
+
+    /// Render as the `BENCH_sort.json` document (hand-rolled; the workspace is
+    /// dependency-free beyond the vendored shims).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"sort-kernels\",\n",
+                "  \"keys\": {},\n",
+                "  \"ns_per_elem\": {{\n",
+                "    \"raduls_closure\": {:.3},\n",
+                "    \"raduls_kernel\": {:.3},\n",
+                "    \"paradis_closure\": {:.3},\n",
+                "    \"paradis_kernel\": {:.3}\n",
+                "  }},\n",
+                "  \"kernel_speedup\": {{ \"raduls\": {:.3}, \"paradis\": {:.3} }},\n",
+                "  \"end_to_end\": {{ \"kmers\": {}, \"seconds\": {:.4}, ",
+                "\"counts_per_sec\": {:.1} }}\n",
+                "}}\n"
+            ),
+            self.keys,
+            self.raduls_closure_ns,
+            self.raduls_kernel_ns,
+            self.paradis_closure_ns,
+            self.paradis_kernel_ns,
+            self.raduls_speedup(),
+            self.paradis_speedup(),
+            self.end_to_end_kmers,
+            self.end_to_end_seconds,
+            self.counts_per_sec(),
+        )
+    }
+}
+
+/// Median-of-samples wall time of `f` in seconds.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Time the closure-dispatched radix paths against the monomorphized kernels on
+/// `keys` random 8-byte keys, then run one end-to-end count for a counts/sec figure.
+pub fn bench_sort_kernels(keys: usize) -> SortBenchReport {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0xBE9C);
+    let input: Vec<u64> = (0..keys).map(|_| rng.gen()).collect();
+    let samples = 5;
+
+    let raduls_closure = median_secs(samples, || {
+        let mut v = input.clone();
+        hysortk_sort::raduls_sort_by(&mut v, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+        std::hint::black_box(&v);
+    });
+    let raduls_kernel = median_secs(samples, || {
+        let mut v = input.clone();
+        hysortk_sort::raduls_sort(&mut v);
+        std::hint::black_box(&v);
+    });
+    let paradis_closure = median_secs(samples, || {
+        let mut v = input.clone();
+        hysortk_sort::paradis_sort_by(&mut v, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+        std::hint::black_box(&v);
+    });
+    let paradis_kernel = median_secs(samples, || {
+        let mut v = input.clone();
+        hysortk_sort::paradis_sort(&mut v);
+        std::hint::black_box(&v);
+    });
+
+    // End-to-end probe: real wall-clock of the full pipeline on a small dataset.
+    let data = dataset(DatasetPreset::ABaumannii, 99);
+    let mut cfg = HySortKConfig::small(31, 15, 4);
+    cfg.min_count = 1;
+    cfg.max_count = 1_000_000;
+    cfg.data_scale = data.data_scale;
+    let start = std::time::Instant::now();
+    let result = count_kmers::<Kmer1>(&data.reads, &cfg);
+    let end_to_end_seconds = start.elapsed().as_secs_f64();
+    let end_to_end_kmers = data.reads.total_kmers(31) as u64;
+    std::hint::black_box(&result.counts);
+
+    let per_elem = |secs: f64| secs * 1e9 / keys.max(1) as f64;
+    SortBenchReport {
+        keys,
+        raduls_closure_ns: per_elem(raduls_closure),
+        raduls_kernel_ns: per_elem(raduls_kernel),
+        paradis_closure_ns: per_elem(paradis_closure),
+        paradis_kernel_ns: per_elem(paradis_kernel),
+        end_to_end_kmers,
+        end_to_end_seconds,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sort_bench_report_renders_valid_json_shape() {
+        let report = SortBenchReport {
+            keys: 1000,
+            raduls_closure_ns: 30.0,
+            raduls_kernel_ns: 20.0,
+            paradis_closure_ns: 25.0,
+            paradis_kernel_ns: 25.0,
+            end_to_end_kmers: 5000,
+            end_to_end_seconds: 0.5,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"raduls_kernel\": 20.000"));
+        assert!((report.raduls_speedup() - 1.5).abs() < 1e-9);
+        assert!((report.counts_per_sec() - 10_000.0).abs() < 1e-6);
+    }
 
     #[test]
     fn row_accessors_work() {

@@ -72,7 +72,9 @@ impl SyntheticGenome {
         // Satellite arrays: a handful of long tandem stretches of the repeat unit.
         let satellite_total = (config.length as f64 * config.satellite_fraction) as usize;
         if satellite_total >= config.satellite_unit.len() && !config.satellite_unit.is_empty() {
-            let arrays = 4usize.min(satellite_total / config.satellite_unit.len()).max(1);
+            let arrays = 4usize
+                .min(satellite_total / config.satellite_unit.len())
+                .max(1);
             let per_array = satellite_total / arrays;
             for _ in 0..arrays {
                 let start = rng.gen_range(0..config.length.saturating_sub(per_array).max(1));
@@ -95,7 +97,10 @@ impl SyntheticGenome {
             }
         }
 
-        SyntheticGenome { seq: DnaSeq::from_ascii(&bases), config }
+        SyntheticGenome {
+            seq: DnaSeq::from_ascii(&bases),
+            config,
+        }
     }
 
     /// Genome length in bases.
@@ -118,13 +123,20 @@ mod tests {
         let a = SyntheticGenome::generate(GenomeConfig::default());
         let b = SyntheticGenome::generate(GenomeConfig::default());
         assert_eq!(a.seq, b.seq);
-        let c = SyntheticGenome::generate(GenomeConfig { seed: 1, ..GenomeConfig::default() });
+        let c = SyntheticGenome::generate(GenomeConfig {
+            seed: 1,
+            ..GenomeConfig::default()
+        });
         assert_ne!(a.seq, c.seq);
     }
 
     #[test]
     fn length_and_gc_content_are_respected() {
-        let cfg = GenomeConfig { length: 50_000, gc_content: 0.6, ..GenomeConfig::default() };
+        let cfg = GenomeConfig {
+            length: 50_000,
+            gc_content: 0.6,
+            ..GenomeConfig::default()
+        };
         let g = SyntheticGenome::generate(cfg);
         assert_eq!(g.len(), 50_000);
         let gc = g
@@ -138,7 +150,11 @@ mod tests {
 
     #[test]
     fn satellite_arrays_are_present() {
-        let cfg = GenomeConfig { length: 100_000, satellite_fraction: 0.05, ..GenomeConfig::default() };
+        let cfg = GenomeConfig {
+            length: 100_000,
+            satellite_fraction: 0.05,
+            ..GenomeConfig::default()
+        };
         let g = SyntheticGenome::generate(cfg);
         let ascii = g.seq.to_ascii();
         let needle = b"AATGGAATGGAATGGAATGG"; // 4 tandem units

@@ -128,7 +128,12 @@ impl DatasetPreset {
             *max = (*max).min(genome.len() / 4).max(*min + 1);
         }
         let reads = simulator.simulate(&genome);
-        GeneratedDataset { preset: *self, reads, data_scale: effective_scale, genome_len: genome.len() }
+        GeneratedDataset {
+            preset: *self,
+            reads,
+            data_scale: effective_scale,
+            genome_len: genome.len(),
+        }
     }
 }
 
@@ -162,8 +167,14 @@ mod tests {
         assert_eq!(DatasetPreset::CElegans.full_size_bytes(), 4_500_000_000);
         assert_eq!(DatasetPreset::Citrus.full_size_bytes(), 17_000_000_000);
         assert_eq!(DatasetPreset::HSapiens10x.full_size_bytes(), 31_000_000_000);
-        assert_eq!(DatasetPreset::HSapiensShortRead.full_size_bytes(), 36_000_000_000);
-        assert_eq!(DatasetPreset::HSapiens52x.full_size_bytes(), 156_000_000_000);
+        assert_eq!(
+            DatasetPreset::HSapiensShortRead.full_size_bytes(),
+            36_000_000_000
+        );
+        assert_eq!(
+            DatasetPreset::HSapiens52x.full_size_bytes(),
+            156_000_000_000
+        );
     }
 
     #[test]
@@ -182,14 +193,17 @@ mod tests {
         // Generated volume ≈ full size × effective scale (ASCII bytes ≈ bases).
         let expected = DatasetPreset::CElegans.full_size_bytes() as f64 * small.data_scale;
         let actual = small.reads.total_bases() as f64;
-        assert!((actual / expected - 1.0).abs() < 0.3, "actual {actual} expected {expected}");
+        assert!(
+            (actual / expected - 1.0).abs() < 0.3,
+            "actual {actual} expected {expected}"
+        );
     }
 
     #[test]
     fn tiny_scales_are_clamped_to_a_usable_genome() {
         let d = DatasetPreset::HSapiens52x.generate(1e-9, 2);
         assert!(d.genome_len >= 20_000);
-        assert!(d.reads.len() > 0);
+        assert!(!d.reads.is_empty());
         assert!(d.data_scale >= 1e-9);
     }
 

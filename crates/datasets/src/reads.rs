@@ -53,17 +53,23 @@ pub struct SequencingErrorModel {
 impl SequencingErrorModel {
     /// HiFi-like long reads (~0.5 % errors).
     pub fn long_read_hifi() -> Self {
-        SequencingErrorModel { substitution_rate: 0.005 }
+        SequencingErrorModel {
+            substitution_rate: 0.005,
+        }
     }
 
     /// Illumina-like short reads (~0.2 % errors).
     pub fn short_read() -> Self {
-        SequencingErrorModel { substitution_rate: 0.002 }
+        SequencingErrorModel {
+            substitution_rate: 0.002,
+        }
     }
 
     /// Error-free reads (useful in tests).
     pub fn perfect() -> Self {
-        SequencingErrorModel { substitution_rate: 0.0 }
+        SequencingErrorModel {
+            substitution_rate: 0.0,
+        }
     }
 }
 
@@ -84,7 +90,10 @@ impl ReadSimulator {
     /// Long-read simulator at the given coverage.
     pub fn long_reads(coverage: f64, seed: u64) -> Self {
         ReadSimulator {
-            lengths: ReadLengthProfile::Long { min: 1_000, max: 20_000 },
+            lengths: ReadLengthProfile::Long {
+                min: 1_000,
+                max: 20_000,
+            },
             errors: SequencingErrorModel::long_read_hifi(),
             coverage,
             seed,
@@ -119,7 +128,9 @@ impl ReadSimulator {
             let mut seq = DnaSeq::with_capacity(len);
             for i in 0..len {
                 let mut code = genome.seq.get_code(start + i);
-                if self.errors.substitution_rate > 0.0 && rng.gen_bool(self.errors.substitution_rate) {
+                if self.errors.substitution_rate > 0.0
+                    && rng.gen_bool(self.errors.substitution_rate)
+                {
                     code = (code + rng.gen_range(1..4)) & 0b11;
                 }
                 seq.push_code(code);
@@ -128,7 +139,11 @@ impl ReadSimulator {
                 seq = seq.reverse_complement();
             }
             produced += len;
-            reads.push(Read { id: next_id, name: format!("sim{next_id}"), seq });
+            reads.push(Read {
+                id: next_id,
+                name: format!("sim{next_id}"),
+                seq,
+            });
             next_id += 1;
         }
         reads
@@ -141,7 +156,10 @@ mod tests {
     use crate::genome::{GenomeConfig, SyntheticGenome};
 
     fn genome(len: usize) -> SyntheticGenome {
-        SyntheticGenome::generate(GenomeConfig { length: len, ..GenomeConfig::default() })
+        SyntheticGenome::generate(GenomeConfig {
+            length: len,
+            ..GenomeConfig::default()
+        })
     }
 
     #[test]
@@ -192,7 +210,9 @@ mod tests {
         use std::collections::HashSet;
         let g = genome(10_000);
         let mut sim = ReadSimulator::long_reads(5.0, 4);
-        sim.errors = SequencingErrorModel { substitution_rate: 0.02 };
+        sim.errors = SequencingErrorModel {
+            substitution_rate: 0.02,
+        };
         let reads = sim.simulate(&g);
         let k = 21;
         let genome_kmers: HashSet<Kmer1> = g.seq.canonical_kmers(k).collect();

@@ -43,10 +43,51 @@ pub struct RoundedExchange<T> {
     pub rounds: usize,
 }
 
+/// Flat receive buffer of an `Alltoallv`-style exchange: the segments from every source
+/// rank concatenated in rank order, with `displs[src]..displs[src + 1]` delimiting the
+/// segment of rank `src` (`displs.len() == size + 1`).
+#[derive(Debug, Clone)]
+pub struct FlatReceived<T> {
+    /// All received elements, source-major.
+    pub data: Vec<T>,
+    /// Exclusive prefix displacements, one entry per source rank plus the total.
+    pub displs: Vec<usize>,
+}
+
+impl<T> FlatReceived<T> {
+    /// The segment received from `src`.
+    pub fn from_rank(&self, src: usize) -> &[T] {
+        &self.data[self.displs[src]..self.displs[src + 1]]
+    }
+
+    /// Number of source ranks.
+    pub fn num_sources(&self) -> usize {
+        self.displs.len() - 1
+    }
+
+    /// Elements received from `src`.
+    pub fn count_from(&self, src: usize) -> usize {
+        self.displs[src + 1] - self.displs[src]
+    }
+}
+
+/// Result of a round-limited padded flat exchange ([`RankCtx::alltoall_rounds_flat`]).
+#[derive(Debug, Clone)]
+pub struct FlatRoundedExchange<T> {
+    /// The flat receive buffer.
+    pub received: FlatReceived<T>,
+    /// Number of communication rounds the exchange needed.
+    pub rounds: usize,
+}
+
 impl RankCtx {
     pub(crate) fn new(rank: usize, shared: Arc<Shared>) -> Self {
         let size = shared.size;
-        RankCtx { rank, shared, stats: CommStats::new(size) }
+        RankCtx {
+            rank,
+            shared,
+            stats: CommStats::new(size),
+        }
     }
 
     pub(crate) fn into_stats(self) -> CommStats {
@@ -77,7 +118,11 @@ impl RankCtx {
     /// one vector per source. Returns `received[src]`. Does not record statistics —
     /// the public collectives wrap this and do their own accounting.
     fn exchange_matrix<T: Clone + Send + 'static>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(send.len(), self.size(), "send matrix must have one row per destination");
+        assert_eq!(
+            send.len(),
+            self.size(),
+            "send matrix must have one row per destination"
+        );
         // Post.
         {
             let mut slot = self.shared.slots[self.rank].lock().unwrap();
@@ -104,6 +149,61 @@ impl RankCtx {
         received
     }
 
+    /// Flat-buffer core primitive: every rank posts one contiguous buffer plus
+    /// per-destination counts; rank `dst`'s segment is
+    /// `send[displs[dst]..displs[dst + 1]]`. Each receiver copies exactly one segment
+    /// per source into its flat receive buffer — no nested per-destination vectors, no
+    /// per-block allocations. Does not record statistics.
+    fn exchange_flat<T: Copy + Send + 'static>(
+        &self,
+        send: Vec<T>,
+        counts: &[usize],
+    ) -> FlatReceived<T> {
+        assert_eq!(
+            counts.len(),
+            self.size(),
+            "one count per destination required"
+        );
+        let mut displs = Vec::with_capacity(self.size() + 1);
+        let mut acc = 0usize;
+        displs.push(0);
+        for &c in counts {
+            acc += c;
+            displs.push(acc);
+        }
+        assert_eq!(acc, send.len(), "counts must sum to the send buffer length");
+        // Post the flat buffer with its displacements.
+        {
+            let mut slot = self.shared.slots[self.rank].lock().unwrap();
+            *slot = Some(Box::new((send, displs)));
+        }
+        self.barrier();
+        // Read own segment from every source's posting.
+        let mut recv_displs = Vec::with_capacity(self.size() + 1);
+        recv_displs.push(0);
+        let mut data: Vec<T> = Vec::new();
+        for src in 0..self.size() {
+            let slot = self.shared.slots[src].lock().unwrap();
+            let (posted, posted_displs) = slot
+                .as_ref()
+                .expect("collective mismatch: a rank did not post")
+                .downcast_ref::<(Vec<T>, Vec<usize>)>()
+                .expect("collective mismatch: inconsistent element type");
+            data.extend_from_slice(&posted[posted_displs[self.rank]..posted_displs[self.rank + 1]]);
+            recv_displs.push(data.len());
+        }
+        // Wait until everyone has read before clearing our slot for the next collective.
+        self.barrier();
+        {
+            let mut slot = self.shared.slots[self.rank].lock().unwrap();
+            *slot = None;
+        }
+        FlatReceived {
+            data,
+            displs: recv_displs,
+        }
+    }
+
     /// Irregular all-to-all (`MPI_Alltoallv`): `send[dst]` goes to rank `dst`; returns
     /// `received[src]`. Traffic is recorded under `label`.
     pub fn alltoallv<T: Clone + Send + 'static>(
@@ -121,29 +221,29 @@ impl RankCtx {
             .max()
             .unwrap_or(0);
         let received = self.exchange_matrix(send);
-        self.stats.record(label, &per_dest, 0, 1, self.rank, max_pair);
+        self.stats
+            .record(label, &per_dest, 0, 1, self.rank, max_pair);
         received
     }
 
-    /// Regular padded all-to-all in rounds, the exchange pattern HySortK uses (§3.3.1):
-    /// each round every rank sends exactly `batch` items to every destination, padding
-    /// short messages; the number of rounds is the global maximum `⌈len/batch⌉`.
+    /// Shared sizing/accounting of a round-limited padded exchange: the global-max
+    /// allreduce, the round count, the padding volume and the per-round pair maximum.
+    /// Both [`RankCtx::alltoall_rounds`] and [`RankCtx::alltoall_rounds_flat`] go
+    /// through here so the nested and flat paths can never drift apart.
     ///
-    /// The returned data is identical to [`RankCtx::alltoallv`]; what differs is the
-    /// recorded traffic (padding) and round count, which the performance model uses.
-    pub fn alltoall_rounds<T: Clone + Send + 'static>(
+    /// Returns `(per_dest_bytes, rounds, padding, max_pair)`.
+    fn rounds_accounting(
         &mut self,
-        send: Vec<Vec<T>>,
+        element_counts: &[usize],
+        elem: u64,
         batch: usize,
-        label: &str,
-    ) -> RoundedExchange<T> {
+    ) -> (Vec<u64>, usize, u64, u64) {
         assert!(batch > 0, "batch size must be positive");
-        let elem = std::mem::size_of::<T>() as u64;
-        let local_max = send.iter().map(|v| v.len()).max().unwrap_or(0);
+        let local_max = element_counts.iter().copied().max().unwrap_or(0);
         let global_max = self.allreduce_u64(local_max as u64, "exchange-sizing", u64::max) as usize;
         let rounds = global_max.div_ceil(batch).max(1);
 
-        let per_dest: Vec<u64> = send.iter().map(|v| v.len() as u64 * elem).collect();
+        let per_dest: Vec<u64> = element_counts.iter().map(|&c| c as u64 * elem).collect();
         // Padding: every (round, destination) slot is `batch` items on the wire.
         let padded_total = (rounds * batch * (self.size().saturating_sub(1))) as u64 * elem;
         let payload_total: u64 = per_dest
@@ -163,10 +263,73 @@ impl RankCtx {
                 .unwrap_or(0)
                 .max(batch as u64 * elem),
         );
+        (per_dest, rounds, padding, max_pair)
+    }
 
+    /// Regular padded all-to-all in rounds, the exchange pattern HySortK uses (§3.3.1):
+    /// each round every rank sends exactly `batch` items to every destination, padding
+    /// short messages; the number of rounds is the global maximum `⌈len/batch⌉`.
+    ///
+    /// The returned data is identical to [`RankCtx::alltoallv`]; what differs is the
+    /// recorded traffic (padding) and round count, which the performance model uses.
+    pub fn alltoall_rounds<T: Clone + Send + 'static>(
+        &mut self,
+        send: Vec<Vec<T>>,
+        batch: usize,
+        label: &str,
+    ) -> RoundedExchange<T> {
+        let elem = std::mem::size_of::<T>() as u64;
+        let element_counts: Vec<usize> = send.iter().map(Vec::len).collect();
+        let (per_dest, rounds, padding, max_pair) =
+            self.rounds_accounting(&element_counts, elem, batch);
         let received = self.exchange_matrix(send);
-        self.stats.record(label, &per_dest, padding, rounds, self.rank, max_pair);
+        self.stats
+            .record(label, &per_dest, padding, rounds, self.rank, max_pair);
         RoundedExchange { received, rounds }
+    }
+
+    /// Flat-buffer irregular all-to-all (`MPI_Alltoallv` with counts/displacements):
+    /// one contiguous send buffer whose segment `dst` holds `counts[dst]` elements.
+    /// Moves exactly one segment per rank pair and returns a flat receive buffer.
+    /// Traffic is recorded under `label`, byte-identically to [`RankCtx::alltoallv`].
+    pub fn alltoallv_flat<T: Copy + Send + 'static>(
+        &mut self,
+        send: Vec<T>,
+        counts: &[usize],
+        label: &str,
+    ) -> FlatReceived<T> {
+        let elem = std::mem::size_of::<T>() as u64;
+        let per_dest: Vec<u64> = counts.iter().map(|&c| c as u64 * elem).collect();
+        let max_pair = per_dest
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.rank)
+            .map(|(_, &b)| b)
+            .max()
+            .unwrap_or(0);
+        let received = self.exchange_flat(send, counts);
+        self.stats
+            .record(label, &per_dest, 0, 1, self.rank, max_pair);
+        received
+    }
+
+    /// Flat-buffer variant of [`RankCtx::alltoall_rounds`]: the same round-limited
+    /// padded exchange pattern (§3.3.1) and identical traffic accounting, but the
+    /// payload moves as one flat buffer plus counts instead of nested per-destination
+    /// vectors.
+    pub fn alltoall_rounds_flat<T: Copy + Send + 'static>(
+        &mut self,
+        send: Vec<T>,
+        counts: &[usize],
+        batch: usize,
+        label: &str,
+    ) -> FlatRoundedExchange<T> {
+        let elem = std::mem::size_of::<T>() as u64;
+        let (per_dest, rounds, padding, max_pair) = self.rounds_accounting(counts, elem, batch);
+        let received = self.exchange_flat(send, counts);
+        self.stats
+            .record(label, &per_dest, padding, rounds, self.rank, max_pair);
+        FlatRoundedExchange { received, rounds }
     }
 
     /// All-gather a single value from every rank (indexed by rank).
@@ -176,7 +339,10 @@ impl RankCtx {
         let per_dest: Vec<u64> = vec![elem; self.size()];
         let received = self.exchange_matrix(send);
         self.stats.record(label, &per_dest, 0, 1, self.rank, elem);
-        received.into_iter().map(|mut v| v.pop().expect("one value per source")).collect()
+        received
+            .into_iter()
+            .map(|mut v| v.pop().expect("one value per source"))
+            .collect()
     }
 
     /// All-reduce with an arbitrary associative combine function. Implemented as an
@@ -206,14 +372,32 @@ impl RankCtx {
     ) -> Option<Vec<T>> {
         let elem = std::mem::size_of::<T>() as u64;
         let send: Vec<Vec<T>> = (0..self.size())
-            .map(|dst| if dst == root { vec![value.clone()] } else { Vec::new() })
+            .map(|dst| {
+                if dst == root {
+                    vec![value.clone()]
+                } else {
+                    Vec::new()
+                }
+            })
             .collect();
         let mut per_dest = vec![0u64; self.size()];
         per_dest[root] = elem;
         let received = self.exchange_matrix(send);
-        self.stats.record(label, &per_dest, 0, 1, self.rank, if root == self.rank { 0 } else { elem });
+        self.stats.record(
+            label,
+            &per_dest,
+            0,
+            1,
+            self.rank,
+            if root == self.rank { 0 } else { elem },
+        );
         if self.rank == root {
-            Some(received.into_iter().map(|mut v| v.pop().expect("one value per source")).collect())
+            Some(
+                received
+                    .into_iter()
+                    .map(|mut v| v.pop().expect("one value per source"))
+                    .collect(),
+            )
         } else {
             None
         }
@@ -221,16 +405,32 @@ impl RankCtx {
 
     /// Broadcast `value` from `root` to every rank (non-root ranks pass their own value,
     /// which is ignored, mirroring `MPI_Bcast`'s in-place buffer semantics).
-    pub fn broadcast<T: Clone + Send + 'static>(&mut self, value: T, root: usize, label: &str) -> T {
+    pub fn broadcast<T: Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        root: usize,
+        label: &str,
+    ) -> T {
         let elem = std::mem::size_of::<T>() as u64;
         let send: Vec<Vec<T>> = if self.rank == root {
             (0..self.size()).map(|_| vec![value.clone()]).collect()
         } else {
             (0..self.size()).map(|_| Vec::new()).collect()
         };
-        let per_dest: Vec<u64> = if self.rank == root { vec![elem; self.size()] } else { vec![0; self.size()] };
+        let per_dest: Vec<u64> = if self.rank == root {
+            vec![elem; self.size()]
+        } else {
+            vec![0; self.size()]
+        };
         let received = self.exchange_matrix(send);
-        self.stats.record(label, &per_dest, 0, 1, self.rank, if self.rank == root { elem } else { 0 });
+        self.stats.record(
+            label,
+            &per_dest,
+            0,
+            1,
+            self.rank,
+            if self.rank == root { elem } else { 0 },
+        );
         received
             .into_iter()
             .nth(root)
@@ -256,8 +456,12 @@ impl RankCtx {
         let per_dest: Vec<u64> = send.iter().map(|v| v.len() as u64 * elem).collect();
         let max_pair = per_dest.iter().copied().max().unwrap_or(0);
         let received = self.exchange_matrix(send);
-        self.stats.record(label, &per_dest, 0, 1, self.rank, max_pair);
-        received.into_iter().nth(root).expect("scatter root row missing")
+        self.stats
+            .record(label, &per_dest, 0, 1, self.rank, max_pair);
+        received
+            .into_iter()
+            .nth(root)
+            .expect("scatter root row missing")
     }
 }
 
@@ -287,8 +491,9 @@ mod tests {
     fn alltoallv_conserves_total_items() {
         let p = 5;
         let run = Cluster::new(p).run(|ctx| {
-            let send: Vec<Vec<u8>> =
-                (0..ctx.size()).map(|dst| vec![0u8; (ctx.rank() * 7 + dst * 3) % 11]).collect();
+            let send: Vec<Vec<u8>> = (0..ctx.size())
+                .map(|dst| vec![0u8; (ctx.rank() * 7 + dst * 3) % 11])
+                .collect();
             let sent: usize = send.iter().map(|v| v.len()).sum();
             let recv = ctx.alltoallv(send, "conserve");
             let received: usize = recv.iter().map(|v| v.len()).sum();
@@ -316,6 +521,94 @@ mod tests {
         // Rank 1 sends 1 real item per destination but pays for 3 rounds * 4 slots.
         let (_, padding_rank1) = run.results[1];
         assert_eq!(padding_rank1, (3 * 4 - 1) as u64 * 8 * 3);
+    }
+
+    #[test]
+    fn flat_exchange_matches_nested_alltoallv() {
+        // The flat path must deliver byte-identical data and byte-identical traffic
+        // accounting to the nested-vector path it replaces.
+        let p = 5;
+        let run = Cluster::new(p).run(|ctx| {
+            let nested: Vec<Vec<u8>> = (0..ctx.size())
+                .map(|dst| {
+                    (0..(ctx.rank() * 7 + dst * 3) % 11)
+                        .map(|i| (ctx.rank() * 100 + dst * 10 + i) as u8)
+                        .collect()
+                })
+                .collect();
+            let counts: Vec<usize> = nested.iter().map(|v| v.len()).collect();
+            let flat: Vec<u8> = nested.iter().flatten().copied().collect();
+
+            let from_nested = ctx.alltoallv(nested, "nested");
+            let nested_stats = ctx.comm_stats().stage("nested").unwrap().clone();
+            let from_flat = ctx.alltoallv_flat(flat, &counts, "flat");
+            let flat_stats = ctx.comm_stats().stage("flat").unwrap().clone();
+
+            let equal =
+                (0..ctx.size()).all(|src| from_nested[src].as_slice() == from_flat.from_rank(src));
+            (
+                equal,
+                nested_stats.payload_bytes == flat_stats.payload_bytes,
+            )
+        });
+        for (data_equal, stats_equal) in run.results {
+            assert!(data_equal, "flat exchange delivered different bytes");
+            assert!(stats_equal, "flat exchange recorded different traffic");
+        }
+    }
+
+    #[test]
+    fn flat_rounds_match_nested_rounds_and_padding() {
+        let p = 4;
+        let run = Cluster::new(p).run(|ctx| {
+            let n = if ctx.rank() == 0 { 10 } else { 1 };
+            let nested: Vec<Vec<u64>> = (0..ctx.size()).map(|_| vec![7u64; n]).collect();
+            let counts = vec![n; ctx.size()];
+            let flat: Vec<u64> = vec![7u64; n * ctx.size()];
+
+            let nested_ex = ctx.alltoall_rounds(nested, 4, "nested-rounds");
+            let nested_padding = ctx
+                .comm_stats()
+                .stage("nested-rounds")
+                .unwrap()
+                .padding_bytes;
+            let flat_ex = ctx.alltoall_rounds_flat(flat, &counts, 4, "flat-rounds");
+            let flat_padding = ctx.comm_stats().stage("flat-rounds").unwrap().padding_bytes;
+
+            let data_equal = (0..ctx.size())
+                .all(|src| nested_ex.received[src].as_slice() == flat_ex.received.from_rank(src));
+            (
+                nested_ex.rounds,
+                flat_ex.rounds,
+                nested_padding,
+                flat_padding,
+                data_equal,
+            )
+        });
+        for (nested_rounds, flat_rounds, nested_padding, flat_padding, data_equal) in run.results {
+            assert_eq!(nested_rounds, flat_rounds);
+            assert_eq!(nested_padding, flat_padding);
+            assert!(data_equal);
+        }
+    }
+
+    #[test]
+    fn flat_exchange_handles_empty_segments() {
+        let run = Cluster::new(3).run(|ctx| {
+            // Only rank 1 sends anything, and only to rank 2.
+            let (flat, counts) = if ctx.rank() == 1 {
+                (vec![9u32, 8, 7], vec![0usize, 0, 3])
+            } else {
+                (Vec::new(), vec![0usize; 3])
+            };
+            let recv = ctx.alltoallv_flat(flat, &counts, "sparse");
+            (0..ctx.size())
+                .map(|src| recv.count_from(src))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(run.results[0], vec![0, 0, 0]);
+        assert_eq!(run.results[1], vec![0, 0, 0]);
+        assert_eq!(run.results[2], vec![0, 3, 0]);
     }
 
     #[test]
@@ -384,8 +677,9 @@ mod tests {
         let run = Cluster::new(4).run(|ctx| {
             let mut acc = 0u64;
             for round in 0..50u64 {
-                let send: Vec<Vec<u64>> =
-                    (0..ctx.size()).map(|_| vec![round + ctx.rank() as u64]).collect();
+                let send: Vec<Vec<u64>> = (0..ctx.size())
+                    .map(|_| vec![round + ctx.rank() as u64])
+                    .collect();
                 let recv = ctx.alltoallv(send, "loop");
                 acc += recv.iter().map(|v| v[0]).sum::<u64>();
             }

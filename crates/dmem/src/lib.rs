@@ -28,11 +28,29 @@
 //! // Every rank receives 0 + 1 + 2 + 3 = 6 items.
 //! assert_eq!(outcome.results, vec![6, 6, 6, 6]);
 //! ```
+//!
+//! The hot exchange path uses the **flat-buffer** collectives instead: one contiguous
+//! send buffer plus per-destination counts (MPI `Alltoallv` counts/displacements
+//! style), so the wire stage allocates no nested per-destination vectors:
+//!
+//! ```
+//! use hysortk_dmem::Cluster;
+//!
+//! let outcome = Cluster::new(3).run(|ctx| {
+//!     // Segment for every destination: two bytes tagged with the sender's rank.
+//!     let send: Vec<u8> = (0..ctx.size() * 2).map(|_| ctx.rank() as u8).collect();
+//!     let counts = vec![2usize; ctx.size()];
+//!     let recv = ctx.alltoallv_flat(send, &counts, "demo-flat");
+//!     (0..ctx.size()).map(|src| recv.from_rank(src).to_vec()).collect::<Vec<_>>()
+//! });
+//! // Rank 0 received [0, 0] from rank 0, [1, 1] from rank 1, [2, 2] from rank 2.
+//! assert_eq!(outcome.results[0], vec![vec![0, 0], vec![1, 1], vec![2, 2]]);
+//! ```
 
 pub mod collectives;
 pub mod stats;
 
-pub use collectives::{RankCtx, RoundedExchange};
+pub use collectives::{FlatReceived, FlatRoundedExchange, RankCtx, RoundedExchange};
 pub use stats::{CommStats, StageTraffic};
 
 use std::sync::Arc;
@@ -89,8 +107,7 @@ impl Cluster {
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.ranks);
-            for (rank, (res_slot, comm_slot)) in
-                results.iter_mut().zip(comm.iter_mut()).enumerate()
+            for (rank, (res_slot, comm_slot)) in results.iter_mut().zip(comm.iter_mut()).enumerate()
             {
                 let shared = Arc::clone(&shared);
                 let f = &f;
@@ -107,8 +124,14 @@ impl Cluster {
         });
 
         ClusterRun {
-            results: results.into_iter().map(|r| r.expect("rank produced no result")).collect(),
-            comm: comm.into_iter().map(|c| c.expect("rank produced no stats")).collect(),
+            results: results
+                .into_iter()
+                .map(|r| r.expect("rank produced no result"))
+                .collect(),
+            comm: comm
+                .into_iter()
+                .map(|c| c.expect("rank produced no stats"))
+                .collect(),
         }
     }
 }

@@ -41,7 +41,10 @@ pub struct StageTraffic {
 
 impl CommStats {
     pub(crate) fn new(size: usize) -> Self {
-        CommStats { sent_to: vec![0; size], ..Default::default() }
+        CommStats {
+            sent_to: vec![0; size],
+            ..Default::default()
+        }
     }
 
     pub(crate) fn record(

@@ -19,7 +19,10 @@ impl Extension {
     /// Create a new extension record.
     #[inline]
     pub fn new(read_id: u32, pos_in_read: u32) -> Self {
-        Extension { read_id, pos_in_read }
+        Extension {
+            read_id,
+            pos_in_read,
+        }
     }
 
     /// Size of the uncompressed wire representation in bytes (two `u32` fields), as used

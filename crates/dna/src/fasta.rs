@@ -82,7 +82,11 @@ pub fn to_fasta_string(reads: &ReadSet, line_width: usize) -> String {
 }
 
 /// Write a [`ReadSet`] to a FASTA file.
-pub fn write_fasta_file(path: impl AsRef<Path>, reads: &ReadSet, line_width: usize) -> io::Result<()> {
+pub fn write_fasta_file(
+    path: impl AsRef<Path>,
+    reads: &ReadSet,
+    line_width: usize,
+) -> io::Result<()> {
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
     w.write_all(to_fasta_string(reads, line_width).as_bytes())?;
@@ -113,7 +117,10 @@ mod tests {
 
     #[test]
     fn round_trips_through_text() {
-        let rs = ReadSet::from_ascii_reads(&[b"ACGTACGTACGTACGTACGTACGT".as_slice(), b"TTTTGGGGCCCCAAAA".as_slice()]);
+        let rs = ReadSet::from_ascii_reads(&[
+            b"ACGTACGTACGTACGTACGTACGT".as_slice(),
+            b"TTTTGGGGCCCCAAAA".as_slice(),
+        ]);
         let text = to_fasta_string(&rs, 10);
         let parsed = parse_fasta_str(&text);
         assert_eq!(parsed.len(), rs.len());

@@ -15,6 +15,8 @@
 use std::fmt;
 use std::hash::Hash;
 
+use hysortk_sort::RadixKey;
+
 use crate::base::{complement_code, decode_base, encode_base};
 
 /// A fixed-size packed k-mer over `W` 64-bit words.
@@ -163,7 +165,11 @@ impl<const W: usize> Kmer<W> {
         } else {
             // The byte straddles two words.
             let low = self.words[word] >> shift;
-            let high = if word == 0 { 0 } else { self.words[word - 1] << (64 - shift) };
+            let high = if word == 0 {
+                0
+            } else {
+                self.words[word - 1] << (64 - shift)
+            };
             ((low | high) & 0xFF) as u8
         }
     }
@@ -171,7 +177,7 @@ impl<const W: usize> Kmer<W> {
     /// Number of meaningful bytes for a given k (`⌈2k / 8⌉`).
     #[inline]
     pub const fn bytes_for(k: usize) -> usize {
-        (2 * k + 7) / 8
+        (2 * k).div_ceil(8)
     }
 
     /// Render as an ASCII DNA string of length k.
@@ -188,10 +194,26 @@ impl<const W: usize> fmt::Debug for Kmer<W> {
     }
 }
 
+/// A k-mer's packed words *are* its big-endian radix key, so the monomorphized radix
+/// kernels (`hysortk_sort::raduls_sort` / `paradis_sort`) can sort k-mers — and
+/// `(k-mer, payload)` records — with direct shift/mask word access. Levels above the
+/// meaningful `2k` bits read as zero and are skipped by the kernels.
+impl<const W: usize> RadixKey for Kmer<W> {
+    const KEY_WORDS: usize = W;
+
+    #[inline(always)]
+    fn key_word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+}
+
 /// Abstraction over packed k-mer widths so pipeline code can be written once and
 /// instantiated for `k ≤ 32` ([`Kmer1`]) or `k ≤ 64` ([`Kmer2`]).
+///
+/// `RadixKey` is a supertrait: every k-mer width sorts through the monomorphized
+/// radix kernels without a digit closure.
 pub trait KmerCode:
-    Copy + Clone + Eq + Ord + Hash + Send + Sync + fmt::Debug + Default + 'static
+    Copy + Clone + Eq + Ord + Hash + Send + Sync + fmt::Debug + Default + RadixKey + 'static
 {
     /// Number of 64-bit words in the representation.
     const WORDS: usize;
@@ -204,6 +226,10 @@ pub trait KmerCode:
     fn push_base(self, k: usize, code: u8) -> Self;
     /// Build from base codes.
     fn from_codes(codes: &[u8]) -> Self;
+    /// Reconstruct from raw packed words (most significant first, exactly
+    /// [`KmerCode::word_slice`]'s layout). The caller must guarantee the unused high
+    /// bits are zero, as `word_slice` always produces.
+    fn from_word_slice(words: &[u64]) -> Self;
     /// Base code at position `i`.
     fn base_at(&self, k: usize, i: usize) -> u8;
     /// Reverse complement.
@@ -238,6 +264,17 @@ impl<const W: usize> KmerCode for Kmer<W> {
     #[inline]
     fn from_codes(codes: &[u8]) -> Self {
         Kmer::from_codes(codes)
+    }
+    #[inline]
+    fn from_word_slice(words: &[u64]) -> Self {
+        assert_eq!(
+            words.len(),
+            W,
+            "word slice length must match the k-mer width"
+        );
+        let mut out = [0u64; W];
+        out.copy_from_slice(words);
+        Kmer::from_words(out)
     }
     #[inline]
     fn base_at(&self, k: usize, i: usize) -> u8 {
@@ -295,7 +332,9 @@ mod tests {
         assert!(a < b);
         assert!(b < c);
         // Cross-check against string comparison for a larger sample.
-        let strings = ["ACGTA", "AAAAA", "TTTTT", "GATCA", "CCCCC", "GGGGT", "ATATA"];
+        let strings = [
+            "ACGTA", "AAAAA", "TTTTT", "GATCA", "CCCCC", "GGGGT", "ATATA",
+        ];
         let mut by_str: Vec<&str> = strings.to_vec();
         by_str.sort();
         let mut by_kmer: Vec<&str> = strings.to_vec();
@@ -376,7 +415,10 @@ mod tests {
             "GGGGGCCCCCAAA",
             "ACGTTTTTTTTTT",
         ];
-        let kmers: Vec<Kmer1> = seqs.iter().map(|s| Kmer1::from_ascii(s.as_bytes())).collect();
+        let kmers: Vec<Kmer1> = seqs
+            .iter()
+            .map(|s| Kmer1::from_ascii(s.as_bytes()))
+            .collect();
         let mut by_ord = kmers.clone();
         by_ord.sort();
         let mut by_bytes = kmers.clone();
@@ -391,6 +433,32 @@ mod tests {
             std::cmp::Ordering::Equal
         });
         assert_eq!(by_ord, by_bytes);
+    }
+
+    #[test]
+    fn radix_key_words_match_packed_words_and_sort_like_ord() {
+        let seq: Vec<u8> = (0..55).map(|i| b"TGAC"[i % 4]).collect();
+        let km = Kmer2::from_ascii(&seq);
+        assert_eq!(km.key_word(0), km.words()[0]);
+        assert_eq!(km.key_word(1), km.words()[1]);
+
+        let mut kmers: Vec<Kmer1> = ["ACGTA", "AAAAA", "TTTTT", "GATCA", "CCCCC"]
+            .iter()
+            .map(|s| Kmer1::from_ascii(s.as_bytes()))
+            .collect();
+        let mut by_ord = kmers.clone();
+        by_ord.sort();
+        hysortk_sort::raduls_sort(&mut kmers);
+        assert_eq!(kmers, by_ord);
+    }
+
+    #[test]
+    fn from_word_slice_round_trips() {
+        let km = Kmer1::from_ascii(b"GATTACAGATTACAGATTACA");
+        assert_eq!(Kmer1::from_word_slice(km.word_slice()), km);
+        let long: Vec<u8> = (0..55).map(|i| b"ACGGTTAC"[i % 8]).collect();
+        let km2 = Kmer2::from_ascii(&long);
+        assert_eq!(Kmer2::from_word_slice(km2.word_slice()), km2);
     }
 
     #[test]

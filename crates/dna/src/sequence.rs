@@ -18,12 +18,18 @@ pub struct DnaSeq {
 impl DnaSeq {
     /// Empty sequence.
     pub fn new() -> Self {
-        DnaSeq { words: Vec::new(), len: 0 }
+        DnaSeq {
+            words: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Empty sequence with room for `n` bases.
     pub fn with_capacity(n: usize) -> Self {
-        DnaSeq { words: Vec::with_capacity(n.div_ceil(32)), len: 0 }
+        DnaSeq {
+            words: Vec::with_capacity(n.div_ceil(32)),
+            len: 0,
+        }
     }
 
     /// Parse from ASCII (unknown characters become `A`).
@@ -99,8 +105,16 @@ impl DnaSeq {
 
     /// Rolling iterator over all k-mers (in forward orientation).
     pub fn kmers<K: KmerCode>(&self, k: usize) -> KmerIter<'_, K> {
-        assert!(k >= 1 && k <= K::max_k(), "k = {k} out of range for this k-mer width");
-        KmerIter { seq: self, k, next_base: 0, current: K::zero() }
+        assert!(
+            k >= 1 && k <= K::max_k(),
+            "k = {k} out of range for this k-mer width"
+        );
+        KmerIter {
+            seq: self,
+            k,
+            next_base: 0,
+            current: K::zero(),
+        }
     }
 
     /// Rolling iterator over canonical k-mers.

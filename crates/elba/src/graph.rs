@@ -35,8 +35,14 @@ impl OverlapGraph {
     pub fn from_overlaps(overlaps: &[Overlap]) -> Self {
         let mut g = OverlapGraph::default();
         for o in overlaps {
-            g.adjacency.entry(o.read_a).or_default().insert(o.read_b, o.offset);
-            g.adjacency.entry(o.read_b).or_default().insert(o.read_a, -o.offset);
+            g.adjacency
+                .entry(o.read_a)
+                .or_default()
+                .insert(o.read_b, o.offset);
+            g.adjacency
+                .entry(o.read_b)
+                .or_default()
+                .insert(o.read_a, -o.offset);
         }
         g
     }
@@ -53,7 +59,10 @@ impl OverlapGraph {
 
     /// Neighbours of a read.
     pub fn neighbours(&self, read: u32) -> impl Iterator<Item = u32> + '_ {
-        self.adjacency.get(&read).into_iter().flat_map(|n| n.keys().copied())
+        self.adjacency
+            .get(&read)
+            .into_iter()
+            .flat_map(|n| n.keys().copied())
     }
 
     fn remove_edge(&mut self, a: u32, b: u32) {
@@ -119,7 +128,8 @@ pub fn transitive_reduction(graph: &mut OverlapGraph, tolerance: i32) -> usize {
     let vertices: Vec<u32> = graph.adjacency.keys().copied().collect();
     let mut to_remove: Vec<(u32, u32)> = Vec::new();
     for &a in &vertices {
-        let neighbours: Vec<(u32, i32)> = graph.adjacency[&a].iter().map(|(&v, &o)| (v, o)).collect();
+        let neighbours: Vec<(u32, i32)> =
+            graph.adjacency[&a].iter().map(|(&v, &o)| (v, o)).collect();
         for &(b, off_ab) in &neighbours {
             for &(c, off_ac) in &neighbours {
                 if b == c || a >= b {
@@ -127,8 +137,7 @@ pub fn transitive_reduction(graph: &mut OverlapGraph, tolerance: i32) -> usize {
                 }
                 // Is there an edge b—c whose offset explains a—c through b?
                 if let Some(&off_bc) = graph.adjacency.get(&b).and_then(|n| n.get(&c)) {
-                    if (off_ab + off_bc - off_ac).abs() <= tolerance
-                        && off_ab.abs() < off_ac.abs()
+                    if (off_ab + off_bc - off_ac).abs() <= tolerance && off_ab.abs() < off_ac.abs()
                     {
                         to_remove.push((a, c));
                     }
@@ -150,14 +159,18 @@ mod tests {
     use super::*;
 
     fn overlap(a: u32, b: u32, offset: i32) -> Overlap {
-        Overlap { read_a: a, read_b: b, shared_seeds: 10, offset }
+        Overlap {
+            read_a: a,
+            read_b: b,
+            shared_seeds: 10,
+            offset,
+        }
     }
 
     #[test]
     fn chain_of_overlaps_becomes_one_contig() {
         // Reads 0-1-2-3 tiled along a genome.
-        let overlaps =
-            vec![overlap(0, 1, 100), overlap(1, 2, 100), overlap(2, 3, 100)];
+        let overlaps = vec![overlap(0, 1, 100), overlap(1, 2, 100), overlap(2, 3, 100)];
         let g = OverlapGraph::from_overlaps(&overlaps);
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 3);
@@ -194,7 +207,9 @@ mod tests {
         let g = OverlapGraph::from_overlaps(&overlaps);
         let contigs = g.contigs();
         // Read 1 has degree 3 and terminates every path; no contig may pass through it.
-        assert!(contigs.iter().all(|c| !c.reads.contains(&1) || c.reads.len() <= 2));
+        assert!(contigs
+            .iter()
+            .all(|c| !c.reads.contains(&1) || c.reads.len() <= 2));
     }
 
     #[test]

@@ -34,22 +34,35 @@ pub fn detect_overlaps(seeds: &[Vec<Extension>], min_shared: u32) -> Vec<Overlap
     // Pair votes: (read_a, read_b) -> diagonal histogram.
     let pair_votes: HashMap<(u32, u32), Vec<i32>> = seeds
         .par_iter()
-        .fold(HashMap::new, |mut acc: HashMap<(u32, u32), Vec<i32>>, occurrences| {
-            // Heavy k-mers produce quadratic pairs; counters cap them via max_count, but
-            // guard anyway so a pathological list cannot blow up the pair generation.
-            let occ = if occurrences.len() > 50 { &occurrences[..50] } else { &occurrences[..] };
-            for (i, a) in occ.iter().enumerate() {
-                for b in &occ[i + 1..] {
-                    if a.read_id == b.read_id {
-                        continue;
+        .fold(
+            HashMap::new,
+            |mut acc: HashMap<(u32, u32), Vec<i32>>, occurrences| {
+                // Heavy k-mers produce quadratic pairs; counters cap them via max_count, but
+                // guard anyway so a pathological list cannot blow up the pair generation.
+                let occ = if occurrences.len() > 50 {
+                    &occurrences[..50]
+                } else {
+                    &occurrences[..]
+                };
+                for (i, a) in occ.iter().enumerate() {
+                    for b in &occ[i + 1..] {
+                        if a.read_id == b.read_id {
+                            continue;
+                        }
+                        let (x, y) = if a.read_id < b.read_id {
+                            (a, b)
+                        } else {
+                            (b, a)
+                        };
+                        let diagonal = x.pos_in_read as i32 - y.pos_in_read as i32;
+                        acc.entry((x.read_id, y.read_id))
+                            .or_default()
+                            .push(diagonal);
                     }
-                    let (x, y) = if a.read_id < b.read_id { (a, b) } else { (b, a) };
-                    let diagonal = x.pos_in_read as i32 - y.pos_in_read as i32;
-                    acc.entry((x.read_id, y.read_id)).or_default().push(diagonal);
                 }
-            }
-            acc
-        })
+                acc
+            },
+        )
         .reduce(HashMap::new, |mut a, b| {
             for (k, mut v) in b {
                 a.entry(k).or_default().append(&mut v);
@@ -67,12 +80,19 @@ pub fn detect_overlaps(seeds: &[Vec<Extension>], min_shared: u32) -> Vec<Overlap
             let median = diagonals[diagonals.len() / 2];
             // Require the majority of the seeds to agree with the median diagonal
             // (within a small band), which filters repeat-induced spurious pairs.
-            let consistent =
-                diagonals.iter().filter(|&&d| (d - median).abs() <= 32).count() as u32;
+            let consistent = diagonals
+                .iter()
+                .filter(|&&d| (d - median).abs() <= 32)
+                .count() as u32;
             if consistent < min_shared {
                 return None;
             }
-            Some(Overlap { read_a, read_b, shared_seeds: consistent, offset: median })
+            Some(Overlap {
+                read_a,
+                read_b,
+                shared_seeds: consistent,
+                offset: median,
+            })
         })
         .collect();
     overlaps.sort_by_key(|o| (o.read_a, o.read_b));
@@ -91,8 +111,9 @@ mod tests {
     fn overlapping_reads_are_detected_with_the_right_offset() {
         // Reads 0 and 1 overlap with read 1 shifted by 100 bases: shared k-mers appear
         // at positions p in read 0 and p-100 in read 1.
-        let seeds: Vec<Vec<Extension>> =
-            (0..20).map(|i| vec![ext(0, 100 + i * 7), ext(1, i * 7)]).collect();
+        let seeds: Vec<Vec<Extension>> = (0..20)
+            .map(|i| vec![ext(0, 100 + i * 7), ext(1, i * 7)])
+            .collect();
         let overlaps = detect_overlaps(&seeds, 5);
         assert_eq!(overlaps.len(), 1);
         assert_eq!(overlaps[0].read_a, 0);
@@ -107,8 +128,9 @@ mod tests {
         let few: Vec<Vec<Extension>> = (0..2).map(|i| vec![ext(0, i), ext(1, i)]).collect();
         assert!(detect_overlaps(&few, 5).is_empty());
         // Many shared seeds but on wildly different diagonals (repeat-induced).
-        let inconsistent: Vec<Vec<Extension>> =
-            (0..20).map(|i| vec![ext(0, i * 200), ext(1, ((19 - i) * 173) % 4000)]).collect();
+        let inconsistent: Vec<Vec<Extension>> = (0..20)
+            .map(|i| vec![ext(0, i * 200), ext(1, ((19 - i) * 173) % 4000)])
+            .collect();
         assert!(detect_overlaps(&inconsistent, 15).is_empty());
     }
 

@@ -100,7 +100,7 @@ pub fn run_elba<K: KmerCode>(reads: &ReadSet, cfg: &ElbaConfig) -> ElbaResult {
         nodes: 1,
         processes_per_node: cfg.processes,
         threads_per_process: cfg.threads_per_process,
-        threads_per_worker: cfg.threads_per_process.min(4).max(1),
+        threads_per_worker: cfg.threads_per_process.clamp(1, 4),
         min_count: cfg.min_count,
         max_count: cfg.max_count,
         with_extension: true,
@@ -119,7 +119,10 @@ pub fn run_elba<K: KmerCode>(reads: &ReadSet, cfg: &ElbaConfig) -> ElbaResult {
         CounterChoice::HySortK => {
             let result = count_kmers::<K>(reads, &counter_cfg);
             let exts = result.extensions.clone().unwrap_or_default();
-            (exts, model_counting_time(total_kmers_projected, cfg, CounterChoice::HySortK))
+            (
+                exts,
+                model_counting_time(total_kmers_projected, cfg, CounterChoice::HySortK),
+            )
         }
         CounterChoice::Original => {
             // The two-pass counter runs for real to keep the counting result honest…
@@ -132,7 +135,10 @@ pub fn run_elba<K: KmerCode>(reads: &ReadSet, cfg: &ElbaConfig) -> ElbaResult {
                     .into_iter()
                     .map(|(_, v)| v)
                     .collect();
-            (exts, model_counting_time(total_kmers_projected, cfg, CounterChoice::Original))
+            (
+                exts,
+                model_counting_time(total_kmers_projected, cfg, CounterChoice::Original),
+            )
         }
     };
 
@@ -172,8 +178,8 @@ fn model_counting_time(total_kmers: f64, cfg: &ElbaConfig, counter: CounterChoic
         CounterChoice::Original => (1, 15e6),
     };
     let cores_used = (cfg.processes * threads_used) as f64;
-    let eff = thread_efficiency(threads_used)
-        / ccx_penalty(threads_used, cfg.machine.cores_per_ccx());
+    let eff =
+        thread_efficiency(threads_used) / ccx_penalty(threads_used, cfg.machine.cores_per_ccx());
     // Exchange/synchronisation overhead growing with the rank count.
     let rank_overhead = cfg.processes as f64 * cfg.machine.network_latency * 200.0;
     total_kmers / (per_core_rate * cores_used * eff) + rank_overhead
@@ -200,7 +206,10 @@ fn model_stage_times(cfg: &ElbaConfig, counting_time: f64, total_kmers: f64) -> 
 
     let mut stages = StageTimes::new();
     stages.add("kmer-counting", counting_time);
-    stages.add("overlap-detection", total_kmers / (OVERLAP_RATE * total_cores * eff));
+    stages.add(
+        "overlap-detection",
+        total_kmers / (OVERLAP_RATE * total_cores * eff),
+    );
     stages.add(
         "transitive-reduction",
         total_kmers / (TRANSRED_RATE * total_cores * eff)
@@ -275,8 +284,14 @@ mod tests {
         // against the pure-MPI configuration (paper: 1.8× and 1.3×).
         let speedup_vs_64p1t = original_64p1t.total_time() / hysortk_4p16t.total_time();
         let speedup_vs_4p16t = original_4p16t.total_time() / hysortk_4p16t.total_time();
-        assert!(speedup_vs_64p1t > 1.3, "speedup vs 64p1t only {speedup_vs_64p1t:.2}");
-        assert!(speedup_vs_4p16t > 1.1, "speedup vs 4p16t only {speedup_vs_4p16t:.2}");
+        assert!(
+            speedup_vs_64p1t > 1.3,
+            "speedup vs 64p1t only {speedup_vs_64p1t:.2}"
+        );
+        assert!(
+            speedup_vs_4p16t > 1.1,
+            "speedup vs 4p16t only {speedup_vs_4p16t:.2}"
+        );
         assert!(speedup_vs_64p1t > speedup_vs_4p16t);
     }
 }

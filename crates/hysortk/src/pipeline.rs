@@ -28,14 +28,14 @@ use hysortk_dna::readset::{Read, ReadSet};
 use hysortk_hash::hash_kmer;
 use hysortk_perfmodel::network::ExchangeProfile;
 use hysortk_perfmodel::{PerfModel, SortAlgorithm, StageTimes};
-use hysortk_sort::{count_sorted_runs, paradis_sort_by, raduls_sort_by};
+use hysortk_sort::{count_sorted_runs, paradis_sort_from, raduls_sort};
 use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
 use hysortk_supermer::supermer::{build_supermers, Supermer};
 use hysortk_task::{assign_greedy, detect_heavy_tasks, schedule_lpt, Assignment, WorkerPool};
 
 use crate::config::HySortKConfig;
 use crate::result::{CountResult, KmerHistogram, RunReport};
-use crate::wire::{read_blocks, write_block, write_records_uncompressed, TaskBlock, TaskPayload};
+use crate::wire::{read_blocks, write_block, write_records_uncompressed, PayloadView, TaskPayload};
 
 /// Work counters measured by one rank.
 #[derive(Debug, Clone, Default)]
@@ -81,7 +81,11 @@ impl<K: KmerCode> LocalTask<K> {
 /// [`hysortk_dna::Kmer1`] for k ≤ 32 and [`hysortk_dna::Kmer2`] for k ≤ 64.
 pub fn count_kmers<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> CountResult<K> {
     cfg.validate().expect("invalid HySortK configuration");
-    assert!(cfg.k <= K::max_k(), "k = {} exceeds the chosen k-mer width", cfg.k);
+    assert!(
+        cfg.k <= K::max_k(),
+        "k = {} exceeds the chosen k-mer width",
+        cfg.k
+    );
 
     let p = cfg.total_ranks();
     let num_tasks = cfg.num_tasks();
@@ -92,14 +96,18 @@ pub fn count_kmers<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> CountRe
     // the node memory. The decision is deterministic and identical on every rank.
     let projected_kmers = (reads.total_kmers(cfg.k) as f64 / cfg.data_scale) as u64;
     let bytes_per_record = record_bytes::<K>(cfg);
-    let projected_input_per_node = (reads.total_bases() as f64 / 4.0 / cfg.data_scale) as u64
-        / cfg.nodes.max(1) as u64;
+    let projected_input_per_node =
+        (reads.total_bases() as f64 / 4.0 / cfg.data_scale) as u64 / cfg.nodes.max(1) as u64;
     let raduls_ok = model.memory().raduls_fits(
         projected_kmers / cfg.nodes.max(1) as u64,
         bytes_per_record,
         projected_input_per_node,
     );
-    let sorter = if raduls_ok { SortAlgorithm::Raduls } else { SortAlgorithm::Paradis };
+    let sorter = if raduls_ok {
+        SortAlgorithm::Raduls
+    } else {
+        SortAlgorithm::Paradis
+    };
 
     let cluster = Cluster::new(p);
     let run = cluster.run(|ctx| rank_pipeline::<K>(ctx, reads, &ranges, cfg, num_tasks, sorter));
@@ -110,7 +118,12 @@ pub fn count_kmers<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> CountRe
 /// Wire size of one k-mer record in the receive buffer (used for the memory projection
 /// and the sort-cost byte width).
 fn record_bytes<K: KmerCode>(cfg: &HySortKConfig) -> usize {
-    K::WORDS * 8 + if cfg.with_extension { Extension::WIRE_BYTES } else { 0 }
+    K::WORDS * 8
+        + if cfg.with_extension {
+            Extension::WIRE_BYTES
+        } else {
+            0
+        }
 }
 
 fn rank_pipeline<K: KmerCode>(
@@ -184,79 +197,105 @@ fn rank_pipeline<K: KmerCode>(
     counters.heavy_tasks = heavy.len();
     let is_heavy = |t: usize| heavy.binary_search(&t).is_ok();
 
-    // ---------------- stage 2: serialise and exchange --------------------------------
-    let mut send: Vec<Vec<u8>> = vec![Vec::new(); p];
+    // ---------------- stage 2: serialise (flat, destination-major) and exchange ------
+    // One contiguous send buffer with per-destination counts (MPI `Alltoallv` style):
+    // the assignment's task lists group each destination's blocks contiguously, so the
+    // whole wire stage performs no per-destination vector allocations or copies.
     let levels = K::num_bytes(k);
-    for (t, content) in local.into_iter().enumerate() {
-        let dest = assignment.rank_of[t];
-        match content {
-            LocalTask::Supermers(sms) => {
-                if sms.is_empty() {
-                    continue;
-                }
-                if is_heavy(t) {
-                    // Heavy-hitter path: pre-count locally and ship a kmerlist (§3.5).
-                    let mut kmers: Vec<K> = sms
-                        .iter()
-                        .flat_map(|s| {
-                            s.canonical_kmers_with_pos::<K>(k).into_iter().map(|(km, _)| km)
-                        })
-                        .collect();
-                    counters.heavy_local_sorted += kmers.len() as u64;
-                    paradis_sort_by(&mut kmers, levels, |km, l| km.byte_msb(k, l));
-                    let list = count_sorted_runs(&kmers, |km| *km);
-                    write_block(&mut send[dest], t as u32, &TaskPayload::<K>::KmerList(list));
-                } else {
-                    write_block(&mut send[dest], t as u32, &TaskPayload::<K>::Supermers(sms));
-                }
-            }
-            LocalTask::Records(kmers, exts) => {
-                if kmers.is_empty() {
-                    continue;
-                }
-                if cfg.with_extension {
-                    if cfg.compress_extension {
-                        write_block(&mut send[dest], t as u32, &TaskPayload::Records(kmers, Some(exts)));
-                    } else {
-                        write_records_uncompressed(&mut send[dest], t as u32, &kmers, &exts);
+    // Leading key bytes above the meaningful 2k bits are constant zero; tell the MSD
+    // sorter to skip straight past them.
+    let first_radix_level = K::WORDS * 8 - levels;
+    let mut send: Vec<u8> = Vec::new();
+    let mut send_counts = vec![0usize; p];
+    for (dest, tasks) in assignment.tasks_of.iter().enumerate() {
+        let dest_start = send.len();
+        for &t in tasks {
+            let content = std::mem::replace(&mut local[t], LocalTask::Supermers(Vec::new()));
+            match content {
+                LocalTask::Supermers(sms) => {
+                    if sms.is_empty() {
+                        continue;
                     }
-                } else {
-                    write_block(&mut send[dest], t as u32, &TaskPayload::Records(kmers, None));
+                    if is_heavy(t) {
+                        // Heavy-hitter path: pre-count locally, ship a kmerlist (§3.5).
+                        let mut kmers: Vec<K> = sms
+                            .iter()
+                            .flat_map(|s| {
+                                s.canonical_kmers_with_pos::<K>(k)
+                                    .into_iter()
+                                    .map(|(km, _)| km)
+                            })
+                            .collect();
+                        counters.heavy_local_sorted += kmers.len() as u64;
+                        paradis_sort_from(&mut kmers, first_radix_level);
+                        let list = count_sorted_runs(&kmers, |km| *km);
+                        write_block(&mut send, t as u32, &TaskPayload::<K>::KmerList(list));
+                    } else {
+                        write_block(&mut send, t as u32, &TaskPayload::<K>::Supermers(sms));
+                    }
+                }
+                LocalTask::Records(kmers, exts) => {
+                    if kmers.is_empty() {
+                        continue;
+                    }
+                    if cfg.with_extension {
+                        if cfg.compress_extension {
+                            write_block(
+                                &mut send,
+                                t as u32,
+                                &TaskPayload::Records(kmers, Some(exts)),
+                            );
+                        } else {
+                            write_records_uncompressed(&mut send, t as u32, &kmers, &exts);
+                        }
+                    } else {
+                        write_block(&mut send, t as u32, &TaskPayload::Records(kmers, None));
+                    }
                 }
             }
         }
+        send_counts[dest] = send.len() - dest_start;
     }
+    drop(local);
 
     let batch_bytes = cfg.batch_size * K::num_bytes(k);
-    let exchange = ctx.alltoall_rounds(send, batch_bytes.max(1), "exchange");
+    let exchange = ctx.alltoall_rounds_flat(send, &send_counts, batch_bytes.max(1), "exchange");
     counters.exchange_rounds = exchange.rounds;
 
     // ---------------- stage 3: sort & count ------------------------------------------
-    // Gather the blocks addressed to this rank, grouped by task.
+    // Gather the blocks addressed to this rank, grouped by task. Parsing borrows the
+    // flat receive buffer (zero payload copies); supermer k-mers are decoded straight
+    // from the packed wire bytes into the per-task record arrays.
     let mut task_records: BTreeMap<u32, Vec<(K, Extension)>> = BTreeMap::new();
     let mut task_precounted: BTreeMap<u32, Vec<(K, u64)>> = BTreeMap::new();
-    for bytes in &exchange.received {
-        let blocks: Vec<TaskBlock<K>> =
-            read_blocks(bytes).expect("exchange produced a malformed stream");
+    for src in 0..p {
+        let blocks = read_blocks::<K>(exchange.received.from_rank(src))
+            .expect("exchange produced a malformed stream");
         for block in blocks {
             match block.payload {
-                TaskPayload::Supermers(sms) => {
+                PayloadView::Supermers(view) => {
                     let entry = task_records.entry(block.task).or_default();
-                    for s in sms {
-                        for (km, pos) in s.canonical_kmers_with_pos::<K>(k) {
-                            entry.push((km, Extension::new(s.read_id, pos)));
-                        }
+                    for sm in view.iter() {
+                        let read_id = sm.read_id;
+                        sm.for_each_canonical_kmer::<K>(k, |km, pos| {
+                            entry.push((km, Extension::new(read_id, pos)));
+                        });
                     }
                 }
-                TaskPayload::KmerList(list) => {
-                    task_precounted.entry(block.task).or_default().extend(list);
+                PayloadView::KmerList(view) => {
+                    task_precounted
+                        .entry(block.task)
+                        .or_default()
+                        .extend(view.iter());
                 }
-                TaskPayload::Records(kmers, exts) => {
+                PayloadView::Records(view) => {
                     let entry = task_records.entry(block.task).or_default();
-                    match exts {
-                        Some(exts) => entry.extend(kmers.into_iter().zip(exts)),
-                        None => entry
-                            .extend(kmers.into_iter().map(|km| (km, Extension::default()))),
+                    match view
+                        .decode_extensions()
+                        .expect("malformed extension stream")
+                    {
+                        Some(exts) => entry.extend(view.kmers().zip(exts)),
+                        None => entry.extend(view.kmers().map(|km| (km, Extension::default()))),
                     }
                 }
             }
@@ -272,7 +311,7 @@ fn rank_pipeline<K: KmerCode>(
     task_ids.sort_unstable();
     task_ids.dedup();
 
-    let mut work: Vec<(Vec<(K, Extension)>, Vec<(K, u64)>)> = Vec::with_capacity(task_ids.len());
+    let mut work: Vec<TaskWork<K>> = Vec::with_capacity(task_ids.len());
     let mut task_sizes: Vec<u64> = Vec::with_capacity(task_ids.len());
     for t in &task_ids {
         let records = task_records.remove(t).unwrap_or_default();
@@ -291,12 +330,13 @@ fn rank_pipeline<K: KmerCode>(
     let max = cfg.max_count;
     let with_ext = cfg.with_extension;
     let task_outputs = pool.execute(work, |(records, pre)| {
-        count_one_task::<K>(records, pre, k, levels, sorter, min, max, with_ext)
+        count_one_task::<K>(records, pre, first_radix_level, sorter, min, max, with_ext)
     });
 
     // ---------------- merge the task outputs of this rank ----------------------------
     let mut counts: Vec<(K, u64)> = Vec::new();
-    let mut extensions: Option<Vec<Vec<Extension>>> = if with_ext { Some(Vec::new()) } else { None };
+    let mut extensions: Option<Vec<Vec<Extension>>> =
+        if with_ext { Some(Vec::new()) } else { None };
     let mut histogram = KmerHistogram::new(max as usize + 2);
     for out in task_outputs {
         counts.extend(out.counts);
@@ -312,8 +352,16 @@ fn rank_pipeline<K: KmerCode>(
     let counts: Vec<(K, u64)> = order.iter().map(|&i| counts[i]).collect();
     let extensions = extensions.map(|ext| order.iter().map(|&i| ext[i].clone()).collect());
 
-    RankOutput { counts, extensions, histogram, counters }
+    RankOutput {
+        counts,
+        extensions,
+        histogram,
+        counters,
+    }
 }
+
+/// Work unit of one task: received records plus pre-counted kmerlist contributions.
+type TaskWork<K> = (Vec<(K, Extension)>, Vec<(K, u64)>);
 
 /// Output of counting one task.
 struct TaskOutput<K: KmerCode> {
@@ -326,35 +374,38 @@ struct TaskOutput<K: KmerCode> {
 fn count_one_task<K: KmerCode>(
     mut records: Vec<(K, Extension)>,
     mut pre: Vec<(K, u64)>,
-    k: usize,
-    levels: usize,
+    first_radix_level: usize,
     sorter: SortAlgorithm,
     min: u64,
     max: u64,
     with_ext: bool,
 ) -> TaskOutput<K> {
-    // Sort the received records by k-mer with the selected radix sort. The default
-    // Extension value makes the record Copy + Default as required by the sorters.
+    // Sort the received records by k-mer with the selected radix sort, through the
+    // monomorphized kernels: `(K, Extension)` is a `RadixKey` record (the k-mer words
+    // are the key, the extension rides along), so the digit loops are direct shift/mask
+    // word accesses. The default Extension value keeps the record Copy + Default.
     match sorter {
-        SortAlgorithm::Raduls => {
-            raduls_sort_by(&mut records, levels, |(km, _), l| km.byte_msb(k, l))
-        }
-        _ => paradis_sort_by(&mut records, levels, |(km, _), l| km.byte_msb(k, l)),
+        SortAlgorithm::Raduls => raduls_sort(&mut records),
+        _ => paradis_sort_from(&mut records, first_radix_level),
     }
     let mut counted: Vec<(K, u64, Vec<Extension>)> = Vec::new();
-    hysortk_sort::for_each_sorted_run(&records, |(km, _)| *km, |range| {
-        let km = records[range.start].0;
-        let exts: Vec<Extension> = if with_ext {
-            records[range.clone()].iter().map(|(_, e)| *e).collect()
-        } else {
-            Vec::new()
-        };
-        counted.push((km, range.len() as u64, exts));
-    });
+    hysortk_sort::for_each_sorted_run(
+        &records,
+        |(km, _)| *km,
+        |range| {
+            let km = records[range.start].0;
+            let exts: Vec<Extension> = if with_ext {
+                records[range.clone()].iter().map(|(_, e)| *e).collect()
+            } else {
+                Vec::new()
+            };
+            counted.push((km, range.len() as u64, exts));
+        },
+    );
 
     // Merge the pre-counted kmerlist contributions (heavy-hitter tasks).
     if !pre.is_empty() {
-        pre.sort_by(|a, b| a.0.cmp(&b.0));
+        pre.sort_by_key(|a| a.0);
         let mut merged_pre: Vec<(K, u64)> = Vec::with_capacity(pre.len());
         for (km, c) in pre {
             match merged_pre.last_mut() {
@@ -369,7 +420,10 @@ fn count_one_task<K: KmerCode>(
         let mut j = 0;
         while i < counted.len() || j < merged_pre.len() {
             if j >= merged_pre.len() {
-                result.push(std::mem::replace(&mut counted[i], (K::zero(), 0, Vec::new())));
+                result.push(std::mem::replace(
+                    &mut counted[i],
+                    (K::zero(), 0, Vec::new()),
+                ));
                 i += 1;
             } else if i >= counted.len() {
                 result.push((merged_pre[j].0, merged_pre[j].1, Vec::new()));
@@ -377,7 +431,10 @@ fn count_one_task<K: KmerCode>(
             } else {
                 match counted[i].0.cmp(&merged_pre[j].0) {
                     std::cmp::Ordering::Less => {
-                        result.push(std::mem::replace(&mut counted[i], (K::zero(), 0, Vec::new())));
+                        result.push(std::mem::replace(
+                            &mut counted[i],
+                            (K::zero(), 0, Vec::new()),
+                        ));
                         i += 1;
                     }
                     std::cmp::Ordering::Greater => {
@@ -411,7 +468,11 @@ fn count_one_task<K: KmerCode>(
             }
         }
     }
-    TaskOutput { counts, extensions, histogram }
+    TaskOutput {
+        counts,
+        extensions,
+        histogram,
+    }
 }
 
 /// Element-wise sum of per-task sizes across ranks (the "root retrieves data about the
@@ -431,7 +492,11 @@ fn allreduce_sizes(ctx: &mut RankCtx, local: &[u64]) -> Vec<u64> {
 
 /// The trivial assignment used when the task layer is disabled: task `t` → rank `t`.
 fn identity_assignment(sizes: &[u64], ranks: usize) -> Assignment {
-    assert_eq!(sizes.len(), ranks, "without the task layer there is one task per rank");
+    assert_eq!(
+        sizes.len(),
+        ranks,
+        "without the task layer there is one task per rank"
+    );
     Assignment {
         rank_of: (0..ranks).collect(),
         tasks_of: (0..ranks).map(|r| vec![r]).collect(),
@@ -452,8 +517,11 @@ fn merge_outputs<K: KmerCode>(
 
     // ---- merge counts (ranks hold disjoint canonical k-mers) ------------------------
     let mut counts: Vec<(K, u64)> = Vec::new();
-    let mut extensions: Option<Vec<Vec<Extension>>> =
-        if cfg.with_extension { Some(Vec::new()) } else { None };
+    let mut extensions: Option<Vec<Vec<Extension>>> = if cfg.with_extension {
+        Some(Vec::new())
+    } else {
+        None
+    };
     let mut histogram = KmerHistogram::new(cfg.max_count as usize + 2);
     let mut counters: Vec<RankCounters> = Vec::with_capacity(outputs.len());
     for out in outputs {
@@ -467,14 +535,23 @@ fn merge_outputs<K: KmerCode>(
     let mut order: Vec<usize> = (0..counts.len()).collect();
     order.sort_by(|&a, &b| counts[a].0.cmp(&counts[b].0));
     let counts: Vec<(K, u64)> = order.iter().map(|&i| counts[i]).collect();
-    let extensions = extensions.map(|ext| order.iter().map(|&i| ext[i].clone()).collect::<Vec<_>>());
+    let extensions =
+        extensions.map(|ext| order.iter().map(|&i| ext[i].clone()).collect::<Vec<_>>());
 
     // ---- projected work counters -----------------------------------------------------
     let max_bases = counters.iter().map(|c| c.bases_parsed).max().unwrap_or(0) as f64 * scale;
-    let max_heavy_local =
-        counters.iter().map(|c| c.heavy_local_sorted).max().unwrap_or(0) as f64 * scale;
-    let max_makespan =
-        counters.iter().map(|c| c.worker_makespan).max().unwrap_or(0) as f64 * scale;
+    let max_heavy_local = counters
+        .iter()
+        .map(|c| c.heavy_local_sorted)
+        .max()
+        .unwrap_or(0) as f64
+        * scale;
+    let max_makespan = counters
+        .iter()
+        .map(|c| c.worker_makespan)
+        .max()
+        .unwrap_or(0) as f64
+        * scale;
     let max_received = counters
         .iter()
         .map(|c| c.received_elements + c.precounted_elements)
@@ -484,8 +561,10 @@ fn merge_outputs<K: KmerCode>(
     let total_kmers: u64 =
         (counters.iter().map(|c| c.kmers_parsed).sum::<u64>() as f64 * scale) as u64;
     let heavy_tasks = counters.first().map(|c| c.heavy_tasks).unwrap_or(0);
-    let assignment_imbalance =
-        counters.first().map(|c| c.assignment_imbalance).unwrap_or(1.0);
+    let assignment_imbalance = counters
+        .first()
+        .map(|c| c.assignment_imbalance)
+        .unwrap_or(1.0);
 
     // ---- exchange traffic --------------------------------------------------------------
     // Project payloads to full scale first, then recompute rounds and padding from the
@@ -493,11 +572,11 @@ fn merge_outputs<K: KmerCode>(
     // fixed batch size and must not be scaled up).
     let p = cfg.total_ranks();
     let batch_bytes = (cfg.batch_size * K::num_bytes(cfg.k)) as u64;
-    let exchange_payload = |s: &CommStats| s.stage("exchange").map(|st| st.payload_bytes).unwrap_or(0);
+    let exchange_payload =
+        |s: &CommStats| s.stage("exchange").map(|st| st.payload_bytes).unwrap_or(0);
     let max_rank_payload =
-        (comm.iter().map(|s| exchange_payload(s)).max().unwrap_or(0) as f64 * scale) as u64;
-    let total_payload =
-        (comm.iter().map(|s| exchange_payload(s)).sum::<u64>() as f64 * scale) as u64;
+        (comm.iter().map(&exchange_payload).max().unwrap_or(0) as f64 * scale) as u64;
+    let total_payload = (comm.iter().map(exchange_payload).sum::<u64>() as f64 * scale) as u64;
     let max_pair_payload = comm
         .iter()
         .enumerate()
@@ -555,7 +634,10 @@ fn merge_outputs<K: KmerCode>(
         overlap_enabled: cfg.overlap,
     };
     stages.add("exchange", network.exchange_time(&profile));
-    stages.add("task-collectives", network.small_collective_time((cfg.num_tasks() * 8) as u64));
+    stages.add(
+        "task-collectives",
+        network.small_collective_time((cfg.num_tasks() * 8) as u64),
+    );
     stages.add(
         "sort",
         compute.sort_time_makespan(max_makespan as u64, bytes_per_record, sorter),
@@ -584,13 +666,18 @@ fn merge_outputs<K: KmerCode>(
         distinct_kmers: histogram.distinct(),
         retained_kmers: retained,
         heavy_tasks,
-        max_rank_wire_bytes: max_rank_wire as u64,
-        total_wire_bytes: total_wire as u64,
+        max_rank_wire_bytes: max_rank_wire,
+        total_wire_bytes: total_wire,
         exchange_rounds: rounds_projected,
         assignment_imbalance,
     };
 
-    CountResult { counts, histogram, extensions, report }
+    CountResult {
+        counts,
+        histogram,
+        extensions,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -731,9 +818,15 @@ mod tests {
         }
         let reads = ReadSet::from_ascii_reads(&seqs);
         let mut cfg = small_cfg(15, 7, 4);
-        cfg.heavy_hitter = hysortk_task::HeavyHitterPolicy { factor: 2.0, enabled: true };
+        cfg.heavy_hitter = hysortk_task::HeavyHitterPolicy {
+            factor: 2.0,
+            enabled: true,
+        };
         let result = count_kmers::<Kmer1>(&reads, &cfg);
-        assert!(result.report.heavy_tasks > 0, "expected at least one heavy task");
+        assert!(
+            result.report.heavy_tasks > 0,
+            "expected at least one heavy task"
+        );
         let expected = reference_counts_bounded::<Kmer1>(&reads, 15, 1, 1_000_000);
         assert_eq!(result.counts, expected);
     }

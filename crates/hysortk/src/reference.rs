@@ -44,7 +44,9 @@ pub fn reference_extensions<K: KmerCode>(
     let mut map: BTreeMap<K, Vec<Extension>> = BTreeMap::new();
     for read in reads.iter() {
         for (pos, km) in read.seq.canonical_kmers::<K>(k).enumerate() {
-            map.entry(km).or_default().push(Extension::new(read.id, pos as u32));
+            map.entry(km)
+                .or_default()
+                .push(Extension::new(read.id, pos as u32));
         }
     }
     map.into_iter()
@@ -69,7 +71,10 @@ mod tests {
         let counts = reference_counts::<Kmer1>(&reads, 3);
         let as_strings: Vec<(String, u64)> =
             counts.iter().map(|(k, c)| (k.to_string_k(3), *c)).collect();
-        assert_eq!(as_strings, vec![("ACG".to_string(), 4), ("GTA".to_string(), 2)]);
+        assert_eq!(
+            as_strings,
+            vec![("ACG".to_string(), 4), ("GTA".to_string(), 2)]
+        );
     }
 
     #[test]

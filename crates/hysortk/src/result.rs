@@ -1,8 +1,8 @@
 //! Results and run reports.
 
+use hysortk_dmem::CommStats;
 use hysortk_dna::extension::Extension;
 use hysortk_dna::kmer::KmerCode;
-use hysortk_dmem::CommStats;
 use hysortk_perfmodel::{SortAlgorithm, StageTimes};
 
 /// The histogram of k-mer multiplicities: `histogram[c]` is the number of distinct
@@ -18,7 +18,9 @@ impl KmerHistogram {
     /// The bucket count is clamped to 65 536 so that extreme `max_count` settings do not
     /// allocate absurd histograms.
     pub fn new(cap: usize) -> Self {
-        KmerHistogram { buckets: vec![0; cap.clamp(2, 65_536)] }
+        KmerHistogram {
+            buckets: vec![0; cap.clamp(2, 65_536)],
+        }
     }
 
     /// Record one distinct k-mer with multiplicity `count`.

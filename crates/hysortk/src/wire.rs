@@ -14,14 +14,22 @@
 //!
 //! Serialising to real bytes (rather than exchanging Rust structs) keeps the traffic
 //! accounting of the simulated cluster byte-accurate.
+//!
+//! Parsing is **zero-copy**: [`read_blocks`] validates the stream structure in one walk
+//! and returns [`TaskBlockView`]s whose payloads borrow the receive buffer. Items are
+//! decoded on demand by the view iterators — no payload byte is ever copied into an
+//! intermediate buffer. The owned [`TaskPayload`] remains the write-side input (and is
+//! available from a view via [`TaskBlockView::to_owned_block`] for tests and tooling).
 
 use hysortk_dna::extension::Extension;
 use hysortk_dna::kmer::KmerCode;
 use hysortk_dna::sequence::DnaSeq;
-use hysortk_supermer::codec::{decode_extensions, encode_extensions, EncodedExtensions};
+use hysortk_supermer::codec::{decode_extensions_slice, encode_extensions};
 use hysortk_supermer::supermer::Supermer;
 
-/// Payload of one task block after parsing.
+use std::marker::PhantomData;
+
+/// Payload of one task block (owned form, used by the writers).
 #[derive(Debug, Clone, PartialEq)]
 pub enum TaskPayload<K: KmerCode> {
     /// Supermers (normal tasks).
@@ -32,7 +40,7 @@ pub enum TaskPayload<K: KmerCode> {
     Records(Vec<K>, Option<Vec<Extension>>),
 }
 
-/// A parsed task block.
+/// An owned task block (materialised from a [`TaskBlockView`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskBlock<K: KmerCode> {
     /// Task this block belongs to.
@@ -75,44 +83,19 @@ fn push_kmer<K: KmerCode>(buf: &mut Vec<u8>, kmer: &K) {
     }
 }
 
+/// Decode one k-mer from its wire words. The words *are* the packed representation
+/// ([`KmerCode::word_slice`]), so this is a direct word copy, not an O(k) rebuild.
 fn read_kmer<K: KmerCode>(buf: &[u8], pos: &mut usize) -> Option<K> {
-    // Rebuild the k-mer from its packed words by reconstructing base codes is not
-    // necessary: the words *are* the representation. We rebuild via from_codes-free
-    // construction using the word layout.
     let mut words = [0u64; 2];
     for w in words.iter_mut().take(K::WORDS) {
         *w = read_u64(buf, pos)?;
     }
-    Some(kmer_from_words::<K>(&words[..K::WORDS]))
+    Some(K::from_word_slice(&words[..K::WORDS]))
 }
 
-/// Reconstruct a k-mer value from raw words. `KmerCode` has no direct constructor from
-/// words (the packing is an implementation detail of `hysortk-dna`), so we rebuild it by
-/// pushing base codes; the cost is O(k) per k-mer and only paid on the wire path.
-fn kmer_from_words<K: KmerCode>(words: &[u64]) -> K {
-    // The words encode the bases right-aligned; recover k from the caller's context is
-    // not possible here, so we push all capacity bases and rely on the fact that equal
-    // word content produces equal k-mers for the fixed k used by both sides.
-    // Instead of decoding, we reconstruct by pushing 4-base chunks: simpler and exact —
-    // push every 2-bit code of the words from most significant to least significant for
-    // the *full* capacity; leading A's (zero bits) do not change the value because the
-    // push window is the full capacity and the mask keeps exactly the low 2k bits...
-    //
-    // That reasoning only holds when k equals the full capacity, so we take the direct
-    // route instead: build the k-mer by pushing the capacity-worth of codes with
-    // k = capacity. Equal words then map to equal k-mers, and ordering/hashing only ever
-    // sees the words. Down-stream code always re-derives values with the true k when it
-    // needs the DNA string.
-    let capacity = K::max_k();
-    let mut km = K::zero();
-    for i in 0..capacity {
-        let bit = 2 * (capacity - 1 - i);
-        let word_idx = words.len() - 1 - bit / 64;
-        let shift = bit % 64;
-        let code = ((words[word_idx] >> shift) & 0b11) as u8;
-        km = km.push_base(capacity, code);
-    }
-    km
+/// Wire bytes of one k-mer.
+fn kmer_wire_bytes<K: KmerCode>() -> usize {
+    K::WORDS * 8
 }
 
 /// Serialise one task block into `out`.
@@ -200,8 +183,270 @@ pub fn write_records_uncompressed<K: KmerCode>(
     }
 }
 
-/// Parse a byte stream back into task blocks. Returns `None` on malformed input.
-pub fn read_blocks<K: KmerCode>(buf: &[u8]) -> Option<Vec<TaskBlock<K>>> {
+// =======================================================================================
+// Zero-copy parsing
+// =======================================================================================
+
+/// A parsed task block borrowing the receive buffer.
+#[derive(Debug, Clone)]
+pub struct TaskBlockView<'a, K: KmerCode> {
+    /// Task this block belongs to.
+    pub task: u32,
+    /// The payload view.
+    pub payload: PayloadView<'a, K>,
+}
+
+/// Borrowed payload of one task block.
+#[derive(Debug, Clone)]
+pub enum PayloadView<'a, K: KmerCode> {
+    /// Supermers (normal tasks).
+    Supermers(SupermersView<'a>),
+    /// Pre-aggregated `(canonical k-mer, count)` tuples (heavy-hitter tasks).
+    KmerList(KmerListView<'a, K>),
+    /// Individual canonical k-mers with optional extension records (ablation path).
+    Records(RecordsView<'a, K>),
+}
+
+/// Borrowed view of a supermer block body.
+#[derive(Debug, Clone, Copy)]
+pub struct SupermersView<'a> {
+    count: usize,
+    bytes: &'a [u8],
+}
+
+impl<'a> SupermersView<'a> {
+    /// Number of supermers in the block.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the block holds no supermers.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterate over the supermers without copying their packed bases.
+    pub fn iter(&self) -> SupermerIter<'a> {
+        SupermerIter {
+            remaining: self.count,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// Iterator over [`SupermerView`]s in a supermer block.
+#[derive(Debug, Clone)]
+pub struct SupermerIter<'a> {
+    remaining: usize,
+    bytes: &'a [u8],
+}
+
+impl<'a> Iterator for SupermerIter<'a> {
+    type Item = SupermerView<'a>;
+
+    fn next(&mut self) -> Option<SupermerView<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let mut pos = 0usize;
+        // Lengths were validated by `read_blocks`; the expects document that contract.
+        let read_id = read_u32(self.bytes, &mut pos).expect("validated by read_blocks");
+        let start = read_u32(self.bytes, &mut pos).expect("validated by read_blocks");
+        let len = read_u32(self.bytes, &mut pos).expect("validated by read_blocks") as usize;
+        let nbytes = len.div_ceil(4);
+        let packed = &self.bytes[pos..pos + nbytes];
+        self.bytes = &self.bytes[pos + nbytes..];
+        Some(SupermerView {
+            read_id,
+            start,
+            len,
+            packed,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// One supermer, borrowing its 2-bit packed bases from the receive buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct SupermerView<'a> {
+    /// Id of the read the supermer was cut from.
+    pub read_id: u32,
+    /// Offset of the first base within the read.
+    pub start: u32,
+    /// Number of bases.
+    pub len: usize,
+    packed: &'a [u8],
+}
+
+impl SupermerView<'_> {
+    /// The 2-bit code of base `i`.
+    #[inline]
+    pub fn code_at(&self, i: usize) -> u8 {
+        (self.packed[i / 4] >> (2 * (i % 4))) & 0b11
+    }
+
+    /// Number of k-mers this supermer contains for a given k.
+    pub fn num_kmers(&self, k: usize) -> usize {
+        if self.len >= k {
+            self.len - k + 1
+        } else {
+            0
+        }
+    }
+
+    /// Visit every canonical k-mer with its absolute position in the read, decoding the
+    /// rolling window straight from the packed bytes — no intermediate `DnaSeq` or
+    /// supermer materialisation.
+    pub fn for_each_canonical_kmer<K: KmerCode>(&self, k: usize, mut f: impl FnMut(K, u32)) {
+        let mut km = K::zero();
+        for i in 0..self.len {
+            km = km.push_base(k, self.code_at(i));
+            if i + 1 >= k {
+                f(km.canonical(k), self.start + (i + 1 - k) as u32);
+            }
+        }
+    }
+
+    /// Materialise an owned [`Supermer`] (compat path for tests and tooling).
+    pub fn to_supermer(&self, target: u32) -> Supermer {
+        let mut seq = DnaSeq::with_capacity(self.len);
+        for i in 0..self.len {
+            seq.push_code(self.code_at(i));
+        }
+        Supermer {
+            read_id: self.read_id,
+            start: self.start,
+            seq,
+            target,
+        }
+    }
+}
+
+/// Borrowed view of a kmerlist block body.
+#[derive(Debug, Clone, Copy)]
+pub struct KmerListView<'a, K: KmerCode> {
+    count: usize,
+    bytes: &'a [u8],
+    _kmer: PhantomData<K>,
+}
+
+impl<'a, K: KmerCode> KmerListView<'a, K> {
+    /// Number of `(k-mer, count)` entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Decode the `(k-mer, count)` entries on the fly.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (K, u64)> + 'a {
+        let bytes = self.bytes;
+        let stride = kmer_wire_bytes::<K>() + 8;
+        (0..self.count).map(move |i| {
+            let mut pos = i * stride;
+            let km = read_kmer::<K>(bytes, &mut pos).expect("validated by read_blocks");
+            let count = read_u64(bytes, &mut pos).expect("validated by read_blocks");
+            (km, count)
+        })
+    }
+}
+
+/// Borrowed view of a records block body.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordsView<'a, K: KmerCode> {
+    count: usize,
+    kmer_bytes: &'a [u8],
+    extensions: ExtensionsView<'a>,
+    _kmer: PhantomData<K>,
+}
+
+/// Borrowed extension section of a records block.
+#[derive(Debug, Clone, Copy)]
+pub enum ExtensionsView<'a> {
+    /// No extension information on the wire.
+    None,
+    /// Fixed-width records.
+    Raw(&'a [u8]),
+    /// Delta-compressed stream (§3.3.2).
+    Compressed(&'a [u8]),
+}
+
+impl<'a, K: KmerCode> RecordsView<'a, K> {
+    /// Number of k-mer records.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the block holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Decode the k-mers on the fly.
+    pub fn kmers(&self) -> impl ExactSizeIterator<Item = K> + 'a {
+        let bytes = self.kmer_bytes;
+        let stride = kmer_wire_bytes::<K>();
+        (0..self.count).map(move |i| {
+            let mut pos = i * stride;
+            read_kmer::<K>(bytes, &mut pos).expect("validated by read_blocks")
+        })
+    }
+
+    /// Decode the extension records, if the block carries any.
+    ///
+    /// Returns `None` when the compressed stream is malformed (structure was length-
+    /// checked by [`read_blocks`], but delta decoding can still fail), otherwise
+    /// `Some(None)` for extension-free blocks or `Some(Some(records))`.
+    pub fn decode_extensions(&self) -> Option<Option<Vec<Extension>>> {
+        match self.extensions {
+            ExtensionsView::None => Some(None),
+            ExtensionsView::Raw(bytes) => {
+                let exts = bytes
+                    .chunks_exact(Extension::WIRE_BYTES)
+                    .map(|raw| Extension::from_bytes(raw.try_into().expect("chunk is 8 bytes")))
+                    .collect();
+                Some(Some(exts))
+            }
+            ExtensionsView::Compressed(bytes) => {
+                Some(Some(decode_extensions_slice(bytes, self.count)?))
+            }
+        }
+    }
+}
+
+impl<'a, K: KmerCode> TaskBlockView<'a, K> {
+    /// Materialise an owned [`TaskBlock`] (compat path for tests and tooling; the
+    /// pipeline consumes the views directly).
+    pub fn to_owned_block(&self) -> Option<TaskBlock<K>> {
+        let payload = match &self.payload {
+            PayloadView::Supermers(view) => {
+                TaskPayload::Supermers(view.iter().map(|s| s.to_supermer(self.task)).collect())
+            }
+            PayloadView::KmerList(view) => TaskPayload::KmerList(view.iter().collect()),
+            PayloadView::Records(view) => {
+                TaskPayload::Records(view.kmers().collect(), view.decode_extensions()?)
+            }
+        };
+        Some(TaskBlock {
+            task: self.task,
+            payload,
+        })
+    }
+}
+
+/// Parse a byte stream into task block views. Returns `None` on malformed input.
+///
+/// One walk validates every length field; the returned views borrow `buf`, so parsing
+/// performs **zero payload copies** — payload items are decoded lazily by the view
+/// iterators exactly where the pipeline consumes them.
+pub fn read_blocks<K: KmerCode>(buf: &[u8]) -> Option<Vec<TaskBlockView<'_, K>>> {
     let mut pos = 0usize;
     let mut out = Vec::new();
     while pos < buf.len() {
@@ -211,68 +456,76 @@ pub fn read_blocks<K: KmerCode>(buf: &[u8]) -> Option<Vec<TaskBlock<K>>> {
         let payload = match kind {
             KIND_SUPERMERS => {
                 let n = read_u32(buf, &mut pos)? as usize;
-                let mut supermers = Vec::with_capacity(n);
+                let body_start = pos;
                 for _ in 0..n {
-                    let read_id = read_u32(buf, &mut pos)?;
-                    let start = read_u32(buf, &mut pos)?;
+                    // read_id, start
+                    read_u32(buf, &mut pos)?;
+                    read_u32(buf, &mut pos)?;
                     let len = read_u32(buf, &mut pos)? as usize;
                     let nbytes = len.div_ceil(4);
-                    let packed = buf.get(pos..pos + nbytes)?;
+                    buf.get(pos..pos + nbytes)?;
                     pos += nbytes;
-                    let mut seq = DnaSeq::with_capacity(len);
-                    for i in 0..len {
-                        let code = (packed[i / 4] >> (2 * (i % 4))) & 0b11;
-                        seq.push_code(code);
-                    }
-                    supermers.push(Supermer { read_id, start, seq, target: task });
                 }
-                TaskPayload::Supermers(supermers)
+                PayloadView::Supermers(SupermersView {
+                    count: n,
+                    bytes: &buf[body_start..pos],
+                })
             }
             KIND_KMERLIST => {
                 let n = read_u32(buf, &mut pos)? as usize;
-                let mut list = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let kmer = read_kmer::<K>(buf, &mut pos)?;
-                    let count = read_u64(buf, &mut pos)?;
-                    list.push((kmer, count));
-                }
-                TaskPayload::KmerList(list)
+                let body = n.checked_mul(kmer_wire_bytes::<K>() + 8)?;
+                let bytes = buf.get(pos..pos + body)?;
+                pos += body;
+                PayloadView::KmerList(KmerListView {
+                    count: n,
+                    bytes,
+                    _kmer: PhantomData,
+                })
             }
             KIND_RECORDS => {
                 let n = read_u32(buf, &mut pos)? as usize;
-                let mut kmers = Vec::with_capacity(n);
-                for _ in 0..n {
-                    kmers.push(read_kmer::<K>(buf, &mut pos)?);
-                }
+                let kmer_body = n.checked_mul(kmer_wire_bytes::<K>())?;
+                let kmer_bytes = buf.get(pos..pos + kmer_body)?;
+                pos += kmer_body;
                 let ext_kind = *buf.get(pos)?;
                 pos += 1;
-                let exts = match ext_kind {
-                    EXT_NONE => None,
+                let extensions = match ext_kind {
+                    EXT_NONE => ExtensionsView::None,
                     EXT_RAW => {
-                        let mut exts = Vec::with_capacity(n);
-                        for _ in 0..n {
-                            let raw: [u8; 8] = buf.get(pos..pos + 8)?.try_into().ok()?;
-                            pos += 8;
-                            exts.push(Extension::from_bytes(&raw));
-                        }
-                        Some(exts)
+                        let body = n.checked_mul(Extension::WIRE_BYTES)?;
+                        let bytes = buf.get(pos..pos + body)?;
+                        pos += body;
+                        ExtensionsView::Raw(bytes)
                     }
                     EXT_COMPRESSED => {
                         let blen = read_u32(buf, &mut pos)? as usize;
-                        let bytes = buf.get(pos..pos + blen)?.to_vec();
+                        let bytes = buf.get(pos..pos + blen)?;
                         pos += blen;
-                        let encoded = EncodedExtensions { bytes, count: n };
-                        Some(decode_extensions(&encoded)?)
+                        ExtensionsView::Compressed(bytes)
                     }
                     _ => return None,
                 };
-                TaskPayload::Records(kmers, exts)
+                PayloadView::Records(RecordsView {
+                    count: n,
+                    kmer_bytes,
+                    extensions,
+                    _kmer: PhantomData,
+                })
             }
             _ => return None,
         };
-        out.push(TaskBlock { task, payload });
+        out.push(TaskBlockView { task, payload });
     }
     Some(out)
+}
+
+/// Parse a byte stream into owned task blocks (tests and tooling; the pipeline uses
+/// [`read_blocks`] views directly). Returns `None` on malformed input.
+pub fn read_blocks_owned<K: KmerCode>(buf: &[u8]) -> Option<Vec<TaskBlock<K>>> {
+    read_blocks::<K>(buf)?
+        .iter()
+        .map(TaskBlockView::to_owned_block)
+        .collect()
 }
 
 #[cfg(test)]
@@ -285,13 +538,17 @@ mod tests {
 
     #[test]
     fn supermer_blocks_round_trip() {
-        let read = Read::from_ascii(7, "r7", b"ACGTTGCAACGTGGGTTTAAACCCTAGCATACGTACGGTACCATGGTTACGATCGATCG");
+        let read = Read::from_ascii(
+            7,
+            "r7",
+            b"ACGTTGCAACGTGGGTTTAAACCCTAGCATACGTACGGTACCATGGTTACGATCGATCG",
+        );
         let scorer = MmerScorer::new(7, ScoreFunction::Hash { seed: 1 });
         let supermers = build_supermers(&read, 15, &scorer, 8);
         assert!(!supermers.is_empty());
         let mut buf = Vec::new();
         write_block::<Kmer1>(&mut buf, 3, &TaskPayload::Supermers(supermers.clone()));
-        let blocks = read_blocks::<Kmer1>(&buf).unwrap();
+        let blocks = read_blocks_owned::<Kmer1>(&buf).unwrap();
         assert_eq!(blocks.len(), 1);
         assert_eq!(blocks[0].task, 3);
         match &blocks[0].payload {
@@ -308,6 +565,31 @@ mod tests {
     }
 
     #[test]
+    fn supermer_views_decode_kmers_without_materialising() {
+        let read = Read::from_ascii(2, "r2", b"ACGTTGCAACGTGGGTTTAAACCCTAGCATACGTACGGTACCATGG");
+        let k = 15;
+        let scorer = MmerScorer::new(7, ScoreFunction::Hash { seed: 5 });
+        let supermers = build_supermers(&read, k, &scorer, 4);
+        let mut buf = Vec::new();
+        write_block::<Kmer1>(&mut buf, 0, &TaskPayload::Supermers(supermers.clone()));
+
+        let blocks = read_blocks::<Kmer1>(&buf).unwrap();
+        let PayloadView::Supermers(view) = &blocks[0].payload else {
+            panic!("wrong payload")
+        };
+        assert_eq!(view.len(), supermers.len());
+        let mut streamed: Vec<(Kmer1, u32)> = Vec::new();
+        for sm in view.iter() {
+            sm.for_each_canonical_kmer::<Kmer1>(k, |km, pos| streamed.push((km, pos)));
+        }
+        let direct: Vec<(Kmer1, u32)> = supermers
+            .iter()
+            .flat_map(|s| s.canonical_kmers_with_pos::<Kmer1>(k))
+            .collect();
+        assert_eq!(streamed, direct);
+    }
+
+    #[test]
     fn kmerlist_blocks_round_trip_for_both_widths() {
         let mut buf = Vec::new();
         let list1: Vec<(Kmer1, u64)> = vec![
@@ -315,14 +597,14 @@ mod tests {
             (Kmer1::from_ascii(b"TTTTTTTTTTTTTTT"), 7),
         ];
         write_block(&mut buf, 11, &TaskPayload::KmerList(list1.clone()));
-        let blocks = read_blocks::<Kmer1>(&buf).unwrap();
+        let blocks = read_blocks_owned::<Kmer1>(&buf).unwrap();
         assert_eq!(blocks[0].payload, TaskPayload::KmerList(list1));
 
         let mut buf2 = Vec::new();
         let long: Vec<u8> = (0..55).map(|i| b"ACGT"[i % 4]).collect();
         let list2: Vec<(Kmer2, u64)> = vec![(Kmer2::from_ascii(&long), 3)];
         write_block(&mut buf2, 0, &TaskPayload::KmerList(list2.clone()));
-        let blocks2 = read_blocks::<Kmer2>(&buf2).unwrap();
+        let blocks2 = read_blocks_owned::<Kmer2>(&buf2).unwrap();
         assert_eq!(blocks2[0].payload, TaskPayload::KmerList(list2));
     }
 
@@ -330,7 +612,9 @@ mod tests {
     fn record_blocks_round_trip_with_and_without_extensions() {
         let kmers: Vec<Kmer1> = (0..100u32)
             .map(|i| {
-                let s: Vec<u8> = (0..21).map(|j| b"ACGT"[((i + j as u32) % 4) as usize]).collect();
+                let s: Vec<u8> = (0..21)
+                    .map(|j| b"ACGT"[((i + j as u32) % 4) as usize])
+                    .collect();
                 Kmer1::from_ascii(&s)
             })
             .collect();
@@ -338,20 +622,30 @@ mod tests {
 
         let mut plain = Vec::new();
         write_block(&mut plain, 2, &TaskPayload::Records(kmers.clone(), None));
-        let blocks = read_blocks::<Kmer1>(&plain).unwrap();
+        let blocks = read_blocks_owned::<Kmer1>(&plain).unwrap();
         assert_eq!(blocks[0].payload, TaskPayload::Records(kmers.clone(), None));
 
         let mut with_ext = Vec::new();
-        write_block(&mut with_ext, 2, &TaskPayload::Records(kmers.clone(), Some(exts.clone())));
-        let blocks = read_blocks::<Kmer1>(&with_ext).unwrap();
-        assert_eq!(blocks[0].payload, TaskPayload::Records(kmers.clone(), Some(exts.clone())));
+        write_block(
+            &mut with_ext,
+            2,
+            &TaskPayload::Records(kmers.clone(), Some(exts.clone())),
+        );
+        let blocks = read_blocks_owned::<Kmer1>(&with_ext).unwrap();
+        assert_eq!(
+            blocks[0].payload,
+            TaskPayload::Records(kmers.clone(), Some(exts.clone()))
+        );
 
         // Compression must actually shrink the stream relative to the raw encoding.
         let mut raw = Vec::new();
         write_records_uncompressed(&mut raw, 2, &kmers, &exts);
         assert!(with_ext.len() < raw.len());
-        let raw_blocks = read_blocks::<Kmer1>(&raw).unwrap();
-        assert_eq!(raw_blocks[0].payload, TaskPayload::Records(kmers, Some(exts)));
+        let raw_blocks = read_blocks_owned::<Kmer1>(&raw).unwrap();
+        assert_eq!(
+            raw_blocks[0].payload,
+            TaskPayload::Records(kmers, Some(exts))
+        );
     }
 
     #[test]
@@ -359,7 +653,11 @@ mod tests {
         let mut buf = Vec::new();
         let list: Vec<(Kmer1, u64)> = vec![(Kmer1::from_ascii(b"ACGTT"), 1)];
         write_block(&mut buf, 1, &TaskPayload::KmerList(list.clone()));
-        write_block(&mut buf, 2, &TaskPayload::Records(vec![Kmer1::from_ascii(b"GGGAA")], None));
+        write_block(
+            &mut buf,
+            2,
+            &TaskPayload::Records(vec![Kmer1::from_ascii(b"GGGAA")], None),
+        );
         let blocks = read_blocks::<Kmer1>(&buf).unwrap();
         assert_eq!(blocks.len(), 2);
         assert_eq!(blocks[0].task, 1);
@@ -369,7 +667,11 @@ mod tests {
     #[test]
     fn malformed_streams_are_rejected() {
         let mut buf = Vec::new();
-        write_block(&mut buf, 1, &TaskPayload::KmerList(vec![(Kmer1::from_ascii(b"ACGTT"), 1)]));
+        write_block(
+            &mut buf,
+            1,
+            &TaskPayload::KmerList(vec![(Kmer1::from_ascii(b"ACGTT"), 1)]),
+        );
         buf.pop();
         assert!(read_blocks::<Kmer1>(&buf).is_none());
         assert!(read_blocks::<Kmer1>(&[9, 9, 9]).is_none());
@@ -380,6 +682,7 @@ mod tests {
 
     #[test]
     fn empty_stream_parses_to_no_blocks() {
-        assert_eq!(read_blocks::<Kmer1>(&[]).unwrap(), Vec::new());
+        assert!(read_blocks::<Kmer1>(&[]).unwrap().is_empty());
+        assert!(read_blocks_owned::<Kmer1>(&[]).unwrap().is_empty());
     }
 }

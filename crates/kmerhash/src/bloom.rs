@@ -14,7 +14,8 @@ use crate::murmur3::murmur3_x64_128;
 /// double hashing).
 #[inline]
 fn nth_hash(h1: u64, h2: u64, i: u64) -> u64 {
-    h1.wrapping_add(i.wrapping_mul(h2)).wrapping_add(i.wrapping_mul(i))
+    h1.wrapping_add(i.wrapping_mul(h2))
+        .wrapping_add(i.wrapping_mul(i))
 }
 
 /// A standard Bloom filter over byte-slice items.
@@ -90,7 +91,8 @@ impl BloomFilter {
 
     /// Membership query (false positives possible, false negatives impossible).
     pub fn contains(&self, item: &[u8]) -> bool {
-        self.positions(item).all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
+        self.positions(item)
+            .all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
     }
 
     /// Convenience wrappers over a packed 64-bit item (e.g. a one-word k-mer).
@@ -125,7 +127,10 @@ impl CountingBloomFilter {
     /// Build a counting filter sized like [`BloomFilter::with_rate`].
     pub fn with_rate(expected_items: usize, fp_rate: f64) -> Self {
         let plain = BloomFilter::with_rate(expected_items, fp_rate);
-        CountingBloomFilter { counters: vec![0u8; plain.num_bits], num_hashes: plain.num_hashes }
+        CountingBloomFilter {
+            counters: vec![0u8; plain.num_bits],
+            num_hashes: plain.num_hashes,
+        }
     }
 
     /// Memory footprint in bytes.
@@ -147,12 +152,19 @@ impl CountingBloomFilter {
         for &pos in &positions {
             self.counters[pos] = self.counters[pos].saturating_add(1);
         }
-        positions.iter().map(|&p| self.counters[p]).min().unwrap_or(0)
+        positions
+            .iter()
+            .map(|&p| self.counters[p])
+            .min()
+            .unwrap_or(0)
     }
 
     /// Estimated multiplicity of an item (upper bound; saturates at 255).
     pub fn estimate(&self, item: &[u8]) -> u8 {
-        self.positions(item).map(|p| self.counters[p]).min().unwrap_or(0)
+        self.positions(item)
+            .map(|p| self.counters[p])
+            .min()
+            .unwrap_or(0)
     }
 
     /// Remove one occurrence of an item (no-op on zero counters).

@@ -21,7 +21,10 @@ impl HyperLogLog {
     /// `2^precision` bytes (the paper's implementations use 12, ~4 KiB).
     pub fn new(precision: u8) -> Self {
         assert!((4..=16).contains(&precision), "precision out of range");
-        HyperLogLog { precision, registers: vec![0u8; 1 << precision] }
+        HyperLogLog {
+            precision,
+            registers: vec![0u8; 1 << precision],
+        }
     }
 
     /// Number of registers.
@@ -44,7 +47,11 @@ impl HyperLogLog {
         let idx = (h >> (64 - p)) as usize;
         let rest = h << p;
         // Number of leading zeros of the remaining bits, plus one; saturates at 64-p+1.
-        let rank = if rest == 0 { 64 - self.precision + 1 } else { (rest.leading_zeros() + 1) as u8 };
+        let rank = if rest == 0 {
+            64 - self.precision + 1
+        } else {
+            (rest.leading_zeros() + 1) as u8
+        };
         if rank > self.registers[idx] {
             self.registers[idx] = rank;
         }
@@ -58,7 +65,10 @@ impl HyperLogLog {
     /// Merge another sketch into this one (register-wise max). Panics if precisions
     /// differ. This is exactly the reduction operator of the distributed merge.
     pub fn merge(&mut self, other: &HyperLogLog) {
-        assert_eq!(self.precision, other.precision, "cannot merge sketches of different precision");
+        assert_eq!(
+            self.precision, other.precision,
+            "cannot merge sketches of different precision"
+        );
         for (a, b) in self.registers.iter_mut().zip(&other.registers) {
             if *b > *a {
                 *a = *b;
@@ -76,7 +86,11 @@ impl HyperLogLog {
             64 => 0.709,
             _ => 0.7213 / (1.0 + 1.079 / m),
         };
-        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-i32::from(r))).sum();
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-i32::from(r)))
+            .sum();
         let raw = alpha * m * m / sum;
 
         if raw <= 2.5 * m {

@@ -142,7 +142,10 @@ pub struct MurmurHasher {
 impl MurmurHasher {
     /// Create a hasher with an explicit seed.
     pub fn with_seed(seed: u32) -> Self {
-        MurmurHasher { buf: Vec::new(), seed }
+        MurmurHasher {
+            buf: Vec::new(),
+            seed,
+        }
     }
 }
 
@@ -183,7 +186,10 @@ mod tests {
         assert_eq!(murmur3_x86_32(b"", 0xffffffff), 0x81F16F39);
         assert_eq!(murmur3_x86_32(b"test", 0x9747b28c), 0x704b81dc);
         assert_eq!(murmur3_x86_32(b"Hello, world!", 0x9747b28c), 0x24884CBA);
-        assert_eq!(murmur3_x86_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c), 0x2FA826CD);
+        assert_eq!(
+            murmur3_x86_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c),
+            0x2FA826CD
+        );
     }
 
     #[test]
@@ -200,7 +206,10 @@ mod tests {
         let (a1, a2) = murmur3_x64_128(&a, 0);
         let (b1, b2) = murmur3_x64_128(&b, 0);
         let flipped = (a1 ^ b1).count_ones() + (a2 ^ b2).count_ones();
-        assert!((40..=88).contains(&flipped), "poor avalanche: {flipped} bits flipped");
+        assert!(
+            (40..=88).contains(&flipped),
+            "poor avalanche: {flipped} bits flipped"
+        );
     }
 
     #[test]

@@ -92,7 +92,12 @@ impl<'a> ComputeModel<'a> {
     /// Modeled time to sort `max_rank_elements` records of `bytes_per_elem` bytes on the
     /// most loaded rank. The byte width scales the cost linearly relative to an 8-byte
     /// record (radix sort is O(n · d)).
-    pub fn sort_time(&self, max_rank_elements: u64, bytes_per_elem: usize, algo: SortAlgorithm) -> f64 {
+    pub fn sort_time(
+        &self,
+        max_rank_elements: u64,
+        bytes_per_elem: usize,
+        algo: SortAlgorithm,
+    ) -> f64 {
         // Workers sort independent tasks; each worker runs `threads_per_worker` threads
         // at high efficiency, and the workers of a process run concurrently.
         let tpw = self.exec.threads_per_worker;
@@ -142,14 +147,21 @@ impl<'a> ComputeModel<'a> {
 
     /// Modeled time for hash-table insertion of `max_rank_elements` (baseline counters).
     pub fn hash_insert_time(&self, max_rank_elements: u64) -> f64 {
-        let rate =
-            self.process_rate(self.machine.core_hash_insert_rate, self.exec.threads_per_process);
+        let rate = self.process_rate(
+            self.machine.core_hash_insert_rate,
+            self.exec.threads_per_process,
+        );
         max_rank_elements as f64 / rate
     }
 
     /// Modeled time for GPU processing of `elements` records of `bytes_per_elem` bytes
     /// per node (MetaHipMer2 model): host→device transfer plus kernel, per round.
-    pub fn gpu_process_time(&self, elements_per_node: u64, bytes_per_elem: usize, rounds: usize) -> f64 {
+    pub fn gpu_process_time(
+        &self,
+        elements_per_node: u64,
+        bytes_per_elem: usize,
+        rounds: usize,
+    ) -> f64 {
         let gpu = self
             .machine
             .gpu
@@ -202,8 +214,16 @@ mod tests {
         let elements = 500_000_000u64;
         let (m4, e4) = model(4);
         let (m16, e16) = model(16);
-        let t4 = ComputeModel::new(&m4, &e4).sort_time_monolithic(elements / 4, 8, SortAlgorithm::Raduls);
-        let t16 = ComputeModel::new(&m16, &e16).sort_time_monolithic(elements / 16, 8, SortAlgorithm::Raduls);
+        let t4 = ComputeModel::new(&m4, &e4).sort_time_monolithic(
+            elements / 4,
+            8,
+            SortAlgorithm::Raduls,
+        );
+        let t16 = ComputeModel::new(&m16, &e16).sort_time_monolithic(
+            elements / 16,
+            8,
+            SortAlgorithm::Raduls,
+        );
         assert!(t16 < t4, "t16={t16} t4={t4}");
     }
 
@@ -231,7 +251,10 @@ mod tests {
     fn wider_records_cost_more_to_sort() {
         let (m, e) = model(16);
         let cm = ComputeModel::new(&m, &e);
-        assert!(cm.sort_time(1_000_000, 16, SortAlgorithm::Raduls) > cm.sort_time(1_000_000, 8, SortAlgorithm::Raduls));
+        assert!(
+            cm.sort_time(1_000_000, 16, SortAlgorithm::Raduls)
+                > cm.sort_time(1_000_000, 8, SortAlgorithm::Raduls)
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ mod tests {
     fn perlmutter_preset_fills_the_node() {
         let m = PerfModel::perlmutter(4, 16);
         assert_eq!(m.total_ranks(), 64);
-        assert_eq!(m.exec.threads_per_process * m.exec.processes_per_node, m.machine.cores_per_node);
+        assert_eq!(
+            m.exec.threads_per_process * m.exec.processes_per_node,
+            m.machine.cores_per_node
+        );
     }
 
     #[test]

@@ -153,7 +153,12 @@ impl ExecutionConfig {
     }
 
     /// Explicit configuration.
-    pub fn new(nodes: usize, ppn: usize, threads_per_process: usize, threads_per_worker: usize) -> Self {
+    pub fn new(
+        nodes: usize,
+        ppn: usize,
+        threads_per_process: usize,
+        threads_per_worker: usize,
+    ) -> Self {
         assert!(nodes > 0 && ppn > 0 && threads_per_process > 0 && threads_per_worker > 0);
         ExecutionConfig {
             nodes,
@@ -199,7 +204,10 @@ mod tests {
         let g = MachineConfig::perlmutter_gpu();
         let gpu = g.gpu.expect("gpu config");
         assert_eq!(gpu.gpus_per_node, 4);
-        assert!(g.network_bandwidth_per_node > MachineConfig::perlmutter_cpu().network_bandwidth_per_node);
+        assert!(
+            g.network_bandwidth_per_node
+                > MachineConfig::perlmutter_cpu().network_bandwidth_per_node
+        );
     }
 
     #[test]

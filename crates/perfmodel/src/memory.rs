@@ -24,7 +24,11 @@ impl<'a> MemoryModel<'a> {
     /// DRAM available to one rank after the OS and input share are accounted for.
     pub fn bytes_per_rank(&self, input_bytes_per_node: u64) -> u64 {
         let reserve = 16 * (1u64 << 30); // OS + runtime headroom
-        let usable = self.machine.mem_per_node_bytes.saturating_sub(reserve).saturating_sub(input_bytes_per_node);
+        let usable = self
+            .machine
+            .mem_per_node_bytes
+            .saturating_sub(reserve)
+            .saturating_sub(input_bytes_per_node);
         usable / self.exec.processes_per_node.max(1) as u64
     }
 
@@ -71,7 +75,12 @@ impl<'a> MemoryModel<'a> {
 
     /// Whether the out-of-place sorter fits on this configuration (HySortK's runtime
     /// check, §3.1). `input_bytes_per_node` is the resident packed input share.
-    pub fn raduls_fits(&self, elements_per_node: u64, bytes_per_elem: usize, input_bytes_per_node: u64) -> bool {
+    pub fn raduls_fits(
+        &self,
+        elements_per_node: u64,
+        bytes_per_elem: usize,
+        input_bytes_per_node: u64,
+    ) -> bool {
         let need = self.sort_counter_peak(elements_per_node, bytes_per_elem, true, 1.0);
         let have = self
             .machine

@@ -134,7 +134,9 @@ mod tests {
     fn more_bytes_take_longer() {
         let (m, e) = model(4, 16);
         let nm = NetworkModel::new(&m, &e);
-        assert!(nm.exchange_time(&profile(2_000_000_000)) > nm.exchange_time(&profile(1_000_000_000)));
+        assert!(
+            nm.exchange_time(&profile(2_000_000_000)) > nm.exchange_time(&profile(1_000_000_000))
+        );
     }
 
     #[test]

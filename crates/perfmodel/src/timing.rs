@@ -26,7 +26,11 @@ impl StageTimes {
 
     /// Seconds recorded for a stage (0 if absent).
     pub fn get(&self, stage: &str) -> f64 {
-        self.entries.iter().find(|(s, _)| s == stage).map(|(_, t)| *t).unwrap_or(0.0)
+        self.entries
+            .iter()
+            .find(|(s, _)| s == stage)
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0)
     }
 
     /// Total modeled seconds.
@@ -48,7 +52,13 @@ impl StageTimes {
 
     /// Scale every stage by a factor (used for what-if analyses in the benches).
     pub fn scaled(&self, factor: f64) -> StageTimes {
-        StageTimes { entries: self.entries.iter().map(|(s, t)| (s.clone(), t * factor)).collect() }
+        StageTimes {
+            entries: self
+                .entries
+                .iter()
+                .map(|(s, t)| (s.clone(), t * factor))
+                .collect(),
+        }
     }
 
     /// Render as a compact single-line summary, e.g. `parse 1.20s | exchange 3.40s`.

@@ -1,0 +1,34 @@
+//! Quick microbenchmark: closure-based raduls vs monomorphized kernel on 1M u64 keys.
+use hysortk_sort::{raduls_sort, raduls_sort_by};
+use std::time::Instant;
+
+fn main() {
+    let mut x = 0x243F6A8885A308D3u64;
+    let keys: Vec<u64> = (0..1_000_000)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .collect();
+    let time = |f: &dyn Fn(&mut Vec<u64>)| {
+        let mut best = f64::INFINITY;
+        for _ in 0..7 {
+            let mut v = keys.clone();
+            let t = Instant::now();
+            f(&mut v);
+            best = best.min(t.elapsed().as_secs_f64());
+            assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+        best
+    };
+    let closure = time(&|v| raduls_sort_by(v, 8, |x, l| (x >> (8 * (7 - l))) as u8));
+    let kernel = time(&|v| raduls_sort(v));
+    println!(
+        "closure: {:.3} ms  kernel: {:.3} ms  speedup: {:.2}x",
+        closure * 1e3,
+        kernel * 1e3,
+        closure / kernel
+    );
+}

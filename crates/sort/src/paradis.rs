@@ -13,6 +13,8 @@
 
 use rayon::prelude::*;
 
+use crate::{ClosureDigits, DigitSource, KeyDigits, RadixKey};
+
 const RADIX: usize = 256;
 /// Below this length a comparison sort on the remaining digits is faster than another
 /// radix pass.
@@ -32,28 +34,46 @@ where
     if levels == 0 || data.len() <= 1 {
         return;
     }
-    sort_level(data, 0, levels, &digit);
+    sort_level(data, 0, levels, &ClosureDigits(digit));
 }
 
-fn sort_level<T, F>(data: &mut [T], level: usize, levels: usize, digit: &F)
+/// Monomorphized in-place MSD radix sort for [`RadixKey`] types: the digit loop is a
+/// compile-time shift/mask on the raw key words instead of a callback.
+pub fn paradis_sort<T: RadixKey>(data: &mut [T]) {
+    paradis_sort_from(data, 0);
+}
+
+/// Like [`paradis_sort`], but starting at `first_level`, skipping the leading key bytes
+/// the caller knows to be constant (e.g. the zero padding above a `2k`-bit k-mer).
+/// Skipped levels would be detected as single-bucket anyway, but each detection costs a
+/// full histogram pass; the hint removes those passes.
+pub fn paradis_sort_from<T: RadixKey>(data: &mut [T], first_level: usize) {
+    let levels = T::KEY_LEVELS;
+    if data.len() <= 1 || first_level >= levels {
+        return;
+    }
+    sort_level(data, first_level, levels, &KeyDigits);
+}
+
+fn sort_level<T, D>(data: &mut [T], level: usize, levels: usize, digits: &D)
 where
     T: Copy + Send + Sync,
-    F: Fn(&T, usize) -> u8 + Sync,
+    D: DigitSource<T>,
 {
     if data.len() <= 1 || level >= levels {
         return;
     }
     if data.len() <= SMALL_SORT_THRESHOLD {
-        comparison_sort_remaining(data, level, levels, digit);
+        comparison_sort_remaining(data, level, levels, digits);
         return;
     }
 
     // ---- Histogram of the current digit --------------------------------------------
-    let histogram = parallel_histogram(data, level, digit);
+    let histogram = parallel_histogram(data, level, digits);
 
     // If every element falls into one bucket this level is a no-op; recurse directly.
-    if histogram.iter().any(|&c| c == data.len()) {
-        sort_level(data, level + 1, levels, digit);
+    if histogram.contains(&data.len()) {
+        sort_level(data, level + 1, levels, digits);
         return;
     }
 
@@ -64,7 +84,7 @@ where
     }
 
     // ---- Speculative parallel permutation + repair -----------------------------------
-    permute_in_place(data, &bucket_start, level, digit);
+    permute_in_place(data, &bucket_start, level, digits);
 
     // ---- Parallel recursion into buckets ---------------------------------------------
     if level + 1 < levels {
@@ -82,23 +102,23 @@ where
         if total >= PARALLEL_THRESHOLD {
             buckets
                 .into_par_iter()
-                .for_each(|bucket| sort_level(bucket, level + 1, levels, digit));
+                .for_each(|bucket| sort_level(bucket, level + 1, levels, digits));
         } else {
             for bucket in buckets {
-                sort_level(bucket, level + 1, levels, digit);
+                sort_level(bucket, level + 1, levels, digits);
             }
         }
     }
 }
 
-fn comparison_sort_remaining<T, F>(data: &mut [T], level: usize, levels: usize, digit: &F)
+fn comparison_sort_remaining<T, D>(data: &mut [T], level: usize, levels: usize, digits: &D)
 where
     T: Copy,
-    F: Fn(&T, usize) -> u8,
+    D: DigitSource<T>,
 {
     data.sort_unstable_by(|a, b| {
         for l in level..levels {
-            match digit(a, l).cmp(&digit(b, l)) {
+            match digits.digit(a, l).cmp(&digits.digit(b, l)) {
                 std::cmp::Ordering::Equal => continue,
                 other => return other,
             }
@@ -107,15 +127,15 @@ where
     });
 }
 
-fn parallel_histogram<T, F>(data: &[T], level: usize, digit: &F) -> Vec<usize>
+fn parallel_histogram<T, D>(data: &[T], level: usize, digits: &D) -> Vec<usize>
 where
     T: Copy + Send + Sync,
-    F: Fn(&T, usize) -> u8 + Sync,
+    D: DigitSource<T>,
 {
     if data.len() < PARALLEL_THRESHOLD {
         let mut hist = vec![0usize; RADIX];
         for item in data {
-            hist[digit(item, level) as usize] += 1;
+            hist[digits.digit(item, level) as usize] += 1;
         }
         return hist;
     }
@@ -123,7 +143,7 @@ where
         .map(|chunk| {
             let mut hist = vec![0usize; RADIX];
             for item in chunk {
-                hist[digit(item, level) as usize] += 1;
+                hist[digits.digit(item, level) as usize] += 1;
             }
             hist
         })
@@ -144,10 +164,14 @@ where
 /// thread permute within the stripes it owns (safe: the stripes are disjoint sub-slices).
 /// Phase 2 serially repairs whatever the speculation could not place — the repair
 /// workload is the sum of stripe imbalances, normally a small fraction of `n`.
-fn permute_in_place<T, F>(data: &mut [T], bucket_start: &[usize; RADIX + 1], level: usize, digit: &F)
-where
+fn permute_in_place<T, D>(
+    data: &mut [T],
+    bucket_start: &[usize; RADIX + 1],
+    level: usize,
+    digits: &D,
+) where
     T: Copy + Send + Sync,
-    F: Fn(&T, usize) -> u8 + Sync,
+    D: DigitSource<T>,
 {
     let n = data.len();
     let threads = if n >= PARALLEL_THRESHOLD {
@@ -173,8 +197,17 @@ where
             let per = len / threads;
             let mut off = start;
             for t in 0..threads {
-                let this = if t + 1 == threads { bucket_start[b + 1] - off } else { per };
-                metas.push(StripeMeta { start: off, len: this, bucket: b, thread: t });
+                let this = if t + 1 == threads {
+                    bucket_start[b + 1] - off
+                } else {
+                    per
+                };
+                metas.push(StripeMeta {
+                    start: off,
+                    len: this,
+                    bucket: b,
+                    thread: t,
+                });
                 off += this;
             }
         }
@@ -214,7 +247,7 @@ where
                         break;
                     }
                     let e = stripes[b].as_ref().unwrap()[i];
-                    let d = digit(&e, level) as usize;
+                    let d = digits.digit(&e, level) as usize;
                     if d == b {
                         i += 1;
                         continue;
@@ -223,7 +256,7 @@ where
                     let len_d = stripes[d].as_ref().map_or(0, |s| s.len());
                     while heads[d] < len_d {
                         let v = stripes[d].as_ref().unwrap()[heads[d]];
-                        if digit(&v, level) as usize == d {
+                        if digits.digit(&v, level) as usize == d {
                             heads[d] += 1;
                         } else {
                             break;
@@ -251,9 +284,10 @@ where
     // with cycle-following swaps. Each swap finalises at least one position.
     let mut misplaced: Vec<Vec<usize>> = vec![Vec::new(); RADIX];
     for b in 0..RADIX {
-        for pos in bucket_start[b]..bucket_start[b + 1] {
-            if digit(&data[pos], level) as usize != b {
-                misplaced[b].push(pos);
+        let range = bucket_start[b]..bucket_start[b + 1];
+        for (off, item) in data[range.clone()].iter().enumerate() {
+            if digits.digit(item, level) as usize != b {
+                misplaced[b].push(range.start + off);
             }
         }
     }
@@ -262,7 +296,7 @@ where
         for idx in 0..misplaced[b].len() {
             let pos = misplaced[b][idx];
             loop {
-                let d = digit(&data[pos], level) as usize;
+                let d = digits.digit(&data[pos], level) as usize;
                 if d == b {
                     break;
                 }
@@ -315,7 +349,13 @@ mod tests {
         // Heavy-hitter-like input: 90 % of the items share one value.
         let mut rng = StdRng::seed_from_u64(3);
         let mut v: Vec<u64> = (0..100_000)
-            .map(|_| if rng.gen_bool(0.9) { 0xDEADBEEF } else { rng.gen() })
+            .map(|_| {
+                if rng.gen_bool(0.9) {
+                    0xDEADBEEF
+                } else {
+                    rng.gen()
+                }
+            })
             .collect();
         check_sorts_u64(&mut v);
     }
@@ -334,6 +374,48 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut v: Vec<u64> = (0..30_000).map(|_| rng.gen::<u64>() & 0xFF_FFFF).collect();
         check_sorts_u64(&mut v);
+    }
+
+    #[test]
+    fn keyed_kernel_matches_closure_path() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for n in [0usize, 1, 100, 5_000, 150_000] {
+            let original: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            let mut a = original.clone();
+            let mut b = original;
+            paradis_sort(&mut a);
+            paradis_sort_by(&mut b, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+            assert_eq!(a, b, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn keyed_kernel_sorts_u128_and_honours_skip_hint() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Keys confined to the low 6 bytes: first 10 of 16 levels are constant zero.
+        let mut v: Vec<u128> = (0..80_000)
+            .map(|_| rng.gen::<u128>() & 0xFFFF_FFFF_FFFF)
+            .collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let mut with_hint = v.clone();
+        paradis_sort_from(&mut with_hint, 10);
+        paradis_sort(&mut v);
+        assert_eq!(v, expected);
+        assert_eq!(with_hint, expected);
+    }
+
+    #[test]
+    fn keyed_kernel_groups_tagged_records_by_key() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut v: Vec<(u32, u32)> = (0..50_000).map(|i| (rng.gen::<u32>() % 1000, i)).collect();
+        paradis_sort(&mut v);
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        let mut payloads: Vec<u32> = v.iter().map(|x| x.1).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, (0..50_000).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -14,9 +14,19 @@
 
 use rayon::prelude::*;
 
+use crate::{radix_digit, RadixKey};
+
 const RADIX: usize = 256;
 const PARALLEL_THRESHOLD: usize = 8 * 1024;
 const CHUNK: usize = 64 * 1024;
+/// `CHUNK` as a shift, used to map a destination offset to its chunk index. The fused
+/// next-pass histogram binning computes `off >> CHUNK_SHIFT` where `src.chunks(CHUNK)`
+/// defines the chunk boundaries — equivalent only while `CHUNK` is a power of two.
+const CHUNK_SHIFT: usize = CHUNK.trailing_zeros() as usize;
+const _: () = assert!(
+    CHUNK.is_power_of_two(),
+    "CHUNK_SHIFT mapping requires a power of two"
+);
 
 /// Sort `data` by the radix digits supplied by `digit`, using an auxiliary buffer of the
 /// same length. `digit(item, 0)` is the most significant digit; the sort is stable.
@@ -35,7 +45,7 @@ where
 
     // Levels where all items share one digit value contribute nothing to the order.
     let active_levels: Vec<usize> = (0..levels)
-        .filter(|&l| !histograms[l].iter().any(|&c| c == n))
+        .filter(|&l| !histograms[l].contains(&n))
         .collect();
     if active_levels.is_empty() {
         return;
@@ -68,9 +78,12 @@ where
     T: Copy + Send + Sync,
     F: Fn(&T, usize) -> u8 + Sync,
 {
+    // Level-outer per chunk: each level's inner loop runs over the whole chunk with a
+    // single 256-entry histogram hot in cache, instead of touching all `levels`
+    // histograms per item.
     let fold = |mut hists: Vec<Vec<usize>>, chunk: &[T]| {
-        for item in chunk {
-            for (l, hist) in hists.iter_mut().enumerate() {
+        for (l, hist) in hists.iter_mut().enumerate() {
+            for item in chunk {
                 hist[digit(item, l) as usize] += 1;
             }
         }
@@ -81,7 +94,7 @@ where
         return fold(identity(), data);
     }
     data.par_chunks(CHUNK)
-        .fold(identity, |acc, chunk| fold(acc, chunk))
+        .fold(identity, fold)
         .reduce(identity, |mut a, b| {
             for (ha, hb) in a.iter_mut().zip(b) {
                 for (x, y) in ha.iter_mut().zip(hb) {
@@ -157,13 +170,19 @@ where
         for b in 0..RADIX {
             let len = chunk_hists[c][b];
             if len > 0 {
-                dests.push(Dest { chunk: c, bucket: b, start: offsets[c * RADIX + b], len });
+                dests.push(Dest {
+                    chunk: c,
+                    bucket: b,
+                    start: offsets[c * RADIX + b],
+                    len,
+                });
             }
         }
     }
     dests.sort_by_key(|d| d.start);
 
-    let mut per_chunk_slices: Vec<Vec<(usize, &mut [T])>> = (0..num_chunks).map(|_| Vec::new()).collect();
+    let mut per_chunk_slices: Vec<Vec<(usize, &mut [T])>> =
+        (0..num_chunks).map(|_| Vec::new()).collect();
     {
         let mut rest: &mut [T] = dst;
         let mut consumed = 0usize;
@@ -194,6 +213,231 @@ where
                 entry.0 += 1;
             }
         });
+}
+
+// =======================================================================================
+// Monomorphized RadixKey kernel
+// =======================================================================================
+
+/// Stable out-of-place LSD radix sort for [`RadixKey`] types — the pipeline's hot path.
+///
+/// Same ping-pong structure as [`raduls_sort_by`], but engineered for throughput:
+///
+/// * digit extraction is a compile-time shift/mask on the raw key words
+///   ([`radix_digit`]) instead of a per-item-per-level callback;
+/// * per-chunk histograms are `[u32; 256]` (a quarter of the cache footprint of the
+///   `usize` histograms, exact because chunks hold ≤ 64 Ki items), and the histograms of
+///   pass `i + 1` are counted *during* the scatter of pass `i`, so after the first
+///   level every pass reads the data exactly once instead of twice;
+/// * the scatter writes through precomputed per-(chunk, bucket) destination cursors via
+///   raw pointers, removing the bounds checks and per-item `Option` lookups of the safe
+///   sub-slice carving;
+/// * below the parallel threshold the global per-level histograms from the fused
+///   sizing pass drive the scatter cursors directly — small sorts do one counting pass
+///   total, not one per level.
+///
+/// Trivial levels (constant digit across the input — e.g. the zero padding above a
+/// `2k`-bit k-mer) are detected in one fused histogram pass and skipped.
+pub fn raduls_sort<T: RadixKey + Default>(data: &mut [T]) {
+    let n = data.len();
+    let levels = T::KEY_LEVELS;
+    if n <= 1 || levels == 0 {
+        return;
+    }
+
+    let mut aux: Vec<T> = vec![T::default(); n];
+    let mut src_is_data = true;
+
+    if n < PARALLEL_THRESHOLD {
+        // One fused counting pass; the digit multiset is invariant under permutation,
+        // so the same histograms give every level's cursors without recounting.
+        let mut histograms = vec![[0u32; RADIX]; levels];
+        bin_all_levels(data, &mut histograms);
+        let order: Vec<usize> = (0..levels)
+            .rev()
+            .filter(|&l| !histograms[l].iter().any(|&c| c as usize == n))
+            .collect();
+        for &level in &order {
+            let (src, dst): (&[T], &mut [T]) = if src_is_data {
+                (&*data, &mut aux[..])
+            } else {
+                (&aux[..], &mut *data)
+            };
+            let mut cursors = [0usize; RADIX];
+            let mut acc = 0usize;
+            for (cursor, &count) in cursors.iter_mut().zip(&histograms[level]) {
+                *cursor = acc;
+                acc += count as usize;
+            }
+            let dst_ptr = dst.as_mut_ptr();
+            for item in src {
+                let b = radix_digit(item, level) as usize;
+                // SAFETY: `cursors` holds the exclusive prefix sums of the digit
+                // histogram of `src`, so over the loop each index in `0..n` is written
+                // exactly once and `cursors[b] < n` at every write.
+                unsafe { dst_ptr.add(cursors[b]).write(*item) };
+                cursors[b] += 1;
+            }
+            src_is_data = !src_is_data;
+        }
+    } else {
+        // One fused parallel pass produces the per-chunk histograms of *every* level;
+        // the global sums select the active levels, `per_chunk[·][first]` seeds the
+        // first scatter, and each scatter counts the next level's chunk histograms on
+        // the fly — so no pass over the data is ever a histogram-only pass.
+        let per_chunk: Vec<Vec<[u32; RADIX]>> = data
+            .par_chunks(CHUNK)
+            .map(|chunk| {
+                let mut hists = vec![[0u32; RADIX]; levels];
+                bin_all_levels(chunk, &mut hists);
+                hists
+            })
+            .collect();
+        let order: Vec<usize> = (0..levels)
+            .rev()
+            .filter(|&l| {
+                let mut totals = [0usize; RADIX];
+                for chunk_hists in &per_chunk {
+                    for (t, &c) in totals.iter_mut().zip(&chunk_hists[l]) {
+                        *t += c as usize;
+                    }
+                }
+                !totals.contains(&n)
+            })
+            .collect();
+        if !order.is_empty() {
+            let mut chunk_hists: Vec<[u32; RADIX]> =
+                per_chunk.iter().map(|hists| hists[order[0]]).collect();
+            drop(per_chunk);
+            for (i, &level) in order.iter().enumerate() {
+                let (src, dst): (&[T], &mut [T]) = if src_is_data {
+                    (&*data, &mut aux[..])
+                } else {
+                    (&aux[..], &mut *data)
+                };
+                chunk_hists =
+                    scatter_pass(src, dst, level, &chunk_hists, order.get(i + 1).copied());
+                src_is_data = !src_is_data;
+            }
+        }
+    }
+
+    if !src_is_data {
+        data.copy_from_slice(&aux);
+    }
+}
+
+/// Bin every level of every item into `hists` in one sweep: the key words of each item
+/// are loaded once and all their bytes are binned, so the pass is bound by one read of
+/// the input rather than one read per level.
+#[inline]
+fn bin_all_levels<T: RadixKey>(chunk: &[T], hists: &mut [[u32; RADIX]]) {
+    for item in chunk {
+        for w in 0..T::KEY_WORDS {
+            let word = item.key_word(w);
+            // Fixed-bound inner loop over the 8 bytes of one register; the compiler
+            // unrolls it into straight-line shift/mask increments.
+            for b in 0..8 {
+                hists[8 * w + b][((word >> ((7 - b) * 8)) & 0xFF) as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Shareable raw destination pointer for the parallel scatter. Safety rests on the
+/// offset discipline in [`scatter_pass`]: every (chunk, bucket) writes into its own
+/// disjoint index range of the destination.
+struct DstPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for DstPtr<T> {}
+unsafe impl<T: Send> Sync for DstPtr<T> {}
+
+/// One stable counting-sort pass from `src` to `dst` on `level`, monomorphized.
+///
+/// `cur_hists` are the per-chunk histograms of `level` over `src` (sliced out of the
+/// fused sizing pass for the first level, produced by the previous `scatter_pass`
+/// otherwise). While scattering, the pass counts the per-*destination*-chunk histograms
+/// of `next_level`, so the following pass needs no histogram sweep of its own.
+fn scatter_pass<T: RadixKey>(
+    src: &[T],
+    dst: &mut [T],
+    level: usize,
+    cur_hists: &[[u32; RADIX]],
+    next_level: Option<usize>,
+) -> Vec<[u32; RADIX]> {
+    let n = src.len();
+    debug_assert_eq!(n, dst.len());
+    let chunks: Vec<&[T]> = src.chunks(CHUNK).collect();
+    let num_chunks = chunks.len();
+    debug_assert_eq!(num_chunks, cur_hists.len());
+
+    // ---- per-(chunk, bucket) destination cursors -------------------------------------
+    // Stable order: bucket-major, then chunk index, then original order inside a chunk.
+    let mut starts: Vec<[usize; RADIX]> = vec![[0usize; RADIX]; num_chunks];
+    let mut acc = 0usize;
+    for b in 0..RADIX {
+        for (chunk_starts, hist) in starts.iter_mut().zip(cur_hists) {
+            chunk_starts[b] = acc;
+            acc += hist[b] as usize;
+        }
+    }
+    debug_assert_eq!(acc, n);
+
+    // ---- parallel scatter through raw cursors, fused with next-level counting --------
+    let dst_ptr = DstPtr(dst.as_mut_ptr());
+    let zero_hists = || {
+        if next_level.is_some() {
+            vec![[0u32; RADIX]; num_chunks]
+        } else {
+            Vec::new()
+        }
+    };
+    chunks
+        .into_par_iter()
+        .zip(starts.into_par_iter())
+        .fold(zero_hists, |mut next_hists, (chunk, mut cursors)| {
+            let dst_ptr = &dst_ptr;
+            // SAFETY (both arms): `cursors[b]` starts at this (chunk, bucket)'s
+            // exclusive bucket-major prefix offset and is bumped once per matching
+            // item, so each chunk writes into `[starts[c][b], starts[c][b] +
+            // cur_hists[c][b])` — ranges that are pairwise disjoint across all
+            // (chunk, bucket) pairs and together partition `0..n`.
+            match next_level {
+                Some(next) => {
+                    for item in chunk {
+                        let b = radix_digit(item, level) as usize;
+                        let off = cursors[b];
+                        cursors[b] = off + 1;
+                        unsafe { dst_ptr.0.add(off).write(*item) };
+                        // The destination offset tells us which chunk of the *next*
+                        // pass the item lands in; bin its next digit now.
+                        // SAFETY: `off < n`, so `off >> CHUNK_SHIFT < num_chunks ==
+                        // next_hists.len()`; the digit index is a `u8`.
+                        unsafe {
+                            next_hists.get_unchecked_mut(off >> CHUNK_SHIFT)
+                                [radix_digit(item, next) as usize] += 1;
+                        }
+                    }
+                }
+                None => {
+                    for item in chunk {
+                        let b = radix_digit(item, level) as usize;
+                        let off = cursors[b];
+                        cursors[b] = off + 1;
+                        unsafe { dst_ptr.0.add(off).write(*item) };
+                    }
+                }
+            }
+            next_hists
+        })
+        .reduce(zero_hists, |mut a, b| {
+            for (ha, hb) in a.iter_mut().zip(b) {
+                for (x, y) in ha.iter_mut().zip(hb) {
+                    *x += y;
+                }
+            }
+            a
+        })
 }
 
 #[cfg(test)]
@@ -245,7 +489,9 @@ mod tests {
     fn stability_within_equal_keys() {
         // Stable: payload order inside equal keys must be preserved.
         let mut rng = StdRng::seed_from_u64(14);
-        let mut v: Vec<(u16, u32)> = (0..50_000u32).map(|i| (rng.gen_range(0..32u16), i)).collect();
+        let mut v: Vec<(u16, u32)> = (0..50_000u32)
+            .map(|i| (rng.gen_range(0..32u16), i))
+            .collect();
         raduls_sort_by(&mut v, 2, |x, l| (x.0 >> (8 * (1 - l))) as u8);
         for w in v.windows(2) {
             assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
@@ -261,5 +507,51 @@ mod tests {
         raduls_sort_by(&mut a, 8, |x, l| (x >> (8 * (7 - l))) as u8);
         crate::paradis_sort_by(&mut b, 8, |x, l| (x >> (8 * (7 - l))) as u8);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keyed_kernel_matches_closure_path_on_u64() {
+        let mut rng = StdRng::seed_from_u64(16);
+        for n in [0usize, 1, 100, 5_000, 150_000] {
+            let original: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            let mut a = original.clone();
+            let mut b = original;
+            raduls_sort(&mut a);
+            raduls_sort_by(&mut b, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+            assert_eq!(a, b, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn keyed_kernel_sorts_u128_across_the_word_boundary() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut v: Vec<u128> = (0..120_000).map(|_| rng.gen()).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        raduls_sort(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn keyed_kernel_is_stable_on_tagged_records() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut v: Vec<(u64, u32)> = (0..90_000u32)
+            .map(|i| (rng.gen_range(0..64u64), i))
+            .collect();
+        raduls_sort(&mut v);
+        for w in v.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn keyed_kernel_skips_trivial_levels_and_copies_back() {
+        // Keys confined to 3 low bytes: 13 trivial levels for u128, odd active count.
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut v: Vec<u128> = (0..60_000).map(|_| rng.gen::<u128>() & 0xFF_FFFF).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        raduls_sort(&mut v);
+        assert_eq!(v, expected);
     }
 }

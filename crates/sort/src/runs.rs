@@ -69,11 +69,15 @@ mod tests {
         let data = vec![0u32, 0, 1, 2, 2, 2, 4, 4, 7];
         let mut covered = 0;
         let mut last_end = 0;
-        for_each_sorted_run(&data, |x| *x, |r| {
-            assert_eq!(r.start, last_end);
-            last_end = r.end;
-            covered += r.len();
-        });
+        for_each_sorted_run(
+            &data,
+            |x| *x,
+            |r| {
+                assert_eq!(r.start, last_end);
+                last_end = r.end;
+                covered += r.len();
+            },
+        );
         assert_eq!(covered, data.len());
     }
 

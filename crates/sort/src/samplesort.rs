@@ -31,9 +31,13 @@ where
     // deterministic sampling keeps the sort reproducible across runs.
     let sample_size = (buckets * OVERSAMPLE).min(n);
     let stride = (n / sample_size).max(1);
-    let mut sample: Vec<K> = (0..sample_size).map(|i| key(&data[(i * stride).min(n - 1)])).collect();
+    let mut sample: Vec<K> = (0..sample_size)
+        .map(|i| key(&data[(i * stride).min(n - 1)]))
+        .collect();
     sample.sort_unstable();
-    let splitters: Vec<K> = (1..buckets).map(|b| sample[b * sample.len() / buckets]).collect();
+    let splitters: Vec<K> = (1..buckets)
+        .map(|b| sample[b * sample.len() / buckets])
+        .collect();
 
     // ---- classification ----------------------------------------------------------------
     // Each input chunk classifies its items into `buckets` local vectors, which are then
@@ -58,7 +62,9 @@ where
             bucket_data[b].append(&mut items);
         }
     }
-    bucket_data.par_iter_mut().for_each(|bucket| bucket.sort_unstable_by_key(|x| key(x)));
+    bucket_data
+        .par_iter_mut()
+        .for_each(|bucket| bucket.sort_unstable_by_key(|x| key(x)));
 
     // ---- concatenate back into the input slice -----------------------------------------
     let mut offset = 0;

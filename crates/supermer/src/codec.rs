@@ -78,18 +78,28 @@ pub fn encode_extensions(records: &[Extension]) -> EncodedExtensions {
         }
         prev = Some(*rec);
     }
-    EncodedExtensions { bytes, count: records.len() }
+    EncodedExtensions {
+        bytes,
+        count: records.len(),
+    }
 }
 
 /// Decode a stream produced by [`encode_extensions`].
 ///
 /// Returns `None` if the stream is truncated or malformed.
 pub fn decode_extensions(encoded: &EncodedExtensions) -> Option<Vec<Extension>> {
-    let mut out = Vec::with_capacity(encoded.count);
-    let bytes = &encoded.bytes;
+    decode_extensions_slice(&encoded.bytes, encoded.count)
+}
+
+/// Decode `count` records from a borrowed compressed byte slice — the zero-copy entry
+/// point the wire parser uses (no intermediate [`EncodedExtensions`] allocation).
+///
+/// Returns `None` if the stream is truncated or malformed.
+pub fn decode_extensions_slice(bytes: &[u8], count: usize) -> Option<Vec<Extension>> {
+    let mut out = Vec::with_capacity(count);
     let mut i = 0usize;
     let mut prev: Option<Extension> = None;
-    for _ in 0..encoded.count {
+    for _ in 0..count {
         let tag = *bytes.get(i)?;
         i += 1;
         let read_id = if tag & READ_DELTA != 0 {
@@ -112,7 +122,10 @@ pub fn decode_extensions(encoded: &EncodedExtensions) -> Option<Vec<Extension>> 
             i += 4;
             u32::from_le_bytes(raw)
         };
-        let rec = Extension { read_id, pos_in_read };
+        let rec = Extension {
+            read_id,
+            pos_in_read,
+        };
         out.push(rec);
         prev = Some(rec);
     }
@@ -129,8 +142,7 @@ mod tests {
 
     #[test]
     fn round_trips_consecutive_positions() {
-        let records: Vec<Extension> =
-            (0..1000u32).map(|i| Extension::new(7, 100 + i)).collect();
+        let records: Vec<Extension> = (0..1000u32).map(|i| Extension::new(7, 100 + i)).collect();
         let encoded = encode_extensions(&records);
         assert_eq!(decode_extensions(&encoded).unwrap(), records);
         // Everything after the first record is tag + two single-byte deltas.

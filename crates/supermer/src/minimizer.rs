@@ -149,7 +149,10 @@ mod tests {
         let seq = random_seq(5_000, 2);
         let scorer = MmerScorer::new(13, ScoreFunction::Hash { seed: 7 });
         let runs = minimizers_deque(&seq, 31, &scorer);
-        let changes = runs.windows(2).filter(|w| w[0].mmer_index != w[1].mmer_index).count();
+        let changes = runs
+            .windows(2)
+            .filter(|w| w[0].mmer_index != w[1].mmer_index)
+            .count();
         let avg_run = runs.len() as f64 / (changes + 1) as f64;
         assert!(avg_run > 4.0, "average minimizer run too short: {avg_run}");
     }

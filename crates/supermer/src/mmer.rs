@@ -74,7 +74,11 @@ impl MmerScorer {
         if n < m {
             return Vec::new();
         }
-        let mask: u64 = if m == 32 { u64::MAX } else { (1u64 << (2 * m)) - 1 };
+        let mask: u64 = if m == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * m)) - 1
+        };
         let mut fwd: u64 = 0;
         let mut rev: u64 = 0;
         let mut out = Vec::with_capacity(n - m + 1);
@@ -85,7 +89,11 @@ impl MmerScorer {
             if i + 1 >= m {
                 let canonical = fwd.min(rev);
                 let index = i + 1 - m;
-                out.push(ScoredMmer { index, canonical, score: self.score_fn.score(canonical) });
+                out.push(ScoredMmer {
+                    index,
+                    canonical,
+                    score: self.score_fn.score(canonical),
+                });
             }
         }
         out
@@ -107,7 +115,9 @@ mod tests {
     use hysortk_dna::sequence::DnaSeq;
 
     fn pack(seq: &str) -> u64 {
-        seq.bytes().fold(0u64, |acc, c| (acc << 2) | u64::from(hysortk_dna::encode_base(c)))
+        seq.bytes().fold(0u64, |acc, c| {
+            (acc << 2) | u64::from(hysortk_dna::encode_base(c))
+        })
     }
 
     #[test]
@@ -136,7 +146,9 @@ mod tests {
     #[test]
     fn too_short_sequences_produce_nothing() {
         let seq = DnaSeq::from_ascii(b"ACG");
-        assert!(MmerScorer::new(5, ScoreFunction::Hash { seed: 1 }).score_sequence(&seq).is_empty());
+        assert!(MmerScorer::new(5, ScoreFunction::Hash { seed: 1 })
+            .score_sequence(&seq)
+            .is_empty());
     }
 
     #[test]
@@ -146,7 +158,10 @@ mod tests {
         let hash = MmerScorer::new(9, ScoreFunction::Hash { seed: 0 }).score_sequence(&seq);
         assert_eq!(lex.len(), hash.len());
         // The canonical values agree; the scores do not (hashing decorrelates them).
-        assert!(lex.iter().zip(&hash).all(|(a, b)| a.canonical == b.canonical));
+        assert!(lex
+            .iter()
+            .zip(&hash)
+            .all(|(a, b)| a.canonical == b.canonical));
         assert!(lex.iter().zip(&hash).any(|(a, b)| a.score != b.score));
     }
 

@@ -118,7 +118,11 @@ pub fn partition_stats(per_target: &[u64]) -> PartitionStats {
     assert!(!per_target.is_empty());
     let n = per_target.len() as f64;
     let mean = per_target.iter().sum::<u64>() as f64 / n;
-    let var = per_target.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = per_target
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     let max = *per_target.iter().max().unwrap() as f64;
     let min = *per_target.iter().min().unwrap() as f64;
     PartitionStats {
@@ -159,7 +163,11 @@ mod tests {
         // The multiset of canonical k-mers must be identical to direct extraction.
         let mut from_supermers: Vec<Kmer1> = supermers
             .iter()
-            .flat_map(|s| s.canonical_kmers_with_pos::<Kmer1>(k).into_iter().map(|(km, _)| km))
+            .flat_map(|s| {
+                s.canonical_kmers_with_pos::<Kmer1>(k)
+                    .into_iter()
+                    .map(|(km, _)| km)
+            })
             .collect();
         let mut direct: Vec<Kmer1> = read.seq.canonical_kmers(k).collect();
         from_supermers.sort();
@@ -225,7 +233,9 @@ mod tests {
     fn hash_score_balances_targets_better_than_lexicographic() {
         // §3.2: the Murmur-based score yields a far more even partition than the
         // lexicographic score.
-        let reads: Vec<Read> = (0..40).map(|i| random_read(i, 2_000, 100 + u64::from(i))).collect();
+        let reads: Vec<Read> = (0..40)
+            .map(|i| random_read(i, 2_000, 100 + u64::from(i)))
+            .collect();
         let targets = 64u32;
         let k = 31;
         let count = |score_fn: ScoreFunction| {

@@ -54,7 +54,11 @@ pub fn assign_modulo(task_sizes: &[u64], ranks: usize) -> Assignment {
         tasks_of[r].push(t);
         load_of[r] += size;
     }
-    Assignment { rank_of, tasks_of, load_of }
+    Assignment {
+        rank_of,
+        tasks_of,
+        load_of,
+    }
 }
 
 /// Greedy threshold assignment (§3.5): tasks sorted by decreasing size are placed onto
@@ -80,7 +84,12 @@ pub fn assign_greedy(task_sizes: &[u64], ranks: usize) -> Assignment {
     }
 }
 
-fn try_assign(task_sizes: &[u64], order: &[TaskId], ranks: usize, threshold: f64) -> Option<Assignment> {
+fn try_assign(
+    task_sizes: &[u64],
+    order: &[TaskId],
+    ranks: usize,
+    threshold: f64,
+) -> Option<Assignment> {
     let mut tasks_of = vec![Vec::new(); ranks];
     let mut load_of = vec![0u64; ranks];
     let mut rank_of = vec![usize::MAX; task_sizes.len()];
@@ -99,7 +108,11 @@ fn try_assign(task_sizes: &[u64], order: &[TaskId], ranks: usize, threshold: f64
             None => return None,
         }
     }
-    Some(Assignment { rank_of, tasks_of, load_of })
+    Some(Assignment {
+        rank_of,
+        tasks_of,
+        load_of,
+    })
 }
 
 /// Convenience: the heaviest per-rank load a given assignment strategy produces.

@@ -18,14 +18,20 @@ pub struct HeavyHitterPolicy {
 
 impl Default for HeavyHitterPolicy {
     fn default() -> Self {
-        HeavyHitterPolicy { factor: 3.0, enabled: true }
+        HeavyHitterPolicy {
+            factor: 3.0,
+            enabled: true,
+        }
     }
 }
 
 impl HeavyHitterPolicy {
     /// Disabled policy (no task is ever heavy).
     pub fn disabled() -> Self {
-        HeavyHitterPolicy { factor: f64::INFINITY, enabled: false }
+        HeavyHitterPolicy {
+            factor: f64::INFINITY,
+            enabled: false,
+        }
     }
 
     /// The absolute size threshold for a given mean task size.
@@ -77,8 +83,14 @@ mod tests {
     #[test]
     fn factor_controls_sensitivity() {
         let sizes = vec![100, 100, 100, 100, 250u64];
-        let strict = HeavyHitterPolicy { factor: 1.5, enabled: true };
-        let lax = HeavyHitterPolicy { factor: 5.0, enabled: true };
+        let strict = HeavyHitterPolicy {
+            factor: 1.5,
+            enabled: true,
+        };
+        let lax = HeavyHitterPolicy {
+            factor: 5.0,
+            enabled: true,
+        };
         assert_eq!(detect_heavy_tasks(&sizes, &strict), vec![4]);
         assert!(detect_heavy_tasks(&sizes, &lax).is_empty());
     }

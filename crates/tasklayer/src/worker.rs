@@ -3,25 +3,74 @@
 //! Instead of throwing all of a process's threads at one big sort (which scales poorly
 //! beyond 16 threads), HySortK splits them into *workers* of a fixed small width
 //! (default 4 threads) and gives each worker a queue of tasks. [`WorkerPool`] executes
-//! tasks on a dedicated rayon pool sized `workers × threads_per_worker`, and
-//! [`schedule_lpt`] computes the static longest-processing-time assignment whose
-//! makespan the performance model uses.
+//! tasks on a rayon pool sized `workers × threads_per_worker` that is built **once**
+//! and cached process-wide by thread count — constructing a thread pool per `execute`
+//! call was a large constant cost when every rank runs the sort stage once per
+//! pipeline invocation. [`schedule_lpt`] computes the static longest-processing-time
+//! assignment whose makespan the performance model uses.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rayon::prelude::*;
 
 use crate::TaskId;
 
+/// Process-wide cache of rayon pools, keyed by total thread count. Ranks of a simulated
+/// cluster share a pool of a given width instead of each building (and tearing down)
+/// their own, which also stops the simulator from oversubscribing the host with
+/// `ranks × threads` OS threads.
+static POOL_CACHE: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+
+/// Number of rayon pools ever constructed — observable from tests so a regression back
+/// to pool-per-call construction fails loudly.
+static POOL_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+fn cached_pool(total_threads: usize) -> Arc<rayon::ThreadPool> {
+    let cache = POOL_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("worker pool cache poisoned");
+    Arc::clone(cache.entry(total_threads).or_insert_with(|| {
+        POOL_BUILDS.fetch_add(1, Ordering::Relaxed);
+        Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(total_threads)
+                .build()
+                .expect("failed to build worker thread pool"),
+        )
+    }))
+}
+
 /// A pool of workers inside one simulated rank.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct WorkerPool {
     workers: usize,
     threads_per_worker: usize,
+    pool: Arc<rayon::ThreadPool>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("threads_per_worker", &self.threads_per_worker)
+            .finish()
+    }
 }
 
 impl WorkerPool {
-    /// Create a pool of `workers`, each `threads_per_worker` threads wide.
+    /// Create a pool of `workers`, each `threads_per_worker` threads wide. The backing
+    /// rayon pool is resolved from the process-wide cache; only the first pool of a
+    /// given total width ever constructs one.
     pub fn new(workers: usize, threads_per_worker: usize) -> Self {
-        WorkerPool { workers: workers.max(1), threads_per_worker: threads_per_worker.max(1) }
+        let workers = workers.max(1);
+        let threads_per_worker = threads_per_worker.max(1);
+        let pool = cached_pool(workers * threads_per_worker);
+        WorkerPool {
+            workers,
+            threads_per_worker,
+            pool,
+        }
     }
 
     /// Number of workers.
@@ -39,22 +88,25 @@ impl WorkerPool {
         self.workers * self.threads_per_worker
     }
 
+    /// Total rayon pools constructed so far in this process (monotone; a cache hit does
+    /// not increment it). Exposed so tests can assert `execute` never builds pools.
+    pub fn pool_builds() -> usize {
+        POOL_BUILDS.load(Ordering::Relaxed)
+    }
+
     /// Execute `f` over every task, with the pool's total thread budget. Tasks are
     /// processed independently (the defining property of the task abstraction: k-mers
     /// with equal value never span two tasks, so no cross-task coordination is needed).
     ///
-    /// Results are returned in task order.
+    /// Results are returned in task order. Reuses the cached rayon pool — no thread
+    /// pool is constructed per call.
     pub fn execute<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(T) -> R + Sync + Send,
     {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.total_threads())
-            .build()
-            .expect("failed to build worker thread pool");
-        pool.install(|| tasks.into_par_iter().map(f).collect())
+        self.pool.install(|| tasks.into_par_iter().map(f).collect())
     }
 }
 
@@ -84,16 +136,24 @@ impl WorkerSchedule {
 }
 
 /// Longest-processing-time-first scheduling of tasks onto `workers` workers.
+///
+/// The lightest worker is tracked in a min-heap, so scheduling `t` tasks is
+/// `O(t log w)` instead of the `O(t·w)` linear minimum scan per task. Ties break
+/// toward the lowest worker index (the heap key includes it), matching the order the
+/// linear scan produced.
 pub fn schedule_lpt(task_sizes: &[u64], workers: usize) -> WorkerSchedule {
     let workers = workers.max(1);
     let mut order: Vec<TaskId> = (0..task_sizes.len()).collect();
     order.sort_by_key(|&t| std::cmp::Reverse(task_sizes[t]));
     let mut tasks_of = vec![Vec::new(); workers];
     let mut load_of = vec![0u64; workers];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        (0..workers).map(|w| std::cmp::Reverse((0u64, w))).collect();
     for t in order {
-        let w = (0..workers).min_by_key(|&w| load_of[w]).expect("at least one worker");
+        let std::cmp::Reverse((load, w)) = heap.pop().expect("at least one worker");
         tasks_of[w].push(t);
-        load_of[w] += task_sizes[t];
+        load_of[w] = load + task_sizes[t];
+        heap.push(std::cmp::Reverse((load_of[w], w)));
     }
     WorkerSchedule { tasks_of, load_of }
 }
@@ -122,13 +182,60 @@ mod tests {
     }
 
     #[test]
+    fn repeated_pools_and_executes_do_not_rebuild_thread_pools() {
+        // POOL_BUILDS is process-global, so first pre-warm every total width any test
+        // in this binary uses (1, 4, 7, 12): after this line every cached_pool call in
+        // the process is a cache hit, and the counter can no longer move — regardless
+        // of how concurrent tests interleave.
+        for (workers, tpw) in [(0, 0), (2, 2), (7, 1), (3, 4)] {
+            let _ = WorkerPool::new(workers, tpw);
+        }
+        let builds_after_warmup = WorkerPool::pool_builds();
+        for _ in 0..20 {
+            let pool = WorkerPool::new(7, 1);
+            let results = pool.execute((0..50u64).collect(), |x| x + 1);
+            assert_eq!(results.len(), 50);
+        }
+        // Every width is cached: constructing and executing never builds another pool.
+        assert_eq!(WorkerPool::pool_builds(), builds_after_warmup);
+    }
+
+    #[test]
+    fn lpt_matches_linear_scan_reference() {
+        // The heap-based implementation must reproduce the classic per-task minimum
+        // scan exactly (including lowest-index tie-breaking).
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let tasks = rng.gen_range(0..60usize);
+            let workers = rng.gen_range(1..10usize);
+            let sizes: Vec<u64> = (0..tasks).map(|_| rng.gen_range(0..1_000)).collect();
+            let fast = schedule_lpt(&sizes, workers);
+
+            let mut order: Vec<TaskId> = (0..sizes.len()).collect();
+            order.sort_by_key(|&t| std::cmp::Reverse(sizes[t]));
+            let mut tasks_of = vec![Vec::new(); workers];
+            let mut load_of = vec![0u64; workers];
+            for t in order {
+                let w = (0..workers).min_by_key(|&w| load_of[w]).unwrap();
+                tasks_of[w].push(t);
+                load_of[w] += sizes[t];
+            }
+            assert_eq!(fast, WorkerSchedule { tasks_of, load_of });
+        }
+    }
+
+    #[test]
     fn lpt_schedule_covers_all_tasks_and_balances() {
         let mut rng = StdRng::seed_from_u64(3);
         let sizes: Vec<u64> = (0..96).map(|_| rng.gen_range(1_000..20_000)).collect();
         let schedule = schedule_lpt(&sizes, 8);
         let assigned: usize = schedule.tasks_of.iter().map(|t| t.len()).sum();
         assert_eq!(assigned, sizes.len());
-        assert!(schedule.imbalance() < 1.15, "imbalance {}", schedule.imbalance());
+        assert!(
+            schedule.imbalance() < 1.15,
+            "imbalance {}",
+            schedule.imbalance()
+        );
     }
 
     #[test]

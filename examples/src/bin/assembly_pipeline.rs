@@ -19,9 +19,24 @@ fn main() {
     );
 
     let configs = [
-        ("original counter, 64 proc × 1 thread", CounterChoice::Original, 64, 1),
-        ("original counter,  4 proc × 16 threads", CounterChoice::Original, 4, 16),
-        ("HySortK,            4 proc × 16 threads", CounterChoice::HySortK, 4, 16),
+        (
+            "original counter, 64 proc × 1 thread",
+            CounterChoice::Original,
+            64,
+            1,
+        ),
+        (
+            "original counter,  4 proc × 16 threads",
+            CounterChoice::Original,
+            4,
+            16,
+        ),
+        (
+            "HySortK,            4 proc × 16 threads",
+            CounterChoice::HySortK,
+            4,
+            16,
+        ),
     ];
 
     let mut totals = Vec::new();

@@ -5,7 +5,9 @@
 //! cargo run -p hysortk-examples --release --bin counter_comparison
 //! ```
 
-use hysortk_baselines::{kmc3_count, kmerind_count, mhm2_count, two_pass_hash_count, KmerindOutcome};
+use hysortk_baselines::{
+    kmc3_count, kmerind_count, mhm2_count, two_pass_hash_count, KmerindOutcome,
+};
 use hysortk_core::{count_kmers, HySortKConfig};
 use hysortk_datasets::DatasetPreset;
 use hysortk_dna::Kmer1;
@@ -36,10 +38,22 @@ fn main() {
     );
 
     let hysortk = count_kmers::<Kmer1>(&data.reads, &cfg);
-    print_row("HySortK", hysortk.report.total_time(), hysortk.report.total_wire_bytes, hysortk.report.peak_memory_per_node, hysortk.report.distinct_kmers);
+    print_row(
+        "HySortK",
+        hysortk.report.total_time(),
+        hysortk.report.total_wire_bytes,
+        hysortk.report.peak_memory_per_node,
+        hysortk.report.distinct_kmers,
+    );
 
     let hash = two_pass_hash_count::<Kmer1>(&data.reads, &cfg);
-    print_row("two-pass hash table", hash.report.total_time(), hash.report.total_wire_bytes, hash.report.peak_memory_per_node, hash.report.distinct_kmers);
+    print_row(
+        "two-pass hash table",
+        hash.report.total_time(),
+        hash.report.total_wire_bytes,
+        hash.report.peak_memory_per_node,
+        hash.report.distinct_kmers,
+    );
 
     match kmerind_count::<Kmer1>(&data.reads, &cfg) {
         KmerindOutcome::Completed(res) => print_row(
@@ -49,7 +63,10 @@ fn main() {
             res.report.peak_memory_per_node,
             res.report.distinct_kmers,
         ),
-        KmerindOutcome::OutOfMemory { projected_peak, available } => println!(
+        KmerindOutcome::OutOfMemory {
+            projected_peak,
+            available,
+        } => println!(
             "{:<22} {:>12}   (needs {:.0} GB, node has {:.0} GB)",
             "kmerind (Robin Hood)",
             "OOM",
@@ -59,10 +76,22 @@ fn main() {
     }
 
     let kmc = kmc3_count::<Kmer1>(&data.reads, &cfg);
-    print_row("KMC3 (1 node, SMP)", kmc.report.total_time(), kmc.report.total_wire_bytes, kmc.report.peak_memory_per_node, kmc.report.distinct_kmers);
+    print_row(
+        "KMC3 (1 node, SMP)",
+        kmc.report.total_time(),
+        kmc.report.total_wire_bytes,
+        kmc.report.peak_memory_per_node,
+        kmc.report.distinct_kmers,
+    );
 
     let gpu = mhm2_count::<Kmer1>(&data.reads, &cfg);
-    print_row("MetaHipMer2 (GPU)", gpu.report.total_time(), gpu.report.total_wire_bytes, gpu.report.peak_memory_per_node, gpu.report.distinct_kmers);
+    print_row(
+        "MetaHipMer2 (GPU)",
+        gpu.report.total_time(),
+        gpu.report.total_wire_bytes,
+        gpu.report.peak_memory_per_node,
+        gpu.report.distinct_kmers,
+    );
 
     // All counters must agree on the actual counts.
     assert_eq!(hysortk.counts, hash.counts);

@@ -28,21 +28,42 @@ fn main() {
     let result = count_kmers::<Kmer1>(&data.reads, &cfg);
 
     println!("\n--- counting result -------------------------------------------");
-    println!("distinct canonical k-mers : {}", result.report.distinct_kmers);
-    println!("retained in [2, 50]       : {}", result.report.retained_kmers);
+    println!(
+        "distinct canonical k-mers : {}",
+        result.report.distinct_kmers
+    );
+    println!(
+        "retained in [2, 50]       : {}",
+        result.report.retained_kmers
+    );
     println!("heavy-hitter tasks        : {}", result.report.heavy_tasks);
     println!("local sorter selected     : {:?}", result.report.sorter);
 
     println!("\nmultiplicity histogram (first 10 buckets):");
     for c in 1..=10 {
-        println!("  count {c:>2}: {} distinct k-mers", result.histogram.get(c));
+        println!(
+            "  count {c:>2}: {} distinct k-mers",
+            result.histogram.get(c)
+        );
     }
 
     println!("\n--- projected full-scale run (Perlmutter model) ----------------");
-    println!("exchange volume (max rank): {:.1} MB", result.report.max_rank_wire_bytes as f64 / 1e6);
-    println!("peak memory per node      : {:.1} GB", result.report.peak_memory_per_node as f64 / 1e9);
-    println!("stage breakdown           : {}", result.report.stage_times.summary());
-    println!("total modeled time        : {:.2} s", result.report.total_time());
+    println!(
+        "exchange volume (max rank): {:.1} MB",
+        result.report.max_rank_wire_bytes as f64 / 1e6
+    );
+    println!(
+        "peak memory per node      : {:.1} GB",
+        result.report.peak_memory_per_node as f64 / 1e9
+    );
+    println!(
+        "stage breakdown           : {}",
+        result.report.stage_times.summary()
+    );
+    println!(
+        "total modeled time        : {:.2} s",
+        result.report.total_time()
+    );
 
     // Show a few of the most frequent retained k-mers.
     let mut top: Vec<_> = result.counts.iter().collect();

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: every counter, the full HySortK pipeline in all modes,
 //! and the ELBA integration, validated end-to-end against the reference counter.
 
-use hysortk_baselines::{kmc3_count, kmerind_count, mhm2_count, two_pass_hash_count, KmerindOutcome};
+use hysortk_baselines::{
+    kmc3_count, kmerind_count, mhm2_count, two_pass_hash_count, KmerindOutcome,
+};
 use hysortk_core::{count_kmers, reference_counts_bounded, HySortKConfig};
 use hysortk_datasets::{DatasetPreset, GeneratedDataset};
 use hysortk_dna::{fasta, Kmer1, Kmer2};

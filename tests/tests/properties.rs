@@ -1,149 +1,308 @@
-//! Property-based tests (proptest) on the core data structures and invariants.
+//! Randomised property tests on the core data structures and invariants.
+//!
+//! The build environment is offline, so instead of `proptest` these use a seeded
+//! [`StdRng`] case loop: every property runs over a few dozen random cases whose seeds
+//! are fixed, making failures reproducible while still sweeping a wide input space.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use hysortk_dna::{DnaSeq, Extension, Kmer1, Kmer2, ReadSet};
-use hysortk_sort::{paradis_sort_by, raduls_sort_by, sample_sort_by_key};
+use hysortk_sort::{
+    paradis_sort, paradis_sort_by, raduls_sort, raduls_sort_by, sample_sort_by_key,
+};
 use hysortk_supermer::codec::{decode_extensions, encode_extensions};
 use hysortk_supermer::minimizer::{minimizers_deque, minimizers_naive};
 use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
 use hysortk_supermer::supermer::build_supermers;
 
-/// Strategy producing DNA strings over ACGT.
-fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 0..max_len)
+/// A random DNA string over ACGT of length `0..max_len`.
+fn dna(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len.max(1));
+    (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn dna_exact(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+}
 
-    // ---------------- k-mer packing --------------------------------------------------
+// ---------------- k-mer packing ------------------------------------------------------
 
-    #[test]
-    fn kmer_pack_unpack_round_trips(seq in dna(32).prop_filter("non-empty", |s| !s.is_empty())) {
-        let k = seq.len();
+#[test]
+fn kmer_pack_unpack_round_trips() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..64 {
+        let k = rng.gen_range(1..=32usize);
+        let seq = dna_exact(&mut rng, k);
         let km = Kmer1::from_ascii(&seq);
-        let rendered = km.to_string_k(k);
-        prop_assert_eq!(rendered.as_bytes(), &seq[..]);
+        assert_eq!(km.to_string_k(k).as_bytes(), &seq[..]);
     }
+}
 
-    #[test]
-    fn kmer2_reverse_complement_is_an_involution(seq in dna(64).prop_filter("k>=1", |s| !s.is_empty())) {
-        let k = seq.len();
-        let km = Kmer2::from_ascii(&seq);
-        prop_assert_eq!(km.reverse_complement(k).reverse_complement(k), km);
+#[test]
+fn kmer2_reverse_complement_is_an_involution() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..64 {
+        let k = rng.gen_range(1..=64usize);
+        let km = Kmer2::from_ascii(&dna_exact(&mut rng, k));
+        assert_eq!(km.reverse_complement(k).reverse_complement(k), km);
     }
+}
 
-    #[test]
-    fn kmer_ordering_matches_string_ordering(
-        (a, b) in (1usize..21).prop_flat_map(|len| (
-            vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], len),
-            vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], len),
-        ))
-    ) {
+#[test]
+fn kmer_ordering_matches_string_ordering() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for _ in 0..64 {
+        let len = rng.gen_range(1..21usize);
+        let a = dna_exact(&mut rng, len);
+        let b = dna_exact(&mut rng, len);
         let ka = Kmer1::from_ascii(&a);
         let kb = Kmer1::from_ascii(&b);
-        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+        assert_eq!(ka.cmp(&kb), a.cmp(&b), "{:?} vs {:?}", a, b);
     }
+}
 
-    #[test]
-    fn canonical_kmer_is_strand_invariant(seq in dna(32).prop_filter("non-empty", |s| !s.is_empty())) {
-        let k = seq.len();
-        let km = Kmer1::from_ascii(&seq);
+#[test]
+fn canonical_kmer_is_strand_invariant() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..64 {
+        let k = rng.gen_range(1..=32usize);
+        let km = Kmer1::from_ascii(&dna_exact(&mut rng, k));
         let rc = km.reverse_complement(k);
-        prop_assert_eq!(km.canonical(k), rc.canonical(k));
+        assert_eq!(km.canonical(k), rc.canonical(k));
     }
+}
 
-    // ---------------- packed sequences ------------------------------------------------
+// ---------------- packed sequences ---------------------------------------------------
 
-    #[test]
-    fn dnaseq_round_trips_and_counts_kmers(seq in dna(500), k in 1usize..40) {
+#[test]
+fn dnaseq_round_trips_and_counts_kmers() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for _ in 0..64 {
+        let seq = dna(&mut rng, 500);
+        let k = rng.gen_range(1..40usize);
         let packed = DnaSeq::from_ascii(&seq);
-        prop_assert_eq!(packed.to_ascii(), seq.clone());
+        assert_eq!(packed.to_ascii(), seq);
         let expected = if seq.len() >= k { seq.len() - k + 1 } else { 0 };
-        prop_assert_eq!(packed.num_kmers(k), expected);
+        assert_eq!(packed.num_kmers(k), expected);
     }
+}
 
-    // ---------------- sorting ----------------------------------------------------------
+// ---------------- sorting ------------------------------------------------------------
 
-    #[test]
-    fn radix_sorts_agree_with_std_sort(mut v in vec(any::<u64>(), 0..3000)) {
+#[test]
+fn radix_sorts_agree_with_std_sort() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for _ in 0..32 {
+        let n = rng.gen_range(0..3000usize);
+        let v: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
         let mut expected = v.clone();
         expected.sort_unstable();
         let mut a = v.clone();
         paradis_sort_by(&mut a, 8, |x, l| (x >> (8 * (7 - l))) as u8);
-        prop_assert_eq!(&a, &expected);
-        raduls_sort_by(&mut v, 8, |x, l| (x >> (8 * (7 - l))) as u8);
-        prop_assert_eq!(&v, &expected);
+        assert_eq!(a, expected);
+        let mut b = v;
+        raduls_sort_by(&mut b, 8, |x, l| (x >> (8 * (7 - l))) as u8);
+        assert_eq!(b, expected);
     }
+}
 
-    #[test]
-    fn sample_sort_agrees_with_std_sort(mut v in vec(any::<u32>(), 0..3000)) {
+#[test]
+fn monomorphized_kernels_match_closure_paths_on_u64_records() {
+    // The RadixKey kernels must produce exactly the ordering of the closure-based
+    // paths they replace — including stability for the RADULS pair (payloads of equal
+    // keys keep their relative order).
+    let mut rng = StdRng::seed_from_u64(107);
+    for round in 0..24 {
+        let n = rng.gen_range(0..40_000usize);
+        let few_keys = round % 2 == 0;
+        let v: Vec<(u64, u32)> = (0..n as u32)
+            .map(|i| {
+                let key = if few_keys {
+                    rng.gen_range(0..97u64)
+                } else {
+                    rng.gen()
+                };
+                (key, i)
+            })
+            .collect();
+
+        let mut kernel = v.clone();
+        raduls_sort(&mut kernel);
+        let mut closure = v.clone();
+        raduls_sort_by(&mut closure, 8, |x, l| (x.0 >> (8 * (7 - l))) as u8);
+        assert_eq!(kernel, closure, "raduls kernel diverged (n = {n})");
+
+        let mut kernel = v.clone();
+        paradis_sort(&mut kernel);
+        let mut closure = v.clone();
+        paradis_sort_by(&mut closure, 8, |x, l| (x.0 >> (8 * (7 - l))) as u8);
+        // PARADIS is not stable; compare the grouping, not the payload order.
+        kernel.sort_unstable();
+        closure.sort_unstable();
+        assert_eq!(kernel, closure, "paradis kernel diverged (n = {n})");
+    }
+}
+
+#[test]
+fn monomorphized_kernels_match_closure_paths_on_u128_records() {
+    let mut rng = StdRng::seed_from_u64(108);
+    let digit = |x: &(u128, u32), l: usize| (x.0 >> (8 * (15 - l))) as u8;
+    for _ in 0..12 {
+        let n = rng.gen_range(0..30_000usize);
+        // Mask some keys down so whole levels go trivial across the word boundary.
+        let mask = if rng.gen_bool(0.5) {
+            u128::MAX
+        } else {
+            0xFFFF_FFFF_FFFF_FFFF_FFFF
+        }; // 80 bits
+        let v: Vec<(u128, u32)> = (0..n as u32)
+            .map(|i| (rng.gen::<u128>() & mask, i))
+            .collect();
+
+        let mut kernel = v.clone();
+        raduls_sort(&mut kernel);
+        let mut closure = v.clone();
+        raduls_sort_by(&mut closure, 16, digit);
+        assert_eq!(kernel, closure, "raduls kernel diverged (n = {n})");
+
+        let mut kernel = v.clone();
+        paradis_sort(&mut kernel);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        kernel.sort_unstable();
+        assert_eq!(kernel, expected, "paradis kernel diverged (n = {n})");
+    }
+}
+
+#[test]
+fn sample_sort_agrees_with_std_sort() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for _ in 0..32 {
+        let n = rng.gen_range(0..3000usize);
+        let mut v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
         let mut expected = v.clone();
         expected.sort_unstable();
         sample_sort_by_key(&mut v, 4, |x| *x);
-        prop_assert_eq!(v, expected);
+        assert_eq!(v, expected);
     }
+}
 
-    // ---------------- minimizers and supermers -----------------------------------------
+// ---------------- flat exchange ------------------------------------------------------
 
-    #[test]
-    fn deque_minimizers_equal_naive_minimizers(seq in dna(400), m in 3usize..16, window in 0usize..30) {
+#[test]
+fn flat_exchange_round_trips_against_the_nested_path() {
+    // Random irregular send matrices: the flat-buffer exchange must deliver exactly
+    // the bytes the nested-vector path delivers, rank for rank.
+    use hysortk_dmem::Cluster;
+    for seed in 0..6u64 {
+        let p = 2 + (seed as usize % 4);
+        let run = Cluster::new(p).run(|ctx| {
+            let mut rng = StdRng::seed_from_u64(seed * 100 + ctx.rank() as u64);
+            let nested: Vec<Vec<u8>> = (0..ctx.size())
+                .map(|_| {
+                    let len = rng.gen_range(0..200usize);
+                    (0..len).map(|_| rng.gen()).collect()
+                })
+                .collect();
+            let counts: Vec<usize> = nested.iter().map(Vec::len).collect();
+            let flat: Vec<u8> = nested.iter().flatten().copied().collect();
+            let from_nested = ctx.alltoallv(nested, "nested");
+            let from_flat = ctx.alltoallv_flat(flat, &counts, "flat");
+            (0..ctx.size()).all(|src| from_nested[src].as_slice() == from_flat.from_rank(src))
+        });
+        assert!(
+            run.results.into_iter().all(|ok| ok),
+            "mismatch for seed {seed}"
+        );
+    }
+}
+
+// ---------------- minimizers and supermers -------------------------------------------
+
+#[test]
+fn deque_minimizers_equal_naive_minimizers() {
+    let mut rng = StdRng::seed_from_u64(110);
+    for _ in 0..48 {
+        let seq = dna(&mut rng, 400);
+        let m = rng.gen_range(3..16usize);
+        let window = rng.gen_range(0..30usize);
         let k = m + window;
         let packed = DnaSeq::from_ascii(&seq);
         let scorer = MmerScorer::new(m, ScoreFunction::Hash { seed: 17 });
-        prop_assert_eq!(
+        assert_eq!(
             minimizers_deque(&packed, k, &scorer),
-            minimizers_naive(&packed, k, &scorer)
+            minimizers_naive(&packed, k, &scorer),
+            "m = {m}, k = {k}"
         );
     }
+}
 
-    #[test]
-    fn supermers_partition_the_kmers_of_a_read(seq in dna(600), targets in 1u32..64) {
-        prop_assume!(seq.len() >= 31);
+#[test]
+fn supermers_partition_the_kmers_of_a_read() {
+    let mut rng = StdRng::seed_from_u64(111);
+    let mut checked = 0;
+    while checked < 32 {
+        let seq = dna(&mut rng, 600);
+        if seq.len() < 31 {
+            continue;
+        }
+        checked += 1;
+        let targets = rng.gen_range(1..64u32);
         let read = hysortk_dna::Read::from_ascii(0, "p", &seq);
         let scorer = MmerScorer::new(11, ScoreFunction::Hash { seed: 3 });
         let supermers = build_supermers(&read, 31, &scorer, targets);
         let total: usize = supermers.iter().map(|s| s.num_kmers(31)).sum();
-        prop_assert_eq!(total, read.seq.num_kmers(31));
+        assert_eq!(total, read.seq.num_kmers(31));
         let mut from_supermers: Vec<Kmer1> = supermers
             .iter()
-            .flat_map(|s| s.canonical_kmers_with_pos::<Kmer1>(31).into_iter().map(|(km, _)| km))
+            .flat_map(|s| {
+                s.canonical_kmers_with_pos::<Kmer1>(31)
+                    .into_iter()
+                    .map(|(km, _)| km)
+            })
             .collect();
         let mut direct: Vec<Kmer1> = read.seq.canonical_kmers(31).collect();
         from_supermers.sort();
         direct.sort();
-        prop_assert_eq!(from_supermers, direct);
+        assert_eq!(from_supermers, direct);
     }
+}
 
-    // ---------------- extension codec ---------------------------------------------------
+// ---------------- extension codec ----------------------------------------------------
 
-    #[test]
-    fn extension_codec_round_trips(records in vec((any::<u32>(), any::<u32>()), 0..500)) {
-        let records: Vec<Extension> =
-            records.into_iter().map(|(r, p)| Extension::new(r, p)).collect();
+#[test]
+fn extension_codec_round_trips() {
+    let mut rng = StdRng::seed_from_u64(112);
+    for _ in 0..64 {
+        let n = rng.gen_range(0..500usize);
+        let records: Vec<Extension> = (0..n)
+            .map(|_| Extension::new(rng.gen(), rng.gen()))
+            .collect();
         let encoded = encode_extensions(&records);
-        prop_assert_eq!(decode_extensions(&encoded), Some(records.clone()));
+        assert_eq!(decode_extensions(&encoded), Some(records.clone()));
         // Lossless and never larger than ~9/8 of the raw encoding.
-        prop_assert!(encoded.wire_bytes() <= records.len() * 9);
+        assert!(encoded.wire_bytes() <= records.len() * 9);
     }
+}
 
-    // ---------------- counting invariants -----------------------------------------------
+// ---------------- counting invariants ------------------------------------------------
 
-    #[test]
-    fn hysortk_counts_match_reference_on_arbitrary_reads(
-        seqs in vec(dna(200), 1..12),
-        k in 5usize..24,
-        ranks in 1usize..5,
-    ) {
+#[test]
+fn hysortk_counts_match_reference_on_arbitrary_reads() {
+    let mut rng = StdRng::seed_from_u64(113);
+    for _ in 0..16 {
+        let num_reads = rng.gen_range(1..12usize);
+        let seqs: Vec<Vec<u8>> = (0..num_reads).map(|_| dna(&mut rng, 200)).collect();
+        let k = rng.gen_range(5..24usize);
+        let ranks = rng.gen_range(1..5usize);
         let reads = ReadSet::from_ascii_reads(&seqs);
         let mut cfg = hysortk_core::HySortKConfig::small(k, (k / 2).max(3), ranks);
         cfg.min_count = 1;
         cfg.max_count = 1_000_000;
         let result = hysortk_core::count_kmers::<Kmer1>(&reads, &cfg);
         let expected = hysortk_core::reference_counts_bounded::<Kmer1>(&reads, k, 1, 1_000_000);
-        prop_assert_eq!(result.counts, expected);
-        prop_assert_eq!(result.report.distinct_kmers, result.histogram.distinct());
+        assert_eq!(result.counts, expected, "k = {k}, ranks = {ranks}");
+        assert_eq!(result.report.distinct_kmers, result.histogram.distinct());
     }
 }

@@ -1,0 +1,260 @@
+//! Offline stand-in for the subset of `rand 0.8` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored shim provides
+//! `rngs::StdRng` (xoshiro256++ seeded through SplitMix64) and the `Rng` /
+//! `SeedableRng` trait surface the tests and generators rely on: `gen`, `gen_range`
+//! (half-open and inclusive integer ranges), and `gen_bool`.
+//!
+//! Streams are *not* bit-compatible with crates.io `rand`; all in-tree uses generate
+//! inputs whose tests assert invariants rather than golden values, so only uniformity
+//! and determinism-per-seed matter.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing generator trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit output stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of a primitive type uniformly over its whole domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from an integer range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of [0, 1]"
+        );
+        // 53 uniform mantissa bits, the same construction rand uses for f64 sampling.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// xoshiro256++ generator, seeded by expanding the `u64` seed with SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+/// Types samplable uniformly over their whole domain (subset of rand's `Standard`
+/// distribution, expressed as a trait on the sampled type).
+pub trait Standard: Sized {
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types usable with `gen_range` (subset of rand's `SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from the inclusive span `[low, high]`.
+    fn sample_inclusive<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from the half-open span `[low, end)`.
+    fn sample_below<R: Rng>(rng: &mut R, low: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                // Modulo sampling over a 128-bit draw: the bias is at most 2^-64 per
+                // span unit, far below anything the in-tree statistical tests resolve.
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let draw = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+                (low as i128 + (draw % span) as i128) as $t
+            }
+
+            fn sample_below<R: Rng>(rng: &mut R, low: Self, end: Self) -> Self {
+                Self::sample_inclusive(rng, low, end - 1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::gen_range`] (subset of rand's `SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "gen_range called with an empty range"
+        );
+        T::sample_below(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(
+            low <= high,
+            "gen_range called with an empty inclusive range"
+        );
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buckets = [0u32; 4];
+        for _ in 0..40_000 {
+            let x = rng.gen_range(0..4usize);
+            buckets[x] += 1;
+        }
+        for &b in &buckets {
+            assert!(
+                (8_000..12_000).contains(&b),
+                "bucket count {b} far from uniform"
+            );
+        }
+        for _ in 0..1_000 {
+            let x = rng.gen_range(10..=12u64);
+            assert!((10..=12).contains(&x));
+            let y = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.9)).count();
+        assert!((88_000..92_000).contains(&hits), "p=0.9 hit count {hits}");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn single_value_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(rng.gen_range(7..8u32), 7);
+        assert_eq!(rng.gen_range(7..=7u32), 7);
+    }
+}

@@ -1,0 +1,369 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored shim provides the
+//! same API surface backed by `std::thread::scope`: every adapter is *eager* and splits
+//! its items into one contiguous group per thread. Combining functions must be
+//! associative (the same requirement real rayon imposes); grouping is deterministic
+//! (contiguous, in order), so order-preserving adapters (`map`, `collect`, `zip`)
+//! return exactly what the sequential pipeline would.
+//!
+//! Supported surface: `par_iter` / `into_par_iter` / `par_chunks`, the adapters `map`,
+//! `for_each`, `fold`, `reduce`, `zip`, `collect`, plus `current_num_threads`,
+//! `ThreadPoolBuilder` and `ThreadPool::install`.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]; 0 means "unset".
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel adapters on this thread will use.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS.with(|c| {
+        let v = c.get();
+        if v == 0 {
+            default_threads()
+        } else {
+            v
+        }
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (this shim never fails to build).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A "pool" that scopes the thread budget of the parallel adapters run under
+/// [`ThreadPool::install`]. Worker threads themselves are spawned per adapter call
+/// (scoped), so the pool is just the budget, not the threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread budget installed for parallel adapters.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.threads);
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// The pool's thread budget.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice,
+    };
+}
+
+/// Marker re-export so `use rayon::prelude::*` brings the adapter methods into scope.
+/// In this shim the adapters are inherent methods on [`ParIter`], so the trait is empty.
+pub trait ParallelIterator {}
+
+/// An eager "parallel iterator": a materialised list of items processed group-wise on
+/// scoped threads by each adapter.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {}
+
+/// Run `f` over `items` on up to `current_num_threads()` scoped threads, preserving
+/// order in the result.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let groups = split_groups(items, threads);
+    let nested: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| scope.spawn(move || group.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(nested.iter().map(Vec::len).sum());
+    for group in nested {
+        out.extend(group);
+    }
+    out
+}
+
+/// Split `items` into at most `parts` contiguous groups of near-equal length.
+fn split_groups<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut groups = Vec::with_capacity(parts);
+    // Split from the back so each split_off is O(part size).
+    for part in (0..parts).rev() {
+        let len = base + usize::from(part < extra);
+        groups.push(items.split_off(items.len() - len));
+    }
+    groups.reverse();
+    groups
+}
+
+impl<T: Send> ParIter<T> {
+    /// Order-preserving parallel map.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, &f),
+        }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, &|item| f(item));
+    }
+
+    /// Fold contiguous groups of items into per-group accumulators (one per thread),
+    /// yielding a new parallel iterator over the accumulators — rayon's `fold` contract.
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        let threads = current_num_threads().min(self.items.len()).max(1);
+        let groups = split_groups(self.items, threads);
+        let accumulators = parallel_map(groups, &|group: Vec<T>| {
+            group.into_iter().fold(identity(), &fold_op)
+        });
+        ParIter {
+            items: accumulators,
+        }
+    }
+
+    /// Reduce all items with an associative operation. The shim reduces the (few,
+    /// per-thread) items sequentially and deterministically.
+    pub fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> T
+    where
+        ID: Fn() -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), reduce_op)
+    }
+
+    /// Pair items with another parallel iterator, truncating to the shorter.
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<(T, J::Item)> {
+        let other = other.into_par_iter();
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Collect the items (already in order).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into an eager parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` by reference, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut()` by mutable reference, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Parallel chunking of slices, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_sum() {
+        let v: Vec<u64> = (0..100_000).collect();
+        let total = v
+            .par_iter()
+            .fold(|| 0u64, |acc, x| acc + *x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn par_chunks_cover_everything() {
+        let v: Vec<u32> = (0..1000).collect();
+        let lens: Vec<usize> = v.par_chunks(64).map(|c| c.len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), v.len());
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (100..200).collect();
+        let pairs: Vec<(u32, u32)> = a.into_par_iter().zip(b.into_par_iter()).collect();
+        assert!(pairs.iter().all(|(x, y)| y - x == 100));
+    }
+
+    #[test]
+    fn install_scopes_the_thread_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u64> = Vec::new();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let empty: &[u64] = &[];
+        let total = empty
+            .par_iter()
+            .fold(|| 0u64, |a, b| a + *b)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 0);
+    }
+}
