@@ -7,6 +7,7 @@ use hysortk_hash::{murmur3_x64_128, murmur3_x86_32};
 use hysortk_supermer::codec::encode_extensions;
 use hysortk_supermer::minimizer::{minimizers_deque, minimizers_naive};
 use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
+use hysortk_supermer::streaming::{for_each_supermer, SupermerScratch};
 use hysortk_supermer::supermer::build_supermers;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +31,14 @@ fn bench_minimizers(c: &mut Criterion) {
     });
     group.bench_function("build_supermers_256_targets", |b| {
         b.iter(|| build_supermers(&read, 31, &scorer, 256))
+    });
+    group.bench_function("streaming_supermers_256_targets", |b| {
+        let mut scratch = SupermerScratch::new();
+        b.iter(|| {
+            let mut n = 0u64;
+            for_each_supermer(&read.seq, 31, &scorer, 256, &mut scratch, |_| n += 1);
+            n
+        })
     });
     group.finish();
 }

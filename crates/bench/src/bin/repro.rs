@@ -5,6 +5,7 @@
 //! cargo run -p hysortk-bench --release --bin repro -- table2
 //! cargo run -p hysortk-bench --release --bin repro -- all
 //! cargo run -p hysortk-bench --release --bin repro -- bench-sort   # writes BENCH_sort.json
+//! cargo run -p hysortk-bench --release --bin repro -- bench-parse  # writes BENCH_parse.json
 //! ```
 
 use hysortk_bench as bench;
@@ -101,6 +102,27 @@ fn bench_sort() {
     }
 }
 
+/// Time the vec-based vs streaming stage 1 on a fixed seeded dataset, then write
+/// `BENCH_parse.json` — the parse-stage point on the repo's performance trajectory.
+fn bench_parse() {
+    eprintln!("[repro] timing stage-1 parse paths on 2000 seeded 5kb reads …");
+    let report = bench::bench_parse(2_000, 5_000);
+    let json = report.to_json();
+    print!("{json}");
+    println!(
+        "streaming stage 1: {:.1} Mbases/s ({:.2}x over the vec path), \
+         {:.1} Msupermers/s",
+        report.streaming_bases_per_sec() / 1e6,
+        report.streaming_speedup(),
+        report.supermers_per_sec() / 1e6
+    );
+    let path = "BENCH_parse.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[repro] wrote {path}"),
+        Err(e) => eprintln!("[repro] could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let arg = std::env::args()
         .nth(1)
@@ -111,10 +133,12 @@ fn main() {
             for (name, description, _) in EXPERIMENTS {
                 println!("  {name:<16} {description}");
             }
-            println!("\nrun one with `repro <name>`, `repro bench-sort` for the kernel");
-            println!("microbenchmark (writes BENCH_sort.json), or `repro all` for everything");
+            println!("\nrun one with `repro <name>`, `repro bench-sort` for the sort-kernel");
+            println!("microbenchmark (writes BENCH_sort.json), `repro bench-parse` for the");
+            println!("parse-stage microbenchmark (writes BENCH_parse.json), or `repro all`");
         }
         "bench-sort" => bench_sort(),
+        "bench-parse" => bench_parse(),
         "all" => {
             for (name, description, f) in EXPERIMENTS {
                 eprintln!("[repro] running {name} …");

@@ -670,9 +670,180 @@ pub fn bench_sort_kernels(keys: usize) -> SortBenchReport {
     }
 }
 
+// ---------------------------------------------------------------------------------------
+// Parse-stage microbenchmark → BENCH_parse.json
+// ---------------------------------------------------------------------------------------
+
+/// Result of the stage-1 (parse) microbenchmark: the fused streaming supermer extractor
+/// against the vec-based three-pass path, on a fixed seeded dataset.
+#[derive(Debug, Clone)]
+pub struct ParseBenchReport {
+    /// Number of reads in the seeded dataset.
+    pub reads: usize,
+    /// Total bases parsed per pass.
+    pub bases: u64,
+    /// Supermers extracted per pass (identical for both paths by construction).
+    pub supermers: u64,
+    /// k-mer length.
+    pub k: usize,
+    /// Minimizer length.
+    pub m: usize,
+    /// Destination targets.
+    pub targets: u32,
+    /// Median wall seconds of the vec-based `build_supermers` pass.
+    pub vec_secs: f64,
+    /// Median wall seconds of the streaming `for_each_supermer` pass.
+    pub streaming_secs: f64,
+}
+
+impl ParseBenchReport {
+    /// Vec-path time over streaming time (> 1 means streaming is faster).
+    pub fn streaming_speedup(&self) -> f64 {
+        self.vec_secs / self.streaming_secs.max(1e-12)
+    }
+
+    /// Bases parsed per second by the streaming path.
+    pub fn streaming_bases_per_sec(&self) -> f64 {
+        self.bases as f64 / self.streaming_secs.max(1e-12)
+    }
+
+    /// Bases parsed per second by the vec-based path.
+    pub fn vec_bases_per_sec(&self) -> f64 {
+        self.bases as f64 / self.vec_secs.max(1e-12)
+    }
+
+    /// Supermers emitted per second by the streaming path.
+    pub fn supermers_per_sec(&self) -> f64 {
+        self.supermers as f64 / self.streaming_secs.max(1e-12)
+    }
+
+    /// Render as the `BENCH_parse.json` document (hand-rolled, like `BENCH_sort.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"parse-stage\",\n",
+                "  \"reads\": {},\n",
+                "  \"bases\": {},\n",
+                "  \"supermers\": {},\n",
+                "  \"params\": {{ \"k\": {}, \"m\": {}, \"targets\": {} }},\n",
+                "  \"seconds\": {{ \"vec\": {:.4}, \"streaming\": {:.4} }},\n",
+                "  \"bases_per_sec\": {{ \"vec\": {:.1}, \"streaming\": {:.1} }},\n",
+                "  \"supermers_per_sec\": {:.1},\n",
+                "  \"streaming_speedup\": {:.3}\n",
+                "}}\n"
+            ),
+            self.reads,
+            self.bases,
+            self.supermers,
+            self.k,
+            self.m,
+            self.targets,
+            self.vec_secs,
+            self.streaming_secs,
+            self.vec_bases_per_sec(),
+            self.streaming_bases_per_sec(),
+            self.supermers_per_sec(),
+            self.streaming_speedup(),
+        )
+    }
+}
+
+/// Time stage 1 both ways on a fixed seeded dataset of `reads` random reads of
+/// `read_len` bases each: the vec-based reference (`build_supermers`, which
+/// materialises scored m-mers, minimizer runs and supermer sequences) against the
+/// fused streaming extractor (`for_each_supermer`, zero allocations). Both paths see
+/// identical reads and must extract the same number of supermers.
+pub fn bench_parse(reads: usize, read_len: usize) -> ParseBenchReport {
+    use hysortk_dna::Read;
+    use hysortk_supermer::streaming::{for_each_supermer, SupermerScratch};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let k = 31;
+    let m = 13;
+    let targets = 256u32;
+    let mut rng = StdRng::seed_from_u64(0x9A125E);
+    let dataset: Vec<Read> = (0..reads)
+        .map(|i| {
+            let bases: Vec<u8> = (0..read_len)
+                .map(|_| b"ACGT"[rng.gen_range(0..4)])
+                .collect();
+            Read::from_ascii(i as u32, format!("r{i}"), &bases)
+        })
+        .collect();
+    let scorer = MmerScorer::new(m, ScoreFunction::Hash { seed: 31 });
+    let samples = 5;
+
+    let mut vec_supermers = 0u64;
+    let vec_secs = median_secs(samples, || {
+        let mut n = 0u64;
+        for read in &dataset {
+            n += build_supermers(read, k, &scorer, targets).len() as u64;
+        }
+        vec_supermers = std::hint::black_box(n);
+    });
+
+    let mut scratch = SupermerScratch::new();
+    let mut streaming_supermers = 0u64;
+    let streaming_secs = median_secs(samples, || {
+        let mut n = 0u64;
+        for read in &dataset {
+            for_each_supermer(&read.seq, k, &scorer, targets, &mut scratch, |span| {
+                n += 1;
+                std::hint::black_box(span.target);
+            });
+        }
+        streaming_supermers = std::hint::black_box(n);
+    });
+    assert_eq!(
+        vec_supermers, streaming_supermers,
+        "paths disagree on supermer count"
+    );
+
+    ParseBenchReport {
+        reads,
+        bases: (reads * read_len) as u64,
+        supermers: streaming_supermers,
+        k,
+        m,
+        targets,
+        vec_secs,
+        streaming_secs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_bench_report_renders_valid_json_shape() {
+        let report = ParseBenchReport {
+            reads: 10,
+            bases: 50_000,
+            supermers: 4_000,
+            k: 31,
+            m: 13,
+            targets: 256,
+            vec_secs: 0.4,
+            streaming_secs: 0.2,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"streaming_speedup\": 2.000"));
+        assert!(json.contains("\"supermers_per_sec\": 20000.0"));
+        assert!((report.streaming_bases_per_sec() - 250_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_bench_paths_agree_on_a_tiny_dataset() {
+        // Smoke-run the real harness (tiny sizes — the timing itself is not asserted).
+        let report = bench_parse(4, 400);
+        assert_eq!(report.bases, 1_600);
+        assert!(report.supermers > 0);
+        assert!(report.vec_secs > 0.0 && report.streaming_secs > 0.0);
+    }
 
     #[test]
     fn sort_bench_report_renders_valid_json_shape() {

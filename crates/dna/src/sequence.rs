@@ -74,6 +74,81 @@ impl DnaSeq {
         ((self.words[word] >> shift) & 0b11) as u8
     }
 
+    /// The 2-bit code of base `i` without the bounds check — the primitive of the
+    /// streaming parse loops, whose index is provably in range.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be less than [`DnaSeq::len`].
+    #[inline]
+    pub unsafe fn get_code_unchecked(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        let word = self.words.get_unchecked(i / 32);
+        ((word >> (2 * (i % 32))) & 0b11) as u8
+    }
+
+    /// The backing packed words (base `i` lives in bits `2*(i % 32)` of word `i / 32`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// One shifted word of the subrange starting at base `start`: bases
+    /// `start + 32*w ..` packed into a `u64`, assembled with one shift/OR pair instead
+    /// of 32 `get_code` calls.
+    #[inline]
+    fn range_word(&self, start: usize, w: usize) -> u64 {
+        let shift = 2 * (start % 32);
+        let idx = start / 32 + w;
+        let lo = self.words[idx] >> shift;
+        if shift > 0 && idx + 1 < self.words.len() {
+            lo | (self.words[idx + 1] << (64 - shift))
+        } else {
+            lo
+        }
+    }
+
+    /// Copy bases `start..start + len` into a new sequence, moving whole packed words
+    /// (32 bases per shift/OR) instead of one base at a time.
+    pub fn subseq(&self, start: usize, len: usize) -> DnaSeq {
+        assert!(start + len <= self.len, "subrange out of bounds");
+        let nwords = len.div_ceil(32);
+        let mut words = Vec::with_capacity(nwords);
+        for w in 0..nwords {
+            words.push(self.range_word(start, w));
+        }
+        let stray = len % 32;
+        if stray != 0 {
+            let last = words.last_mut().expect("len > 0 implies a word");
+            *last &= (1u64 << (2 * stray)) - 1;
+        }
+        DnaSeq { words, len }
+    }
+
+    /// Append the wire encoding of bases `start..start + len` to `out`: 4 bases per
+    /// byte, base `j` of the range at bits `2*(j % 4)` of byte `j / 4` — the layout the
+    /// exchange stage ships. Bytes are produced 8 at a time (32 bases per shift/OR);
+    /// stray high bits of the final byte are zeroed.
+    pub fn append_packed_range(&self, start: usize, len: usize, out: &mut Vec<u8>) {
+        assert!(start + len <= self.len, "subrange out of bounds");
+        let nbytes = len.div_ceil(4);
+        out.reserve(nbytes);
+        let mut produced = 0usize;
+        let mut w = 0usize;
+        while produced < nbytes {
+            let bytes = self.range_word(start, w).to_le_bytes();
+            let take = (nbytes - produced).min(8);
+            out.extend_from_slice(&bytes[..take]);
+            produced += take;
+            w += 1;
+        }
+        let stray = len % 4;
+        if stray != 0 {
+            let last = out.last_mut().expect("len > 0 implies a byte");
+            *last &= (1u8 << (2 * stray)) - 1;
+        }
+    }
+
     /// Iterate over the 2-bit base codes.
     pub fn codes(&self) -> impl Iterator<Item = u8> + '_ {
         (0..self.len).map(move |i| self.get_code(i))
@@ -235,5 +310,66 @@ mod tests {
     fn packed_memory_is_quarter_of_ascii() {
         let seq = DnaSeq::from_ascii(&vec![b'A'; 1024]);
         assert_eq!(seq.packed_bytes(), 1024 / 4);
+    }
+
+    fn patterned(len: usize) -> DnaSeq {
+        let bases: Vec<u8> = (0..len).map(|i| b"ACGT"[(i * 7 + i / 3) % 4]).collect();
+        DnaSeq::from_ascii(&bases)
+    }
+
+    #[test]
+    fn subseq_matches_per_base_copy_at_every_alignment() {
+        let seq = patterned(200);
+        for start in [0, 1, 31, 32, 33, 63, 64, 97] {
+            for len in [0, 1, 3, 31, 32, 33, 64, 100] {
+                if start + len > seq.len() {
+                    continue;
+                }
+                let fast = seq.subseq(start, len);
+                let mut slow = DnaSeq::with_capacity(len);
+                for i in start..start + len {
+                    slow.push_code(seq.get_code(i));
+                }
+                assert_eq!(fast, slow, "start={start} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_packed_range_matches_per_base_packing() {
+        let seq = patterned(150);
+        for start in [0, 2, 30, 32, 45, 64] {
+            for len in [0, 1, 4, 5, 29, 32, 63, 80] {
+                if start + len > seq.len() {
+                    continue;
+                }
+                let mut fast = vec![0xAAu8]; // pre-existing bytes must survive
+                seq.append_packed_range(start, len, &mut fast);
+                let mut slow = vec![0xAAu8];
+                let mut byte = 0u8;
+                let mut filled = 0usize;
+                for i in start..start + len {
+                    byte |= seq.get_code(i) << (2 * filled);
+                    filled += 1;
+                    if filled == 4 {
+                        slow.push(byte);
+                        byte = 0;
+                        filled = 0;
+                    }
+                }
+                if filled > 0 {
+                    slow.push(byte);
+                }
+                assert_eq!(fast, slow, "start={start} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn unchecked_codes_agree_with_checked_codes() {
+        let seq = patterned(100);
+        for i in 0..seq.len() {
+            assert_eq!(unsafe { seq.get_code_unchecked(i) }, seq.get_code(i));
+        }
     }
 }

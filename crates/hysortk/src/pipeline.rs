@@ -30,12 +30,15 @@ use hysortk_perfmodel::network::ExchangeProfile;
 use hysortk_perfmodel::{PerfModel, SortAlgorithm, StageTimes};
 use hysortk_sort::{count_sorted_runs, paradis_sort_from, raduls_sort};
 use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
-use hysortk_supermer::supermer::{build_supermers, Supermer};
+use hysortk_supermer::streaming::{for_each_supermer, SupermerScratch};
 use hysortk_task::{assign_greedy, detect_heavy_tasks, schedule_lpt, Assignment, WorkerPool};
 
 use crate::config::HySortKConfig;
 use crate::result::{CountResult, KmerHistogram, RunReport};
-use crate::wire::{read_blocks, write_block, write_records_uncompressed, PayloadView, TaskPayload};
+use crate::wire::{
+    read_blocks, write_block, write_records_uncompressed, PayloadView, SupermerBlockWriter,
+    TaskPayload,
+};
 
 /// Work counters measured by one rank.
 #[derive(Debug, Clone, Default)]
@@ -60,19 +63,95 @@ struct RankOutput<K: KmerCode> {
     counters: RankCounters,
 }
 
-/// What a rank accumulates locally for one task before the exchange.
-enum LocalTask<K: KmerCode> {
-    Supermers(Vec<Supermer>),
-    Records(Vec<K>, Vec<Extension>),
+/// Compact send-side reference to one supermer: the read it was cut from (an index
+/// into the rank's read slice), its base offset and its length. The bases themselves
+/// stay in the packed read until serialisation copies them word-at-a-time straight
+/// into the flat send buffer — no intermediate `Supermer { DnaSeq }` is materialised
+/// on the send side.
+#[derive(Debug, Clone, Copy)]
+struct SmRef {
+    /// Index of the source read within this rank's read slice.
+    read: u32,
+    /// First base of the supermer within the read.
+    start: u32,
+    /// Length in bases (always ≥ k).
+    len: u32,
 }
 
-impl<K: KmerCode> LocalTask<K> {
-    fn kmer_count(&self, k: usize) -> u64 {
-        match self {
-            LocalTask::Supermers(s) => s.iter().map(|x| x.num_kmers(k) as u64).sum(),
-            LocalTask::Records(kmers, _) => kmers.len() as u64,
-        }
+impl SmRef {
+    fn num_kmers(&self, k: usize) -> u64 {
+        (self.len as usize - k + 1) as u64
     }
+}
+
+/// Per-task supermer references staged by one chunk of the rank's reads, plus the
+/// chunk's work counters. Chunks are contiguous read ranges in read order, so
+/// concatenating chunk stagings per task reproduces the sequential supermer order.
+struct ParsedChunk {
+    per_task: Vec<Vec<SmRef>>,
+    bases: u64,
+    kmers: u64,
+    supermers: u64,
+}
+
+/// What a rank accumulates locally before the exchange.
+enum Stage1<K: KmerCode> {
+    /// Supermer mode: per-chunk, per-task supermer references (parallel streaming parse).
+    Supermers(Vec<ParsedChunk>),
+    /// Ablation mode: per-task individual k-mer records.
+    Records(Vec<(Vec<K>, Vec<Extension>)>),
+}
+
+/// Stage 1 in supermer mode: stream the rank's reads through the fused extractor
+/// ([`for_each_supermer`]) in parallel on the cached worker pool. Reads are split into
+/// contiguous chunks (a few per thread, for balance against uneven read lengths);
+/// each worker thread reuses one [`SupermerScratch`] ring across all its chunks and
+/// stages compact [`SmRef`]s per task.
+fn parse_supermers_parallel(
+    my_reads: &[&Read],
+    k: usize,
+    scorer: &MmerScorer,
+    num_tasks: usize,
+    pool: &WorkerPool,
+) -> Vec<ParsedChunk> {
+    let chunk_count = (pool.total_threads() * 4).clamp(1, my_reads.len().max(1));
+    let mut chunks: Vec<(u32, &[&Read])> = Vec::with_capacity(chunk_count);
+    let base = my_reads.len() / chunk_count;
+    let extra = my_reads.len() % chunk_count;
+    let mut start = 0usize;
+    for c in 0..chunk_count {
+        let len = base + usize::from(c < extra);
+        chunks.push((start as u32, &my_reads[start..start + len]));
+        start += len;
+    }
+    pool.execute_with(
+        chunks,
+        SupermerScratch::new,
+        |scratch, (first_read, slice)| {
+            let mut chunk = ParsedChunk {
+                per_task: vec![Vec::new(); num_tasks],
+                bases: 0,
+                kmers: 0,
+                supermers: 0,
+            };
+            for (offset, read) in slice.iter().enumerate() {
+                chunk.bases += read.len() as u64;
+                chunk.kmers += read.seq.num_kmers(k) as u64;
+                let read_index = first_read + offset as u32;
+                let per_task = &mut chunk.per_task;
+                let supermers = &mut chunk.supermers;
+                for_each_supermer(&read.seq, k, scorer, num_tasks as u32, scratch, |span| {
+                    *supermers += 1;
+                    per_task[span.target as usize].push(SmRef {
+                        read: read_index,
+                        start: span.start,
+                        len: span.end - span.start,
+                    });
+                });
+            }
+            chunk
+        },
+    )
 }
 
 /// Count the canonical k-mers of `reads` with the full HySortK pipeline.
@@ -141,45 +220,52 @@ fn rank_pipeline<K: KmerCode>(
     let scorer = MmerScorer::new(cfg.m, ScoreFunction::Hash { seed: cfg.seed });
 
     // ---------------- stage 1: parse ------------------------------------------------
+    // Supermer mode streams every read through the fused scoring→minimizer→supermer
+    // extractor, rank-parallel over the cached worker pool; only compact references
+    // into the packed reads are staged. The records ablation path keeps the simple
+    // sequential per-read loop.
     let my_reads: Vec<&Read> = reads.reads()[ranges[rank].clone()].iter().collect();
-    let mut local: Vec<LocalTask<K>> = (0..num_tasks)
-        .map(|_| {
-            if cfg.use_supermers {
-                LocalTask::Supermers(Vec::new())
-            } else {
-                LocalTask::Records(Vec::new(), Vec::new())
-            }
-        })
-        .collect();
+    let workers = cfg.workers_per_process();
+    let pool = WorkerPool::new(workers, cfg.threads_per_worker);
 
-    for read in &my_reads {
-        counters.bases_parsed += read.len() as u64;
-        counters.kmers_parsed += read.seq.num_kmers(k) as u64;
-        if cfg.use_supermers {
-            for sm in build_supermers(read, k, &scorer, num_tasks as u32) {
-                counters.supermers_built += 1;
-                match &mut local[sm.target as usize] {
-                    LocalTask::Supermers(v) => v.push(sm),
-                    LocalTask::Records(..) => unreachable!("mode is fixed per run"),
-                }
-            }
-        } else {
+    let stage1: Stage1<K> = if cfg.use_supermers {
+        let chunks = parse_supermers_parallel(&my_reads, k, &scorer, num_tasks, &pool);
+        for chunk in &chunks {
+            counters.bases_parsed += chunk.bases;
+            counters.kmers_parsed += chunk.kmers;
+            counters.supermers_built += chunk.supermers;
+        }
+        Stage1::Supermers(chunks)
+    } else {
+        let mut tasks: Vec<(Vec<K>, Vec<Extension>)> =
+            (0..num_tasks).map(|_| (Vec::new(), Vec::new())).collect();
+        for read in &my_reads {
+            counters.bases_parsed += read.len() as u64;
+            counters.kmers_parsed += read.seq.num_kmers(k) as u64;
             for (pos, km) in read.seq.kmers::<K>(k).enumerate() {
                 let canon = km.canonical(k);
                 let task = (hash_kmer(&canon, cfg.seed) % num_tasks as u64) as usize;
-                match &mut local[task] {
-                    LocalTask::Records(kmers, exts) => {
-                        kmers.push(canon);
-                        exts.push(Extension::new(read.id, pos as u32));
-                    }
-                    LocalTask::Supermers(_) => unreachable!("mode is fixed per run"),
-                }
+                let (kmers, exts) = &mut tasks[task];
+                kmers.push(canon);
+                exts.push(Extension::new(read.id, pos as u32));
             }
         }
-    }
+        Stage1::Records(tasks)
+    };
 
     // ---------------- task sizing, assignment, heavy hitters -------------------------
-    let local_sizes: Vec<u64> = local.iter().map(|t| t.kmer_count(k)).collect();
+    let local_sizes: Vec<u64> = match &stage1 {
+        Stage1::Supermers(chunks) => (0..num_tasks)
+            .map(|t| {
+                chunks
+                    .iter()
+                    .flat_map(|c| &c.per_task[t])
+                    .map(|r| r.num_kmers(k))
+                    .sum()
+            })
+            .collect(),
+        Stage1::Records(tasks) => tasks.iter().map(|(kmers, _)| kmers.len() as u64).collect(),
+    };
     let global_sizes = allreduce_sizes(ctx, &local_sizes);
 
     let assignment = if cfg.use_task_layer {
@@ -199,42 +285,73 @@ fn rank_pipeline<K: KmerCode>(
 
     // ---------------- stage 2: serialise (flat, destination-major) and exchange ------
     // One contiguous send buffer with per-destination counts (MPI `Alltoallv` style):
-    // the assignment's task lists group each destination's blocks contiguously, so the
-    // whole wire stage performs no per-destination vector allocations or copies.
+    // the assignment's task lists group each destination's blocks contiguously. In
+    // supermer mode the staged references serialise **directly** into the flat buffer
+    // (header + word-level packed-range copy out of the source read), so the send side
+    // never materialises a supermer sequence.
     let levels = K::num_bytes(k);
     // Leading key bytes above the meaningful 2k bits are constant zero; tell the MSD
     // sorter to skip straight past them.
     let first_radix_level = K::WORDS * 8 - levels;
     let mut send: Vec<u8> = Vec::new();
     let mut send_counts = vec![0usize; p];
-    for (dest, tasks) in assignment.tasks_of.iter().enumerate() {
-        let dest_start = send.len();
-        for &t in tasks {
-            let content = std::mem::replace(&mut local[t], LocalTask::Supermers(Vec::new()));
-            match content {
-                LocalTask::Supermers(sms) => {
-                    if sms.is_empty() {
+    match stage1 {
+        Stage1::Supermers(chunks) => {
+            for (dest, tasks) in assignment.tasks_of.iter().enumerate() {
+                let dest_start = send.len();
+                for &t in tasks {
+                    let count: usize = chunks.iter().map(|c| c.per_task[t].len()).sum();
+                    if count == 0 {
                         continue;
                     }
                     if is_heavy(t) {
                         // Heavy-hitter path: pre-count locally, ship a kmerlist (§3.5).
-                        let mut kmers: Vec<K> = sms
-                            .iter()
-                            .flat_map(|s| {
-                                s.canonical_kmers_with_pos::<K>(k)
-                                    .into_iter()
-                                    .map(|(km, _)| km)
-                            })
-                            .collect();
+                        // Canonical k-mers decode straight from the packed source reads.
+                        let mut kmers: Vec<K> = Vec::with_capacity(local_sizes[t] as usize);
+                        for chunk in &chunks {
+                            for r in &chunk.per_task[t] {
+                                let seq = &my_reads[r.read as usize].seq;
+                                let mut km = K::zero();
+                                for i in 0..r.len as usize {
+                                    // SAFETY: spans satisfy `start + len <= seq.len()`.
+                                    let code =
+                                        unsafe { seq.get_code_unchecked(r.start as usize + i) };
+                                    km = km.push_base(k, code);
+                                    if i + 1 >= k {
+                                        kmers.push(km.canonical(k));
+                                    }
+                                }
+                            }
+                        }
                         counters.heavy_local_sorted += kmers.len() as u64;
                         paradis_sort_from(&mut kmers, first_radix_level);
                         let list = count_sorted_runs(&kmers, |km| *km);
                         write_block(&mut send, t as u32, &TaskPayload::<K>::KmerList(list));
                     } else {
-                        write_block(&mut send, t as u32, &TaskPayload::<K>::Supermers(sms));
+                        let mut writer =
+                            SupermerBlockWriter::new(&mut send, t as u32, count as u32);
+                        for chunk in &chunks {
+                            for r in &chunk.per_task[t] {
+                                let read = my_reads[r.read as usize];
+                                writer.push(
+                                    read.id,
+                                    r.start,
+                                    &read.seq,
+                                    r.start as usize,
+                                    r.len as usize,
+                                );
+                            }
+                        }
                     }
                 }
-                LocalTask::Records(kmers, exts) => {
+                send_counts[dest] = send.len() - dest_start;
+            }
+        }
+        Stage1::Records(mut tasks) => {
+            for (dest, assigned) in assignment.tasks_of.iter().enumerate() {
+                let dest_start = send.len();
+                for &t in assigned {
+                    let (kmers, exts) = std::mem::take(&mut tasks[t]);
                     if kmers.is_empty() {
                         continue;
                     }
@@ -252,11 +369,10 @@ fn rank_pipeline<K: KmerCode>(
                         write_block(&mut send, t as u32, &TaskPayload::Records(kmers, None));
                     }
                 }
+                send_counts[dest] = send.len() - dest_start;
             }
         }
-        send_counts[dest] = send.len() - dest_start;
     }
-    drop(local);
 
     let batch_bytes = cfg.batch_size * K::num_bytes(k);
     let exchange = ctx.alltoall_rounds_flat(send, &send_counts, batch_bytes.max(1), "exchange");
@@ -322,10 +438,8 @@ fn rank_pipeline<K: KmerCode>(
         work.push((records, pre));
     }
 
-    let workers = cfg.workers_per_process();
     counters.worker_makespan = schedule_lpt(&task_sizes, workers).makespan();
 
-    let pool = WorkerPool::new(workers, cfg.threads_per_worker);
     let min = cfg.min_count;
     let max = cfg.max_count;
     let with_ext = cfg.with_extension;

@@ -109,21 +109,8 @@ pub fn write_block<K: KmerCode>(out: &mut Vec<u8>, task: u32, payload: &TaskPayl
                 push_u32(out, s.read_id);
                 push_u32(out, s.start);
                 push_u32(out, s.seq.len() as u32);
-                // 2-bit packed bases, 4 per byte.
-                let mut byte = 0u8;
-                let mut filled = 0;
-                for code in s.seq.codes() {
-                    byte |= code << (2 * filled);
-                    filled += 1;
-                    if filled == 4 {
-                        out.push(byte);
-                        byte = 0;
-                        filled = 0;
-                    }
-                }
-                if filled > 0 {
-                    out.push(byte);
-                }
+                // 2-bit packed bases, 4 per byte — word-level copy, 32 bases at a time.
+                s.seq.append_packed_range(0, s.seq.len(), out);
             }
         }
         TaskPayload::KmerList(list) => {
@@ -180,6 +167,61 @@ pub fn write_records_uncompressed<K: KmerCode>(
     out.push(EXT_RAW);
     for e in exts {
         out.extend_from_slice(&e.to_bytes());
+    }
+}
+
+/// Streamed writer of one supermer block: the parallel parse stage serialises its
+/// supermer *references* destination-major straight into the flat send buffer through
+/// this writer, so no intermediate [`Supermer`] (with its owned
+/// [`DnaSeq`]) is ever materialised on the send side. The base bytes are copied out of
+/// the source read with the word-level
+/// [`DnaSeq::append_packed_range`] — 32 bases per shift/OR.
+///
+/// The caller declares the supermer count up front (it is known from the staging
+/// buffers) and must then [`push`](SupermerBlockWriter::push) exactly that many
+/// supermers for the stream to parse back.
+#[derive(Debug)]
+pub struct SupermerBlockWriter<'a> {
+    out: &'a mut Vec<u8>,
+    declared: u32,
+    written: u32,
+}
+
+impl<'a> SupermerBlockWriter<'a> {
+    /// Start a supermer block for `task` holding exactly `count` supermers.
+    pub fn new(out: &'a mut Vec<u8>, task: u32, count: u32) -> Self {
+        push_u32(out, task);
+        out.push(KIND_SUPERMERS);
+        push_u32(out, count);
+        SupermerBlockWriter {
+            out,
+            declared: count,
+            written: 0,
+        }
+    }
+
+    /// Append one supermer: its header plus the packed bases `offset..offset + len`
+    /// of `seq` (the *source read*, not a materialised supermer sequence).
+    pub fn push(&mut self, read_id: u32, start: u32, seq: &DnaSeq, offset: usize, len: usize) {
+        debug_assert!(self.written < self.declared, "more supermers than declared");
+        push_u32(self.out, read_id);
+        push_u32(self.out, start);
+        push_u32(self.out, len as u32);
+        seq.append_packed_range(offset, len, self.out);
+        self.written += 1;
+    }
+}
+
+impl Drop for SupermerBlockWriter<'_> {
+    fn drop(&mut self) {
+        // Skip the invariant check during unwinding: asserting here would turn any
+        // panic raised mid-block into a panic-while-panicking abort that masks it.
+        if !std::thread::panicking() {
+            debug_assert_eq!(
+                self.written, self.declared,
+                "supermer block closed with a count mismatch"
+            );
+        }
     }
 }
 
@@ -587,6 +629,34 @@ mod tests {
             .flat_map(|s| s.canonical_kmers_with_pos::<Kmer1>(k))
             .collect();
         assert_eq!(streamed, direct);
+    }
+
+    #[test]
+    fn streamed_writer_is_byte_identical_to_owned_write_block() {
+        // The direct send path (references into the read + word-level range copy) must
+        // put exactly the same bytes on the wire as materialising `Supermer`s first.
+        let read = Read::from_ascii(
+            9,
+            "r9",
+            b"ACGTTGCAACGTGGGTTTAAACCCTAGCATACGTACGGTACCATGGTTACGATCGATCGAATTCCGG",
+        );
+        let k = 15;
+        let scorer = MmerScorer::new(7, ScoreFunction::Hash { seed: 3 });
+        let supermers = build_supermers(&read, k, &scorer, 4);
+        assert!(!supermers.is_empty());
+
+        let mut owned = Vec::new();
+        write_block::<Kmer1>(&mut owned, 5, &TaskPayload::Supermers(supermers.clone()));
+
+        let mut streamed = Vec::new();
+        let mut writer = SupermerBlockWriter::new(&mut streamed, 5, supermers.len() as u32);
+        for s in &supermers {
+            // The direct path copies straight out of the source read at the supermer's
+            // offset instead of out of a materialised supermer sequence.
+            writer.push(s.read_id, s.start, &read.seq, s.start as usize, s.seq.len());
+        }
+        drop(writer);
+        assert_eq!(streamed, owned);
     }
 
     #[test]

@@ -10,15 +10,22 @@
 //! * [`supermer`] — grouping of consecutive k-mers that share a destination into
 //!   supermers, the measurement of the communication saving, and the re-extraction of
 //!   k-mers on the receiving side.
+//! * [`streaming`] — the fused, allocation-free form of all of the above:
+//!   [`streaming::for_each_supermer`] rolls scoring, window minimisation (a ring-buffer
+//!   monotone deque of 16-byte entries) and run grouping in one pass and emits supermer
+//!   spans through a callback. This is the pipeline's hot parse path; the vec-based
+//!   modules above are the property-test reference.
 //! * [`codec`] — the domain-specific delta compression of `(read_id, pos_in_read)`
 //!   extension records.
 
 pub mod codec;
 pub mod minimizer;
 pub mod mmer;
+pub mod streaming;
 pub mod supermer;
 
 pub use codec::{decode_extensions, encode_extensions, EncodedExtensions};
 pub use minimizer::{minimizers_deque, minimizers_naive, MinimizerRun};
 pub use mmer::{canonical_mmers, MmerScorer, ScoreFunction};
+pub use streaming::{for_each_supermer, MonotoneRing, RingEntry, SupermerScratch, SupermerSpan};
 pub use supermer::{build_supermers, partition_stats, PartitionStats, Supermer};

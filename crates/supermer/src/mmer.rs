@@ -66,6 +66,11 @@ impl MmerScorer {
         self.m
     }
 
+    /// The configured score function.
+    pub fn score_fn(&self) -> ScoreFunction {
+        self.score_fn
+    }
+
     /// Score every m-mer of `seq` in order. Returns an empty vector if the sequence is
     /// shorter than m.
     pub fn score_sequence(&self, seq: &DnaSeq) -> Vec<ScoredMmer> {

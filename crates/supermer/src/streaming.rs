@@ -1,0 +1,462 @@
+//! Fused, allocation-free supermer extraction (streaming stage 1).
+//!
+//! [`build_supermers`](crate::supermer::build_supermers) runs three passes over a read
+//! and materialises three heap structures: every scored m-mer
+//! ([`score_sequence`](crate::mmer::MmerScorer::score_sequence)), every k-mer's
+//! minimizer ([`minimizers_deque`](crate::minimizer::minimizers_deque), via a heap
+//! `VecDeque`), and finally the supermer base copies. [`for_each_supermer`] fuses all
+//! three into **one** rolling pass: the canonical m-mer words roll base by base, the
+//! monotone deque lives in a fixed-size ring buffer of compact 16-byte entries
+//! ([`RingEntry`]), and supermer spans are emitted through a callback the moment their
+//! destination run ends — no intermediate vector is ever allocated. The only state is a
+//! reusable [`SupermerScratch`], so a thread parsing millions of reads allocates the
+//! ring once.
+//!
+//! The vec-based pipeline is kept as the reference implementation; the property tests
+//! assert both produce byte-identical supermers.
+
+use crate::mmer::MmerScorer;
+use hysortk_dna::sequence::DnaSeq;
+
+/// One candidate minimizer in the ring deque: the m-mer's read-relative index and its
+/// score. `build_supermers` only ever consumes the winning candidate's index and score
+/// (the canonical m-mer value itself is not needed for destination assignment), so the
+/// entry is 16 bytes — a third of the 24-byte
+/// [`ScoredMmer`](crate::mmer::ScoredMmer) the vec path queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RingEntry {
+    /// Read-relative index of the m-mer (reads are far below `u32::MAX` bases).
+    pub index: u32,
+    /// Score of the m-mer under the configured score function (lower is better).
+    pub score: u64,
+}
+
+/// A monotone deque in a fixed-size ring buffer — the sliding-window minimum structure
+/// of [`minimizers_deque`](crate::minimizer::minimizers_deque) without the `VecDeque`
+/// heap allocation and pointer chasing.
+///
+/// Entries are kept in strictly increasing `index` order with non-decreasing `score`
+/// from front to back; `head`/`tail` are monotonically increasing cursors masked into
+/// the power-of-two ring, so push/pop are a wrapping index increment each.
+#[derive(Debug, Clone, Default)]
+pub struct MonotoneRing {
+    entries: Vec<RingEntry>,
+    mask: usize,
+    head: usize,
+    tail: usize,
+}
+
+impl MonotoneRing {
+    /// An empty ring (no capacity until [`reset`](MonotoneRing::reset)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear the deque and ensure capacity for a window of `window` m-mers. The ring
+    /// must hold one extra slot: during one step the newest m-mer is pushed *before*
+    /// the front expires, so `window + 1` entries coexist momentarily.
+    pub fn reset(&mut self, window: usize) {
+        let cap = (window + 1).next_power_of_two();
+        if self.entries.len() < cap {
+            self.entries.resize(cap, RingEntry::default());
+        }
+        self.mask = cap - 1;
+        self.head = 0;
+        self.tail = 0;
+    }
+
+    /// Number of live candidates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tail - self.head
+    }
+
+    /// True when no candidate is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Insert a new m-mer, dropping queued candidates that are no better. Strict `>`
+    /// keeps the earlier candidate on score ties (leftmost tie-break, matching the
+    /// `VecDeque` reference).
+    #[inline]
+    pub fn push(&mut self, index: u32, score: u64) {
+        while self.tail > self.head && self.entries[(self.tail - 1) & self.mask].score > score {
+            self.tail -= 1;
+        }
+        self.entries[self.tail & self.mask] = RingEntry { index, score };
+        self.tail += 1;
+    }
+
+    /// Expire candidates that fell out of the window (index below `min_index`).
+    #[inline]
+    pub fn expire(&mut self, min_index: u32) {
+        while self.tail > self.head && self.entries[self.head & self.mask].index < min_index {
+            self.head += 1;
+        }
+    }
+
+    /// The current window minimum. Call only when non-empty.
+    #[inline]
+    pub fn front(&self) -> RingEntry {
+        debug_assert!(!self.is_empty());
+        self.entries[self.head & self.mask]
+    }
+}
+
+/// Reusable per-thread scratch of the streaming extractor: the ring-buffer deque.
+/// Construct once, pass to every [`for_each_supermer`] call on the same thread.
+#[derive(Debug, Clone, Default)]
+pub struct SupermerScratch {
+    ring: MonotoneRing,
+}
+
+impl SupermerScratch {
+    /// Fresh scratch (allocates nothing until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One supermer span emitted by [`for_each_supermer`]: the read-relative base range
+/// `start..end` (always ≥ k bases) whose k-mers all map to `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupermerSpan {
+    /// First base of the supermer within the read.
+    pub start: u32,
+    /// One past the last base within the read.
+    pub end: u32,
+    /// Destination target of every k-mer in the span.
+    pub target: u32,
+}
+
+impl SupermerSpan {
+    /// Length of the span in bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Spans always cover at least one k-mer, so they are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of k-mers the span covers.
+    #[inline]
+    pub fn num_kmers(&self, k: usize) -> usize {
+        self.len() + 1 - k
+    }
+}
+
+/// Stream the supermers of `seq` for `targets` destinations in one fused pass.
+///
+/// Equivalent to [`build_supermers`](crate::supermer::build_supermers) — same spans,
+/// same targets, same order — but scoring, window minimisation and run grouping happen
+/// in a single rolling loop with zero heap allocation (the ring buffer lives in
+/// `scratch` and is reused across calls). Reads shorter than k emit nothing.
+pub fn for_each_supermer(
+    seq: &DnaSeq,
+    k: usize,
+    scorer: &MmerScorer,
+    targets: u32,
+    scratch: &mut SupermerScratch,
+    mut emit: impl FnMut(SupermerSpan),
+) {
+    let m = scorer.m();
+    assert!(m <= k, "m must not exceed k");
+    assert!(targets > 0, "at least one target required");
+    let n = seq.len();
+    if n < k {
+        return;
+    }
+    debug_assert!(n <= u32::MAX as usize, "read longer than u32 indices");
+    let score_fn = scorer.score_fn();
+    let window = k - m + 1;
+    let ring = &mut scratch.ring;
+    ring.reset(window);
+
+    let mask: u64 = if m == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * m)) - 1
+    };
+    let rc_shift = 2 * (m - 1);
+    let mut fwd: u64 = 0;
+    let mut rev: u64 = 0;
+    let mut run_start = 0u32;
+    let mut run_target = 0u32;
+    let mut in_run = false;
+
+    // Walk the packed words directly: each base is one shift off the current word
+    // register instead of an indexed load with address arithmetic.
+    let mut i = 0usize;
+    for &word in seq.words() {
+        let mut bits = word;
+        let word_end = (i + 32).min(n);
+        while i < word_end {
+            let code = bits & 0b11;
+            bits >>= 2;
+            fwd = ((fwd << 2) | code) & mask;
+            rev = (rev >> 2) | ((3 - code) << rc_shift);
+            i += 1;
+            if i < m {
+                continue;
+            }
+            let canonical = fwd.min(rev);
+            ring.push((i - m) as u32, score_fn.score(canonical));
+            if i < k {
+                continue;
+            }
+            let kmer_index = (i - k) as u32;
+            ring.expire(kmer_index);
+            let target = (ring.front().score % u64::from(targets)) as u32;
+            if !in_run {
+                in_run = true;
+                run_start = kmer_index;
+                run_target = target;
+            } else if target != run_target {
+                emit(SupermerSpan {
+                    start: run_start,
+                    end: kmer_index - 1 + k as u32,
+                    target: run_target,
+                });
+                run_start = kmer_index;
+                run_target = target;
+            }
+        }
+    }
+    if in_run {
+        emit(SupermerSpan {
+            start: run_start,
+            end: n as u32,
+            target: run_target,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmer::ScoreFunction;
+    use crate::supermer::build_supermers;
+    use hysortk_dna::readset::Read;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::VecDeque;
+
+    fn random_read(id: u32, len: usize, seed: u64) -> Read {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bases: Vec<u8> = (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+        Read::from_ascii(id, format!("r{id}"), &bases)
+    }
+
+    /// Materialise streamed spans into full supermers for comparison with the vec path.
+    fn streamed_supermers(
+        read: &Read,
+        k: usize,
+        scorer: &MmerScorer,
+        targets: u32,
+        scratch: &mut SupermerScratch,
+    ) -> Vec<crate::supermer::Supermer> {
+        let mut out = Vec::new();
+        for_each_supermer(&read.seq, k, scorer, targets, scratch, |span| {
+            out.push(crate::supermer::Supermer {
+                read_id: read.id,
+                start: span.start,
+                seq: read.seq.subseq(span.start as usize, span.len()),
+                target: span.target,
+            });
+        });
+        out
+    }
+
+    #[test]
+    fn ring_entries_are_16_bytes() {
+        assert_eq!(std::mem::size_of::<RingEntry>(), 16);
+    }
+
+    #[test]
+    fn streaming_matches_vec_path_on_random_reads() {
+        let mut scratch = SupermerScratch::new();
+        for seed in 0..8u64 {
+            let read = random_read(seed as u32, 700, seed);
+            for (k, m, targets) in [
+                (31, 13, 64),
+                (17, 7, 7),
+                (55, 23, 256),
+                (9, 3, 2),
+                (21, 21, 5),
+            ] {
+                let scorer = MmerScorer::new(m, ScoreFunction::Hash { seed: 31 });
+                assert_eq!(
+                    streamed_supermers(&read, k, &scorer, targets, &mut scratch),
+                    build_supermers(&read, k, &scorer, targets),
+                    "k={k} m={m} targets={targets} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_vec_path_on_tie_heavy_scorers() {
+        // Lexicographic scoring with tiny m has only 4^m distinct scores, so windows
+        // are full of ties — the adversarial case for deque tie-breaking. Low-entropy
+        // reads (AT repeats with occasional other bases) make it worse.
+        let mut scratch = SupermerScratch::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..10 {
+            let bases: Vec<u8> = (0..400)
+                .map(|_| {
+                    if rng.gen_range(0..5) == 0 {
+                        b"ACGT"[rng.gen_range(0..4)]
+                    } else {
+                        b"AT"[rng.gen_range(0..2)]
+                    }
+                })
+                .collect();
+            let read = Read::from_ascii(trial, "tie", &bases);
+            for (k, m) in [(15, 2), (31, 1), (11, 3)] {
+                for score_fn in [
+                    ScoreFunction::Lexicographic,
+                    ScoreFunction::Hash { seed: 0 },
+                ] {
+                    let scorer = MmerScorer::new(m, score_fn);
+                    assert_eq!(
+                        streamed_supermers(&read, k, &scorer, 16, &mut scratch),
+                        build_supermers(&read, k, &scorer, 16),
+                        "k={k} m={m} trial={trial} {score_fn:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reads_shorter_than_k_emit_nothing() {
+        let mut scratch = SupermerScratch::new();
+        let scorer = MmerScorer::new(9, ScoreFunction::Hash { seed: 1 });
+        for len in [0, 1, 8, 20, 30] {
+            let read = random_read(0, len, len as u64);
+            let mut spans = 0usize;
+            for_each_supermer(&read.seq, 31, &scorer, 4, &mut scratch, |_| spans += 1);
+            assert_eq!(spans, 0, "len={len}");
+        }
+        // Exactly k bases: one span covering the whole read.
+        let read = random_read(0, 31, 5);
+        let mut spans = Vec::new();
+        for_each_supermer(&read.seq, 31, &scorer, 4, &mut scratch, |s| spans.push(s));
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].start, spans[0].end), (0, 31));
+    }
+
+    #[test]
+    fn spans_partition_the_kmers_of_the_read() {
+        let mut scratch = SupermerScratch::new();
+        let read = random_read(0, 2_000, 13);
+        let k = 31;
+        let scorer = MmerScorer::new(13, ScoreFunction::Hash { seed: 31 });
+        let mut total_kmers = 0usize;
+        let mut next_kmer = 0u32;
+        for_each_supermer(&read.seq, k, &scorer, 64, &mut scratch, |span| {
+            assert_eq!(span.start, next_kmer, "spans must tile the k-mer axis");
+            assert!(span.len() >= k);
+            total_kmers += span.num_kmers(k);
+            next_kmer = span.end - (k as u32 - 1);
+        });
+        assert_eq!(total_kmers, read.seq.num_kmers(k));
+    }
+
+    /// Reference deque mirroring the `VecDeque` logic of `minimizers_deque`, driven by
+    /// the same (index, score) stream as the ring.
+    #[derive(Default)]
+    struct VecDequeRef {
+        inner: VecDeque<RingEntry>,
+    }
+
+    impl VecDequeRef {
+        fn push(&mut self, index: u32, score: u64) {
+            while let Some(back) = self.inner.back() {
+                if back.score > score {
+                    self.inner.pop_back();
+                } else {
+                    break;
+                }
+            }
+            self.inner.push_back(RingEntry { index, score });
+        }
+
+        fn expire(&mut self, min_index: u32) {
+            while let Some(front) = self.inner.front() {
+                if front.index < min_index {
+                    self.inner.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_matches_vecdeque_on_adversarial_monotone_runs() {
+        // Strictly increasing scores (nothing ever popped from the back — maximum
+        // occupancy), strictly decreasing (every push empties the deque), all-equal
+        // (pure tie-breaking), sawtooth, and random — across several window widths.
+        let mut rng = StdRng::seed_from_u64(2024);
+        let patterns: Vec<(&str, Vec<u64>)> = vec![
+            ("increasing", (0..200u64).collect()),
+            ("decreasing", (0..200u64).rev().collect()),
+            ("constant", vec![7u64; 200]),
+            ("sawtooth", (0..200u64).map(|i| i % 5).collect()),
+            ("two-level", (0..200u64).map(|i| (i / 13) % 2).collect()),
+            (
+                "random",
+                (0..200).map(|_| rng.gen_range(0..10u64)).collect(),
+            ),
+        ];
+        for (name, scores) in &patterns {
+            for window in [1usize, 2, 5, 19, 64] {
+                let mut ring = MonotoneRing::new();
+                ring.reset(window);
+                let mut reference = VecDequeRef::default();
+                for (j, &score) in scores.iter().enumerate() {
+                    let j = j as u32;
+                    ring.push(j, score);
+                    reference.push(j, score);
+                    if (j as usize) + 1 >= window {
+                        let min_index = j + 1 - window as u32;
+                        ring.expire(min_index);
+                        reference.expire(min_index);
+                        assert_eq!(
+                            ring.front(),
+                            *reference.inner.front().unwrap(),
+                            "{name} window={window} step={j}"
+                        );
+                        assert_eq!(
+                            ring.len(),
+                            reference.inner.len(),
+                            "{name} window={window} step={j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_varying_windows_is_clean() {
+        // A large window followed by a small one must not leak stale entries.
+        let mut scratch = SupermerScratch::new();
+        let read = random_read(3, 300, 21);
+        for (k, m) in [(55, 5), (9, 3), (31, 13), (15, 15)] {
+            let scorer = MmerScorer::new(m, ScoreFunction::Hash { seed: 9 });
+            assert_eq!(
+                streamed_supermers(&read, k, &scorer, 32, &mut scratch),
+                build_supermers(&read, k, &scorer, 32),
+                "k={k} m={m}"
+            );
+        }
+    }
+}

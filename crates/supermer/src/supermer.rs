@@ -79,10 +79,8 @@ fn group_runs_into_supermers(
             let last_kmer = runs[i - 1].kmer_index;
             let start = first_kmer;
             let end = last_kmer + k; // exclusive, in bases
-            let mut seq = DnaSeq::with_capacity(end - start);
-            for pos in start..end {
-                seq.push_code(read.seq.get_code(pos));
-            }
+                                     // Word-level subrange copy: 32 bases per shift/OR instead of per-base pushes.
+            let seq = read.seq.subseq(start, end - start);
             out.push(Supermer {
                 read_id: read.id,
                 start: start as u32,

@@ -108,6 +108,39 @@ impl WorkerPool {
     {
         self.pool.install(|| tasks.into_par_iter().map(f).collect())
     }
+
+    /// Like [`execute`](WorkerPool::execute), but each worker thread gets a reusable
+    /// scratch value built once by `init` and threaded through every task it runs —
+    /// the streaming parse stage uses this to reuse its ring buffer and staging
+    /// across a whole chunk stream instead of re-allocating per task.
+    ///
+    /// Results are returned in task order.
+    pub fn execute_with<T, S, R, I, F>(&self, tasks: Vec<T>, init: I, f: F) -> Vec<R>
+    where
+        T: Send,
+        S: Send,
+        R: Send,
+        I: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) -> R + Sync + Send,
+    {
+        let per_thread: Vec<(S, Vec<R>)> = self.pool.install(|| {
+            tasks
+                .into_par_iter()
+                .fold(
+                    || (init(), Vec::new()),
+                    |(mut scratch, mut out), task| {
+                        out.push(f(&mut scratch, task));
+                        (scratch, out)
+                    },
+                )
+                .collect()
+        });
+        let mut results = Vec::with_capacity(per_thread.iter().map(|(_, r)| r.len()).sum());
+        for (_, group) in per_thread {
+            results.extend(group);
+        }
+        results
+    }
 }
 
 /// A static schedule of tasks onto workers.
@@ -169,6 +202,33 @@ mod tests {
         let pool = WorkerPool::new(2, 2);
         let results = pool.execute((0..100u64).collect(), |x| x * 2);
         assert_eq!(results, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn execute_with_threads_scratch_and_preserves_order() {
+        let pool = WorkerPool::new(2, 2);
+        // Scratch is a per-thread counter; results must still come back in task order
+        // and every task must see a scratch that was initialised by `init`.
+        let results = pool.execute_with(
+            (0..100u64).collect(),
+            || 1_000u64,
+            |scratch, x| {
+                *scratch += 1;
+                (x, *scratch > 1_000)
+            },
+        );
+        assert_eq!(results.len(), 100);
+        for (i, (x, seen_init)) in results.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+            assert!(seen_init);
+        }
+    }
+
+    #[test]
+    fn execute_with_on_empty_input_returns_nothing() {
+        let pool = WorkerPool::new(2, 2);
+        let results: Vec<u32> = pool.execute_with(Vec::<u32>::new(), || 0u8, |_, x| x);
+        assert!(results.is_empty());
     }
 
     #[test]

@@ -14,7 +14,8 @@ use hysortk_sort::{
 use hysortk_supermer::codec::{decode_extensions, encode_extensions};
 use hysortk_supermer::minimizer::{minimizers_deque, minimizers_naive};
 use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
-use hysortk_supermer::supermer::build_supermers;
+use hysortk_supermer::streaming::{for_each_supermer, SupermerScratch};
+use hysortk_supermer::supermer::{build_supermers, Supermer};
 
 /// A random DNA string over ACGT of length `0..max_len`.
 fn dna(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
@@ -266,6 +267,39 @@ fn supermers_partition_the_kmers_of_a_read() {
         from_supermers.sort();
         direct.sort();
         assert_eq!(from_supermers, direct);
+    }
+}
+
+#[test]
+fn streaming_extractor_is_byte_identical_to_build_supermers() {
+    // The fused streaming pass (ring-buffer deque, span callbacks, word-level
+    // subrange copies) must reproduce the vec-based reference exactly: same read ids,
+    // same offsets, same packed bases, same targets — over random k/m/targets,
+    // including reads shorter than k and m == k windows.
+    let mut rng = StdRng::seed_from_u64(112);
+    let mut scratch = SupermerScratch::new();
+    for trial in 0..48 {
+        let seq = dna(&mut rng, 500);
+        let m = rng.gen_range(1..=16usize);
+        let k = m + rng.gen_range(0..30usize);
+        let targets = rng.gen_range(1..64u32);
+        let read = hysortk_dna::Read::from_ascii(trial, "s", &seq);
+        let scorer = MmerScorer::new(m, ScoreFunction::Hash { seed: 17 });
+
+        let mut streamed: Vec<Supermer> = Vec::new();
+        for_each_supermer(&read.seq, k, &scorer, targets, &mut scratch, |span| {
+            streamed.push(Supermer {
+                read_id: read.id,
+                start: span.start,
+                seq: read.seq.subseq(span.start as usize, span.len()),
+                target: span.target,
+            });
+        });
+        assert_eq!(
+            streamed,
+            build_supermers(&read, k, &scorer, targets),
+            "trial={trial} k={k} m={m} targets={targets}"
+        );
     }
 }
 
