@@ -1,0 +1,43 @@
+//! Criterion benchmark of stage 3 (sort & count): the parallel allocation-free
+//! decode→sort→count path against the sequential `BTreeMap` reference, on an
+//! identical synthetic receive workload (complements `repro bench-count`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hysortk_bench::build_count_workload;
+use hysortk_core::stage3::{count_blocks_reference, count_received_parallel, CountParams};
+use hysortk_dna::Kmer1;
+use hysortk_perfmodel::SortAlgorithm;
+use hysortk_task::WorkerPool;
+
+fn bench_count_stage(c: &mut Criterion) {
+    let workload = build_count_workload(200, 2_000, 4, 64);
+    let params =
+        CountParams::for_kmer::<Kmer1>(workload.k, SortAlgorithm::Raduls, 1, 1_000_000, false);
+    let pool = WorkerPool::new(4, 1);
+
+    let mut group = c.benchmark_group("count_stage");
+    group.sample_size(10);
+    group.bench_function("sequential_reference", |b| {
+        b.iter(|| {
+            count_blocks_reference::<Kmer1, _>(
+                workload.segments.iter().map(Vec::as_slice),
+                workload.k,
+                &params,
+            )
+        })
+    });
+    group.bench_function("parallel_block_index", |b| {
+        b.iter(|| {
+            count_received_parallel::<Kmer1, _>(
+                workload.segments.iter().map(Vec::as_slice),
+                workload.k,
+                &params,
+                &pool,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_count_stage);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! cargo run -p hysortk-bench --release --bin repro -- all
 //! cargo run -p hysortk-bench --release --bin repro -- bench-sort   # writes BENCH_sort.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-parse  # writes BENCH_parse.json
+//! cargo run -p hysortk-bench --release --bin repro -- bench-count  # writes BENCH_count.json
 //! ```
 
 use hysortk_bench as bench;
@@ -123,6 +124,28 @@ fn bench_parse() {
     }
 }
 
+/// Time the sequential vs parallel stage 3 (sort & count) on a fixed seeded receive
+/// workload, then write `BENCH_count.json` — the count-stage point on the repo's
+/// performance trajectory.
+fn bench_count() {
+    eprintln!("[repro] timing stage-3 count paths on a seeded receive workload …");
+    // workers = 0: size the pool to the machine (single-core runners isolate the
+    // allocation-free algorithmic wins; multicore runners add task parallelism).
+    let report = bench::bench_count(1_200, 2_000, 0);
+    let json = report.to_json();
+    print!("{json}");
+    println!(
+        "parallel stage 3: {:.2} Mrecords/s ({:.2}x over the sequential reference)",
+        report.parallel_records_per_sec() / 1e6,
+        report.parallel_speedup()
+    );
+    let path = "BENCH_count.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[repro] wrote {path}"),
+        Err(e) => eprintln!("[repro] could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let arg = std::env::args()
         .nth(1)
@@ -135,10 +158,14 @@ fn main() {
             }
             println!("\nrun one with `repro <name>`, `repro bench-sort` for the sort-kernel");
             println!("microbenchmark (writes BENCH_sort.json), `repro bench-parse` for the");
-            println!("parse-stage microbenchmark (writes BENCH_parse.json), or `repro all`");
+            println!("parse-stage microbenchmark (writes BENCH_parse.json), `repro bench-count`");
+            println!(
+                "for the count-stage microbenchmark (writes BENCH_count.json), or `repro all`"
+            );
         }
         "bench-sort" => bench_sort(),
         "bench-parse" => bench_parse(),
+        "bench-count" => bench_count(),
         "all" => {
             for (name, description, f) in EXPERIMENTS {
                 eprintln!("[repro] running {name} …");

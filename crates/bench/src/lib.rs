@@ -813,6 +813,244 @@ pub fn bench_parse(reads: usize, read_len: usize) -> ParseBenchReport {
     }
 }
 
+// ---------------------------------------------------------------------------------------
+// Count-stage (stage 3) microbenchmark → BENCH_count.json
+// ---------------------------------------------------------------------------------------
+
+/// A synthetic stage-3 receive workload: one wire segment per source rank, holding
+/// supermer blocks partitioned by minimizer target plus kmerlist blocks for the
+/// heaviest targets (the heavy-hitter wire form).
+#[derive(Debug, Clone)]
+pub struct CountWorkload {
+    /// One receive segment per simulated source rank.
+    pub segments: Vec<Vec<u8>>,
+    /// k-mer length.
+    pub k: usize,
+    /// Records the supermer blocks decode to.
+    pub records: u64,
+    /// Pre-counted kmerlist entries.
+    pub precounted: u64,
+    /// Number of distinct tasks.
+    pub tasks: usize,
+}
+
+/// Build a deterministic stage-3 workload from `reads` seeded overlapping reads of
+/// `read_len` bases sampled from one synthetic genome (so real multiplicities occur,
+/// as in genomic data): supermers are cut at k = 31 toward `tasks` targets, every
+/// read is attributed round-robin to one of `sources` senders, and the two heaviest
+/// targets ship as pre-counted kmerlists.
+pub fn build_count_workload(
+    reads: usize,
+    read_len: usize,
+    sources: usize,
+    tasks: u32,
+) -> CountWorkload {
+    use hysortk_core::wire::{write_block, TaskPayload};
+    use hysortk_dna::Read;
+    use hysortk_sort::count_sorted_runs;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let k = 31;
+    let scorer = MmerScorer::new(13, ScoreFunction::Hash { seed: 31 });
+    let mut rng = StdRng::seed_from_u64(0xC0117);
+
+    // Reads overlap on a genome at roughly 2.5x coverage, so a realistic share of
+    // k-mers reaches the [min_count, max_count] band.
+    let genome_len = (reads * read_len * 2 / 5).max(read_len + 1);
+    let genome: Vec<u8> = (0..genome_len)
+        .map(|_| b"ACGT"[rng.gen_range(0..4)])
+        .collect();
+
+    // Cut supermers per (source, target).
+    let mut per_source_target: Vec<Vec<Vec<hysortk_supermer::supermer::Supermer>>> =
+        vec![vec![Vec::new(); tasks as usize]; sources];
+    let mut kmers_per_target = vec![0u64; tasks as usize];
+    for i in 0..reads {
+        let start = rng.gen_range(0..genome_len - read_len);
+        let read = Read::from_ascii(i as u32, format!("r{i}"), &genome[start..start + read_len]);
+        for sm in build_supermers(&read, k, &scorer, tasks) {
+            kmers_per_target[sm.target as usize] += sm.num_kmers(k) as u64;
+            per_source_target[i % sources][sm.target as usize].push(sm);
+        }
+    }
+    // The two heaviest targets go on the wire as kmerlists (heavy-hitter form).
+    let mut order: Vec<usize> = (0..tasks as usize).collect();
+    order.sort_by_key(|&t| std::cmp::Reverse(kmers_per_target[t]));
+    let heavy: Vec<usize> = order.into_iter().take(2).collect();
+
+    let mut records = 0u64;
+    let mut precounted = 0u64;
+    let mut segments = vec![Vec::new(); sources];
+    for (src, targets) in per_source_target.into_iter().enumerate() {
+        for (t, sms) in targets.into_iter().enumerate() {
+            if sms.is_empty() {
+                continue;
+            }
+            if heavy.contains(&t) {
+                let mut kmers: Vec<Kmer1> = Vec::new();
+                for sm in &sms {
+                    for (km, _) in sm.canonical_kmers_with_pos::<Kmer1>(k) {
+                        kmers.push(km);
+                    }
+                }
+                kmers.sort_unstable();
+                let list = count_sorted_runs(&kmers, |km| *km);
+                precounted += list.len() as u64;
+                write_block(&mut segments[src], t as u32, &TaskPayload::KmerList(list));
+            } else {
+                records += sms.iter().map(|sm| sm.num_kmers(k) as u64).sum::<u64>();
+                write_block::<Kmer1>(&mut segments[src], t as u32, &TaskPayload::Supermers(sms));
+            }
+        }
+    }
+    CountWorkload {
+        segments,
+        k,
+        records,
+        precounted,
+        tasks: tasks as usize,
+    }
+}
+
+/// Result of the stage-3 microbenchmark: the parallel allocation-free
+/// decode→sort→count path against the sequential `BTreeMap` reference, on an
+/// identical receive workload.
+#[derive(Debug, Clone)]
+pub struct CountBenchReport {
+    /// Records decoded from supermer blocks per pass.
+    pub records: u64,
+    /// Pre-counted kmerlist entries per pass.
+    pub precounted: u64,
+    /// Distinct tasks in the workload.
+    pub tasks: usize,
+    /// Source segments.
+    pub sources: usize,
+    /// k-mer length.
+    pub k: usize,
+    /// Worker threads of the parallel path.
+    pub workers: usize,
+    /// Median wall seconds of the sequential reference.
+    pub sequential_secs: f64,
+    /// Median wall seconds of the parallel path (block index included).
+    pub parallel_secs: f64,
+}
+
+impl CountBenchReport {
+    /// Sequential time over parallel time (> 1 means the parallel path is faster).
+    pub fn parallel_speedup(&self) -> f64 {
+        self.sequential_secs / self.parallel_secs.max(1e-12)
+    }
+
+    /// Records counted per second by the parallel path.
+    pub fn parallel_records_per_sec(&self) -> f64 {
+        (self.records + self.precounted) as f64 / self.parallel_secs.max(1e-12)
+    }
+
+    /// Records counted per second by the sequential reference.
+    pub fn sequential_records_per_sec(&self) -> f64 {
+        (self.records + self.precounted) as f64 / self.sequential_secs.max(1e-12)
+    }
+
+    /// Render as the `BENCH_count.json` document (hand-rolled, like the others).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"count-stage\",\n",
+                "  \"records\": {},\n",
+                "  \"precounted\": {},\n",
+                "  \"params\": {{ \"k\": {}, \"tasks\": {}, \"sources\": {}, \"workers\": {} }},\n",
+                "  \"seconds\": {{ \"sequential\": {:.4}, \"parallel\": {:.4} }},\n",
+                "  \"records_per_sec\": {{ \"sequential\": {:.1}, \"parallel\": {:.1} }},\n",
+                "  \"parallel_speedup\": {:.3}\n",
+                "}}\n"
+            ),
+            self.records,
+            self.precounted,
+            self.k,
+            self.tasks,
+            self.sources,
+            self.workers,
+            self.sequential_secs,
+            self.parallel_secs,
+            self.sequential_records_per_sec(),
+            self.parallel_records_per_sec(),
+            self.parallel_speedup(),
+        )
+    }
+}
+
+/// Time stage 3 both ways on a fixed seeded receive workload: the sequential
+/// `BTreeMap` reference (`count_blocks_reference`) against the parallel
+/// allocation-free path (block index + fused decode→sort→count + k-way merge).
+/// Both paths must produce identical results, which is asserted before timing.
+///
+/// `workers = 0` sizes the pool to the machine (`available_parallelism`), so on a
+/// single-core runner the comparison isolates the algorithmic wins (exact
+/// preallocation, key-only records, scratch reuse, streaming merges) while multicore
+/// runners add the task parallelism on top. Samples of the two paths are interleaved
+/// so ambient load drifts hit both medians equally.
+pub fn bench_count(reads: usize, read_len: usize, workers: usize) -> CountBenchReport {
+    use hysortk_core::stage3::{count_blocks_reference, count_received_parallel, CountParams};
+    use hysortk_task::WorkerPool;
+
+    // 16 tasks ≈ what one rank owns under the paper's defaults (4 workers × 3 tasks
+    // per worker, rounded up); counting uses the paper's default [2, 50] band.
+    let sources = 4;
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    };
+    let workload = build_count_workload(reads, read_len, sources, 16);
+    let params = CountParams::for_kmer::<Kmer1>(
+        workload.k,
+        hysortk_perfmodel::SortAlgorithm::Raduls,
+        2,
+        50,
+        false,
+    );
+    let pool = WorkerPool::new(workers, 1);
+    let segments = || workload.segments.iter().map(Vec::as_slice);
+
+    let reference = count_blocks_reference::<Kmer1, _>(segments(), workload.k, &params)
+        .expect("well-formed workload");
+    let (parallel, _) = count_received_parallel::<Kmer1, _>(segments(), workload.k, &params, &pool)
+        .expect("well-formed workload");
+    assert_eq!(parallel, reference, "stage-3 paths disagree");
+
+    let samples = 7;
+    let mut seq_times = Vec::with_capacity(samples);
+    let mut par_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        let out = count_blocks_reference::<Kmer1, _>(segments(), workload.k, &params);
+        seq_times.push(start.elapsed().as_secs_f64());
+        std::hint::black_box(&out);
+
+        let start = std::time::Instant::now();
+        let out = count_received_parallel::<Kmer1, _>(segments(), workload.k, &params, &pool);
+        par_times.push(start.elapsed().as_secs_f64());
+        std::hint::black_box(&out);
+    }
+    seq_times.sort_by(f64::total_cmp);
+    par_times.sort_by(f64::total_cmp);
+
+    CountBenchReport {
+        records: workload.records,
+        precounted: workload.precounted,
+        tasks: workload.tasks,
+        sources,
+        k: workload.k,
+        workers,
+        sequential_secs: seq_times[samples / 2],
+        parallel_secs: par_times[samples / 2],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -861,6 +1099,34 @@ mod tests {
         assert!(json.contains("\"raduls_kernel\": 20.000"));
         assert!((report.raduls_speedup() - 1.5).abs() < 1e-9);
         assert!((report.counts_per_sec() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn count_bench_report_renders_valid_json_shape() {
+        let report = CountBenchReport {
+            records: 1_000,
+            precounted: 200,
+            tasks: 64,
+            sources: 4,
+            k: 31,
+            workers: 4,
+            sequential_secs: 0.6,
+            parallel_secs: 0.3,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"parallel_speedup\": 2.000"));
+        assert!((report.parallel_records_per_sec() - 4_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn count_bench_paths_agree_on_a_tiny_workload() {
+        // Smoke-run the real harness (tiny sizes — the internal equality assertion is
+        // the point; timings are not checked).
+        let report = bench_count(16, 600, 2);
+        assert!(report.records > 0);
+        assert!(report.precounted > 0);
+        assert!(report.sequential_secs > 0.0 && report.parallel_secs > 0.0);
     }
 
     #[test]

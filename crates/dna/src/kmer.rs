@@ -101,6 +101,31 @@ impl<const W: usize> Kmer<W> {
         }
     }
 
+    /// Rolling-window update of the **reverse-complement** strand: drop the least
+    /// significant base (the complement of the window's oldest base) and insert the
+    /// complement of `code` as the new most significant base (position `k - 1`).
+    ///
+    /// Keeping the forward window with [`Kmer::push_base`] and the reverse window with
+    /// this primitive makes the canonical k-mer of every window position an O(1)
+    /// `min(fwd, rc)` instead of an O(k) [`Kmer::reverse_complement`] rebuild — the
+    /// trick the streaming supermer extractor uses for m-mers, applied to full k-mers
+    /// by the receive-side decoder.
+    #[inline]
+    pub fn push_base_rc(mut self, k: usize, code: u8) -> Self {
+        debug_assert!(k <= Self::capacity());
+        // Multi-word shift right by 2.
+        for i in (1..W).rev() {
+            self.words[i] = (self.words[i] >> 2) | (self.words[i - 1] << 62);
+        }
+        self.words[0] >>= 2;
+        // Insert the complement at logical bit position 2(k - 1).
+        let bit = 2 * (k - 1);
+        let word = W - 1 - bit / 64;
+        let shift = bit % 64;
+        self.words[word] |= u64::from(3 - (code & 0b11)) << shift;
+        self
+    }
+
     /// Build a k-mer from a slice of 2-bit base codes (`codes.len()` is k).
     #[inline]
     pub fn from_codes(codes: &[u8]) -> Self {
@@ -224,6 +249,9 @@ pub trait KmerCode:
     fn zero() -> Self;
     /// Rolling push of one base code.
     fn push_base(self, k: usize, code: u8) -> Self;
+    /// Rolling push on the reverse-complement strand (see [`Kmer::push_base_rc`]):
+    /// rolling both strands makes the canonical form an O(1) `min(fwd, rc)`.
+    fn push_base_rc(self, k: usize, code: u8) -> Self;
     /// Build from base codes.
     fn from_codes(codes: &[u8]) -> Self;
     /// Reconstruct from raw packed words (most significant first, exactly
@@ -260,6 +288,10 @@ impl<const W: usize> KmerCode for Kmer<W> {
     #[inline]
     fn push_base(self, k: usize, code: u8) -> Self {
         Kmer::push_base(self, k, code)
+    }
+    #[inline]
+    fn push_base_rc(self, k: usize, code: u8) -> Self {
+        Kmer::push_base_rc(self, k, code)
     }
     #[inline]
     fn from_codes(codes: &[u8]) -> Self {
@@ -352,6 +384,37 @@ mod tests {
             if i + 1 >= k {
                 let expected = Kmer1::from_ascii(&seq[i + 1 - k..=i]);
                 assert_eq!(rolling, expected, "window ending at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_base_rc_rolls_the_reverse_complement_window() {
+        // Rolling both strands must reproduce the O(k) rebuild at every window
+        // position, for both one- and two-word k-mers (including word-straddling k).
+        let seq = b"ACGTTGCAGTACGTAACCGGTTAAGCATGCATGGCTAGCTAACGTTGCAGTACGTAACCGGTT";
+        for k in [3usize, 5, 31, 32] {
+            let mut fwd = Kmer1::zero();
+            let mut rc = Kmer1::zero();
+            for (i, &c) in seq.iter().enumerate() {
+                let code = encode_base(c);
+                fwd = fwd.push_base(k, code);
+                rc = rc.push_base_rc(k, code);
+                if i + 1 >= k {
+                    assert_eq!(rc, fwd.reverse_complement(k), "k={k}, window ending {i}");
+                }
+            }
+        }
+        for k in [33usize, 40, 55, 64] {
+            let mut fwd = Kmer2::zero();
+            let mut rc = Kmer2::zero();
+            for (i, &c) in seq.iter().enumerate() {
+                let code = encode_base(c);
+                fwd = fwd.push_base(k, code);
+                rc = rc.push_base_rc(k, code);
+                if i + 1 >= k {
+                    assert_eq!(rc, fwd.reverse_complement(k), "k={k}, window ending {i}");
+                }
             }
         }
     }

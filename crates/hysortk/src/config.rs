@@ -33,7 +33,10 @@ pub struct HySortKConfig {
     pub min_count: u64,
     /// Highest k-mer frequency kept in the output (the paper uses 50).
     pub max_count: u64,
-    /// Record and return extension information (read id, position).
+    /// Record and return extension information (read id, position). When set, the
+    /// heavy-hitter kmerlist conversion (§3.5) is bypassed regardless of
+    /// [`HySortKConfig::heavy_hitter`]: kmerlists carry no provenance, so converting
+    /// would silently drop the extension lists of every k-mer in a heavy task.
     pub with_extension: bool,
     /// Compress extension information with the delta codec (§3.3.2); only relevant when
     /// `with_extension` is set and `use_supermers` is off (supermers already carry the
@@ -45,7 +48,8 @@ pub struct HySortKConfig {
     /// Use the task abstraction layer (`s ≫ p` tasks, workers, greedy assignment).
     /// Disabling it reverts to one task per rank (§4.1.1 baseline).
     pub use_task_layer: bool,
-    /// Heavy-hitter detection and kmerlist transformation policy (§3.5).
+    /// Heavy-hitter detection and kmerlist transformation policy (§3.5). Ignored when
+    /// `with_extension` is set (see [`HySortKConfig::with_extension`]).
     pub heavy_hitter: HeavyHitterPolicy,
     /// Overlap communication with encode/decode computation (§3.3.1).
     pub overlap: bool,

@@ -29,6 +29,7 @@ pub mod config;
 pub mod pipeline;
 pub mod reference;
 pub mod result;
+pub mod stage3;
 pub mod wire;
 
 pub use config::HySortKConfig;

@@ -10,16 +10,16 @@
 //!    with the greedy Partition heuristic, heavy-hitter tasks are converted to
 //!    pre-counted kmerlists, and the per-destination byte streams are exchanged with the
 //!    round-limited padded all-to-all.
-//! 3. **Sort & count** — each rank parses its receive buffer back into per-task record
-//!    arrays, workers of `threads_per_worker` threads radix-sort each task (choosing the
-//!    in-place or out-of-place sorter by modeled memory pressure) and a linear scan
-//!    produces the counts, which are filtered to the `[min_count, max_count]` band.
+//! 3. **Sort & count** — one cheap header pass builds a per-task block index over the
+//!    receive buffer, then the worker pool decodes each task straight from the borrowed
+//!    wire bytes into an exactly preallocated record array, radix-sorts it (choosing
+//!    the in-place or out-of-place sorter by modeled memory pressure) and counts it
+//!    with a streaming run merge, filtered to the `[min_count, max_count]` band (see
+//!    [`crate::stage3`]).
 //!
 //! All data movement happens through the simulated cluster, so the traffic and work
 //! counters in the returned [`RunReport`] are measurements, not estimates; only the
 //! conversion to seconds goes through the performance model.
-
-use std::collections::BTreeMap;
 
 use hysortk_dmem::{Cluster, CommStats, RankCtx};
 use hysortk_dna::extension::Extension;
@@ -28,17 +28,15 @@ use hysortk_dna::readset::{Read, ReadSet};
 use hysortk_hash::hash_kmer;
 use hysortk_perfmodel::network::ExchangeProfile;
 use hysortk_perfmodel::{PerfModel, SortAlgorithm, StageTimes};
-use hysortk_sort::{count_sorted_runs, paradis_sort_from, raduls_sort};
+use hysortk_sort::{count_sorted_runs, paradis_sort_from};
 use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
 use hysortk_supermer::streaming::{for_each_supermer, SupermerScratch};
 use hysortk_task::{assign_greedy, detect_heavy_tasks, schedule_lpt, Assignment, WorkerPool};
 
 use crate::config::HySortKConfig;
 use crate::result::{CountResult, KmerHistogram, RunReport};
-use crate::wire::{
-    read_blocks, write_block, write_records_uncompressed, PayloadView, SupermerBlockWriter,
-    TaskPayload,
-};
+use crate::stage3::{self, CountParams};
+use crate::wire::{write_block, write_records_uncompressed, SupermerBlockWriter, TaskPayload};
 
 /// Work counters measured by one rank.
 #[derive(Debug, Clone, Default)]
@@ -266,7 +264,10 @@ fn rank_pipeline<K: KmerCode>(
             .collect(),
         Stage1::Records(tasks) => tasks.iter().map(|(kmers, _)| kmers.len() as u64).collect(),
     };
-    let global_sizes = allreduce_sizes(ctx, &local_sizes);
+    // The "root retrieves data about the size of each task" step, realised as a
+    // butterfly sum all-reduce so every rank computes the same assignment
+    // deterministically at O(log p) vector transfers per rank.
+    let global_sizes = ctx.allreduce_sum_u64(&local_sizes, "task-sizes");
 
     let assignment = if cfg.use_task_layer {
         assign_greedy(&global_sizes, p)
@@ -275,7 +276,11 @@ fn rank_pipeline<K: KmerCode>(
     };
     counters.assignment_imbalance = assignment.imbalance();
 
-    let heavy: Vec<usize> = if cfg.use_supermers {
+    // Heavy-hitter conversion ships pre-counted kmerlists, which carry no provenance:
+    // converting with extensions requested would silently drop the extension lists of
+    // every k-mer in a heavy task. The pipeline therefore bypasses the conversion
+    // whenever `with_extension` is set (pinned by a regression test below).
+    let heavy: Vec<usize> = if cfg.use_supermers && !cfg.with_extension {
         detect_heavy_tasks(&global_sizes, &cfg.heavy_hitter)
     } else {
         Vec::new()
@@ -306,19 +311,22 @@ fn rank_pipeline<K: KmerCode>(
                     }
                     if is_heavy(t) {
                         // Heavy-hitter path: pre-count locally, ship a kmerlist (§3.5).
-                        // Canonical k-mers decode straight from the packed source reads.
+                        // Canonical k-mers decode straight from the packed source reads,
+                        // rolling both strands (O(1) canonical per position).
                         let mut kmers: Vec<K> = Vec::with_capacity(local_sizes[t] as usize);
                         for chunk in &chunks {
                             for r in &chunk.per_task[t] {
                                 let seq = &my_reads[r.read as usize].seq;
-                                let mut km = K::zero();
+                                let mut fwd = K::zero();
+                                let mut rc = K::zero();
                                 for i in 0..r.len as usize {
                                     // SAFETY: spans satisfy `start + len <= seq.len()`.
                                     let code =
                                         unsafe { seq.get_code_unchecked(r.start as usize + i) };
-                                    km = km.push_base(k, code);
+                                    fwd = fwd.push_base(k, code);
+                                    rc = rc.push_base_rc(k, code);
                                     if i + 1 >= k {
-                                        kmers.push(km.canonical(k));
+                                        kmers.push(if rc < fwd { rc } else { fwd });
                                     }
                                 }
                             }
@@ -379,229 +387,32 @@ fn rank_pipeline<K: KmerCode>(
     counters.exchange_rounds = exchange.rounds;
 
     // ---------------- stage 3: sort & count ------------------------------------------
-    // Gather the blocks addressed to this rank, grouped by task. Parsing borrows the
-    // flat receive buffer (zero payload copies); supermer k-mers are decoded straight
-    // from the packed wire bytes into the per-task record arrays.
-    let mut task_records: BTreeMap<u32, Vec<(K, Extension)>> = BTreeMap::new();
-    let mut task_precounted: BTreeMap<u32, Vec<(K, u64)>> = BTreeMap::new();
-    for src in 0..p {
-        let blocks = read_blocks::<K>(exchange.received.from_rank(src))
+    // One cheap header pass over the flat receive buffer builds the per-task block
+    // index with exact record totals; the worker pool then runs the fused
+    // decode→sort→count per task straight from the borrowed wire bytes — decode of one
+    // task overlaps counting of another, and nothing is re-buffered per k-mer (see
+    // `crate::stage3`).
+    let params =
+        CountParams::for_kmer::<K>(k, sorter, cfg.min_count, cfg.max_count, cfg.with_extension);
+    let index =
+        stage3::build_block_index::<K, _>((0..p).map(|src| exchange.received.from_rank(src)), k)
             .expect("exchange produced a malformed stream");
-        for block in blocks {
-            match block.payload {
-                PayloadView::Supermers(view) => {
-                    let entry = task_records.entry(block.task).or_default();
-                    for sm in view.iter() {
-                        let read_id = sm.read_id;
-                        sm.for_each_canonical_kmer::<K>(k, |km, pos| {
-                            entry.push((km, Extension::new(read_id, pos)));
-                        });
-                    }
-                }
-                PayloadView::KmerList(view) => {
-                    task_precounted
-                        .entry(block.task)
-                        .or_default()
-                        .extend(view.iter());
-                }
-                PayloadView::Records(view) => {
-                    let entry = task_records.entry(block.task).or_default();
-                    match view
-                        .decode_extensions()
-                        .expect("malformed extension stream")
-                    {
-                        Some(exts) => entry.extend(view.kmers().zip(exts)),
-                        None => entry.extend(view.kmers().map(|km| (km, Extension::default()))),
-                    }
-                }
-            }
-        }
-    }
-
-    // Build the per-task work items for the worker pool.
-    let mut task_ids: Vec<u32> = task_records
-        .keys()
-        .copied()
-        .chain(task_precounted.keys().copied())
-        .collect();
-    task_ids.sort_unstable();
-    task_ids.dedup();
-
-    let mut work: Vec<TaskWork<K>> = Vec::with_capacity(task_ids.len());
-    let mut task_sizes: Vec<u64> = Vec::with_capacity(task_ids.len());
-    for t in &task_ids {
-        let records = task_records.remove(t).unwrap_or_default();
-        let pre = task_precounted.remove(t).unwrap_or_default();
-        counters.received_elements += records.len() as u64;
-        counters.precounted_elements += pre.len() as u64;
-        task_sizes.push(records.len() as u64 + pre.len() as u64);
-        work.push((records, pre));
-    }
-
-    counters.worker_makespan = schedule_lpt(&task_sizes, workers).makespan();
-
-    let min = cfg.min_count;
-    let max = cfg.max_count;
-    let with_ext = cfg.with_extension;
-    let task_outputs = pool.execute(work, |(records, pre)| {
-        count_one_task::<K>(records, pre, first_radix_level, sorter, min, max, with_ext)
-    });
+    counters.worker_makespan = schedule_lpt(&index.task_sizes(), workers).makespan();
+    let stage3_out = stage3::count_blocks_parallel(&index, k, &params, &pool);
+    counters.received_elements = stage3_out.received_records;
+    counters.precounted_elements = stage3_out.precounted_records;
 
     // ---------------- merge the task outputs of this rank ----------------------------
-    let mut counts: Vec<(K, u64)> = Vec::new();
-    let mut extensions: Option<Vec<Vec<Extension>>> =
-        if with_ext { Some(Vec::new()) } else { None };
-    let mut histogram = KmerHistogram::new(max as usize + 2);
-    for out in task_outputs {
-        counts.extend(out.counts);
-        if let (Some(all), Some(mine)) = (extensions.as_mut(), out.extensions) {
-            all.extend(mine);
-        }
-        histogram.merge(&out.histogram);
-    }
-    // Tasks hold disjoint k-mer ranges only in the sense of "same k-mer, same task", so
-    // the concatenation has no duplicates; sort it for a deterministic, searchable output.
-    let mut order: Vec<usize> = (0..counts.len()).collect();
-    order.sort_by(|&a, &b| counts[a].0.cmp(&counts[b].0));
-    let counts: Vec<(K, u64)> = order.iter().map(|&i| counts[i]).collect();
-    let extensions = extensions.map(|ext| order.iter().map(|&i| ext[i].clone()).collect());
+    // Tasks hold disjoint k-mer sets, so the merge is an in-place sort of the
+    // concatenated `(k-mer, count)` pairs; extension ranges move, nothing is cloned.
+    let merged = stage3::merge_task_counts(stage3_out, &params);
 
     RankOutput {
-        counts,
-        extensions,
-        histogram,
+        counts: merged.counts,
+        extensions: merged.extensions,
+        histogram: merged.histogram,
         counters,
     }
-}
-
-/// Work unit of one task: received records plus pre-counted kmerlist contributions.
-type TaskWork<K> = (Vec<(K, Extension)>, Vec<(K, u64)>);
-
-/// Output of counting one task.
-struct TaskOutput<K: KmerCode> {
-    counts: Vec<(K, u64)>,
-    extensions: Option<Vec<Vec<Extension>>>,
-    histogram: KmerHistogram,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn count_one_task<K: KmerCode>(
-    mut records: Vec<(K, Extension)>,
-    mut pre: Vec<(K, u64)>,
-    first_radix_level: usize,
-    sorter: SortAlgorithm,
-    min: u64,
-    max: u64,
-    with_ext: bool,
-) -> TaskOutput<K> {
-    // Sort the received records by k-mer with the selected radix sort, through the
-    // monomorphized kernels: `(K, Extension)` is a `RadixKey` record (the k-mer words
-    // are the key, the extension rides along), so the digit loops are direct shift/mask
-    // word accesses. The default Extension value keeps the record Copy + Default.
-    match sorter {
-        SortAlgorithm::Raduls => raduls_sort(&mut records),
-        _ => paradis_sort_from(&mut records, first_radix_level),
-    }
-    let mut counted: Vec<(K, u64, Vec<Extension>)> = Vec::new();
-    hysortk_sort::for_each_sorted_run(
-        &records,
-        |(km, _)| *km,
-        |range| {
-            let km = records[range.start].0;
-            let exts: Vec<Extension> = if with_ext {
-                records[range.clone()].iter().map(|(_, e)| *e).collect()
-            } else {
-                Vec::new()
-            };
-            counted.push((km, range.len() as u64, exts));
-        },
-    );
-
-    // Merge the pre-counted kmerlist contributions (heavy-hitter tasks).
-    if !pre.is_empty() {
-        pre.sort_by_key(|a| a.0);
-        let mut merged_pre: Vec<(K, u64)> = Vec::with_capacity(pre.len());
-        for (km, c) in pre {
-            match merged_pre.last_mut() {
-                Some((last, lc)) if *last == km => *lc += c,
-                _ => merged_pre.push((km, c)),
-            }
-        }
-        // Two-way sorted merge into `counted`.
-        let mut result: Vec<(K, u64, Vec<Extension>)> =
-            Vec::with_capacity(counted.len() + merged_pre.len());
-        let mut i = 0;
-        let mut j = 0;
-        while i < counted.len() || j < merged_pre.len() {
-            if j >= merged_pre.len() {
-                result.push(std::mem::replace(
-                    &mut counted[i],
-                    (K::zero(), 0, Vec::new()),
-                ));
-                i += 1;
-            } else if i >= counted.len() {
-                result.push((merged_pre[j].0, merged_pre[j].1, Vec::new()));
-                j += 1;
-            } else {
-                match counted[i].0.cmp(&merged_pre[j].0) {
-                    std::cmp::Ordering::Less => {
-                        result.push(std::mem::replace(
-                            &mut counted[i],
-                            (K::zero(), 0, Vec::new()),
-                        ));
-                        i += 1;
-                    }
-                    std::cmp::Ordering::Greater => {
-                        result.push((merged_pre[j].0, merged_pre[j].1, Vec::new()));
-                        j += 1;
-                    }
-                    std::cmp::Ordering::Equal => {
-                        let (km, c, exts) =
-                            std::mem::replace(&mut counted[i], (K::zero(), 0, Vec::new()));
-                        result.push((km, c + merged_pre[j].1, exts));
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
-        }
-        counted = result;
-    }
-
-    let mut histogram = KmerHistogram::new(max as usize + 2);
-    let mut counts = Vec::new();
-    let mut extensions = if with_ext { Some(Vec::new()) } else { None };
-    for (km, c, exts) in counted {
-        histogram.record(c);
-        if c >= min && c <= max {
-            counts.push((km, c));
-            if let Some(all) = extensions.as_mut() {
-                let mut exts = exts;
-                exts.sort();
-                all.push(exts);
-            }
-        }
-    }
-    TaskOutput {
-        counts,
-        extensions,
-        histogram,
-    }
-}
-
-/// Element-wise sum of per-task sizes across ranks (the "root retrieves data about the
-/// size of each task" step, realised as an all-reduce so every rank can compute the
-/// same assignment deterministically).
-fn allreduce_sizes(ctx: &mut RankCtx, local: &[u64]) -> Vec<u64> {
-    let send: Vec<Vec<u64>> = (0..ctx.size()).map(|_| local.to_vec()).collect();
-    let received = ctx.alltoallv(send, "task-sizes");
-    let mut total = vec![0u64; local.len()];
-    for row in received {
-        for (t, v) in row.into_iter().enumerate() {
-            total[t] += v;
-        }
-    }
-    total
 }
 
 /// The trivial assignment used when the task layer is disabled: task `t` → rank `t`.
@@ -630,27 +441,43 @@ fn merge_outputs<K: KmerCode>(
     let scale = 1.0 / cfg.data_scale;
 
     // ---- merge counts (ranks hold disjoint canonical k-mers) ------------------------
-    let mut counts: Vec<(K, u64)> = Vec::new();
-    let mut extensions: Option<Vec<Vec<Extension>>> = if cfg.with_extension {
-        Some(Vec::new())
-    } else {
-        None
-    };
+    // Each rank's output is already sorted, so the global result is a k-way heap merge
+    // that *moves* the pairs (and the per-k-mer extension lists) — no index
+    // permutation, no per-entry clone, no re-sort.
     let mut histogram = KmerHistogram::new(cfg.max_count as usize + 2);
     let mut counters: Vec<RankCounters> = Vec::with_capacity(outputs.len());
-    for out in outputs {
-        counts.extend(out.counts);
-        if let (Some(all), Some(mine)) = (extensions.as_mut(), out.extensions) {
-            all.extend(mine);
+    let (counts, extensions) = if cfg.with_extension {
+        let mut rank_items: Vec<Vec<(K, u64, Vec<Extension>)>> = Vec::with_capacity(outputs.len());
+        for out in outputs {
+            let exts = out.extensions.unwrap_or_default();
+            rank_items.push(
+                out.counts
+                    .into_iter()
+                    .zip(exts)
+                    .map(|((km, c), e)| (km, c, e))
+                    .collect(),
+            );
+            histogram.merge(&out.histogram);
+            counters.push(out.counters);
         }
-        histogram.merge(&out.histogram);
-        counters.push(out.counters);
-    }
-    let mut order: Vec<usize> = (0..counts.len()).collect();
-    order.sort_by(|&a, &b| counts[a].0.cmp(&counts[b].0));
-    let counts: Vec<(K, u64)> = order.iter().map(|&i| counts[i]).collect();
-    let extensions =
-        extensions.map(|ext| order.iter().map(|&i| ext[i].clone()).collect::<Vec<_>>());
+        let items = hysortk_sort::kway_merge_by_key(rank_items, |&(km, ..)| km);
+        let mut counts = Vec::with_capacity(items.len());
+        let mut extensions = Vec::with_capacity(items.len());
+        for (km, c, e) in items {
+            counts.push((km, c));
+            extensions.push(e);
+        }
+        (counts, Some(extensions))
+    } else {
+        let mut rank_counts: Vec<Vec<(K, u64)>> = Vec::with_capacity(outputs.len());
+        for out in outputs {
+            rank_counts.push(out.counts);
+            histogram.merge(&out.histogram);
+            counters.push(out.counters);
+        }
+        let counts = hysortk_sort::kway_merge_by_key(rank_counts, |&(km, _)| km);
+        (counts, None)
+    };
 
     // ---- projected work counters -----------------------------------------------------
     let max_bases = counters.iter().map(|c| c.bases_parsed).max().unwrap_or(0) as f64 * scale;
@@ -943,6 +770,47 @@ mod tests {
         );
         let expected = reference_counts_bounded::<Kmer1>(&reads, 15, 1, 1_000_000);
         assert_eq!(result.counts, expected);
+    }
+
+    #[test]
+    fn heavy_conversion_is_bypassed_when_extensions_are_requested() {
+        // Same satellite-repeat workload that triggers the heavy-hitter path — but with
+        // extensions requested, the kmerlist conversion must be bypassed (kmerlists
+        // carry no provenance, so converting would silently drop extension lists).
+        // This test pins that behaviour: no heavy tasks, and full, correct extensions.
+        let mut seqs: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..40 {
+            seqs.push(b"AATGG".repeat(60));
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..40 {
+            seqs.push((0..300).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect());
+        }
+        let reads = ReadSet::from_ascii_reads(&seqs);
+        let mut cfg = small_cfg(15, 7, 4);
+        cfg.heavy_hitter = hysortk_task::HeavyHitterPolicy {
+            factor: 2.0,
+            enabled: true,
+        };
+
+        // Without extensions this workload does convert heavy tasks.
+        let plain = count_kmers::<Kmer1>(&reads, &cfg);
+        assert!(plain.report.heavy_tasks > 0, "workload should be heavy");
+
+        cfg.with_extension = true;
+        let result = count_kmers::<Kmer1>(&reads, &cfg);
+        assert_eq!(
+            result.report.heavy_tasks, 0,
+            "heavy conversion must be bypassed with extensions on"
+        );
+        let expected = reference_extensions::<Kmer1>(&reads, 15, 1, 1_000_000);
+        assert_eq!(result.counts.len(), expected.len());
+        let exts = result.extensions.as_ref().unwrap();
+        for (i, (km, expected_exts)) in expected.iter().enumerate() {
+            assert_eq!(&result.counts[i].0, km);
+            assert_eq!(&result.counts[i].1, &(expected_exts.len() as u64));
+            assert_eq!(&exts[i], expected_exts, "extensions of kmer {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,889 @@
+//! Stage 3: sort & count, parallel and allocation-free, straight from the receive
+//! buffer.
+//!
+//! The receive side of the exchange hands this module one borrowed byte segment per
+//! source rank. Counting proceeds in three steps:
+//!
+//! 1. **Block index** ([`build_block_index`]) — one cheap pass over the validated
+//!    block structure groups every payload view by task and sums the *exact* record
+//!    totals from the block headers alone (supermer headers are walked, their packed
+//!    bases are not decoded). No payload byte is touched.
+//! 2. **Fused decode → sort → count** ([`count_task`], driven in parallel by
+//!    [`count_blocks_parallel`]) — each task decodes its blocks into one exactly
+//!    preallocated flat `Vec<(K, Extension)>` (no `BTreeMap`, no growth
+//!    reallocation), radix-sorts it with the monomorphized kernels and folds the
+//!    heavy-hitter kmerlist contributions in with a streaming two-pointer run merge
+//!    ([`hysortk_sort::merge_runs_with_counts`]) that emits straight into the output
+//!    and the per-worker histogram. Extensions are *ranges into the sorted array*,
+//!    not per-k-mer vectors: with extensions disabled the counting loop performs zero
+//!    heap allocations per distinct k-mer. Because every task runs as one work item
+//!    on the worker pool, decode of one task overlaps sort+count of another.
+//! 3. **Merge** ([`merge_task_counts`]) — every task's output is already sorted and
+//!    tasks hold disjoint k-mers, so the rank output is a k-way heap merge that moves
+//!    the pairs; the old index-permutation + per-entry clone (and any re-sort) is
+//!    gone. Histograms and work counters merge once per worker scratch, not once per
+//!    task.
+//!
+//! [`count_blocks_reference`] keeps the original sequential implementation
+//! (`BTreeMap` decode, per-k-mer extension vectors) as the property-test and
+//! benchmark reference: both paths must produce byte-identical results.
+
+use std::collections::BTreeMap;
+
+use hysortk_dna::extension::Extension;
+use hysortk_dna::kmer::KmerCode;
+use hysortk_perfmodel::SortAlgorithm;
+use hysortk_sort::{
+    kway_merge_by_key, merge_runs_with_counts, paradis_sort_from, raduls_sort, raduls_sort_with_aux,
+};
+use hysortk_task::WorkerPool;
+
+use crate::result::KmerHistogram;
+use crate::wire::{read_blocks, PayloadView};
+
+/// Everything [`count_task`] needs to know about the run.
+#[derive(Debug, Clone, Copy)]
+pub struct CountParams {
+    /// First meaningful radix level of the k-mer key (leading bytes above the 2k
+    /// meaningful bits are constant zero and skipped).
+    pub first_radix_level: usize,
+    /// Which radix sorter the memory-aware selection picked.
+    pub sorter: SortAlgorithm,
+    /// Lowest multiplicity kept in the output.
+    pub min_count: u64,
+    /// Highest multiplicity kept in the output.
+    pub max_count: u64,
+    /// Whether extension (provenance) lists are produced.
+    pub with_extension: bool,
+}
+
+impl CountParams {
+    /// Build the parameters for k-mer width `K` at word size `k`.
+    pub fn for_kmer<K: KmerCode>(
+        k: usize,
+        sorter: SortAlgorithm,
+        min_count: u64,
+        max_count: u64,
+        with_extension: bool,
+    ) -> Self {
+        CountParams {
+            first_radix_level: K::WORDS * 8 - K::num_bytes(k),
+            sorter,
+            min_count,
+            max_count,
+            with_extension,
+        }
+    }
+}
+
+/// One task's entry in the block index: its payload views (in source order) plus the
+/// exact record totals read from the block headers.
+#[derive(Debug, Clone)]
+pub struct TaskSlot<'a, K: KmerCode> {
+    /// Task id.
+    pub task: u32,
+    /// Exact number of `(k-mer, extension)` records the supermer and record blocks
+    /// will decode to.
+    pub records: usize,
+    /// Exact number of pre-counted kmerlist entries (heavy-hitter blocks).
+    pub precounted: usize,
+    /// The task's payload views, borrowing the receive buffer.
+    pub blocks: Vec<PayloadView<'a, K>>,
+}
+
+/// The per-task block index over one rank's receive segments.
+#[derive(Debug, Clone)]
+pub struct BlockIndex<'a, K: KmerCode> {
+    /// One slot per task that received at least one block, in ascending task order.
+    pub slots: Vec<TaskSlot<'a, K>>,
+}
+
+impl<K: KmerCode> BlockIndex<'_, K> {
+    /// Total work per task (records + precounted entries), for LPT scheduling.
+    pub fn task_sizes(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| (s.records + s.precounted) as u64)
+            .collect()
+    }
+}
+
+/// Build the per-task block index from one byte segment per source rank: validate the
+/// stream structure, group the payload views by task and sum the exact record totals
+/// from the headers. Returns `None` on a malformed stream.
+pub fn build_block_index<'a, K, I>(segments: I, k: usize) -> Option<BlockIndex<'a, K>>
+where
+    K: KmerCode,
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut by_task: BTreeMap<u32, TaskSlot<'a, K>> = BTreeMap::new();
+    for segment in segments {
+        for block in read_blocks::<K>(segment)? {
+            let slot = by_task.entry(block.task).or_insert_with(|| TaskSlot {
+                task: block.task,
+                records: 0,
+                precounted: 0,
+                blocks: Vec::new(),
+            });
+            match &block.payload {
+                PayloadView::Supermers(view) => slot.records += view.total_kmers(k),
+                PayloadView::KmerList(view) => slot.precounted += view.len(),
+                PayloadView::Records(view) => slot.records += view.len(),
+            }
+            slot.blocks.push(block.payload);
+        }
+    }
+    Some(BlockIndex {
+        slots: by_task.into_values().collect(),
+    })
+}
+
+/// Per-worker reusable state: the record and sort buffers, the kmerlist staging
+/// buffer, the histogram and the work counters. One scratch lives per worker thread
+/// for the whole stage, so on the hot (no-extension) path a worker maps its buffers
+/// once and then decodes, sorts and counts every one of its tasks with **zero**
+/// allocations — and histograms merge once per worker, not once per task.
+#[derive(Debug)]
+pub struct CountScratch<K: KmerCode> {
+    /// Reusable decode target of the no-extension path (bare keys).
+    records: Vec<K>,
+    /// Reusable ping-pong buffer for the out-of-place RADULS sort.
+    aux: Vec<K>,
+    /// Reusable staging for the task's pre-counted kmerlist entries.
+    pre: Vec<(K, u64)>,
+    /// Multiplicity histogram over every distinct k-mer this worker counted.
+    pub histogram: KmerHistogram,
+    /// Records decoded from supermer/record blocks.
+    pub received_records: u64,
+    /// Kmerlist entries decoded from heavy-hitter blocks.
+    pub precounted_records: u64,
+}
+
+impl<K: KmerCode> CountScratch<K> {
+    /// Create a scratch whose histogram caps at `max_count` (same bucket layout the
+    /// sequential reference uses).
+    pub fn new(max_count: u64) -> Self {
+        CountScratch {
+            records: Vec::new(),
+            aux: Vec::new(),
+            pre: Vec::new(),
+            histogram: KmerHistogram::new(max_count as usize + 2),
+            received_records: 0,
+            precounted_records: 0,
+        }
+    }
+}
+
+/// Extension output of one task: provenance as ranges into the task's sorted record
+/// array instead of one vector per k-mer.
+#[derive(Debug, Clone)]
+pub struct TaskExtensions<K: KmerCode> {
+    /// The sorted records; within every retained run the extensions are sorted.
+    pub records: Vec<(K, Extension)>,
+    /// `(start, len)` into `records` for every retained k-mer, parallel to `counts`.
+    pub ranges: Vec<(u32, u32)>,
+}
+
+/// Output of counting one task.
+#[derive(Debug, Clone)]
+pub struct TaskCounts<K: KmerCode> {
+    /// Retained `(k-mer, count)` pairs in ascending k-mer order.
+    pub counts: Vec<(K, u64)>,
+    /// Extension ranges, when the run was configured with extensions.
+    pub ext: Option<TaskExtensions<K>>,
+}
+
+/// Decode, sort and count one task: the fused inner loop of stage 3.
+///
+/// The record array is preallocated to exactly `slot.records` entries (the block index
+/// read the totals from the headers), decoded straight from the borrowed payload
+/// views, sorted with the selected radix kernel, and counted by the streaming run
+/// merge. With `with_extension` off the records are bare k-mer keys — half the bytes
+/// through every radix scatter pass — and no heap allocation happens per distinct
+/// k-mer.
+pub fn count_task<K: KmerCode>(
+    slot: &TaskSlot<'_, K>,
+    k: usize,
+    params: &CountParams,
+    scratch: &mut CountScratch<K>,
+) -> TaskCounts<K> {
+    if params.with_extension {
+        count_task_with_extensions(slot, k, params, scratch)
+    } else {
+        count_task_plain(slot, k, params, scratch)
+    }
+}
+
+/// The hot no-extension path: records are bare `K` keys, decoded into the worker's
+/// reusable buffer and sorted through its reusable RADULS ping-pong buffer — no
+/// allocation per task (beyond the retained output itself).
+fn count_task_plain<K: KmerCode>(
+    slot: &TaskSlot<'_, K>,
+    k: usize,
+    params: &CountParams,
+    scratch: &mut CountScratch<K>,
+) -> TaskCounts<K> {
+    let CountScratch {
+        records,
+        aux,
+        pre,
+        histogram,
+        received_records,
+        precounted_records,
+    } = scratch;
+
+    records.clear();
+    records.reserve(slot.records);
+    pre.clear();
+    pre.reserve(slot.precounted);
+    for block in &slot.blocks {
+        match block {
+            PayloadView::Supermers(view) => {
+                for sm in view.iter() {
+                    sm.for_each_canonical_kmer::<K>(k, |km, _| records.push(km));
+                }
+            }
+            PayloadView::KmerList(view) => pre.extend(view.iter()),
+            PayloadView::Records(view) => records.extend(view.kmers()),
+        }
+    }
+    debug_assert_eq!(records.len(), slot.records, "block index total mismatch");
+    debug_assert_eq!(pre.len(), slot.precounted, "block index total mismatch");
+    *received_records += records.len() as u64;
+    *precounted_records += pre.len() as u64;
+
+    match params.sorter {
+        SortAlgorithm::Raduls => raduls_sort_with_aux(records, aux),
+        _ => paradis_sort_from(records, params.first_radix_level),
+    }
+    // Kmerlists arrive per source; sort so the run merge can sum duplicates streamed.
+    pre.sort_unstable();
+
+    let mut counts: Vec<(K, u64)> = Vec::new();
+    merge_runs_with_counts(
+        records,
+        |km: &K| *km,
+        pre,
+        |km, total, _| {
+            histogram.record(total);
+            if total >= params.min_count && total <= params.max_count {
+                counts.push((km, total));
+            }
+        },
+    );
+    TaskCounts { counts, ext: None }
+}
+
+/// The provenance path: `(K, Extension)` records, extension lists as ranges into the
+/// sorted array.
+fn count_task_with_extensions<K: KmerCode>(
+    slot: &TaskSlot<'_, K>,
+    k: usize,
+    params: &CountParams,
+    scratch: &mut CountScratch<K>,
+) -> TaskCounts<K> {
+    let CountScratch {
+        pre,
+        histogram,
+        received_records,
+        precounted_records,
+        ..
+    } = scratch;
+
+    let mut records: Vec<(K, Extension)> = Vec::with_capacity(slot.records);
+    pre.clear();
+    pre.reserve(slot.precounted);
+    for block in &slot.blocks {
+        match block {
+            PayloadView::Supermers(view) => {
+                for sm in view.iter() {
+                    let read_id = sm.read_id;
+                    sm.for_each_canonical_kmer::<K>(k, |km, pos| {
+                        records.push((km, Extension::new(read_id, pos)));
+                    });
+                }
+            }
+            PayloadView::KmerList(view) => pre.extend(view.iter()),
+            PayloadView::Records(view) => {
+                match view
+                    .decode_extensions()
+                    .expect("malformed extension stream")
+                {
+                    Some(exts) => records.extend(view.kmers().zip(exts)),
+                    None => records.extend(view.kmers().map(|km| (km, Extension::default()))),
+                }
+            }
+        }
+    }
+    debug_assert_eq!(records.len(), slot.records, "block index total mismatch");
+    debug_assert_eq!(pre.len(), slot.precounted, "block index total mismatch");
+    *received_records += records.len() as u64;
+    *precounted_records += pre.len() as u64;
+
+    match params.sorter {
+        SortAlgorithm::Raduls => raduls_sort(&mut records),
+        _ => paradis_sort_from(&mut records, params.first_radix_level),
+    }
+    pre.sort_unstable();
+
+    // Extension ranges are stored as u32 offsets into the task's record array; make
+    // the limit explicit rather than silently wrapping on absurdly large tasks.
+    assert!(
+        records.len() <= u32::MAX as usize,
+        "task with {} records exceeds the u32 extension-range limit",
+        records.len()
+    );
+    let mut counts: Vec<(K, u64)> = Vec::new();
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    merge_runs_with_counts(
+        &records,
+        |(km, _): &(K, Extension)| *km,
+        pre,
+        |km, total, range| {
+            histogram.record(total);
+            if total >= params.min_count && total <= params.max_count {
+                counts.push((km, total));
+                ranges.push((range.start as u32, range.len() as u32));
+            }
+        },
+    );
+
+    // Sort each retained run by extension in place. Keys are equal within a run, so
+    // the record array stays sorted by k-mer.
+    for &(start, len) in &ranges {
+        records[start as usize..(start + len) as usize].sort_unstable_by_key(|&(_, e)| e);
+    }
+    TaskCounts {
+        counts,
+        ext: Some(TaskExtensions { records, ranges }),
+    }
+}
+
+/// The counted tasks of one rank, before the per-rank merge.
+#[derive(Debug)]
+pub struct Stage3Output<K: KmerCode> {
+    /// Per-task outputs, in slot order.
+    pub tasks: Vec<TaskCounts<K>>,
+    /// Merged multiplicity histogram.
+    pub histogram: KmerHistogram,
+    /// Total records decoded from supermer/record blocks.
+    pub received_records: u64,
+    /// Total kmerlist entries decoded.
+    pub precounted_records: u64,
+}
+
+/// Count every task of the block index on the worker pool: tasks are independent work
+/// items, so decode of one task overlaps sort+count of another, and each worker thread
+/// reuses one [`CountScratch`] (kmerlist staging + histogram) across all its tasks.
+pub fn count_blocks_parallel<K: KmerCode>(
+    index: &BlockIndex<'_, K>,
+    k: usize,
+    params: &CountParams,
+    pool: &WorkerPool,
+) -> Stage3Output<K> {
+    let work: Vec<&TaskSlot<'_, K>> = index.slots.iter().collect();
+    let (tasks, scratches) = pool.execute_with_scratch(
+        work,
+        || CountScratch::new(params.max_count),
+        |scratch, slot| count_task(slot, k, params, scratch),
+    );
+    let mut histogram = KmerHistogram::new(params.max_count as usize + 2);
+    let mut received_records = 0u64;
+    let mut precounted_records = 0u64;
+    for scratch in scratches {
+        histogram.merge(&scratch.histogram);
+        received_records += scratch.received_records;
+        precounted_records += scratch.precounted_records;
+    }
+    Stage3Output {
+        tasks,
+        histogram,
+        received_records,
+        precounted_records,
+    }
+}
+
+/// Sequential twin of [`count_blocks_parallel`]: same fused per-task path, one thread,
+/// one scratch. Used by tests to pin the parallel path against a single-threaded run.
+pub fn count_blocks_sequential<K: KmerCode>(
+    index: &BlockIndex<'_, K>,
+    k: usize,
+    params: &CountParams,
+) -> Stage3Output<K> {
+    let mut scratch = CountScratch::new(params.max_count);
+    let tasks = index
+        .slots
+        .iter()
+        .map(|slot| count_task(slot, k, params, &mut scratch))
+        .collect();
+    Stage3Output {
+        tasks,
+        histogram: scratch.histogram,
+        received_records: scratch.received_records,
+        precounted_records: scratch.precounted_records,
+    }
+}
+
+/// One rank's merged stage-3 result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankCounts<K: KmerCode> {
+    /// Retained `(k-mer, count)` pairs in ascending k-mer order.
+    pub counts: Vec<(K, u64)>,
+    /// Extension lists parallel to `counts`, when configured.
+    pub extensions: Option<Vec<Vec<Extension>>>,
+    /// Multiplicity histogram over all distinct k-mers.
+    pub histogram: KmerHistogram,
+    /// Records decoded from supermer/record blocks.
+    pub received_records: u64,
+    /// Kmerlist entries decoded.
+    pub precounted_records: u64,
+}
+
+/// Merge the per-task outputs of one rank. Every task's counts are already sorted and
+/// tasks hold disjoint k-mer sets, so the merge is a k-way heap merge that *moves* the
+/// `(k-mer, count)` pairs — no index permutation, no per-entry clone, no re-sort. With
+/// extensions on, the `(k-mer, count, range)` triples merge the same way and the
+/// ranges are materialised from the tasks' sorted record arrays in one final pass.
+pub fn merge_task_counts<K: KmerCode>(out: Stage3Output<K>, params: &CountParams) -> RankCounts<K> {
+    if !params.with_extension {
+        let counts = kway_merge_by_key(
+            out.tasks.into_iter().map(|t| t.counts).collect(),
+            |&(km, _)| km,
+        );
+        return RankCounts {
+            counts,
+            extensions: None,
+            histogram: out.histogram,
+            received_records: out.received_records,
+            precounted_records: out.precounted_records,
+        };
+    }
+
+    // (k-mer, count, task index, range start, range len) — Copy, already sorted per
+    // task, merged by the same k-way heap.
+    type ExtItem<K> = (K, u64, u32, u32, u32);
+    let item_lists: Vec<Vec<ExtItem<K>>> = out
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| {
+            t.counts
+                .iter()
+                .enumerate()
+                .map(|(ci, &(km, c))| {
+                    let (start, len) = match &t.ext {
+                        Some(ext) => ext.ranges[ci],
+                        None => (0, 0),
+                    };
+                    (km, c, ti as u32, start, len)
+                })
+                .collect()
+        })
+        .collect();
+    let items = kway_merge_by_key(item_lists, |&(km, ..)| km);
+
+    let mut counts: Vec<(K, u64)> = Vec::with_capacity(items.len());
+    let mut extensions: Vec<Vec<Extension>> = Vec::with_capacity(items.len());
+    for (km, c, ti, start, len) in items {
+        counts.push((km, c));
+        let exts = match &out.tasks[ti as usize].ext {
+            Some(ext) => ext.records[start as usize..(start + len) as usize]
+                .iter()
+                .map(|&(_, e)| e)
+                .collect(),
+            None => Vec::new(),
+        };
+        extensions.push(exts);
+    }
+    RankCounts {
+        counts,
+        extensions: Some(extensions),
+        histogram: out.histogram,
+        received_records: out.received_records,
+        precounted_records: out.precounted_records,
+    }
+}
+
+/// Run the full parallel stage 3 on one rank's receive segments: index, fused
+/// parallel decode+sort+count, in-place merge.
+pub fn count_received_parallel<'a, K, I>(
+    segments: I,
+    k: usize,
+    params: &CountParams,
+    pool: &WorkerPool,
+) -> Option<(RankCounts<K>, Vec<u64>)>
+where
+    K: KmerCode,
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let index = build_block_index::<K, _>(segments, k)?;
+    let task_sizes = index.task_sizes();
+    let out = count_blocks_parallel(&index, k, params, pool);
+    Some((merge_task_counts(out, params), task_sizes))
+}
+
+/// The original sequential stage 3, kept verbatim as the correctness reference: decode
+/// every block into per-task `BTreeMap` entries (with `entry().push` growth and the
+/// old O(k)-per-k-mer canonical rebuild), sort and scan each task into a
+/// `(k-mer, count, Vec<Extension>)` vector, merge the kmerlist contributions through
+/// intermediate vectors, and merge the rank output through an index permutation. Slow
+/// by design — the property tests and `repro bench-count` assert the parallel path is
+/// byte-identical to (and faster than) this.
+pub fn count_blocks_reference<'a, K, I>(
+    segments: I,
+    k: usize,
+    params: &CountParams,
+) -> Option<RankCounts<K>>
+where
+    K: KmerCode,
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut task_records: BTreeMap<u32, Vec<(K, Extension)>> = BTreeMap::new();
+    let mut task_precounted: BTreeMap<u32, Vec<(K, u64)>> = BTreeMap::new();
+    for segment in segments {
+        for block in read_blocks::<K>(segment)? {
+            match block.payload {
+                PayloadView::Supermers(view) => {
+                    let entry = task_records.entry(block.task).or_default();
+                    for sm in view.iter() {
+                        let read_id = sm.read_id;
+                        // The pre-optimisation decode, kept verbatim: one forward
+                        // rolling window plus an O(k) reverse-complement rebuild per
+                        // position (`canonical`), instead of rolling both strands.
+                        let mut km = K::zero();
+                        for i in 0..sm.len {
+                            km = km.push_base(k, sm.code_at(i));
+                            if i + 1 >= k {
+                                let pos = sm.start + (i + 1 - k) as u32;
+                                entry.push((km.canonical(k), Extension::new(read_id, pos)));
+                            }
+                        }
+                    }
+                }
+                PayloadView::KmerList(view) => {
+                    task_precounted
+                        .entry(block.task)
+                        .or_default()
+                        .extend(view.iter());
+                }
+                PayloadView::Records(view) => {
+                    let entry = task_records.entry(block.task).or_default();
+                    match view.decode_extensions()? {
+                        Some(exts) => entry.extend(view.kmers().zip(exts)),
+                        None => entry.extend(view.kmers().map(|km| (km, Extension::default()))),
+                    }
+                }
+            }
+        }
+    }
+
+    let mut task_ids: Vec<u32> = task_records
+        .keys()
+        .copied()
+        .chain(task_precounted.keys().copied())
+        .collect();
+    task_ids.sort_unstable();
+    task_ids.dedup();
+
+    let mut received_records = 0u64;
+    let mut precounted_records = 0u64;
+    let mut histogram = KmerHistogram::new(params.max_count as usize + 2);
+    let mut counts: Vec<(K, u64)> = Vec::new();
+    let mut extensions: Option<Vec<Vec<Extension>>> = if params.with_extension {
+        Some(Vec::new())
+    } else {
+        None
+    };
+    for t in &task_ids {
+        let records = task_records.remove(t).unwrap_or_default();
+        let pre = task_precounted.remove(t).unwrap_or_default();
+        received_records += records.len() as u64;
+        precounted_records += pre.len() as u64;
+        let (task_counts, task_exts, task_hist) = reference_count_one_task(records, pre, params);
+        counts.extend(task_counts);
+        if let (Some(all), Some(mine)) = (extensions.as_mut(), task_exts) {
+            all.extend(mine);
+        }
+        histogram.merge(&task_hist);
+    }
+
+    // Index-permutation merge, as the original pipeline did it.
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| counts[a].0.cmp(&counts[b].0));
+    let counts: Vec<(K, u64)> = order.iter().map(|&i| counts[i]).collect();
+    let extensions = extensions.map(|ext| order.iter().map(|&i| ext[i].clone()).collect());
+
+    Some(RankCounts {
+        counts,
+        extensions,
+        histogram,
+        received_records,
+        precounted_records,
+    })
+}
+
+/// The original `count_one_task` body (sort, per-k-mer extension vectors, two-vector
+/// kmerlist merge), preserved for the reference path.
+#[allow(clippy::type_complexity)]
+fn reference_count_one_task<K: KmerCode>(
+    mut records: Vec<(K, Extension)>,
+    mut pre: Vec<(K, u64)>,
+    params: &CountParams,
+) -> (Vec<(K, u64)>, Option<Vec<Vec<Extension>>>, KmerHistogram) {
+    match params.sorter {
+        SortAlgorithm::Raduls => raduls_sort(&mut records),
+        _ => paradis_sort_from(&mut records, params.first_radix_level),
+    }
+    let mut counted: Vec<(K, u64, Vec<Extension>)> = Vec::new();
+    hysortk_sort::for_each_sorted_run(
+        &records,
+        |(km, _)| *km,
+        |range| {
+            let km = records[range.start].0;
+            let exts: Vec<Extension> = if params.with_extension {
+                records[range.clone()].iter().map(|(_, e)| *e).collect()
+            } else {
+                Vec::new()
+            };
+            counted.push((km, range.len() as u64, exts));
+        },
+    );
+
+    if !pre.is_empty() {
+        pre.sort_by_key(|a| a.0);
+        let mut merged_pre: Vec<(K, u64)> = Vec::with_capacity(pre.len());
+        for (km, c) in pre {
+            match merged_pre.last_mut() {
+                Some((last, lc)) if *last == km => *lc += c,
+                _ => merged_pre.push((km, c)),
+            }
+        }
+        let mut result: Vec<(K, u64, Vec<Extension>)> =
+            Vec::with_capacity(counted.len() + merged_pre.len());
+        let mut i = 0;
+        let mut j = 0;
+        while i < counted.len() || j < merged_pre.len() {
+            if j >= merged_pre.len() {
+                result.push(std::mem::replace(
+                    &mut counted[i],
+                    (K::zero(), 0, Vec::new()),
+                ));
+                i += 1;
+            } else if i >= counted.len() {
+                result.push((merged_pre[j].0, merged_pre[j].1, Vec::new()));
+                j += 1;
+            } else {
+                match counted[i].0.cmp(&merged_pre[j].0) {
+                    std::cmp::Ordering::Less => {
+                        result.push(std::mem::replace(
+                            &mut counted[i],
+                            (K::zero(), 0, Vec::new()),
+                        ));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        result.push((merged_pre[j].0, merged_pre[j].1, Vec::new()));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let (km, c, exts) =
+                            std::mem::replace(&mut counted[i], (K::zero(), 0, Vec::new()));
+                        result.push((km, c + merged_pre[j].1, exts));
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        counted = result;
+    }
+
+    let mut histogram = KmerHistogram::new(params.max_count as usize + 2);
+    let mut counts = Vec::new();
+    let mut extensions = if params.with_extension {
+        Some(Vec::new())
+    } else {
+        None
+    };
+    for (km, c, exts) in counted {
+        histogram.record(c);
+        if c >= params.min_count && c <= params.max_count {
+            counts.push((km, c));
+            if let Some(all) = extensions.as_mut() {
+                let mut exts = exts;
+                exts.sort();
+                all.push(exts);
+            }
+        }
+    }
+    (counts, extensions, histogram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{write_block, SupermerBlockWriter, TaskPayload};
+    use hysortk_dna::kmer::Kmer1;
+    use hysortk_dna::readset::Read;
+    use hysortk_sort::count_sorted_runs;
+    use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
+    use hysortk_supermer::supermer::build_supermers;
+
+    fn params(with_extension: bool) -> CountParams {
+        CountParams::for_kmer::<Kmer1>(15, SortAlgorithm::Raduls, 1, 1_000_000, with_extension)
+    }
+
+    /// Two source segments with supermer blocks partitioned by minimizer target, one
+    /// kmerlist-only task and one structurally empty supermer block.
+    fn sample_segments(tasks: u32) -> Vec<Vec<u8>> {
+        let k = 15;
+        let scorer = MmerScorer::new(7, ScoreFunction::Hash { seed: 3 });
+        let reads = [
+            Read::from_ascii(0, "a", b"ACGTTGCAACGTGGGTTTAAACCCTAGCATACGTACGGTACCATGG"),
+            Read::from_ascii(1, "b", b"TTACGATCGATCGAATTCCGGACGTTGCAACGTGGGTTTAAACCCT"),
+        ];
+        let mut segments = vec![Vec::new(), Vec::new()];
+        for (src, read) in reads.iter().enumerate() {
+            let mut per_task: Vec<Vec<hysortk_supermer::supermer::Supermer>> =
+                vec![Vec::new(); tasks as usize];
+            for sm in build_supermers(read, k, &scorer, tasks) {
+                per_task[sm.target as usize].push(sm);
+            }
+            for (t, sms) in per_task.into_iter().enumerate() {
+                if !sms.is_empty() {
+                    write_block::<Kmer1>(
+                        &mut segments[src],
+                        t as u32,
+                        &TaskPayload::Supermers(sms),
+                    );
+                }
+            }
+        }
+        // A kmerlist-only task beyond the supermer targets, contributed by both sources.
+        let mut heavy: Vec<Kmer1> = (0..40u32)
+            .map(|i| {
+                let s: Vec<u8> = (0..15)
+                    .map(|j| b"ACGT"[((i / 4 + j) % 4) as usize])
+                    .collect();
+                Kmer1::from_ascii(&s).canonical(15)
+            })
+            .collect();
+        heavy.sort_unstable();
+        let list = count_sorted_runs(&heavy, |km| *km);
+        write_block(
+            &mut segments[0],
+            tasks,
+            &TaskPayload::KmerList(list.clone()),
+        );
+        write_block(&mut segments[1], tasks, &TaskPayload::KmerList(list));
+        // A structurally empty supermer block (zero supermers) on another task.
+        let _ = SupermerBlockWriter::new(&mut segments[1], tasks + 1, 0);
+        segments
+    }
+
+    #[test]
+    fn block_index_totals_match_decoded_totals() {
+        let segments = sample_segments(4);
+        let index = build_block_index::<Kmer1, _>(segments.iter().map(Vec::as_slice), 15).unwrap();
+        assert!(!index.slots.is_empty());
+        let p = params(false);
+        for slot in &index.slots {
+            let mut scratch = CountScratch::new(p.max_count);
+            let before = (scratch.received_records, scratch.precounted_records);
+            count_task(slot, 15, &p, &mut scratch);
+            assert_eq!(
+                scratch.received_records - before.0,
+                slot.records as u64,
+                "task {}",
+                slot.task
+            );
+            assert_eq!(
+                scratch.precounted_records - before.1,
+                slot.precounted as u64,
+                "task {}",
+                slot.task
+            );
+        }
+        // The empty supermer block produced a slot with zero records.
+        assert!(index
+            .slots
+            .iter()
+            .any(|s| s.records == 0 && s.precounted == 0));
+    }
+
+    #[test]
+    fn parallel_and_sequential_match_the_reference() {
+        let segments = sample_segments(4);
+        let k = 15;
+        for with_ext in [false, true] {
+            let p = params(with_ext);
+            let reference =
+                count_blocks_reference::<Kmer1, _>(segments.iter().map(Vec::as_slice), k, &p)
+                    .unwrap();
+            let index =
+                build_block_index::<Kmer1, _>(segments.iter().map(Vec::as_slice), k).unwrap();
+            let sequential = merge_task_counts(count_blocks_sequential(&index, k, &p), &p);
+            let pool = WorkerPool::new(2, 1);
+            let (parallel, sizes) = count_received_parallel::<Kmer1, _>(
+                segments.iter().map(Vec::as_slice),
+                k,
+                &p,
+                &pool,
+            )
+            .unwrap();
+            assert_eq!(
+                sequential, reference,
+                "sequential vs reference, ext={with_ext}"
+            );
+            assert_eq!(parallel, reference, "parallel vs reference, ext={with_ext}");
+            assert_eq!(sizes.len(), index.slots.len());
+            assert!(reference.received_records > 0);
+            assert!(reference.precounted_records > 0);
+        }
+    }
+
+    #[test]
+    fn malformed_segments_are_rejected() {
+        let bad: &[&[u8]] = &[&[9, 9, 9]];
+        assert!(build_block_index::<Kmer1, _>(bad.iter().copied(), 15).is_none());
+        let p = params(false);
+        assert!(count_blocks_reference::<Kmer1, _>(bad.iter().copied(), 15, &p).is_none());
+    }
+
+    #[test]
+    fn empty_segments_produce_empty_output() {
+        let segments: Vec<&[u8]> = vec![&[], &[]];
+        let p = params(false);
+        let index = build_block_index::<Kmer1, _>(segments.iter().copied(), 15).unwrap();
+        assert!(index.slots.is_empty());
+        let out = count_blocks_sequential(&index, 15, &p);
+        let merged = merge_task_counts(out, &p);
+        assert!(merged.counts.is_empty());
+        assert_eq!(merged.histogram.distinct(), 0);
+    }
+
+    #[test]
+    fn count_filter_band_is_applied() {
+        // One task, one record block with a k-mer appearing 3 times and one appearing
+        // once; min_count = 2 must retain only the former, while the histogram sees
+        // both.
+        let km3 = Kmer1::from_ascii(b"ACGTACGTACGTACG");
+        let km1 = Kmer1::from_ascii(b"TTTTGGGGCCCCAAA");
+        let mut seg = Vec::new();
+        write_block(
+            &mut seg,
+            0,
+            &TaskPayload::Records(vec![km3, km1, km3, km3], None),
+        );
+        let mut p = params(false);
+        p.min_count = 2;
+        p.max_count = 50;
+        let segments: Vec<&[u8]> = vec![&seg];
+        let index = build_block_index::<Kmer1, _>(segments.iter().copied(), 15).unwrap();
+        let merged = merge_task_counts(count_blocks_sequential(&index, 15, &p), &p);
+        assert_eq!(merged.counts, vec![(km3, 3)]);
+        assert_eq!(merged.histogram.distinct(), 2);
+        assert_eq!(merged.histogram.get(1), 1);
+        assert_eq!(merged.histogram.get(3), 1);
+    }
+}

@@ -274,6 +274,14 @@ impl<'a> SupermersView<'a> {
             bytes: self.bytes,
         }
     }
+
+    /// Exact number of k-mers this block will decode to, computed from the supermer
+    /// headers alone (the packed bases are skipped, not decoded). The sort & count
+    /// stage uses this to build its per-task block index and preallocate the record
+    /// array to exactly the right size before decoding.
+    pub fn total_kmers(&self, k: usize) -> usize {
+        self.iter().map(|sm| sm.num_kmers(k)).sum()
+    }
 }
 
 /// Iterator over [`SupermerView`]s in a supermer block.
@@ -342,13 +350,19 @@ impl SupermerView<'_> {
 
     /// Visit every canonical k-mer with its absolute position in the read, decoding the
     /// rolling window straight from the packed bytes — no intermediate `DnaSeq` or
-    /// supermer materialisation.
+    /// supermer materialisation. Both strands roll ([`KmerCode::push_base`] /
+    /// [`KmerCode::push_base_rc`]), so the canonical form is an O(1) `min(fwd, rc)`
+    /// per position instead of an O(k) reverse-complement rebuild.
     pub fn for_each_canonical_kmer<K: KmerCode>(&self, k: usize, mut f: impl FnMut(K, u32)) {
-        let mut km = K::zero();
+        let mut fwd = K::zero();
+        let mut rc = K::zero();
         for i in 0..self.len {
-            km = km.push_base(k, self.code_at(i));
+            let code = self.code_at(i);
+            fwd = fwd.push_base(k, code);
+            rc = rc.push_base_rc(k, code);
             if i + 1 >= k {
-                f(km.canonical(k), self.start + (i + 1 - k) as u32);
+                let canon = if rc < fwd { rc } else { fwd };
+                f(canon, self.start + (i + 1 - k) as u32);
             }
         }
     }
@@ -657,6 +671,30 @@ mod tests {
         }
         drop(writer);
         assert_eq!(streamed, owned);
+    }
+
+    #[test]
+    fn total_kmers_matches_decoded_kmer_count() {
+        let read = Read::from_ascii(
+            4,
+            "r4",
+            b"ACGTTGCAACGTGGGTTTAAACCCTAGCATACGTACGGTACCATGGTTACGATCG",
+        );
+        let k = 13;
+        let scorer = MmerScorer::new(5, ScoreFunction::Hash { seed: 2 });
+        let supermers = build_supermers(&read, k, &scorer, 4);
+        let mut buf = Vec::new();
+        write_block::<Kmer1>(&mut buf, 0, &TaskPayload::Supermers(supermers));
+        let blocks = read_blocks::<Kmer1>(&buf).unwrap();
+        let PayloadView::Supermers(view) = &blocks[0].payload else {
+            panic!("wrong payload")
+        };
+        let mut decoded = 0usize;
+        for sm in view.iter() {
+            sm.for_each_canonical_kmer::<Kmer1>(k, |_, _| decoded += 1);
+        }
+        assert!(decoded > 0);
+        assert_eq!(view.total_kmers(k), decoded);
     }
 
     #[test]

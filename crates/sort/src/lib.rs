@@ -37,8 +37,8 @@ pub mod runs;
 pub mod samplesort;
 
 pub use paradis::{paradis_sort, paradis_sort_by, paradis_sort_from};
-pub use raduls::{raduls_sort, raduls_sort_by};
-pub use runs::{count_sorted_runs, for_each_sorted_run};
+pub use raduls::{raduls_sort, raduls_sort_by, raduls_sort_with_aux};
+pub use runs::{count_sorted_runs, for_each_sorted_run, kway_merge_by_key, merge_runs_with_counts};
 pub use samplesort::sample_sort_by_key;
 
 /// Keys that can expose themselves as raw big-endian `u64` words, enabling the

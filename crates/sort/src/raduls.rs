@@ -239,13 +239,25 @@ where
 /// Trivial levels (constant digit across the input — e.g. the zero padding above a
 /// `2k`-bit k-mer) are detected in one fused histogram pass and skipped.
 pub fn raduls_sort<T: RadixKey + Default>(data: &mut [T]) {
+    let mut aux = Vec::new();
+    raduls_sort_with_aux(data, &mut aux);
+}
+
+/// [`raduls_sort`] with a caller-owned auxiliary buffer, so a worker sorting many
+/// arrays (one per task) reuses one ping-pong allocation instead of mapping fresh
+/// pages per sort. `aux` is grown to `data.len()` on first use and its contents are
+/// unspecified afterwards.
+pub fn raduls_sort_with_aux<T: RadixKey + Default>(data: &mut [T], aux: &mut Vec<T>) {
     let n = data.len();
     let levels = T::KEY_LEVELS;
     if n <= 1 || levels == 0 {
         return;
     }
 
-    let mut aux: Vec<T> = vec![T::default(); n];
+    if aux.len() < n {
+        aux.resize(n, T::default());
+    }
+    let aux = &mut aux[..n];
     let mut src_is_data = true;
 
     if n < PARALLEL_THRESHOLD {
@@ -323,7 +335,7 @@ pub fn raduls_sort<T: RadixKey + Default>(data: &mut [T]) {
     }
 
     if !src_is_data {
-        data.copy_from_slice(&aux);
+        data.copy_from_slice(aux);
     }
 }
 

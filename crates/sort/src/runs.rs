@@ -39,6 +39,127 @@ where
     out
 }
 
+/// Streaming two-pointer merge of the run boundaries of sorted `data` with a sorted
+/// pre-counted `(key, count)` list (which may hold several entries per key; they are
+/// summed on the fly). `emit(key, total, range)` is called once per distinct key in
+/// ascending key order, where `total` is the run length plus all matching pre-counts
+/// and `range` is the key's run inside `data` (empty for pre-only keys).
+///
+/// This is HySortK's "sort & count" inner loop with heavy-hitter kmerlist merging
+/// fused in: no intermediate counted or merged vector is ever materialised, and the
+/// range hands the caller the key's payload (e.g. extension records) as a slice of the
+/// sorted array instead of a per-key allocation.
+pub fn merge_runs_with_counts<T, K, G, F>(data: &[T], key: G, pre: &[(K, u64)], mut emit: F)
+where
+    K: Ord + Copy,
+    G: Fn(&T) -> K,
+    F: FnMut(K, u64, std::ops::Range<usize>),
+{
+    let n = data.len();
+    let mut i = 0usize;
+    let mut j = 0usize;
+    while i < n || j < pre.len() {
+        if i < n && (j >= pre.len() || key(&data[i]) <= pre[j].0) {
+            // The next key comes from `data` (ties included): scan its run, then
+            // absorb any matching pre entries (a no-op when data's key is smaller).
+            let k0 = key(&data[i]);
+            let mut end = i + 1;
+            while end < n && key(&data[end]) == k0 {
+                end += 1;
+            }
+            let mut total = (end - i) as u64;
+            while j < pre.len() && pre[j].0 == k0 {
+                total += pre[j].1;
+                j += 1;
+            }
+            emit(k0, total, i..end);
+            i = end;
+        } else {
+            // Pre-only key: sum its (possibly duplicated) entries.
+            let k0 = pre[j].0;
+            let mut total = 0u64;
+            while j < pre.len() && pre[j].0 == k0 {
+                total += pre[j].1;
+                j += 1;
+            }
+            emit(k0, total, i..i);
+        }
+    }
+}
+
+/// Merge already-sorted lists into one sorted vector by *moving* the elements —
+/// `O(n log k)` with a tournament tree over the list heads (exactly one comparison
+/// per tree level per emitted element, cheaper than a binary heap's sift), no
+/// comparison re-sort and no clones. Ties between lists break toward the lower list
+/// index, matching a stable concatenate-then-sort of the lists in order.
+///
+/// The count-stage merges use this: per-task (and per-rank) outputs are each sorted
+/// and hold disjoint key sets, so merging them is tree traversal, not another sort.
+pub fn kway_merge_by_key<T, K, F>(lists: Vec<Vec<T>>, key: F) -> Vec<T>
+where
+    K: Ord + Copy,
+    F: Fn(&T) -> K,
+{
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let k = lists.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    if k == 1 {
+        return lists.into_iter().next().expect("one list");
+    }
+
+    let mut iters: Vec<std::vec::IntoIter<T>> = lists.into_iter().map(Vec::into_iter).collect();
+    let m = k.next_power_of_two();
+    // Current head of every (conceptual) leaf; `None` = exhausted (+infinity). The
+    // keys are cached so a comparison never touches the items themselves.
+    let mut heads: Vec<Option<T>> = iters.iter_mut().map(Iterator::next).collect();
+    heads.resize_with(m, || None);
+    let mut keys: Vec<Option<K>> = heads.iter().map(|h| h.as_ref().map(&key)).collect();
+
+    // Winner tree over leaf indices: node `i` holds the winning leaf of its subtree,
+    // leaves live at `m..2m`. Lower leaf index wins ties (left child is checked first),
+    // which reproduces the stable order.
+    let better = |a: u32, b: u32, keys: &[Option<K>]| -> u32 {
+        match (&keys[a as usize], &keys[b as usize]) {
+            (Some(ka), Some(kb)) => {
+                if kb < ka {
+                    b
+                } else {
+                    a
+                }
+            }
+            (None, Some(_)) => b,
+            _ => a,
+        }
+    };
+    let mut win: Vec<u32> = vec![0; 2 * m];
+    for (j, w) in win.iter_mut().enumerate().skip(m) {
+        *w = (j - m) as u32;
+    }
+    for i in (1..m).rev() {
+        win[i] = better(win[2 * i], win[2 * i + 1], &keys);
+    }
+
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let w = win[1] as usize;
+        let Some(item) = heads[w].take() else {
+            break; // overall winner exhausted -> every list is drained
+        };
+        out.push(item);
+        heads[w] = iters[w].next();
+        keys[w] = heads[w].as_ref().map(&key);
+        // Replay only the path from this leaf to the root.
+        let mut i = (m + w) >> 1;
+        while i >= 1 {
+            win[i] = better(win[2 * i], win[2 * i + 1], &keys);
+            i >>= 1;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +207,110 @@ mod tests {
         let data = vec![(1u32, 'a'), (1, 'b'), (2, 'c')];
         let runs = count_sorted_runs(&data, |x| x.0);
         assert_eq!(runs, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn merge_with_empty_pre_matches_plain_runs() {
+        let data = vec![1u32, 1, 2, 3, 3, 3, 9];
+        let mut merged = Vec::new();
+        merge_runs_with_counts(&data, |x| *x, &[], |k, c, r| merged.push((k, c, r)));
+        assert_eq!(
+            merged,
+            vec![(1, 2, 0..2), (2, 1, 2..3), (3, 3, 3..6), (9, 1, 6..7)]
+        );
+    }
+
+    #[test]
+    fn merge_interleaves_and_sums_duplicate_pre_entries() {
+        let data = vec![2u32, 2, 5, 5, 5, 8];
+        // Pre holds a key below, inside (duplicated), and above the data range.
+        let pre = vec![(1u32, 4), (5, 10), (5, 1), (9, 7)];
+        let mut merged = Vec::new();
+        merge_runs_with_counts(&data, |x| *x, &pre, |k, c, r| merged.push((k, c, r)));
+        assert_eq!(
+            merged,
+            vec![
+                (1, 4, 0..0),
+                (2, 2, 0..2),
+                (5, 3 + 11, 2..5),
+                (8, 1, 5..6),
+                (9, 7, 6..6),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_with_empty_data_emits_summed_pre_runs() {
+        let data: Vec<u32> = Vec::new();
+        let pre = vec![(3u32, 1), (3, 2), (7, 5)];
+        let mut merged = Vec::new();
+        merge_runs_with_counts(&data, |x| *x, &pre, |k, c, r| merged.push((k, c, r)));
+        assert_eq!(merged, vec![(3, 3, 0..0), (7, 5, 0..0)]);
+    }
+
+    #[test]
+    fn kway_merge_matches_stable_concat_sort() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..30 {
+            let lists: Vec<Vec<(u32, char)>> = (0..rng.gen_range(0..6usize))
+                .map(|l| {
+                    let mut v: Vec<(u32, char)> = (0..rng.gen_range(0..30usize))
+                        .map(|_| (rng.gen_range(0..40u32), (b'a' + l as u8) as char))
+                        .collect();
+                    v.sort_by_key(|x| x.0);
+                    v
+                })
+                .collect();
+            let mut expected: Vec<(u32, char)> = lists.iter().flatten().copied().collect();
+            expected.sort_by_key(|x| x.0); // stable: ties keep list order
+            assert_eq!(kway_merge_by_key(lists, |x| x.0), expected);
+        }
+    }
+
+    #[test]
+    fn kway_merge_of_nothing_is_empty() {
+        assert!(kway_merge_by_key(Vec::<Vec<u32>>::new(), |x| *x).is_empty());
+        assert!(kway_merge_by_key(vec![Vec::<u32>::new(); 3], |x| *x).is_empty());
+    }
+
+    #[test]
+    fn merge_matches_map_reference_on_random_inputs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..40 {
+            let mut data: Vec<u16> = (0..rng.gen_range(0..60))
+                .map(|_| rng.gen_range(0..12))
+                .collect();
+            data.sort_unstable();
+            let mut pre: Vec<(u16, u64)> = (0..rng.gen_range(0..20))
+                .map(|_| (rng.gen_range(0..12u16), rng.gen_range(1..5u64)))
+                .collect();
+            pre.sort_unstable();
+            let mut expected: std::collections::BTreeMap<u16, u64> =
+                std::collections::BTreeMap::new();
+            for &d in &data {
+                *expected.entry(d).or_insert(0) += 1;
+            }
+            for &(k, c) in &pre {
+                *expected.entry(k).or_insert(0) += c;
+            }
+            let mut merged: Vec<(u16, u64)> = Vec::new();
+            let mut covered = Vec::new();
+            merge_runs_with_counts(
+                &data,
+                |x| *x,
+                &pre,
+                |k, c, r| {
+                    merged.push((k, c));
+                    covered.extend(r);
+                },
+            );
+            assert_eq!(merged, expected.into_iter().collect::<Vec<_>>());
+            // Every data index is covered exactly once, in order.
+            assert_eq!(covered, (0..data.len()).collect::<Vec<_>>());
+        }
     }
 }

@@ -123,6 +123,30 @@ impl WorkerPool {
         I: Fn() -> S + Sync + Send,
         F: Fn(&mut S, T) -> R + Sync + Send,
     {
+        self.execute_with_scratch(tasks, init, f).0
+    }
+
+    /// Like [`execute_with`](WorkerPool::execute_with), but also hands the per-thread
+    /// scratch values back to the caller after the run. The sort & count stage uses
+    /// this to accumulate per-worker histograms and work counters inside the scratch
+    /// and merge the handful of scratches once at the end, instead of allocating and
+    /// merging one histogram per task.
+    ///
+    /// Results are returned in task order; the scratch order is unspecified (one entry
+    /// per rayon fold segment), so merging scratches must be commutative.
+    pub fn execute_with_scratch<T, S, R, I, F>(
+        &self,
+        tasks: Vec<T>,
+        init: I,
+        f: F,
+    ) -> (Vec<R>, Vec<S>)
+    where
+        T: Send,
+        S: Send,
+        R: Send,
+        I: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) -> R + Sync + Send,
+    {
         let per_thread: Vec<(S, Vec<R>)> = self.pool.install(|| {
             tasks
                 .into_par_iter()
@@ -136,10 +160,12 @@ impl WorkerPool {
                 .collect()
         });
         let mut results = Vec::with_capacity(per_thread.iter().map(|(_, r)| r.len()).sum());
-        for (_, group) in per_thread {
+        let mut scratches = Vec::with_capacity(per_thread.len());
+        for (scratch, group) in per_thread {
             results.extend(group);
+            scratches.push(scratch);
         }
-        results
+        (results, scratches)
     }
 }
 
@@ -229,6 +255,22 @@ mod tests {
         let pool = WorkerPool::new(2, 2);
         let results: Vec<u32> = pool.execute_with(Vec::<u32>::new(), || 0u8, |_, x| x);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn execute_with_scratch_returns_scratches_covering_every_task() {
+        let pool = WorkerPool::new(2, 2);
+        // Each scratch accumulates the tasks it saw; the union over returned scratches
+        // must be exactly the input set, and results must stay in task order.
+        let (results, scratches) =
+            pool.execute_with_scratch((0..200u64).collect(), Vec::new, |seen: &mut Vec<u64>, x| {
+                seen.push(x);
+                x * 3
+            });
+        assert_eq!(results, (0..200u64).map(|x| x * 3).collect::<Vec<_>>());
+        let mut union: Vec<u64> = scratches.into_iter().flatten().collect();
+        union.sort_unstable();
+        assert_eq!(union, (0..200u64).collect::<Vec<_>>());
     }
 
     #[test]
