@@ -215,7 +215,7 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
         off_node_fraction: off_node,
         rounds: rounds_projected,
         overlappable_compute: 0.0,
-        overlap_enabled: false,
+        overlap_fraction: 0.0,
     };
     stages.add("exchange", network.exchange_time(&profile));
     // Bloom insertions (pass 1) + hash-table insertions (pass 2): random-access bound.
@@ -245,6 +245,7 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
         total_wire_bytes: total_wire as u64,
         exchange_rounds: rounds_projected,
         assignment_imbalance: 1.0,
+        overlap_fraction: 0.0,
     };
 
     BaselineResult {

@@ -118,6 +118,7 @@ pub fn kmc3_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         total_wire_bytes: 0,
         exchange_rounds: 0,
         assignment_imbalance: 1.0,
+        overlap_fraction: 0.0,
     };
 
     BaselineResult {

@@ -193,7 +193,7 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
         off_node_fraction: off_node,
         rounds: rounds_projected,
         overlappable_compute: insert_time,
-        overlap_enabled: true,
+        overlap_fraction: 1.0,
     };
     stages.add("exchange+insert", network.exchange_time(&profile));
     // Lack of a task layer: the per-rank alltoall message count grows with the total
@@ -232,6 +232,7 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
         total_wire_bytes: total_wire as u64,
         exchange_rounds: rounds_projected,
         assignment_imbalance: 1.0,
+        overlap_fraction: 1.0,
     };
 
     KmerindOutcome::Completed(Box::new(BaselineResult {

@@ -162,7 +162,7 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         off_node_fraction: off_node,
         rounds: rounds_projected,
         overlappable_compute: 0.0,
-        overlap_enabled: false,
+        overlap_fraction: 0.0,
     };
     stages.add("exchange", network.exchange_time(&profile));
     // GPU processing: PCIe transfer of the receive buffer plus kernel time, per node.
@@ -193,6 +193,7 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         total_wire_bytes: total_wire as u64,
         exchange_rounds: rounds_projected,
         assignment_imbalance: 1.0,
+        overlap_fraction: 0.0,
     };
 
     BaselineResult {

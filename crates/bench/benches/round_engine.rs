@@ -1,0 +1,105 @@
+//! Criterion benchmark of the non-blocking round engine: posting and completing a
+//! multi-round exchange through [`hysortk_dmem::RoundExchange`] against moving the
+//! same bytes through the blocking flat collectives — as the engine primitive, and
+//! end to end through the pipeline in both execution modes (complements
+//! `repro bench-exchange`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hysortk_core::{count_kmers, HySortKConfig};
+use hysortk_dmem::{Cluster, FlatReceived};
+use hysortk_dna::{Kmer1, ReadSet};
+
+/// Deterministic per-(src, dst, round) payload of ~2 KiB.
+fn segment_len(src: usize, dst: usize, round: usize) -> usize {
+    1_500 + (src * 131 + dst * 37 + round * 17) % 1_024
+}
+
+fn bench_engine_primitive(c: &mut Criterion) {
+    let ranks = 4;
+    let rounds = 16;
+
+    let mut group = c.benchmark_group("round_engine");
+    group.sample_size(10);
+    group.bench_function("blocking_alltoallv_flat", |b| {
+        b.iter(|| {
+            Cluster::new(ranks).run(|ctx| {
+                let mut received = 0usize;
+                for r in 0..rounds {
+                    let mut send = Vec::new();
+                    let mut counts = vec![0usize; ctx.size()];
+                    for (dst, count) in counts.iter_mut().enumerate() {
+                        let len = segment_len(ctx.rank(), dst, r);
+                        send.resize(send.len() + len, (r + dst) as u8);
+                        *count = len;
+                    }
+                    let recv = ctx.alltoallv_flat(send, &counts, "bulk");
+                    received += recv.data.len();
+                }
+                received
+            })
+        })
+    });
+    group.bench_function("nonblocking_round_exchange", |b| {
+        b.iter(|| {
+            Cluster::new(ranks).run(|ctx| {
+                let mut engine = ctx.round_exchange(rounds, "engine");
+                let mut recv = FlatReceived::empty();
+                let mut received = 0usize;
+                // Post one round ahead, as the pipeline does.
+                let post = |engine: &mut hysortk_dmem::RoundExchange, r: usize, me: usize| {
+                    let mut send = engine.take_send_buffer();
+                    let mut counts = vec![0usize; ranks];
+                    for (dst, count) in counts.iter_mut().enumerate() {
+                        let len = segment_len(me, dst, r);
+                        send.resize(send.len() + len, (r + dst) as u8);
+                        *count = len;
+                    }
+                    engine.post_round(r, send, &counts);
+                };
+                post(&mut engine, 0, ctx.rank());
+                for r in 0..rounds {
+                    if r + 1 < rounds {
+                        post(&mut engine, r + 1, ctx.rank());
+                    }
+                    engine.wait_round(r, &mut recv);
+                    received += recv.data.len();
+                }
+                engine.finish(ctx);
+                received
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline_modes(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0xE8C4A7);
+    let genome: Vec<u8> = (0..200_000).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+    let seqs: Vec<Vec<u8>> = (0..250)
+        .map(|_| {
+            let start = rng.gen_range(0..genome.len() - 2_000);
+            genome[start..start + 2_000].to_vec()
+        })
+        .collect();
+    let reads = ReadSet::from_ascii_reads(&seqs);
+    let mut cfg = HySortKConfig::small(31, 13, 4);
+    cfg.min_count = 1;
+    cfg.max_count = 1_000_000;
+    cfg.batch_size = 4_096;
+
+    let mut group = c.benchmark_group("round_engine_pipeline");
+    group.sample_size(10);
+    for overlap in [false, true] {
+        let mut cfg = cfg.clone();
+        cfg.overlap = overlap;
+        let name = if overlap { "overlapped" } else { "bulk" };
+        group.bench_function(name, |b| b.iter(|| count_kmers::<Kmer1>(&reads, &cfg)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_primitive, bench_pipeline_modes);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! cargo run -p hysortk-bench --release --bin repro -- bench-sort   # writes BENCH_sort.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-parse  # writes BENCH_parse.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-count  # writes BENCH_count.json
+//! cargo run -p hysortk-bench --release --bin repro -- bench-exchange  # writes BENCH_exchange.json
 //! ```
 
 use hysortk_bench as bench;
@@ -146,6 +147,31 @@ fn bench_count() {
     }
 }
 
+/// Time the end-to-end pipeline with the non-blocking round engine against the
+/// bulk-synchronous exchange on a multi-rank run, then write `BENCH_exchange.json` —
+/// the exchange-stage point on the repo's performance trajectory.
+fn bench_exchange() {
+    eprintln!("[repro] timing overlapped vs bulk exchange, 8 nodes x 16 ppn …");
+    let report = bench::bench_exchange();
+    let json = report.to_json();
+    print!("{json}");
+    println!(
+        "overlapped pipeline on {} ranks ({} projected rounds): {:.2}x modeled \
+         end-to-end speedup over the bulk-synchronous exchange \
+         (overlap fraction {:.2}, wall {:.2}x)",
+        report.ranks,
+        report.rounds_projected,
+        report.overlap_speedup(),
+        report.overlap_fraction,
+        report.wall_speedup()
+    );
+    let path = "BENCH_exchange.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[repro] wrote {path}"),
+        Err(e) => eprintln!("[repro] could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let arg = std::env::args()
         .nth(1)
@@ -159,13 +185,14 @@ fn main() {
             println!("\nrun one with `repro <name>`, `repro bench-sort` for the sort-kernel");
             println!("microbenchmark (writes BENCH_sort.json), `repro bench-parse` for the");
             println!("parse-stage microbenchmark (writes BENCH_parse.json), `repro bench-count`");
-            println!(
-                "for the count-stage microbenchmark (writes BENCH_count.json), or `repro all`"
-            );
+            println!("for the count-stage microbenchmark (writes BENCH_count.json),");
+            println!("`repro bench-exchange` for the overlapped-vs-bulk exchange benchmark");
+            println!("(writes BENCH_exchange.json), or `repro all`");
         }
         "bench-sort" => bench_sort(),
         "bench-parse" => bench_parse(),
         "bench-count" => bench_count(),
+        "bench-exchange" => bench_exchange(),
         "all" => {
             for (name, description, f) in EXPERIMENTS {
                 eprintln!("[repro] running {name} …");

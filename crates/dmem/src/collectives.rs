@@ -9,12 +9,15 @@
 use std::any::Any;
 use std::sync::{Arc, Barrier, Mutex};
 
+use crate::nonblocking::{BoardRegistry, RoundExchange};
 use crate::stats::CommStats;
 
 pub(crate) struct Shared {
     size: usize,
     barrier: Barrier,
     slots: Vec<Mutex<Option<Box<dyn Any + Send>>>>,
+    /// Round boards of in-flight non-blocking exchanges (see [`crate::nonblocking`]).
+    round_boards: BoardRegistry,
 }
 
 impl Shared {
@@ -23,6 +26,7 @@ impl Shared {
             size,
             barrier: Barrier::new(size),
             slots: (0..size).map(|_| Mutex::new(None)).collect(),
+            round_boards: BoardRegistry::default(),
         }
     }
 }
@@ -32,6 +36,9 @@ pub struct RankCtx {
     rank: usize,
     shared: Arc<Shared>,
     stats: CommStats,
+    /// Sequence number of the next non-blocking round exchange this rank opens; the
+    /// SPMD discipline makes the N-th exchange of every rank resolve to one board.
+    nb_seq: u64,
 }
 
 /// Result of a round-limited padded exchange ([`RankCtx::alltoall_rounds`]).
@@ -55,6 +62,17 @@ pub struct FlatReceived<T> {
 }
 
 impl<T> FlatReceived<T> {
+    /// An empty receive buffer, ready to be filled by
+    /// [`RoundExchange::wait_round`](crate::nonblocking::RoundExchange::wait_round).
+    /// Reusing one (or two, double-buffered) across rounds keeps the steady-state
+    /// receive side allocation-free.
+    pub fn empty() -> Self {
+        FlatReceived {
+            data: Vec::new(),
+            displs: vec![0],
+        }
+    }
+
     /// The segment received from `src`.
     pub fn from_rank(&self, src: usize) -> &[T] {
         &self.data[self.displs[src]..self.displs[src + 1]]
@@ -87,11 +105,16 @@ impl RankCtx {
             rank,
             shared,
             stats: CommStats::new(size),
+            nb_seq: 0,
         }
     }
 
     pub(crate) fn into_stats(self) -> CommStats {
         self.stats
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut CommStats {
+        &mut self.stats
     }
 
     /// This rank's id in `0..size`.
@@ -330,6 +353,24 @@ impl RankCtx {
         self.stats
             .record(label, &per_dest, padding, rounds, self.rank, max_pair);
         FlatRoundedExchange { received, rounds }
+    }
+
+    /// Open a non-blocking round exchange of `rounds` rounds (see
+    /// [`crate::nonblocking`]): an `MPI_Ialltoallv`-style handle where each round's
+    /// flat send segments are posted without blocking and completed per round, so
+    /// serialization of the next round and decoding of the previous one proceed while
+    /// a round is in flight.
+    ///
+    /// Every rank must open the exchange with the same `rounds` (agree on it with a
+    /// collective first, e.g. [`RankCtx::allreduce_u64`] over the local round counts),
+    /// post and complete every round exactly once, and close the handle with
+    /// [`RoundExchange::finish`] to record the traffic under `label`.
+    pub fn round_exchange(&mut self, rounds: usize, label: &str) -> RoundExchange {
+        assert!(rounds > 0, "a round exchange needs at least one round");
+        let seq = self.nb_seq;
+        self.nb_seq += 1;
+        let board = self.shared.round_boards.checkout(seq, self.size(), rounds);
+        RoundExchange::new(board, self.rank, label)
     }
 
     /// All-gather a single value from every rank (indexed by rank).

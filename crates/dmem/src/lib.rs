@@ -13,6 +13,13 @@
 //! records its traffic into [`stats::CommStats`], and the `hysortk-perfmodel` crate
 //! converts those measurements into modeled seconds for the scaling experiments.
 //!
+//! Besides the blocking collectives there is the **non-blocking round engine**
+//! ([`nonblocking::RoundExchange`], opened via
+//! [`collectives::RankCtx::round_exchange`]): an `MPI_Ialltoallv`-style handle that
+//! posts one round's flat send segments and immediately regains control, completing
+//! rounds individually — the primitive the overlapped pipeline uses to hide
+//! serialization and counting behind the exchange (paper §3.3.1).
+//!
 //! # Example
 //!
 //! ```
@@ -48,9 +55,11 @@
 //! ```
 
 pub mod collectives;
+pub mod nonblocking;
 pub mod stats;
 
 pub use collectives::{FlatReceived, FlatRoundedExchange, RankCtx, RoundedExchange};
+pub use nonblocking::RoundExchange;
 pub use stats::{CommStats, StageTraffic};
 
 use std::sync::Arc;

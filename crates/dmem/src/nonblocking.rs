@@ -1,0 +1,585 @@
+//! The non-blocking round engine: an `MPI_Ialltoallv`-style exchange in rounds.
+//!
+//! The paper's flexible hybrid communication (§3.3.1) splits the k-mer exchange into
+//! batched rounds and posts each round with a *non-blocking* all-to-all, so the encode
+//! of the next round and the decode of the previous one proceed while a round is in
+//! flight. [`RoundExchange`] is that primitive for the simulated cluster:
+//!
+//! * [`RoundExchange::post_round`] deposits one round's flat send segments on the
+//!   shared round board and **returns immediately** — no barrier, no waiting for the
+//!   other ranks. A rank may have any number of rounds posted but not yet completed.
+//! * [`RoundExchange::try_complete`] polls one round: if every rank has posted it, the
+//!   caller's segments are copied out and the round completes; otherwise the call
+//!   returns `false` without blocking.
+//! * [`RoundExchange::wait_round`] blocks (on a condvar, not a spin) until the round
+//!   can complete, then completes it.
+//!
+//! Completion is **per-round and per-rank**: rank 0 can complete round 0 while rank 1
+//! is still serializing round 2. The engine therefore has no synchronisation points at
+//! all between `begin` and the last `wait_round` — the only ordering it enforces is
+//! the data dependency itself (a round completes once all of its segments exist).
+//!
+//! Buffers are recycled in both directions: a posted send buffer is handed back to its
+//! poster once the last reader has consumed it ([`RoundExchange::take_send_buffer`]),
+//! and receives land in a caller-owned [`FlatReceived`] that is cleared and refilled
+//! per round. In steady state a double-buffered caller allocates nothing per round.
+//!
+//! Traffic accounting matches the blocking collectives: payload bytes per destination
+//! sum over rounds to exactly what one bulk [`RankCtx::alltoallv_flat`] of the same
+//! data records (asserted by a unit test below), padding regularises every round to
+//! equal-size per-destination messages, and the new *max in-flight bytes* statistic
+//! records the largest volume a rank ever had posted-but-not-completed at once.
+//!
+//! [`RankCtx::alltoallv_flat`]: crate::collectives::RankCtx::alltoallv_flat
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::collectives::FlatReceived;
+use crate::stats::CommStats;
+
+/// One rank's posted buffer for one round.
+struct Posted {
+    data: Vec<u8>,
+    displs: Vec<usize>,
+}
+
+/// One (round, source) cell of the round board.
+struct RoundSlot {
+    data: Mutex<Option<Posted>>,
+    /// Ranks that still have to read this slot; the last reader recycles the buffer.
+    readers_left: AtomicUsize,
+}
+
+/// The shared state of one in-flight exchange: `rounds × ranks` slots plus the posted
+/// counters the waiters sleep on.
+pub(crate) struct RoundBoard {
+    ranks: usize,
+    rounds: usize,
+    /// How many ranks have posted each round; guarded by one mutex so waiters can
+    /// sleep on `cv` instead of spinning.
+    posted: Mutex<Vec<usize>>,
+    cv: Condvar,
+    slots: Vec<Vec<RoundSlot>>,
+    /// Fully-consumed send buffers, returned to their poster for reuse.
+    spent: Vec<Mutex<Vec<Vec<u8>>>>,
+}
+
+impl RoundBoard {
+    fn new(ranks: usize, rounds: usize) -> Self {
+        RoundBoard {
+            ranks,
+            rounds,
+            posted: Mutex::new(vec![0; rounds]),
+            cv: Condvar::new(),
+            slots: (0..rounds)
+                .map(|_| {
+                    (0..ranks)
+                        .map(|_| RoundSlot {
+                            data: Mutex::new(None),
+                            readers_left: AtomicUsize::new(ranks),
+                        })
+                        .collect()
+                })
+                .collect(),
+            spent: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+/// Process-wide registry of round boards, held by the cluster's `Shared` state. Boards
+/// are keyed by the per-rank exchange sequence number: every rank opens its exchanges
+/// in the same SPMD order, so the N-th [`RankCtx::round_exchange`] call of every rank
+/// resolves to the same board without any synchronisation round-trip.
+///
+/// [`RankCtx::round_exchange`]: crate::collectives::RankCtx::round_exchange
+#[derive(Default)]
+pub(crate) struct BoardRegistry {
+    boards: Mutex<HashMap<u64, (Arc<RoundBoard>, usize)>>,
+}
+
+impl BoardRegistry {
+    /// Resolve (or create) the board for exchange `seq`. The last of the `ranks`
+    /// participants to resolve it removes the registry entry — the `Arc` keeps the
+    /// board alive for everyone who already holds it.
+    pub(crate) fn checkout(&self, seq: u64, ranks: usize, rounds: usize) -> Arc<RoundBoard> {
+        let mut boards = self.boards.lock().expect("round board registry poisoned");
+        let entry = boards
+            .entry(seq)
+            .or_insert_with(|| (Arc::new(RoundBoard::new(ranks, rounds)), 0));
+        let board = Arc::clone(&entry.0);
+        assert_eq!(
+            (board.ranks, board.rounds),
+            (ranks, rounds),
+            "round exchange mismatch: ranks disagree on the shape of exchange {seq}"
+        );
+        entry.1 += 1;
+        if entry.1 == ranks {
+            boards.remove(&seq);
+        }
+        board
+    }
+}
+
+/// A handle on one in-flight round exchange; created by
+/// [`RankCtx::round_exchange`](crate::collectives::RankCtx::round_exchange).
+///
+/// The caller must post and complete every round exactly once, then call
+/// [`RoundExchange::finish`] to record the traffic. Rounds may be posted ahead and
+/// completed out of order; the engine never blocks except in
+/// [`RoundExchange::wait_round`].
+pub struct RoundExchange {
+    board: Arc<RoundBoard>,
+    rank: usize,
+    label: String,
+    posted: Vec<bool>,
+    completed: Vec<bool>,
+    /// Own wire bytes (payload + padding) of each posted round, for the in-flight peak.
+    round_wire: Vec<u64>,
+    per_dest: Vec<u64>,
+    padding: u64,
+    max_pair: u64,
+    inflight: u64,
+    max_inflight: u64,
+}
+
+impl RoundExchange {
+    pub(crate) fn new(board: Arc<RoundBoard>, rank: usize, label: &str) -> Self {
+        let rounds = board.rounds;
+        let ranks = board.ranks;
+        RoundExchange {
+            board,
+            rank,
+            label: label.to_string(),
+            posted: vec![false; rounds],
+            completed: vec![false; rounds],
+            round_wire: vec![0; rounds],
+            per_dest: vec![0; ranks],
+            padding: 0,
+            max_pair: 0,
+            inflight: 0,
+            max_inflight: 0,
+        }
+    }
+
+    /// Number of rounds of this exchange (globally agreed at creation).
+    pub fn rounds(&self) -> usize {
+        self.board.rounds
+    }
+
+    /// Pop a recycled send buffer (cleared, capacity preserved) if a previously posted
+    /// round has been fully consumed by every rank, or a fresh empty one otherwise.
+    /// Serializing each round into a buffer obtained here makes the steady-state send
+    /// side allocation-free: two buffers circulate through post → consume → reuse.
+    pub fn take_send_buffer(&self) -> Vec<u8> {
+        let mut spent = self.board.spent[self.rank].lock().expect("spent poisoned");
+        match spent.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Post round `round`: segment `dst` of `send` is `send[displs[dst]..displs[dst+1]]`
+    /// with `displs` derived from `counts`. Returns immediately; the data moves when the
+    /// receivers complete the round. Each `(round, destination)` message is accounted
+    /// padded to the round's largest segment, mirroring the regularised batches of the
+    /// blocking rounds exchange.
+    pub fn post_round(&mut self, round: usize, send: Vec<u8>, counts: &[usize]) {
+        assert!(round < self.board.rounds, "round {round} out of range");
+        assert!(!self.posted[round], "round {round} posted twice");
+        assert_eq!(
+            counts.len(),
+            self.board.ranks,
+            "one count per destination required"
+        );
+        let mut displs = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0usize;
+        displs.push(0);
+        for &c in counts {
+            acc += c;
+            displs.push(acc);
+        }
+        assert_eq!(acc, send.len(), "counts must sum to the send buffer length");
+
+        // Accounting: per-destination payload, padding up to the round's local maximum
+        // segment, the largest single padded pair message, and the in-flight peak.
+        let pad_to = counts
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.rank)
+            .map(|(_, &c)| c as u64)
+            .max()
+            .unwrap_or(0);
+        let mut wire = 0u64;
+        for (dst, &c) in counts.iter().enumerate() {
+            self.per_dest[dst] += c as u64;
+            if dst != self.rank {
+                self.padding += pad_to - c as u64;
+                wire += pad_to;
+            }
+        }
+        self.max_pair = self.max_pair.max(pad_to);
+        self.round_wire[round] = wire;
+        self.inflight += wire;
+        self.max_inflight = self.max_inflight.max(self.inflight);
+        self.posted[round] = true;
+
+        {
+            let mut slot = self.board.slots[round][self.rank]
+                .data
+                .lock()
+                .expect("round slot poisoned");
+            debug_assert!(slot.is_none(), "round slot already occupied");
+            *slot = Some(Posted { data: send, displs });
+        }
+        let mut posted = self.board.posted.lock().expect("round board poisoned");
+        posted[round] += 1;
+        self.board.cv.notify_all();
+    }
+
+    /// Copy this rank's segments of `round` out of every poster's buffer into `into`.
+    /// Caller guarantees every rank has posted the round.
+    fn read_round(&mut self, round: usize, into: &mut FlatReceived<u8>) {
+        into.data.clear();
+        into.displs.clear();
+        into.displs.push(0);
+        for src in 0..self.board.ranks {
+            let slot = &self.board.slots[round][src];
+            {
+                let guard = slot.data.lock().expect("round slot poisoned");
+                let posted = guard.as_ref().expect("round completed before all posts");
+                into.data.extend_from_slice(
+                    &posted.data[posted.displs[self.rank]..posted.displs[self.rank + 1]],
+                );
+            }
+            into.displs.push(into.data.len());
+            if slot.readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last reader: hand the spent buffer back to its poster for reuse.
+                let mut guard = slot.data.lock().expect("round slot poisoned");
+                if let Some(posted) = guard.take() {
+                    self.board.spent[src]
+                        .lock()
+                        .expect("spent poisoned")
+                        .push(posted.data);
+                }
+            }
+        }
+        self.inflight -= self.round_wire[round];
+        self.completed[round] = true;
+    }
+
+    /// Complete `round` if every rank has posted it, filling `into` (cleared first)
+    /// with the received segments in source-rank order. Returns `false` — without
+    /// blocking — when some rank has not posted the round yet.
+    pub fn try_complete(&mut self, round: usize, into: &mut FlatReceived<u8>) -> bool {
+        assert!(round < self.board.rounds, "round {round} out of range");
+        assert!(!self.completed[round], "round {round} completed twice");
+        {
+            let posted = self.board.posted.lock().expect("round board poisoned");
+            if posted[round] < self.board.ranks {
+                return false;
+            }
+        }
+        self.read_round(round, into);
+        true
+    }
+
+    /// Block until `round` can complete, then complete it into `into` (cleared first).
+    pub fn wait_round(&mut self, round: usize, into: &mut FlatReceived<u8>) {
+        assert!(round < self.board.rounds, "round {round} out of range");
+        assert!(!self.completed[round], "round {round} completed twice");
+        {
+            let mut posted = self.board.posted.lock().expect("round board poisoned");
+            while posted[round] < self.board.ranks {
+                posted = self
+                    .board
+                    .cv
+                    .wait(posted)
+                    .expect("round board wait poisoned");
+            }
+        }
+        self.read_round(round, into);
+    }
+
+    /// Close the exchange and record its traffic into the rank's statistics under this
+    /// exchange's label: the summed per-destination payload, the padding, the round
+    /// count, the largest padded pair message and the in-flight peak.
+    pub fn finish(self, ctx: &mut crate::collectives::RankCtx) {
+        self.finish_into(ctx.stats_mut());
+    }
+
+    fn finish_into(self, stats: &mut CommStats) {
+        assert!(
+            self.posted.iter().all(|&p| p) && self.completed.iter().all(|&c| c),
+            "round exchange finished with unposted or uncompleted rounds"
+        );
+        stats.record_with_inflight(
+            &self.label,
+            &self.per_dest,
+            self.padding,
+            self.board.rounds,
+            self.rank,
+            self.max_pair,
+            self.max_inflight,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cluster, FlatReceived};
+
+    /// Deterministic per-(src, dst, round) payload.
+    fn segment(src: usize, dst: usize, round: usize) -> Vec<u8> {
+        let len = (src * 7 + dst * 3 + round * 5) % 13;
+        (0..len)
+            .map(|i| (src * 100 + dst * 10 + round + i) as u8)
+            .collect()
+    }
+
+    fn round_send(p: usize, src: usize, round: usize) -> (Vec<u8>, Vec<usize>) {
+        let mut buf = Vec::new();
+        let mut counts = Vec::with_capacity(p);
+        for dst in 0..p {
+            let seg = segment(src, dst, round);
+            counts.push(seg.len());
+            buf.extend_from_slice(&seg);
+        }
+        (buf, counts)
+    }
+
+    #[test]
+    fn rounds_deliver_the_same_bytes_as_one_bulk_exchange() {
+        for p in [1usize, 2, 5] {
+            let rounds = 4;
+            let run = Cluster::new(p).run(|ctx| {
+                let mut engine = ctx.round_exchange(rounds, "engine");
+                let mut recv = FlatReceived::empty();
+                let mut got: Vec<Vec<Vec<u8>>> = Vec::new();
+                for r in 0..rounds {
+                    let (buf, counts) = round_send(ctx.size(), ctx.rank(), r);
+                    engine.post_round(r, buf, &counts);
+                    engine.wait_round(r, &mut recv);
+                    got.push(
+                        (0..ctx.size())
+                            .map(|src| recv.from_rank(src).to_vec())
+                            .collect(),
+                    );
+                }
+                engine.finish(ctx);
+                got
+            });
+            for (dst, per_round) in run.results.iter().enumerate() {
+                for (r, per_src) in per_round.iter().enumerate() {
+                    for (src, bytes) in per_src.iter().enumerate() {
+                        assert_eq!(bytes, &segment(src, dst, r), "p={p} r={r} {src}->{dst}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn posting_ahead_and_out_of_order_completion_work() {
+        // Every rank posts all rounds up front, then completes them newest-first.
+        let p = 4;
+        let rounds = 3;
+        let run = Cluster::new(p).run(|ctx| {
+            let mut engine = ctx.round_exchange(rounds, "engine");
+            for r in 0..rounds {
+                let (buf, counts) = round_send(ctx.size(), ctx.rank(), r);
+                engine.post_round(r, buf, &counts);
+            }
+            let mut recv = FlatReceived::empty();
+            let mut ok = true;
+            for r in (0..rounds).rev() {
+                engine.wait_round(r, &mut recv);
+                for src in 0..ctx.size() {
+                    ok &= recv.from_rank(src) == segment(src, ctx.rank(), r);
+                }
+            }
+            engine.finish(ctx);
+            ok
+        });
+        assert!(run.results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn try_complete_does_not_block_and_eventually_succeeds() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        // Rank 1 withholds its round-0 post until rank 0 has already polled the round
+        // once, so rank 0 provably observes an incomplete round without blocking, then
+        // completes it on a later poll.
+        let p = 2;
+        let rank0_polled = AtomicBool::new(false);
+        let run = Cluster::new(p).run(|ctx| {
+            let mut engine = ctx.round_exchange(1, "engine");
+            let mut recv = FlatReceived::empty();
+            let (buf, counts) = round_send(p, ctx.rank(), 0);
+            if ctx.rank() == 0 {
+                engine.post_round(0, buf, &counts);
+                let first_poll = engine.try_complete(0, &mut recv);
+                rank0_polled.store(true, Ordering::Release);
+                while !engine.try_complete(0, &mut recv) {
+                    std::thread::yield_now();
+                }
+                engine.finish(ctx);
+                first_poll
+            } else {
+                while !rank0_polled.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                engine.post_round(0, buf, &counts);
+                engine.wait_round(0, &mut recv);
+                engine.finish(ctx);
+                false
+            }
+        });
+        assert!(!run.results[0], "first poll must see an incomplete round");
+    }
+
+    #[test]
+    fn payload_conserved_against_bulk_and_padding_regularises_rounds() {
+        // The summed per-round payload must equal the payload of one bulk
+        // alltoallv_flat of the concatenated data — the conservation law the
+        // round engine's accounting promises.
+        let p = 4;
+        let rounds = 3;
+        let run = Cluster::new(p).run(|ctx| {
+            let mut engine = ctx.round_exchange(rounds, "engine");
+            let mut recv = FlatReceived::empty();
+            for r in 0..rounds {
+                let (buf, counts) = round_send(ctx.size(), ctx.rank(), r);
+                engine.post_round(r, buf, &counts);
+                engine.wait_round(r, &mut recv);
+            }
+            engine.finish(ctx);
+
+            // The same data in one bulk flat exchange.
+            let mut bulk = Vec::new();
+            let mut counts = vec![0usize; ctx.size()];
+            for (dst, count) in counts.iter_mut().enumerate() {
+                for r in 0..rounds {
+                    let seg = segment(ctx.rank(), dst, r);
+                    *count += seg.len();
+                    bulk.extend_from_slice(&seg);
+                }
+            }
+            let _ = ctx.alltoallv_flat(bulk, &counts, "bulk");
+
+            let engine_stats = ctx.comm_stats().stage("engine").unwrap().clone();
+            let bulk_stats = ctx.comm_stats().stage("bulk").unwrap().clone();
+            (engine_stats, bulk_stats)
+        });
+        for (engine, bulk) in run.results {
+            assert_eq!(engine.payload_bytes, bulk.payload_bytes, "conservation");
+            assert_eq!(engine.rounds, rounds);
+            assert!(engine.padding_bytes > 0, "irregular segments must pad");
+            assert!(engine.max_inflight_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn inflight_peak_counts_posted_but_uncompleted_rounds() {
+        // Posting both rounds before completing either must peak at the sum of both
+        // rounds' wire volumes; after completion the exchange records that peak.
+        let p = 2;
+        let run = Cluster::new(p).run(|ctx| {
+            let mut engine = ctx.round_exchange(2, "engine");
+            // 8 bytes to the peer per round → wire 8/round, peak 16.
+            let (me, peer) = (ctx.rank(), 1 - ctx.rank());
+            let mut counts = vec![0usize; 2];
+            counts[peer] = 8;
+            counts[me] = 0;
+            let buf = vec![me as u8; 8];
+            let mut send0 = Vec::new();
+            let mut send1 = Vec::new();
+            for dst in 0..2 {
+                if dst == peer {
+                    send0.extend_from_slice(&buf);
+                    send1.extend_from_slice(&buf);
+                }
+            }
+            engine.post_round(0, send0, &counts);
+            engine.post_round(1, send1, &counts);
+            let mut recv = FlatReceived::empty();
+            engine.wait_round(0, &mut recv);
+            engine.wait_round(1, &mut recv);
+            engine.finish(ctx);
+            ctx.comm_stats().stage("engine").unwrap().max_inflight_bytes
+        });
+        assert_eq!(run.results, vec![16, 16]);
+    }
+
+    #[test]
+    fn send_buffers_are_recycled_to_their_poster() {
+        let p = 3;
+        let run = Cluster::new(p).run(|ctx| {
+            let mut engine = ctx.round_exchange(2, "engine");
+            let mut recv = FlatReceived::empty();
+            let (buf, counts) = round_send(p, ctx.rank(), 0);
+            let round0_capacity = {
+                let mut owned = engine.take_send_buffer();
+                owned.extend_from_slice(&buf);
+                let cap = owned.capacity();
+                engine.post_round(0, owned, &counts);
+                cap
+            };
+            engine.wait_round(0, &mut recv);
+            // Round 0 is complete on this rank, but reclaim needs *every* rank to have
+            // read our buffer; poll until it comes back.
+            let mut reused = engine.take_send_buffer();
+            while reused.capacity() == 0 {
+                std::thread::yield_now();
+                reused = engine.take_send_buffer();
+            }
+            let got_back = reused.capacity() >= round0_capacity && reused.is_empty();
+            let (buf, counts) = round_send(p, ctx.rank(), 1);
+            reused.extend_from_slice(&buf);
+            engine.post_round(1, reused, &counts);
+            engine.wait_round(1, &mut recv);
+            engine.finish(ctx);
+            got_back
+        });
+        assert!(run.results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn successive_exchanges_reuse_fresh_boards() {
+        // Two engines back to back: sequence numbers must isolate them.
+        let p = 3;
+        let run = Cluster::new(p).run(|ctx| {
+            let mut total = 0usize;
+            for gen in 0..3u8 {
+                let mut engine = ctx.round_exchange(1, "loop");
+                let send = vec![gen; ctx.size()];
+                let counts = vec![1usize; ctx.size()];
+                engine.post_round(0, send, &counts);
+                let mut recv = FlatReceived::empty();
+                engine.wait_round(0, &mut recv);
+                for src in 0..ctx.size() {
+                    assert_eq!(recv.from_rank(src), &[gen]);
+                }
+                engine.finish(ctx);
+                total += 1;
+            }
+            total
+        });
+        assert_eq!(run.results, vec![3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "posted twice")]
+    fn double_post_panics() {
+        use super::{BoardRegistry, RoundExchange};
+        let board = BoardRegistry::default().checkout(0, 1, 1);
+        let mut engine = RoundExchange::new(board, 0, "bad");
+        engine.post_round(0, Vec::new(), &[0]);
+        engine.post_round(0, Vec::new(), &[0]);
+    }
+}

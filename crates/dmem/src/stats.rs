@@ -22,6 +22,10 @@ pub struct CommStats {
     pub sent_to: Vec<u64>,
     /// Largest (payload + padding) sent to a single destination in any single round.
     pub max_round_pair_bytes: u64,
+    /// Largest volume this rank ever had posted-but-not-completed at once (non-blocking
+    /// round engine only; the bulk-synchronous collectives complete before returning and
+    /// record zero here).
+    pub max_inflight_bytes: u64,
     /// Per-stage traffic, keyed by the label passed to the collective.
     pub stages: Vec<StageTraffic>,
 }
@@ -37,6 +41,9 @@ pub struct StageTraffic {
     pub padding_bytes: u64,
     /// Rounds under this label.
     pub rounds: usize,
+    /// Largest concurrently in-flight volume under this label (see
+    /// [`CommStats::max_inflight_bytes`]).
+    pub max_inflight_bytes: u64,
 }
 
 impl CommStats {
@@ -56,6 +63,28 @@ impl CommStats {
         self_rank: usize,
         max_pair: u64,
     ) {
+        self.record_with_inflight(
+            label,
+            per_dest_payload,
+            padding,
+            rounds,
+            self_rank,
+            max_pair,
+            0,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_with_inflight(
+        &mut self,
+        label: &str,
+        per_dest_payload: &[u64],
+        padding: u64,
+        rounds: usize,
+        self_rank: usize,
+        max_pair: u64,
+        max_inflight: u64,
+    ) {
         self.collectives += 1;
         self.rounds += rounds;
         self.padding_bytes += padding;
@@ -68,18 +97,21 @@ impl CommStats {
         }
         self.payload_bytes += payload;
         self.max_round_pair_bytes = self.max_round_pair_bytes.max(max_pair);
+        self.max_inflight_bytes = self.max_inflight_bytes.max(max_inflight);
 
         match self.stages.iter_mut().find(|s| s.label == label) {
             Some(stage) => {
                 stage.payload_bytes += payload;
                 stage.padding_bytes += padding;
                 stage.rounds += rounds;
+                stage.max_inflight_bytes = stage.max_inflight_bytes.max(max_inflight);
             }
             None => self.stages.push(StageTraffic {
                 label: label.to_string(),
                 payload_bytes: payload,
                 padding_bytes: padding,
                 rounds,
+                max_inflight_bytes: max_inflight,
             }),
         }
     }
@@ -104,6 +136,7 @@ impl CommStats {
             out.payload_bytes += s.payload_bytes;
             out.padding_bytes += s.padding_bytes;
             out.max_round_pair_bytes = out.max_round_pair_bytes.max(s.max_round_pair_bytes);
+            out.max_inflight_bytes = out.max_inflight_bytes.max(s.max_inflight_bytes);
             if out.sent_to.len() < s.sent_to.len() {
                 out.sent_to.resize(s.sent_to.len(), 0);
             }
@@ -116,6 +149,7 @@ impl CommStats {
                         t.payload_bytes += stage.payload_bytes;
                         t.padding_bytes += stage.padding_bytes;
                         t.rounds = t.rounds.max(stage.rounds);
+                        t.max_inflight_bytes = t.max_inflight_bytes.max(stage.max_inflight_bytes);
                     }
                     None => out.stages.push(stage.clone()),
                 }
@@ -177,6 +211,24 @@ mod tests {
         assert_eq!(total.max_round_pair_bytes, 100);
         assert_eq!(total.rounds, 3);
         assert_eq!(total.stage("s").unwrap().payload_bytes, 150);
+    }
+
+    #[test]
+    fn inflight_peaks_max_per_stage_and_in_aggregate() {
+        let mut a = CommStats::new(2);
+        a.record_with_inflight("ex", &[0, 100], 0, 2, 0, 100, 300);
+        a.record_with_inflight("ex", &[0, 50], 0, 1, 0, 50, 120);
+        a.record("other", &[0, 10], 0, 1, 0, 10);
+        assert_eq!(a.max_inflight_bytes, 300);
+        assert_eq!(a.stage("ex").unwrap().max_inflight_bytes, 300);
+        assert_eq!(a.stage("other").unwrap().max_inflight_bytes, 0);
+
+        let mut b = CommStats::new(2);
+        b.record_with_inflight("ex", &[70, 0], 0, 3, 1, 70, 450);
+        let total = CommStats::aggregate(&[a, b]);
+        assert_eq!(total.max_inflight_bytes, 450);
+        assert_eq!(total.stage("ex").unwrap().max_inflight_bytes, 450);
+        assert_eq!(total.stage("ex").unwrap().rounds, 3);
     }
 
     #[test]

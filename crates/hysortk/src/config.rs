@@ -52,6 +52,15 @@ pub struct HySortKConfig {
     /// `with_extension` is set (see [`HySortKConfig::with_extension`]).
     pub heavy_hitter: HeavyHitterPolicy,
     /// Overlap communication with encode/decode computation (§3.3.1).
+    ///
+    /// This flag selects the **execution mode**, not just a modeling term: `true` runs
+    /// the exchange through the non-blocking round engine (task-granular batched
+    /// rounds; serialization of round *r+1* and counting of round *r−1* proceed while
+    /// round *r* is in flight — see `hysortk_core::overlap`), `false` runs the
+    /// bulk-synchronous path (serialise everything, one blocking padded all-to-all,
+    /// then count). The two modes are byte-identical in output; the performance model
+    /// receives the overlap fraction the round loop *measured* rather than a
+    /// projection from this flag.
     pub overlap: bool,
     /// Machine model used for the time/memory projection.
     pub machine: MachineConfig,
@@ -164,6 +173,13 @@ impl HySortKConfig {
         if self.nodes == 0 || self.processes_per_node == 0 {
             return Err("nodes and processes_per_node must be positive".to_string());
         }
+        if self.overlap && self.batch_size == 0 {
+            return Err(
+                "overlap requires a positive batch_size: the round engine packs tasks into \
+                 batched rounds and a zero batch degenerates to one task per round forever"
+                    .to_string(),
+            );
+        }
         if self.batch_size == 0 {
             return Err("batch_size must be positive".to_string());
         }
@@ -211,6 +227,21 @@ mod tests {
         assert_eq!(with_layer, 2 * 16 * 2 * 3); // ranks × workers × tpw
         cfg.use_task_layer = false;
         assert_eq!(cfg.num_tasks(), 32);
+    }
+
+    #[test]
+    fn overlap_config_contract_rejects_degenerate_combos() {
+        // The overlap flag changes execution, so its degenerate combinations must be
+        // rejected with a message naming the overlap contract, while the same combo
+        // without overlap falls back to the general batch-size error.
+        let mut cfg = HySortKConfig::default();
+        assert!(cfg.overlap, "paper default runs overlapped");
+        cfg.batch_size = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("overlap"), "unexpected error: {err}");
+        cfg.overlap = false;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("batch_size must be positive"));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! that the baselines, the ELBA integration and the benchmark harness can reuse them.
 
 pub mod config;
+pub mod overlap;
 pub mod pipeline;
 pub mod reference;
 pub mod result;

@@ -1,0 +1,272 @@
+//! The overlapped exchange driver: batched rounds over the non-blocking round engine.
+//!
+//! This module is the execution of the paper's flexible hybrid communication (§3.3):
+//! instead of serialising everything, running one bulk-synchronous all-to-all and then
+//! counting (each stage a barrier), the exchange is split into **batched rounds** and
+//! driven through [`hysortk_dmem::RoundExchange`] so that at any moment three rounds
+//! are active per rank:
+//!
+//! ```text
+//!   serialize round r+1 ──► back send buffer (recycled)
+//!   round r ───────────────► posted, in flight on the round board
+//!   count round r−1 ───────► BlockIndexBuilder + count_task on the worker pool
+//! ```
+//!
+//! Rounds are **task-granular**: [`plan_rounds`] packs whole tasks into rounds from
+//! the globally-reduced task sizes, so every rank derives the identical task → round
+//! mapping without further communication, and a task's blocks are complete the moment
+//! its round is. That is what lets counting start after every completed round instead
+//! of after the whole exchange — the worker pool is never idle while bytes move.
+//!
+//! The driver measures how much serialize/count work actually proceeded while a round
+//! was in flight (*hidden* bytes) versus the work at the pipeline's ends that nothing
+//! could hide — round 0's serialization and the last round's count (*exposed* bytes).
+//! The pipeline feeds that measured overlap fraction into the performance model,
+//! replacing the old projected on/off overlap term; being a byte counter rather than a
+//! wall-clock sample, it is deterministic and projects to full scale like the other
+//! traffic counters.
+//!
+//! Because tasks are serialised by the same [`SendSerializer`](crate::pipeline) in
+//! both modes and the per-task record multisets are order-insensitive under stage 3's
+//! sort, the overlapped pipeline is **byte-identical** to the bulk-synchronous path —
+//! pinned by the property suite in `tests/`.
+
+use hysortk_dmem::{FlatReceived, RankCtx};
+use hysortk_dna::kmer::KmerCode;
+use hysortk_task::{ScratchBank, WorkerPool};
+
+use crate::pipeline::SendSerializer;
+use crate::stage3::{self, BlockIndexBuilder, CountParams, CountScratch, Stage3Output, TaskCounts};
+
+/// The task → round packing of one exchange, identical on every rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundPlan {
+    /// For every destination rank, its assigned tasks grouped into rounds (in task-list
+    /// order; every task appears exactly once, in exactly one round).
+    pub per_dest: Vec<Vec<Vec<usize>>>,
+    /// Rounds the plan needs: the maximum over destinations. Because the inputs
+    /// (assignment, all-reduced global task sizes, budget) are identical on every
+    /// rank, this is already the globally agreed round count — no further collective
+    /// is required.
+    pub local_rounds: usize,
+}
+
+/// Pack each destination's task list into rounds of at most `round_budget` *global*
+/// records (the sum of the task's size over all ranks, from the task-size all-reduce),
+/// always placing at least one task per round. Deterministic given the assignment and
+/// the global sizes, so every rank computes the same plan locally.
+pub fn plan_rounds(tasks_of: &[Vec<usize>], global_sizes: &[u64], round_budget: u64) -> RoundPlan {
+    let budget = round_budget.max(1);
+    let mut per_dest = Vec::with_capacity(tasks_of.len());
+    let mut local_rounds = 0usize;
+    for tasks in tasks_of {
+        let mut rounds: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut load = 0u64;
+        for &t in tasks {
+            let size = global_sizes[t];
+            if !current.is_empty() && load + size > budget {
+                rounds.push(std::mem::take(&mut current));
+                load = 0;
+            }
+            current.push(t);
+            load += size;
+        }
+        if !current.is_empty() {
+            rounds.push(current);
+        }
+        local_rounds = local_rounds.max(rounds.len());
+        per_dest.push(rounds);
+    }
+    RoundPlan {
+        per_dest,
+        local_rounds,
+    }
+}
+
+/// What the overlapped exchange hands back to the pipeline.
+pub(crate) struct OverlapRun<K: KmerCode> {
+    /// The counted tasks of this rank, accumulated round by round.
+    pub out: Stage3Output<K>,
+    /// Per-task record totals (for the worker-makespan counter).
+    pub task_sizes: Vec<u64>,
+    /// Globally agreed round count of the exchange.
+    pub rounds: usize,
+    /// Bytes serialized or counted while a round was in flight (hidden work).
+    pub hidden_bytes: u64,
+    /// Bytes serialized or counted with nothing in flight: round 0's serialization
+    /// and the last round's count (the pipeline's unavoidable fill and drain).
+    pub exposed_bytes: u64,
+}
+
+/// Run stages 2 and 3 overlapped: plan task-granular rounds (the plan — and hence the
+/// round count — is identical on every rank by construction), then pipeline
+/// serialize → post → count over the non-blocking round engine, double-buffering both
+/// the send side (recycled engine buffers) and the receive side (two alternating
+/// [`FlatReceived`]s).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exchange_and_count<K: KmerCode>(
+    ctx: &mut RankCtx,
+    ser: &mut SendSerializer<'_, K>,
+    tasks_of: &[Vec<usize>],
+    global_sizes: &[u64],
+    round_budget: u64,
+    k: usize,
+    params: &CountParams,
+    pool: &WorkerPool,
+) -> OverlapRun<K> {
+    let p = ctx.size();
+    let plan = plan_rounds(tasks_of, global_sizes, round_budget);
+    // The plan derives from globally identical inputs (the assignment, the all-reduced
+    // task sizes, the configured budget), so every rank already holds the same round
+    // count — no sizing collective is needed, and the path stays free of
+    // synchronisation points until the first data dependency. Should a future change
+    // ever let plans diverge, the round board's shape assertion fails loudly.
+    let rounds = plan.local_rounds.max(1);
+    let mut engine = ctx.round_exchange(rounds, "exchange");
+
+    // Serialize one round destination-major into a (recycled) flat buffer; `counts`
+    // is the caller's reused per-destination scratch.
+    let serialize_round = |ser: &mut SendSerializer<'_, K>,
+                           engine: &hysortk_dmem::RoundExchange,
+                           r: usize,
+                           counts: &mut Vec<usize>|
+     -> Vec<u8> {
+        let mut buf = engine.take_send_buffer();
+        counts.clear();
+        counts.resize(p, 0);
+        for (dest, count) in counts.iter_mut().enumerate() {
+            let start = buf.len();
+            if let Some(tasks) = plan.per_dest[dest].get(r) {
+                for &t in tasks {
+                    ser.serialize_task(t, &mut buf);
+                }
+            }
+            *count = buf.len() - start;
+        }
+        buf
+    };
+
+    // Count one completed round: index its segments (cheap header walk), then fuse
+    // decode→sort→count per task on the pool, with scratches persisting across rounds
+    // through the bank.
+    let bank: ScratchBank<CountScratch<K>> = ScratchBank::new();
+    let mut all_tasks: Vec<TaskCounts<K>> = Vec::new();
+    let mut task_sizes: Vec<u64> = Vec::new();
+    let count_round =
+        |recv: &FlatReceived<u8>, all_tasks: &mut Vec<TaskCounts<K>>, task_sizes: &mut Vec<u64>| {
+            let mut builder = BlockIndexBuilder::<K>::new();
+            for src in 0..p {
+                builder
+                    .add_segment(recv.from_rank(src), k)
+                    .expect("exchange produced a malformed stream");
+            }
+            let index = builder.finish();
+            task_sizes.extend(index.task_sizes());
+            let counted = pool.execute_with_bank(
+                index.slots.iter().collect(),
+                &bank,
+                || CountScratch::new(params.max_count),
+                |scratch, slot| stage3::count_task(slot, k, params, scratch),
+            );
+            all_tasks.extend(counted);
+        };
+
+    let mut hidden_bytes = 0u64;
+    let mut exposed_bytes = 0u64;
+    // `current` receives the round being completed; `previous` holds the last
+    // completed round while its tasks are counted. Two byte buffers circulate on each
+    // side (sends recycle through the engine), so the steady-state loop reuses its
+    // buffers instead of allocating them per round.
+    let mut current = FlatReceived::empty();
+    let mut previous = FlatReceived::empty();
+    let mut counts: Vec<usize> = Vec::with_capacity(p);
+
+    // Round 0 is serialised with nothing in flight: unavoidably exposed pipeline fill.
+    let buf = serialize_round(ser, &engine, 0, &mut counts);
+    exposed_bytes += buf.len() as u64;
+    engine.post_round(0, buf, &counts);
+    for r in 0..rounds {
+        // Serialize round r+1 into a recycled back buffer while round r is in flight.
+        if r + 1 < rounds {
+            let buf = serialize_round(ser, &engine, r + 1, &mut counts);
+            hidden_bytes += buf.len() as u64;
+            engine.post_round(r + 1, buf, &counts);
+        }
+        // Count round r−1's tasks on the pool while round r is in flight.
+        if r >= 1 {
+            hidden_bytes += previous.data.len() as u64;
+            count_round(&previous, &mut all_tasks, &mut task_sizes);
+        }
+        // Complete round r (blocks only if some rank has not posted it yet).
+        engine.wait_round(r, &mut current);
+        std::mem::swap(&mut current, &mut previous);
+    }
+    // The last round completes with nothing left in flight: exposed pipeline drain.
+    exposed_bytes += previous.data.len() as u64;
+    count_round(&previous, &mut all_tasks, &mut task_sizes);
+    engine.finish(ctx);
+
+    let out = Stage3Output::assemble(all_tasks, bank.into_scratches(), params.max_count);
+    OverlapRun {
+        out,
+        task_sizes,
+        rounds,
+        hidden_bytes,
+        exposed_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_every_task_exactly_once_and_respects_the_budget() {
+        let tasks_of = vec![vec![0usize, 1, 2, 3], vec![4, 5], vec![]];
+        let sizes = vec![10u64, 90, 40, 40, 500, 1];
+        let plan = plan_rounds(&tasks_of, &sizes, 100);
+
+        let mut seen: Vec<usize> = plan.per_dest.iter().flatten().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+
+        for rounds in &plan.per_dest {
+            for round in rounds {
+                let load: u64 = round.iter().map(|&t| sizes[t]).sum();
+                // Over budget only when a single task alone exceeds it.
+                assert!(load <= 100 || round.len() == 1, "round {round:?}");
+            }
+        }
+        // Dest 0: 10+90=100 fits, then 40+40. Dest 1: 500 alone, then 1.
+        assert_eq!(plan.per_dest[0], vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(plan.per_dest[1], vec![vec![4], vec![5]]);
+        assert!(plan.per_dest[2].is_empty());
+        assert_eq!(plan.local_rounds, 2);
+    }
+
+    #[test]
+    fn oversized_budget_collapses_to_one_round() {
+        let tasks_of = vec![vec![0usize, 1, 2]];
+        let sizes = vec![7u64, 8, 9];
+        let plan = plan_rounds(&tasks_of, &sizes, u64::MAX);
+        assert_eq!(plan.per_dest[0], vec![vec![0, 1, 2]]);
+        assert_eq!(plan.local_rounds, 1);
+    }
+
+    #[test]
+    fn unit_budget_yields_one_task_per_round() {
+        let tasks_of = vec![vec![3usize, 1, 4]];
+        let sizes = vec![0u64, 5, 0, 5, 5];
+        let plan = plan_rounds(&tasks_of, &sizes, 1);
+        assert_eq!(plan.per_dest[0], vec![vec![3], vec![1], vec![4]]);
+        assert_eq!(plan.local_rounds, 3);
+    }
+
+    #[test]
+    fn empty_assignment_plans_zero_local_rounds() {
+        let plan = plan_rounds(&[vec![], vec![]], &[], 10);
+        assert_eq!(plan.local_rounds, 0);
+        assert!(plan.per_dest.iter().all(|d| d.is_empty()));
+    }
+}

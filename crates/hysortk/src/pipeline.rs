@@ -51,6 +51,12 @@ struct RankCounters {
     exchange_rounds: usize,
     assignment_imbalance: f64,
     heavy_tasks: usize,
+    /// Bytes this rank serialized/counted while a round was in flight (overlapped
+    /// mode only).
+    overlap_hidden_bytes: u64,
+    /// Bytes of the pipeline's fill and drain (round 0 serialize, last round count)
+    /// that nothing could hide (overlapped mode only).
+    overlap_exposed_bytes: u64,
 }
 
 /// Per-rank result of the pipeline.
@@ -67,7 +73,7 @@ struct RankOutput<K: KmerCode> {
 /// into the flat send buffer — no intermediate `Supermer { DnaSeq }` is materialised
 /// on the send side.
 #[derive(Debug, Clone, Copy)]
-struct SmRef {
+pub(crate) struct SmRef {
     /// Index of the source read within this rank's read slice.
     read: u32,
     /// First base of the supermer within the read.
@@ -85,7 +91,7 @@ impl SmRef {
 /// Per-task supermer references staged by one chunk of the rank's reads, plus the
 /// chunk's work counters. Chunks are contiguous read ranges in read order, so
 /// concatenating chunk stagings per task reproduces the sequential supermer order.
-struct ParsedChunk {
+pub(crate) struct ParsedChunk {
     per_task: Vec<Vec<SmRef>>,
     bases: u64,
     kmers: u64,
@@ -93,11 +99,112 @@ struct ParsedChunk {
 }
 
 /// What a rank accumulates locally before the exchange.
-enum Stage1<K: KmerCode> {
+pub(crate) enum Stage1<K: KmerCode> {
     /// Supermer mode: per-chunk, per-task supermer references (parallel streaming parse).
     Supermers(Vec<ParsedChunk>),
     /// Ablation mode: per-task individual k-mer records.
     Records(Vec<(Vec<K>, Vec<Extension>)>),
+}
+
+/// The send-side serializer both execution modes share: it owns the stage-1 staging and
+/// writes **one task's** wire blocks into a flat buffer on demand, so the per-task
+/// bytes of the bulk-synchronous path and the non-blocking round engine are identical
+/// by construction (which is what makes their outputs byte-identical). Supermer tasks
+/// stream word-level packed ranges straight out of the source reads; heavy-hitter
+/// tasks pre-count into a kmerlist at serialisation time (§3.5); record tasks take
+/// their staged vectors. Each task must be serialised at most once.
+pub(crate) struct SendSerializer<'a, K: KmerCode> {
+    stage1: Stage1<K>,
+    my_reads: &'a [&'a Read],
+    local_sizes: &'a [u64],
+    heavy: &'a [usize],
+    with_extension: bool,
+    compress_extension: bool,
+    k: usize,
+    first_radix_level: usize,
+    /// K-mers pre-counted locally for heavy tasks (accumulated across tasks).
+    pub(crate) heavy_local_sorted: u64,
+}
+
+impl<K: KmerCode> SendSerializer<'_, K> {
+    /// Append task `t`'s wire blocks to `out` (nothing is written for an empty task).
+    pub(crate) fn serialize_task(&mut self, t: usize, out: &mut Vec<u8>) {
+        let k = self.k;
+        let first_radix_level = self.first_radix_level;
+        let with_extension = self.with_extension;
+        let compress_extension = self.compress_extension;
+        let SendSerializer {
+            stage1,
+            my_reads,
+            local_sizes,
+            heavy,
+            heavy_local_sorted,
+            ..
+        } = self;
+        match stage1 {
+            Stage1::Supermers(chunks) => {
+                let count: usize = chunks.iter().map(|c| c.per_task[t].len()).sum();
+                if count == 0 {
+                    return;
+                }
+                if heavy.binary_search(&t).is_ok() {
+                    // Heavy-hitter path: pre-count locally, ship a kmerlist (§3.5).
+                    // Canonical k-mers decode straight from the packed source reads,
+                    // rolling both strands (O(1) canonical per position).
+                    let mut kmers: Vec<K> = Vec::with_capacity(local_sizes[t] as usize);
+                    for chunk in chunks.iter() {
+                        for r in &chunk.per_task[t] {
+                            let seq = &my_reads[r.read as usize].seq;
+                            let mut fwd = K::zero();
+                            let mut rc = K::zero();
+                            for i in 0..r.len as usize {
+                                // SAFETY: spans satisfy `start + len <= seq.len()`.
+                                let code = unsafe { seq.get_code_unchecked(r.start as usize + i) };
+                                fwd = fwd.push_base(k, code);
+                                rc = rc.push_base_rc(k, code);
+                                if i + 1 >= k {
+                                    kmers.push(if rc < fwd { rc } else { fwd });
+                                }
+                            }
+                        }
+                    }
+                    *heavy_local_sorted += kmers.len() as u64;
+                    paradis_sort_from(&mut kmers, first_radix_level);
+                    let list = count_sorted_runs(&kmers, |km| *km);
+                    write_block(out, t as u32, &TaskPayload::<K>::KmerList(list));
+                } else {
+                    let mut writer = SupermerBlockWriter::new(out, t as u32, count as u32);
+                    for chunk in chunks.iter() {
+                        for r in &chunk.per_task[t] {
+                            let read = my_reads[r.read as usize];
+                            writer.push(
+                                read.id,
+                                r.start,
+                                &read.seq,
+                                r.start as usize,
+                                r.len as usize,
+                            );
+                        }
+                    }
+                }
+            }
+            Stage1::Records(tasks) => {
+                let (kmers, exts) = std::mem::take(&mut tasks[t]);
+                if kmers.is_empty() {
+                    return;
+                }
+                if with_extension {
+                    if compress_extension {
+                        write_block(out, t as u32, &TaskPayload::Records(kmers, Some(exts)));
+                    } else {
+                        write_records_uncompressed(out, t as u32, &kmers, &exts);
+                    }
+                } else {
+                    write_block(out, t as u32, &TaskPayload::Records(kmers, None));
+                }
+            }
+        }
+    }
 }
 
 /// Stage 1 in supermer mode: stream the rank's reads through the fused extractor
@@ -286,119 +393,90 @@ fn rank_pipeline<K: KmerCode>(
         Vec::new()
     };
     counters.heavy_tasks = heavy.len();
-    let is_heavy = |t: usize| heavy.binary_search(&t).is_ok();
 
-    // ---------------- stage 2: serialise (flat, destination-major) and exchange ------
-    // One contiguous send buffer with per-destination counts (MPI `Alltoallv` style):
-    // the assignment's task lists group each destination's blocks contiguously. In
-    // supermer mode the staged references serialise **directly** into the flat buffer
-    // (header + word-level packed-range copy out of the source read), so the send side
-    // never materialises a supermer sequence.
+    // ---------------- stages 2 + 3: serialise, exchange, sort & count ----------------
+    // Both execution modes serialise every task through the same [`SendSerializer`]
+    // (destination-major wire blocks, no send-side supermer materialisation), so their
+    // per-task bytes — and therefore their outputs — are identical by construction.
+    // What differs is the schedule:
+    //
+    // * `cfg.overlap == true` (the paper's §3.3.1 mode) runs the **non-blocking round
+    //   engine**: tasks are packed into batched rounds honouring `cfg.batch_size`, and
+    //   while round *r* is in flight the rank serialises round *r+1* into a recycled
+    //   back buffer and counts round *r−1*'s tasks on the worker pool (see
+    //   [`crate::overlap`]).
+    // * `cfg.overlap == false` is the bulk-synchronous ablation: serialise everything,
+    //   run one blocking padded exchange, then count — each stage a barrier.
     let levels = K::num_bytes(k);
     // Leading key bytes above the meaningful 2k bits are constant zero; tell the MSD
     // sorter to skip straight past them.
     let first_radix_level = K::WORDS * 8 - levels;
-    let mut send: Vec<u8> = Vec::new();
-    let mut send_counts = vec![0usize; p];
-    match stage1 {
-        Stage1::Supermers(chunks) => {
-            for (dest, tasks) in assignment.tasks_of.iter().enumerate() {
-                let dest_start = send.len();
-                for &t in tasks {
-                    let count: usize = chunks.iter().map(|c| c.per_task[t].len()).sum();
-                    if count == 0 {
-                        continue;
-                    }
-                    if is_heavy(t) {
-                        // Heavy-hitter path: pre-count locally, ship a kmerlist (§3.5).
-                        // Canonical k-mers decode straight from the packed source reads,
-                        // rolling both strands (O(1) canonical per position).
-                        let mut kmers: Vec<K> = Vec::with_capacity(local_sizes[t] as usize);
-                        for chunk in &chunks {
-                            for r in &chunk.per_task[t] {
-                                let seq = &my_reads[r.read as usize].seq;
-                                let mut fwd = K::zero();
-                                let mut rc = K::zero();
-                                for i in 0..r.len as usize {
-                                    // SAFETY: spans satisfy `start + len <= seq.len()`.
-                                    let code =
-                                        unsafe { seq.get_code_unchecked(r.start as usize + i) };
-                                    fwd = fwd.push_base(k, code);
-                                    rc = rc.push_base_rc(k, code);
-                                    if i + 1 >= k {
-                                        kmers.push(if rc < fwd { rc } else { fwd });
-                                    }
-                                }
-                            }
-                        }
-                        counters.heavy_local_sorted += kmers.len() as u64;
-                        paradis_sort_from(&mut kmers, first_radix_level);
-                        let list = count_sorted_runs(&kmers, |km| *km);
-                        write_block(&mut send, t as u32, &TaskPayload::<K>::KmerList(list));
-                    } else {
-                        let mut writer =
-                            SupermerBlockWriter::new(&mut send, t as u32, count as u32);
-                        for chunk in &chunks {
-                            for r in &chunk.per_task[t] {
-                                let read = my_reads[r.read as usize];
-                                writer.push(
-                                    read.id,
-                                    r.start,
-                                    &read.seq,
-                                    r.start as usize,
-                                    r.len as usize,
-                                );
-                            }
-                        }
-                    }
-                }
-                send_counts[dest] = send.len() - dest_start;
-            }
-        }
-        Stage1::Records(mut tasks) => {
-            for (dest, assigned) in assignment.tasks_of.iter().enumerate() {
-                let dest_start = send.len();
-                for &t in assigned {
-                    let (kmers, exts) = std::mem::take(&mut tasks[t]);
-                    if kmers.is_empty() {
-                        continue;
-                    }
-                    if cfg.with_extension {
-                        if cfg.compress_extension {
-                            write_block(
-                                &mut send,
-                                t as u32,
-                                &TaskPayload::Records(kmers, Some(exts)),
-                            );
-                        } else {
-                            write_records_uncompressed(&mut send, t as u32, &kmers, &exts);
-                        }
-                    } else {
-                        write_block(&mut send, t as u32, &TaskPayload::Records(kmers, None));
-                    }
-                }
-                send_counts[dest] = send.len() - dest_start;
-            }
-        }
-    }
-
-    let batch_bytes = cfg.batch_size * K::num_bytes(k);
-    let exchange = ctx.alltoall_rounds_flat(send, &send_counts, batch_bytes.max(1), "exchange");
-    counters.exchange_rounds = exchange.rounds;
-
-    // ---------------- stage 3: sort & count ------------------------------------------
-    // One cheap header pass over the flat receive buffer builds the per-task block
-    // index with exact record totals; the worker pool then runs the fused
-    // decode→sort→count per task straight from the borrowed wire bytes — decode of one
-    // task overlaps counting of another, and nothing is re-buffered per k-mer (see
-    // `crate::stage3`).
+    let mut ser = SendSerializer {
+        stage1,
+        my_reads: &my_reads,
+        local_sizes: &local_sizes,
+        heavy: &heavy,
+        with_extension: cfg.with_extension,
+        compress_extension: cfg.compress_extension,
+        k,
+        first_radix_level,
+        heavy_local_sorted: 0,
+    };
     let params =
         CountParams::for_kmer::<K>(k, sorter, cfg.min_count, cfg.max_count, cfg.with_extension);
-    let index =
-        stage3::build_block_index::<K, _>((0..p).map(|src| exchange.received.from_rank(src)), k)
-            .expect("exchange produced a malformed stream");
-    counters.worker_makespan = schedule_lpt(&index.task_sizes(), workers).makespan();
-    let stage3_out = stage3::count_blocks_parallel(&index, k, &params, &pool);
+
+    let (stage3_out, task_sizes, exchange_rounds) = if cfg.overlap {
+        let run = crate::overlap::exchange_and_count::<K>(
+            ctx,
+            &mut ser,
+            &assignment.tasks_of,
+            &global_sizes,
+            // The round budget is `batch_size` records per rank per destination
+            // (global task sizes sum over ranks, hence × p), scaled by `data_scale`:
+            // a scaled-down run is a miniature of the full-size one, so its round
+            // *structure* must be the miniature of the full-size structure too —
+            // otherwise the miniature collapses to one round and the measured overlap
+            // fraction would be pure projection instead of measurement.
+            ((cfg.batch_size as f64 * p as f64 * cfg.data_scale).ceil() as u64).max(1),
+            k,
+            &params,
+            &pool,
+        );
+        counters.overlap_hidden_bytes = run.hidden_bytes;
+        counters.overlap_exposed_bytes = run.exposed_bytes;
+        (run.out, run.task_sizes, run.rounds)
+    } else {
+        // One contiguous send buffer with per-destination counts (MPI `Alltoallv`
+        // style): the assignment's task lists group each destination's blocks
+        // contiguously.
+        let mut send: Vec<u8> = Vec::new();
+        let mut send_counts = vec![0usize; p];
+        for (dest, tasks) in assignment.tasks_of.iter().enumerate() {
+            let dest_start = send.len();
+            for &t in tasks {
+                ser.serialize_task(t, &mut send);
+            }
+            send_counts[dest] = send.len() - dest_start;
+        }
+        let batch_bytes = cfg.batch_size * K::num_bytes(k);
+        let exchange = ctx.alltoall_rounds_flat(send, &send_counts, batch_bytes.max(1), "exchange");
+
+        // One cheap header pass over the flat receive buffer builds the per-task block
+        // index with exact record totals; the worker pool then runs the fused
+        // decode→sort→count per task straight from the borrowed wire bytes (see
+        // `crate::stage3`).
+        let index = stage3::build_block_index::<K, _>(
+            (0..p).map(|src| exchange.received.from_rank(src)),
+            k,
+        )
+        .expect("exchange produced a malformed stream");
+        let task_sizes = index.task_sizes();
+        let out = stage3::count_blocks_parallel(&index, k, &params, &pool);
+        (out, task_sizes, exchange.rounds)
+    };
+    counters.heavy_local_sorted = ser.heavy_local_sorted;
+    counters.exchange_rounds = exchange_rounds;
+    counters.worker_makespan = schedule_lpt(&task_sizes, workers).makespan();
     counters.received_elements = stage3_out.received_records;
     counters.precounted_elements = stage3_out.precounted_records;
 
@@ -564,15 +642,37 @@ fn merge_outputs<K: KmerCode>(
         );
     }
     // Encode/decode work that the non-blocking exchange can hide (§3.3.1): moving the
-    // wire bytes once more through memory on each side.
+    // wire bytes once more through memory on each side. The hidden share is no longer
+    // a projection from the `overlap` flag — the round engine *measures* it: bytes
+    // serialized/counted while a round was in flight vs the exposed fill-and-drain
+    // bytes at the pipeline's ends. The bulk path hides nothing by construction. Like
+    // padding, the exposed share measured on scaled-down data is an artefact of the
+    // fixed batch size (it shrinks as 1/rounds), so it is re-projected through the
+    // full-scale round count computed above.
     let codec_rate = model.machine.mem_bandwidth_per_node / cfg.processes_per_node as f64 / 4.0;
     let overlappable = max_rank_wire as f64 / codec_rate;
+    let hidden: u64 = counters.iter().map(|c| c.overlap_hidden_bytes).sum();
+    let exposed: u64 = counters.iter().map(|c| c.overlap_exposed_bytes).sum();
+    let overlap_fraction = if cfg.overlap && hidden + exposed > 0 {
+        let exposed_local = exposed as f64 / (hidden + exposed) as f64;
+        let rounds_local = counters
+            .iter()
+            .map(|c| c.exchange_rounds)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let exposed_projected =
+            exposed_local * rounds_local as f64 / rounds_projected.max(1) as f64;
+        (1.0 - exposed_projected).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let profile = ExchangeProfile {
         max_rank_wire_bytes: max_rank_wire,
         off_node_fraction: off_node,
         rounds: rounds_projected,
         overlappable_compute: overlappable,
-        overlap_enabled: cfg.overlap,
+        overlap_fraction,
     };
     stages.add("exchange", network.exchange_time(&profile));
     stages.add(
@@ -611,6 +711,7 @@ fn merge_outputs<K: KmerCode>(
         total_wire_bytes: total_wire,
         exchange_rounds: rounds_projected,
         assignment_imbalance,
+        overlap_fraction,
     };
 
     CountResult {
@@ -811,6 +912,37 @@ mod tests {
             assert_eq!(&result.counts[i].1, &(expected_exts.len() as u64));
             assert_eq!(&exts[i], expected_exts, "extensions of kmer {i}");
         }
+    }
+
+    #[test]
+    fn overlapped_runs_match_bulk_and_expose_round_engine_traffic() {
+        let reads = overlapping_reads(11);
+        let mut cfg = small_cfg(21, 9, 4);
+        // A batch far below the per-task sizes forces many task-granular rounds.
+        cfg.batch_size = 16;
+
+        cfg.overlap = false;
+        let bulk = count_kmers::<Kmer1>(&reads, &cfg);
+        cfg.overlap = true;
+        let overlapped = count_kmers::<Kmer1>(&reads, &cfg);
+
+        assert_eq!(overlapped.counts, bulk.counts);
+        assert_eq!(overlapped.histogram, bulk.histogram);
+
+        let engine = overlapped.report.comm.stage("exchange").unwrap();
+        let bulk_stage = bulk.report.comm.stage("exchange").unwrap();
+        assert!(engine.rounds > 1, "tiny batches must split into rounds");
+        assert!(engine.max_inflight_bytes > 0, "rounds must be posted ahead");
+        assert_eq!(
+            engine.payload_bytes, bulk_stage.payload_bytes,
+            "round payloads must conserve the bulk payload"
+        );
+        assert_eq!(
+            bulk_stage.max_inflight_bytes, 0,
+            "bulk path never posts ahead"
+        );
+        assert_eq!(bulk.report.overlap_fraction, 0.0);
+        assert!((0.0..=1.0).contains(&overlapped.report.overlap_fraction));
     }
 
     #[test]

@@ -83,6 +83,11 @@ pub struct RunReport {
     pub exchange_rounds: usize,
     /// Imbalance (max/mean) of the task → rank assignment.
     pub assignment_imbalance: f64,
+    /// Measured fraction (0..=1) of the overlappable encode/decode work the run hid
+    /// behind the exchange: bytes serialized/counted while a round was in flight over
+    /// all bytes through the round loop, with the exposed fill-and-drain share
+    /// projected to the full-scale round count. Zero for the bulk-synchronous path.
+    pub overlap_fraction: f64,
 }
 
 impl RunReport {

@@ -108,18 +108,36 @@ impl<K: KmerCode> BlockIndex<'_, K> {
     }
 }
 
-/// Build the per-task block index from one byte segment per source rank: validate the
-/// stream structure, group the payload views by task and sum the exact record totals
-/// from the headers. Returns `None` on a malformed stream.
-pub fn build_block_index<'a, K, I>(segments: I, k: usize) -> Option<BlockIndex<'a, K>>
-where
-    K: KmerCode,
-    I: IntoIterator<Item = &'a [u8]>,
-{
-    let mut by_task: BTreeMap<u32, TaskSlot<'a, K>> = BTreeMap::new();
-    for segment in segments {
+/// Incremental builder of a [`BlockIndex`]: segments are added one at a time (e.g.
+/// round by round as the non-blocking exchange completes them), each extending the
+/// per-task slots, and [`BlockIndexBuilder::finish`] closes the index. The overlapped
+/// pipeline uses this to index batch *r−1*'s received segments while round *r* is in
+/// flight; [`build_block_index`] is the one-shot wrapper over it.
+#[derive(Debug)]
+pub struct BlockIndexBuilder<'a, K: KmerCode> {
+    by_task: BTreeMap<u32, TaskSlot<'a, K>>,
+}
+
+impl<K: KmerCode> Default for BlockIndexBuilder<'_, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, K: KmerCode> BlockIndexBuilder<'a, K> {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BlockIndexBuilder {
+            by_task: BTreeMap::new(),
+        }
+    }
+
+    /// Add one source segment: validate its stream structure, group its payload views
+    /// by task and extend the header-derived record totals. Returns `None` on a
+    /// malformed stream (the builder must then be discarded).
+    pub fn add_segment(&mut self, segment: &'a [u8], k: usize) -> Option<()> {
         for block in read_blocks::<K>(segment)? {
-            let slot = by_task.entry(block.task).or_insert_with(|| TaskSlot {
+            let slot = self.by_task.entry(block.task).or_insert_with(|| TaskSlot {
                 task: block.task,
                 records: 0,
                 precounted: 0,
@@ -132,10 +150,30 @@ where
             }
             slot.blocks.push(block.payload);
         }
+        Some(())
     }
-    Some(BlockIndex {
-        slots: by_task.into_values().collect(),
-    })
+
+    /// Close the index: one slot per task seen, in ascending task order.
+    pub fn finish(self) -> BlockIndex<'a, K> {
+        BlockIndex {
+            slots: self.by_task.into_values().collect(),
+        }
+    }
+}
+
+/// Build the per-task block index from one byte segment per source rank: validate the
+/// stream structure, group the payload views by task and sum the exact record totals
+/// from the headers. Returns `None` on a malformed stream.
+pub fn build_block_index<'a, K, I>(segments: I, k: usize) -> Option<BlockIndex<'a, K>>
+where
+    K: KmerCode,
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut builder = BlockIndexBuilder::new();
+    for segment in segments {
+        builder.add_segment(segment, k)?;
+    }
+    Some(builder.finish())
 }
 
 /// Per-worker reusable state: the record and sort buffers, the kmerlist staging
@@ -372,6 +410,34 @@ pub struct Stage3Output<K: KmerCode> {
     pub precounted_records: u64,
 }
 
+impl<K: KmerCode> Stage3Output<K> {
+    /// Assemble the stage output from per-task results and the worker scratches that
+    /// produced them: histograms and work counters merge once per scratch, not once
+    /// per task. The bulk path assembles from one [`count_blocks_parallel`] call; the
+    /// overlapped pipeline accumulates `tasks` round by round and drains its
+    /// [`hysortk_task::ScratchBank`] once at the end.
+    pub fn assemble(
+        tasks: Vec<TaskCounts<K>>,
+        scratches: Vec<CountScratch<K>>,
+        max_count: u64,
+    ) -> Self {
+        let mut histogram = KmerHistogram::new(max_count as usize + 2);
+        let mut received_records = 0u64;
+        let mut precounted_records = 0u64;
+        for scratch in scratches {
+            histogram.merge(&scratch.histogram);
+            received_records += scratch.received_records;
+            precounted_records += scratch.precounted_records;
+        }
+        Stage3Output {
+            tasks,
+            histogram,
+            received_records,
+            precounted_records,
+        }
+    }
+}
+
 /// Count every task of the block index on the worker pool: tasks are independent work
 /// items, so decode of one task overlaps sort+count of another, and each worker thread
 /// reuses one [`CountScratch`] (kmerlist staging + histogram) across all its tasks.
@@ -387,20 +453,7 @@ pub fn count_blocks_parallel<K: KmerCode>(
         || CountScratch::new(params.max_count),
         |scratch, slot| count_task(slot, k, params, scratch),
     );
-    let mut histogram = KmerHistogram::new(params.max_count as usize + 2);
-    let mut received_records = 0u64;
-    let mut precounted_records = 0u64;
-    for scratch in scratches {
-        histogram.merge(&scratch.histogram);
-        received_records += scratch.received_records;
-        precounted_records += scratch.precounted_records;
-    }
-    Stage3Output {
-        tasks,
-        histogram,
-        received_records,
-        precounted_records,
-    }
+    Stage3Output::assemble(tasks, scratches, params.max_count)
 }
 
 /// Sequential twin of [`count_blocks_parallel`]: same fused per-task path, one thread,
@@ -809,6 +862,35 @@ mod tests {
             .slots
             .iter()
             .any(|s| s.records == 0 && s.precounted == 0));
+    }
+
+    #[test]
+    fn incremental_builder_matches_one_shot_index_and_counts() {
+        // Feeding the segments one at a time through the builder (as the overlapped
+        // pipeline does round by round) must index and count exactly like the one-shot
+        // build over all segments.
+        let segments = sample_segments(4);
+        let k = 15;
+        let p = params(false);
+
+        let one_shot =
+            build_block_index::<Kmer1, _>(segments.iter().map(Vec::as_slice), k).unwrap();
+        let mut builder = BlockIndexBuilder::<Kmer1>::new();
+        for segment in &segments {
+            builder.add_segment(segment, k).unwrap();
+        }
+        let incremental = builder.finish();
+
+        assert_eq!(incremental.slots.len(), one_shot.slots.len());
+        assert_eq!(incremental.task_sizes(), one_shot.task_sizes());
+        let count = |index: &BlockIndex<'_, Kmer1>| {
+            merge_task_counts(count_blocks_sequential(index, k, &p), &p)
+        };
+        assert_eq!(count(&incremental), count(&one_shot));
+
+        // A malformed segment poisons the builder.
+        let mut builder = BlockIndexBuilder::<Kmer1>::new();
+        assert!(builder.add_segment(&[9, 9, 9], k).is_none());
     }
 
     #[test]

@@ -167,6 +167,96 @@ impl WorkerPool {
         }
         (results, scratches)
     }
+
+    /// Like [`execute_with_scratch`](WorkerPool::execute_with_scratch), but scratches
+    /// are checked out of (and returned to) `bank` instead of being created and
+    /// consumed per call — the handoff that lets the overlapped pipeline alternate
+    /// serialize and count work on the pool round by round while every worker keeps
+    /// its decode/sort buffers and histogram across the whole stage. `init` only runs
+    /// when the bank has no free scratch for a worker.
+    ///
+    /// Results are returned in task order.
+    pub fn execute_with_bank<T, S, R, I, F>(
+        &self,
+        tasks: Vec<T>,
+        bank: &ScratchBank<S>,
+        init: I,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        S: Send,
+        R: Send,
+        I: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) -> R + Sync + Send,
+    {
+        let (results, scratches) =
+            self.execute_with_scratch(tasks, || bank.take().unwrap_or_else(&init), f);
+        bank.put_all(scratches);
+        results
+    }
+}
+
+/// A pool of reusable per-worker scratch values that survives *across*
+/// [`WorkerPool::execute_with_bank`] calls.
+///
+/// [`WorkerPool::execute_with_scratch`] builds fresh scratches per call and hands them
+/// back when the call returns — the right shape when a stage runs once. The overlapped
+/// pipeline instead hands the pool alternating slices of work round by round
+/// (serialize round *r+1*, count round *r−1*, …), and the expensive scratch state
+/// (decode buffers, sort ping-pong buffers, histograms) must persist across all of
+/// them. A `ScratchBank` is that persistence: workers check scratches out at the start
+/// of a call and return them at the end, so a bank never holds more scratches than the
+/// maximum parallelism ever used, and [`ScratchBank::into_scratches`] drains them for
+/// the final merge.
+#[derive(Debug)]
+pub struct ScratchBank<S> {
+    free: Mutex<Vec<S>>,
+}
+
+impl<S> Default for ScratchBank<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> ScratchBank<S> {
+    /// An empty bank; scratches are created lazily by the `init` closure of
+    /// [`WorkerPool::execute_with_bank`].
+    pub fn new() -> Self {
+        ScratchBank {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check one scratch out, if any is free.
+    fn take(&self) -> Option<S> {
+        self.free.lock().expect("scratch bank poisoned").pop()
+    }
+
+    /// Return scratches to the bank.
+    fn put_all(&self, scratches: Vec<S>) {
+        self.free
+            .lock()
+            .expect("scratch bank poisoned")
+            .extend(scratches);
+    }
+
+    /// Number of scratches currently checked in.
+    pub fn len(&self) -> usize {
+        self.free.lock().expect("scratch bank poisoned").len()
+    }
+
+    /// True when the bank holds no scratches.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain every scratch for the caller's final merge (commutative, as with
+    /// [`WorkerPool::execute_with_scratch`]).
+    pub fn into_scratches(self) -> Vec<S> {
+        self.free.into_inner().expect("scratch bank poisoned")
+    }
 }
 
 /// A static schedule of tasks onto workers.
@@ -271,6 +361,57 @@ mod tests {
         let mut union: Vec<u64> = scratches.into_iter().flatten().collect();
         union.sort_unstable();
         assert_eq!(union, (0..200u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scratch_bank_persists_scratches_across_calls() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let pool = WorkerPool::new(2, 1);
+        let bank: ScratchBank<Vec<u64>> = ScratchBank::new();
+        let inits = AtomicUsize::new(0);
+        let init = || {
+            inits.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        };
+        // Alternate two kinds of work on the same bank, as the overlapped pipeline
+        // does with serialize and count rounds.
+        for round in 0..6u64 {
+            let results = pool.execute_with_bank(
+                (0..40u64).collect(),
+                &bank,
+                init,
+                |seen: &mut Vec<u64>, x| {
+                    seen.push(round * 1000 + x);
+                    x + round
+                },
+            );
+            assert_eq!(results.len(), 40);
+        }
+        // Scratches were reused: the bank never grew beyond the pool parallelism, and
+        // the union of everything the scratches saw covers every task of every round.
+        let created = inits.load(Ordering::Relaxed);
+        assert!(
+            created <= pool.total_threads() * 6,
+            "created {created} scratches"
+        );
+        let scratches = bank.into_scratches();
+        assert_eq!(scratches.len(), created);
+        let mut union: Vec<u64> = scratches.into_iter().flatten().collect();
+        union.sort_unstable();
+        let mut expected: Vec<u64> = (0..6u64)
+            .flat_map(|r| (0..40u64).map(move |x| r * 1000 + x))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(union, expected);
+    }
+
+    #[test]
+    fn empty_scratch_bank_reports_empty() {
+        let bank: ScratchBank<u8> = ScratchBank::default();
+        assert!(bank.is_empty());
+        assert_eq!(bank.len(), 0);
+        assert!(bank.into_scratches().is_empty());
     }
 
     #[test]

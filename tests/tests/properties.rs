@@ -341,6 +341,147 @@ fn hysortk_counts_match_reference_on_arbitrary_reads() {
     }
 }
 
+// ---------------- overlapped round engine vs bulk-synchronous exchange --------------
+
+/// Compare the full pipeline in both execution modes on one configuration: the
+/// non-blocking round engine (`overlap = true`) must be byte-identical to the
+/// bulk-synchronous path (`overlap = false`) — counts, extensions and histogram.
+fn assert_overlap_matches_bulk(
+    reads: &ReadSet,
+    cfg: &hysortk_core::HySortKConfig,
+    context: &str,
+) -> hysortk_core::CountResult<Kmer1> {
+    let mut bulk_cfg = cfg.clone();
+    bulk_cfg.overlap = false;
+    let bulk = hysortk_core::count_kmers::<Kmer1>(reads, &bulk_cfg);
+    let mut overlap_cfg = cfg.clone();
+    overlap_cfg.overlap = true;
+    let overlapped = hysortk_core::count_kmers::<Kmer1>(reads, &overlap_cfg);
+    assert_eq!(overlapped.counts, bulk.counts, "counts: {context}");
+    assert_eq!(
+        overlapped.extensions, bulk.extensions,
+        "extensions: {context}"
+    );
+    assert_eq!(overlapped.histogram, bulk.histogram, "histogram: {context}");
+    assert_eq!(
+        overlapped
+            .report
+            .comm
+            .stage("exchange")
+            .unwrap()
+            .payload_bytes,
+        bulk.report.comm.stage("exchange").unwrap().payload_bytes,
+        "round payloads must conserve the bulk payload: {context}"
+    );
+    overlapped
+}
+
+/// A machine whose memory forces the in-place sorter (PARADIS) vs one with room for
+/// the out-of-place RADULS path — the knob the pipeline's sorter selection reads.
+fn machine_for_sorter(raduls: bool) -> hysortk_perfmodel::MachineConfig {
+    // The memory model reserves 16 GiB for OS + runtime; 8 GiB of DRAM therefore
+    // leaves nothing for the RADULS ping-pong buffer and selects PARADIS.
+    hysortk_perfmodel::MachineConfig::workstation(8, if raduls { 64 } else { 8 })
+}
+
+#[test]
+fn overlapped_pipeline_is_byte_identical_to_bulk_across_the_grid() {
+    // Ranks × batch sizes {1 record, the small-config default, larger than the input}
+    // × both sorters × extensions on/off, on random reads with genuine multiplicities.
+    let mut rng = StdRng::seed_from_u64(200);
+    let genome: Vec<u8> = (0..2_000).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+    let seqs: Vec<Vec<u8>> = (0..60)
+        .map(|_| {
+            let start = rng.gen_range(0..genome.len() - 250);
+            genome[start..start + 250].to_vec()
+        })
+        .collect();
+    let reads = ReadSet::from_ascii_reads(&seqs);
+
+    for ranks in [1usize, 2, 7] {
+        for batch_size in [1usize, 4_096, 1_000_000_000] {
+            for raduls in [true, false] {
+                for with_extension in [false, true] {
+                    let mut cfg = hysortk_core::HySortKConfig::small(21, 9, ranks);
+                    cfg.min_count = 1;
+                    cfg.max_count = 1_000_000;
+                    cfg.batch_size = batch_size;
+                    cfg.machine = machine_for_sorter(raduls);
+                    cfg.with_extension = with_extension;
+                    let context = format!(
+                        "ranks={ranks} batch={batch_size} raduls={raduls} ext={with_extension}"
+                    );
+                    let result = assert_overlap_matches_bulk(&reads, &cfg, &context);
+                    let expected_sorter = if raduls {
+                        hysortk_perfmodel::SortAlgorithm::Raduls
+                    } else {
+                        hysortk_perfmodel::SortAlgorithm::Paradis
+                    };
+                    assert_eq!(result.report.sorter, expected_sorter, "{context}");
+                    // Also pin the overlapped output against the oracle.
+                    let expected =
+                        hysortk_core::reference_counts_bounded::<Kmer1>(&reads, 21, 1, 1_000_000);
+                    assert_eq!(result.counts, expected, "{context}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn overlapped_pipeline_matches_bulk_on_heavy_hitter_workloads() {
+    // Satellite repeats trigger the heavy-hitter kmerlist conversion; the pre-counted
+    // wire form must flow through the round engine identically, at single-record
+    // batches (maximum round count) and the default batch.
+    let mut seqs: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..40 {
+        seqs.push(b"AATGG".repeat(60));
+    }
+    let mut rng = StdRng::seed_from_u64(201);
+    for _ in 0..40 {
+        seqs.push((0..300).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect());
+    }
+    let reads = ReadSet::from_ascii_reads(&seqs);
+
+    for ranks in [2usize, 7] {
+        for batch_size in [1usize, 4_096] {
+            let mut cfg = hysortk_core::HySortKConfig::small(15, 7, ranks);
+            cfg.min_count = 1;
+            cfg.max_count = 1_000_000;
+            cfg.batch_size = batch_size;
+            cfg.heavy_hitter = hysortk_task::HeavyHitterPolicy {
+                factor: 2.0,
+                enabled: true,
+            };
+            let context = format!("heavy ranks={ranks} batch={batch_size}");
+            let result = assert_overlap_matches_bulk(&reads, &cfg, &context);
+            assert!(
+                result.report.heavy_tasks > 0,
+                "{context}: workload not heavy"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapped_records_ablation_matches_bulk_with_and_without_compression() {
+    // The non-supermer (records) ablation path through the round engine, both
+    // extension codecs.
+    let mut rng = StdRng::seed_from_u64(202);
+    let seqs: Vec<Vec<u8>> = (0..25).map(|_| dna_exact(&mut rng, 150)).collect();
+    let reads = ReadSet::from_ascii_reads(&seqs);
+    for compress in [false, true] {
+        let mut cfg = hysortk_core::HySortKConfig::small(17, 8, 3);
+        cfg.min_count = 1;
+        cfg.max_count = 1_000_000;
+        cfg.use_supermers = false;
+        cfg.with_extension = true;
+        cfg.compress_extension = compress;
+        cfg.batch_size = 64;
+        assert_overlap_matches_bulk(&reads, &cfg, &format!("records compress={compress}"));
+    }
+}
+
 // ---------------- stage 3: parallel decode + count vs sequential reference -----------
 
 /// Build one rank's receive segments from random reads: supermer blocks partitioned by
