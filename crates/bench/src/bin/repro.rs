@@ -8,6 +8,7 @@
 //! cargo run -p hysortk-bench --release --bin repro -- bench-parse  # writes BENCH_parse.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-count  # writes BENCH_count.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-exchange  # writes BENCH_exchange.json
+//! cargo run -p hysortk-bench --release --bin repro -- bench-ingest  # writes BENCH_ingest.json
 //! ```
 
 use hysortk_bench as bench;
@@ -172,6 +173,27 @@ fn bench_exchange() {
     }
 }
 
+/// Time the file-fed pipeline (chunked, rank-sharded FASTA ingestion) against the
+/// in-memory entry point on the same generated dataset, then write
+/// `BENCH_ingest.json` — the input-path point on the repo's performance trajectory.
+fn bench_ingest() {
+    eprintln!("[repro] timing file-fed vs in-memory pipeline on a C. elegans stand-in …");
+    let report = bench::bench_ingest();
+    let json = report.to_json();
+    print!("{json}");
+    println!(
+        "file-fed pipeline: {:.1} MB/s of FASTA end to end \
+         ({:.2}x the in-memory pipeline's wall time)",
+        report.file_bytes_per_sec() / 1e6,
+        report.ingest_overhead()
+    );
+    let path = "BENCH_ingest.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[repro] wrote {path}"),
+        Err(e) => eprintln!("[repro] could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let arg = std::env::args()
         .nth(1)
@@ -187,12 +209,14 @@ fn main() {
             println!("parse-stage microbenchmark (writes BENCH_parse.json), `repro bench-count`");
             println!("for the count-stage microbenchmark (writes BENCH_count.json),");
             println!("`repro bench-exchange` for the overlapped-vs-bulk exchange benchmark");
-            println!("(writes BENCH_exchange.json), or `repro all`");
+            println!("(writes BENCH_exchange.json), `repro bench-ingest` for the file-ingestion");
+            println!("benchmark (writes BENCH_ingest.json), or `repro all`");
         }
         "bench-sort" => bench_sort(),
         "bench-parse" => bench_parse(),
         "bench-count" => bench_count(),
         "bench-exchange" => bench_exchange(),
+        "bench-ingest" => bench_ingest(),
         "all" => {
             for (name, description, f) in EXPERIMENTS {
                 eprintln!("[repro] running {name} …");

@@ -1233,6 +1233,140 @@ pub fn bench_exchange_on(
     }
 }
 
+// ---------------------------------------------------------------------------------------
+// Ingestion benchmark → BENCH_ingest.json
+// ---------------------------------------------------------------------------------------
+
+/// Result of the file-ingestion benchmark: the chunked, rank-sharded streaming
+/// readers feeding the full pipeline from a real FASTA file on disk, against the
+/// in-memory `ReadSet` entry point on the identical reads.
+#[derive(Debug, Clone)]
+pub struct IngestBenchReport {
+    /// Size of the FASTA file on disk, bytes.
+    pub file_bytes: u64,
+    /// Total bases in the dataset.
+    pub bases: u64,
+    /// Number of reads.
+    pub reads: usize,
+    /// Simulated ranks sharding the file.
+    pub ranks: usize,
+    /// Ingestion block size, bytes.
+    pub block_bytes: usize,
+    /// Median wall seconds of the file-fed pipeline (open → counts).
+    pub file_secs: f64,
+    /// Median wall seconds of the in-memory pipeline on the same reads.
+    pub in_memory_secs: f64,
+}
+
+impl IngestBenchReport {
+    /// File bytes ingested per second by the file-fed pipeline (end to end).
+    pub fn file_bytes_per_sec(&self) -> f64 {
+        self.file_bytes as f64 / self.file_secs.max(1e-12)
+    }
+
+    /// File-fed time over in-memory time (1.0 means streaming ingestion is free).
+    pub fn ingest_overhead(&self) -> f64 {
+        self.file_secs / self.in_memory_secs.max(1e-12)
+    }
+
+    /// Render as the `BENCH_ingest.json` document (hand-rolled, like the others).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"ingest\",\n",
+                "  \"file_bytes\": {},\n",
+                "  \"bases\": {},\n",
+                "  \"reads\": {},\n",
+                "  \"params\": {{ \"ranks\": {}, \"block_bytes\": {} }},\n",
+                "  \"seconds\": {{ \"file_fed\": {:.4}, \"in_memory\": {:.4} }},\n",
+                "  \"file_bytes_per_sec\": {:.1},\n",
+                "  \"ingest_overhead\": {:.3}\n",
+                "}}\n"
+            ),
+            self.file_bytes,
+            self.bases,
+            self.reads,
+            self.ranks,
+            self.block_bytes,
+            self.file_secs,
+            self.in_memory_secs,
+            self.file_bytes_per_sec(),
+            self.ingest_overhead(),
+        )
+    }
+}
+
+/// Time the file-fed pipeline against the in-memory entry point on a generated
+/// C. elegans stand-in written to a temporary FASTA file. Counts are asserted
+/// identical before timing (the ingestion property the cross-crate suite pins,
+/// probed here on the benchmark workload too).
+pub fn bench_ingest() -> IngestBenchReport {
+    bench_ingest_on(DatasetPreset::CElegans, 4, 3)
+}
+
+/// [`bench_ingest`] with the dataset, rank count and sample count exposed.
+pub fn bench_ingest_on(preset: DatasetPreset, ranks: usize, samples: usize) -> IngestBenchReport {
+    use hysortk_core::count_kmers_from_files_with;
+    use hysortk_dna::io::IngestOptions;
+
+    let k = 31;
+    let data = dataset(preset, 21);
+    let mut cfg = HySortKConfig::small(k, HySortKConfig::recommended_m(k), ranks);
+    cfg.min_count = 1;
+    cfg.max_count = 1_000_000;
+    cfg.data_scale = data.data_scale;
+
+    let path = std::env::temp_dir().join(format!(
+        "hysortk_bench_ingest_{}_{}.fa",
+        std::process::id(),
+        preset.name().replace([' ', '.'], "_")
+    ));
+    data.write_fasta(&path, 80).expect("write benchmark FASTA");
+    let file_bytes = std::fs::metadata(&path)
+        .expect("stat benchmark FASTA")
+        .len();
+    let opts = IngestOptions::default();
+
+    // Correctness first: the file-fed counts must equal the in-memory counts.
+    let in_memory = count_kmers::<Kmer1>(&data.reads, &cfg);
+    let file_fed = count_kmers_from_files_with::<Kmer1, _>(&[&path], &cfg, opts.clone())
+        .expect("file-fed pipeline");
+    assert_eq!(
+        in_memory.counts, file_fed.counts,
+        "file-fed counts diverge from the in-memory pipeline"
+    );
+
+    let samples = samples.max(1);
+    let mut file_times = Vec::with_capacity(samples);
+    let mut memory_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        let out = count_kmers_from_files_with::<Kmer1, _>(&[&path], &cfg, opts.clone())
+            .expect("file-fed pipeline");
+        file_times.push(start.elapsed().as_secs_f64());
+        std::hint::black_box(&out.counts);
+
+        let start = std::time::Instant::now();
+        let out = count_kmers::<Kmer1>(&data.reads, &cfg);
+        memory_times.push(start.elapsed().as_secs_f64());
+        std::hint::black_box(&out.counts);
+    }
+    file_times.sort_by(f64::total_cmp);
+    memory_times.sort_by(f64::total_cmp);
+    std::fs::remove_file(&path).ok();
+
+    IngestBenchReport {
+        file_bytes,
+        bases: data.reads.total_bases() as u64,
+        reads: data.reads.len(),
+        ranks: cfg.total_ranks(),
+        block_bytes: opts.block_bytes,
+        file_secs: file_times[samples / 2],
+        in_memory_secs: memory_times[samples / 2],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1270,6 +1404,33 @@ mod tests {
         assert!(report.ranks >= 16);
         assert!(report.wall_bulk_secs > 0.0 && report.wall_overlapped_secs > 0.0);
         assert!(report.modeled_bulk_s > 0.0 && report.modeled_overlapped_s > 0.0);
+    }
+
+    #[test]
+    fn ingest_bench_report_renders_valid_json_shape() {
+        let report = IngestBenchReport {
+            file_bytes: 1_000_000,
+            bases: 950_000,
+            reads: 200,
+            ranks: 4,
+            block_bytes: 1 << 20,
+            file_secs: 0.5,
+            in_memory_secs: 0.4,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"ingest_overhead\": 1.250"));
+        assert!((report.file_bytes_per_sec() - 2_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ingest_bench_paths_agree_on_a_tiny_dataset() {
+        // Smoke-run the real harness on the smallest preset (the internal equality
+        // assertion is the point; timings are probed by `repro bench-ingest`).
+        let report = bench_ingest_on(DatasetPreset::ABaumannii, 3, 1);
+        assert!(report.file_bytes > 0);
+        assert!(report.reads > 0);
+        assert!(report.file_secs > 0.0 && report.in_memory_secs > 0.0);
     }
 
     #[test]

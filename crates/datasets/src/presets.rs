@@ -155,6 +155,22 @@ impl GeneratedDataset {
     pub fn ascii_bytes(&self) -> usize {
         self.reads.ascii_bytes()
     }
+
+    /// Write the reads as a FASTA file with the given line width — the bridge from
+    /// the synthetic presets to the real-file ingestion path (and the generator of
+    /// the CLI smoke inputs).
+    pub fn write_fasta(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        line_width: usize,
+    ) -> std::io::Result<()> {
+        hysortk_dna::fasta::write_fasta_file(path, &self.reads, line_width)
+    }
+
+    /// Write the reads as a FASTQ file (constant quality).
+    pub fn write_fastq(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        hysortk_dna::io::write_fastq_file(path, &self.reads)
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,11 @@
 //! Minimal FASTA reader/writer.
 //!
-//! HySortK takes FASTA files as input (paper §4). The reproduction mostly generates
-//! reads synthetically, but the parser makes the examples and the library usable on real
-//! files, and gives the integration tests an end-to-end text round trip.
+//! HySortK takes FASTA files as input (paper §4). This module is the whole-file,
+//! in-memory **reference** entry point: it keeps the historical map-unknown-bases-to-`A`
+//! policy and gives the integration tests an end-to-end text round trip. Real file
+//! ingestion goes through [`crate::io`], which streams fixed-size blocks, shards the
+//! byte range across ranks, supports FASTQ, and *splits* reads at ambiguous bases
+//! instead of mapping them.
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -36,8 +39,12 @@ where
     let mut seq: Vec<u8> = Vec::new();
 
     let flush = |name: &mut Option<String>, seq: &mut Vec<u8>, rs: &mut ReadSet| {
+        // Header-only records (`>name` with no sequence) are skipped: a zero-length
+        // read carries no k-mers and would only make stage 1 see `n == 0` inputs.
         if let Some(n) = name.take() {
-            rs.push(Read::from_ascii(0, n, seq));
+            if !seq.is_empty() {
+                rs.push(Read::from_ascii(0, n, seq));
+            }
         }
         seq.clear();
     };
@@ -139,6 +146,16 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed.reads()[0].seq, rs.reads()[0].seq);
+    }
+
+    #[test]
+    fn header_only_records_are_skipped() {
+        // Regression: a `>name` header with no sequence used to push a zero-length
+        // read into the set.
+        let rs = parse_fasta_str(">empty\n>full\nACGT\n>trailing empty\n");
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.reads()[0].name, "full");
+        assert!(rs.iter().all(|r| !r.is_empty()));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!   words, ordered so that integer comparison equals lexicographic comparison.
 //! * [`sequence::DnaSeq`] — a 2-bit packed DNA sequence (a *read*), with k-mer
 //!   extraction iterators.
-//! * [`fasta`] — a minimal FASTA reader/writer.
+//! * [`fasta`] — a minimal FASTA reader/writer (whole-file, in-memory reference).
+//! * [`io`] — chunked, rank-sharded streaming FASTA/FASTQ ingestion.
 //! * [`readset::ReadSet`] — a collection of reads with identifiers, plus the greedy
 //!   partitioning across ranks used by the counting pipelines.
 //! * [`extension::Extension`] — the per-k-mer provenance record (`read_id`,
@@ -21,12 +22,14 @@
 pub mod base;
 pub mod extension;
 pub mod fasta;
+pub mod io;
 pub mod kmer;
 pub mod readset;
 pub mod sequence;
 
 pub use base::{complement_code, decode_base, encode_base, Base};
 pub use extension::Extension;
+pub use io::{IngestOptions, InputFile, SeqFormat, ShardReader};
 pub use kmer::{Kmer, Kmer1, Kmer2, KmerCode};
 pub use readset::{Read, ReadSet};
 pub use sequence::DnaSeq;

@@ -1,0 +1,210 @@
+//! The `hysortk` command-line interface: count k-mers in real FASTA/FASTQ files.
+//!
+//! ```text
+//! hysortk count reads.fa more_reads.fq -k 31 --ranks 8 --out histogram.tsv
+//! ```
+//!
+//! Files are ingested through the chunked, rank-sharded streaming readers
+//! (`hysortk_dna::io`): each simulated rank owns a byte range of the concatenated
+//! input, realigned to record boundaries, and reads it in fixed-size blocks — memory
+//! is bounded by the block size plus the packed (2-bit) reads, never by the ASCII
+//! file size. Reads are split at ambiguous-base runs (`N` etc.), so no fabricated
+//! k-mer is ever counted.
+//!
+//! The k-mer multiplicity histogram is written as TSV (`multiplicity\tdistinct`) to
+//! `--out` (or stdout), and a run summary — distinct/retained k-mers, traffic,
+//! modeled stage times — goes to stderr.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hysortk_core::ingest::count_kmers_from_files_with;
+use hysortk_core::{CountResult, HySortKConfig};
+use hysortk_dna::io::IngestOptions;
+use hysortk_dna::kmer::{Kmer1, Kmer2, KmerCode};
+
+const USAGE: &str = "\
+usage: hysortk count <files…> [options]
+
+Count canonical k-mers in FASTA/FASTQ files with the HySortK pipeline.
+Formats are detected per file (.fa/.fasta/.fna → FASTA, .fq/.fastq → FASTQ,
+unknown extensions by first byte); FASTA and FASTQ may be mixed freely.
+
+options:
+  -k <n>             k-mer length, 1..=64 (default 31)
+  -m <n>             minimizer length (default: the paper's rule, k/2 capped at 23)
+  --ranks <n>        simulated ranks sharding the input (default 4)
+  --min-count <n>    lowest multiplicity kept in the output (default 2)
+  --max-count <n>    highest multiplicity kept in the output (default 50)
+  --batch-size <n>   records per destination per exchange round (default 80000)
+  --block-bytes <n>  ingestion block size in bytes (default 1 MiB)
+  --no-overlap       bulk-synchronous exchange instead of the round engine
+  --out <path>       write the multiplicity histogram TSV here (default stdout)
+  -h, --help         this help
+";
+
+struct CliArgs {
+    files: Vec<PathBuf>,
+    k: usize,
+    m: Option<usize>,
+    ranks: usize,
+    min_count: u64,
+    max_count: u64,
+    batch_size: usize,
+    block_bytes: usize,
+    overlap: bool,
+    out: Option<PathBuf>,
+}
+
+/// `Ok(None)` means help was explicitly requested (usage on stdout, exit 0);
+/// `Err` is a genuine usage error (message + usage on stderr, exit 2).
+fn parse_args(mut args: std::env::Args) -> Result<Option<CliArgs>, String> {
+    let _bin = args.next();
+    match args.next().as_deref() {
+        Some("count") => {}
+        Some("-h") | Some("--help") => return Ok(None),
+        None => return Err(String::new()),
+        Some(other) => return Err(format!("unknown command `{other}` (try `count`)")),
+    }
+    let mut cli = CliArgs {
+        files: Vec::new(),
+        k: 31,
+        m: None,
+        ranks: 4,
+        min_count: 2,
+        max_count: 50,
+        batch_size: 80_000,
+        block_bytes: 1 << 20,
+        overlap: true,
+        out: None,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "-k" => cli.k = parse_num(&value("-k")?, "-k")?,
+            "-m" => cli.m = Some(parse_num(&value("-m")?, "-m")?),
+            "--ranks" => cli.ranks = parse_num(&value("--ranks")?, "--ranks")?,
+            "--min-count" => cli.min_count = parse_num(&value("--min-count")?, "--min-count")?,
+            "--max-count" => cli.max_count = parse_num(&value("--max-count")?, "--max-count")?,
+            "--batch-size" => cli.batch_size = parse_num(&value("--batch-size")?, "--batch-size")?,
+            "--block-bytes" => {
+                cli.block_bytes = parse_num(&value("--block-bytes")?, "--block-bytes")?
+            }
+            "--no-overlap" => cli.overlap = false,
+            "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "-h" | "--help" => return Ok(None),
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            file => cli.files.push(PathBuf::from(file)),
+        }
+    }
+    if cli.files.is_empty() {
+        return Err("no input files given".to_string());
+    }
+    Ok(Some(cli))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("invalid value `{s}` for {name}"))
+}
+
+fn config_for(cli: &CliArgs) -> HySortKConfig {
+    let m = cli.m.unwrap_or_else(|| HySortKConfig::recommended_m(cli.k));
+    let mut cfg = HySortKConfig::small(cli.k, m, cli.ranks);
+    cfg.min_count = cli.min_count;
+    cfg.max_count = cli.max_count;
+    cfg.batch_size = cli.batch_size;
+    cfg.overlap = cli.overlap;
+    cfg
+}
+
+fn run<K: KmerCode>(cli: &CliArgs, cfg: &HySortKConfig) -> std::io::Result<()> {
+    let opts = IngestOptions {
+        block_bytes: cli.block_bytes,
+        ..IngestOptions::default()
+    };
+    let start = std::time::Instant::now();
+    let result: CountResult<K> = count_kmers_from_files_with(&cli.files, cfg, opts)?;
+    let wall = start.elapsed().as_secs_f64();
+
+    let tsv = result.histogram.to_tsv();
+    match &cli.out {
+        Some(path) => std::fs::write(path, tsv)?,
+        None => std::io::stdout().write_all(tsv.as_bytes())?,
+    }
+
+    let report = &result.report;
+    eprintln!(
+        "[hysortk] {} file(s), k={} m={} ranks={} overlap={}",
+        cli.files.len(),
+        cfg.k,
+        cfg.m,
+        cfg.total_ranks(),
+        cfg.overlap,
+    );
+    eprintln!(
+        "[hysortk] {} k-mer instances, {} distinct, {} retained in [{}, {}]",
+        report.total_kmers,
+        report.distinct_kmers,
+        report.retained_kmers,
+        cfg.min_count,
+        cfg.max_count,
+    );
+    eprintln!(
+        "[hysortk] exchange: {} wire bytes over {} round(s), sorter {:?}, {} heavy task(s)",
+        report.total_wire_bytes, report.exchange_rounds, report.sorter, report.heavy_tasks,
+    );
+    eprintln!(
+        "[hysortk] modeled time {:.4}s ({}), wall {:.2}s",
+        report.total_time(),
+        report.stage_times.summary(),
+        wall,
+    );
+    if let Some(path) = &cli.out {
+        eprintln!("[hysortk] histogram written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args()) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("hysortk: {msg}");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.k == 0 || cli.k > 64 {
+        eprintln!("hysortk: k = {} out of supported range 1..=64", cli.k);
+        return ExitCode::from(2);
+    }
+    let cfg = config_for(&cli);
+    if let Err(e) = cfg.validate() {
+        eprintln!("hysortk: invalid configuration: {e}");
+        return ExitCode::from(2);
+    }
+    let outcome = if cli.k <= 32 {
+        run::<Kmer1>(&cli, &cfg)
+    } else {
+        run::<Kmer2>(&cli, &cfg)
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hysortk: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

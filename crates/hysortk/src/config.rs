@@ -100,9 +100,12 @@ impl Default for HySortKConfig {
 
 impl HySortKConfig {
     /// A configuration for quick local experiments: a handful of ranks, small batches,
-    /// workstation machine model, no scaling projection.
+    /// workstation machine model, no scaling projection. The workstation is sized to
+    /// hold the requested layout (`ranks × 2` threads, at least 8 cores) so the
+    /// configuration always passes the oversubscription check in
+    /// [`HySortKConfig::validate`].
     pub fn small(k: usize, m: usize, ranks: usize) -> Self {
-        let machine = MachineConfig::workstation(8, 32);
+        let machine = MachineConfig::workstation((ranks * 2).max(8), 32);
         HySortKConfig {
             k,
             m,
@@ -172,6 +175,20 @@ impl HySortKConfig {
         }
         if self.nodes == 0 || self.processes_per_node == 0 {
             return Err("nodes and processes_per_node must be positive".to_string());
+        }
+        if self.threads_per_process == 0 {
+            return Err("threads_per_process must be positive".to_string());
+        }
+        // `Default::default()` derives `threads_per_process` from a 16-ppn layout; a
+        // struct-update that only changes `processes_per_node` would silently
+        // oversubscribe the node. Reject layouts that place more threads than cores.
+        let cores = self.machine.cores_per_node;
+        if self.processes_per_node * self.threads_per_process > cores {
+            return Err(format!(
+                "{} processes_per_node × {} threads_per_process oversubscribes the \
+                 node's {} cores; lower one of them or pick a bigger machine model",
+                self.processes_per_node, self.threads_per_process, cores
+            ));
         }
         if self.overlap && self.batch_size == 0 {
             return Err(
@@ -263,5 +280,27 @@ mod tests {
     #[test]
     fn small_config_is_valid() {
         HySortKConfig::small(21, 9, 4).validate().unwrap();
+        // Larger simulated clusters must size the workstation model up instead of
+        // oversubscribing it.
+        HySortKConfig::small(21, 9, 8).validate().unwrap();
+    }
+
+    #[test]
+    fn oversubscribed_layouts_are_rejected() {
+        // Struct-updating `processes_per_node` alone keeps the derived
+        // `threads_per_process` (cores/16) and used to oversubscribe silently.
+        let mut cfg = HySortKConfig::default();
+        cfg.processes_per_node = 32; // 32 × 8 threads = 256 > 128 cores
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("oversubscribes"), "unexpected error: {err}");
+
+        // The same layout on a machine with enough cores is fine.
+        cfg.machine.cores_per_node = 256;
+        cfg.validate().unwrap();
+
+        // Zero threads is caught before the core math.
+        let mut cfg = HySortKConfig::default();
+        cfg.threads_per_process = 0;
+        assert!(cfg.validate().is_err());
     }
 }

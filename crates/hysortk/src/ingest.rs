@@ -1,0 +1,326 @@
+//! Streaming file ingestion: run the pipeline on real FASTA/FASTQ files.
+//!
+//! [`count_kmers_from_files`] is the file-fed twin of
+//! [`count_kmers`](crate::count_kmers). Instead of requiring a complete in-memory
+//! [`ReadSet`](hysortk_dna::ReadSet) up front, every simulated rank opens its own
+//! byte shard of the input (see [`hysortk_dna::io::ShardReader`]) and streams it in
+//! fixed-size blocks, running stage 1 **per ingested batch** on the rank's worker
+//! pool — the supermer scratches persist across batches through a
+//! [`ScratchBank`]. Only the 2-bit packed reads are retained (the serializer copies
+//! supermer bases out of them at exchange time); the ASCII text is never held beyond
+//! one block per rank.
+//!
+//! The two entry points produce **identical counts and histograms** on clean
+//! (`ACGT`-only) inputs — stage 2 and stage 3 are literally the same code — which the
+//! cross-crate property suite pins across rank counts and overlap modes. On real
+//! inputs the readers additionally split reads at ambiguous-base runs (`N`, IUPAC
+//! codes), so no fabricated k-mer ever enters the pipeline; the in-memory
+//! [`fasta`](hysortk_dna::fasta) reference parser keeps its historical map-to-`A`
+//! policy instead.
+//!
+//! Extension (provenance) read ids are rank-striped (`local_index × ranks + rank`)
+//! rather than globally dense: dense ids would need a prefix scan over all shards
+//! before any rank could start parsing. Counts are unaffected.
+
+use std::io;
+use std::path::Path;
+
+use hysortk_dmem::Cluster;
+use hysortk_dmem::RankCtx;
+use hysortk_dna::extension::Extension;
+use hysortk_dna::io::{list_inputs, IngestOptions, InputFile, ShardReader};
+use hysortk_dna::kmer::KmerCode;
+use hysortk_dna::readset::Read;
+use hysortk_perfmodel::{PerfModel, SortAlgorithm};
+use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
+use hysortk_task::{ScratchBank, WorkerPool};
+
+use crate::config::HySortKConfig;
+use crate::pipeline::{
+    merge_outputs, parse_supermers_parallel, record_bytes, stage1_record_read, stages_2_and_3,
+    ParsedChunk, RankCounters, RankOutput, Stage1,
+};
+use crate::result::CountResult;
+
+/// Count the canonical k-mers of one or more FASTA/FASTQ files with the full HySortK
+/// pipeline, streaming each rank's shard of the input in fixed-size blocks.
+///
+/// Formats are detected per file (extension, falling back to the first byte), so FASTA
+/// and FASTQ files can be mixed freely in one run. See [`count_kmers_from_files_with`]
+/// to tune the ingestion block and batch sizes.
+pub fn count_kmers_from_files<K: KmerCode, P: AsRef<Path>>(
+    paths: &[P],
+    cfg: &HySortKConfig,
+) -> io::Result<CountResult<K>> {
+    count_kmers_from_files_with(paths, cfg, IngestOptions::default())
+}
+
+/// [`count_kmers_from_files`] with explicit [`IngestOptions`].
+///
+/// `opts.min_fragment` is raised to `cfg.k`: a fragment shorter than k contains no
+/// k-mer, so dropping it cannot change the counts and keeps the retained read set
+/// lean on `N`-rich inputs.
+pub fn count_kmers_from_files_with<K: KmerCode, P: AsRef<Path>>(
+    paths: &[P],
+    cfg: &HySortKConfig,
+    mut opts: IngestOptions,
+) -> io::Result<CountResult<K>> {
+    cfg.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    assert!(
+        cfg.k <= K::max_k(),
+        "k = {} exceeds the chosen k-mer width",
+        cfg.k
+    );
+    if paths.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "no input files given",
+        ));
+    }
+    opts.min_fragment = opts.min_fragment.max(cfg.k);
+
+    let files = list_inputs(paths)?;
+    let total_bytes: u64 = files.iter().map(|f| f.bytes).sum();
+    let p = cfg.total_ranks();
+    let num_tasks = cfg.num_tasks();
+    let model = PerfModel::new(cfg.machine.clone(), cfg.execution());
+
+    // Sorter selection mirrors `count_kmers`, projecting from the on-disk payload
+    // (ASCII bytes ≈ bases for FASTA; a mild overestimate for FASTQ, which only makes
+    // the memory-aware choice more conservative). Deterministic, computed once.
+    let projected_kmers = (total_bytes as f64 / cfg.data_scale) as u64;
+    let bytes_per_record = record_bytes::<K>(cfg);
+    let projected_input_per_node =
+        (total_bytes as f64 / 4.0 / cfg.data_scale) as u64 / cfg.nodes.max(1) as u64;
+    let raduls_ok = model.memory().raduls_fits(
+        projected_kmers / cfg.nodes.max(1) as u64,
+        bytes_per_record,
+        projected_input_per_node,
+    );
+    let sorter = if raduls_ok {
+        SortAlgorithm::Raduls
+    } else {
+        SortAlgorithm::Paradis
+    };
+
+    let cluster = Cluster::new(p);
+    let run = cluster
+        .run(|ctx| rank_pipeline_from_files::<K>(ctx, &files, cfg, num_tasks, sorter, &opts));
+    let mut outputs = Vec::with_capacity(run.results.len());
+    let mut first_error: Option<String> = None;
+    for (output, error) in run.results {
+        if first_error.is_none() {
+            first_error = error;
+        }
+        outputs.push(output);
+    }
+    if let Some(e) = first_error {
+        return Err(io::Error::other(e));
+    }
+    Ok(merge_outputs(outputs, run.comm, cfg, &model, sorter))
+}
+
+/// One rank of the file-fed pipeline: stream the shard batch by batch through stage 1,
+/// then hand the staged supermers/records to the shared stages 2 + 3.
+///
+/// An I/O error (unreadable file, malformed FASTQ record, …) must **not** make the
+/// rank bail out early: the pipeline is SPMD, so a rank that skips the collectives
+/// deadlocks every other rank inside the task-size allreduce or the exchange. The
+/// rank instead stops ingesting, runs the remaining stages with whatever it parsed,
+/// and hands the error back alongside its (discarded) output.
+fn rank_pipeline_from_files<K: KmerCode>(
+    ctx: &mut RankCtx,
+    files: &[InputFile],
+    cfg: &HySortKConfig,
+    num_tasks: usize,
+    sorter: SortAlgorithm,
+    opts: &IngestOptions,
+) -> (RankOutput<K>, Option<String>) {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    let k = cfg.k;
+    let mut counters = RankCounters::default();
+    let scorer = MmerScorer::new(cfg.m, ScoreFunction::Hash { seed: cfg.seed });
+    let pool = WorkerPool::new(cfg.workers_per_process(), cfg.threads_per_worker);
+    let bank = ScratchBank::new();
+
+    // The rank's packed reads, accumulated batch by batch. These must outlive stage 1:
+    // the serializer copies supermer bases straight out of them during the exchange.
+    let mut owned: Vec<Read> = Vec::new();
+    let mut chunks: Vec<ParsedChunk> = Vec::new();
+    let mut record_tasks: Vec<(Vec<K>, Vec<Extension>)> =
+        (0..num_tasks).map(|_| (Vec::new(), Vec::new())).collect();
+    let mut ingest_error: Option<String> = None;
+
+    match ShardReader::open(files, rank, p, opts.clone()) {
+        Err(e) => ingest_error = Some(format!("rank {rank}: {e}")),
+        Ok(mut shard) => loop {
+            let mut batch = match shard.next_batch() {
+                Ok(Some(batch)) => batch,
+                Ok(None) => break,
+                Err(e) => {
+                    ingest_error = Some(format!("rank {rank}: {e}"));
+                    break;
+                }
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            let base = owned.len() as u64;
+            // Striping multiplies by the rank count, so the u32 id space exhausts at
+            // `u32::MAX / p` reads per shard — fail loudly instead of silently
+            // wrapping into colliding provenance ids.
+            let max_id = (base + batch.len() as u64 - 1) * p as u64 + rank as u64;
+            if max_id > u64::from(u32::MAX) {
+                ingest_error = Some(format!(
+                    "rank {rank}: shard exceeds {} reads, the striped u32 read-id space",
+                    u32::MAX / p as u32
+                ));
+                break;
+            }
+            for (i, read) in batch.iter_mut().enumerate() {
+                read.id = ((base + i as u64) * p as u64 + rank as u64) as u32;
+                counters.bases_parsed += read.len() as u64;
+                counters.kmers_parsed += read.seq.num_kmers(k) as u64;
+            }
+            if cfg.use_supermers {
+                let refs: Vec<&Read> = batch.iter().collect();
+                let batch_chunks = parse_supermers_parallel(
+                    &refs,
+                    base as u32,
+                    k,
+                    &scorer,
+                    num_tasks,
+                    &pool,
+                    &bank,
+                );
+                for chunk in &batch_chunks {
+                    counters.supermers_built += chunk.supermers;
+                }
+                chunks.extend(batch_chunks);
+            } else {
+                for read in &batch {
+                    stage1_record_read(read, k, cfg.seed, num_tasks, &mut record_tasks);
+                }
+            }
+            owned.extend(batch);
+        },
+    }
+
+    let my_reads: Vec<&Read> = owned.iter().collect();
+    let stage1: Stage1<K> = if cfg.use_supermers {
+        Stage1::Supermers(chunks)
+    } else {
+        Stage1::Records(record_tasks)
+    };
+    let output = stages_2_and_3(
+        ctx, &my_reads, stage1, counters, cfg, num_tasks, sorter, &pool,
+    );
+    (output, ingest_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_kmers;
+    use hysortk_dna::kmer::Kmer1;
+    use hysortk_dna::{fasta, ReadSet};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::path::PathBuf;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hysortk_ingest_{}_{tag}", std::process::id()))
+    }
+
+    fn overlapping_reads(seed: u64) -> ReadSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genome: Vec<u8> = (0..2_500).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+        let reads: Vec<Vec<u8>> = (0..80)
+            .map(|_| {
+                let start = rng.gen_range(0..genome.len() - 250);
+                genome[start..start + 250].to_vec()
+            })
+            .collect();
+        ReadSet::from_ascii_reads(&reads)
+    }
+
+    fn small_cfg(ranks: usize) -> HySortKConfig {
+        let mut cfg = HySortKConfig::small(21, 9, ranks);
+        cfg.min_count = 1;
+        cfg.max_count = 1_000_000;
+        cfg
+    }
+
+    #[test]
+    fn file_fed_counts_match_the_in_memory_path() {
+        let reads = overlapping_reads(31);
+        let path = tmp_path("match.fa");
+        fasta::write_fasta_file(&path, &reads, 70).unwrap();
+        let cfg = small_cfg(3);
+        let expected = count_kmers::<Kmer1>(&reads, &cfg);
+        let got = count_kmers_from_files::<Kmer1, _>(&[&path], &cfg).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(got.counts, expected.counts);
+        assert_eq!(got.histogram, expected.histogram);
+    }
+
+    #[test]
+    fn tiny_ingest_blocks_change_nothing() {
+        let reads = overlapping_reads(32);
+        let path = tmp_path("tinyblocks.fa");
+        fasta::write_fasta_file(&path, &reads, 70).unwrap();
+        let cfg = small_cfg(2);
+        let expected = count_kmers::<Kmer1>(&reads, &cfg);
+        let opts = IngestOptions {
+            block_bytes: 64,
+            batch_records: 5,
+            min_fragment: 1,
+        };
+        let got = count_kmers_from_files_with::<Kmer1, _>(&[&path], &cfg, opts).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(got.counts, expected.counts);
+    }
+
+    #[test]
+    fn records_ablation_mode_ingests_identically() {
+        let reads = overlapping_reads(33);
+        let path = tmp_path("records.fa");
+        fasta::write_fasta_file(&path, &reads, 70).unwrap();
+        let mut cfg = small_cfg(3);
+        cfg.use_supermers = false;
+        let expected = count_kmers::<Kmer1>(&reads, &cfg);
+        let got = count_kmers_from_files::<Kmer1, _>(&[&path], &cfg).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(got.counts, expected.counts);
+    }
+
+    #[test]
+    fn malformed_input_errors_do_not_deadlock_the_cluster() {
+        // Regression: a rank that hits a malformed record used to return before the
+        // collectives, deadlocking every other rank inside the task-size allreduce.
+        // The erroring rank must complete the SPMD stages and surface the error after
+        // the run.
+        let path = tmp_path("malformed.fq");
+        std::fs::write(&path, "@r\nACGTACGTACGTACGTACGTACGT\n+\nIII\n").unwrap();
+        for ranks in [1usize, 4] {
+            let cfg = small_cfg(ranks);
+            let err = count_kmers_from_files::<Kmer1, _>(&[&path], &cfg).unwrap_err();
+            assert!(
+                err.to_string().contains("quality length"),
+                "ranks={ranks}: unexpected error {err}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_files_surface_as_errors() {
+        let cfg = small_cfg(2);
+        let missing = tmp_path("does_not_exist.fa");
+        assert!(count_kmers_from_files::<Kmer1, _>(&[&missing], &cfg).is_err());
+        let none: [&std::path::Path; 0] = [];
+        assert!(count_kmers_from_files::<Kmer1, _>(&none, &cfg).is_err());
+    }
+}

@@ -31,7 +31,9 @@ use hysortk_perfmodel::{PerfModel, SortAlgorithm, StageTimes};
 use hysortk_sort::{count_sorted_runs, paradis_sort_from};
 use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
 use hysortk_supermer::streaming::{for_each_supermer, SupermerScratch};
-use hysortk_task::{assign_greedy, detect_heavy_tasks, schedule_lpt, Assignment, WorkerPool};
+use hysortk_task::{
+    assign_greedy, detect_heavy_tasks, schedule_lpt, Assignment, ScratchBank, WorkerPool,
+};
 
 use crate::config::HySortKConfig;
 use crate::result::{CountResult, KmerHistogram, RunReport};
@@ -40,10 +42,10 @@ use crate::wire::{write_block, write_records_uncompressed, SupermerBlockWriter, 
 
 /// Work counters measured by one rank.
 #[derive(Debug, Clone, Default)]
-struct RankCounters {
-    bases_parsed: u64,
-    kmers_parsed: u64,
-    supermers_built: u64,
+pub(crate) struct RankCounters {
+    pub(crate) bases_parsed: u64,
+    pub(crate) kmers_parsed: u64,
+    pub(crate) supermers_built: u64,
     heavy_local_sorted: u64,
     received_elements: u64,
     precounted_elements: u64,
@@ -60,7 +62,7 @@ struct RankCounters {
 }
 
 /// Per-rank result of the pipeline.
-struct RankOutput<K: KmerCode> {
+pub(crate) struct RankOutput<K: KmerCode> {
     counts: Vec<(K, u64)>,
     extensions: Option<Vec<Vec<Extension>>>,
     histogram: KmerHistogram,
@@ -93,9 +95,9 @@ impl SmRef {
 /// concatenating chunk stagings per task reproduces the sequential supermer order.
 pub(crate) struct ParsedChunk {
     per_task: Vec<Vec<SmRef>>,
-    bases: u64,
-    kmers: u64,
-    supermers: u64,
+    pub(crate) bases: u64,
+    pub(crate) kmers: u64,
+    pub(crate) supermers: u64,
 }
 
 /// What a rank accumulates locally before the exchange.
@@ -207,17 +209,22 @@ impl<K: KmerCode> SendSerializer<'_, K> {
     }
 }
 
-/// Stage 1 in supermer mode: stream the rank's reads through the fused extractor
-/// ([`for_each_supermer`]) in parallel on the cached worker pool. Reads are split into
-/// contiguous chunks (a few per thread, for balance against uneven read lengths);
-/// each worker thread reuses one [`SupermerScratch`] ring across all its chunks and
-/// stages compact [`SmRef`]s per task.
-fn parse_supermers_parallel(
+/// Stage 1 in supermer mode: stream a slice of the rank's reads through the fused
+/// extractor ([`for_each_supermer`]) in parallel on the cached worker pool. Reads are
+/// split into contiguous chunks (a few per thread, for balance against uneven read
+/// lengths); worker threads check one [`SupermerScratch`] ring each out of `bank`, so
+/// repeated calls (the streaming feed path parses one ingested batch at a time)
+/// reuse the scratches instead of re-allocating them per batch. Staged [`SmRef`]s
+/// index reads as `base_index + position within the slice` — the in-memory path
+/// passes `0`, the feed path passes the number of reads ingested before this batch.
+pub(crate) fn parse_supermers_parallel(
     my_reads: &[&Read],
+    base_index: u32,
     k: usize,
     scorer: &MmerScorer,
     num_tasks: usize,
     pool: &WorkerPool,
+    bank: &ScratchBank<SupermerScratch>,
 ) -> Vec<ParsedChunk> {
     let chunk_count = (pool.total_threads() * 4).clamp(1, my_reads.len().max(1));
     let mut chunks: Vec<(u32, &[&Read])> = Vec::with_capacity(chunk_count);
@@ -226,11 +233,12 @@ fn parse_supermers_parallel(
     let mut start = 0usize;
     for c in 0..chunk_count {
         let len = base + usize::from(c < extra);
-        chunks.push((start as u32, &my_reads[start..start + len]));
+        chunks.push((base_index + start as u32, &my_reads[start..start + len]));
         start += len;
     }
-    pool.execute_with(
+    pool.execute_with_bank(
         chunks,
+        bank,
         SupermerScratch::new,
         |scratch, (first_read, slice)| {
             let mut chunk = ParsedChunk {
@@ -296,12 +304,12 @@ pub fn count_kmers<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> CountRe
     let cluster = Cluster::new(p);
     let run = cluster.run(|ctx| rank_pipeline::<K>(ctx, reads, &ranges, cfg, num_tasks, sorter));
 
-    merge_outputs(run.results, run.comm, cfg, &model, sorter, reads)
+    merge_outputs(run.results, run.comm, cfg, &model, sorter)
 }
 
 /// Wire size of one k-mer record in the receive buffer (used for the memory projection
 /// and the sort-cost byte width).
-fn record_bytes<K: KmerCode>(cfg: &HySortKConfig) -> usize {
+pub(crate) fn record_bytes<K: KmerCode>(cfg: &HySortKConfig) -> usize {
     K::WORDS * 8
         + if cfg.with_extension {
             Extension::WIRE_BYTES
@@ -319,7 +327,6 @@ fn rank_pipeline<K: KmerCode>(
     sorter: SortAlgorithm,
 ) -> RankOutput<K> {
     let rank = ctx.rank();
-    let p = ctx.size();
     let k = cfg.k;
     let mut counters = RankCounters::default();
     let scorer = MmerScorer::new(cfg.m, ScoreFunction::Hash { seed: cfg.seed });
@@ -330,11 +337,11 @@ fn rank_pipeline<K: KmerCode>(
     // into the packed reads are staged. The records ablation path keeps the simple
     // sequential per-read loop.
     let my_reads: Vec<&Read> = reads.reads()[ranges[rank].clone()].iter().collect();
-    let workers = cfg.workers_per_process();
-    let pool = WorkerPool::new(workers, cfg.threads_per_worker);
+    let pool = WorkerPool::new(cfg.workers_per_process(), cfg.threads_per_worker);
 
     let stage1: Stage1<K> = if cfg.use_supermers {
-        let chunks = parse_supermers_parallel(&my_reads, k, &scorer, num_tasks, &pool);
+        let bank = ScratchBank::new();
+        let chunks = parse_supermers_parallel(&my_reads, 0, k, &scorer, num_tasks, &pool, &bank);
         for chunk in &chunks {
             counters.bases_parsed += chunk.bases;
             counters.kmers_parsed += chunk.kmers;
@@ -347,16 +354,55 @@ fn rank_pipeline<K: KmerCode>(
         for read in &my_reads {
             counters.bases_parsed += read.len() as u64;
             counters.kmers_parsed += read.seq.num_kmers(k) as u64;
-            for (pos, km) in read.seq.kmers::<K>(k).enumerate() {
-                let canon = km.canonical(k);
-                let task = (hash_kmer(&canon, cfg.seed) % num_tasks as u64) as usize;
-                let (kmers, exts) = &mut tasks[task];
-                kmers.push(canon);
-                exts.push(Extension::new(read.id, pos as u32));
-            }
+            stage1_record_read(read, k, cfg.seed, num_tasks, &mut tasks);
         }
         Stage1::Records(tasks)
     };
+
+    stages_2_and_3(
+        ctx, &my_reads, stage1, counters, cfg, num_tasks, sorter, &pool,
+    )
+}
+
+/// Stage 1 in records (naive-exchange ablation) mode for one read: canonicalise every
+/// k-mer and stage it, with its provenance, on the task its hash addresses. Shared by
+/// the in-memory and file-fed entry points so the two can never diverge on the task
+/// mapping.
+pub(crate) fn stage1_record_read<K: KmerCode>(
+    read: &Read,
+    k: usize,
+    seed: u32,
+    num_tasks: usize,
+    tasks: &mut [(Vec<K>, Vec<Extension>)],
+) {
+    for (pos, km) in read.seq.kmers::<K>(k).enumerate() {
+        let canon = km.canonical(k);
+        let task = (hash_kmer(&canon, seed) % num_tasks as u64) as usize;
+        let (kmers, exts) = &mut tasks[task];
+        kmers.push(canon);
+        exts.push(Extension::new(read.id, pos as u32));
+    }
+}
+
+/// Stages 2 and 3 of the rank pipeline — task sizing, assignment, heavy-hitter
+/// conversion, serialisation, exchange, sort & count, and the per-rank merge. Shared
+/// verbatim by the in-memory entry point ([`count_kmers`]) and the streaming file
+/// feed ([`crate::ingest::count_kmers_from_files`]), which is what makes their
+/// outputs identical by construction once stage 1 has staged the same reads.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stages_2_and_3<K: KmerCode>(
+    ctx: &mut RankCtx,
+    my_reads: &[&Read],
+    stage1: Stage1<K>,
+    mut counters: RankCounters,
+    cfg: &HySortKConfig,
+    num_tasks: usize,
+    sorter: SortAlgorithm,
+    pool: &WorkerPool,
+) -> RankOutput<K> {
+    let p = ctx.size();
+    let k = cfg.k;
+    let workers = cfg.workers_per_process();
 
     // ---------------- task sizing, assignment, heavy hitters -------------------------
     let local_sizes: Vec<u64> = match &stage1 {
@@ -413,7 +459,7 @@ fn rank_pipeline<K: KmerCode>(
     let first_radix_level = K::WORDS * 8 - levels;
     let mut ser = SendSerializer {
         stage1,
-        my_reads: &my_reads,
+        my_reads,
         local_sizes: &local_sizes,
         heavy: &heavy,
         with_extension: cfg.with_extension,
@@ -440,7 +486,7 @@ fn rank_pipeline<K: KmerCode>(
             ((cfg.batch_size as f64 * p as f64 * cfg.data_scale).ceil() as u64).max(1),
             k,
             &params,
-            &pool,
+            pool,
         );
         counters.overlap_hidden_bytes = run.hidden_bytes;
         counters.overlap_exposed_bytes = run.exposed_bytes;
@@ -471,7 +517,7 @@ fn rank_pipeline<K: KmerCode>(
         )
         .expect("exchange produced a malformed stream");
         let task_sizes = index.task_sizes();
-        let out = stage3::count_blocks_parallel(&index, k, &params, &pool);
+        let out = stage3::count_blocks_parallel(&index, k, &params, pool);
         (out, task_sizes, exchange.rounds)
     };
     counters.heavy_local_sorted = ser.heavy_local_sorted;
@@ -508,13 +554,12 @@ fn identity_assignment(sizes: &[u64], ranks: usize) -> Assignment {
 }
 
 /// Combine the per-rank outputs into the public result and build the report.
-fn merge_outputs<K: KmerCode>(
+pub(crate) fn merge_outputs<K: KmerCode>(
     outputs: Vec<RankOutput<K>>,
     comm: Vec<CommStats>,
     cfg: &HySortKConfig,
     model: &PerfModel,
     sorter: SortAlgorithm,
-    reads: &ReadSet,
 ) -> CountResult<K> {
     let scale = 1.0 / cfg.data_scale;
 
@@ -688,8 +733,10 @@ fn merge_outputs<K: KmerCode>(
     // ---- memory ------------------------------------------------------------------------
     let elements_per_node = (max_received as u64) * cfg.processes_per_node as u64;
     let aux_fraction = 1.0 / cfg.tasks_per_worker.max(1) as f64;
-    let input_per_node =
-        (reads.total_bases() as f64 / 4.0 * scale) as u64 / cfg.nodes.max(1) as u64;
+    // Every base is parsed by exactly one rank, so the counter sum is the input size
+    // (the file feed has no `ReadSet` to ask).
+    let total_bases: u64 = counters.iter().map(|c| c.bases_parsed).sum();
+    let input_per_node = (total_bases as f64 / 4.0 * scale) as u64 / cfg.nodes.max(1) as u64;
     let peak = model.memory().sort_counter_peak(
         elements_per_node,
         bytes_per_record,

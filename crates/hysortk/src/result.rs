@@ -54,6 +54,21 @@ impl KmerHistogram {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// Render the histogram as TSV `multiplicity\tdistinct` lines (empty buckets
+    /// skipped; the last bucket accumulates counts at or above the cap). This is the
+    /// `hysortk count --out` file format, and what the CLI smoke test diffs against
+    /// its checked-in golden file — deterministic for a given input regardless of
+    /// rank count, overlap mode or sorter.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for (count, &distinct) in self.buckets.iter().enumerate().skip(1) {
+            if distinct > 0 {
+                out.push_str(&format!("{count}\t{distinct}\n"));
+            }
+        }
+        out
+    }
 }
 
 /// Everything measured and modeled about one counting run.

@@ -106,7 +106,10 @@ pub fn decode_extensions_slice(bytes: &[u8], count: usize) -> Option<Vec<Extensi
             let delta = *bytes.get(i)? as i8;
             i += 1;
             let base = prev?.read_id;
-            (i64::from(base) + i64::from(delta)) as u32
+            // A malformed or truncated stream can reconstruct a value outside u32
+            // (e.g. a negative base + delta); an unchecked cast would wrap it into a
+            // garbage-but-plausible read id. Reject the stream instead.
+            u32::try_from(i64::from(base) + i64::from(delta)).ok()?
         } else {
             let raw: [u8; 4] = bytes.get(i..i + 4)?.try_into().ok()?;
             i += 4;
@@ -116,7 +119,7 @@ pub fn decode_extensions_slice(bytes: &[u8], count: usize) -> Option<Vec<Extensi
             let delta = *bytes.get(i)? as i8;
             i += 1;
             let base = prev?.pos_in_read;
-            (i64::from(base) + i64::from(delta)) as u32
+            u32::try_from(i64::from(base) + i64::from(delta)).ok()?
         } else {
             let raw: [u8; 4] = bytes.get(i..i + 4)?.try_into().ok()?;
             i += 4;
@@ -194,6 +197,41 @@ mod tests {
         let mut padded = encode_extensions(&records);
         padded.bytes.push(0);
         assert!(decode_extensions(&padded).is_none());
+    }
+
+    #[test]
+    fn out_of_range_deltas_are_rejected_not_wrapped() {
+        // A hand-crafted stream whose second record applies a negative delta to a
+        // zero base: the reconstructed read id is -1, which an unchecked `as u32`
+        // cast would wrap to 4294967295 and happily decode.
+        let mut bytes = Vec::new();
+        bytes.push(0u8); // record 0: full fields
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // read_id = 0
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // pos = 0
+        bytes.push(READ_DELTA); // record 1: read_id as delta, pos full
+        bytes.push((-1i8) as u8); // base 0 + delta -1 → out of range
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        assert_eq!(decode_extensions_slice(&bytes, 2), None);
+
+        // Same shape for the position field.
+        let mut bytes = Vec::new();
+        bytes.push(0u8);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(POS_DELTA);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.push((-2i8) as u8);
+        assert_eq!(decode_extensions_slice(&bytes, 2), None);
+
+        // Overflow on the high end: base u32::MAX + positive delta.
+        let mut bytes = Vec::new();
+        bytes.push(0u8);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(READ_DELTA);
+        bytes.push(1u8); // u32::MAX + 1 → out of range
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        assert_eq!(decode_extensions_slice(&bytes, 2), None);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! End-to-end ingestion tests: real FASTA/FASTQ files on disk, streamed through the
+//! chunked rank-sharded readers into the full pipeline, pinned byte-identical to the
+//! in-memory `ReadSet` entry point across rank counts and overlap modes.
+
+use std::path::PathBuf;
+
+use hysortk_core::ingest::{count_kmers_from_files, count_kmers_from_files_with};
+use hysortk_core::{count_kmers, reference_counts_bounded, HySortKConfig};
+use hysortk_datasets::DatasetPreset;
+use hysortk_dna::io::{write_fastq_file, IngestOptions};
+use hysortk_dna::{fasta, Kmer1, ReadSet};
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hysortk_e2e_{}_{tag}", std::process::id()))
+}
+
+fn config(k: usize, ranks: usize, overlap: bool) -> HySortKConfig {
+    let mut cfg = HySortKConfig::small(k, HySortKConfig::recommended_m(k), ranks);
+    cfg.min_count = 1;
+    cfg.max_count = 1_000_000;
+    cfg.overlap = overlap;
+    cfg
+}
+
+/// The golden grid of the issue: a generated dataset written to FASTA **and** FASTQ,
+/// ingested on {1, 2, 7} ranks with overlap on and off, counts asserted identical to
+/// the in-memory pipeline (and the in-memory pipeline to the oracle).
+#[test]
+fn file_fed_counts_are_identical_to_in_memory_across_ranks_and_overlap_modes() {
+    let data = DatasetPreset::ABaumannii.generate(1.2e-4, 4242);
+    let fa = tmp_path("grid.fa");
+    let fq = tmp_path("grid.fq");
+    fasta::write_fasta_file(&fa, &data.reads, 61).unwrap();
+    write_fastq_file(&fq, &data.reads).unwrap();
+
+    let k = 21;
+    let expected = reference_counts_bounded::<Kmer1>(&data.reads, k, 1, 1_000_000);
+    for ranks in [1usize, 2, 7] {
+        for overlap in [false, true] {
+            let mut cfg = config(k, ranks, overlap);
+            cfg.data_scale = data.data_scale;
+            let context = format!("ranks={ranks} overlap={overlap}");
+
+            let in_memory = count_kmers::<Kmer1>(&data.reads, &cfg);
+            assert_eq!(in_memory.counts, expected, "in-memory vs oracle: {context}");
+
+            let from_fasta = count_kmers_from_files::<Kmer1, _>(&[&fa], &cfg).unwrap();
+            assert_eq!(
+                from_fasta.counts, in_memory.counts,
+                "FASTA-fed vs in-memory: {context}"
+            );
+            assert_eq!(
+                from_fasta.histogram, in_memory.histogram,
+                "FASTA-fed histogram: {context}"
+            );
+
+            let from_fastq = count_kmers_from_files::<Kmer1, _>(&[&fq], &cfg).unwrap();
+            assert_eq!(
+                from_fastq.counts, in_memory.counts,
+                "FASTQ-fed vs in-memory: {context}"
+            );
+            assert_eq!(
+                from_fastq.histogram, in_memory.histogram,
+                "FASTQ-fed histogram: {context}"
+            );
+        }
+    }
+    std::fs::remove_file(&fa).ok();
+    std::fs::remove_file(&fq).ok();
+}
+
+/// Multi-file input: the dataset split into three files (two FASTA, one FASTQ) must
+/// count exactly like the single-file and in-memory runs, for shard boundaries both
+/// inside and across the files.
+#[test]
+fn multi_file_mixed_format_input_counts_like_the_concatenation() {
+    let data = DatasetPreset::ABaumannii.generate(1.0e-4, 99);
+    let third = data.reads.len() / 3;
+    let parts: [ReadSet; 3] = [
+        data.reads.iter().take(third).cloned().collect(),
+        data.reads.iter().skip(third).take(third).cloned().collect(),
+        data.reads.iter().skip(2 * third).cloned().collect(),
+    ];
+    let paths = [
+        tmp_path("part0.fa"),
+        tmp_path("part1.fq"),
+        tmp_path("part2.fa"),
+    ];
+    fasta::write_fasta_file(&paths[0], &parts[0], 70).unwrap();
+    write_fastq_file(&paths[1], &parts[1]).unwrap();
+    fasta::write_fasta_file(&paths[2], &parts[2], 70).unwrap();
+
+    let k = 17;
+    for ranks in [2usize, 5] {
+        let mut cfg = config(k, ranks, true);
+        cfg.data_scale = data.data_scale;
+        let in_memory = count_kmers::<Kmer1>(&data.reads, &cfg);
+        let from_files = count_kmers_from_files::<Kmer1, _>(&paths, &cfg).unwrap();
+        assert_eq!(from_files.counts, in_memory.counts, "ranks={ranks}");
+        assert_eq!(from_files.histogram, in_memory.histogram, "ranks={ranks}");
+    }
+    for p in &paths {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// Tiny ingestion blocks force every record across a block boundary; the counts must
+/// not move. Bounded-memory streaming is exercised directly in `hysortk_dna::io`.
+#[test]
+fn block_size_never_changes_the_counts() {
+    let data = DatasetPreset::ABaumannii.generate(0.8e-4, 7);
+    let fa = tmp_path("blocks.fa");
+    fasta::write_fasta_file(&fa, &data.reads, 80).unwrap();
+    let mut cfg = config(21, 3, true);
+    cfg.data_scale = data.data_scale;
+    let baseline = count_kmers::<Kmer1>(&data.reads, &cfg);
+    for block_bytes in [64usize, 4_096] {
+        let opts = IngestOptions {
+            block_bytes,
+            batch_records: 7,
+            min_fragment: 1,
+        };
+        let got = count_kmers_from_files_with::<Kmer1, _>(&[&fa], &cfg, opts).unwrap();
+        assert_eq!(got.counts, baseline.counts, "block_bytes={block_bytes}");
+    }
+    std::fs::remove_file(&fa).ok();
+}
+
+/// The N-policy pin: ambiguous bases split reads in the ingestion path, so no k-mer
+/// spanning an `N` run is ever counted — unlike the in-memory reference parser,
+/// which keeps its historical map-to-`A` policy and fabricates k-mers.
+#[test]
+fn ambiguous_bases_split_reads_instead_of_fabricating_kmers() {
+    let text = ">r1\nACGTACGTACGTNNNNTTTTGGGGCCCC\n>r2\nAAAACCCCNGGGGTTTTACGTACGT\n>r3\nACGTACGTACGTACGT\n";
+    let fa = tmp_path("npolicy.fa");
+    std::fs::write(&fa, text).unwrap();
+
+    // What a correct counter sees: the fragments between the N runs.
+    let fragments = ReadSet::from_ascii_reads(&[
+        b"ACGTACGTACGT".as_slice(),
+        b"TTTTGGGGCCCC".as_slice(),
+        b"AAAACCCC".as_slice(),
+        b"GGGGTTTTACGTACGT".as_slice(),
+        b"ACGTACGTACGTACGT".as_slice(),
+    ]);
+
+    let k = 7;
+    let cfg = config(k, 2, true);
+    let expected = reference_counts_bounded::<Kmer1>(&fragments, k, 1, 1_000_000);
+    let got = count_kmers_from_files::<Kmer1, _>(&[&fa], &cfg).unwrap();
+    assert_eq!(
+        got.counts, expected,
+        "file-fed counts must match the split fragments"
+    );
+
+    // The in-memory reference parser maps N→A instead — demonstrably different on
+    // this input (it fabricates k-mers across the N runs).
+    let mapped = fasta::parse_fasta_str(text);
+    let mapped_counts = reference_counts_bounded::<Kmer1>(&mapped, k, 1, 1_000_000);
+    assert_ne!(
+        got.counts, mapped_counts,
+        "the N runs must actually change the spectrum for this pin to mean anything"
+    );
+    std::fs::remove_file(&fa).ok();
+}
+
+/// The CLI smoke contract, tested from the library so tier-1 covers it: counting the
+/// bundled `tests/data/smoke.fa` with the smoke parameters must reproduce the
+/// checked-in golden histogram byte for byte (CI additionally runs the actual binary
+/// and diffs its `--out` file against the same golden).
+#[test]
+fn bundled_smoke_fasta_reproduces_the_checked_in_golden_histogram() {
+    let data_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("data");
+    let smoke = data_dir.join("smoke.fa");
+    let golden = std::fs::read_to_string(data_dir.join("smoke.hist.tsv")).unwrap();
+
+    // Mirror the CLI defaults used by the CI smoke step:
+    // `hysortk count tests/data/smoke.fa -k 21 --ranks 4 --min-count 2`.
+    let mut cfg = HySortKConfig::small(21, HySortKConfig::recommended_m(21), 4);
+    cfg.min_count = 2;
+    cfg.max_count = 50;
+    let result = count_kmers_from_files::<Kmer1, _>(&[&smoke], &cfg).unwrap();
+    assert_eq!(result.histogram.to_tsv(), golden);
+    assert!(result.report.distinct_kmers > 0);
+}

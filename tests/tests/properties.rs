@@ -380,8 +380,9 @@ fn assert_overlap_matches_bulk(
 /// the out-of-place RADULS path — the knob the pipeline's sorter selection reads.
 fn machine_for_sorter(raduls: bool) -> hysortk_perfmodel::MachineConfig {
     // The memory model reserves 16 GiB for OS + runtime; 8 GiB of DRAM therefore
-    // leaves nothing for the RADULS ping-pong buffer and selects PARADIS.
-    hysortk_perfmodel::MachineConfig::workstation(8, if raduls { 64 } else { 8 })
+    // leaves nothing for the RADULS ping-pong buffer and selects PARADIS. 16 cores
+    // keep the grid's widest layout (7 ranks × 2 threads) within the node.
+    hysortk_perfmodel::MachineConfig::workstation(16, if raduls { 64 } else { 8 })
 }
 
 #[test]
