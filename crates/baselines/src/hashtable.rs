@@ -63,10 +63,12 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
                 hll.insert_hash(hash_kmer(&km, 0x5eed));
             }
         }
-        let merged = ctx.allreduce(hll, "hll-merge", |mut a, b| {
-            a.merge(&b);
-            a
-        });
+        let merged = ctx
+            .allreduce(hll, "hll-merge", |mut a, b| {
+                a.merge(&b);
+                a
+            })
+            .expect("baseline cluster runs without fault injection");
         let estimated_distinct = merged.estimate().max(64.0) as usize;
         let per_rank_estimate = estimated_distinct / ctx.size() + 1;
 
@@ -83,7 +85,9 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
                 }
             }
         }
-        let pass1 = ctx.alltoall_rounds(send.clone(), cfg.batch_size * K::WORDS, "pass1");
+        let pass1 = ctx
+            .alltoall_rounds(send.clone(), cfg.batch_size * K::WORDS, "pass1")
+            .expect("baseline cluster runs without fault injection");
 
         let mut bloom = BloomFilter::with_rate(per_rank_estimate.max(1024), 0.01);
         let mut seen_twice: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
@@ -96,7 +100,9 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
         }
 
         // ---- pass 2: exchange again, count in the hash table -------------------------
-        let pass2 = ctx.alltoall_rounds(send, cfg.batch_size * K::WORDS, "pass2");
+        let pass2 = ctx
+            .alltoall_rounds(send, cfg.batch_size * K::WORDS, "pass2")
+            .expect("baseline cluster runs without fault injection");
         let mut table: BTreeMap<Vec<u64>, u64> = BTreeMap::new();
         let mut received = 0u64;
         for row in &pass2.received {
@@ -246,6 +252,7 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
         exchange_rounds: rounds_projected,
         assignment_imbalance: 1.0,
         overlap_fraction: 0.0,
+        io_retries: 0,
     };
 
     BaselineResult {

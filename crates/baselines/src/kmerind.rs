@@ -102,7 +102,9 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
                 }
             }
         }
-        let exchange = ctx.alltoall_rounds(send, cfg.batch_size * K::WORDS, "exchange");
+        let exchange = ctx
+            .alltoall_rounds(send, cfg.batch_size * K::WORDS, "exchange")
+            .expect("baseline cluster runs without fault injection");
 
         let mut table: RobinHoodTable<K> = RobinHoodTable::with_expected(4096);
         let mut received = 0u64;
@@ -233,6 +235,7 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
         exchange_rounds: rounds_projected,
         assignment_imbalance: 1.0,
         overlap_fraction: 1.0,
+        io_retries: 0,
     };
 
     KmerindOutcome::Completed(Box::new(BaselineResult {

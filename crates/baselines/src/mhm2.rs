@@ -60,7 +60,9 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
                 );
             }
         }
-        let exchange = ctx.alltoall_rounds(send, cfg.batch_size * K::num_bytes(k), "exchange");
+        let exchange = ctx
+            .alltoall_rounds(send, cfg.batch_size * K::num_bytes(k), "exchange")
+            .expect("baseline cluster runs without fault injection");
 
         // "GPU" counting: exact counting of the received supermers' k-mers.
         let mut table: BTreeMap<K, u64> = BTreeMap::new();
@@ -194,6 +196,7 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         exchange_rounds: rounds_projected,
         assignment_imbalance: 1.0,
         overlap_fraction: 0.0,
+        io_retries: 0,
     };
 
     BaselineResult {

@@ -32,7 +32,9 @@ fn bench_engine_primitive(c: &mut Criterion) {
                         send.resize(send.len() + len, (r + dst) as u8);
                         *count = len;
                     }
-                    let recv = ctx.alltoallv_flat(send, &counts, "bulk");
+                    let recv = ctx
+                        .alltoallv_flat(send, &counts, "bulk")
+                        .expect("benchmark cluster runs without fault injection");
                     received += recv.data.len();
                 }
                 received
@@ -54,14 +56,18 @@ fn bench_engine_primitive(c: &mut Criterion) {
                         send.resize(send.len() + len, (r + dst) as u8);
                         *count = len;
                     }
-                    engine.post_round(r, send, &counts);
+                    engine
+                        .post_round(r, send, &counts)
+                        .expect("benchmark cluster runs without fault injection");
                 };
                 post(&mut engine, 0, ctx.rank());
                 for r in 0..rounds {
                     if r + 1 < rounds {
                         post(&mut engine, r + 1, ctx.rank());
                     }
-                    engine.wait_round(r, &mut recv);
+                    engine
+                        .wait_round(r, &mut recv)
+                        .expect("benchmark cluster runs without fault injection");
                     received += recv.data.len();
                 }
                 engine.finish(ctx);

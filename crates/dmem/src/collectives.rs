@@ -5,29 +5,159 @@
 //! point. Data moves through a shared *exchange board* — one posting slot per rank plus
 //! a reusable barrier — so a rank can only observe another rank's data by receiving it
 //! through a collective, mirroring real distributed memory.
+//!
+//! Every collective returns `Result<_, DmemError>`: when any rank fails (panics, hits
+//! an injected fault, or publishes a local error via [`RankCtx::abort`]), a
+//! cluster-wide abort flag is raised and every peer blocked in a barrier or a round
+//! wait unblocks promptly with [`DmemError::PeerFailed`] naming the failing rank —
+//! a failing rank can no longer hang its peers.
 
 use std::any::Any;
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
+use crate::error::DmemError;
+use crate::fault::FaultPlan;
 use crate::nonblocking::{BoardRegistry, RoundExchange};
 use crate::stats::CommStats;
 
+/// Poll interval of abortable waits: how quickly a blocked rank notices an abort.
+pub(crate) const ABORT_TICK: Duration = Duration::from_millis(2);
+
+/// Backstop deadline of abortable waits: a rank that observes neither completion nor
+/// an abort for this long gives up with [`DmemError::Timeout`] instead of hanging.
+pub(crate) const WAIT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Cluster-wide abort flag: the first failure wins and is broadcast to every blocked
+/// rank. `publish` is idempotent — later failures keep the first (root-cause) record.
+pub(crate) struct AbortState {
+    flag: AtomicBool,
+    info: Mutex<Option<(usize, String)>>,
+}
+
+impl AbortState {
+    pub(crate) fn new() -> Self {
+        AbortState {
+            flag: AtomicBool::new(false),
+            info: Mutex::new(None),
+        }
+    }
+
+    /// Record that `rank` failed with `detail` and raise the abort flag. First-wins:
+    /// if an abort is already published this is a no-op, so re-publishing an observed
+    /// `PeerFailed` never overwrites the root cause.
+    pub(crate) fn publish(&self, rank: usize, detail: &str) {
+        {
+            let mut info = self.info.lock().unwrap_or_else(|e| e.into_inner());
+            if info.is_none() {
+                *info = Some((rank, detail.to_string()));
+            }
+        }
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// The abort as seen by a peer blocked at `round`, if one has been published.
+    pub(crate) fn peer_failure(&self, round: usize) -> Option<DmemError> {
+        if !self.flag.load(Ordering::Acquire) {
+            return None;
+        }
+        let info = self.info.lock().unwrap_or_else(|e| e.into_inner());
+        let (rank, detail) = info
+            .clone()
+            .unwrap_or((usize::MAX, "unidentified rank failure".to_string()));
+        Some(DmemError::PeerFailed {
+            rank,
+            round,
+            detail,
+        })
+    }
+}
+
+/// A reusable barrier whose waiters poll the cluster abort flag: when a peer fails
+/// and never arrives, every waiter returns [`DmemError::PeerFailed`] instead of
+/// parking forever (with [`DmemError::Timeout`] as the backstop).
+pub(crate) struct AbortableBarrier {
+    size: usize,
+    /// `(waiting count, generation)`; a generation bump releases the current cohort.
+    state: Mutex<(usize, u64)>,
+    cv: Condvar,
+}
+
+impl AbortableBarrier {
+    fn new(size: usize) -> Self {
+        AbortableBarrier {
+            size,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self, abort: &AbortState, label: &str, round: usize) -> Result<(), DmemError> {
+        if let Some(e) = abort.peer_failure(round) {
+            return Err(e);
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.0 += 1;
+        if state.0 == self.size {
+            state.0 = 0;
+            state.1 = state.1.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let generation = state.1;
+        let start = Instant::now();
+        loop {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(state, ABORT_TICK)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+            if state.1 != generation {
+                return Ok(());
+            }
+            if let Some(e) = abort.peer_failure(round) {
+                state.0 -= 1;
+                return Err(e);
+            }
+            if start.elapsed() >= WAIT_DEADLINE {
+                state.0 -= 1;
+                return Err(DmemError::Timeout {
+                    label: label.to_string(),
+                    round,
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+        }
+    }
+}
+
 pub(crate) struct Shared {
     size: usize,
-    barrier: Barrier,
+    barrier: AbortableBarrier,
     slots: Vec<Mutex<Option<Box<dyn Any + Send>>>>,
     /// Round boards of in-flight non-blocking exchanges (see [`crate::nonblocking`]).
     round_boards: BoardRegistry,
+    /// Cluster-wide abort flag, shared with every round exchange.
+    abort: Arc<AbortState>,
+    /// The active fault-injection plan, if any; `None` costs one branch per collective.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
-    pub(crate) fn new(size: usize) -> Self {
+    pub(crate) fn new(size: usize, fault: Option<Arc<FaultPlan>>) -> Self {
         Shared {
             size,
-            barrier: Barrier::new(size),
+            barrier: AbortableBarrier::new(size),
             slots: (0..size).map(|_| Mutex::new(None)).collect(),
             round_boards: BoardRegistry::default(),
+            abort: Arc::new(AbortState::new()),
+            fault,
         }
+    }
+
+    pub(crate) fn abort_state(&self) -> &AbortState {
+        &self.abort
     }
 }
 
@@ -132,44 +262,106 @@ impl RankCtx {
         &self.stats
     }
 
-    /// Synchronise all ranks.
-    pub fn barrier(&self) {
-        self.shared.barrier.wait();
+    /// The cluster's active fault-injection plan, if one was attached with
+    /// [`Cluster::with_fault_plan`](crate::Cluster::with_fault_plan). The ingest layer
+    /// uses this to route transient-I/O faults through the real retry path.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.shared.fault.as_deref()
+    }
+
+    /// Publish a cluster-wide abort naming this rank: every peer currently blocked in
+    /// a collective or a round wait (and every later collective call) returns
+    /// [`DmemError::PeerFailed`] with this rank and `detail`.
+    ///
+    /// Call this before returning an error out of SPMD code that still has peers
+    /// inside collectives — otherwise those peers would wait for posts that will
+    /// never come.
+    pub fn abort(&self, detail: &str) {
+        self.shared.abort.publish(self.rank, detail);
+    }
+
+    /// Synchronise all ranks. Fails with [`DmemError::PeerFailed`] when a rank
+    /// aborts instead of arriving.
+    pub fn barrier(&self) -> Result<(), DmemError> {
+        let result = self.shared.barrier.wait(&self.shared.abort, "barrier", 0);
+        if let Err(e) = &result {
+            self.shared.abort.publish(self.rank, &e.to_string());
+        }
+        result
+    }
+
+    fn slot(&self, rank: usize) -> MutexGuard<'_, Option<Box<dyn Any + Send>>> {
+        // A poisoned slot just means some rank panicked mid-collective; the data is a
+        // plain posting and the abort machinery handles the failure, so recover it.
+        self.shared.slots[rank]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 
     /// Core primitive: every rank posts one vector of items per destination and receives
     /// one vector per source. Returns `received[src]`. Does not record statistics —
-    /// the public collectives wrap this and do their own accounting.
-    fn exchange_matrix<T: Clone + Send + 'static>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    /// the public collectives wrap this and do their own accounting. Any failure
+    /// publishes a cluster-wide abort before returning, so no peer is left waiting.
+    fn exchange_matrix<T: Clone + Send + 'static>(
+        &self,
+        send: Vec<Vec<T>>,
+        label: &str,
+        round: usize,
+    ) -> Result<Vec<Vec<T>>, DmemError> {
+        let result = self.exchange_matrix_inner(send, label, round);
+        if let Err(e) = &result {
+            self.shared.abort.publish(self.rank, &e.to_string());
+        }
+        result
+    }
+
+    fn exchange_matrix_inner<T: Clone + Send + 'static>(
+        &self,
+        send: Vec<Vec<T>>,
+        label: &str,
+        round: usize,
+    ) -> Result<Vec<Vec<T>>, DmemError> {
+        if let Some(e) = self.shared.abort.peer_failure(round) {
+            return Err(e);
+        }
+        if let Some(plan) = &self.shared.fault {
+            plan.apply_control(self.rank, label, round)?;
+        }
         assert_eq!(
             send.len(),
             self.size(),
             "send matrix must have one row per destination"
         );
         // Post.
-        {
-            let mut slot = self.shared.slots[self.rank].lock().unwrap();
-            *slot = Some(Box::new(send));
+        *self.slot(self.rank) = Some(Box::new(send));
+        if let Err(e) = self.shared.barrier.wait(&self.shared.abort, label, round) {
+            *self.slot(self.rank) = None;
+            return Err(e);
         }
-        self.barrier();
         // Read own column.
         let mut received: Vec<Vec<T>> = Vec::with_capacity(self.size());
         for src in 0..self.size() {
-            let slot = self.shared.slots[src].lock().unwrap();
+            let slot = self.slot(src);
             let posted = slot
                 .as_ref()
-                .expect("collective mismatch: a rank did not post")
+                .ok_or_else(|| {
+                    DmemError::Protocol(format!(
+                        "collective mismatch in '{label}': rank {src} posted nothing"
+                    ))
+                })?
                 .downcast_ref::<Vec<Vec<T>>>()
-                .expect("collective mismatch: inconsistent element type");
+                .ok_or_else(|| {
+                    DmemError::Protocol(format!(
+                        "collective mismatch in '{label}': rank {src} posted an \
+                         inconsistent element type"
+                    ))
+                })?;
             received.push(posted[self.rank].clone());
         }
         // Wait until everyone has read before clearing our slot for the next collective.
-        self.barrier();
-        {
-            let mut slot = self.shared.slots[self.rank].lock().unwrap();
-            *slot = None;
-        }
-        received
+        self.shared.barrier.wait(&self.shared.abort, label, round)?;
+        *self.slot(self.rank) = None;
+        Ok(received)
     }
 
     /// Flat-buffer core primitive: every rank posts one contiguous buffer plus
@@ -181,12 +373,39 @@ impl RankCtx {
         &self,
         send: Vec<T>,
         counts: &[usize],
-    ) -> FlatReceived<T> {
+        label: &str,
+        round: usize,
+    ) -> Result<FlatReceived<T>, DmemError> {
+        let result = self.exchange_flat_inner(send, counts, label, round);
+        if let Err(e) = &result {
+            self.shared.abort.publish(self.rank, &e.to_string());
+        }
+        result
+    }
+
+    fn exchange_flat_inner<T: Copy + Send + 'static>(
+        &self,
+        mut send: Vec<T>,
+        counts: &[usize],
+        label: &str,
+        round: usize,
+    ) -> Result<FlatReceived<T>, DmemError> {
+        if let Some(e) = self.shared.abort.peer_failure(round) {
+            return Err(e);
+        }
         assert_eq!(
             counts.len(),
             self.size(),
             "one count per destination required"
         );
+        let mut counts_owned;
+        let counts: &[usize] = if let Some(plan) = &self.shared.fault {
+            counts_owned = counts.to_vec();
+            plan.apply_to_segments(self.rank, label, round, &mut send, &mut counts_owned)?;
+            &counts_owned
+        } else {
+            counts
+        };
         let mut displs = Vec::with_capacity(self.size() + 1);
         let mut acc = 0usize;
         displs.push(0);
@@ -196,35 +415,41 @@ impl RankCtx {
         }
         assert_eq!(acc, send.len(), "counts must sum to the send buffer length");
         // Post the flat buffer with its displacements.
-        {
-            let mut slot = self.shared.slots[self.rank].lock().unwrap();
-            *slot = Some(Box::new((send, displs)));
+        *self.slot(self.rank) = Some(Box::new((send, displs)));
+        if let Err(e) = self.shared.barrier.wait(&self.shared.abort, label, round) {
+            *self.slot(self.rank) = None;
+            return Err(e);
         }
-        self.barrier();
         // Read own segment from every source's posting.
         let mut recv_displs = Vec::with_capacity(self.size() + 1);
         recv_displs.push(0);
         let mut data: Vec<T> = Vec::new();
         for src in 0..self.size() {
-            let slot = self.shared.slots[src].lock().unwrap();
+            let slot = self.slot(src);
             let (posted, posted_displs) = slot
                 .as_ref()
-                .expect("collective mismatch: a rank did not post")
+                .ok_or_else(|| {
+                    DmemError::Protocol(format!(
+                        "collective mismatch in '{label}': rank {src} posted nothing"
+                    ))
+                })?
                 .downcast_ref::<(Vec<T>, Vec<usize>)>()
-                .expect("collective mismatch: inconsistent element type");
+                .ok_or_else(|| {
+                    DmemError::Protocol(format!(
+                        "collective mismatch in '{label}': rank {src} posted an \
+                         inconsistent element type"
+                    ))
+                })?;
             data.extend_from_slice(&posted[posted_displs[self.rank]..posted_displs[self.rank + 1]]);
             recv_displs.push(data.len());
         }
         // Wait until everyone has read before clearing our slot for the next collective.
-        self.barrier();
-        {
-            let mut slot = self.shared.slots[self.rank].lock().unwrap();
-            *slot = None;
-        }
-        FlatReceived {
+        self.shared.barrier.wait(&self.shared.abort, label, round)?;
+        *self.slot(self.rank) = None;
+        Ok(FlatReceived {
             data,
             displs: recv_displs,
-        }
+        })
     }
 
     /// Irregular all-to-all (`MPI_Alltoallv`): `send[dst]` goes to rank `dst`; returns
@@ -233,7 +458,7 @@ impl RankCtx {
         &mut self,
         send: Vec<Vec<T>>,
         label: &str,
-    ) -> Vec<Vec<T>> {
+    ) -> Result<Vec<Vec<T>>, DmemError> {
         let elem = std::mem::size_of::<T>() as u64;
         let per_dest: Vec<u64> = send.iter().map(|v| v.len() as u64 * elem).collect();
         let max_pair = per_dest
@@ -243,10 +468,10 @@ impl RankCtx {
             .map(|(_, &b)| b)
             .max()
             .unwrap_or(0);
-        let received = self.exchange_matrix(send);
+        let received = self.exchange_matrix(send, label, 0)?;
         self.stats
             .record(label, &per_dest, 0, 1, self.rank, max_pair);
-        received
+        Ok(received)
     }
 
     /// Shared sizing/accounting of a round-limited padded exchange: the global-max
@@ -260,10 +485,11 @@ impl RankCtx {
         element_counts: &[usize],
         elem: u64,
         batch: usize,
-    ) -> (Vec<u64>, usize, u64, u64) {
+    ) -> Result<(Vec<u64>, usize, u64, u64), DmemError> {
         assert!(batch > 0, "batch size must be positive");
         let local_max = element_counts.iter().copied().max().unwrap_or(0);
-        let global_max = self.allreduce_u64(local_max as u64, "exchange-sizing", u64::max) as usize;
+        let global_max =
+            self.allreduce_u64(local_max as u64, "exchange-sizing", u64::max)? as usize;
         let rounds = global_max.div_ceil(batch).max(1);
 
         let per_dest: Vec<u64> = element_counts.iter().map(|&c| c as u64 * elem).collect();
@@ -286,7 +512,7 @@ impl RankCtx {
                 .unwrap_or(0)
                 .max(batch as u64 * elem),
         );
-        (per_dest, rounds, padding, max_pair)
+        Ok((per_dest, rounds, padding, max_pair))
     }
 
     /// Regular padded all-to-all in rounds, the exchange pattern HySortK uses (§3.3.1):
@@ -300,15 +526,15 @@ impl RankCtx {
         send: Vec<Vec<T>>,
         batch: usize,
         label: &str,
-    ) -> RoundedExchange<T> {
+    ) -> Result<RoundedExchange<T>, DmemError> {
         let elem = std::mem::size_of::<T>() as u64;
         let element_counts: Vec<usize> = send.iter().map(Vec::len).collect();
         let (per_dest, rounds, padding, max_pair) =
-            self.rounds_accounting(&element_counts, elem, batch);
-        let received = self.exchange_matrix(send);
+            self.rounds_accounting(&element_counts, elem, batch)?;
+        let received = self.exchange_matrix(send, label, 0)?;
         self.stats
             .record(label, &per_dest, padding, rounds, self.rank, max_pair);
-        RoundedExchange { received, rounds }
+        Ok(RoundedExchange { received, rounds })
     }
 
     /// Flat-buffer irregular all-to-all (`MPI_Alltoallv` with counts/displacements):
@@ -320,7 +546,7 @@ impl RankCtx {
         send: Vec<T>,
         counts: &[usize],
         label: &str,
-    ) -> FlatReceived<T> {
+    ) -> Result<FlatReceived<T>, DmemError> {
         let elem = std::mem::size_of::<T>() as u64;
         let per_dest: Vec<u64> = counts.iter().map(|&c| c as u64 * elem).collect();
         let max_pair = per_dest
@@ -330,10 +556,10 @@ impl RankCtx {
             .map(|(_, &b)| b)
             .max()
             .unwrap_or(0);
-        let received = self.exchange_flat(send, counts);
+        let received = self.exchange_flat(send, counts, label, 0)?;
         self.stats
             .record(label, &per_dest, 0, 1, self.rank, max_pair);
-        received
+        Ok(received)
     }
 
     /// Flat-buffer variant of [`RankCtx::alltoall_rounds`]: the same round-limited
@@ -346,13 +572,13 @@ impl RankCtx {
         counts: &[usize],
         batch: usize,
         label: &str,
-    ) -> FlatRoundedExchange<T> {
+    ) -> Result<FlatRoundedExchange<T>, DmemError> {
         let elem = std::mem::size_of::<T>() as u64;
-        let (per_dest, rounds, padding, max_pair) = self.rounds_accounting(counts, elem, batch);
-        let received = self.exchange_flat(send, counts);
+        let (per_dest, rounds, padding, max_pair) = self.rounds_accounting(counts, elem, batch)?;
+        let received = self.exchange_flat(send, counts, label, 0)?;
         self.stats
             .record(label, &per_dest, padding, rounds, self.rank, max_pair);
-        FlatRoundedExchange { received, rounds }
+        Ok(FlatRoundedExchange { received, rounds })
     }
 
     /// Open a non-blocking round exchange of `rounds` rounds (see
@@ -370,37 +596,59 @@ impl RankCtx {
         let seq = self.nb_seq;
         self.nb_seq += 1;
         let board = self.shared.round_boards.checkout(seq, self.size(), rounds);
-        RoundExchange::new(board, self.rank, label)
+        RoundExchange::new(
+            board,
+            self.rank,
+            label,
+            Arc::clone(&self.shared.abort),
+            self.shared.fault.clone(),
+        )
     }
 
     /// All-gather a single value from every rank (indexed by rank).
-    pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T, label: &str) -> Vec<T> {
+    pub fn allgather<T: Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        label: &str,
+    ) -> Result<Vec<T>, DmemError> {
         let elem = std::mem::size_of::<T>() as u64;
         let send: Vec<Vec<T>> = (0..self.size()).map(|_| vec![value.clone()]).collect();
         let per_dest: Vec<u64> = vec![elem; self.size()];
-        let received = self.exchange_matrix(send);
+        let received = self.exchange_matrix(send, label, 0)?;
         self.stats.record(label, &per_dest, 0, 1, self.rank, elem);
         received
             .into_iter()
-            .map(|mut v| v.pop().expect("one value per source"))
+            .enumerate()
+            .map(|(src, mut v)| {
+                v.pop().ok_or_else(|| {
+                    DmemError::Protocol(format!(
+                        "collective mismatch in '{label}': rank {src} sent no value"
+                    ))
+                })
+            })
             .collect()
     }
 
     /// All-reduce with an arbitrary associative combine function. Implemented as an
     /// all-gather followed by a deterministic left fold, so every rank computes exactly
     /// the same result (MPI requires the same determinism from its reduction ops).
-    pub fn allreduce<T, F>(&mut self, value: T, label: &str, combine: F) -> T
+    pub fn allreduce<T, F>(&mut self, value: T, label: &str, combine: F) -> Result<T, DmemError>
     where
         T: Clone + Send + 'static,
         F: Fn(T, T) -> T,
     {
-        let mut gathered = self.allgather(value, label).into_iter();
+        let mut gathered = self.allgather(value, label)?.into_iter();
         let first = gathered.next().expect("at least one rank");
-        gathered.fold(first, combine)
+        Ok(gathered.fold(first, combine))
     }
 
     /// Convenience u64 all-reduce.
-    pub fn allreduce_u64(&mut self, value: u64, label: &str, combine: fn(u64, u64) -> u64) -> u64 {
+    pub fn allreduce_u64(
+        &mut self,
+        value: u64,
+        label: &str,
+        combine: fn(u64, u64) -> u64,
+    ) -> Result<u64, DmemError> {
         self.allreduce(value, label, combine)
     }
 
@@ -414,7 +662,7 @@ impl RankCtx {
     /// the pipeline uses it for would otherwise cost `O(p)` vector copies per rank
     /// (`O(p²·tasks)` total) through a naive all-to-all. The recorded traffic is what
     /// the butterfly actually sent, phase by phase.
-    pub fn allreduce_sum_u64(&mut self, local: &[u64], label: &str) -> Vec<u64> {
+    pub fn allreduce_sum_u64(&mut self, local: &[u64], label: &str) -> Result<Vec<u64>, DmemError> {
         let p = self.size();
         let rank = self.rank;
         let n = local.len();
@@ -424,19 +672,21 @@ impl RankCtx {
         let mut phases = 0usize;
 
         // One butterfly phase: everyone synchronises; ranks with a `send_to` partner
-        // post their vector there; ranks with a `recv_from` partner read it back.
+        // post their vector there; ranks with a `recv_from` partner read it back. The
+        // phase index doubles as the fault-site round.
         let phase = |acc: &mut Vec<u64>,
                      per_dest: &mut Vec<u64>,
                      phases: &mut usize,
                      send_to: Option<usize>,
                      recv_from: Option<usize>,
-                     combine: bool| {
+                     combine: bool|
+         -> Result<(), DmemError> {
             let mut send: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
             if let Some(dst) = send_to {
                 send[dst] = acc.clone();
                 per_dest[dst] += vec_bytes;
             }
-            let received = self.exchange_matrix(send);
+            let received = self.exchange_matrix(send, label, *phases)?;
             if let Some(src) = recv_from {
                 let other = &received[src];
                 debug_assert_eq!(other.len(), n, "allreduce_sum_u64 length mismatch");
@@ -449,6 +699,7 @@ impl RankCtx {
                 }
             }
             *phases += 1;
+            Ok(())
         };
 
         let pof2 = if p.is_power_of_two() {
@@ -476,7 +727,7 @@ impl RankCtx {
                 send_to,
                 recv_from,
                 true,
-            );
+            )?;
         }
 
         // Recursive doubling over the surviving hypercube of `pof2` ranks.
@@ -493,7 +744,7 @@ impl RankCtx {
         let mut mask = 1usize;
         while mask < pof2 {
             let partner = newrank.map(|q| to_real(q ^ mask));
-            phase(&mut acc, &mut per_dest, &mut phases, partner, partner, true);
+            phase(&mut acc, &mut per_dest, &mut phases, partner, partner, true)?;
             mask <<= 1;
         }
 
@@ -515,13 +766,13 @@ impl RankCtx {
                 send_to,
                 recv_from,
                 false,
-            );
+            )?;
         }
 
         let max_pair = if phases > 0 && p > 1 { vec_bytes } else { 0 };
         self.stats
             .record(label, &per_dest, 0, phases.max(1), rank, max_pair);
-        acc
+        Ok(acc)
     }
 
     /// Gather one value per rank at `root`; other ranks receive `None`.
@@ -530,7 +781,7 @@ impl RankCtx {
         value: T,
         root: usize,
         label: &str,
-    ) -> Option<Vec<T>> {
+    ) -> Result<Option<Vec<T>>, DmemError> {
         let elem = std::mem::size_of::<T>() as u64;
         let send: Vec<Vec<T>> = (0..self.size())
             .map(|dst| {
@@ -543,7 +794,7 @@ impl RankCtx {
             .collect();
         let mut per_dest = vec![0u64; self.size()];
         per_dest[root] = elem;
-        let received = self.exchange_matrix(send);
+        let received = self.exchange_matrix(send, label, 0)?;
         self.stats.record(
             label,
             &per_dest,
@@ -553,14 +804,20 @@ impl RankCtx {
             if root == self.rank { 0 } else { elem },
         );
         if self.rank == root {
-            Some(
-                received
-                    .into_iter()
-                    .map(|mut v| v.pop().expect("one value per source"))
-                    .collect(),
-            )
+            received
+                .into_iter()
+                .enumerate()
+                .map(|(src, mut v)| {
+                    v.pop().ok_or_else(|| {
+                        DmemError::Protocol(format!(
+                            "collective mismatch in '{label}': rank {src} sent no value"
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<T>, DmemError>>()
+                .map(Some)
         } else {
-            None
+            Ok(None)
         }
     }
 
@@ -571,7 +828,7 @@ impl RankCtx {
         value: T,
         root: usize,
         label: &str,
-    ) -> T {
+    ) -> Result<T, DmemError> {
         let elem = std::mem::size_of::<T>() as u64;
         let send: Vec<Vec<T>> = if self.rank == root {
             (0..self.size()).map(|_| vec![value.clone()]).collect()
@@ -583,7 +840,7 @@ impl RankCtx {
         } else {
             vec![0; self.size()]
         };
-        let received = self.exchange_matrix(send);
+        let received = self.exchange_matrix(send, label, 0)?;
         self.stats.record(
             label,
             &per_dest,
@@ -596,7 +853,11 @@ impl RankCtx {
             .into_iter()
             .nth(root)
             .and_then(|mut v| v.pop())
-            .expect("root broadcast value missing")
+            .ok_or_else(|| {
+                DmemError::Protocol(format!(
+                    "collective mismatch in '{label}': root {root} broadcast no value"
+                ))
+            })
     }
 
     /// Scatter task assignments from `root`: `parts[dst]` (only meaningful at the root)
@@ -606,7 +867,7 @@ impl RankCtx {
         parts: Vec<Vec<T>>,
         root: usize,
         label: &str,
-    ) -> Vec<T> {
+    ) -> Result<Vec<T>, DmemError> {
         let elem = std::mem::size_of::<T>() as u64;
         let send: Vec<Vec<T>> = if self.rank == root {
             assert_eq!(parts.len(), self.size());
@@ -616,19 +877,22 @@ impl RankCtx {
         };
         let per_dest: Vec<u64> = send.iter().map(|v| v.len() as u64 * elem).collect();
         let max_pair = per_dest.iter().copied().max().unwrap_or(0);
-        let received = self.exchange_matrix(send);
+        let received = self.exchange_matrix(send, label, 0)?;
         self.stats
             .record(label, &per_dest, 0, 1, self.rank, max_pair);
-        received
-            .into_iter()
-            .nth(root)
-            .expect("scatter root row missing")
+        received.into_iter().nth(root).ok_or_else(|| {
+            DmemError::Protocol(format!(
+                "collective mismatch in '{label}': root {root} row missing"
+            ))
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::Cluster;
+    use crate::fault::{FaultKind, FaultPlan};
+    use crate::{Cluster, DmemError};
+    use std::sync::Arc;
 
     #[test]
     fn alltoallv_routes_data_to_the_right_ranks() {
@@ -638,7 +902,7 @@ mod tests {
             let send: Vec<Vec<u32>> = (0..ctx.size())
                 .map(|dst| vec![(100 * ctx.rank() + dst) as u32; ctx.rank() + 1])
                 .collect();
-            ctx.alltoallv(send, "test")
+            ctx.alltoallv(send, "test").unwrap()
         });
         for (dst, received) in run.results.iter().enumerate() {
             for (src, items) in received.iter().enumerate() {
@@ -656,7 +920,7 @@ mod tests {
                 .map(|dst| vec![0u8; (ctx.rank() * 7 + dst * 3) % 11])
                 .collect();
             let sent: usize = send.iter().map(|v| v.len()).sum();
-            let recv = ctx.alltoallv(send, "conserve");
+            let recv = ctx.alltoallv(send, "conserve").unwrap();
             let received: usize = recv.iter().map(|v| v.len()).sum();
             (sent, received)
         });
@@ -672,7 +936,7 @@ mod tests {
             // Rank 0 sends 10 items to each destination, everyone else sends 1.
             let n = if ctx.rank() == 0 { 10 } else { 1 };
             let send: Vec<Vec<u64>> = (0..ctx.size()).map(|_| vec![7u64; n]).collect();
-            let ex = ctx.alltoall_rounds(send, 4, "rounds");
+            let ex = ctx.alltoall_rounds(send, 4, "rounds").unwrap();
             (ex.rounds, ctx.comm_stats().padding_bytes)
         });
         // Global max message is 10 items, batch 4 -> 3 rounds everywhere.
@@ -700,9 +964,9 @@ mod tests {
             let counts: Vec<usize> = nested.iter().map(|v| v.len()).collect();
             let flat: Vec<u8> = nested.iter().flatten().copied().collect();
 
-            let from_nested = ctx.alltoallv(nested, "nested");
+            let from_nested = ctx.alltoallv(nested, "nested").unwrap();
             let nested_stats = ctx.comm_stats().stage("nested").unwrap().clone();
-            let from_flat = ctx.alltoallv_flat(flat, &counts, "flat");
+            let from_flat = ctx.alltoallv_flat(flat, &counts, "flat").unwrap();
             let flat_stats = ctx.comm_stats().stage("flat").unwrap().clone();
 
             let equal =
@@ -727,13 +991,15 @@ mod tests {
             let counts = vec![n; ctx.size()];
             let flat: Vec<u64> = vec![7u64; n * ctx.size()];
 
-            let nested_ex = ctx.alltoall_rounds(nested, 4, "nested-rounds");
+            let nested_ex = ctx.alltoall_rounds(nested, 4, "nested-rounds").unwrap();
             let nested_padding = ctx
                 .comm_stats()
                 .stage("nested-rounds")
                 .unwrap()
                 .padding_bytes;
-            let flat_ex = ctx.alltoall_rounds_flat(flat, &counts, 4, "flat-rounds");
+            let flat_ex = ctx
+                .alltoall_rounds_flat(flat, &counts, 4, "flat-rounds")
+                .unwrap();
             let flat_padding = ctx.comm_stats().stage("flat-rounds").unwrap().padding_bytes;
 
             let data_equal = (0..ctx.size())
@@ -762,7 +1028,7 @@ mod tests {
             } else {
                 (Vec::new(), vec![0usize; 3])
             };
-            let recv = ctx.alltoallv_flat(flat, &counts, "sparse");
+            let recv = ctx.alltoallv_flat(flat, &counts, "sparse").unwrap();
             (0..ctx.size())
                 .map(|src| recv.count_from(src))
                 .collect::<Vec<_>>()
@@ -778,7 +1044,7 @@ mod tests {
             let run = Cluster::new(p).run(|ctx| {
                 // Rank r contributes value r + 10*t for task slot t.
                 let local: Vec<u64> = (0..5u64).map(|t| ctx.rank() as u64 + 10 * t).collect();
-                ctx.allreduce_sum_u64(&local, "sizes")
+                ctx.allreduce_sum_u64(&local, "sizes").unwrap()
             });
             let rank_sum: u64 = (0..p as u64).sum();
             let expected: Vec<u64> = (0..5u64).map(|t| rank_sum + 10 * t * p as u64).collect();
@@ -794,7 +1060,7 @@ mod tests {
         let n = 1000usize;
         let run = Cluster::new(p).run(|ctx| {
             let local = vec![1u64; n];
-            let sum = ctx.allreduce_sum_u64(&local, "sizes");
+            let sum = ctx.allreduce_sum_u64(&local, "sizes").unwrap();
             assert_eq!(sum, vec![p as u64; n]);
             ctx.comm_stats().stage("sizes").unwrap().payload_bytes
         });
@@ -814,7 +1080,7 @@ mod tests {
         let p = 6;
         let run = Cluster::new(p).run(|ctx| {
             let local = vec![ctx.rank() as u64; 3];
-            let sum = ctx.allreduce_sum_u64(&local, "sizes");
+            let sum = ctx.allreduce_sum_u64(&local, "sizes").unwrap();
             (sum, ctx.comm_stats().stage("sizes").unwrap().payload_bytes)
         });
         let expected = vec![15u64; 3];
@@ -832,9 +1098,13 @@ mod tests {
     #[test]
     fn allreduce_and_allgather_agree_across_ranks() {
         let run = Cluster::new(7).run(|ctx| {
-            let sum = ctx.allreduce_u64(ctx.rank() as u64 + 1, "sum", |a, b| a + b);
-            let max = ctx.allreduce_u64(ctx.rank() as u64, "max", u64::max);
-            let all = ctx.allgather(ctx.rank() as u32, "gather");
+            let sum = ctx
+                .allreduce_u64(ctx.rank() as u64 + 1, "sum", |a, b| a + b)
+                .unwrap();
+            let max = ctx
+                .allreduce_u64(ctx.rank() as u64, "max", u64::max)
+                .unwrap();
+            let all = ctx.allgather(ctx.rank() as u32, "gather").unwrap();
             (sum, max, all)
         });
         for (sum, max, all) in run.results {
@@ -846,7 +1116,7 @@ mod tests {
 
     #[test]
     fn gather_delivers_only_to_root() {
-        let run = Cluster::new(5).run(|ctx| ctx.gather(ctx.rank() as u64 * 2, 3, "g"));
+        let run = Cluster::new(5).run(|ctx| ctx.gather(ctx.rank() as u64 * 2, 3, "g").unwrap());
         for (rank, res) in run.results.iter().enumerate() {
             if rank == 3 {
                 assert_eq!(res.as_ref().unwrap(), &vec![0, 2, 4, 6, 8]);
@@ -860,13 +1130,13 @@ mod tests {
     fn broadcast_and_scatter_from_root() {
         let run = Cluster::new(4).run(|ctx| {
             let value = if ctx.rank() == 2 { 99u32 } else { 0 };
-            let b = ctx.broadcast(value, 2, "bcast");
+            let b = ctx.broadcast(value, 2, "bcast").unwrap();
             let parts: Vec<Vec<u32>> = if ctx.rank() == 2 {
                 (0..4).map(|d| vec![d as u32 * 10]).collect()
             } else {
                 vec![Vec::new(); 4]
             };
-            let s = ctx.scatter(parts, 2, "scatter");
+            let s = ctx.scatter(parts, 2, "scatter").unwrap();
             (b, s)
         });
         for (rank, (b, s)) in run.results.iter().enumerate() {
@@ -879,7 +1149,7 @@ mod tests {
     fn stats_track_payload_per_destination() {
         let run = Cluster::new(3).run(|ctx| {
             let send: Vec<Vec<u32>> = vec![vec![1], vec![2, 2], vec![3, 3, 3]];
-            ctx.alltoallv(send, "stage-a");
+            ctx.alltoallv(send, "stage-a").unwrap();
             ctx.comm_stats().clone()
         });
         let s0 = &run.comm[0];
@@ -898,11 +1168,116 @@ mod tests {
                 let send: Vec<Vec<u64>> = (0..ctx.size())
                     .map(|_| vec![round + ctx.rank() as u64])
                     .collect();
-                let recv = ctx.alltoallv(send, "loop");
+                let recv = ctx.alltoallv(send, "loop").unwrap();
                 acc += recv.iter().map(|v| v[0]).sum::<u64>();
             }
             acc
         });
         assert!(run.results.iter().all(|&x| x == run.results[0]));
+    }
+
+    #[test]
+    fn injected_rank_failure_unblocks_all_peers_with_peer_failed() {
+        // The ISSUE's regression pin: rank 2 dies at the exchange; every other rank
+        // must come back promptly with PeerFailed naming rank 2 — no hang, no panic.
+        let p = 4;
+        let plan = Arc::new(FaultPlan::new().with_fault(2, "exchange", 0, FaultKind::FailRank));
+        let run = Cluster::new(p)
+            .with_fault_plan(Arc::clone(&plan))
+            .run(|ctx| {
+                let send = vec![ctx.rank() as u8; ctx.size()];
+                let counts = vec![1usize; ctx.size()];
+                ctx.alltoallv_flat(send, &counts, "exchange").err()
+            });
+        assert_eq!(plan.fired_count(), 1);
+        for (rank, err) in run.results.iter().enumerate() {
+            let err = err.as_ref().expect("every rank must fail");
+            if rank == 2 {
+                assert!(
+                    matches!(err, DmemError::InjectedFault { rank: 2, .. }),
+                    "rank 2 got {err}"
+                );
+            } else {
+                assert!(
+                    matches!(err, DmemError::PeerFailed { rank: 2, .. }),
+                    "rank {rank} got {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delay_fault_changes_no_bytes() {
+        let p = 3;
+        let payload = |ctx: &mut crate::RankCtx| {
+            let send: Vec<Vec<u32>> = (0..ctx.size())
+                .map(|dst| vec![(ctx.rank() * 10 + dst) as u32])
+                .collect();
+            ctx.alltoallv(send, "exchange").unwrap()
+        };
+        let clean = Cluster::new(p).run(payload);
+        let plan = Arc::new(FaultPlan::new().with_fault(
+            1,
+            "exchange",
+            0,
+            FaultKind::DelayPost { millis: 20 },
+        ));
+        let delayed = Cluster::new(p)
+            .with_fault_plan(Arc::clone(&plan))
+            .run(payload);
+        assert_eq!(plan.fired_count(), 1);
+        assert_eq!(clean.results, delayed.results);
+    }
+
+    #[test]
+    fn abort_poisons_every_later_collective() {
+        // After a rank calls ctx.abort, every collective on every rank fails fast with
+        // PeerFailed instead of waiting on barriers that can never complete.
+        let p = 3;
+        let run = Cluster::new(p).run(|ctx| {
+            if ctx.rank() == 1 {
+                ctx.abort("wire checksum mismatch in segment from rank 0");
+                return Err(DmemError::Protocol("local failure".to_string()));
+            }
+            let first = ctx.allgather(ctx.rank() as u32, "a");
+            let second = ctx.allgather(ctx.rank() as u32, "b");
+            first.and(second)
+        });
+        for (rank, res) in run.results.iter().enumerate() {
+            if rank == 1 {
+                continue;
+            }
+            match res {
+                Err(DmemError::PeerFailed {
+                    rank: 1, detail, ..
+                }) => {
+                    assert!(detail.contains("checksum"), "detail: {detail}");
+                }
+                other => panic!("rank {rank} got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_fault_shortens_exactly_one_segment() {
+        let p = 3;
+        let plan = Arc::new(FaultPlan::new().with_fault(
+            0,
+            "exchange",
+            0,
+            FaultKind::TruncateSegment { dest: 2, keep: 1 },
+        ));
+        let run = Cluster::new(p).with_fault_plan(plan).run(|ctx| {
+            let send = vec![ctx.rank() as u8 + 1; 4 * ctx.size()];
+            let counts = vec![4usize; ctx.size()];
+            let recv = ctx.alltoallv_flat(send, &counts, "exchange").unwrap();
+            (0..ctx.size())
+                .map(|src| recv.count_from(src))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(run.results[0], vec![4, 4, 4]);
+        assert_eq!(run.results[1], vec![4, 4, 4]);
+        // Rank 2 received a truncated segment from rank 0.
+        assert_eq!(run.results[2], vec![1, 4, 4]);
     }
 }

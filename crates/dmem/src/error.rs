@@ -1,0 +1,94 @@
+//! Typed errors for the simulated distributed-memory runtime.
+//!
+//! Before this module existed, every failure inside a collective — a peer panicking
+//! mid-round, a malformed posting, a poisoned lock — either hung the cluster forever
+//! (a waiter parked on a condvar nobody would ever signal) or crashed it with an
+//! opaque panic. Every blocking wait in the runtime now observes a cluster-wide abort
+//! flag and resolves to one of these variants instead, so a single failing rank
+//! unblocks all of its peers promptly with the failing rank identified.
+
+use std::fmt;
+
+/// Errors surfaced by the blocking collectives and the non-blocking round engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmemError {
+    /// Another rank failed — it panicked, hit an injected fault, or published a local
+    /// error via [`RankCtx::abort`](crate::collectives::RankCtx::abort) — while this
+    /// rank was inside a collective or waiting on a round. `rank` identifies the
+    /// failing peer and `detail` carries its failure message; `round` is the round (or
+    /// collective phase) this rank was blocked on when it observed the abort.
+    PeerFailed {
+        /// The rank that failed.
+        rank: usize,
+        /// The round (or collective phase) the *observing* rank was blocked on.
+        round: usize,
+        /// The failing rank's own error message.
+        detail: String,
+    },
+    /// A blocking wait exceeded its deadline without observing either completion or an
+    /// abort — the backstop that turns a lost rank into an error instead of a hang.
+    Timeout {
+        /// Label of the collective or exchange that timed out.
+        label: String,
+        /// The round the rank was waiting on.
+        round: usize,
+        /// How long the rank waited before giving up.
+        waited_ms: u64,
+    },
+    /// A fault from the active [`FaultPlan`](crate::fault::FaultPlan) fired on this
+    /// rank at the named site.
+    InjectedFault {
+        /// The rank the fault fired on.
+        rank: usize,
+        /// The stage label the fault targeted.
+        stage: String,
+        /// The round the fault targeted.
+        round: usize,
+        /// Human-readable fault kind (e.g. `fail-rank`).
+        kind: String,
+    },
+    /// SPMD protocol violation: the ranks disagreed on the collective sequence or the
+    /// element types of an exchange.
+    Protocol(String),
+}
+
+impl fmt::Display for DmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmemError::PeerFailed {
+                rank,
+                round,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "peer rank {rank} failed (observed at round {round}): {detail}"
+                )
+            }
+            DmemError::Timeout {
+                label,
+                round,
+                waited_ms,
+            } => {
+                write!(
+                    f,
+                    "timed out after {waited_ms} ms waiting for round {round} of '{label}'"
+                )
+            }
+            DmemError::InjectedFault {
+                rank,
+                stage,
+                round,
+                kind,
+            } => {
+                write!(
+                    f,
+                    "injected fault '{kind}' fired on rank {rank} at stage '{stage}' round {round}"
+                )
+            }
+            DmemError::Protocol(msg) => write!(f, "collective protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DmemError {}

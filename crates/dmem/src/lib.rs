@@ -20,6 +20,16 @@
 //! rounds individually — the primitive the overlapped pipeline uses to hide
 //! serialization and counting behind the exchange (paper §3.3.1).
 //!
+//! # Failure model
+//!
+//! Collectives return `Result<_, `[`DmemError`]`>`. When a rank fails — it panics, an
+//! injected fault from a [`fault::FaultPlan`] fires, or pipeline code publishes a
+//! local error via [`collectives::RankCtx::abort`] — a cluster-wide abort is raised
+//! and every peer blocked in a barrier or a round wait returns
+//! [`DmemError::PeerFailed`] naming the failing rank. Deterministic fault schedules
+//! for chaos testing are attached with [`Cluster::with_fault_plan`]; a cluster without
+//! a plan pays one `Option` check per collective.
+//!
 //! # Example
 //!
 //! ```
@@ -29,7 +39,7 @@
 //! let outcome = Cluster::new(4).run(|ctx| {
 //!     let send: Vec<Vec<u64>> =
 //!         (0..ctx.size()).map(|_| vec![ctx.rank() as u64; ctx.rank()]).collect();
-//!     let recv = ctx.alltoallv(send, "demo");
+//!     let recv = ctx.alltoallv(send, "demo").unwrap();
 //!     recv.iter().map(|v| v.len()).sum::<usize>()
 //! });
 //! // Every rank receives 0 + 1 + 2 + 3 = 6 items.
@@ -47,7 +57,7 @@
 //!     // Segment for every destination: two bytes tagged with the sender's rank.
 //!     let send: Vec<u8> = (0..ctx.size() * 2).map(|_| ctx.rank() as u8).collect();
 //!     let counts = vec![2usize; ctx.size()];
-//!     let recv = ctx.alltoallv_flat(send, &counts, "demo-flat");
+//!     let recv = ctx.alltoallv_flat(send, &counts, "demo-flat").unwrap();
 //!     (0..ctx.size()).map(|src| recv.from_rank(src).to_vec()).collect::<Vec<_>>()
 //! });
 //! // Rank 0 received [0, 0] from rank 0, [1, 1] from rank 1, [2, 2] from rank 2.
@@ -55,21 +65,27 @@
 //! ```
 
 pub mod collectives;
+pub mod error;
+pub mod fault;
 pub mod nonblocking;
 pub mod stats;
 
 pub use collectives::{FlatReceived, FlatRoundedExchange, RankCtx, RoundedExchange};
+pub use error::DmemError;
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use nonblocking::RoundExchange;
 pub use stats::{CommStats, StageTraffic};
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use collectives::Shared;
 
 /// A simulated cluster: `p` ranks, each executed on its own OS thread.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Cluster {
     ranks: usize,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 /// The result of a cluster run: the per-rank return values plus the aggregated
@@ -89,11 +105,29 @@ impl<R> ClusterRun<R> {
     }
 }
 
+/// Best-effort text of a panic payload, for the abort record peers see.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".to_string()
+    }
+}
+
 impl Cluster {
     /// Create a cluster of `ranks` simulated processes.
     pub fn new(ranks: usize) -> Self {
         assert!(ranks > 0, "a cluster needs at least one rank");
-        Cluster { ranks }
+        Cluster { ranks, fault: None }
+    }
+
+    /// Attach a deterministic fault-injection plan (see [`fault::FaultPlan`]); every
+    /// rank of the next [`Cluster::run`] observes it.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Number of ranks.
@@ -105,32 +139,52 @@ impl Cluster {
     ///
     /// The closure receives a [`RankCtx`] giving the rank id, the cluster size and the
     /// collective operations.
+    ///
+    /// A rank that panics no longer hangs its peers: the panic is caught, published as
+    /// a cluster-wide abort (so every peer's blocked collective returns
+    /// [`DmemError::PeerFailed`] naming the rank), and re-raised on the calling thread
+    /// once every rank has finished.
     pub fn run<R, F>(&self, f: F) -> ClusterRun<R>
     where
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
     {
-        let shared = Arc::new(Shared::new(self.ranks));
+        let shared = Arc::new(Shared::new(self.ranks, self.fault.clone()));
         let mut results: Vec<Option<R>> = (0..self.ranks).map(|_| None).collect();
         let mut comm: Vec<Option<CommStats>> = (0..self.ranks).map(|_| None).collect();
 
-        std::thread::scope(|scope| {
+        let first_panic = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.ranks);
             for (rank, (res_slot, comm_slot)) in results.iter_mut().zip(comm.iter_mut()).enumerate()
             {
                 let shared = Arc::clone(&shared);
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let mut ctx = RankCtx::new(rank, shared);
-                    let out = f(&mut ctx);
-                    *res_slot = Some(out);
-                    *comm_slot = Some(ctx.into_stats());
+                    let mut ctx = RankCtx::new(rank, Arc::clone(&shared));
+                    match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+                        Ok(out) => {
+                            *res_slot = Some(out);
+                            *comm_slot = Some(ctx.into_stats());
+                            None
+                        }
+                        Err(payload) => {
+                            shared.abort_state().publish(rank, &panic_detail(&*payload));
+                            Some(payload)
+                        }
+                    }
                 }));
             }
+            let mut first_panic = None;
             for h in handles {
-                h.join().expect("rank thread panicked");
+                if let Some(payload) = h.join().expect("rank thread itself panicked") {
+                    first_panic.get_or_insert(payload);
+                }
             }
+            first_panic
         });
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
 
         ClusterRun {
             results: results
@@ -148,6 +202,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn every_rank_runs_exactly_once() {
@@ -158,7 +213,7 @@ mod tests {
     #[test]
     fn single_rank_cluster_works() {
         let run = Cluster::new(1).run(|ctx| {
-            let recv = ctx.alltoallv(vec![vec![1u32, 2, 3]], "self");
+            let recv = ctx.alltoallv(vec![vec![1u32, 2, 3]], "self").unwrap();
             recv[0].len()
         });
         assert_eq!(run.results, vec![3]);
@@ -168,5 +223,34 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
         Cluster::new(0);
+    }
+
+    #[test]
+    fn panicking_rank_unblocks_peers_and_reraises() {
+        // Satellite regression for the old poisoned-condvar hang: rank 0 panics
+        // mid-exchange; every peer must observe PeerFailed{rank: 0} (recorded through a
+        // side channel because the panic is re-raised and the results are lost), and
+        // the panic itself must surface on the calling thread.
+        let observed: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Cluster::new(3).run(|ctx| {
+                if ctx.rank() == 0 {
+                    panic!("rank 0 exploded");
+                }
+                let err = ctx
+                    .allgather(ctx.rank() as u32, "exchange")
+                    .expect_err("peers must fail once rank 0 dies");
+                observed.lock().unwrap().push((ctx.rank(), err.to_string()));
+            })
+        }));
+        assert!(outcome.is_err(), "the panic must be re-raised");
+        let observed = observed.into_inner().unwrap();
+        assert_eq!(observed.len(), 2, "both peers must unblock: {observed:?}");
+        for (rank, msg) in &observed {
+            assert!(
+                msg.contains("peer rank 0") && msg.contains("rank 0 exploded"),
+                "rank {rank} saw: {msg}"
+            );
+        }
     }
 }

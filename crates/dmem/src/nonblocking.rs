@@ -10,7 +10,7 @@
 //!   other ranks. A rank may have any number of rounds posted but not yet completed.
 //! * [`RoundExchange::try_complete`] polls one round: if every rank has posted it, the
 //!   caller's segments are copied out and the round completes; otherwise the call
-//!   returns `false` without blocking.
+//!   returns `Ok(false)` without blocking.
 //! * [`RoundExchange::wait_round`] blocks (on a condvar, not a spin) until the round
 //!   can complete, then completes it.
 //!
@@ -18,6 +18,12 @@
 //! is still serializing round 2. The engine therefore has no synchronisation points at
 //! all between `begin` and the last `wait_round` — the only ordering it enforces is
 //! the data dependency itself (a round completes once all of its segments exist).
+//!
+//! Every blocking or polling entry point observes the cluster-wide abort flag: when a
+//! peer fails (panics, injects a fault, or publishes an error via
+//! [`RankCtx::abort`](crate::collectives::RankCtx::abort)), waiters return
+//! [`DmemError::PeerFailed`] naming the failing rank instead of parking forever on a
+//! post that will never arrive, with a wall-clock deadline as the backstop.
 //!
 //! Buffers are recycled in both directions: a posted send buffer is handed back to its
 //! poster once the last reader has consumed it ([`RoundExchange::take_send_buffer`]),
@@ -35,8 +41,11 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
-use crate::collectives::FlatReceived;
+use crate::collectives::{AbortState, FlatReceived, ABORT_TICK, WAIT_DEADLINE};
+use crate::error::DmemError;
+use crate::fault::FaultPlan;
 use crate::stats::CommStats;
 
 /// One rank's posted buffer for one round.
@@ -104,7 +113,7 @@ impl BoardRegistry {
     /// participants to resolve it removes the registry entry — the `Arc` keeps the
     /// board alive for everyone who already holds it.
     pub(crate) fn checkout(&self, seq: u64, ranks: usize, rounds: usize) -> Arc<RoundBoard> {
-        let mut boards = self.boards.lock().expect("round board registry poisoned");
+        let mut boards = self.boards.lock().unwrap_or_else(|e| e.into_inner());
         let entry = boards
             .entry(seq)
             .or_insert_with(|| (Arc::new(RoundBoard::new(ranks, rounds)), 0));
@@ -128,11 +137,14 @@ impl BoardRegistry {
 /// The caller must post and complete every round exactly once, then call
 /// [`RoundExchange::finish`] to record the traffic. Rounds may be posted ahead and
 /// completed out of order; the engine never blocks except in
-/// [`RoundExchange::wait_round`].
+/// [`RoundExchange::wait_round`]. On an error return the exchange is dead — drop the
+/// handle without calling `finish`.
 pub struct RoundExchange {
     board: Arc<RoundBoard>,
     rank: usize,
     label: String,
+    abort: Arc<AbortState>,
+    fault: Option<Arc<FaultPlan>>,
     posted: Vec<bool>,
     completed: Vec<bool>,
     /// Own wire bytes (payload + padding) of each posted round, for the in-flight peak.
@@ -145,13 +157,21 @@ pub struct RoundExchange {
 }
 
 impl RoundExchange {
-    pub(crate) fn new(board: Arc<RoundBoard>, rank: usize, label: &str) -> Self {
+    pub(crate) fn new(
+        board: Arc<RoundBoard>,
+        rank: usize,
+        label: &str,
+        abort: Arc<AbortState>,
+        fault: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let rounds = board.rounds;
         let ranks = board.ranks;
         RoundExchange {
             board,
             rank,
             label: label.to_string(),
+            abort,
+            fault,
             posted: vec![false; rounds],
             completed: vec![false; rounds],
             round_wire: vec![0; rounds],
@@ -173,7 +193,9 @@ impl RoundExchange {
     /// Serializing each round into a buffer obtained here makes the steady-state send
     /// side allocation-free: two buffers circulate through post → consume → reuse.
     pub fn take_send_buffer(&self) -> Vec<u8> {
-        let mut spent = self.board.spent[self.rank].lock().expect("spent poisoned");
+        let mut spent = self.board.spent[self.rank]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         match spent.pop() {
             Some(mut buf) => {
                 buf.clear();
@@ -187,8 +209,14 @@ impl RoundExchange {
     /// with `displs` derived from `counts`. Returns immediately; the data moves when the
     /// receivers complete the round. Each `(round, destination)` message is accounted
     /// padded to the round's largest segment, mirroring the regularised batches of the
-    /// blocking rounds exchange.
-    pub fn post_round(&mut self, round: usize, send: Vec<u8>, counts: &[usize]) {
+    /// blocking rounds exchange. Fails fast with [`DmemError::PeerFailed`] once a peer
+    /// has aborted, or with the injected error when a fault plan targets this site.
+    pub fn post_round(
+        &mut self,
+        round: usize,
+        mut send: Vec<u8>,
+        counts: &[usize],
+    ) -> Result<(), DmemError> {
         assert!(round < self.board.rounds, "round {round} out of range");
         assert!(!self.posted[round], "round {round} posted twice");
         assert_eq!(
@@ -196,6 +224,22 @@ impl RoundExchange {
             self.board.ranks,
             "one count per destination required"
         );
+        if let Some(e) = self.abort.peer_failure(round) {
+            return Err(e);
+        }
+        let mut counts_owned;
+        let counts: &[usize] = if let Some(plan) = &self.fault {
+            counts_owned = counts.to_vec();
+            if let Err(e) =
+                plan.apply_to_segments(self.rank, &self.label, round, &mut send, &mut counts_owned)
+            {
+                self.abort.publish(self.rank, &e.to_string());
+                return Err(e);
+            }
+            &counts_owned
+        } else {
+            counts
+        };
         let mut displs = Vec::with_capacity(counts.len() + 1);
         let mut acc = 0usize;
         displs.push(0);
@@ -232,13 +276,14 @@ impl RoundExchange {
             let mut slot = self.board.slots[round][self.rank]
                 .data
                 .lock()
-                .expect("round slot poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             debug_assert!(slot.is_none(), "round slot already occupied");
             *slot = Some(Posted { data: send, displs });
         }
-        let mut posted = self.board.posted.lock().expect("round board poisoned");
+        let mut posted = self.board.posted.lock().unwrap_or_else(|e| e.into_inner());
         posted[round] += 1;
         self.board.cv.notify_all();
+        Ok(())
     }
 
     /// Copy this rank's segments of `round` out of every poster's buffer into `into`.
@@ -250,7 +295,7 @@ impl RoundExchange {
         for src in 0..self.board.ranks {
             let slot = &self.board.slots[round][src];
             {
-                let guard = slot.data.lock().expect("round slot poisoned");
+                let guard = slot.data.lock().unwrap_or_else(|e| e.into_inner());
                 let posted = guard.as_ref().expect("round completed before all posts");
                 into.data.extend_from_slice(
                     &posted.data[posted.displs[self.rank]..posted.displs[self.rank + 1]],
@@ -259,11 +304,11 @@ impl RoundExchange {
             into.displs.push(into.data.len());
             if slot.readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Last reader: hand the spent buffer back to its poster for reuse.
-                let mut guard = slot.data.lock().expect("round slot poisoned");
+                let mut guard = slot.data.lock().unwrap_or_else(|e| e.into_inner());
                 if let Some(posted) = guard.take() {
                     self.board.spent[src]
                         .lock()
-                        .expect("spent poisoned")
+                        .unwrap_or_else(|e| e.into_inner())
                         .push(posted.data);
                 }
             }
@@ -273,36 +318,69 @@ impl RoundExchange {
     }
 
     /// Complete `round` if every rank has posted it, filling `into` (cleared first)
-    /// with the received segments in source-rank order. Returns `false` — without
-    /// blocking — when some rank has not posted the round yet.
-    pub fn try_complete(&mut self, round: usize, into: &mut FlatReceived<u8>) -> bool {
+    /// with the received segments in source-rank order. Returns `Ok(false)` — without
+    /// blocking — when some rank has not posted the round yet, and
+    /// [`DmemError::PeerFailed`] once a peer has aborted.
+    pub fn try_complete(
+        &mut self,
+        round: usize,
+        into: &mut FlatReceived<u8>,
+    ) -> Result<bool, DmemError> {
         assert!(round < self.board.rounds, "round {round} out of range");
         assert!(!self.completed[round], "round {round} completed twice");
         {
-            let posted = self.board.posted.lock().expect("round board poisoned");
+            let posted = self.board.posted.lock().unwrap_or_else(|e| e.into_inner());
             if posted[round] < self.board.ranks {
-                return false;
+                return match self.abort.peer_failure(round) {
+                    Some(e) => Err(e),
+                    None => Ok(false),
+                };
             }
         }
         self.read_round(round, into);
-        true
+        Ok(true)
     }
 
     /// Block until `round` can complete, then complete it into `into` (cleared first).
-    pub fn wait_round(&mut self, round: usize, into: &mut FlatReceived<u8>) {
+    ///
+    /// This is the wait that used to park forever when a poster died. It now sleeps in
+    /// short abort-checked intervals: a published abort resolves the wait with
+    /// [`DmemError::PeerFailed`] naming the failing rank, and a rank that observes
+    /// neither completion nor an abort within the deadline gives up with
+    /// [`DmemError::Timeout`] (publishing an abort of its own so its peers follow).
+    pub fn wait_round(
+        &mut self,
+        round: usize,
+        into: &mut FlatReceived<u8>,
+    ) -> Result<(), DmemError> {
         assert!(round < self.board.rounds, "round {round} out of range");
         assert!(!self.completed[round], "round {round} completed twice");
+        let start = Instant::now();
         {
-            let mut posted = self.board.posted.lock().expect("round board poisoned");
+            let mut posted = self.board.posted.lock().unwrap_or_else(|e| e.into_inner());
             while posted[round] < self.board.ranks {
-                posted = self
+                if let Some(e) = self.abort.peer_failure(round) {
+                    return Err(e);
+                }
+                if start.elapsed() >= WAIT_DEADLINE {
+                    let e = DmemError::Timeout {
+                        label: self.label.clone(),
+                        round,
+                        waited_ms: start.elapsed().as_millis() as u64,
+                    };
+                    self.abort.publish(self.rank, &e.to_string());
+                    return Err(e);
+                }
+                let (guard, _) = self
                     .board
                     .cv
-                    .wait(posted)
-                    .expect("round board wait poisoned");
+                    .wait_timeout(posted, ABORT_TICK)
+                    .unwrap_or_else(|e| e.into_inner());
+                posted = guard;
             }
         }
         self.read_round(round, into);
+        Ok(())
     }
 
     /// Close the exchange and record its traffic into the rank's statistics under this
@@ -331,7 +409,9 @@ impl RoundExchange {
 
 #[cfg(test)]
 mod tests {
-    use crate::{Cluster, FlatReceived};
+    use crate::fault::{FaultKind, FaultPlan};
+    use crate::{Cluster, DmemError, FlatReceived};
+    use std::sync::Arc;
 
     /// Deterministic per-(src, dst, round) payload.
     fn segment(src: usize, dst: usize, round: usize) -> Vec<u8> {
@@ -362,8 +442,8 @@ mod tests {
                 let mut got: Vec<Vec<Vec<u8>>> = Vec::new();
                 for r in 0..rounds {
                     let (buf, counts) = round_send(ctx.size(), ctx.rank(), r);
-                    engine.post_round(r, buf, &counts);
-                    engine.wait_round(r, &mut recv);
+                    engine.post_round(r, buf, &counts).unwrap();
+                    engine.wait_round(r, &mut recv).unwrap();
                     got.push(
                         (0..ctx.size())
                             .map(|src| recv.from_rank(src).to_vec())
@@ -392,12 +472,12 @@ mod tests {
             let mut engine = ctx.round_exchange(rounds, "engine");
             for r in 0..rounds {
                 let (buf, counts) = round_send(ctx.size(), ctx.rank(), r);
-                engine.post_round(r, buf, &counts);
+                engine.post_round(r, buf, &counts).unwrap();
             }
             let mut recv = FlatReceived::empty();
             let mut ok = true;
             for r in (0..rounds).rev() {
-                engine.wait_round(r, &mut recv);
+                engine.wait_round(r, &mut recv).unwrap();
                 for src in 0..ctx.size() {
                     ok &= recv.from_rank(src) == segment(src, ctx.rank(), r);
                 }
@@ -422,10 +502,10 @@ mod tests {
             let mut recv = FlatReceived::empty();
             let (buf, counts) = round_send(p, ctx.rank(), 0);
             if ctx.rank() == 0 {
-                engine.post_round(0, buf, &counts);
-                let first_poll = engine.try_complete(0, &mut recv);
+                engine.post_round(0, buf, &counts).unwrap();
+                let first_poll = engine.try_complete(0, &mut recv).unwrap();
                 rank0_polled.store(true, Ordering::Release);
-                while !engine.try_complete(0, &mut recv) {
+                while !engine.try_complete(0, &mut recv).unwrap() {
                     std::thread::yield_now();
                 }
                 engine.finish(ctx);
@@ -434,8 +514,8 @@ mod tests {
                 while !rank0_polled.load(Ordering::Acquire) {
                     std::thread::yield_now();
                 }
-                engine.post_round(0, buf, &counts);
-                engine.wait_round(0, &mut recv);
+                engine.post_round(0, buf, &counts).unwrap();
+                engine.wait_round(0, &mut recv).unwrap();
                 engine.finish(ctx);
                 false
             }
@@ -455,8 +535,8 @@ mod tests {
             let mut recv = FlatReceived::empty();
             for r in 0..rounds {
                 let (buf, counts) = round_send(ctx.size(), ctx.rank(), r);
-                engine.post_round(r, buf, &counts);
-                engine.wait_round(r, &mut recv);
+                engine.post_round(r, buf, &counts).unwrap();
+                engine.wait_round(r, &mut recv).unwrap();
             }
             engine.finish(ctx);
 
@@ -470,7 +550,7 @@ mod tests {
                     bulk.extend_from_slice(&seg);
                 }
             }
-            let _ = ctx.alltoallv_flat(bulk, &counts, "bulk");
+            let _ = ctx.alltoallv_flat(bulk, &counts, "bulk").unwrap();
 
             let engine_stats = ctx.comm_stats().stage("engine").unwrap().clone();
             let bulk_stats = ctx.comm_stats().stage("bulk").unwrap().clone();
@@ -505,11 +585,11 @@ mod tests {
                     send1.extend_from_slice(&buf);
                 }
             }
-            engine.post_round(0, send0, &counts);
-            engine.post_round(1, send1, &counts);
+            engine.post_round(0, send0, &counts).unwrap();
+            engine.post_round(1, send1, &counts).unwrap();
             let mut recv = FlatReceived::empty();
-            engine.wait_round(0, &mut recv);
-            engine.wait_round(1, &mut recv);
+            engine.wait_round(0, &mut recv).unwrap();
+            engine.wait_round(1, &mut recv).unwrap();
             engine.finish(ctx);
             ctx.comm_stats().stage("engine").unwrap().max_inflight_bytes
         });
@@ -527,10 +607,10 @@ mod tests {
                 let mut owned = engine.take_send_buffer();
                 owned.extend_from_slice(&buf);
                 let cap = owned.capacity();
-                engine.post_round(0, owned, &counts);
+                engine.post_round(0, owned, &counts).unwrap();
                 cap
             };
-            engine.wait_round(0, &mut recv);
+            engine.wait_round(0, &mut recv).unwrap();
             // Round 0 is complete on this rank, but reclaim needs *every* rank to have
             // read our buffer; poll until it comes back.
             let mut reused = engine.take_send_buffer();
@@ -541,8 +621,8 @@ mod tests {
             let got_back = reused.capacity() >= round0_capacity && reused.is_empty();
             let (buf, counts) = round_send(p, ctx.rank(), 1);
             reused.extend_from_slice(&buf);
-            engine.post_round(1, reused, &counts);
-            engine.wait_round(1, &mut recv);
+            engine.post_round(1, reused, &counts).unwrap();
+            engine.wait_round(1, &mut recv).unwrap();
             engine.finish(ctx);
             got_back
         });
@@ -559,9 +639,9 @@ mod tests {
                 let mut engine = ctx.round_exchange(1, "loop");
                 let send = vec![gen; ctx.size()];
                 let counts = vec![1usize; ctx.size()];
-                engine.post_round(0, send, &counts);
+                engine.post_round(0, send, &counts).unwrap();
                 let mut recv = FlatReceived::empty();
-                engine.wait_round(0, &mut recv);
+                engine.wait_round(0, &mut recv).unwrap();
                 for src in 0..ctx.size() {
                     assert_eq!(recv.from_rank(src), &[gen]);
                 }
@@ -574,12 +654,94 @@ mod tests {
     }
 
     #[test]
+    fn rank_failing_mid_round_unblocks_all_waiters() {
+        // The satellite regression: rank 1 dies between round 0 and round 1. Before the
+        // abort path existed every peer parked forever in wait_round(1); now each one
+        // must return PeerFailed naming rank 1.
+        let p = 4;
+        let rounds = 2;
+        let plan = Arc::new(FaultPlan::new().with_fault(1, "engine", 1, FaultKind::FailRank));
+        let run = Cluster::new(p).with_fault_plan(Arc::clone(&plan)).run(
+            |ctx| -> Result<(), DmemError> {
+                let mut engine = ctx.round_exchange(rounds, "engine");
+                let mut recv = FlatReceived::empty();
+                for r in 0..rounds {
+                    let (buf, counts) = round_send(ctx.size(), ctx.rank(), r);
+                    engine.post_round(r, buf, &counts)?;
+                    engine.wait_round(r, &mut recv)?;
+                }
+                engine.finish(ctx);
+                Ok(())
+            },
+        );
+        assert_eq!(plan.fired_count(), 1);
+        for (rank, res) in run.results.iter().enumerate() {
+            let err = res.as_ref().expect_err("every rank must fail");
+            if rank == 1 {
+                assert!(
+                    matches!(
+                        err,
+                        DmemError::InjectedFault {
+                            rank: 1,
+                            round: 1,
+                            ..
+                        }
+                    ),
+                    "rank 1 got {err}"
+                );
+            } else {
+                assert!(
+                    matches!(err, DmemError::PeerFailed { rank: 1, .. }),
+                    "rank {rank} got {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_complete_surfaces_peer_failure() {
+        // A poller (overlap pipelines poll between work items) must also see the abort
+        // instead of polling false forever.
+        let p = 2;
+        let plan = Arc::new(FaultPlan::new().with_fault(0, "engine", 0, FaultKind::FailRank));
+        let run = Cluster::new(p)
+            .with_fault_plan(plan)
+            .run(|ctx| -> Result<bool, DmemError> {
+                let mut engine = ctx.round_exchange(1, "engine");
+                let mut recv = FlatReceived::empty();
+                let (buf, counts) = round_send(ctx.size(), ctx.rank(), 0);
+                engine.post_round(0, buf, &counts)?;
+                loop {
+                    match engine.try_complete(0, &mut recv) {
+                        Ok(true) => return Ok(true),
+                        Ok(false) => std::thread::yield_now(),
+                        Err(e) => return Err(e),
+                    }
+                }
+            });
+        assert!(
+            matches!(
+                run.results[0],
+                Err(DmemError::InjectedFault { rank: 0, .. })
+            ),
+            "rank 0 got {:?}",
+            run.results[0]
+        );
+        assert!(
+            matches!(run.results[1], Err(DmemError::PeerFailed { rank: 0, .. })),
+            "rank 1 got {:?}",
+            run.results[1]
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "posted twice")]
     fn double_post_panics() {
         use super::{BoardRegistry, RoundExchange};
+        use crate::collectives::AbortState;
         let board = BoardRegistry::default().checkout(0, 1, 1);
-        let mut engine = RoundExchange::new(board, 0, "bad");
-        engine.post_round(0, Vec::new(), &[0]);
-        engine.post_round(0, Vec::new(), &[0]);
+        let mut engine = RoundExchange::new(board, 0, "bad", Arc::new(AbortState::new()), None);
+        engine.post_round(0, Vec::new(), &[0]).unwrap();
+        engine.post_round(0, Vec::new(), &[0]).unwrap();
     }
 }

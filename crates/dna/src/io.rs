@@ -128,6 +128,17 @@ pub fn list_inputs<P: AsRef<Path>>(paths: &[P]) -> io::Result<Vec<InputFile>> {
     Ok(out)
 }
 
+/// True for I/O errors that are worth retrying: the kernel or filesystem hiccuped
+/// (`Interrupted`, `TimedOut`, `WouldBlock`) rather than the input being wrong.
+/// Malformed-record errors (`InvalidData`) and missing files are *not* transient —
+/// retrying them can only reproduce the same failure.
+pub fn is_transient_io_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
+}
+
 /// Split `total` bytes into `ranks` contiguous half-open ranges of near-equal size.
 /// Records are owned by the range containing their first byte, so equal *byte* shares
 /// translate into near-equal record shares for any realistic record-length mix.

@@ -18,9 +18,11 @@
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use hysortk_core::ingest::count_kmers_from_files_with;
-use hysortk_core::{CountResult, HySortKConfig};
+use hysortk_core::ingest::{count_kmers_from_files_faulted, count_kmers_from_files_with};
+use hysortk_core::{CountResult, HySortKConfig, HysortkError};
+use hysortk_dmem::FaultPlan;
 use hysortk_dna::io::IngestOptions;
 use hysortk_dna::kmer::{Kmer1, Kmer2, KmerCode};
 
@@ -42,6 +44,14 @@ options:
   --no-overlap       bulk-synchronous exchange instead of the round engine
   --out <path>       write the multiplicity histogram TSV here (default stdout)
   -h, --help         this help
+
+environment:
+  HYSORTK_FAULT      `;`-separated fault-injection spec for chaos testing, e.g.
+                     `delay:0:exchange:1:5;fail:2:exchange:0` (see FaultPlan::from_spec)
+
+exit codes:
+  0 success, 2 usage or configuration error, 3 input I/O error,
+  4 internal error (malformed wire data or a distributed-runtime abort)
 ";
 
 struct CliArgs {
@@ -123,19 +133,44 @@ fn config_for(cli: &CliArgs) -> HySortKConfig {
     cfg
 }
 
-fn run<K: KmerCode>(cli: &CliArgs, cfg: &HySortKConfig) -> std::io::Result<()> {
+/// Parse `HYSORTK_FAULT` into a fault plan, if set (the chaos-testing hook: CI runs
+/// the CLI under fixed fault specs and checks the typed exits).
+fn fault_plan_from_env() -> Result<Option<Arc<FaultPlan>>, HysortkError> {
+    match std::env::var("HYSORTK_FAULT") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let plan = FaultPlan::from_spec(&spec)
+                .map_err(|e| HysortkError::Config(format!("HYSORTK_FAULT: {e}")))?;
+            Ok(Some(Arc::new(plan)))
+        }
+        _ => Ok(None),
+    }
+}
+
+fn run<K: KmerCode>(cli: &CliArgs, cfg: &HySortKConfig) -> Result<(), HysortkError> {
     let opts = IngestOptions {
         block_bytes: cli.block_bytes,
         ..IngestOptions::default()
     };
     let start = std::time::Instant::now();
-    let result: CountResult<K> = count_kmers_from_files_with(&cli.files, cfg, opts)?;
+    let result: CountResult<K> = match fault_plan_from_env()? {
+        Some(plan) => count_kmers_from_files_faulted(&cli.files, cfg, opts, plan)?,
+        None => count_kmers_from_files_with(&cli.files, cfg, opts)?,
+    };
     let wall = start.elapsed().as_secs_f64();
 
     let tsv = result.histogram.to_tsv();
+    let write_err = |path: String, source: std::io::Error| HysortkError::Io {
+        path,
+        rank: 0,
+        source,
+    };
     match &cli.out {
-        Some(path) => std::fs::write(path, tsv)?,
-        None => std::io::stdout().write_all(tsv.as_bytes())?,
+        Some(path) => {
+            std::fs::write(path, tsv).map_err(|e| write_err(path.display().to_string(), e))?
+        }
+        None => std::io::stdout()
+            .write_all(tsv.as_bytes())
+            .map_err(|e| write_err("<stdout>".to_string(), e))?,
     }
 
     let report = &result.report;
@@ -159,6 +194,12 @@ fn run<K: KmerCode>(cli: &CliArgs, cfg: &HySortKConfig) -> std::io::Result<()> {
         "[hysortk] exchange: {} wire bytes over {} round(s), sorter {:?}, {} heavy task(s)",
         report.total_wire_bytes, report.exchange_rounds, report.sorter, report.heavy_tasks,
     );
+    if report.io_retries > 0 {
+        eprintln!(
+            "[hysortk] {} transient read failure(s) retried successfully",
+            report.io_retries,
+        );
+    }
     eprintln!(
         "[hysortk] modeled time {:.4}s ({}), wall {:.2}s",
         report.total_time(),
@@ -204,7 +245,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("hysortk: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code() as u8)
         }
     }
 }

@@ -21,14 +21,28 @@
 //! Extension (provenance) read ids are rank-striped (`local_index × ranks + rank`)
 //! rather than globally dense: dense ids would need a prefix scan over all shards
 //! before any rank could start parsing. Counts are unaffected.
+//!
+//! # Failure behavior
+//!
+//! Every entry point returns [`HysortkError`] with the offending file, rank and round
+//! attached. Transient read failures (`Interrupted`, `TimedOut`, `WouldBlock` — see
+//! [`is_transient_io_error`]) are retried up to [`IO_ATTEMPTS`] times with a short
+//! backoff before they surface; successful retries are tallied in
+//! [`RunReport::io_retries`](crate::RunReport::io_retries). Unrecoverable ingest
+//! errors do **not** make a rank bail out of the SPMD collectives (that would
+//! deadlock its peers): the rank finishes the run with whatever it parsed and the
+//! error is surfaced afterwards. [`count_kmers_from_files_faulted`] additionally
+//! wires a [`FaultPlan`] into the simulated cluster so chaos tests can inject
+//! delays, wire corruption, rank failures and transient I/O errors deterministically.
 
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
-use hysortk_dmem::Cluster;
-use hysortk_dmem::RankCtx;
+use hysortk_dmem::{Cluster, FaultPlan, RankCtx};
 use hysortk_dna::extension::Extension;
-use hysortk_dna::io::{list_inputs, IngestOptions, InputFile, ShardReader};
+use hysortk_dna::io::{is_transient_io_error, list_inputs, IngestOptions, InputFile, ShardReader};
 use hysortk_dna::kmer::KmerCode;
 use hysortk_dna::readset::Read;
 use hysortk_perfmodel::{PerfModel, SortAlgorithm};
@@ -36,11 +50,16 @@ use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
 use hysortk_task::{ScratchBank, WorkerPool};
 
 use crate::config::HySortKConfig;
+use crate::error::HysortkError;
 use crate::pipeline::{
     merge_outputs, parse_supermers_parallel, record_bytes, stage1_record_read, stages_2_and_3,
     ParsedChunk, RankCounters, RankOutput, Stage1,
 };
 use crate::result::CountResult;
+
+/// How many times a transient read failure is attempted before it becomes a
+/// [`HysortkError::Io`]: the first try plus two retries.
+pub const IO_ATTEMPTS: u32 = 3;
 
 /// Count the canonical k-mers of one or more FASTA/FASTQ files with the full HySortK
 /// pipeline, streaming each rank's shard of the input in fixed-size blocks.
@@ -51,7 +70,7 @@ use crate::result::CountResult;
 pub fn count_kmers_from_files<K: KmerCode, P: AsRef<Path>>(
     paths: &[P],
     cfg: &HySortKConfig,
-) -> io::Result<CountResult<K>> {
+) -> Result<CountResult<K>, HysortkError> {
     count_kmers_from_files_with(paths, cfg, IngestOptions::default())
 }
 
@@ -63,24 +82,56 @@ pub fn count_kmers_from_files<K: KmerCode, P: AsRef<Path>>(
 pub fn count_kmers_from_files_with<K: KmerCode, P: AsRef<Path>>(
     paths: &[P],
     cfg: &HySortKConfig,
+    opts: IngestOptions,
+) -> Result<CountResult<K>, HysortkError> {
+    count_kmers_from_files_inner(paths, cfg, opts, None)
+}
+
+/// [`count_kmers_from_files_with`] with a [`FaultPlan`] attached to the simulated
+/// cluster — the chaos-testing entry point.
+///
+/// The plan's faults fire deterministically at their configured rank × stage × round
+/// sites: post delays and wire corruption inside the collectives, injected rank
+/// failures as [`DmemError::FailRank`-style](hysortk_dmem::DmemError) aborts, and
+/// transient I/O errors consumed by the ingest retry loop (see
+/// [`FaultPlan::should_fail_io`]). With an empty plan this is byte-for-byte
+/// [`count_kmers_from_files_with`].
+pub fn count_kmers_from_files_faulted<K: KmerCode, P: AsRef<Path>>(
+    paths: &[P],
+    cfg: &HySortKConfig,
+    opts: IngestOptions,
+    plan: Arc<FaultPlan>,
+) -> Result<CountResult<K>, HysortkError> {
+    count_kmers_from_files_inner(paths, cfg, opts, Some(plan))
+}
+
+fn count_kmers_from_files_inner<K: KmerCode, P: AsRef<Path>>(
+    paths: &[P],
+    cfg: &HySortKConfig,
     mut opts: IngestOptions,
-) -> io::Result<CountResult<K>> {
-    cfg.validate()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    plan: Option<Arc<FaultPlan>>,
+) -> Result<CountResult<K>, HysortkError> {
+    cfg.validate().map_err(HysortkError::Config)?;
     assert!(
         cfg.k <= K::max_k(),
         "k = {} exceeds the chosen k-mer width",
         cfg.k
     );
     if paths.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            "no input files given",
-        ));
+        return Err(HysortkError::Config("no input files given".into()));
     }
     opts.min_fragment = opts.min_fragment.max(cfg.k);
 
-    let files = list_inputs(paths)?;
+    // Stat the inputs one at a time so an unreadable file is reported by name.
+    let mut files: Vec<InputFile> = Vec::with_capacity(paths.len());
+    for p in paths {
+        let listed = list_inputs(std::slice::from_ref(p)).map_err(|source| HysortkError::Io {
+            path: p.as_ref().display().to_string(),
+            rank: 0,
+            source,
+        })?;
+        files.extend(listed);
+    }
     let total_bytes: u64 = files.iter().map(|f| f.bytes).sum();
     let p = cfg.total_ranks();
     let num_tasks = cfg.num_tasks();
@@ -104,21 +155,75 @@ pub fn count_kmers_from_files_with<K: KmerCode, P: AsRef<Path>>(
         SortAlgorithm::Paradis
     };
 
-    let cluster = Cluster::new(p);
+    let mut cluster = Cluster::new(p);
+    if let Some(plan) = plan {
+        cluster = cluster.with_fault_plan(plan);
+    }
     let run = cluster
         .run(|ctx| rank_pipeline_from_files::<K>(ctx, &files, cfg, num_tasks, sorter, &opts));
     let mut outputs = Vec::with_capacity(run.results.len());
-    let mut first_error: Option<String> = None;
-    for (output, error) in run.results {
-        if first_error.is_none() {
-            first_error = error;
+    let mut first_error: Option<HysortkError> = None;
+    for result in run.results {
+        match result {
+            Ok(output) => outputs.push(output),
+            Err(e) => {
+                // Keep the root cause: a peer-failure echo never displaces a concrete
+                // local error, and a concrete error always displaces an echo.
+                let replace = match &first_error {
+                    None => true,
+                    Some(current) => current.is_peer_echo() && !e.is_peer_echo(),
+                };
+                if replace {
+                    first_error = Some(e);
+                }
+            }
         }
-        outputs.push(output);
     }
     if let Some(e) = first_error {
-        return Err(io::Error::other(e));
+        return Err(e);
     }
     Ok(merge_outputs(outputs, run.comm, cfg, &model, sorter))
+}
+
+/// A short label for "the input" in shard-level errors whose underlying message
+/// already names the precise file (the piece parsers embed the path).
+fn input_label(files: &[InputFile]) -> String {
+    match files {
+        [] => "<no input>".to_string(),
+        [only] => only.path.display().to_string(),
+        [first, rest @ ..] => format!("{} (+{} more)", first.path.display(), rest.len()),
+    }
+}
+
+/// Fetch the next batch from the shard, absorbing up to [`IO_ATTEMPTS`]`- 1`
+/// transient failures (real or injected via the cluster's [`FaultPlan`]) with a short
+/// linear backoff. Each absorbed failure increments `counters.io_retries`.
+fn next_batch_with_retry(
+    ctx: &RankCtx,
+    shard: &mut ShardReader,
+    rank: usize,
+    counters: &mut RankCounters,
+) -> io::Result<Option<Vec<Read>>> {
+    let mut attempt = 0u32;
+    loop {
+        let injected = ctx.fault_plan().is_some_and(|p| p.should_fail_io(rank));
+        let result = if injected {
+            Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "injected transient I/O fault",
+            ))
+        } else {
+            shard.next_batch()
+        };
+        match result {
+            Err(e) if is_transient_io_error(&e) && attempt + 1 < IO_ATTEMPTS => {
+                attempt += 1;
+                counters.io_retries += 1;
+                std::thread::sleep(Duration::from_millis(2 * u64::from(attempt)));
+            }
+            other => return other,
+        }
+    }
 }
 
 /// One rank of the file-fed pipeline: stream the shard batch by batch through stage 1,
@@ -128,7 +233,8 @@ pub fn count_kmers_from_files_with<K: KmerCode, P: AsRef<Path>>(
 /// rank bail out early: the pipeline is SPMD, so a rank that skips the collectives
 /// deadlocks every other rank inside the task-size allreduce or the exchange. The
 /// rank instead stops ingesting, runs the remaining stages with whatever it parsed,
-/// and hands the error back alongside its (discarded) output.
+/// and reports the ingest error once the collectives are over — it takes precedence
+/// over any later stage error, which can only be downstream fallout.
 fn rank_pipeline_from_files<K: KmerCode>(
     ctx: &mut RankCtx,
     files: &[InputFile],
@@ -136,7 +242,7 @@ fn rank_pipeline_from_files<K: KmerCode>(
     num_tasks: usize,
     sorter: SortAlgorithm,
     opts: &IngestOptions,
-) -> (RankOutput<K>, Option<String>) {
+) -> Result<RankOutput<K>, HysortkError> {
     let rank = ctx.rank();
     let p = ctx.size();
     let k = cfg.k;
@@ -151,16 +257,21 @@ fn rank_pipeline_from_files<K: KmerCode>(
     let mut chunks: Vec<ParsedChunk> = Vec::new();
     let mut record_tasks: Vec<(Vec<K>, Vec<Extension>)> =
         (0..num_tasks).map(|_| (Vec::new(), Vec::new())).collect();
-    let mut ingest_error: Option<String> = None;
+    let mut ingest_error: Option<HysortkError> = None;
+    let io_error = |source: io::Error| HysortkError::Io {
+        path: input_label(files),
+        rank,
+        source,
+    };
 
     match ShardReader::open(files, rank, p, opts.clone()) {
-        Err(e) => ingest_error = Some(format!("rank {rank}: {e}")),
+        Err(e) => ingest_error = Some(io_error(e)),
         Ok(mut shard) => loop {
-            let mut batch = match shard.next_batch() {
+            let mut batch = match next_batch_with_retry(ctx, &mut shard, rank, &mut counters) {
                 Ok(Some(batch)) => batch,
                 Ok(None) => break,
                 Err(e) => {
-                    ingest_error = Some(format!("rank {rank}: {e}"));
+                    ingest_error = Some(io_error(e));
                     break;
                 }
             };
@@ -173,10 +284,13 @@ fn rank_pipeline_from_files<K: KmerCode>(
             // wrapping into colliding provenance ids.
             let max_id = (base + batch.len() as u64 - 1) * p as u64 + rank as u64;
             if max_id > u64::from(u32::MAX) {
-                ingest_error = Some(format!(
-                    "rank {rank}: shard exceeds {} reads, the striped u32 read-id space",
-                    u32::MAX / p as u32
-                ));
+                ingest_error = Some(io_error(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shard exceeds {} reads, the striped u32 read-id space",
+                        u32::MAX / p as u32
+                    ),
+                )));
                 break;
             }
             for (i, read) in batch.iter_mut().enumerate() {
@@ -217,13 +331,17 @@ fn rank_pipeline_from_files<K: KmerCode>(
     let output = stages_2_and_3(
         ctx, &my_reads, stage1, counters, cfg, num_tasks, sorter, &pool,
     );
-    (output, ingest_error)
+    match ingest_error {
+        Some(e) => Err(e),
+        None => output,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::count_kmers;
+    use hysortk_dmem::FaultKind;
     use hysortk_dna::kmer::Kmer1;
     use hysortk_dna::{fasta, ReadSet};
     use rand::rngs::StdRng;
@@ -307,6 +425,7 @@ mod tests {
         for ranks in [1usize, 4] {
             let cfg = small_cfg(ranks);
             let err = count_kmers_from_files::<Kmer1, _>(&[&path], &cfg).unwrap_err();
+            assert_eq!(err.exit_code(), 3, "ranks={ranks}");
             assert!(
                 err.to_string().contains("quality length"),
                 "ranks={ranks}: unexpected error {err}"
@@ -319,8 +438,65 @@ mod tests {
     fn missing_files_surface_as_errors() {
         let cfg = small_cfg(2);
         let missing = tmp_path("does_not_exist.fa");
-        assert!(count_kmers_from_files::<Kmer1, _>(&[&missing], &cfg).is_err());
+        let err = count_kmers_from_files::<Kmer1, _>(&[&missing], &cfg).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(
+            err.to_string().contains("does_not_exist"),
+            "error must name the file: {err}"
+        );
         let none: [&std::path::Path; 0] = [];
-        assert!(count_kmers_from_files::<Kmer1, _>(&none, &cfg).is_err());
+        let err = count_kmers_from_files::<Kmer1, _>(&none, &cfg).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn transient_io_failures_are_retried_to_identical_counts() {
+        // A reader whose first calls fail transiently must end with byte-identical
+        // counts and the retries visible in the run report (satellite: bounded
+        // transient-I/O retry).
+        let reads = overlapping_reads(34);
+        let path = tmp_path("transient.fa");
+        fasta::write_fasta_file(&path, &reads, 70).unwrap();
+        let cfg = small_cfg(2);
+        let healthy = count_kmers_from_files::<Kmer1, _>(&[&path], &cfg).unwrap();
+        assert_eq!(healthy.report.io_retries, 0);
+
+        let mut plan = FaultPlan::new();
+        plan = plan.with_fault(0, "ingest", 0, FaultKind::TransientIo { failures: 2 });
+        let got = count_kmers_from_files_faulted::<Kmer1, _>(
+            &[&path],
+            &cfg,
+            IngestOptions::default(),
+            Arc::new(plan),
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(got.counts, healthy.counts);
+        assert_eq!(got.histogram, healthy.histogram);
+        assert_eq!(got.report.io_retries, 2);
+    }
+
+    #[test]
+    fn transient_failures_beyond_the_retry_budget_surface_as_io_errors() {
+        let reads = overlapping_reads(35);
+        let path = tmp_path("exhausted.fa");
+        fasta::write_fasta_file(&path, &reads, 70).unwrap();
+        let cfg = small_cfg(2);
+        // Far more injected failures than one retry loop absorbs.
+        let mut plan = FaultPlan::new();
+        plan = plan.with_fault(0, "ingest", 0, FaultKind::TransientIo { failures: 1_000 });
+        let err = count_kmers_from_files_faulted::<Kmer1, _>(
+            &[&path],
+            &cfg,
+            IngestOptions::default(),
+            Arc::new(plan),
+        )
+        .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.exit_code(), 3);
+        assert!(
+            err.to_string().contains("injected transient I/O fault"),
+            "unexpected error: {err}"
+        );
     }
 }

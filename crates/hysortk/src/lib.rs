@@ -26,6 +26,7 @@
 //! that the baselines, the ELBA integration and the benchmark harness can reuse them.
 
 pub mod config;
+pub mod error;
 pub mod ingest;
 pub mod overlap;
 pub mod pipeline;
@@ -35,7 +36,11 @@ pub mod stage3;
 pub mod wire;
 
 pub use config::HySortKConfig;
-pub use ingest::{count_kmers_from_files, count_kmers_from_files_with};
+pub use error::HysortkError;
+pub use ingest::{
+    count_kmers_from_files, count_kmers_from_files_faulted, count_kmers_from_files_with,
+};
 pub use pipeline::count_kmers;
 pub use reference::{reference_counts, reference_counts_bounded, reference_extensions};
 pub use result::{CountResult, KmerHistogram, RunReport};
+pub use wire::WireError;

@@ -31,10 +31,13 @@
 //! sort, the overlapped pipeline is **byte-identical** to the bulk-synchronous path —
 //! pinned by the property suite in `tests/`.
 
+use std::collections::BTreeMap;
+
 use hysortk_dmem::{FlatReceived, RankCtx};
 use hysortk_dna::kmer::KmerCode;
 use hysortk_task::{ScratchBank, WorkerPool};
 
+use crate::error::HysortkError;
 use crate::pipeline::SendSerializer;
 use crate::stage3::{self, BlockIndexBuilder, CountParams, CountScratch, Stage3Output, TaskCounts};
 
@@ -104,6 +107,10 @@ pub(crate) struct OverlapRun<K: KmerCode> {
 /// serialize → post → count over the non-blocking round engine, double-buffering both
 /// the send side (recycled engine buffers) and the receive side (two alternating
 /// [`FlatReceived`]s).
+///
+/// On any failure — a peer abort surfacing through the engine, or a received segment
+/// failing its wire checks — the error is published as a cluster-wide abort (so no
+/// peer stays blocked) and returned; the unfinished engine is simply dropped.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exchange_and_count<K: KmerCode>(
     ctx: &mut RankCtx,
@@ -114,7 +121,7 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
     k: usize,
     params: &CountParams,
     pool: &WorkerPool,
-) -> OverlapRun<K> {
+) -> Result<OverlapRun<K>, HysortkError> {
     let p = ctx.size();
     let plan = plan_rounds(tasks_of, global_sizes, round_budget);
     // The plan derives from globally identical inputs (the assignment, the all-reduced
@@ -153,24 +160,38 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
     let bank: ScratchBank<CountScratch<K>> = ScratchBank::new();
     let mut all_tasks: Vec<TaskCounts<K>> = Vec::new();
     let mut task_sizes: Vec<u64> = Vec::new();
-    let count_round =
-        |recv: &FlatReceived<u8>, all_tasks: &mut Vec<TaskCounts<K>>, task_sizes: &mut Vec<u64>| {
-            let mut builder = BlockIndexBuilder::<K>::new();
-            for src in 0..p {
-                builder
-                    .add_segment(recv.from_rank(src), k)
-                    .expect("exchange produced a malformed stream");
-            }
-            let index = builder.finish();
-            task_sizes.extend(index.task_sizes());
-            let counted = pool.execute_with_bank(
-                index.slots.iter().collect(),
-                &bank,
-                || CountScratch::new(params.max_count),
-                |scratch, slot| stage3::count_task(slot, k, params, scratch),
-            );
-            all_tasks.extend(counted);
-        };
+    // Decoded k-mer instances per task, accumulated over all rounds and reconciled
+    // against the allreduced task sizes once the exchange is over.
+    let mut decoded: BTreeMap<u32, u64> = BTreeMap::new();
+    let rank = ctx.rank();
+    let count_round = |recv: &FlatReceived<u8>,
+                       round: usize,
+                       all_tasks: &mut Vec<TaskCounts<K>>,
+                       task_sizes: &mut Vec<u64>,
+                       decoded: &mut BTreeMap<u32, u64>|
+     -> Result<(), HysortkError> {
+        let mut builder = BlockIndexBuilder::<K>::new();
+        for src in 0..p {
+            builder
+                .add_segment(recv.from_rank(src), k)
+                .map_err(|source| HysortkError::Wire {
+                    rank,
+                    round,
+                    source,
+                })?;
+        }
+        let index = builder.finish();
+        task_sizes.extend(index.task_sizes());
+        index.accumulate_instances(decoded);
+        let counted = pool.execute_with_bank(
+            index.slots.iter().collect(),
+            &bank,
+            || CountScratch::new(params.max_count),
+            |scratch, slot| stage3::count_task(slot, k, params, scratch),
+        );
+        all_tasks.extend(counted);
+        Ok(())
+    };
 
     let mut hidden_bytes = 0u64;
     let mut exposed_bytes = 0u64;
@@ -185,36 +206,70 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
     // Round 0 is serialised with nothing in flight: unavoidably exposed pipeline fill.
     let buf = serialize_round(ser, &engine, 0, &mut counts);
     exposed_bytes += buf.len() as u64;
-    engine.post_round(0, buf, &counts);
-    for r in 0..rounds {
-        // Serialize round r+1 into a recycled back buffer while round r is in flight.
-        if r + 1 < rounds {
-            let buf = serialize_round(ser, &engine, r + 1, &mut counts);
-            hidden_bytes += buf.len() as u64;
-            engine.post_round(r + 1, buf, &counts);
+    let driven = (|| -> Result<(), HysortkError> {
+        engine.post_round(0, buf, &counts)?;
+        for r in 0..rounds {
+            // Serialize round r+1 into a recycled back buffer while round r is in
+            // flight.
+            if r + 1 < rounds {
+                let buf = serialize_round(ser, &engine, r + 1, &mut counts);
+                hidden_bytes += buf.len() as u64;
+                engine.post_round(r + 1, buf, &counts)?;
+            }
+            // Count round r−1's tasks on the pool while round r is in flight.
+            if r >= 1 {
+                hidden_bytes += previous.data.len() as u64;
+                count_round(
+                    &previous,
+                    r - 1,
+                    &mut all_tasks,
+                    &mut task_sizes,
+                    &mut decoded,
+                )?;
+            }
+            // Complete round r (blocks only if some rank has not posted it yet).
+            engine.wait_round(r, &mut current)?;
+            std::mem::swap(&mut current, &mut previous);
         }
-        // Count round r−1's tasks on the pool while round r is in flight.
-        if r >= 1 {
-            hidden_bytes += previous.data.len() as u64;
-            count_round(&previous, &mut all_tasks, &mut task_sizes);
+        // The last round completes with nothing left in flight: exposed pipeline
+        // drain.
+        exposed_bytes += previous.data.len() as u64;
+        count_round(
+            &previous,
+            rounds - 1,
+            &mut all_tasks,
+            &mut task_sizes,
+            &mut decoded,
+        )?;
+        // Per-block checksums cannot see a segment cut at an exact block boundary;
+        // the end-of-exchange reconciliation against the allreduced sizes can.
+        stage3::verify_decoded_totals(&decoded, &tasks_of[rank], global_sizes).map_err(
+            |source| HysortkError::Wire {
+                rank,
+                round: rounds - 1,
+                source,
+            },
+        )?;
+        Ok(())
+    })();
+    if let Err(e) = driven {
+        // A Comm error was already published cluster-wide by the runtime; a local wire
+        // rejection has to be published here so no peer stays blocked on later rounds.
+        if !matches!(e, HysortkError::Comm(_)) {
+            ctx.abort(&e.to_string());
         }
-        // Complete round r (blocks only if some rank has not posted it yet).
-        engine.wait_round(r, &mut current);
-        std::mem::swap(&mut current, &mut previous);
+        return Err(e);
     }
-    // The last round completes with nothing left in flight: exposed pipeline drain.
-    exposed_bytes += previous.data.len() as u64;
-    count_round(&previous, &mut all_tasks, &mut task_sizes);
     engine.finish(ctx);
 
     let out = Stage3Output::assemble(all_tasks, bank.into_scratches(), params.max_count);
-    OverlapRun {
+    Ok(OverlapRun {
         out,
         task_sizes,
         rounds,
         hidden_bytes,
         exposed_bytes,
-    }
+    })
 }
 
 #[cfg(test)]

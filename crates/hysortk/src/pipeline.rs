@@ -36,6 +36,7 @@ use hysortk_task::{
 };
 
 use crate::config::HySortKConfig;
+use crate::error::HysortkError;
 use crate::result::{CountResult, KmerHistogram, RunReport};
 use crate::stage3::{self, CountParams};
 use crate::wire::{write_block, write_records_uncompressed, SupermerBlockWriter, TaskPayload};
@@ -59,6 +60,8 @@ pub(crate) struct RankCounters {
     /// Bytes of the pipeline's fill and drain (round 0 serialize, last round count)
     /// that nothing could hide (overlapped mode only).
     overlap_exposed_bytes: u64,
+    /// Transient input-read failures this rank retried through (file feed only).
+    pub(crate) io_retries: u64,
 }
 
 /// Per-rank result of the pipeline.
@@ -304,7 +307,15 @@ pub fn count_kmers<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> CountRe
     let cluster = Cluster::new(p);
     let run = cluster.run(|ctx| rank_pipeline::<K>(ctx, reads, &ranges, cfg, num_tasks, sorter));
 
-    merge_outputs(run.results, run.comm, cfg, &model, sorter)
+    // The in-memory path attaches no fault plan and writes its own wire bytes, so the
+    // only failure sources (injected faults, checksum-corrupted segments, peer aborts)
+    // cannot arise; the boundary stays infallible and documents why.
+    let outputs = run
+        .results
+        .into_iter()
+        .map(|r| r.expect("in-memory pipeline without fault injection cannot fail"))
+        .collect();
+    merge_outputs(outputs, run.comm, cfg, &model, sorter)
 }
 
 /// Wire size of one k-mer record in the receive buffer (used for the memory projection
@@ -325,7 +336,7 @@ fn rank_pipeline<K: KmerCode>(
     cfg: &HySortKConfig,
     num_tasks: usize,
     sorter: SortAlgorithm,
-) -> RankOutput<K> {
+) -> Result<RankOutput<K>, HysortkError> {
     let rank = ctx.rank();
     let k = cfg.k;
     let mut counters = RankCounters::default();
@@ -389,6 +400,10 @@ pub(crate) fn stage1_record_read<K: KmerCode>(
 /// verbatim by the in-memory entry point ([`count_kmers`]) and the streaming file
 /// feed ([`crate::ingest::count_kmers_from_files`]), which is what makes their
 /// outputs identical by construction once stage 1 has staged the same reads.
+///
+/// Fails with a typed [`HysortkError`] when a collective aborts (a peer failed, a
+/// fault fired) or a received segment fails its wire checks; every local failure is
+/// published cluster-wide before returning, so no peer is left blocked.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn stages_2_and_3<K: KmerCode>(
     ctx: &mut RankCtx,
@@ -399,7 +414,7 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
     num_tasks: usize,
     sorter: SortAlgorithm,
     pool: &WorkerPool,
-) -> RankOutput<K> {
+) -> Result<RankOutput<K>, HysortkError> {
     let p = ctx.size();
     let k = cfg.k;
     let workers = cfg.workers_per_process();
@@ -420,7 +435,7 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
     // The "root retrieves data about the size of each task" step, realised as a
     // butterfly sum all-reduce so every rank computes the same assignment
     // deterministically at O(log p) vector transfers per rank.
-    let global_sizes = ctx.allreduce_sum_u64(&local_sizes, "task-sizes");
+    let global_sizes = ctx.allreduce_sum_u64(&local_sizes, "task-sizes")?;
 
     let assignment = if cfg.use_task_layer {
         assign_greedy(&global_sizes, p)
@@ -487,7 +502,7 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
             k,
             &params,
             pool,
-        );
+        )?;
         counters.overlap_hidden_bytes = run.hidden_bytes;
         counters.overlap_exposed_bytes = run.exposed_bytes;
         (run.out, run.task_sizes, run.rounds)
@@ -505,18 +520,46 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
             send_counts[dest] = send.len() - dest_start;
         }
         let batch_bytes = cfg.batch_size * K::num_bytes(k);
-        let exchange = ctx.alltoall_rounds_flat(send, &send_counts, batch_bytes.max(1), "exchange");
+        let exchange =
+            ctx.alltoall_rounds_flat(send, &send_counts, batch_bytes.max(1), "exchange")?;
 
         // One cheap header pass over the flat receive buffer builds the per-task block
         // index with exact record totals; the worker pool then runs the fused
         // decode→sort→count per task straight from the borrowed wire bytes (see
         // `crate::stage3`).
-        let index = stage3::build_block_index::<K, _>(
+        let index = match stage3::build_block_index::<K, _>(
             (0..p).map(|src| exchange.received.from_rank(src)),
             k,
-        )
-        .expect("exchange produced a malformed stream");
+        ) {
+            Ok(index) => index,
+            Err(source) => {
+                let e = HysortkError::Wire {
+                    rank: ctx.rank(),
+                    round: 0,
+                    source,
+                };
+                // Publish before returning so no peer stays blocked in a later
+                // collective waiting for this rank.
+                ctx.abort(&e.to_string());
+                return Err(e);
+            }
+        };
         let task_sizes = index.task_sizes();
+        // Per-block checksums cannot see a segment cut at an exact block boundary;
+        // reconciling decoded totals against the allreduced sizes can.
+        let mut decoded = std::collections::BTreeMap::new();
+        index.accumulate_instances(&mut decoded);
+        if let Err(source) =
+            stage3::verify_decoded_totals(&decoded, &assignment.tasks_of[ctx.rank()], &global_sizes)
+        {
+            let e = HysortkError::Wire {
+                rank: ctx.rank(),
+                round: 0,
+                source,
+            };
+            ctx.abort(&e.to_string());
+            return Err(e);
+        }
         let out = stage3::count_blocks_parallel(&index, k, &params, pool);
         (out, task_sizes, exchange.rounds)
     };
@@ -531,12 +574,12 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
     // concatenated `(k-mer, count)` pairs; extension ranges move, nothing is cloned.
     let merged = stage3::merge_task_counts(stage3_out, &params);
 
-    RankOutput {
+    Ok(RankOutput {
         counts: merged.counts,
         extensions: merged.extensions,
         histogram: merged.histogram,
         counters,
-    }
+    })
 }
 
 /// The trivial assignment used when the task layer is disabled: task `t` → rank `t`.
@@ -629,6 +672,7 @@ pub(crate) fn merge_outputs<K: KmerCode>(
         .first()
         .map(|c| c.assignment_imbalance)
         .unwrap_or(1.0);
+    let io_retries: u64 = counters.iter().map(|c| c.io_retries).sum();
 
     // ---- exchange traffic --------------------------------------------------------------
     // Project payloads to full scale first, then recompute rounds and padding from the
@@ -759,6 +803,7 @@ pub(crate) fn merge_outputs<K: KmerCode>(
         exchange_rounds: rounds_projected,
         assignment_imbalance,
         overlap_fraction,
+        io_retries,
     };
 
     CountResult {

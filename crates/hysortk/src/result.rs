@@ -103,6 +103,9 @@ pub struct RunReport {
     /// all bytes through the round loop, with the exposed fill-and-drain share
     /// projected to the full-scale round count. Zero for the bulk-synchronous path.
     pub overlap_fraction: f64,
+    /// Transient input-read failures that were retried successfully, summed over all
+    /// ranks. Zero for in-memory runs and healthy file feeds.
+    pub io_retries: u64,
 }
 
 impl RunReport {

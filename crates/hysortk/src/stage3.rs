@@ -39,7 +39,7 @@ use hysortk_sort::{
 use hysortk_task::WorkerPool;
 
 use crate::result::KmerHistogram;
-use crate::wire::{read_blocks, PayloadView};
+use crate::wire::{read_blocks, PayloadView, WireError};
 
 /// Everything [`count_task`] needs to know about the run.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +106,46 @@ impl<K: KmerCode> BlockIndex<'_, K> {
             .map(|s| (s.records + s.precounted) as u64)
             .collect()
     }
+
+    /// Exact k-mer *instances* each slot's blocks represent: decoded records plus the
+    /// pre-counted multiplicities of kmerlist entries. Accumulate these into `totals`
+    /// (round by round in the overlapped pipeline) and hand the map to
+    /// [`verify_decoded_totals`] once the exchange is over.
+    pub fn accumulate_instances(&self, totals: &mut BTreeMap<u32, u64>) {
+        for slot in &self.slots {
+            let mut n = slot.records as u64;
+            for block in &slot.blocks {
+                if let PayloadView::KmerList(view) = block {
+                    n += view.iter().map(|(_, count)| count).sum::<u64>();
+                }
+            }
+            *totals.entry(slot.task).or_insert(0) += n;
+        }
+    }
+}
+
+/// Cross-check the decoded per-task k-mer totals of one rank against the globally
+/// allreduced task sizes for the tasks it owns. Structure and checksums validate each
+/// *block*, but a segment cut at an exact block boundary (or dropped entirely) still
+/// parses as a clean shorter stream — this end-of-exchange reconciliation is what
+/// turns that silent loss into a typed [`WireError::CountMismatch`].
+pub fn verify_decoded_totals(
+    decoded: &BTreeMap<u32, u64>,
+    owned_tasks: &[usize],
+    global_sizes: &[u64],
+) -> Result<(), WireError> {
+    for &task in owned_tasks {
+        let expected = global_sizes.get(task).copied().unwrap_or(0);
+        let got = decoded.get(&(task as u32)).copied().unwrap_or(0);
+        if got != expected {
+            return Err(WireError::CountMismatch {
+                task: task as u32,
+                expected,
+                got,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Incremental builder of a [`BlockIndex`]: segments are added one at a time (e.g.
@@ -132,10 +172,11 @@ impl<'a, K: KmerCode> BlockIndexBuilder<'a, K> {
         }
     }
 
-    /// Add one source segment: validate its stream structure, group its payload views
-    /// by task and extend the header-derived record totals. Returns `None` on a
-    /// malformed stream (the builder must then be discarded).
-    pub fn add_segment(&mut self, segment: &'a [u8], k: usize) -> Option<()> {
+    /// Add one source segment: validate its stream structure and checksums, group its
+    /// payload views by task and extend the header-derived record totals. Returns the
+    /// [`WireError`] naming the defect on a malformed stream (the builder must then be
+    /// discarded).
+    pub fn add_segment(&mut self, segment: &'a [u8], k: usize) -> Result<(), WireError> {
         for block in read_blocks::<K>(segment)? {
             let slot = self.by_task.entry(block.task).or_insert_with(|| TaskSlot {
                 task: block.task,
@@ -150,7 +191,7 @@ impl<'a, K: KmerCode> BlockIndexBuilder<'a, K> {
             }
             slot.blocks.push(block.payload);
         }
-        Some(())
+        Ok(())
     }
 
     /// Close the index: one slot per task seen, in ascending task order.
@@ -163,8 +204,8 @@ impl<'a, K: KmerCode> BlockIndexBuilder<'a, K> {
 
 /// Build the per-task block index from one byte segment per source rank: validate the
 /// stream structure, group the payload views by task and sum the exact record totals
-/// from the headers. Returns `None` on a malformed stream.
-pub fn build_block_index<'a, K, I>(segments: I, k: usize) -> Option<BlockIndex<'a, K>>
+/// from the headers. Returns the [`WireError`] naming the defect on a malformed stream.
+pub fn build_block_index<'a, K, I>(segments: I, k: usize) -> Result<BlockIndex<'a, K>, WireError>
 where
     K: KmerCode,
     I: IntoIterator<Item = &'a [u8]>,
@@ -173,7 +214,7 @@ where
     for segment in segments {
         builder.add_segment(segment, k)?;
     }
-    Some(builder.finish())
+    Ok(builder.finish())
 }
 
 /// Per-worker reusable state: the record and sort buffers, the kmerlist staging
@@ -343,9 +384,11 @@ fn count_task_with_extensions<K: KmerCode>(
             }
             PayloadView::KmerList(view) => pre.extend(view.iter()),
             PayloadView::Records(view) => {
+                // Malformed streams cannot reach here: structure and checksum were
+                // verified when `read_blocks` built the index.
                 match view
                     .decode_extensions()
-                    .expect("malformed extension stream")
+                    .expect("validated by read_blocks checksum")
                 {
                     Some(exts) => records.extend(view.kmers().zip(exts)),
                     None => records.extend(view.kmers().map(|km| (km, Extension::default()))),
@@ -564,7 +607,7 @@ pub fn count_received_parallel<'a, K, I>(
     k: usize,
     params: &CountParams,
     pool: &WorkerPool,
-) -> Option<(RankCounts<K>, Vec<u64>)>
+) -> Result<(RankCounts<K>, Vec<u64>), WireError>
 where
     K: KmerCode,
     I: IntoIterator<Item = &'a [u8]>,
@@ -572,7 +615,7 @@ where
     let index = build_block_index::<K, _>(segments, k)?;
     let task_sizes = index.task_sizes();
     let out = count_blocks_parallel(&index, k, params, pool);
-    Some((merge_task_counts(out, params), task_sizes))
+    Ok((merge_task_counts(out, params), task_sizes))
 }
 
 /// The original sequential stage 3, kept verbatim as the correctness reference: decode
@@ -586,7 +629,7 @@ pub fn count_blocks_reference<'a, K, I>(
     segments: I,
     k: usize,
     params: &CountParams,
-) -> Option<RankCounts<K>>
+) -> Result<RankCounts<K>, WireError>
 where
     K: KmerCode,
     I: IntoIterator<Item = &'a [u8]>,
@@ -666,7 +709,7 @@ where
     let counts: Vec<(K, u64)> = order.iter().map(|&i| counts[i]).collect();
     let extensions = extensions.map(|ext| order.iter().map(|&i| ext[i].clone()).collect());
 
-    Some(RankCounts {
+    Ok(RankCounts {
         counts,
         extensions,
         histogram,
@@ -890,7 +933,7 @@ mod tests {
 
         // A malformed segment poisons the builder.
         let mut builder = BlockIndexBuilder::<Kmer1>::new();
-        assert!(builder.add_segment(&[9, 9, 9], k).is_none());
+        assert!(builder.add_segment(&[9, 9, 9], k).is_err());
     }
 
     #[test]
@@ -927,9 +970,9 @@ mod tests {
     #[test]
     fn malformed_segments_are_rejected() {
         let bad: &[&[u8]] = &[&[9, 9, 9]];
-        assert!(build_block_index::<Kmer1, _>(bad.iter().copied(), 15).is_none());
+        assert!(build_block_index::<Kmer1, _>(bad.iter().copied(), 15).is_err());
         let p = params(false);
-        assert!(count_blocks_reference::<Kmer1, _>(bad.iter().copied(), 15, &p).is_none());
+        assert!(count_blocks_reference::<Kmer1, _>(bad.iter().copied(), 15, &p).is_err());
     }
 
     #[test]

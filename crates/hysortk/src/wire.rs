@@ -27,7 +27,125 @@ use hysortk_dna::sequence::DnaSeq;
 use hysortk_supermer::codec::{decode_extensions_slice, encode_extensions};
 use hysortk_supermer::supermer::Supermer;
 
+use std::fmt;
 use std::marker::PhantomData;
+
+/// Why a wire stream failed to parse. Every variant carries the byte offset at which
+/// the stream went wrong, so an error names the exact defect instead of panicking on
+/// attacker-shaped bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended in the middle of a block.
+    Truncated {
+        /// Byte offset at which more data was expected.
+        offset: usize,
+    },
+    /// A block declared an unknown payload kind.
+    BadKind {
+        /// The unknown kind byte.
+        kind: u8,
+        /// Byte offset of the kind byte.
+        offset: usize,
+    },
+    /// A records block declared an unknown extension encoding, or its compressed
+    /// extension stream failed to decode.
+    BadExtension {
+        /// Byte offset of the extension section.
+        offset: usize,
+    },
+    /// A length field implies a payload larger than addressable memory.
+    Oversized {
+        /// Byte offset of the offending length field.
+        offset: usize,
+    },
+    /// The block's trailing checksum did not match its bytes — the payload was
+    /// corrupted in flight.
+    Checksum {
+        /// Task id the corrupted block claimed.
+        task: u32,
+        /// Byte offset at which the block started.
+        offset: usize,
+    },
+    /// A task's decoded k-mer total disagrees with the globally allreduced task size.
+    /// Every block parsed cleanly, yet data was lost or duplicated in flight — e.g. a
+    /// segment truncated at an exact block boundary, which per-block checksums cannot
+    /// see.
+    CountMismatch {
+        /// Task id whose totals disagree.
+        task: u32,
+        /// K-mer instances the task-size allreduce agreed on.
+        expected: u64,
+        /// K-mer instances actually decoded.
+        got: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { offset } => {
+                write!(f, "wire stream truncated at byte {offset}")
+            }
+            WireError::BadKind { kind, offset } => {
+                write!(f, "unknown block kind {kind} at byte {offset}")
+            }
+            WireError::BadExtension { offset } => {
+                write!(f, "malformed extension section at byte {offset}")
+            }
+            WireError::Oversized { offset } => {
+                write!(f, "oversized length field at byte {offset}")
+            }
+            WireError::Checksum { task, offset } => {
+                write!(
+                    f,
+                    "checksum mismatch in block for task {task} starting at byte {offset}"
+                )
+            }
+            WireError::CountMismatch {
+                task,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "task {task} decoded {got} k-mers but the task-size allreduce \
+                     agreed on {expected} — wire data lost or duplicated"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Checksum guarding each task block: a multiply–rotate hash folded to 32 bits,
+/// appended after the payload by every writer and verified by [`read_blocks`]. Not
+/// cryptographic — it exists so a bit flipped in flight surfaces as
+/// [`WireError::Checksum`] instead of a silently wrong histogram.
+fn wire_checksum(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+        h = (h ^ w).wrapping_mul(0x0100_0000_01b3).rotate_left(23);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(w))
+            .wrapping_mul(0x0100_0000_01b3)
+            .rotate_left(23);
+    }
+    h ^= bytes.len() as u64;
+    (h ^ (h >> 32)) as u32
+}
+
+/// Append the checksum of `out[block_start..]` — call once per finished block.
+fn seal_block(out: &mut Vec<u8>, block_start: usize) {
+    let sum = wire_checksum(&out[block_start..]);
+    push_u32(out, sum);
+}
 
 /// Payload of one task block (owned form, used by the writers).
 #[derive(Debug, Clone, PartialEq)]
@@ -98,8 +216,9 @@ fn kmer_wire_bytes<K: KmerCode>() -> usize {
     K::WORDS * 8
 }
 
-/// Serialise one task block into `out`.
+/// Serialise one task block into `out`, sealed with a trailing checksum.
 pub fn write_block<K: KmerCode>(out: &mut Vec<u8>, task: u32, payload: &TaskPayload<K>) {
+    let block_start = out.len();
     push_u32(out, task);
     match payload {
         TaskPayload::Supermers(supermers) => {
@@ -148,6 +267,7 @@ pub fn write_block<K: KmerCode>(out: &mut Vec<u8>, task: u32, payload: &TaskPayl
             }
         }
     }
+    seal_block(out, block_start);
 }
 
 /// Serialise k-mer records *without* compression (the §3.3.2 "before" case, used by the
@@ -158,6 +278,7 @@ pub fn write_records_uncompressed<K: KmerCode>(
     kmers: &[K],
     exts: &[Extension],
 ) {
+    let block_start = out.len();
     push_u32(out, task);
     out.push(KIND_RECORDS);
     push_u32(out, kmers.len() as u32);
@@ -168,6 +289,7 @@ pub fn write_records_uncompressed<K: KmerCode>(
     for e in exts {
         out.extend_from_slice(&e.to_bytes());
     }
+    seal_block(out, block_start);
 }
 
 /// Streamed writer of one supermer block: the parallel parse stage serialises its
@@ -183,6 +305,7 @@ pub fn write_records_uncompressed<K: KmerCode>(
 #[derive(Debug)]
 pub struct SupermerBlockWriter<'a> {
     out: &'a mut Vec<u8>,
+    block_start: usize,
     declared: u32,
     written: u32,
 }
@@ -190,11 +313,13 @@ pub struct SupermerBlockWriter<'a> {
 impl<'a> SupermerBlockWriter<'a> {
     /// Start a supermer block for `task` holding exactly `count` supermers.
     pub fn new(out: &'a mut Vec<u8>, task: u32, count: u32) -> Self {
+        let block_start = out.len();
         push_u32(out, task);
         out.push(KIND_SUPERMERS);
         push_u32(out, count);
         SupermerBlockWriter {
             out,
+            block_start,
             declared: count,
             written: 0,
         }
@@ -214,13 +339,15 @@ impl<'a> SupermerBlockWriter<'a> {
 
 impl Drop for SupermerBlockWriter<'_> {
     fn drop(&mut self) {
-        // Skip the invariant check during unwinding: asserting here would turn any
-        // panic raised mid-block into a panic-while-panicking abort that masks it.
+        // Skip sealing during unwinding: asserting or hashing here would turn any
+        // panic raised mid-block into a panic-while-panicking abort that masks it,
+        // and the half-written buffer is discarded anyway.
         if !std::thread::panicking() {
             debug_assert_eq!(
                 self.written, self.declared,
                 "supermer block closed with a count mismatch"
             );
+            seal_block(self.out, self.block_start);
         }
     }
 }
@@ -420,6 +547,8 @@ pub struct RecordsView<'a, K: KmerCode> {
     count: usize,
     kmer_bytes: &'a [u8],
     extensions: ExtensionsView<'a>,
+    /// Absolute byte offset of the extension section, for error reporting.
+    ext_offset: usize,
     _kmer: PhantomData<K>,
 }
 
@@ -457,22 +586,24 @@ impl<'a, K: KmerCode> RecordsView<'a, K> {
 
     /// Decode the extension records, if the block carries any.
     ///
-    /// Returns `None` when the compressed stream is malformed (structure was length-
-    /// checked by [`read_blocks`], but delta decoding can still fail), otherwise
-    /// `Some(None)` for extension-free blocks or `Some(Some(records))`.
-    pub fn decode_extensions(&self) -> Option<Option<Vec<Extension>>> {
+    /// Returns [`WireError::BadExtension`] when the compressed stream is malformed
+    /// (structure was length-checked by [`read_blocks`], but delta decoding can still
+    /// fail), otherwise `None` for extension-free blocks or `Some(records)`.
+    pub fn decode_extensions(&self) -> Result<Option<Vec<Extension>>, WireError> {
         match self.extensions {
-            ExtensionsView::None => Some(None),
+            ExtensionsView::None => Ok(None),
             ExtensionsView::Raw(bytes) => {
                 let exts = bytes
                     .chunks_exact(Extension::WIRE_BYTES)
                     .map(|raw| Extension::from_bytes(raw.try_into().expect("chunk is 8 bytes")))
                     .collect();
-                Some(Some(exts))
+                Ok(Some(exts))
             }
-            ExtensionsView::Compressed(bytes) => {
-                Some(Some(decode_extensions_slice(bytes, self.count)?))
-            }
+            ExtensionsView::Compressed(bytes) => decode_extensions_slice(bytes, self.count)
+                .map(Some)
+                .ok_or(WireError::BadExtension {
+                    offset: self.ext_offset,
+                }),
         }
     }
 }
@@ -480,7 +611,7 @@ impl<'a, K: KmerCode> RecordsView<'a, K> {
 impl<'a, K: KmerCode> TaskBlockView<'a, K> {
     /// Materialise an owned [`TaskBlock`] (compat path for tests and tooling; the
     /// pipeline consumes the views directly).
-    pub fn to_owned_block(&self) -> Option<TaskBlock<K>> {
+    pub fn to_owned_block(&self) -> Result<TaskBlock<K>, WireError> {
         let payload = match &self.payload {
             PayloadView::Supermers(view) => {
                 TaskPayload::Supermers(view.iter().map(|s| s.to_supermer(self.task)).collect())
@@ -490,37 +621,48 @@ impl<'a, K: KmerCode> TaskBlockView<'a, K> {
                 TaskPayload::Records(view.kmers().collect(), view.decode_extensions()?)
             }
         };
-        Some(TaskBlock {
+        Ok(TaskBlock {
             task: self.task,
             payload,
         })
     }
 }
 
-/// Parse a byte stream into task block views. Returns `None` on malformed input.
+/// Parse a byte stream into task block views. Returns a [`WireError`] naming the
+/// defect and its byte offset on malformed input — never panics, whatever the bytes.
 ///
-/// One walk validates every length field; the returned views borrow `buf`, so parsing
-/// performs **zero payload copies** — payload items are decoded lazily by the view
-/// iterators exactly where the pipeline consumes them.
-pub fn read_blocks<K: KmerCode>(buf: &[u8]) -> Option<Vec<TaskBlockView<'_, K>>> {
+/// One walk validates every length field and verifies each block's trailing checksum;
+/// the returned views borrow `buf`, so parsing performs **zero payload copies** —
+/// payload items are decoded lazily by the view iterators exactly where the pipeline
+/// consumes them.
+pub fn read_blocks<K: KmerCode>(buf: &[u8]) -> Result<Vec<TaskBlockView<'_, K>>, WireError> {
     let mut pos = 0usize;
     let mut out = Vec::new();
     while pos < buf.len() {
-        let task = read_u32(buf, &mut pos)?;
-        let kind = *buf.get(pos)?;
+        let block_start = pos;
+        let task = read_u32(buf, &mut pos).ok_or(WireError::Truncated { offset: pos })?;
+        let kind = *buf.get(pos).ok_or(WireError::Truncated { offset: pos })?;
+        let kind_at = pos;
         pos += 1;
         let payload = match kind {
             KIND_SUPERMERS => {
-                let n = read_u32(buf, &mut pos)? as usize;
+                let n =
+                    read_u32(buf, &mut pos).ok_or(WireError::Truncated { offset: pos })? as usize;
                 let body_start = pos;
                 for _ in 0..n {
                     // read_id, start
-                    read_u32(buf, &mut pos)?;
-                    read_u32(buf, &mut pos)?;
-                    let len = read_u32(buf, &mut pos)? as usize;
+                    read_u32(buf, &mut pos).ok_or(WireError::Truncated { offset: pos })?;
+                    read_u32(buf, &mut pos).ok_or(WireError::Truncated { offset: pos })?;
+                    let len_at = pos;
+                    let len = read_u32(buf, &mut pos).ok_or(WireError::Truncated { offset: pos })?
+                        as usize;
                     let nbytes = len.div_ceil(4);
-                    buf.get(pos..pos + nbytes)?;
-                    pos += nbytes;
+                    let end = pos
+                        .checked_add(nbytes)
+                        .ok_or(WireError::Oversized { offset: len_at })?;
+                    buf.get(pos..end)
+                        .ok_or(WireError::Truncated { offset: pos })?;
+                    pos = end;
                 }
                 PayloadView::Supermers(SupermersView {
                     count: n,
@@ -528,10 +670,17 @@ pub fn read_blocks<K: KmerCode>(buf: &[u8]) -> Option<Vec<TaskBlockView<'_, K>>>
                 })
             }
             KIND_KMERLIST => {
-                let n = read_u32(buf, &mut pos)? as usize;
-                let body = n.checked_mul(kmer_wire_bytes::<K>() + 8)?;
-                let bytes = buf.get(pos..pos + body)?;
-                pos += body;
+                let len_at = pos;
+                let n =
+                    read_u32(buf, &mut pos).ok_or(WireError::Truncated { offset: pos })? as usize;
+                let body = n
+                    .checked_mul(kmer_wire_bytes::<K>() + 8)
+                    .and_then(|b| pos.checked_add(b))
+                    .ok_or(WireError::Oversized { offset: len_at })?;
+                let bytes = buf
+                    .get(pos..body)
+                    .ok_or(WireError::Truncated { offset: pos })?;
+                pos = body;
                 PayloadView::KmerList(KmerListView {
                     count: n,
                     bytes,
@@ -539,45 +688,81 @@ pub fn read_blocks<K: KmerCode>(buf: &[u8]) -> Option<Vec<TaskBlockView<'_, K>>>
                 })
             }
             KIND_RECORDS => {
-                let n = read_u32(buf, &mut pos)? as usize;
-                let kmer_body = n.checked_mul(kmer_wire_bytes::<K>())?;
-                let kmer_bytes = buf.get(pos..pos + kmer_body)?;
-                pos += kmer_body;
-                let ext_kind = *buf.get(pos)?;
+                let len_at = pos;
+                let n =
+                    read_u32(buf, &mut pos).ok_or(WireError::Truncated { offset: pos })? as usize;
+                let kmer_end = n
+                    .checked_mul(kmer_wire_bytes::<K>())
+                    .and_then(|b| pos.checked_add(b))
+                    .ok_or(WireError::Oversized { offset: len_at })?;
+                let kmer_bytes = buf
+                    .get(pos..kmer_end)
+                    .ok_or(WireError::Truncated { offset: pos })?;
+                pos = kmer_end;
+                let ext_offset = pos;
+                let ext_kind = *buf.get(pos).ok_or(WireError::Truncated { offset: pos })?;
                 pos += 1;
                 let extensions = match ext_kind {
                     EXT_NONE => ExtensionsView::None,
                     EXT_RAW => {
-                        let body = n.checked_mul(Extension::WIRE_BYTES)?;
-                        let bytes = buf.get(pos..pos + body)?;
-                        pos += body;
+                        let body = n
+                            .checked_mul(Extension::WIRE_BYTES)
+                            .and_then(|b| pos.checked_add(b))
+                            .ok_or(WireError::Oversized { offset: len_at })?;
+                        let bytes = buf
+                            .get(pos..body)
+                            .ok_or(WireError::Truncated { offset: pos })?;
+                        pos = body;
                         ExtensionsView::Raw(bytes)
                     }
                     EXT_COMPRESSED => {
-                        let blen = read_u32(buf, &mut pos)? as usize;
-                        let bytes = buf.get(pos..pos + blen)?;
-                        pos += blen;
+                        let blen = read_u32(buf, &mut pos)
+                            .ok_or(WireError::Truncated { offset: pos })?
+                            as usize;
+                        let end = pos
+                            .checked_add(blen)
+                            .ok_or(WireError::Oversized { offset: ext_offset })?;
+                        let bytes = buf
+                            .get(pos..end)
+                            .ok_or(WireError::Truncated { offset: pos })?;
+                        pos = end;
                         ExtensionsView::Compressed(bytes)
                     }
-                    _ => return None,
+                    _ => {
+                        return Err(WireError::BadExtension { offset: ext_offset });
+                    }
                 };
                 PayloadView::Records(RecordsView {
                     count: n,
                     kmer_bytes,
                     extensions,
+                    ext_offset,
                     _kmer: PhantomData,
                 })
             }
-            _ => return None,
+            _ => {
+                return Err(WireError::BadKind {
+                    kind,
+                    offset: kind_at,
+                });
+            }
         };
+        let body_end = pos;
+        let declared = read_u32(buf, &mut pos).ok_or(WireError::Truncated { offset: pos })?;
+        if wire_checksum(&buf[block_start..body_end]) != declared {
+            return Err(WireError::Checksum {
+                task,
+                offset: block_start,
+            });
+        }
         out.push(TaskBlockView { task, payload });
     }
-    Some(out)
+    Ok(out)
 }
 
 /// Parse a byte stream into owned task blocks (tests and tooling; the pipeline uses
-/// [`read_blocks`] views directly). Returns `None` on malformed input.
-pub fn read_blocks_owned<K: KmerCode>(buf: &[u8]) -> Option<Vec<TaskBlock<K>>> {
+/// [`read_blocks`] views directly). Returns a [`WireError`] on malformed input.
+pub fn read_blocks_owned<K: KmerCode>(buf: &[u8]) -> Result<Vec<TaskBlock<K>>, WireError> {
     read_blocks::<K>(buf)?
         .iter()
         .map(TaskBlockView::to_owned_block)
@@ -773,7 +958,7 @@ mod tests {
     }
 
     #[test]
-    fn malformed_streams_are_rejected() {
+    fn malformed_streams_are_rejected_with_typed_errors() {
         let mut buf = Vec::new();
         write_block(
             &mut buf,
@@ -781,16 +966,111 @@ mod tests {
             &TaskPayload::KmerList(vec![(Kmer1::from_ascii(b"ACGTT"), 1)]),
         );
         buf.pop();
-        assert!(read_blocks::<Kmer1>(&buf).is_none());
-        assert!(read_blocks::<Kmer1>(&[9, 9, 9]).is_none());
+        assert!(matches!(
+            read_blocks::<Kmer1>(&buf),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            read_blocks::<Kmer1>(&[9, 9, 9]),
+            Err(WireError::Truncated { offset: 0 })
+        ));
         // Unknown block kind.
-        let bad = vec![0, 0, 0, 0, 99];
-        assert!(read_blocks::<Kmer1>(&bad).is_none());
+        assert_eq!(
+            read_blocks::<Kmer1>(&[0, 0, 0, 0, 99]).unwrap_err(),
+            WireError::BadKind {
+                kind: 99,
+                offset: 4
+            }
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let mut buf = Vec::new();
+        write_block(
+            &mut buf,
+            7,
+            &TaskPayload::KmerList(vec![(Kmer1::from_ascii(b"ACGTACGTACGTACG"), 42)]),
+        );
+        // Flip one payload bit, well past the header so the structure still parses.
+        buf[12] ^= 0x10;
+        assert_eq!(
+            read_blocks::<Kmer1>(&buf).unwrap_err(),
+            WireError::Checksum { task: 7, offset: 0 }
+        );
     }
 
     #[test]
     fn empty_stream_parses_to_no_blocks() {
         assert!(read_blocks::<Kmer1>(&[]).unwrap().is_empty());
         assert!(read_blocks_owned::<Kmer1>(&[]).unwrap().is_empty());
+    }
+
+    /// Satellite regression: `read_blocks` must never panic and never return wrong
+    /// records, whatever the bytes. Truncations at non-block boundaries and single-bit
+    /// flips must surface as typed errors; a truncation at an exact block boundary is a
+    /// shorter valid stream and must parse to exactly its prefix blocks.
+    #[test]
+    fn fuzzed_prefixes_and_bitflips_are_rejected_not_misparsed() {
+        let read = Read::from_ascii(
+            1,
+            "fz",
+            b"ACGTTGCAACGTGGGTTTAAACCCTAGCATACGTACGGTACCATGGTTACGATCGATCG",
+        );
+        let scorer = MmerScorer::new(7, ScoreFunction::Hash { seed: 9 });
+        let supermers = build_supermers(&read, 15, &scorer, 8);
+        let kmers: Vec<Kmer1> = (0..40u32)
+            .map(|i| {
+                let s: Vec<u8> = (0..21)
+                    .map(|j| b"ACGT"[((i * 7 + j as u32) % 4) as usize])
+                    .collect();
+                Kmer1::from_ascii(&s)
+            })
+            .collect();
+        let exts: Vec<Extension> = (0..40u32).map(|i| Extension::new(3, i)).collect();
+
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        write_block::<Kmer1>(&mut buf, 0, &TaskPayload::Supermers(supermers));
+        boundaries.push(buf.len());
+        write_block(
+            &mut buf,
+            1,
+            &TaskPayload::KmerList(vec![(Kmer1::from_ascii(b"ACGTACGTACGTACG"), 5)]),
+        );
+        boundaries.push(buf.len());
+        write_block(&mut buf, 2, &TaskPayload::Records(kmers, Some(exts)));
+        boundaries.push(buf.len());
+        let full = read_blocks_owned::<Kmer1>(&buf).unwrap();
+        assert_eq!(full.len(), 3);
+
+        // Every prefix: parses to exactly its boundary blocks, or errors — no panics,
+        // no invented records.
+        for cut in 0..buf.len() {
+            // A typed rejection is the expected outcome for almost every cut.
+            if let Ok(blocks) = read_blocks_owned::<Kmer1>(&buf[..cut]) {
+                let boundary = boundaries.iter().position(|&b| b == cut);
+                let n = boundary.unwrap_or_else(|| {
+                    panic!("prefix of {cut} bytes parsed but is not a block boundary")
+                });
+                assert_eq!(blocks, full[..n], "prefix of {cut} bytes decoded wrongly");
+            }
+        }
+
+        // Every single-bit flip lands inside some block, so the checksum (or a
+        // structural check) must catch it.
+        let mut rng = 0x5eed_f00d_u64;
+        for _ in 0..600 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let bit = (rng as usize) % (buf.len() * 8);
+            let mut flipped = buf.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                read_blocks_owned::<Kmer1>(&flipped).is_err(),
+                "bit flip at {bit} went undetected"
+            );
+        }
     }
 }

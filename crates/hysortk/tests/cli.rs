@@ -1,0 +1,129 @@
+//! Golden exit-code and stderr tests of the `hysortk` binary.
+//!
+//! The CLI's failure contract is part of the public surface: exit 2 for usage and
+//! configuration errors, 3 for input I/O, 4 for internal failures (malformed wire
+//! data or a distributed-runtime abort), and a stderr line naming the offending
+//! file, rank and fault. `HYSORTK_FAULT` drives the fault-injection plumbing end to
+//! end through the real binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn hysortk() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hysortk"));
+    // Never inherit a fault spec from the environment running the tests.
+    cmd.env_remove("HYSORTK_FAULT");
+    cmd
+}
+
+fn tmp_fasta(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("hysortk_cli_{}_{tag}.fa", std::process::id()));
+    let mut text = String::new();
+    // A tiny deterministic genome: enough 21-mers for a non-empty histogram.
+    for i in 0..20 {
+        let base = b"ACGT"[i % 4] as char;
+        text.push_str(&format!(
+            ">r{i}\n{}{}\n",
+            String::from(base).repeat(30),
+            "ACGTACGTACGTACGTACGTACGT"
+        ));
+    }
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn usage_errors_exit_2_with_the_usage_text() {
+    let out = hysortk().arg("count").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("no input files given"), "{err}");
+    assert!(err.contains("usage: hysortk count"), "{err}");
+
+    let out = hysortk()
+        .args(["count", "x.fa", "-k", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_inputs_exit_3_and_name_the_file() {
+    let out = hysortk()
+        .args(["count", "/nonexistent/definitely_missing.fa"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("definitely_missing.fa") && err.contains("rank"),
+        "{err}"
+    );
+}
+
+#[test]
+fn malformed_fault_specs_exit_2() {
+    let fa = tmp_fasta("badspec");
+    let out = hysortk()
+        .arg("count")
+        .arg(&fa)
+        .env("HYSORTK_FAULT", "explode:0")
+        .output()
+        .unwrap();
+    std::fs::remove_file(&fa).ok();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("HYSORTK_FAULT"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn an_injected_rank_failure_exits_4_with_the_fault_named() {
+    let fa = tmp_fasta("failrank");
+    let out = hysortk()
+        .args(["count", "--ranks", "3", "--min-count", "1"])
+        .arg(&fa)
+        .env("HYSORTK_FAULT", "fail:1:exchange:0")
+        .output()
+        .unwrap();
+    std::fs::remove_file(&fa).ok();
+    assert_eq!(out.status.code(), Some(4), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("injected fault") && err.contains("rank 1"),
+        "{err}"
+    );
+}
+
+#[test]
+fn transient_io_faults_are_retried_to_a_successful_identical_run() {
+    let fa = tmp_fasta("retry");
+    let healthy = hysortk()
+        .args(["count", "--min-count", "1"])
+        .arg(&fa)
+        .output()
+        .unwrap();
+    assert_eq!(healthy.status.code(), Some(0), "{}", stderr_of(&healthy));
+
+    let retried = hysortk()
+        .args(["count", "--min-count", "1"])
+        .arg(&fa)
+        .env("HYSORTK_FAULT", "io:0:2")
+        .output()
+        .unwrap();
+    std::fs::remove_file(&fa).ok();
+    assert_eq!(retried.status.code(), Some(0), "{}", stderr_of(&retried));
+    // Identical histogram on stdout, and the retries reported on stderr.
+    assert_eq!(healthy.stdout, retried.stdout);
+    assert!(
+        stderr_of(&retried).contains("transient read failure(s) retried"),
+        "{}",
+        stderr_of(&retried)
+    );
+}

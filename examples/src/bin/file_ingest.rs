@@ -12,7 +12,7 @@ use hysortk_datasets::DatasetPreset;
 use hysortk_dna::io::IngestOptions;
 use hysortk_dna::Kmer1;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Generate a small synthetic stand-in and write it to disk in both formats.
     let data = DatasetPreset::ABaumannii.generate(1.5e-4, 7);
     let dir = std::env::temp_dir();

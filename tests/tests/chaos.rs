@@ -1,0 +1,250 @@
+//! Chaos property harness: the file-fed pipeline under seeded fault injection.
+//!
+//! Every schedule drives the full pipeline — streaming ingestion, task-size
+//! allreduce, (non-)blocking exchange, sort & count — with one deterministic fault
+//! from [`FaultPlan::seeded`], across rank counts {1, 2, 7} and both execution modes.
+//! Each run must satisfy the trichotomy:
+//!
+//! 1. **byte-identical counts** to the healthy baseline (the fault was absorbed:
+//!    a delay, a no-op corruption, a retried transient read), or
+//! 2. a **typed error** naming the injected fault or the wire defect it caused, or
+//! 3. a **clean abort** where every peer unblocks with a `PeerFailed`-rooted error —
+//!    never a hang, never a silently wrong histogram.
+//!
+//! A wall-clock watchdog turns any deadlock into a test failure instead of a stuck
+//! CI job.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hysortk_core::ingest::{count_kmers_from_files_faulted, count_kmers_from_files_with};
+use hysortk_core::{CountResult, HySortKConfig, HysortkError};
+use hysortk_dmem::{FaultKind, FaultPlan};
+use hysortk_dna::io::IngestOptions;
+use hysortk_dna::kmer::Kmer1;
+use hysortk_dna::{fasta, ReadSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hysortk_chaos_{}_{tag}", std::process::id()))
+}
+
+fn overlapping_reads(seed: u64) -> ReadSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let genome: Vec<u8> = (0..2_000).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+    let reads: Vec<Vec<u8>> = (0..60)
+        .map(|_| {
+            let start = rng.gen_range(0..genome.len() - 220);
+            genome[start..start + 220].to_vec()
+        })
+        .collect();
+    ReadSet::from_ascii_reads(&reads)
+}
+
+fn chaos_cfg(ranks: usize, overlap: bool) -> HySortKConfig {
+    let mut cfg = HySortKConfig::small(21, 9, ranks);
+    cfg.min_count = 1;
+    cfg.max_count = 1_000_000;
+    // A small round budget forces several exchange rounds, so round-targeted faults
+    // (round 1..4) actually have somewhere to land.
+    cfg.batch_size = 200;
+    cfg.overlap = overlap;
+    cfg
+}
+
+/// Run `f` on its own thread with a wall-clock deadline: a deadlocked cluster fails
+/// the test instead of hanging it. The result travels back over a channel; a panic in
+/// `f` is re-raised by the join.
+fn with_deadline<T: Send + 'static>(
+    label: String,
+    deadline: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(value) => {
+            handle.join().expect("chaos worker panicked after sending");
+            value
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The closure panicked before sending; join to re-raise the panic.
+            handle.join().expect("chaos worker panicked");
+            unreachable!("worker disconnected without panicking");
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{label}: no result within {deadline:?} — the cluster deadlocked")
+        }
+    }
+}
+
+type ChaosOutcome = Result<CountResult<Kmer1>, HysortkError>;
+
+fn run_faulted(path: &Path, cfg: &HySortKConfig, plan: &Arc<FaultPlan>) -> ChaosOutcome {
+    let label = format!(
+        "ranks={} overlap={} plan[{}]",
+        cfg.total_ranks(),
+        cfg.overlap,
+        plan.describe()
+    );
+    let path = path.to_path_buf();
+    let cfg = cfg.clone();
+    let plan = Arc::clone(plan);
+    with_deadline(label, Duration::from_secs(120), move || {
+        count_kmers_from_files_faulted::<Kmer1, _>(&[&path], &cfg, IngestOptions::default(), plan)
+    })
+}
+
+/// The tentpole: ≥ 50 seeded fault schedules across rank counts and execution modes,
+/// each checked against the trichotomy. `FaultPlan::seeded` draws uniformly from all
+/// five fault kinds (delays, truncations, corruptions, rank failures, transient I/O).
+#[test]
+fn seeded_fault_schedules_never_hang_and_never_corrupt_counts() {
+    let reads = overlapping_reads(77);
+    let path = tmp_path("seeded.fa");
+    fasta::write_fasta_file(&path, &reads, 70).unwrap();
+
+    let mut schedules = 0usize;
+    let mut absorbed = 0usize;
+    let mut errored = 0usize;
+    for ranks in [1usize, 2, 7] {
+        for overlap in [false, true] {
+            let cfg = chaos_cfg(ranks, overlap);
+            let baseline =
+                count_kmers_from_files_with::<Kmer1, _>(&[&path], &cfg, IngestOptions::default())
+                    .expect("healthy run");
+            for seed in 0..9u64 {
+                schedules += 1;
+                let plan = Arc::new(FaultPlan::seeded(seed, ranks, 4));
+                let (_, kind) = plan.iter().next().expect("seeded plan holds one fault");
+                let is_transient_io = matches!(kind, FaultKind::TransientIo { .. });
+                let outcome = run_faulted(&path, &cfg, &plan);
+                let fired = plan.fired_count() > 0;
+                let ctx = format!(
+                    "seed={seed} ranks={ranks} overlap={overlap} fault={} fired={fired}",
+                    plan.describe()
+                );
+                match outcome {
+                    Ok(result) => {
+                        absorbed += 1;
+                        // Absorbed faults must leave the histogram byte-identical —
+                        // a "successful" run with different counts is the one
+                        // forbidden outcome.
+                        assert_eq!(result.counts, baseline.counts, "{ctx}");
+                        assert_eq!(result.histogram, baseline.histogram, "{ctx}");
+                        if fired && is_transient_io {
+                            assert!(
+                                result.report.io_retries >= 1,
+                                "{ctx}: retried reads must show up in the report"
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        errored += 1;
+                        assert!(fired, "{ctx}: error {e} without any fault firing");
+                        assert!(
+                            matches!(e.exit_code(), 3 | 4),
+                            "{ctx}: unexpected exit code for {e}"
+                        );
+                        if matches!(kind, FaultKind::FailRank) {
+                            // Aggregation must keep the root cause, not a peer echo.
+                            assert!(
+                                e.to_string().contains("injected fault"),
+                                "{ctx}: expected the injected fault as root cause, got {e}"
+                            );
+                        }
+                        assert!(
+                            !matches!(kind, FaultKind::DelayPost { .. }),
+                            "{ctx}: a pure delay must never fail a run, got {e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    assert!(schedules >= 50, "only {schedules} schedules ran");
+    // The seeded generator draws all five kinds, so both arms of the trichotomy must
+    // be populated — otherwise the harness is vacuous.
+    assert!(absorbed > 0, "no schedule was absorbed cleanly");
+    assert!(errored > 0, "no schedule surfaced a typed error");
+}
+
+/// Pinned regression: a rank failing mid-exchange unblocks every peer, and the
+/// aggregated error names the injected failure (not a timeout, not a peer echo).
+#[test]
+fn rank_failure_mid_exchange_unblocks_all_peers_with_the_root_cause() {
+    let reads = overlapping_reads(78);
+    let path = tmp_path("failrank.fa");
+    fasta::write_fasta_file(&path, &reads, 70).unwrap();
+    for overlap in [false, true] {
+        let cfg = chaos_cfg(4, overlap);
+        let plan = Arc::new(FaultPlan::new().with_fault(1, "exchange", 0, FaultKind::FailRank));
+        let err = run_faulted(&path, &cfg, &plan).expect_err("rank 1 was killed");
+        assert_eq!(err.exit_code(), 4, "overlap={overlap}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("injected fault") && msg.contains("rank 1"),
+            "overlap={overlap}: {msg}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Pinned regression for the checksum blind spot: a segment truncated to a *valid
+/// empty stream* parses cleanly block by block, so only the end-of-exchange
+/// reconciliation against the allreduced task sizes can catch it. It must surface as
+/// a typed count-mismatch, never as silently shrunken counts.
+#[test]
+fn truncation_to_a_clean_block_boundary_is_caught_by_reconciliation() {
+    let reads = overlapping_reads(79);
+    let path = tmp_path("boundary.fa");
+    fasta::write_fasta_file(&path, &reads, 70).unwrap();
+    for overlap in [false, true] {
+        let cfg = chaos_cfg(2, overlap);
+        let plan = Arc::new(FaultPlan::new().with_fault(
+            0,
+            "exchange",
+            0,
+            FaultKind::TruncateSegment { dest: 1, keep: 0 },
+        ));
+        let err = run_faulted(&path, &cfg, &plan).expect_err("dropped segment");
+        assert_eq!(err.exit_code(), 4, "overlap={overlap}");
+        assert!(
+            err.to_string().contains("lost or duplicated") || err.to_string().contains("truncated"),
+            "overlap={overlap}: {err}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Corrupted wire bytes must be rejected by the per-block checksum with the rank and
+/// round attached — on both execution modes.
+#[test]
+fn corrupted_wire_segments_surface_as_checksum_errors() {
+    let reads = overlapping_reads(80);
+    let path = tmp_path("corrupt.fa");
+    fasta::write_fasta_file(&path, &reads, 70).unwrap();
+    for overlap in [false, true] {
+        let cfg = chaos_cfg(2, overlap);
+        let plan = Arc::new(FaultPlan::new().with_fault(
+            0,
+            "exchange",
+            0,
+            FaultKind::CorruptSegment { dest: 1, bit: 201 },
+        ));
+        let err = run_faulted(&path, &cfg, &plan).expect_err("corrupted segment");
+        assert_eq!(err.exit_code(), 4, "overlap={overlap}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("malformed wire data"),
+            "overlap={overlap}: {msg}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

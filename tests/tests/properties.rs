@@ -208,8 +208,10 @@ fn flat_exchange_round_trips_against_the_nested_path() {
                 .collect();
             let counts: Vec<usize> = nested.iter().map(Vec::len).collect();
             let flat: Vec<u8> = nested.iter().flatten().copied().collect();
-            let from_nested = ctx.alltoallv(nested, "nested");
-            let from_flat = ctx.alltoallv_flat(flat, &counts, "flat");
+            let from_nested = ctx.alltoallv(nested, "nested").expect("no faults injected");
+            let from_flat = ctx
+                .alltoallv_flat(flat, &counts, "flat")
+                .expect("no faults injected");
             (0..ctx.size()).all(|src| from_nested[src].as_slice() == from_flat.from_rank(src))
         });
         assert!(
