@@ -253,6 +253,8 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
         assignment_imbalance: 1.0,
         overlap_fraction: 0.0,
         io_retries: 0,
+        recoveries: 0,
+        epochs_committed: 0,
     };
 
     BaselineResult {

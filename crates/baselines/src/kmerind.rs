@@ -236,6 +236,8 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
         assignment_imbalance: 1.0,
         overlap_fraction: 1.0,
         io_retries: 0,
+        recoveries: 0,
+        epochs_committed: 0,
     };
 
     KmerindOutcome::Completed(Box::new(BaselineResult {

@@ -197,6 +197,8 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         assignment_imbalance: 1.0,
         overlap_fraction: 0.0,
         io_retries: 0,
+        recoveries: 0,
+        epochs_committed: 0,
     };
 
     BaselineResult {

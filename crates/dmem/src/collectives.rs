@@ -169,6 +169,9 @@ pub struct RankCtx {
     /// Sequence number of the next non-blocking round exchange this rank opens; the
     /// SPMD discipline makes the N-th exchange of every rank resolve to one board.
     nb_seq: u64,
+    /// Recovery generation: 0 on a first run, `n` on the n-th respawn after a
+    /// recoverable rank failure (see [`crate::Cluster::run_recovering`]).
+    generation: usize,
 }
 
 /// Result of a round-limited padded exchange ([`RankCtx::alltoall_rounds`]).
@@ -229,13 +232,14 @@ pub struct FlatRoundedExchange<T> {
 }
 
 impl RankCtx {
-    pub(crate) fn new(rank: usize, shared: Arc<Shared>) -> Self {
+    pub(crate) fn new(rank: usize, shared: Arc<Shared>, generation: usize) -> Self {
         let size = shared.size;
         RankCtx {
             rank,
             shared,
             stats: CommStats::new(size),
             nb_seq: 0,
+            generation,
         }
     }
 
@@ -257,6 +261,14 @@ impl RankCtx {
         self.shared.size
     }
 
+    /// Which recovery generation this rank belongs to: 0 on a cluster's first run,
+    /// `n` when [`crate::Cluster::run_recovering`] respawned the ranks for the n-th
+    /// time after a recoverable failure. Pipelines use this to decide whether to
+    /// restore state from their last committed checkpoint epoch.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
     /// Read-only view of the traffic recorded so far by this rank.
     pub fn comm_stats(&self) -> &CommStats {
         &self.stats
@@ -267,6 +279,12 @@ impl RankCtx {
     /// uses this to route transient-I/O faults through the real retry path.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.shared.fault.as_deref()
+    }
+
+    /// Owned handle on the active fault plan, for components (like a checkpoint
+    /// writer) that outlive a single borrow of the context.
+    pub fn fault_plan_arc(&self) -> Option<Arc<FaultPlan>> {
+        self.shared.fault.clone()
     }
 
     /// Publish a cluster-wide abort naming this rank: every peer currently blocked in

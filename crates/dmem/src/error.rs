@@ -52,6 +52,23 @@ pub enum DmemError {
     Protocol(String),
 }
 
+impl DmemError {
+    /// Whether this error describes a *rank failure* — a peer dying (or this rank
+    /// being the one killed by an injected `fail-rank` fault) — rather than a concrete
+    /// local defect such as corrupt wire bytes or a protocol violation.
+    ///
+    /// Rank failures are the class [`Cluster::run_recovering`](crate::Cluster::run_recovering)
+    /// can heal by respawning the generation: the data needed to redo the work still
+    /// exists, only the rank executing it was lost. Timeouts and protocol violations
+    /// indicate a runtime bug and are deliberately excluded.
+    pub fn is_rank_failure(&self) -> bool {
+        matches!(
+            self,
+            DmemError::PeerFailed { .. } | DmemError::InjectedFault { .. }
+        )
+    }
+}
+
 impl fmt::Display for DmemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -334,6 +334,15 @@ impl FaultPlan {
             .filter(move |f| f.site.rank == rank && f.site.stage == stage && f.site.round == round)
     }
 
+    /// Public control-fault hook for pipeline-level sites the runtime itself never
+    /// visits — e.g. the checkpoint writer fires `fail:R:checkpoint:EPOCH` faults
+    /// through this to simulate a rank crashing mid-manifest-write. Delays sleep in
+    /// place; a matching `fail` fault returns [`DmemError::InjectedFault`], which the
+    /// caller must treat as its own death (publish an abort and unwind).
+    pub fn fire_control(&self, rank: usize, stage: &str, round: usize) -> Result<(), DmemError> {
+        self.apply_control(rank, stage, round)
+    }
+
     /// Fire the control-flow faults (delay, rank failure) matching a site. Called from
     /// every collective; segment exchanges additionally call
     /// [`FaultPlan::apply_to_segments`].

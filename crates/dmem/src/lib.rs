@@ -78,6 +78,7 @@ pub use stats::{CommStats, StageTraffic};
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 use collectives::Shared;
 
@@ -103,6 +104,40 @@ impl<R> ClusterRun<R> {
     pub fn total_comm(&self) -> CommStats {
         CommStats::aggregate(&self.comm)
     }
+}
+
+/// How [`Cluster::run_recovering`] reacts to a recoverable generation failure:
+/// how many times the ranks may be respawned, and how long to back off before
+/// each respawn (the backoff doubles per attempt).
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Maximum number of respawn attempts after the initial run. `0` disables
+    /// recovery entirely and degrades to [`Cluster::run`] semantics.
+    pub max_attempts: usize,
+    /// Base backoff slept before the first respawn; doubled on every further attempt.
+    pub backoff: Duration,
+}
+
+impl RecoveryPolicy {
+    /// A policy that never retries: failures surface exactly as under [`Cluster::run`].
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            max_attempts: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// The result of [`Cluster::run_recovering`]: the final generation's per-rank results
+/// and traffic, plus how many recovery generations were needed.
+#[derive(Debug)]
+pub struct RecoveringRun<T, E> {
+    /// Per-rank results of the last generation, indexed by rank.
+    pub results: Vec<Result<T, E>>,
+    /// Per-rank communication statistics of the last generation, indexed by rank.
+    pub comm: Vec<CommStats>,
+    /// Number of times the ranks were respawned after a recoverable failure.
+    pub recoveries: usize,
 }
 
 /// Best-effort text of a panic payload, for the abort record peers see.
@@ -149,6 +184,68 @@ impl Cluster {
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
     {
+        self.run_generation(&f, 0)
+    }
+
+    /// Run `f` like [`Cluster::run`], but when ranks fail with errors the `recoverable`
+    /// predicate accepts, respawn the whole generation — fresh abort state, fresh
+    /// exchange boards, same (already partially fired) fault plan — after a doubling
+    /// backoff, up to `policy.max_attempts` times.
+    ///
+    /// This is the simulated form of in-run rank recovery: the scope join at the end of
+    /// a generation is the recovery barrier every survivor reaches once the abort has
+    /// unwound it, and re-invoking `f` with [`RankCtx::generation`] incremented is the
+    /// respawn. Pipelines that checkpoint observe the bumped generation and restore
+    /// from their last committed epoch instead of recounting from scratch.
+    ///
+    /// A generation is retried only when at least one rank failed **and every failed
+    /// rank's error is recoverable** — a concrete local defect (wire corruption, an
+    /// I/O error) degrades to today's typed abort immediately. Panics are never
+    /// recovered: they re-raise on the calling thread exactly as under [`Cluster::run`].
+    pub fn run_recovering<T, E, F, P>(
+        &self,
+        policy: &RecoveryPolicy,
+        recoverable: P,
+        f: F,
+    ) -> RecoveringRun<T, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(&mut RankCtx) -> Result<T, E> + Sync,
+        P: Fn(&E) -> bool,
+    {
+        let mut recoveries = 0usize;
+        loop {
+            let run = self.run_generation(&f, recoveries);
+            let failed = run.results.iter().filter(|r| r.is_err()).count();
+            let all_recoverable = run
+                .results
+                .iter()
+                .filter_map(|r| r.as_ref().err())
+                .all(&recoverable);
+            if failed > 0 && all_recoverable && recoveries < policy.max_attempts {
+                let backoff = policy
+                    .backoff
+                    .saturating_mul(1u32 << recoveries.min(16) as u32);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                recoveries += 1;
+                continue;
+            }
+            return RecoveringRun {
+                results: run.results,
+                comm: run.comm,
+                recoveries,
+            };
+        }
+    }
+
+    fn run_generation<R, F>(&self, f: &F, generation: usize) -> ClusterRun<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
         let shared = Arc::new(Shared::new(self.ranks, self.fault.clone()));
         let mut results: Vec<Option<R>> = (0..self.ranks).map(|_| None).collect();
         let mut comm: Vec<Option<CommStats>> = (0..self.ranks).map(|_| None).collect();
@@ -158,9 +255,8 @@ impl Cluster {
             for (rank, (res_slot, comm_slot)) in results.iter_mut().zip(comm.iter_mut()).enumerate()
             {
                 let shared = Arc::clone(&shared);
-                let f = &f;
                 handles.push(scope.spawn(move || {
-                    let mut ctx = RankCtx::new(rank, Arc::clone(&shared));
+                    let mut ctx = RankCtx::new(rank, Arc::clone(&shared), generation);
                     match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
                         Ok(out) => {
                             *res_slot = Some(out);
@@ -223,6 +319,76 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
         Cluster::new(0);
+    }
+
+    #[test]
+    fn run_recovering_respawns_failed_generations_until_success() {
+        let policy = RecoveryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+        };
+        let run = Cluster::new(4).run_recovering(
+            &policy,
+            |e: &String| e.starts_with("lost"),
+            |ctx| {
+                // Rank 2 dies in generations 0 and 1; the third respawn heals. Peers
+                // keep exchanging so the respawn exercises fresh boards per generation.
+                let sum = ctx.allreduce_u64(ctx.rank() as u64, "probe", u64::wrapping_add);
+                if ctx.generation() < 2 && ctx.rank() == 2 {
+                    return Err(format!("lost rank 2 in generation {}", ctx.generation()));
+                }
+                sum.map_err(|e| e.to_string())
+            },
+        );
+        assert_eq!(run.recoveries, 2);
+        assert!(
+            run.results.iter().all(|r| matches!(r, Ok(6))),
+            "{:?}",
+            run.results
+        );
+    }
+
+    #[test]
+    fn run_recovering_degrades_to_the_error_when_attempts_run_out() {
+        let policy = RecoveryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        };
+        let run = Cluster::new(2).run_recovering(
+            &policy,
+            |_: &String| true,
+            |ctx| {
+                if ctx.rank() == 0 {
+                    Err(format!("gen {}", ctx.generation()))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(run.recoveries, 1);
+        assert_eq!(run.results[0].as_ref().unwrap_err(), "gen 1");
+        assert!(run.results[1].is_ok());
+    }
+
+    #[test]
+    fn run_recovering_never_retries_unrecoverable_failures() {
+        let policy = RecoveryPolicy {
+            max_attempts: 5,
+            backoff: Duration::ZERO,
+        };
+        let run = Cluster::new(2).run_recovering(
+            &policy,
+            |e: &String| e != "hard",
+            |ctx| {
+                if ctx.rank() == 1 {
+                    Err("hard".to_string())
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(run.recoveries, 0);
+        assert_eq!(run.results[1].as_ref().unwrap_err(), "hard");
     }
 
     #[test]

@@ -744,4 +744,52 @@ mod tests {
         engine.post_round(0, Vec::new(), &[0]).unwrap();
         engine.post_round(0, Vec::new(), &[0]).unwrap();
     }
+
+    /// Pins the poisoned-condvar fix in [`RoundExchange::wait_round`]: a rank that dies
+    /// while holding the board's `posted` lock poisons the mutex, and every subsequent
+    /// `Condvar::wait_timeout` on it returns a `PoisonError`. The wait loop must
+    /// recover the guard (`unwrap_or_else(|e| e.into_inner())`) and keep waiting —
+    /// before the fix it panicked, which cascaded a single rank death into a poisoned
+    /// panic on every survivor instead of a typed abort. Chaos schedules only hit this
+    /// path incidentally; this test constructs it directly.
+    #[test]
+    fn wait_round_survives_a_poisoned_board_lock() {
+        use super::{BoardRegistry, RoundExchange};
+        use crate::collectives::AbortState;
+        let registry = BoardRegistry::default();
+        let b0 = registry.checkout(0, 2, 1);
+        let b1 = registry.checkout(0, 2, 1);
+        let abort = Arc::new(AbortState::new());
+        let mut e0 = RoundExchange::new(Arc::clone(&b0), 0, "poison", Arc::clone(&abort), None);
+        let mut e1 = RoundExchange::new(b1, 1, "poison", abort, None);
+
+        // Poison the posted mutex — and with it every condvar wait on the board — the
+        // way a panicking rank would: by dying while holding the lock.
+        let poisoner = Arc::clone(&b0);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.posted.lock().unwrap();
+            panic!("simulated rank death while holding the board lock");
+        })
+        .join();
+        assert!(
+            b0.posted.is_poisoned(),
+            "the lock must actually be poisoned"
+        );
+
+        // Rank 0 posts and then waits while the round is still incomplete, so the wait
+        // loop spins through the poisoned `wait_timeout` before rank 1's post arrives.
+        let waiter = std::thread::spawn(move || {
+            e0.post_round(0, vec![7, 7], &[1, 1]).unwrap();
+            let mut recv = FlatReceived::empty();
+            e0.wait_round(0, &mut recv).unwrap();
+            (recv.from_rank(0).to_vec(), recv.from_rank(1).to_vec())
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        e1.post_round(0, vec![9, 9], &[1, 1]).unwrap();
+        let (from0, from1) = waiter
+            .join()
+            .expect("wait_round must recover the poisoned lock, not panic");
+        assert_eq!(from0, vec![7]);
+        assert_eq!(from1, vec![9]);
+    }
 }

@@ -45,13 +45,36 @@ options:
   --out <path>       write the multiplicity histogram TSV here (default stdout)
   -h, --help         this help
 
+checkpointing & recovery:
+  --checkpoint <dir>        commit an epoch manifest per rank after every committed
+                            exchange round (torn-write-safe: tmp → fsync → rename)
+  --checkpoint-every <n>    commit every n-th round instead of every round (default 1)
+  --resume <dir>            restore the newest globally-consistent epoch from <dir>,
+                            skip its committed rounds, and finish the run
+  --recovery-attempts <n>   respawn the simulated ranks up to n times after an
+                            in-run rank failure before aborting (default 2; 0 turns
+                            in-run recovery off and restores fail-fast aborts)
+  --recovery-backoff-ms <n> base backoff before a respawn, doubled per attempt
+                            (default 10)
+  --io-retries <n>          attempts per shard read before a transient I/O error
+                            surfaces (default 3: first try + 2 retries)
+  --io-backoff-ms <n>       base of the jittered exponential retry backoff (default 2)
+  --fault <spec>            fault-injection spec for chaos testing (wins over the
+                            HYSORTK_FAULT environment variable)
+
 environment:
-  HYSORTK_FAULT      `;`-separated fault-injection spec for chaos testing, e.g.
-                     `delay:0:exchange:1:5;fail:2:exchange:0` (see FaultPlan::from_spec)
+  HYSORTK_FAULT      `;`-separated fault-injection spec for chaos testing. Grammar:
+                     `delay:R:STAGE:ROUND:MS`, `truncate:R:STAGE:ROUND:DEST:KEEP`,
+                     `corrupt:R:STAGE:ROUND:DEST:BIT`, `fail:R:STAGE:ROUND`,
+                     `io:R:FAILURES` — e.g. `delay:0:exchange:1:5;fail:2:exchange:0`
+                     (see FaultPlan::from_spec)
 
 exit codes:
-  0 success, 2 usage or configuration error, 3 input I/O error,
-  4 internal error (malformed wire data or a distributed-runtime abort)
+  0 success — including runs that hit injected/real rank failures but completed
+    through in-run recovery (the summary then reports the recovery count),
+  2 usage or configuration error, 3 input I/O error,
+  4 internal error (malformed wire data or a distributed-runtime abort that
+    exhausted or bypassed recovery)
 ";
 
 struct CliArgs {
@@ -65,6 +88,14 @@ struct CliArgs {
     block_bytes: usize,
     overlap: bool,
     out: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: Option<PathBuf>,
+    recovery_attempts: Option<usize>,
+    recovery_backoff_ms: Option<u64>,
+    io_retries: Option<u32>,
+    io_backoff_ms: Option<u64>,
+    fault: Option<String>,
 }
 
 /// `Ok(None)` means help was explicitly requested (usage on stdout, exit 0);
@@ -88,6 +119,14 @@ fn parse_args(mut args: std::env::Args) -> Result<Option<CliArgs>, String> {
         block_bytes: 1 << 20,
         overlap: true,
         out: None,
+        checkpoint: None,
+        checkpoint_every: 1,
+        resume: None,
+        recovery_attempts: None,
+        recovery_backoff_ms: None,
+        io_retries: None,
+        io_backoff_ms: None,
+        fault: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -107,6 +146,31 @@ fn parse_args(mut args: std::env::Args) -> Result<Option<CliArgs>, String> {
             }
             "--no-overlap" => cli.overlap = false,
             "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "--checkpoint" => cli.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--checkpoint-every" => {
+                cli.checkpoint_every =
+                    parse_num(&value("--checkpoint-every")?, "--checkpoint-every")?
+            }
+            "--resume" => cli.resume = Some(PathBuf::from(value("--resume")?)),
+            "--recovery-attempts" => {
+                cli.recovery_attempts = Some(parse_num(
+                    &value("--recovery-attempts")?,
+                    "--recovery-attempts",
+                )?)
+            }
+            "--recovery-backoff-ms" => {
+                cli.recovery_backoff_ms = Some(parse_num(
+                    &value("--recovery-backoff-ms")?,
+                    "--recovery-backoff-ms",
+                )?)
+            }
+            "--io-retries" => {
+                cli.io_retries = Some(parse_num(&value("--io-retries")?, "--io-retries")?)
+            }
+            "--io-backoff-ms" => {
+                cli.io_backoff_ms = Some(parse_num(&value("--io-backoff-ms")?, "--io-backoff-ms")?)
+            }
+            "--fault" => cli.fault = Some(value("--fault")?),
             "-h" | "--help" => return Ok(None),
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
             file => cli.files.push(PathBuf::from(file)),
@@ -114,6 +178,15 @@ fn parse_args(mut args: std::env::Args) -> Result<Option<CliArgs>, String> {
     }
     if cli.files.is_empty() {
         return Err("no input files given".to_string());
+    }
+    if let (Some(ckpt), Some(resume)) = (&cli.checkpoint, &cli.resume) {
+        if ckpt != resume {
+            return Err(format!(
+                "--checkpoint {} and --resume {} name different directories",
+                ckpt.display(),
+                resume.display()
+            ));
+        }
     }
     Ok(Some(cli))
 }
@@ -130,16 +203,38 @@ fn config_for(cli: &CliArgs) -> HySortKConfig {
     cfg.max_count = cli.max_count;
     cfg.batch_size = cli.batch_size;
     cfg.overlap = cli.overlap;
+    // `--resume <dir>` implies checkpointing into the same directory, so the finished
+    // run is durable end to end (and the run can be killed and resumed again).
+    cfg.checkpoint_dir = cli.resume.clone().or_else(|| cli.checkpoint.clone());
+    cfg.checkpoint_every = cli.checkpoint_every;
+    cfg.resume = cli.resume.is_some();
+    if let Some(n) = cli.recovery_attempts {
+        cfg.recovery_attempts = n;
+    }
+    if let Some(ms) = cli.recovery_backoff_ms {
+        cfg.recovery_backoff_ms = ms;
+    }
+    if let Some(n) = cli.io_retries {
+        cfg.io_retries = n;
+    }
+    if let Some(ms) = cli.io_backoff_ms {
+        cfg.io_backoff_ms = ms;
+    }
     cfg
 }
 
-/// Parse `HYSORTK_FAULT` into a fault plan, if set (the chaos-testing hook: CI runs
-/// the CLI under fixed fault specs and checks the typed exits).
-fn fault_plan_from_env() -> Result<Option<Arc<FaultPlan>>, HysortkError> {
-    match std::env::var("HYSORTK_FAULT") {
-        Ok(spec) if !spec.trim().is_empty() => {
+/// Resolve the fault-injection plan, if any (the chaos-testing hook: CI runs the CLI
+/// under fixed fault specs and checks the typed exits). The `--fault` flag wins over
+/// the `HYSORTK_FAULT` environment variable; both use the same spec grammar.
+fn fault_plan_for(cli: &CliArgs) -> Result<Option<Arc<FaultPlan>>, HysortkError> {
+    let (spec, origin) = match &cli.fault {
+        Some(spec) => (Some(spec.clone()), "--fault"),
+        None => (std::env::var("HYSORTK_FAULT").ok(), "HYSORTK_FAULT"),
+    };
+    match spec {
+        Some(spec) if !spec.trim().is_empty() => {
             let plan = FaultPlan::from_spec(&spec)
-                .map_err(|e| HysortkError::Config(format!("HYSORTK_FAULT: {e}")))?;
+                .map_err(|e| HysortkError::Config(format!("{origin}: {e}")))?;
             Ok(Some(Arc::new(plan)))
         }
         _ => Ok(None),
@@ -152,7 +247,7 @@ fn run<K: KmerCode>(cli: &CliArgs, cfg: &HySortKConfig) -> Result<(), HysortkErr
         ..IngestOptions::default()
     };
     let start = std::time::Instant::now();
-    let result: CountResult<K> = match fault_plan_from_env()? {
+    let result: CountResult<K> = match fault_plan_for(cli)? {
         Some(plan) => count_kmers_from_files_faulted(&cli.files, cfg, opts, plan)?,
         None => count_kmers_from_files_with(&cli.files, cfg, opts)?,
     };
@@ -198,6 +293,19 @@ fn run<K: KmerCode>(cli: &CliArgs, cfg: &HySortKConfig) -> Result<(), HysortkErr
         eprintln!(
             "[hysortk] {} transient read failure(s) retried successfully",
             report.io_retries,
+        );
+    }
+    if report.recoveries > 0 {
+        eprintln!(
+            "[hysortk] {} in-run rank recovery(ies): failed ranks were respawned and \
+             the run completed",
+            report.recoveries,
+        );
+    }
+    if report.epochs_committed > 0 {
+        eprintln!(
+            "[hysortk] {} checkpoint epoch(s) committed",
+            report.epochs_committed,
         );
     }
     eprintln!(

@@ -69,6 +69,33 @@ pub struct HySortKConfig {
     /// performance model, so a run on a 1/10 000-scale synthetic dataset still projects
     /// the full-size experiment (see DESIGN.md, substitutions).
     pub data_scale: f64,
+    /// Directory that receives the per-rank, epoch-numbered checkpoint manifests of
+    /// the file-fed pipeline (`hysortk count --checkpoint <dir>`). `None` disables
+    /// checkpointing. Requires `with_extension` to be off: extension provenance is
+    /// not part of the manifest format.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Write a manifest every N committed exchange rounds (the final round always
+    /// commits, so the run ends durable regardless). Default 1: every round.
+    pub checkpoint_every: usize,
+    /// Load the newest globally-consistent epoch from `checkpoint_dir` before
+    /// counting (`hysortk count --resume <dir>`): committed rounds are skipped and
+    /// the run continues checkpointing into the same directory. Requires
+    /// `checkpoint_dir` to be set.
+    pub resume: bool,
+    /// In-run rank recovery budget: how many times the simulated cluster respawns all
+    /// ranks after a *rank failure* (an injected `fail` fault or a peer death) before
+    /// degrading to the typed abort. `0` disables recovery. Local data defects — wire
+    /// corruption, I/O errors — are never retried.
+    pub recovery_attempts: usize,
+    /// Base backoff in milliseconds slept before a recovery respawn; doubles on every
+    /// further attempt.
+    pub recovery_backoff_ms: u64,
+    /// Total attempts (first try included) the streaming reader makes on a transient
+    /// I/O error before surfacing it. Must be at least 1.
+    pub io_retries: u32,
+    /// Base backoff in milliseconds of the transient-I/O retry; grows exponentially
+    /// per attempt with a deterministic jitter (see `hysortk_core::ingest`).
+    pub io_backoff_ms: u64,
 }
 
 impl Default for HySortKConfig {
@@ -94,6 +121,13 @@ impl Default for HySortKConfig {
             overlap: true,
             machine,
             data_scale: 1.0,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+            recovery_attempts: 2,
+            recovery_backoff_ms: 10,
+            io_retries: 3,
+            io_backoff_ms: 2,
         }
     }
 }
@@ -209,6 +243,24 @@ impl HySortKConfig {
         if !(self.data_scale > 0.0 && self.data_scale <= 1.0) {
             return Err(format!("data_scale {} must be in (0, 1]", self.data_scale));
         }
+        if self.checkpoint_every == 0 {
+            return Err("checkpoint_every must be positive".to_string());
+        }
+        if self.resume && self.checkpoint_dir.is_none() {
+            return Err("resume requires a checkpoint directory".to_string());
+        }
+        if self.checkpoint_dir.is_some() && self.with_extension {
+            return Err(
+                "checkpointing does not cover extension provenance; disable with_extension \
+                 or run without --checkpoint"
+                    .to_string(),
+            );
+        }
+        if self.io_retries == 0 {
+            return Err(
+                "io_retries must be at least 1 (the first read attempt counts)".to_string(),
+            );
+        }
         Ok(())
     }
 }
@@ -275,6 +327,29 @@ mod tests {
         let mut cfg = HySortKConfig::default();
         cfg.data_scale = 0.0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn robustness_knobs_are_validated() {
+        let mut cfg = HySortKConfig::default();
+        cfg.checkpoint_every = 0;
+        assert!(cfg.validate().unwrap_err().contains("checkpoint_every"));
+
+        let mut cfg = HySortKConfig::default();
+        cfg.resume = true;
+        assert!(cfg.validate().unwrap_err().contains("resume"));
+
+        let mut cfg = HySortKConfig::default();
+        cfg.checkpoint_dir = Some("ckpt".into());
+        cfg.with_extension = true;
+        assert!(cfg.validate().unwrap_err().contains("extension"));
+        cfg.with_extension = false;
+        cfg.resume = true;
+        cfg.validate().unwrap();
+
+        let mut cfg = HySortKConfig::default();
+        cfg.io_retries = 0;
+        assert!(cfg.validate().unwrap_err().contains("io_retries"));
     }
 
     #[test]

@@ -26,21 +26,33 @@
 //!
 //! Every entry point returns [`HysortkError`] with the offending file, rank and round
 //! attached. Transient read failures (`Interrupted`, `TimedOut`, `WouldBlock` — see
-//! [`is_transient_io_error`]) are retried up to [`IO_ATTEMPTS`] times with a short
-//! backoff before they surface; successful retries are tallied in
+//! [`is_transient_io_error`]) are retried up to
+//! [`HySortKConfig::io_retries`](crate::HySortKConfig::io_retries) times with jittered
+//! exponential backoff (base [`HySortKConfig::io_backoff_ms`]) before they surface;
+//! successful retries are tallied in
 //! [`RunReport::io_retries`](crate::RunReport::io_retries). Unrecoverable ingest
 //! errors do **not** make a rank bail out of the SPMD collectives (that would
 //! deadlock its peers): the rank finishes the run with whatever it parsed and the
 //! error is surfaced afterwards. [`count_kmers_from_files_faulted`] additionally
 //! wires a [`FaultPlan`] into the simulated cluster so chaos tests can inject
 //! delays, wire corruption, rank failures and transient I/O errors deterministically.
+//!
+//! Rank failures — injected crashes and the
+//! [`PeerFailed`](hysortk_dmem::DmemError::PeerFailed) echoes they
+//! leave on the peers — are the *recoverable* class: the cluster respawns all ranks
+//! up to [`HySortKConfig::recovery_attempts`](crate::HySortKConfig::recovery_attempts)
+//! times (exponential backoff from `recovery_backoff_ms`) and the respawned
+//! generation restores from the last committed checkpoint epoch when
+//! `checkpoint_dir` is set, or recounts from scratch when it is not. Either way the
+//! counts are byte-identical to a fault-free run; `RunReport::recoveries` records how
+//! many respawns it took.
 
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-use hysortk_dmem::{Cluster, FaultPlan, RankCtx};
+use hysortk_dmem::{Cluster, FaultPlan, RankCtx, RecoveryPolicy};
 use hysortk_dna::extension::Extension;
 use hysortk_dna::io::{is_transient_io_error, list_inputs, IngestOptions, InputFile, ShardReader};
 use hysortk_dna::kmer::KmerCode;
@@ -56,10 +68,6 @@ use crate::pipeline::{
     ParsedChunk, RankCounters, RankOutput, Stage1,
 };
 use crate::result::CountResult;
-
-/// How many times a transient read failure is attempted before it becomes a
-/// [`HysortkError::Io`]: the first try plus two retries.
-pub const IO_ATTEMPTS: u32 = 3;
 
 /// Count the canonical k-mers of one or more FASTA/FASTQ files with the full HySortK
 /// pipeline, streaming each rank's shard of the input in fixed-size blocks.
@@ -159,8 +167,23 @@ fn count_kmers_from_files_inner<K: KmerCode, P: AsRef<Path>>(
     if let Some(plan) = plan {
         cluster = cluster.with_fault_plan(plan);
     }
-    let run = cluster
-        .run(|ctx| rank_pipeline_from_files::<K>(ctx, &files, cfg, num_tasks, sorter, &opts));
+    // Rank failures (an injected crash and the peer echoes it leaves behind) are the
+    // recoverable class: every affected rank unwound through the abort board, so the
+    // cluster can respawn the whole generation. A respawn restores from the last
+    // committed checkpoint epoch when one is configured, and recounts from scratch
+    // when not — both reproduce the fault-free counts exactly. Concrete local defects
+    // (wire corruption, I/O exhaustion, config rejection) stay immediate typed aborts.
+    let policy = RecoveryPolicy {
+        max_attempts: cfg.recovery_attempts,
+        backoff: Duration::from_millis(cfg.recovery_backoff_ms),
+    };
+    let recoverable = |e: &HysortkError| match e {
+        HysortkError::Comm(d) => d.is_rank_failure(),
+        _ => false,
+    };
+    let run = cluster.run_recovering(&policy, recoverable, |ctx| {
+        rank_pipeline_from_files::<K>(ctx, &files, cfg, num_tasks, sorter, &opts)
+    });
     let mut outputs = Vec::with_capacity(run.results.len());
     let mut first_error: Option<HysortkError> = None;
     for result in run.results {
@@ -182,7 +205,14 @@ fn count_kmers_from_files_inner<K: KmerCode, P: AsRef<Path>>(
     if let Some(e) = first_error {
         return Err(e);
     }
-    Ok(merge_outputs(outputs, run.comm, cfg, &model, sorter))
+    Ok(merge_outputs(
+        outputs,
+        run.comm,
+        cfg,
+        &model,
+        sorter,
+        run.recoveries,
+    ))
 }
 
 /// A short label for "the input" in shard-level errors whose underlying message
@@ -195,15 +225,28 @@ fn input_label(files: &[InputFile]) -> String {
     }
 }
 
-/// Fetch the next batch from the shard, absorbing up to [`IO_ATTEMPTS`]`- 1`
-/// transient failures (real or injected via the cluster's [`FaultPlan`]) with a short
-/// linear backoff. Each absorbed failure increments `counters.io_retries`.
+/// Deterministic per-(rank, attempt) jitter in `0..=exp/2`: spreads retry storms
+/// without wall-clock randomness, so a replayed run backs off identically.
+fn retry_jitter_ms(rank: usize, attempt: u32, exp: u64) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ (rank as u64) << 32 ^ u64::from(attempt);
+    h = (h ^ (h >> 27))
+        .wrapping_mul(0x0100_0000_01b3)
+        .rotate_left(23);
+    h % (exp / 2 + 1)
+}
+
+/// Fetch the next batch from the shard, absorbing transient failures (real or
+/// injected via the cluster's [`FaultPlan`]) up to the configured attempt budget
+/// (`cfg.io_retries` attempts in total) with jittered exponential backoff from
+/// `cfg.io_backoff_ms`. Each absorbed failure increments `counters.io_retries`.
 fn next_batch_with_retry(
     ctx: &RankCtx,
     shard: &mut ShardReader,
     rank: usize,
+    cfg: &HySortKConfig,
     counters: &mut RankCounters,
 ) -> io::Result<Option<Vec<Read>>> {
+    let attempts = cfg.io_retries;
     let mut attempt = 0u32;
     loop {
         let injected = ctx.fault_plan().is_some_and(|p| p.should_fail_io(rank));
@@ -216,10 +259,15 @@ fn next_batch_with_retry(
             shard.next_batch()
         };
         match result {
-            Err(e) if is_transient_io_error(&e) && attempt + 1 < IO_ATTEMPTS => {
+            Err(e) if is_transient_io_error(&e) && attempt + 1 < attempts => {
                 attempt += 1;
                 counters.io_retries += 1;
-                std::thread::sleep(Duration::from_millis(2 * u64::from(attempt)));
+                // Exponential base doubling per attempt (shift capped so a huge
+                // configured budget cannot overflow), plus deterministic jitter so
+                // simultaneous retries across ranks decorrelate.
+                let exp = cfg.io_backoff_ms.saturating_mul(1 << (attempt - 1).min(10));
+                let sleep_ms = exp + retry_jitter_ms(rank, attempt, exp);
+                std::thread::sleep(Duration::from_millis(sleep_ms));
             }
             other => return other,
         }
@@ -267,7 +315,7 @@ fn rank_pipeline_from_files<K: KmerCode>(
     match ShardReader::open(files, rank, p, opts.clone()) {
         Err(e) => ingest_error = Some(io_error(e)),
         Ok(mut shard) => loop {
-            let mut batch = match next_batch_with_retry(ctx, &mut shard, rank, &mut counters) {
+            let mut batch = match next_batch_with_retry(ctx, &mut shard, rank, cfg, &mut counters) {
                 Ok(Some(batch)) => batch,
                 Ok(None) => break,
                 Err(e) => {

@@ -25,6 +25,7 @@
 //! The other modules are the pieces the pipeline is assembled from and are public so
 //! that the baselines, the ELBA integration and the benchmark harness can reuse them.
 
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod ingest;

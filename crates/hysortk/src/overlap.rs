@@ -37,6 +37,7 @@ use hysortk_dmem::{FlatReceived, RankCtx};
 use hysortk_dna::kmer::KmerCode;
 use hysortk_task::{ScratchBank, WorkerPool};
 
+use crate::checkpoint::RoundCheckpointer;
 use crate::error::HysortkError;
 use crate::pipeline::SendSerializer;
 use crate::stage3::{self, BlockIndexBuilder, CountParams, CountScratch, Stage3Output, TaskCounts};
@@ -108,9 +109,16 @@ pub(crate) struct OverlapRun<K: KmerCode> {
 /// the send side (recycled engine buffers) and the receive side (two alternating
 /// [`FlatReceived`]s).
 ///
-/// On any failure — a peer abort surfacing through the engine, or a received segment
-/// failing its wire checks — the error is published as a cluster-wide abort (so no
-/// peer stays blocked) and returned; the unfinished engine is simply dropped.
+/// On any failure — a peer abort surfacing through the engine, a received segment
+/// failing its wire checks, or a checkpoint commit failing — the error is published as
+/// a cluster-wide abort (so no peer stays blocked) and returned; the unfinished engine
+/// is simply dropped. Peer-failure echoes are *not* re-published: the failing rank's
+/// own root cause is already on the abort board, and keeping it intact is what lets
+/// the recovery layer decide whether the failure class is recoverable.
+///
+/// With a checkpointer attached, the driver resumes from its restored round cursor
+/// (skipping committed rounds entirely — the round engine is sized to the remaining
+/// window) and commits an epoch manifest after each boundary round completes counting.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exchange_and_count<K: KmerCode>(
     ctx: &mut RankCtx,
@@ -121,6 +129,7 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
     k: usize,
     params: &CountParams,
     pool: &WorkerPool,
+    mut ckpt: Option<&mut RoundCheckpointer<K>>,
 ) -> Result<OverlapRun<K>, HysortkError> {
     let p = ctx.size();
     let plan = plan_rounds(tasks_of, global_sizes, round_budget);
@@ -130,40 +139,27 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
     // synchronisation points until the first data dependency. Should a future change
     // ever let plans diverge, the round board's shape assertion fails loudly.
     let rounds = plan.local_rounds.max(1);
-    let mut engine = ctx.round_exchange(rounds, "exchange");
+    let rank = ctx.rank();
 
-    // Serialize one round destination-major into a (recycled) flat buffer; `counts`
-    // is the caller's reused per-destination scratch.
-    let serialize_round = |ser: &mut SendSerializer<'_, K>,
-                           engine: &hysortk_dmem::RoundExchange,
-                           r: usize,
-                           counts: &mut Vec<usize>|
-     -> Vec<u8> {
-        let mut buf = engine.take_send_buffer();
-        counts.clear();
-        counts.resize(p, 0);
-        for (dest, count) in counts.iter_mut().enumerate() {
-            let start = buf.len();
-            if let Some(tasks) = plan.per_dest[dest].get(r) {
-                for &t in tasks {
-                    ser.serialize_task(t, &mut buf);
-                }
+    // Restored accumulators and the resume cursor: the rounds before `start` were
+    // committed by an earlier generation (or run) and are not re-exchanged. Restore
+    // is deterministic over the shared directory, so every rank derives the same
+    // cursor — the resumed round window stays SPMD-uniform.
+    let (mut all_tasks, mut task_sizes, mut decoded, start) = match ckpt.as_deref_mut() {
+        Some(c) => {
+            if let Err(e) = c.set_rounds_total(rounds) {
+                ctx.abort(&e.to_string());
+                return Err(e);
             }
-            *count = buf.len() - start;
+            c.take_seed()
         }
-        buf
+        None => (Vec::new(), Vec::new(), BTreeMap::new(), 0),
     };
 
     // Count one completed round: index its segments (cheap header walk), then fuse
     // decode→sort→count per task on the pool, with scratches persisting across rounds
     // through the bank.
     let bank: ScratchBank<CountScratch<K>> = ScratchBank::new();
-    let mut all_tasks: Vec<TaskCounts<K>> = Vec::new();
-    let mut task_sizes: Vec<u64> = Vec::new();
-    // Decoded k-mer instances per task, accumulated over all rounds and reconciled
-    // against the allreduced task sizes once the exchange is over.
-    let mut decoded: BTreeMap<u32, u64> = BTreeMap::new();
-    let rank = ctx.rank();
     let count_round = |recv: &FlatReceived<u8>,
                        round: usize,
                        all_tasks: &mut Vec<TaskCounts<K>>,
@@ -195,74 +191,131 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
 
     let mut hidden_bytes = 0u64;
     let mut exposed_bytes = 0u64;
-    // `current` receives the round being completed; `previous` holds the last
-    // completed round while its tasks are counted. Two byte buffers circulate on each
-    // side (sends recycle through the engine), so the steady-state loop reuses its
-    // buffers instead of allocating them per round.
-    let mut current = FlatReceived::empty();
-    let mut previous = FlatReceived::empty();
-    let mut counts: Vec<usize> = Vec::with_capacity(p);
+    if start < rounds {
+        // The engine spans only the remaining window; engine index 0 is absolute
+        // round `start`.
+        let mut engine = ctx.round_exchange(rounds - start, "exchange");
 
-    // Round 0 is serialised with nothing in flight: unavoidably exposed pipeline fill.
-    let buf = serialize_round(ser, &engine, 0, &mut counts);
-    exposed_bytes += buf.len() as u64;
-    let driven = (|| -> Result<(), HysortkError> {
-        engine.post_round(0, buf, &counts)?;
-        for r in 0..rounds {
-            // Serialize round r+1 into a recycled back buffer while round r is in
-            // flight.
-            if r + 1 < rounds {
-                let buf = serialize_round(ser, &engine, r + 1, &mut counts);
-                hidden_bytes += buf.len() as u64;
-                engine.post_round(r + 1, buf, &counts)?;
+        // Serialize one round destination-major into a (recycled) flat buffer;
+        // `counts` is the caller's reused per-destination scratch.
+        let serialize_round = |ser: &mut SendSerializer<'_, K>,
+                               engine: &hysortk_dmem::RoundExchange,
+                               r: usize,
+                               counts: &mut Vec<usize>|
+         -> Vec<u8> {
+            let mut buf = engine.take_send_buffer();
+            counts.clear();
+            counts.resize(p, 0);
+            for (dest, count) in counts.iter_mut().enumerate() {
+                let seg_start = buf.len();
+                if let Some(tasks) = plan.per_dest[dest].get(r) {
+                    for &t in tasks {
+                        ser.serialize_task(t, &mut buf);
+                    }
+                }
+                *count = buf.len() - seg_start;
             }
-            // Count round r−1's tasks on the pool while round r is in flight.
-            if r >= 1 {
-                hidden_bytes += previous.data.len() as u64;
-                count_round(
-                    &previous,
-                    r - 1,
-                    &mut all_tasks,
-                    &mut task_sizes,
-                    &mut decoded,
-                )?;
+            buf
+        };
+
+        // `current` receives the round being completed; `previous` holds the last
+        // completed round while its tasks are counted. Two byte buffers circulate on
+        // each side (sends recycle through the engine), so the steady-state loop
+        // reuses its buffers instead of allocating them per round.
+        let mut current = FlatReceived::empty();
+        let mut previous = FlatReceived::empty();
+        let mut counts: Vec<usize> = Vec::with_capacity(p);
+
+        // The first resumed round is serialised with nothing in flight: unavoidably
+        // exposed pipeline fill.
+        let buf = serialize_round(ser, &engine, start, &mut counts);
+        exposed_bytes += buf.len() as u64;
+        let driven = (|| -> Result<(), HysortkError> {
+            engine.post_round(0, buf, &counts)?;
+            for r in start..rounds {
+                // Serialize round r+1 into a recycled back buffer while round r is
+                // in flight.
+                if r + 1 < rounds {
+                    let buf = serialize_round(ser, &engine, r + 1, &mut counts);
+                    hidden_bytes += buf.len() as u64;
+                    engine.post_round(r + 1 - start, buf, &counts)?;
+                }
+                // Count round r−1's tasks on the pool while round r is in flight,
+                // then persist the epoch if r−1 is a commit boundary (every scratch
+                // is checked back into the bank between pool calls, so the snapshot
+                // sees the complete cumulative state).
+                if r > start {
+                    hidden_bytes += previous.data.len() as u64;
+                    count_round(
+                        &previous,
+                        r - 1,
+                        &mut all_tasks,
+                        &mut task_sizes,
+                        &mut decoded,
+                    )?;
+                    if let Some(c) = ckpt.as_deref_mut() {
+                        if c.should_commit(r - 1) {
+                            c.commit(r - 1, &all_tasks, &task_sizes, &decoded, &bank)?;
+                        }
+                    }
+                }
+                // Complete round r (blocks only if some rank has not posted it yet).
+                engine.wait_round(r - start, &mut current)?;
+                std::mem::swap(&mut current, &mut previous);
             }
-            // Complete round r (blocks only if some rank has not posted it yet).
-            engine.wait_round(r, &mut current)?;
-            std::mem::swap(&mut current, &mut previous);
+            // The last round completes with nothing left in flight: exposed pipeline
+            // drain.
+            exposed_bytes += previous.data.len() as u64;
+            count_round(
+                &previous,
+                rounds - 1,
+                &mut all_tasks,
+                &mut task_sizes,
+                &mut decoded,
+            )?;
+            if let Some(c) = ckpt.as_deref_mut() {
+                if c.should_commit(rounds - 1) {
+                    c.commit(rounds - 1, &all_tasks, &task_sizes, &decoded, &bank)?;
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = driven {
+            // A peer-failure echo was already published cluster-wide by the failing
+            // rank; everything local — a wire rejection, a checkpoint I/O failure, an
+            // injected mid-commit crash — has to be published here so no peer stays
+            // blocked on later rounds.
+            if !e.is_peer_echo() {
+                ctx.abort(&e.to_string());
+            }
+            return Err(e);
         }
-        // The last round completes with nothing left in flight: exposed pipeline
-        // drain.
-        exposed_bytes += previous.data.len() as u64;
-        count_round(
-            &previous,
-            rounds - 1,
-            &mut all_tasks,
-            &mut task_sizes,
-            &mut decoded,
-        )?;
-        // Per-block checksums cannot see a segment cut at an exact block boundary;
-        // the end-of-exchange reconciliation against the allreduced sizes can.
-        stage3::verify_decoded_totals(&decoded, &tasks_of[rank], global_sizes).map_err(
-            |source| HysortkError::Wire {
-                rank,
-                round: rounds - 1,
-                source,
-            },
-        )?;
-        Ok(())
-    })();
-    if let Err(e) = driven {
-        // A Comm error was already published cluster-wide by the runtime; a local wire
-        // rejection has to be published here so no peer stays blocked on later rounds.
-        if !matches!(e, HysortkError::Comm(_)) {
-            ctx.abort(&e.to_string());
-        }
+        engine.finish(ctx);
+    }
+
+    // Per-block checksums cannot see a segment cut at an exact block boundary; the
+    // end-of-exchange reconciliation against the allreduced sizes can. It covers
+    // restored rounds too (their decoded totals rode along in the manifests), so a
+    // fully-restored run that skipped the engine is still reconciled.
+    if let Err(source) = stage3::verify_decoded_totals(&decoded, &tasks_of[rank], global_sizes) {
+        let e = HysortkError::Wire {
+            rank,
+            round: rounds - 1,
+            source,
+        };
+        ctx.abort(&e.to_string());
         return Err(e);
     }
-    engine.finish(ctx);
 
-    let out = Stage3Output::assemble(all_tasks, bank.into_scratches(), params.max_count);
+    let mut out = Stage3Output::assemble(all_tasks, bank.into_scratches(), params.max_count);
+    if let Some(c) = ckpt {
+        // The scratches only saw the rounds this generation recounted; fold the
+        // restored cumulative histogram and decode counters back in.
+        let (histogram, received, precounted) = c.restored_base();
+        out.histogram.merge(histogram);
+        out.received_records += received;
+        out.precounted_records += precounted;
+    }
     Ok(OverlapRun {
         out,
         task_sizes,

@@ -35,6 +35,7 @@ use hysortk_task::{
     assign_greedy, detect_heavy_tasks, schedule_lpt, Assignment, ScratchBank, WorkerPool,
 };
 
+use crate::checkpoint::{run_fingerprint, sizes_hash, RoundCheckpointer};
 use crate::config::HySortKConfig;
 use crate::error::HysortkError;
 use crate::result::{CountResult, KmerHistogram, RunReport};
@@ -62,6 +63,8 @@ pub(crate) struct RankCounters {
     overlap_exposed_bytes: u64,
     /// Transient input-read failures this rank retried through (file feed only).
     pub(crate) io_retries: u64,
+    /// Checkpoint epochs this rank committed (zero without a checkpoint directory).
+    epochs_committed: u64,
 }
 
 /// Per-rank result of the pipeline.
@@ -307,15 +310,18 @@ pub fn count_kmers<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> CountRe
     let cluster = Cluster::new(p);
     let run = cluster.run(|ctx| rank_pipeline::<K>(ctx, reads, &ranges, cfg, num_tasks, sorter));
 
-    // The in-memory path attaches no fault plan and writes its own wire bytes, so the
-    // only failure sources (injected faults, checksum-corrupted segments, peer aborts)
-    // cannot arise; the boundary stays infallible and documents why.
+    // The in-memory path attaches no fault plan and writes its own wire bytes, so
+    // injected faults, checksum-corrupted segments and peer aborts cannot arise;
+    // checkpoint I/O against an unwritable directory is the one failure left, and the
+    // in-memory API keeps its infallible signature by treating that as a caller error.
     let outputs = run
         .results
         .into_iter()
-        .map(|r| r.expect("in-memory pipeline without fault injection cannot fail"))
+        .map(|r| {
+            r.expect("in-memory pipeline cannot fail unless its checkpoint directory is unwritable")
+        })
         .collect();
-    merge_outputs(outputs, run.comm, cfg, &model, sorter)
+    merge_outputs(outputs, run.comm, cfg, &model, sorter, 0)
 }
 
 /// Wire size of one k-mer record in the receive buffer (used for the memory projection
@@ -455,6 +461,27 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
     };
     counters.heavy_tasks = heavy.len();
 
+    // ---------------- checkpointing -------------------------------------------------
+    // The checkpointer opens after the task-size all-reduce: the fingerprint (config +
+    // k-mer width + mode) and the sizes hash (input identity) are what restore
+    // validates a manifest chain against. Restore triggers on `--resume` and on
+    // recovery respawns (`generation > 0`); a fresh run just records the directory.
+    let mut ckpt: Option<RoundCheckpointer<K>> = match &cfg.checkpoint_dir {
+        Some(dir) => {
+            let fingerprint = run_fingerprint::<K>(cfg, num_tasks);
+            match RoundCheckpointer::open(dir, cfg, ctx, fingerprint, sizes_hash(&global_sizes)) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    // Opening is local-only work before any further collective;
+                    // publish so peers already heading into the exchange unblock.
+                    ctx.abort(&e.to_string());
+                    return Err(e);
+                }
+            }
+        }
+        None => None,
+    };
+
     // ---------------- stages 2 + 3: serialise, exchange, sort & count ----------------
     // Both execution modes serialise every task through the same [`SendSerializer`]
     // (destination-major wire blocks, no send-side supermer materialisation), so their
@@ -502,10 +529,40 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
             k,
             &params,
             pool,
+            ckpt.as_mut(),
         )?;
         counters.overlap_hidden_bytes = run.hidden_bytes;
         counters.overlap_exposed_bytes = run.exposed_bytes;
         (run.out, run.task_sizes, run.rounds)
+    } else if let Some(restored) = ckpt.as_mut().and_then(|c| c.take_complete_run()) {
+        // The bulk path commits exactly one epoch covering its whole exchange, so a
+        // restored state is complete: skip serialisation and the exchange entirely.
+        // Restore is deterministic over the shared directory and the fingerprint pins
+        // the execution mode, so every rank takes this branch together — the run
+        // stays SPMD-uniform with no rank waiting in a collective.
+        let (tasks, task_sizes, decoded, rounds_total) = restored;
+        if let Err(source) =
+            stage3::verify_decoded_totals(&decoded, &assignment.tasks_of[ctx.rank()], &global_sizes)
+        {
+            let e = HysortkError::Wire {
+                rank: ctx.rank(),
+                round: 0,
+                source,
+            };
+            ctx.abort(&e.to_string());
+            return Err(e);
+        }
+        let (histogram, received_records, precounted_records) = ckpt
+            .as_ref()
+            .expect("restored from this checkpointer")
+            .restored_base();
+        let out = stage3::Stage3Output {
+            tasks,
+            histogram: histogram.clone(),
+            received_records,
+            precounted_records,
+        };
+        (out, task_sizes, rounds_total)
     } else {
         // One contiguous send buffer with per-destination counts (MPI `Alltoallv`
         // style): the assignment's task lists group each destination's blocks
@@ -561,10 +618,33 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
             return Err(e);
         }
         let out = stage3::count_blocks_parallel(&index, k, &params, pool);
+        // The bulk path has no intermediate round boundaries to persist at; it commits
+        // one all-or-nothing epoch once everything is counted, so `--resume` (and an
+        // in-run respawn) skips the exchange entirely instead of replaying part of it.
+        if let Some(c) = ckpt.as_mut() {
+            let committed = c.set_rounds_total(exchange.rounds).and_then(|()| {
+                c.commit_cumulative(
+                    exchange.rounds - 1,
+                    &out.tasks,
+                    &task_sizes,
+                    &decoded,
+                    &out.histogram,
+                    out.received_records,
+                    out.precounted_records,
+                )
+            });
+            if let Err(e) = committed {
+                if !e.is_peer_echo() {
+                    ctx.abort(&e.to_string());
+                }
+                return Err(e);
+            }
+        }
         (out, task_sizes, exchange.rounds)
     };
     counters.heavy_local_sorted = ser.heavy_local_sorted;
     counters.exchange_rounds = exchange_rounds;
+    counters.epochs_committed = ckpt.as_ref().map_or(0, |c| c.epochs_committed as u64);
     counters.worker_makespan = schedule_lpt(&task_sizes, workers).makespan();
     counters.received_elements = stage3_out.received_records;
     counters.precounted_elements = stage3_out.precounted_records;
@@ -597,12 +677,15 @@ fn identity_assignment(sizes: &[u64], ranks: usize) -> Assignment {
 }
 
 /// Combine the per-rank outputs into the public result and build the report.
+/// `recoveries` is how many times the cluster respawned failed ranks on the way to
+/// these outputs (zero for a healthy or non-recovering run).
 pub(crate) fn merge_outputs<K: KmerCode>(
     outputs: Vec<RankOutput<K>>,
     comm: Vec<CommStats>,
     cfg: &HySortKConfig,
     model: &PerfModel,
     sorter: SortAlgorithm,
+    recoveries: usize,
 ) -> CountResult<K> {
     let scale = 1.0 / cfg.data_scale;
 
@@ -673,6 +756,13 @@ pub(crate) fn merge_outputs<K: KmerCode>(
         .map(|c| c.assignment_imbalance)
         .unwrap_or(1.0);
     let io_retries: u64 = counters.iter().map(|c| c.io_retries).sum();
+    // Ranks commit in lockstep but a failure can interrupt some mid-epoch; the
+    // most-advanced rank is the honest "how far did the run durably get" figure.
+    let epochs_committed = counters
+        .iter()
+        .map(|c| c.epochs_committed)
+        .max()
+        .unwrap_or(0) as usize;
 
     // ---- exchange traffic --------------------------------------------------------------
     // Project payloads to full scale first, then recompute rounds and padding from the
@@ -804,6 +894,8 @@ pub(crate) fn merge_outputs<K: KmerCode>(
         assignment_imbalance,
         overlap_fraction,
         io_retries,
+        recoveries,
+        epochs_committed,
     };
 
     CountResult {

@@ -23,6 +23,15 @@ impl KmerHistogram {
         }
     }
 
+    /// Rebuild a histogram from raw buckets (a checkpoint manifest's cumulative
+    /// snapshot). Padded to the two-bucket minimum so `record` stays in bounds.
+    pub fn from_buckets(mut buckets: Vec<u64>) -> Self {
+        if buckets.len() < 2 {
+            buckets.resize(2, 0);
+        }
+        KmerHistogram { buckets }
+    }
+
     /// Record one distinct k-mer with multiplicity `count`.
     pub fn record(&mut self, count: u64) {
         let idx = (count as usize).min(self.buckets.len() - 1);
@@ -106,6 +115,12 @@ pub struct RunReport {
     /// Transient input-read failures that were retried successfully, summed over all
     /// ranks. Zero for in-memory runs and healthy file feeds.
     pub io_retries: u64,
+    /// In-run rank recoveries: how many times the cluster respawned failed ranks and
+    /// re-entered the pipeline instead of aborting. Zero for a healthy run.
+    pub recoveries: usize,
+    /// Checkpoint epochs committed by the most-advanced rank. Zero when no
+    /// checkpoint directory is configured.
+    pub epochs_committed: usize,
 }
 
 impl RunReport {

@@ -84,10 +84,20 @@ fn malformed_fault_specs_exit_2() {
 }
 
 #[test]
-fn an_injected_rank_failure_exits_4_with_the_fault_named() {
+fn an_injected_rank_failure_exits_4_when_recovery_is_off() {
+    // `--recovery-attempts 0` restores the fail-fast contract: the typed abort
+    // surfaces as exit 4 with the fault named.
     let fa = tmp_fasta("failrank");
     let out = hysortk()
-        .args(["count", "--ranks", "3", "--min-count", "1"])
+        .args([
+            "count",
+            "--ranks",
+            "3",
+            "--min-count",
+            "1",
+            "--recovery-attempts",
+            "0",
+        ])
         .arg(&fa)
         .env("HYSORTK_FAULT", "fail:1:exchange:0")
         .output()
@@ -98,6 +108,132 @@ fn an_injected_rank_failure_exits_4_with_the_fault_named() {
     assert!(
         err.contains("injected fault") && err.contains("rank 1"),
         "{err}"
+    );
+}
+
+#[test]
+fn an_injected_rank_failure_recovers_to_an_identical_exit_0_run_by_default() {
+    let fa = tmp_fasta("recover");
+    let healthy = hysortk()
+        .args(["count", "--ranks", "3", "--min-count", "1"])
+        .arg(&fa)
+        .output()
+        .unwrap();
+    assert_eq!(healthy.status.code(), Some(0), "{}", stderr_of(&healthy));
+
+    let recovered = hysortk()
+        .args(["count", "--ranks", "3", "--min-count", "1"])
+        .arg(&fa)
+        .env("HYSORTK_FAULT", "fail:1:exchange:0")
+        .output()
+        .unwrap();
+    std::fs::remove_file(&fa).ok();
+    assert_eq!(
+        recovered.status.code(),
+        Some(0),
+        "{}",
+        stderr_of(&recovered)
+    );
+    assert_eq!(healthy.stdout, recovered.stdout);
+    assert!(
+        stderr_of(&recovered).contains("in-run rank recovery"),
+        "{}",
+        stderr_of(&recovered)
+    );
+}
+
+#[test]
+fn the_fault_flag_wins_over_the_environment_variable() {
+    let fa = tmp_fasta("faultflag");
+    // The env asks for a crash; the flag overrides it with no faults at all.
+    let out = hysortk()
+        .args([
+            "count",
+            "--min-count",
+            "1",
+            "--fault",
+            "",
+            "--recovery-attempts",
+            "0",
+        ])
+        .arg(&fa)
+        .env("HYSORTK_FAULT", "fail:1:exchange:0")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+
+    // And a bad spec given via the flag is named as such.
+    let out = hysortk()
+        .args(["count", "--fault", "explode:0"])
+        .arg(&fa)
+        .output()
+        .unwrap();
+    std::fs::remove_file(&fa).ok();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--fault"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn a_killed_checkpointed_run_resumes_to_the_identical_histogram() {
+    let fa = tmp_fasta("resume");
+    let dir = std::env::temp_dir().join(format!("hysortk_cli_resume_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let healthy = hysortk()
+        .args([
+            "count",
+            "--ranks",
+            "3",
+            "--min-count",
+            "1",
+            "--batch-size",
+            "8",
+        ])
+        .arg(&fa)
+        .output()
+        .unwrap();
+    assert_eq!(healthy.status.code(), Some(0), "{}", stderr_of(&healthy));
+
+    // Crash mid-run with recovery off: the run dies (exit 4) but leaves its
+    // committed epochs behind.
+    let killed = hysortk()
+        .args([
+            "count",
+            "--ranks",
+            "3",
+            "--min-count",
+            "1",
+            "--batch-size",
+            "8",
+        ])
+        .args(["--checkpoint".as_ref(), dir.as_os_str()])
+        .args(["--recovery-attempts", "0", "--fault", "fail:1:exchange:2"])
+        .arg(&fa)
+        .output()
+        .unwrap();
+    assert_eq!(killed.status.code(), Some(4), "{}", stderr_of(&killed));
+
+    let resumed = hysortk()
+        .args([
+            "count",
+            "--ranks",
+            "3",
+            "--min-count",
+            "1",
+            "--batch-size",
+            "8",
+        ])
+        .args(["--resume".as_ref(), dir.as_os_str()])
+        .arg(&fa)
+        .output()
+        .unwrap();
+    std::fs::remove_file(&fa).ok();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(resumed.status.code(), Some(0), "{}", stderr_of(&resumed));
+    assert_eq!(healthy.stdout, resumed.stdout);
+    assert!(
+        stderr_of(&resumed).contains("checkpoint epoch(s) committed"),
+        "{}",
+        stderr_of(&resumed)
     );
 }
 

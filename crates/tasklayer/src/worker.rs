@@ -257,6 +257,19 @@ impl<S> ScratchBank<S> {
     pub fn into_scratches(self) -> Vec<S> {
         self.free.into_inner().expect("scratch bank poisoned")
     }
+
+    /// Visit every checked-in scratch without consuming the bank.
+    ///
+    /// The overlapped pipeline snapshots worker-local state (histograms, receive
+    /// counters) at checkpoint epoch boundaries *between* `execute_with_bank` calls,
+    /// when every scratch is checked back in; the final merge still goes through
+    /// [`ScratchBank::into_scratches`]. Must not be called while a pool call has
+    /// scratches checked out — those are invisible to the visitor.
+    pub fn for_each(&self, mut f: impl FnMut(&S)) {
+        for scratch in self.free.lock().expect("scratch bank poisoned").iter() {
+            f(scratch);
+        }
+    }
 }
 
 /// A static schedule of tasks onto workers.

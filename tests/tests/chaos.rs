@@ -6,7 +6,8 @@
 //! Each run must satisfy the trichotomy:
 //!
 //! 1. **byte-identical counts** to the healthy baseline (the fault was absorbed:
-//!    a delay, a no-op corruption, a retried transient read), or
+//!    a delay, a no-op corruption, a retried transient read — or a killed rank that
+//!    in-run recovery respawned), or
 //! 2. a **typed error** naming the injected fault or the wire defect it caused, or
 //! 3. a **clean abort** where every peer unblocks with a `PeerFailed`-rooted error —
 //!    never a hang, never a silently wrong histogram.
@@ -143,6 +144,14 @@ fn seeded_fault_schedules_never_hang_and_never_corrupt_counts() {
                                 "{ctx}: retried reads must show up in the report"
                             );
                         }
+                        if fired && matches!(kind, FaultKind::FailRank) {
+                            // A killed rank can only land in the absorbed arm via
+                            // in-run recovery, and the report must say so.
+                            assert!(
+                                result.report.recoveries >= 1,
+                                "{ctx}: a fired rank failure absorbed without recovery"
+                            );
+                        }
                     }
                     Err(e) => {
                         errored += 1;
@@ -175,15 +184,18 @@ fn seeded_fault_schedules_never_hang_and_never_corrupt_counts() {
     assert!(errored > 0, "no schedule surfaced a typed error");
 }
 
-/// Pinned regression: a rank failing mid-exchange unblocks every peer, and the
-/// aggregated error names the injected failure (not a timeout, not a peer echo).
+/// Pinned regression: with recovery disabled, a rank failing mid-exchange unblocks
+/// every peer, and the aggregated error names the injected failure (not a timeout,
+/// not a peer echo). `recovery_attempts = 0` restores the fail-fast contract that
+/// in-run recovery would otherwise absorb.
 #[test]
-fn rank_failure_mid_exchange_unblocks_all_peers_with_the_root_cause() {
+fn rank_failure_mid_exchange_unblocks_all_peers_when_recovery_is_off() {
     let reads = overlapping_reads(78);
     let path = tmp_path("failrank.fa");
     fasta::write_fasta_file(&path, &reads, 70).unwrap();
     for overlap in [false, true] {
-        let cfg = chaos_cfg(4, overlap);
+        let mut cfg = chaos_cfg(4, overlap);
+        cfg.recovery_attempts = 0;
         let plan = Arc::new(FaultPlan::new().with_fault(1, "exchange", 0, FaultKind::FailRank));
         let err = run_faulted(&path, &cfg, &plan).expect_err("rank 1 was killed");
         assert_eq!(err.exit_code(), 4, "overlap={overlap}");
@@ -193,6 +205,115 @@ fn rank_failure_mid_exchange_unblocks_all_peers_with_the_root_cause() {
             "overlap={overlap}: {msg}"
         );
     }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The acceptance matrix for in-run recovery: on clusters of 2 and 7 ranks, in both
+/// execution modes, a single injected rank failure is healed by respawning the
+/// failed rank, and the run completes with counts byte-identical to the fault-free
+/// baseline.
+#[test]
+fn killed_ranks_recover_in_run_to_byte_identical_counts() {
+    let reads = overlapping_reads(81);
+    let path = tmp_path("recover.fa");
+    fasta::write_fasta_file(&path, &reads, 70).unwrap();
+    for ranks in [2usize, 7] {
+        for overlap in [false, true] {
+            let cfg = chaos_cfg(ranks, overlap);
+            let baseline =
+                count_kmers_from_files_with::<Kmer1, _>(&[&path], &cfg, IngestOptions::default())
+                    .expect("healthy run");
+            let victim = ranks - 1;
+            let plan =
+                Arc::new(FaultPlan::new().with_fault(victim, "exchange", 0, FaultKind::FailRank));
+            let result = run_faulted(&path, &cfg, &plan)
+                .unwrap_or_else(|e| panic!("ranks={ranks} overlap={overlap}: {e}"));
+            assert!(
+                plan.fired_count() > 0,
+                "ranks={ranks} overlap={overlap}: the kill never fired"
+            );
+            assert_eq!(
+                result.counts, baseline.counts,
+                "ranks={ranks} overlap={overlap}"
+            );
+            assert_eq!(
+                result.histogram, baseline.histogram,
+                "ranks={ranks} overlap={overlap}"
+            );
+            assert!(
+                result.report.recoveries >= 1,
+                "ranks={ranks} overlap={overlap}: recovery not reported"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// With a checkpoint directory configured, a respawned rank restores the last
+/// committed epoch instead of recounting from scratch — and still lands on the exact
+/// fault-free histogram, with the committed epochs visible in the report.
+#[test]
+fn recovery_resumes_from_committed_epochs() {
+    let reads = overlapping_reads(82);
+    let path = tmp_path("ckptrec.fa");
+    fasta::write_fasta_file(&path, &reads, 70).unwrap();
+    for overlap in [false, true] {
+        let dir = tmp_path(&format!("ckptrec.dir.{overlap}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cfg = chaos_cfg(3, overlap);
+        // Enough rounds that the overlap kill lands after a few committed epochs.
+        cfg.batch_size = 50;
+        let baseline =
+            count_kmers_from_files_with::<Kmer1, _>(&[&path], &cfg, IngestOptions::default())
+                .expect("healthy run");
+        cfg.checkpoint_dir = Some(dir.clone());
+        // The bulk path moves all its rounds as one flat exchange that fires faults
+        // at round 0; the overlap engine is killed at round 5, past epochs 0..=2.
+        let round = if overlap { 5 } else { 0 };
+        let plan = Arc::new(FaultPlan::new().with_fault(1, "exchange", round, FaultKind::FailRank));
+        let result =
+            run_faulted(&path, &cfg, &plan).unwrap_or_else(|e| panic!("overlap={overlap}: {e}"));
+        assert!(
+            plan.fired_count() > 0,
+            "overlap={overlap}: the kill never fired"
+        );
+        assert_eq!(result.counts, baseline.counts, "overlap={overlap}");
+        assert_eq!(result.histogram, baseline.histogram, "overlap={overlap}");
+        assert!(result.report.recoveries >= 1, "overlap={overlap}");
+        assert!(
+            result.report.epochs_committed >= 1,
+            "overlap={overlap}: no epochs committed"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The nastiest crash window: a rank dies between fsync and rename while committing
+/// an epoch, leaving a torn `.tmp` behind. The respawned generation must ignore the
+/// torn file, fall back to the newest epoch every rank agrees on, and still finish
+/// byte-identical.
+#[test]
+fn a_crash_mid_checkpoint_write_falls_back_to_the_previous_epoch() {
+    let reads = overlapping_reads(83);
+    let path = tmp_path("torncrash.fa");
+    fasta::write_fasta_file(&path, &reads, 70).unwrap();
+    let dir = tmp_path("torncrash.dir");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cfg = chaos_cfg(3, true);
+    cfg.batch_size = 50;
+    let baseline =
+        count_kmers_from_files_with::<Kmer1, _>(&[&path], &cfg, IngestOptions::default())
+            .expect("healthy run");
+    cfg.checkpoint_dir = Some(dir.clone());
+    // Epoch 0 commits cleanly; the crash lands while epoch 1 is being written.
+    let plan = Arc::new(FaultPlan::new().with_fault(1, "checkpoint", 1, FaultKind::FailRank));
+    let result = run_faulted(&path, &cfg, &plan).unwrap_or_else(|e| panic!("{e}"));
+    assert!(plan.fired_count() > 0, "the mid-commit crash never fired");
+    assert_eq!(result.counts, baseline.counts);
+    assert_eq!(result.histogram, baseline.histogram);
+    assert!(result.report.recoveries >= 1);
+    std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_file(&path).ok();
 }
 
