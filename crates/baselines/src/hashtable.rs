@@ -255,6 +255,7 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
         io_retries: 0,
         recoveries: 0,
         epochs_committed: 0,
+        simd: hysortk_dna::simd::path_name(),
     };
 
     BaselineResult {

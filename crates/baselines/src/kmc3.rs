@@ -122,6 +122,7 @@ pub fn kmc3_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         io_retries: 0,
         recoveries: 0,
         epochs_committed: 0,
+        simd: hysortk_dna::simd::path_name(),
     };
 
     BaselineResult {

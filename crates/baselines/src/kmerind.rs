@@ -238,6 +238,7 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
         io_retries: 0,
         recoveries: 0,
         epochs_committed: 0,
+        simd: hysortk_dna::simd::path_name(),
     };
 
     KmerindOutcome::Completed(Box::new(BaselineResult {

@@ -199,6 +199,7 @@ pub fn mhm2_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
         io_retries: 0,
         recoveries: 0,
         epochs_committed: 0,
+        simd: hysortk_dna::simd::path_name(),
     };
 
     BaselineResult {

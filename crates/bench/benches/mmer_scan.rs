@@ -1,0 +1,50 @@
+//! Criterion microbenchmark of the rolling canonical m-mer scan inside the streaming
+//! supermer pass: the runtime-dispatched SIMD scorer ([`for_each_supermer`]) against
+//! the scalar rolling reference ([`for_each_supermer_scalar`]), for both score
+//! functions the pipeline supports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hysortk_dna::Read;
+use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
+use hysortk_supermer::streaming::{for_each_supermer, for_each_supermer_scalar, SupermerScratch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_read(len: usize) -> Read {
+    let mut rng = StdRng::seed_from_u64(0x533D);
+    let bases: Vec<u8> = (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+    Read::from_ascii(0, "bench", &bases)
+}
+
+fn bench_mmer_scan(c: &mut Criterion) {
+    let read = random_read(20_000);
+    let score_fns = [
+        ("hash", ScoreFunction::Hash { seed: 31 }),
+        ("lex", ScoreFunction::Lexicographic),
+    ];
+    for (name, score_fn) in score_fns {
+        let scorer = MmerScorer::new(13, score_fn);
+        let mut group = c.benchmark_group(format!("mmer_scan_k31_m13_{name}_20kb"));
+        group.sample_size(20);
+        group.bench_function("simd_dispatched", |b| {
+            let mut scratch = SupermerScratch::new();
+            b.iter(|| {
+                let mut n = 0u64;
+                for_each_supermer(&read.seq, 31, &scorer, 256, &mut scratch, |_| n += 1);
+                n
+            })
+        });
+        group.bench_function("scalar_rolling", |b| {
+            let mut scratch = SupermerScratch::new();
+            b.iter(|| {
+                let mut n = 0u64;
+                for_each_supermer_scalar(&read.seq, 31, &scorer, 256, &mut scratch, |_| n += 1);
+                n
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_mmer_scan);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbenchmark of the ASCII → 2-bit packing kernel: the runtime-dispatched
+//! SIMD path ([`DnaSeq::from_ascii`]) against the scalar reference
+//! ([`DnaSeq::from_ascii_scalar`]), at a few sizes that cover the vector main loop,
+//! its tail, and tiny inputs where the scalar path should win by staying simple.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hysortk_dna::DnaSeq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_ascii(len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0xAC67);
+    (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+}
+
+fn bench_pack_ascii(c: &mut Criterion) {
+    for &len in &[31usize, 1_024, 65_536] {
+        let ascii = random_ascii(len);
+        let mut group = c.benchmark_group(format!("pack_ascii_{len}b"));
+        group.sample_size(20);
+        group.bench_function("simd_dispatched", |b| {
+            b.iter(|| DnaSeq::from_ascii(black_box(&ascii)))
+        });
+        group.bench_function("scalar_reference", |b| {
+            b.iter(|| DnaSeq::from_ascii_scalar(black_box(&ascii)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pack_ascii);
+criterion_main!(benches);

@@ -9,6 +9,8 @@
 //! cargo run -p hysortk-bench --release --bin repro -- bench-count  # writes BENCH_count.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-exchange  # writes BENCH_exchange.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-ingest  # writes BENCH_ingest.json
+//! cargo run -p hysortk-bench --release --bin repro -- bench-e2e    # writes BENCH_e2e.json
+//! cargo run -p hysortk-bench --release --bin repro -- bench-check  # perf ratchet vs baselines
 //! ```
 
 use hysortk_bench as bench;
@@ -162,7 +164,7 @@ fn bench_exchange() {
          (overlap fraction {:.2}, wall {:.2}x)",
         report.ranks,
         report.rounds_projected,
-        report.overlap_speedup(),
+        report.modeled_speedup(),
         report.overlap_fraction,
         report.wall_speedup()
     );
@@ -194,6 +196,79 @@ fn bench_ingest() {
     }
 }
 
+/// Run the whole file-to-histogram pipeline on a fixed-seed generated FASTA file, then
+/// write `BENCH_e2e.json` — the end-to-end wall-time point on the repo's performance
+/// trajectory, and the artifact the CI perf ratchet gates on.
+fn bench_e2e() {
+    eprintln!("[repro] timing file-to-histogram end to end on a C. elegans stand-in …");
+    let report = bench::bench_e2e();
+    let json = report.to_json();
+    print!("{json}");
+    println!(
+        "end-to-end pipeline ({} path): {:.1} Mbases/s, {:.1} MB/s of FASTA, \
+         histogram fingerprint {:#018x}",
+        report.simd_path,
+        report.bases_per_sec() / 1e6,
+        report.file_bytes_per_sec() / 1e6,
+        report.histogram_fingerprint
+    );
+    let path = "BENCH_e2e.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[repro] wrote {path}"),
+        Err(e) => eprintln!("[repro] could not write {path}: {e}"),
+    }
+}
+
+/// Compare fresh `BENCH_*.json` artifacts against the committed baselines and exit
+/// non-zero on any regression beyond tolerance (the CI perf ratchet).
+fn bench_check(args: &[String]) {
+    let mut fresh = std::path::PathBuf::from(".");
+    let mut baseline = std::path::PathBuf::from("bench/baselines");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fresh" => match it.next() {
+                Some(dir) => fresh = dir.into(),
+                None => {
+                    eprintln!("bench-check: --fresh needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(dir) => baseline = dir.into(),
+                None => {
+                    eprintln!("bench-check: --baseline needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("bench-check: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "[repro] perf ratchet: fresh {} vs baseline {}",
+        fresh.display(),
+        baseline.display()
+    );
+    let outcomes = bench::ratchet::check_ratchet(&fresh, &baseline);
+    for outcome in &outcomes {
+        println!("{outcome}");
+    }
+    if bench::ratchet::ratchet_passes(&outcomes) {
+        eprintln!("[repro] perf ratchet: OK");
+    } else {
+        eprintln!(
+            "[repro] perf ratchet: FAILED — a headline metric regressed beyond tolerance \
+             (add a line to {}/{} to override deliberately)",
+            baseline.display(),
+            bench::ratchet::OVERRIDE_FILE
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let arg = std::env::args()
         .nth(1)
@@ -210,13 +285,17 @@ fn main() {
             println!("for the count-stage microbenchmark (writes BENCH_count.json),");
             println!("`repro bench-exchange` for the overlapped-vs-bulk exchange benchmark");
             println!("(writes BENCH_exchange.json), `repro bench-ingest` for the file-ingestion");
-            println!("benchmark (writes BENCH_ingest.json), or `repro all`");
+            println!("benchmark (writes BENCH_ingest.json), `repro bench-e2e` for the");
+            println!("file-to-histogram benchmark (writes BENCH_e2e.json), `repro bench-check`");
+            println!("for the perf ratchet against bench/baselines/, or `repro all`");
         }
         "bench-sort" => bench_sort(),
         "bench-parse" => bench_parse(),
         "bench-count" => bench_count(),
         "bench-exchange" => bench_exchange(),
         "bench-ingest" => bench_ingest(),
+        "bench-e2e" => bench_e2e(),
+        "bench-check" => bench_check(&std::env::args().skip(2).collect::<Vec<_>>()),
         "all" => {
             for (name, description, f) in EXPERIMENTS {
                 eprintln!("[repro] running {name} …");

@@ -1,0 +1,462 @@
+//! The performance ratchet: compare freshly produced `BENCH_*.json` artifacts against
+//! committed baselines and fail on regressions of the headline metrics.
+//!
+//! Every benchmark in this crate emits a hand-rolled JSON document. The ratchet reads
+//! both the fresh document and the committed baseline (`bench/baselines/`), extracts
+//! one or more **headline metrics** per file (a dotted path like
+//! `kernel_speedup.paradis`), and flags a regression when the fresh value is worse than
+//! the baseline by more than the metric's tolerance. "Worse" respects the metric's
+//! direction — most are speedups (higher is better), `ingest_overhead` is a ratio
+//! where lower is better.
+//!
+//! Tolerances are deliberately loose (10 % for machine-local speedup *ratios*, 50 % for
+//! the absolute e2e throughput, which varies across CI hardware): the ratchet is a
+//! tripwire for real regressions, not a flakiness generator.
+//!
+//! An `ALLOW_REGRESSION` file next to the baselines overrides the gate: each
+//! non-comment line names a metric (`BENCH_sort.json:kernel_speedup.paradis`) or `*`
+//! for everything; matching regressions are reported but do not fail the check. The
+//! file is the explicit, reviewable way to ratchet a baseline *down*.
+
+use std::fmt;
+use std::path::Path;
+
+/// One headline metric the ratchet tracks.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Benchmark artifact file name (e.g. `BENCH_sort.json`).
+    pub file: &'static str,
+    /// Dotted path to the number inside the JSON document.
+    pub path: &'static str,
+    /// Direction: `true` when larger values are better (speedups, throughput).
+    pub higher_is_better: bool,
+    /// Allowed relative slack before a worse value counts as a regression.
+    pub tolerance: f64,
+}
+
+/// The tracked headline metrics, one or two per benchmark artifact.
+pub const METRICS: &[MetricSpec] = &[
+    MetricSpec {
+        file: "BENCH_sort.json",
+        path: "kernel_speedup.paradis",
+        higher_is_better: true,
+        tolerance: 0.10,
+    },
+    MetricSpec {
+        file: "BENCH_sort.json",
+        path: "kernel_speedup.raduls",
+        higher_is_better: true,
+        tolerance: 0.10,
+    },
+    MetricSpec {
+        file: "BENCH_parse.json",
+        path: "streaming_speedup",
+        higher_is_better: true,
+        tolerance: 0.10,
+    },
+    MetricSpec {
+        file: "BENCH_parse.json",
+        path: "simd.speedup_vs_scalar",
+        higher_is_better: true,
+        tolerance: 0.10,
+    },
+    MetricSpec {
+        file: "BENCH_count.json",
+        path: "parallel_speedup",
+        higher_is_better: true,
+        tolerance: 0.10,
+    },
+    MetricSpec {
+        file: "BENCH_exchange.json",
+        path: "modeled_speedup",
+        higher_is_better: true,
+        tolerance: 0.10,
+    },
+    MetricSpec {
+        file: "BENCH_ingest.json",
+        path: "ingest_overhead",
+        higher_is_better: false,
+        tolerance: 0.10,
+    },
+    MetricSpec {
+        file: "BENCH_e2e.json",
+        path: "bases_per_sec",
+        higher_is_better: true,
+        // Absolute wall-clock throughput varies across CI hardware generations far
+        // more than same-machine speedup ratios do.
+        tolerance: 0.50,
+    },
+];
+
+/// Name of the override file, looked up next to the baselines.
+pub const OVERRIDE_FILE: &str = "ALLOW_REGRESSION";
+
+/// Extract the number at dotted `path` (e.g. `kernel_speedup.paradis`) from a JSON
+/// document. Supports exactly the subset the benchmark artifacts use — objects,
+/// numbers, strings, booleans, null, arrays — with no external dependency.
+pub fn json_number(doc: &str, path: &str) -> Option<f64> {
+    let mut s = doc.trim_start();
+    for key in path.split('.') {
+        s = enter_object_key(s, key)?;
+    }
+    parse_number_prefix(s)
+}
+
+/// Position `s` at the value of `key` inside the object that `s` starts with.
+fn enter_object_key<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let mut s = s.trim_start();
+    if !s.starts_with('{') {
+        return None;
+    }
+    s = s[1..].trim_start();
+    loop {
+        if s.starts_with('}') {
+            return None;
+        }
+        let (name, rest) = parse_string_prefix(s)?;
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix(':')?.trim_start();
+        if name == key {
+            return Some(rest);
+        }
+        let rest = skip_value(rest)?;
+        let rest = rest.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => s = r.trim_start(),
+            None => return None,
+        }
+    }
+}
+
+/// Parse a leading JSON string, returning (contents, remainder).
+fn parse_string_prefix(s: &str) -> Option<(String, &str)> {
+    let rest = s.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &rest[i + 1..])),
+            '\\' => {
+                let (_, esc) = chars.next()?;
+                out.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                });
+            }
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+/// Parse the number `s` starts with.
+fn parse_number_prefix(s: &str) -> Option<f64> {
+    let s = s.trim_start();
+    let end = s
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(s.len());
+    s[..end].parse().ok()
+}
+
+/// Skip over one complete JSON value, returning what follows it.
+fn skip_value(s: &str) -> Option<&str> {
+    let s = s.trim_start();
+    match s.chars().next()? {
+        '"' => parse_string_prefix(s).map(|(_, rest)| rest),
+        '{' | '[' => {
+            let (open, close) = if s.starts_with('{') {
+                ('{', '}')
+            } else {
+                ('[', ']')
+            };
+            let mut depth = 0usize;
+            let mut in_string = false;
+            let mut escaped = false;
+            for (i, c) in s.char_indices() {
+                if in_string {
+                    match (escaped, c) {
+                        (true, _) => escaped = false,
+                        (false, '\\') => escaped = true,
+                        (false, '"') => in_string = false,
+                        _ => {}
+                    }
+                    continue;
+                }
+                match c {
+                    '"' => in_string = true,
+                    c if c == open => depth += 1,
+                    c if c == close => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(&s[i + c.len_utf8()..]);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        't' => s.strip_prefix("true"),
+        'f' => s.strip_prefix("false"),
+        'n' => s.strip_prefix("null"),
+        _ => {
+            let end = s
+                .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                .unwrap_or(s.len());
+            if end == 0 {
+                None
+            } else {
+                Some(&s[end..])
+            }
+        }
+    }
+}
+
+/// What the ratchet concluded about one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RatchetStatus {
+    /// Fresh value is no worse than baseline (within tolerance).
+    Ok,
+    /// Fresh value is worse than baseline beyond tolerance.
+    Regressed,
+    /// Regressed, but matched by an `ALLOW_REGRESSION` entry.
+    Overridden,
+    /// The fresh artifact (or the metric inside it) is missing.
+    MissingFresh,
+    /// No committed baseline yet — informational, never fails.
+    MissingBaseline,
+}
+
+/// The ratchet's verdict on one tracked metric.
+#[derive(Debug, Clone)]
+pub struct RatchetOutcome {
+    /// The metric this verdict is about.
+    pub spec: MetricSpec,
+    /// Baseline value, when the baseline artifact and metric were found.
+    pub baseline: Option<f64>,
+    /// Fresh value, when the fresh artifact and metric were found.
+    pub fresh: Option<f64>,
+    /// Conclusion.
+    pub status: RatchetStatus,
+}
+
+impl fmt::Display for RatchetOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.3}"));
+        let verdict = match self.status {
+            RatchetStatus::Ok => "ok",
+            RatchetStatus::Regressed => "REGRESSED",
+            RatchetStatus::Overridden => "regressed (overridden)",
+            RatchetStatus::MissingFresh => "MISSING fresh artifact",
+            RatchetStatus::MissingBaseline => "no baseline (skipped)",
+        };
+        write!(
+            f,
+            "{:<20} {:<24} baseline {:>8}  fresh {:>8}  {}",
+            self.spec.file,
+            self.spec.path,
+            show(self.baseline),
+            show(self.fresh),
+            verdict
+        )
+    }
+}
+
+/// Decide one metric given both values (pure logic, unit-tested directly).
+pub fn judge(spec: &MetricSpec, baseline: f64, fresh: f64) -> RatchetStatus {
+    let worse = if spec.higher_is_better {
+        fresh < baseline * (1.0 - spec.tolerance)
+    } else {
+        fresh > baseline * (1.0 + spec.tolerance)
+    };
+    if worse {
+        RatchetStatus::Regressed
+    } else {
+        RatchetStatus::Ok
+    }
+}
+
+/// Parse the override file contents into match patterns.
+fn override_patterns(contents: &str) -> Vec<String> {
+    contents
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+fn override_matches(patterns: &[String], spec: &MetricSpec) -> bool {
+    let full = format!("{}:{}", spec.file, spec.path);
+    patterns
+        .iter()
+        .any(|p| p == "*" || *p == full || *p == spec.file)
+}
+
+/// Run the ratchet: compare every tracked metric in `fresh_dir` against
+/// `baseline_dir`. Never panics on missing or malformed files — those become
+/// [`RatchetStatus::MissingFresh`] / [`RatchetStatus::MissingBaseline`] verdicts.
+pub fn check_ratchet(fresh_dir: &Path, baseline_dir: &Path) -> Vec<RatchetOutcome> {
+    let patterns = std::fs::read_to_string(baseline_dir.join(OVERRIDE_FILE))
+        .map(|c| override_patterns(&c))
+        .unwrap_or_default();
+    METRICS
+        .iter()
+        .map(|spec| {
+            let read = |dir: &Path| {
+                std::fs::read_to_string(dir.join(spec.file))
+                    .ok()
+                    .and_then(|doc| json_number(&doc, spec.path))
+            };
+            let baseline = read(baseline_dir);
+            let fresh = read(fresh_dir);
+            let status = match (baseline, fresh) {
+                (None, _) => RatchetStatus::MissingBaseline,
+                (Some(_), None) => RatchetStatus::MissingFresh,
+                (Some(b), Some(f)) => match judge(spec, b, f) {
+                    RatchetStatus::Regressed if override_matches(&patterns, spec) => {
+                        RatchetStatus::Overridden
+                    }
+                    other => other,
+                },
+            };
+            RatchetOutcome {
+                spec: *spec,
+                baseline,
+                fresh,
+                status,
+            }
+        })
+        .collect()
+}
+
+/// True when no outcome is a hard failure (`Regressed` or `MissingFresh`).
+pub fn ratchet_passes(outcomes: &[RatchetOutcome]) -> bool {
+    outcomes.iter().all(|o| {
+        !matches!(
+            o.status,
+            RatchetStatus::Regressed | RatchetStatus::MissingFresh
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SORT_DOC: &str = concat!(
+        "{\n",
+        "  \"benchmark\": \"sort-kernels\",\n",
+        "  \"keys\": 1000000,\n",
+        "  \"ns_per_elem\": {\n",
+        "    \"raduls_closure\": 54.1,\n",
+        "    \"paradis_closure\": 82.0\n",
+        "  },\n",
+        "  \"kernel_speedup\": { \"raduls\": 1.547, \"paradis\": 2.339 },\n",
+        "  \"end_to_end\": { \"kmers\": 992092, \"seconds\": 0.0853 }\n",
+        "}\n"
+    );
+
+    #[test]
+    fn extracts_nested_numbers_from_real_artifacts() {
+        assert_eq!(json_number(SORT_DOC, "keys"), Some(1_000_000.0));
+        assert_eq!(json_number(SORT_DOC, "kernel_speedup.paradis"), Some(2.339));
+        assert_eq!(
+            json_number(SORT_DOC, "ns_per_elem.raduls_closure"),
+            Some(54.1)
+        );
+        assert_eq!(json_number(SORT_DOC, "end_to_end.kmers"), Some(992_092.0));
+        assert_eq!(json_number(SORT_DOC, "missing"), None);
+        assert_eq!(json_number(SORT_DOC, "kernel_speedup.missing"), None);
+        // A string value at the path is not a number.
+        assert_eq!(json_number(SORT_DOC, "benchmark"), None);
+    }
+
+    #[test]
+    fn extractor_skips_strings_with_braces_and_escapes() {
+        let doc = r#"{ "note": "a {tricky\" string, with: colons", "x": { "y": 7 } }"#;
+        assert_eq!(json_number(doc, "x.y"), Some(7.0));
+    }
+
+    #[test]
+    fn synthetic_ten_percent_slowdown_fails_the_gate() {
+        let spec = MetricSpec {
+            file: "BENCH_sort.json",
+            path: "kernel_speedup.paradis",
+            higher_is_better: true,
+            tolerance: 0.10,
+        };
+        // 11 % worse: regression. 9 % worse: within tolerance.
+        assert_eq!(judge(&spec, 2.0, 2.0 * 0.89), RatchetStatus::Regressed);
+        assert_eq!(judge(&spec, 2.0, 2.0 * 0.91), RatchetStatus::Ok);
+        // Improvements always pass.
+        assert_eq!(judge(&spec, 2.0, 3.0), RatchetStatus::Ok);
+
+        let lower_better = MetricSpec {
+            higher_is_better: false,
+            ..spec
+        };
+        assert_eq!(judge(&lower_better, 1.0, 1.2), RatchetStatus::Regressed);
+        assert_eq!(judge(&lower_better, 1.0, 1.05), RatchetStatus::Ok);
+        assert_eq!(judge(&lower_better, 1.0, 0.8), RatchetStatus::Ok);
+    }
+
+    #[test]
+    fn end_to_end_ratchet_fails_a_slowed_artifact_and_honours_override() {
+        let base = std::env::temp_dir().join(format!("ratchet_test_{}", std::process::id()));
+        let baseline_dir = base.join("baseline");
+        let fresh_dir = base.join("fresh");
+        std::fs::create_dir_all(&baseline_dir).unwrap();
+        std::fs::create_dir_all(&fresh_dir).unwrap();
+        let doc = |speedup: f64| {
+            format!("{{ \"kernel_speedup\": {{ \"raduls\": 1.5, \"paradis\": {speedup} }} }}")
+        };
+        std::fs::write(baseline_dir.join("BENCH_sort.json"), doc(2.0)).unwrap();
+        // >10 % slower than baseline: the gate must fail.
+        std::fs::write(fresh_dir.join("BENCH_sort.json"), doc(1.5)).unwrap();
+
+        let outcomes = check_ratchet(&fresh_dir, &baseline_dir);
+        assert!(!ratchet_passes(&outcomes), "synthetic slowdown must fail");
+        let paradis = outcomes
+            .iter()
+            .find(|o| o.spec.path == "kernel_speedup.paradis")
+            .unwrap();
+        assert_eq!(paradis.status, RatchetStatus::Regressed);
+        // Artifacts with no baseline are informational, not failures.
+        assert!(outcomes
+            .iter()
+            .filter(|o| o.spec.file != "BENCH_sort.json")
+            .all(|o| o.status == RatchetStatus::MissingBaseline));
+
+        // The explicit override file downgrades the regression.
+        std::fs::write(
+            baseline_dir.join(OVERRIDE_FILE),
+            "# ratcheting down after kernel rework\nBENCH_sort.json:kernel_speedup.paradis\n",
+        )
+        .unwrap();
+        let outcomes = check_ratchet(&fresh_dir, &baseline_dir);
+        assert!(ratchet_passes(&outcomes));
+        let paradis = outcomes
+            .iter()
+            .find(|o| o.spec.path == "kernel_speedup.paradis")
+            .unwrap();
+        assert_eq!(paradis.status, RatchetStatus::Overridden);
+
+        // A recovered fresh value passes without any override.
+        std::fs::remove_file(baseline_dir.join(OVERRIDE_FILE)).unwrap();
+        std::fs::write(fresh_dir.join("BENCH_sort.json"), doc(1.95)).unwrap();
+        assert!(ratchet_passes(&check_ratchet(&fresh_dir, &baseline_dir)));
+
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn every_tracked_metric_has_a_sane_spec() {
+        for spec in METRICS {
+            assert!(spec.file.starts_with("BENCH_") && spec.file.ends_with(".json"));
+            assert!(!spec.path.is_empty());
+            assert!(spec.tolerance > 0.0 && spec.tolerance < 1.0);
+        }
+    }
+}

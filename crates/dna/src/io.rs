@@ -28,7 +28,6 @@ use std::fs::File;
 use std::io::{self, Read as _, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use crate::base::Base;
 use crate::readset::{Read, ReadSet};
 use crate::sequence::DnaSeq;
 
@@ -506,11 +505,21 @@ impl<'a> FragmentSplitter<'a> {
 
     fn push_ascii(&mut self, line: &[u8]) {
         self.pushed_bases += line.len();
-        for &c in line {
-            match Base::from_ascii(c) {
-                Some(b) => self.current.push_code(b.code()),
-                None => self.cut(),
+        // SIMD scan for the next ambiguous character, bulk-append the clean run
+        // through the packed 32-base kernel, cut, skip the ambiguous byte, repeat —
+        // equivalent to the per-character `Base::from_ascii` match, which remains the
+        // reference the ingestion property tests compare against.
+        let mut rest = line;
+        loop {
+            let clean = crate::simd::first_non_acgt(rest);
+            if clean > 0 {
+                self.current.extend_from_ascii(&rest[..clean]);
             }
+            if clean == rest.len() {
+                break;
+            }
+            self.cut();
+            rest = &rest[clean + 1..];
         }
     }
 

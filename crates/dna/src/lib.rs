@@ -26,6 +26,7 @@ pub mod io;
 pub mod kmer;
 pub mod readset;
 pub mod sequence;
+pub mod simd;
 
 pub use base::{complement_code, decode_base, encode_base, Base};
 pub use extension::Extension;
@@ -33,6 +34,7 @@ pub use io::{IngestOptions, InputFile, SeqFormat, ShardReader};
 pub use kmer::{Kmer, Kmer1, Kmer2, KmerCode};
 pub use readset::{Read, ReadSet};
 pub use sequence::DnaSeq;
+pub use simd::SimdLevel;
 
 /// Maximum k supported with a single 64-bit word (2 bits per base).
 pub const MAX_K_ONE_WORD: usize = 32;

@@ -32,13 +32,56 @@ impl DnaSeq {
         }
     }
 
-    /// Parse from ASCII (unknown characters become `A`).
+    /// Parse from ASCII (unknown characters become `A`). Packs 32 bases per iteration
+    /// through the dispatched SIMD kernel (see [`crate::simd`]); byte-identical to
+    /// [`DnaSeq::from_ascii_scalar`].
     pub fn from_ascii(seq: &[u8]) -> Self {
+        let mut s = Self::with_capacity(seq.len());
+        s.extend_from_ascii(seq);
+        s
+    }
+
+    /// The scalar reference parser the property tests (and the `pack_ascii` criterion
+    /// bench) pin [`DnaSeq::from_ascii`] against: one `encode_base` per character.
+    pub fn from_ascii_scalar(seq: &[u8]) -> Self {
         let mut s = Self::with_capacity(seq.len());
         for &c in seq {
             s.push_code(encode_base(c));
         }
         s
+    }
+
+    /// Append ASCII bases (unknown characters become `A`), 32 at a time: each full
+    /// chunk is packed to one word by the active SIMD kernel and spliced in with two
+    /// shifts, so appending is O(len/32) word operations at any alignment.
+    pub fn extend_from_ascii(&mut self, seq: &[u8]) {
+        self.words.reserve((self.len % 32 + seq.len()).div_ceil(32));
+        let mut chunks = seq.chunks_exact(32);
+        for chunk in &mut chunks {
+            let block: &[u8; 32] = chunk.try_into().expect("exact 32-byte chunk");
+            self.append_codes_word(crate::simd::pack_block32(block), 32);
+        }
+        for &c in chunks.remainder() {
+            self.push_code(encode_base(c));
+        }
+    }
+
+    /// Append `count` (1..=32) base codes packed little-position-order in `w` (base `j`
+    /// of the group at bits `2*j`; bits at and above `2*count` must be zero).
+    #[inline]
+    fn append_codes_word(&mut self, w: u64, count: usize) {
+        debug_assert!((1..=32).contains(&count));
+        debug_assert!(count == 32 || w >> (2 * count) == 0);
+        let r = self.len % 32;
+        if r == 0 {
+            self.words.push(w);
+        } else {
+            *self.words.last_mut().expect("len % 32 != 0 implies a word") |= w << (2 * r);
+            if r + count > 32 {
+                self.words.push(w >> (2 * (32 - r)));
+            }
+        }
+        self.len += count;
     }
 
     /// Number of bases.
@@ -93,29 +136,16 @@ impl DnaSeq {
         &self.words
     }
 
-    /// One shifted word of the subrange starting at base `start`: bases
-    /// `start + 32*w ..` packed into a `u64`, assembled with one shift/OR pair instead
-    /// of 32 `get_code` calls.
-    #[inline]
-    fn range_word(&self, start: usize, w: usize) -> u64 {
-        let shift = 2 * (start % 32);
-        let idx = start / 32 + w;
-        let lo = self.words[idx] >> shift;
-        if shift > 0 && idx + 1 < self.words.len() {
-            lo | (self.words[idx + 1] << (64 - shift))
-        } else {
-            lo
-        }
-    }
-
     /// Copy bases `start..start + len` into a new sequence, moving whole packed words
-    /// (32 bases per shift/OR) instead of one base at a time.
+    /// (32 bases per shift/OR, four words per AVX2 iteration) instead of one base at a
+    /// time.
     pub fn subseq(&self, start: usize, len: usize) -> DnaSeq {
         assert!(start + len <= self.len, "subrange out of bounds");
         let nwords = len.div_ceil(32);
-        let mut words = Vec::with_capacity(nwords);
-        for w in 0..nwords {
-            words.push(self.range_word(start, w));
+        let mut words = vec![0u64; nwords];
+        if nwords > 0 {
+            let shift = (2 * (start % 32)) as u32;
+            crate::simd::shift_word_stream(&self.words[start / 32..], shift, &mut words);
         }
         let stray = len % 32;
         if stray != 0 {
@@ -131,16 +161,29 @@ impl DnaSeq {
     /// stray high bits of the final byte are zeroed.
     pub fn append_packed_range(&self, start: usize, len: usize, out: &mut Vec<u8>) {
         assert!(start + len <= self.len, "subrange out of bounds");
+        if len == 0 {
+            return;
+        }
         let nbytes = len.div_ceil(4);
         out.reserve(nbytes);
+        let shift = (2 * (start % 32)) as u32;
+        let words = &self.words[start / 32..];
+        let nwords = nbytes.div_ceil(8);
+        // Batch the shifted word stream through a stack buffer: AVX2 produces four
+        // words (128 bases) per iteration inside `shift_word_stream`.
+        let mut buf = [0u64; 16];
         let mut produced = 0usize;
-        let mut w = 0usize;
-        while produced < nbytes {
-            let bytes = self.range_word(start, w).to_le_bytes();
-            let take = (nbytes - produced).min(8);
-            out.extend_from_slice(&bytes[..take]);
-            produced += take;
-            w += 1;
+        let mut w0 = 0usize;
+        while w0 < nwords {
+            let take = (nwords - w0).min(buf.len());
+            crate::simd::shift_word_stream(&words[w0..], shift, &mut buf[..take]);
+            for word in &buf[..take] {
+                let bytes = word.to_le_bytes();
+                let emit = (nbytes - produced).min(8);
+                out.extend_from_slice(&bytes[..emit]);
+                produced += emit;
+            }
+            w0 += take;
         }
         let stray = len % 4;
         if stray != 0 {
@@ -361,6 +404,44 @@ mod tests {
                     slow.push(byte);
                 }
                 assert_eq!(fast, slow, "start={start} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_from_ascii_matches_scalar_for_all_lengths_and_bytes() {
+        // Lengths 0..=128 (4× the AVX2 lane width) over mixed-case bases with
+        // ambiguity characters sprinkled in — the unknown→A policy must be identical.
+        for len in 0..=128usize {
+            let ascii: Vec<u8> = (0..len)
+                .map(|i| b"acgtACGTNnXum-."[(i * 5 + len) % 15])
+                .collect();
+            assert_eq!(
+                DnaSeq::from_ascii(&ascii),
+                DnaSeq::from_ascii_scalar(&ascii),
+                "len={len}"
+            );
+        }
+        // Every byte value at least once.
+        let all: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(DnaSeq::from_ascii(&all), DnaSeq::from_ascii_scalar(&all));
+    }
+
+    #[test]
+    fn extend_from_ascii_matches_scalar_pushes_at_every_alignment() {
+        // Start from every residue 0..=33 of a prefix, then append tails of lengths
+        // straddling the 32-base block size — the shifted word splice must agree with
+        // per-base pushes bit for bit (tail residues and unaligned offsets).
+        let tail_src: Vec<u8> = (0..140).map(|i| b"ACGTacgtN"[(i * 11 + 3) % 9]).collect();
+        for prefix in 0..=33usize {
+            for tail_len in [0usize, 1, 15, 16, 31, 32, 33, 63, 64, 65, 128, 130] {
+                let mut fast = patterned(prefix);
+                let mut slow = fast.clone();
+                fast.extend_from_ascii(&tail_src[..tail_len]);
+                for &c in &tail_src[..tail_len] {
+                    slow.push_code(encode_base(c));
+                }
+                assert_eq!(fast, slow, "prefix={prefix} tail={tail_len}");
             }
         }
     }

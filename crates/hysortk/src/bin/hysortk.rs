@@ -289,6 +289,7 @@ fn run<K: KmerCode>(cli: &CliArgs, cfg: &HySortKConfig) -> Result<(), HysortkErr
         "[hysortk] exchange: {} wire bytes over {} round(s), sorter {:?}, {} heavy task(s)",
         report.total_wire_bytes, report.exchange_rounds, report.sorter, report.heavy_tasks,
     );
+    eprintln!("[hysortk] simd hot paths: {}", report.simd);
     if report.io_retries > 0 {
         eprintln!(
             "[hysortk] {} transient read failure(s) retried successfully",

@@ -896,6 +896,7 @@ pub(crate) fn merge_outputs<K: KmerCode>(
         io_retries,
         recoveries,
         epochs_committed,
+        simd: hysortk_dna::simd::path_name(),
     };
 
     CountResult {

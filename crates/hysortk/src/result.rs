@@ -121,6 +121,9 @@ pub struct RunReport {
     /// Checkpoint epochs committed by the most-advanced rank. Zero when no
     /// checkpoint directory is configured.
     pub epochs_committed: usize,
+    /// Which SIMD hot-path variant the run used (`"avx2"`, `"sse2"`, or `"scalar"`),
+    /// as chosen by runtime CPU detection (overridable with `HYSORTK_NO_SIMD=1`).
+    pub simd: &'static str,
 }
 
 impl RunReport {

@@ -10,10 +10,20 @@
 //! repair, parallel recursion) without PARADIS's adaptive stripe rebalancing; the
 //! speculative phase is written entirely with safe disjoint sub-slices obtained by
 //! repeated `split_at_mut`.
+//!
+//! The monomorphized [`RadixKey`] kernel ([`paradis_sort`]) additionally replaces the
+//! two-pass repair (collect misplaced positions, then cycle-follow) with a **single
+//! serial finalisation pass**: an American-flag-style cycle chase that visits every slot
+//! exactly once, skip-advances bucket heads past elements already home, and issues a
+//! software prefetch for the next destination slot before chasing into it (the scatter
+//! is a random walk over the whole slice, so nearly every hop is a cache miss without
+//! it). Because the pass touches each element exactly once anyway, it also bins the
+//! element's *next* radix digit on the fly, handing each child bucket its histogram for
+//! free — the recursion skips an entire counting pass per level.
 
 use rayon::prelude::*;
 
-use crate::{ClosureDigits, DigitSource, KeyDigits, RadixKey};
+use crate::{radix_digit, ClosureDigits, DigitSource, KeyDigits, RadixKey};
 
 const RADIX: usize = 256;
 /// Below this length a comparison sort on the remaining digits is faster than another
@@ -38,7 +48,9 @@ where
 }
 
 /// Monomorphized in-place MSD radix sort for [`RadixKey`] types: the digit loop is a
-/// compile-time shift/mask on the raw key words instead of a callback.
+/// compile-time shift/mask on the raw key words instead of a callback, the permutation
+/// is a prefetched single-pass cycle chase, and each level's scatter computes the next
+/// level's bucket histograms as a side effect.
 pub fn paradis_sort<T: RadixKey>(data: &mut [T]) {
     paradis_sort_from(data, 0);
 }
@@ -52,7 +64,7 @@ pub fn paradis_sort_from<T: RadixKey>(data: &mut [T], first_level: usize) {
     if data.len() <= 1 || first_level >= levels {
         return;
     }
-    sort_level(data, first_level, levels, &KeyDigits);
+    sort_level_keyed(data, first_level, levels, None);
 }
 
 fn sort_level<T, D>(data: &mut [T], level: usize, levels: usize, digits: &D)
@@ -106,6 +118,204 @@ where
         } else {
             for bucket in buckets {
                 sort_level(bucket, level + 1, levels, digits);
+            }
+        }
+    }
+}
+
+/// The [`RadixKey`]-specialised level sorter. Structurally the same MSD recursion as
+/// [`sort_level`], with three kernel-level differences:
+///
+/// * `hint` carries the bucket histogram computed by the **parent** level's scatter, so
+///   only the root level ever pays a standalone counting pass;
+/// * the permutation is [`finalize_keyed`] — a prefetched single-pass cycle chase —
+///   instead of speculation plus a two-pass repair;
+/// * the small-slice cutoff compares whole keys word-by-word (valid because every
+///   element in the slice agrees on all digits above `level`).
+fn sort_level_keyed<T: RadixKey>(
+    data: &mut [T],
+    level: usize,
+    levels: usize,
+    hint: Option<&[usize]>,
+) {
+    if data.len() <= 1 || level >= levels {
+        return;
+    }
+    if data.len() <= SMALL_SORT_THRESHOLD {
+        comparison_sort_keyed(data);
+        return;
+    }
+
+    let owned;
+    let histogram: &[usize] = match hint {
+        Some(h) => h,
+        None => {
+            owned = parallel_histogram(data, level, &KeyDigits);
+            &owned
+        }
+    };
+    if histogram.contains(&data.len()) {
+        sort_level_keyed(data, level + 1, levels, None);
+        return;
+    }
+
+    let mut bucket_start = [0usize; RADIX + 1];
+    for b in 0..RADIX {
+        bucket_start[b + 1] = bucket_start[b] + histogram[b];
+    }
+
+    let n = data.len();
+    let threads = if n >= PARALLEL_THRESHOLD {
+        rayon::current_num_threads().max(1)
+    } else {
+        1
+    };
+    if threads > 1 {
+        speculate_stripes(data, &bucket_start, level, &KeyDigits, threads);
+    }
+
+    // Fused child histograms pay off when the children are big enough to need one; for
+    // small inputs the 256×256 table costs more than the counting passes it saves.
+    let fuse = level + 1 < levels && n >= PARALLEL_THRESHOLD;
+    let mut child_hist = if fuse {
+        vec![0usize; RADIX * RADIX]
+    } else {
+        Vec::new()
+    };
+    if fuse {
+        finalize_keyed::<T, true>(data, &bucket_start, level, &mut child_hist);
+    } else {
+        finalize_keyed::<T, false>(data, &bucket_start, level, &mut child_hist);
+    }
+
+    if level + 1 < levels {
+        let mut buckets: Vec<(&mut [T], Option<&[usize]>)> = Vec::with_capacity(RADIX);
+        let mut rest = data;
+        let mut prev = 0usize;
+        for b in 0..RADIX {
+            let len = bucket_start[b + 1] - prev;
+            prev = bucket_start[b + 1];
+            let (head, tail) = rest.split_at_mut(len);
+            let hint = if fuse {
+                Some(&child_hist[b * RADIX..(b + 1) * RADIX])
+            } else {
+                None
+            };
+            buckets.push((head, hint));
+            rest = tail;
+        }
+        if n >= PARALLEL_THRESHOLD {
+            buckets
+                .into_par_iter()
+                .for_each(|(bucket, hint)| sort_level_keyed(bucket, level + 1, levels, hint));
+        } else {
+            for (bucket, hint) in buckets {
+                sort_level_keyed(bucket, level + 1, levels, hint);
+            }
+        }
+    }
+}
+
+/// Comparison cutoff for the keyed kernel: elements in one recursion slice agree on all
+/// digits above `level`, so comparing the full concatenated key words lexicographically
+/// orders exactly by the remaining digits — one branchy `u64` compare per word instead
+/// of up to eight digit extractions.
+fn comparison_sort_keyed<T: RadixKey>(data: &mut [T]) {
+    data.sort_unstable_by(|a, b| {
+        for w in 0..T::KEY_WORDS {
+            match a.key_word(w).cmp(&b.key_word(w)) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+/// Prefetch the cache line holding `data[idx]` (no-op off x86_64, and on
+/// out-of-bounds indices, which the chase can produce on its final hop).
+#[inline(always)]
+fn prefetch_slot<T>(data: &[T], idx: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if idx < data.len() {
+            // SAFETY: `idx` is in bounds; prefetch has no architectural effect beyond
+            // the cache and is available on every x86_64 (SSE is baseline).
+            unsafe {
+                core::arch::x86_64::_mm_prefetch(
+                    data.as_ptr().add(idx) as *const i8,
+                    core::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (data, idx);
+    }
+}
+
+/// Single-pass in-place bucket permutation for the keyed kernel (replaces the two-pass
+/// collect-then-repair of the generic path): an American-flag cycle chase over bucket
+/// heads.
+///
+/// Buckets are completed in ascending order, so while bucket `b` is being processed
+/// every element with digit `< b` is already home; any foreign element found in `b`
+/// therefore chases into a bucket `> b`, and by pigeonhole that bucket still has a
+/// non-finalised slot for it. Each loop iteration finalises exactly one slot — the pass
+/// is `O(n)` swaps total, each preceded by a prefetch of the next destination. When
+/// `BIN` is set, every finalised element's next-level digit is counted into
+/// `child_hist[bucket * RADIX + digit]`, which becomes the recursion's histogram hint.
+fn finalize_keyed<T: RadixKey, const BIN: bool>(
+    data: &mut [T],
+    bucket_start: &[usize; RADIX + 1],
+    level: usize,
+    child_hist: &mut [usize],
+) {
+    let mut heads: [usize; RADIX] = [0; RADIX];
+    heads.copy_from_slice(&bucket_start[..RADIX]);
+    for b in 0..RADIX {
+        let end_b = bucket_start[b + 1];
+        while heads[b] < end_b {
+            let hole = heads[b];
+            let mut e = data[hole];
+            let mut d = radix_digit(&e, level) as usize;
+            if d == b {
+                if BIN {
+                    child_hist[(b << 8) | radix_digit(&e, level + 1) as usize] += 1;
+                }
+                heads[b] += 1;
+                continue;
+            }
+            loop {
+                // Elements already sitting in their home bucket are finalised in place.
+                debug_assert!(heads[d] < bucket_start[d + 1]);
+                while radix_digit(&data[heads[d]], level) as usize == d {
+                    if BIN {
+                        child_hist[(d << 8) | radix_digit(&data[heads[d]], level + 1) as usize] +=
+                            1;
+                    }
+                    heads[d] += 1;
+                    debug_assert!(heads[d] < bucket_start[d + 1]);
+                }
+                let dest = heads[d];
+                let displaced = data[dest];
+                data[dest] = e;
+                if BIN {
+                    child_hist[(d << 8) | radix_digit(&e, level + 1) as usize] += 1;
+                }
+                heads[d] += 1;
+                e = displaced;
+                d = radix_digit(&e, level) as usize;
+                if d == b {
+                    data[hole] = e;
+                    if BIN {
+                        child_hist[(b << 8) | radix_digit(&e, level + 1) as usize] += 1;
+                    }
+                    heads[b] += 1;
+                    break;
+                }
+                prefetch_slot(data, heads[d]);
             }
         }
     }
@@ -181,6 +391,55 @@ fn permute_in_place<T, D>(
     };
 
     if threads > 1 {
+        speculate_stripes(data, bucket_start, level, digits, threads);
+    }
+
+    // --- repair phase (also the whole permutation when running single stripe) --------
+    // Collect, per bucket, the positions still holding a foreign element, then fix them
+    // with cycle-following swaps. Each swap finalises at least one position.
+    let mut misplaced: Vec<Vec<usize>> = vec![Vec::new(); RADIX];
+    for b in 0..RADIX {
+        let range = bucket_start[b]..bucket_start[b + 1];
+        for (off, item) in data[range.clone()].iter().enumerate() {
+            if digits.digit(item, level) as usize != b {
+                misplaced[b].push(range.start + off);
+            }
+        }
+    }
+    let mut cursor = [0usize; RADIX];
+    for b in 0..RADIX {
+        for idx in 0..misplaced[b].len() {
+            let pos = misplaced[b][idx];
+            loop {
+                let d = digits.digit(&data[pos], level) as usize;
+                if d == b {
+                    break;
+                }
+                // Find the next slot in bucket d that still holds a foreign element.
+                let dest = misplaced[d][cursor[d]];
+                cursor[d] += 1;
+                data.swap(pos, dest);
+            }
+        }
+    }
+}
+
+/// The speculative parallel phase shared by the closure and keyed permutations: each
+/// rayon thread owns one stripe of every bucket region and permutes only within its own
+/// stripes (safe: the stripes are disjoint sub-slices). Whatever the speculation cannot
+/// place is fixed by the caller's serial pass.
+fn speculate_stripes<T, D>(
+    data: &mut [T],
+    bucket_start: &[usize; RADIX + 1],
+    level: usize,
+    digits: &D,
+    threads: usize,
+) where
+    T: Copy + Send + Sync,
+    D: DigitSource<T>,
+{
+    let n = data.len();
+    {
         // --- carve the slice into (thread, bucket) stripes --------------------------
         // stripe t of bucket b covers an equal share of the bucket's region.
         #[derive(Clone, Copy)]
@@ -278,35 +537,6 @@ fn permute_in_place<T, D>(
             }
         });
     }
-
-    // --- repair phase (also the whole permutation when running single stripe) --------
-    // Collect, per bucket, the positions still holding a foreign element, then fix them
-    // with cycle-following swaps. Each swap finalises at least one position.
-    let mut misplaced: Vec<Vec<usize>> = vec![Vec::new(); RADIX];
-    for b in 0..RADIX {
-        let range = bucket_start[b]..bucket_start[b + 1];
-        for (off, item) in data[range.clone()].iter().enumerate() {
-            if digits.digit(item, level) as usize != b {
-                misplaced[b].push(range.start + off);
-            }
-        }
-    }
-    let mut cursor = [0usize; RADIX];
-    for b in 0..RADIX {
-        for idx in 0..misplaced[b].len() {
-            let pos = misplaced[b][idx];
-            loop {
-                let d = digits.digit(&data[pos], level) as usize;
-                if d == b {
-                    break;
-                }
-                // Find the next slot in bucket d that still holds a foreign element.
-                let dest = misplaced[d][cursor[d]];
-                cursor[d] += 1;
-                data.swap(pos, dest);
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -386,6 +616,48 @@ mod tests {
             paradis_sort(&mut a);
             paradis_sort_by(&mut b, 8, |x, l| (x >> (8 * (7 - l))) as u8);
             assert_eq!(a, b, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn keyed_kernel_survives_cycle_adversaries() {
+        // Inputs engineered to stress the cycle chase: every element's destination
+        // bucket is a fixed rotation of the bucket it starts in (one giant cycle per
+        // residue class), reversed buckets (all 2-cycles), and a skewed distribution
+        // where one bucket swallows 90 % of the input.
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000usize;
+        let rotated: Vec<u64> = (0..n)
+            .map(|i| {
+                let bucket = ((i % 256) as u64 + 17) % 256;
+                (bucket << 56) | (rng.gen::<u64>() >> 8)
+            })
+            .collect();
+        let reversed: Vec<u64> = (0..n)
+            .map(|i| {
+                let bucket = 255 - (i % 256) as u64;
+                (bucket << 56) | (rng.gen::<u64>() >> 8)
+            })
+            .collect();
+        let skewed: Vec<u64> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.9) {
+                    0xAB00_0000_0000_0000 | (rng.gen::<u64>() >> 8)
+                } else {
+                    rng.gen()
+                }
+            })
+            .collect();
+        for (name, input) in [
+            ("rotated", rotated),
+            ("reversed", reversed),
+            ("skewed", skewed),
+        ] {
+            let mut v = input;
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            paradis_sort(&mut v);
+            assert_eq!(v, expected, "{name}");
         }
     }
 

@@ -15,17 +15,23 @@
 //!   monotone deque of 16-byte entries) and run grouping in one pass and emits supermer
 //!   spans through a callback. This is the pipeline's hot parse path; the vec-based
 //!   modules above are the property-test reference.
+//! * [`simd`] — block-wise canonical m-mer scoring (AVX2 with a scalar reference),
+//!   which feeds the streaming extractor's monotone deque with precomputed scores.
 //! * [`codec`] — the domain-specific delta compression of `(read_id, pos_in_read)`
 //!   extension records.
 
 pub mod codec;
 pub mod minimizer;
 pub mod mmer;
+pub mod simd;
 pub mod streaming;
 pub mod supermer;
 
 pub use codec::{decode_extensions, encode_extensions, EncodedExtensions};
 pub use minimizer::{minimizers_deque, minimizers_naive, MinimizerRun};
 pub use mmer::{canonical_mmers, MmerScorer, ScoreFunction};
-pub use streaming::{for_each_supermer, MonotoneRing, RingEntry, SupermerScratch, SupermerSpan};
+pub use streaming::{
+    for_each_supermer, for_each_supermer_scalar, MonotoneRing, RingEntry, SupermerScratch,
+    SupermerSpan,
+};
 pub use supermer::{build_supermers, partition_stats, PartitionStats, Supermer};

@@ -5,15 +5,18 @@
 //! ([`score_sequence`](crate::mmer::MmerScorer::score_sequence)), every k-mer's
 //! minimizer ([`minimizers_deque`](crate::minimizer::minimizers_deque), via a heap
 //! `VecDeque`), and finally the supermer base copies. [`for_each_supermer`] fuses all
-//! three into **one** rolling pass: the canonical m-mer words roll base by base, the
-//! monotone deque lives in a fixed-size ring buffer of compact 16-byte entries
-//! ([`RingEntry`]), and supermer spans are emitted through a callback the moment their
-//! destination run ends — no intermediate vector is ever allocated. The only state is a
-//! reusable [`SupermerScratch`], so a thread parsing millions of reads allocates the
-//! ring once.
+//! three into **one** segmented pass: canonical m-mer scores are produced in bulk by
+//! the SIMD kernel in [`crate::simd`], the sliding-window minimum comes from a
+//! branchless van Herk–Gil-Werman two-scan (three `min`s per m-mer, no
+//! data-dependent deque traffic), and supermer spans are emitted through a callback
+//! the moment their destination run ends. The only state is a reusable
+//! [`SupermerScratch`] holding two cache-resident segment buffers, so a thread
+//! parsing millions of reads allocates them once.
 //!
 //! The vec-based pipeline is kept as the reference implementation; the property tests
-//! assert both produce byte-identical supermers.
+//! assert both produce byte-identical supermers. [`MonotoneRing`] — the previous
+//! consumer — is kept public as the deque reference the two-scan scheme is tested
+//! against.
 
 use crate::mmer::MmerScorer;
 use hysortk_dna::sequence::DnaSeq;
@@ -105,11 +108,13 @@ impl MonotoneRing {
     }
 }
 
-/// Reusable per-thread scratch of the streaming extractor: the ring-buffer deque.
-/// Construct once, pass to every [`for_each_supermer`] call on the same thread.
+/// Reusable per-thread scratch of the streaming extractor: the segment score buffer
+/// and its blockwise suffix minima (both a few KiB, cache-resident). Construct once,
+/// pass to every [`for_each_supermer`] call on the same thread.
 #[derive(Debug, Clone, Default)]
 pub struct SupermerScratch {
-    ring: MonotoneRing,
+    scores: Vec<u64>,
+    suffix: Vec<u64>,
 }
 
 impl SupermerScratch {
@@ -155,15 +160,50 @@ impl SupermerSpan {
 ///
 /// Equivalent to [`build_supermers`](crate::supermer::build_supermers) — same spans,
 /// same targets, same order — but scoring, window minimisation and run grouping happen
-/// in a single rolling loop with zero heap allocation (the ring buffer lives in
-/// `scratch` and is reused across calls). Reads shorter than k emit nothing.
+/// in one segmented pass whose only buffers live in `scratch` (reused across calls).
+/// m-mer scores are computed in bulk per segment by the SIMD kernel in [`crate::simd`]
+/// (AVX2 when available, scalar otherwise — byte-identical either way), and the
+/// sliding-window minimum is a branchless blockwise suffix/prefix two-scan rather
+/// than a serial monotone deque. Reads shorter than k emit nothing.
 pub fn for_each_supermer(
     seq: &DnaSeq,
     k: usize,
     scorer: &MmerScorer,
     targets: u32,
     scratch: &mut SupermerScratch,
+    emit: impl FnMut(SupermerSpan),
+) {
+    for_each_supermer_impl(seq, k, scorer, targets, scratch, emit, false)
+}
+
+/// [`for_each_supermer`] pinned to the scalar scoring kernel, regardless of what the
+/// CPU supports. This is the reference the SIMD path is property-tested against, and
+/// the denominator of the `simd.speedup_vs_scalar` benchmark metric.
+pub fn for_each_supermer_scalar(
+    seq: &DnaSeq,
+    k: usize,
+    scorer: &MmerScorer,
+    targets: u32,
+    scratch: &mut SupermerScratch,
+    emit: impl FnMut(SupermerSpan),
+) {
+    for_each_supermer_impl(seq, k, scorer, targets, scratch, emit, true)
+}
+
+/// Number of k-mers (windows) processed per segment. Each segment scores
+/// `SEGMENT_KMERS + window - 1` m-mers into the scratch buffer (re-scoring the
+/// `window - 1` overlap with the next segment, a sub-percent overhead), so the working
+/// set stays a few tens of KiB regardless of read length.
+const SEGMENT_KMERS: usize = 4096;
+
+fn for_each_supermer_impl(
+    seq: &DnaSeq,
+    k: usize,
+    scorer: &MmerScorer,
+    targets: u32,
+    scratch: &mut SupermerScratch,
     mut emit: impl FnMut(SupermerSpan),
+    force_scalar: bool,
 ) {
     let m = scorer.m();
     assert!(m <= k, "m must not exceed k");
@@ -175,44 +215,85 @@ pub fn for_each_supermer(
     debug_assert!(n <= u32::MAX as usize, "read longer than u32 indices");
     let score_fn = scorer.score_fn();
     let window = k - m + 1;
-    let ring = &mut scratch.ring;
-    ring.reset(window);
 
-    let mask: u64 = if m == 32 {
-        u64::MAX
+    let words = seq.words();
+    let num_kmers = n + 1 - k;
+    // Destination assignment is one modulo per k-mer; for the common power-of-two
+    // target counts it reduces to a mask (a 64-bit division costs tens of cycles).
+    let targets64 = u64::from(targets);
+    let target_mask = if targets.is_power_of_two() {
+        Some(targets64 - 1)
     } else {
-        (1u64 << (2 * m)) - 1
+        None
     };
-    let rc_shift = 2 * (m - 1);
-    let mut fwd: u64 = 0;
-    let mut rev: u64 = 0;
+    let seg_cap = SEGMENT_KMERS.min(num_kmers) + window - 1;
+    if scratch.scores.len() < seg_cap {
+        scratch.scores.resize(seg_cap, 0);
+        scratch.suffix.resize(seg_cap, 0);
+    }
     let mut run_start = 0u32;
     let mut run_target = 0u32;
     let mut in_run = false;
 
-    // Walk the packed words directly: each base is one shift off the current word
-    // register instead of an indexed load with address arithmetic.
-    let mut i = 0usize;
-    for &word in seq.words() {
-        let mut bits = word;
-        let word_end = (i + 32).min(n);
-        while i < word_end {
-            let code = bits & 0b11;
-            bits >>= 2;
-            fwd = ((fwd << 2) | code) & mask;
-            rev = (rev >> 2) | ((3 - code) << rc_shift);
-            i += 1;
-            if i < m {
-                continue;
+    // The window minimum is computed with the van Herk–Gil-Werman two-scan scheme
+    // instead of a monotone deque: split each segment's score buffer into blocks of
+    // `window`, precompute blockwise *suffix* minima right-to-left, roll blockwise
+    // *prefix* minima left-to-right inside the main loop, and every window's minimum
+    // is `min(suffix[t], prefix[t + window - 1])` — the window always spans the tail
+    // of one block plus the head of the next. Three branchless `min`s per m-mer
+    // replace the deque's data-dependent push/pop/expire loops, and only the *score*
+    // of the winner is needed downstream (targets hash the score, not the index), so
+    // tie-breaking order is irrelevant and the spans stay byte-identical.
+    let mut g = 0usize; // global index of the segment's first k-mer
+    while g < num_kmers {
+        let seg_kmers = (num_kmers - g).min(SEGMENT_KMERS);
+        let seg_len = seg_kmers + window - 1; // m-mer scores the segment needs
+        let scores = &mut scratch.scores[..seg_len];
+        if force_scalar {
+            crate::simd::fill_scores_scalar(words, g, seg_len, m, score_fn, scores);
+        } else {
+            crate::simd::fill_scores(words, g, seg_len, m, score_fn, scores);
+        }
+        let scores = &scratch.scores[..seg_len];
+        let suffix = &mut scratch.suffix[..seg_len];
+        let mut block_start = 0usize;
+        while block_start < seg_len {
+            let block_end = (block_start + window).min(seg_len);
+            let mut run = u64::MAX;
+            for j in (block_start..block_end).rev() {
+                run = run.min(scores[j]);
+                suffix[j] = run;
             }
-            let canonical = fwd.min(rev);
-            ring.push((i - m) as u32, score_fn.score(canonical));
-            if i < k {
-                continue;
+            block_start = block_end;
+        }
+        let suffix = &scratch.suffix[..seg_len];
+
+        // Warm the prefix over block 0's first `window - 1` scores, then walk the
+        // windows: at local window t, the prefix cursor sits on score t + window - 1
+        // and resets whenever it crosses into a new block — at t = 1 (cursor hits
+        // block 1) and every `window` steps after.
+        let mut prefix = u64::MAX;
+        for &s in &scores[..window - 1] {
+            prefix = prefix.min(s);
+        }
+        let mut until_reset = 2usize;
+        for (t, (&sfx, &lead)) in suffix[..seg_kmers]
+            .iter()
+            .zip(&scores[window - 1..])
+            .enumerate()
+        {
+            until_reset -= 1;
+            if until_reset == 0 {
+                prefix = u64::MAX;
+                until_reset = window;
             }
-            let kmer_index = (i - k) as u32;
-            ring.expire(kmer_index);
-            let target = (ring.front().score % u64::from(targets)) as u32;
+            prefix = prefix.min(lead);
+            let min_score = sfx.min(prefix);
+            let target = match target_mask {
+                Some(mask) => (min_score & mask) as u32,
+                None => (min_score % targets64) as u32,
+            };
+            let kmer_index = (g + t) as u32;
             if !in_run {
                 in_run = true;
                 run_start = kmer_index;
@@ -227,6 +308,7 @@ pub fn for_each_supermer(
                 run_target = target;
             }
         }
+        g += seg_kmers;
     }
     if in_run {
         emit(SupermerSpan {
