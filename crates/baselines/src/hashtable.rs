@@ -240,6 +240,8 @@ pub fn two_pass_hash_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) ->
 
     let report = RunReport {
         stage_times: stages,
+        // Modeled baseline: nothing is measured per rank, so no wall attribution.
+        stage_wall: Default::default(),
         comm: CommStats::aggregate(&run.comm),
         peak_memory_per_node: peak,
         sorter: SortAlgorithm::HashTable,

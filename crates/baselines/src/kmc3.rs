@@ -107,6 +107,8 @@ pub fn kmc3_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Baseline
 
     let report = RunReport {
         stage_times: stages,
+        // Modeled baseline: nothing is measured per rank, so no wall attribution.
+        stage_wall: Default::default(),
         comm: CommStats::default(),
         peak_memory_per_node: peak,
         sorter: SortAlgorithm::Raduls,

@@ -223,6 +223,8 @@ pub fn kmerind_count<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> Kmeri
 
     let report = RunReport {
         stage_times: stages,
+        // Modeled baseline: nothing is measured per rank, so no wall attribution.
+        stage_wall: Default::default(),
         comm: CommStats::aggregate(&run.comm),
         peak_memory_per_node: peak,
         sorter: SortAlgorithm::HashTable,

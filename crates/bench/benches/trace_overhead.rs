@@ -1,0 +1,43 @@
+//! Cost of the flight recorder, measured at the call site.
+//!
+//! Three figures: the disabled fast path (`enabled()` returns false, one relaxed
+//! atomic load — the price every hot loop pays permanently), the bare `enabled()`
+//! check itself, and the enabled slow path (arm a span, stamp two timestamps, push
+//! an event into the thread-local ring). The first must be indistinguishable from
+//! free; the third bounds what `--trace` costs per event.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hysortk_trace as trace;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(20);
+
+    trace::disable();
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _s = trace::span!("bench-span", trace::Detail::Task, 0, n = 42,);
+            std::hint::black_box(());
+        })
+    });
+    group.bench_function("enabled_check_disabled", |b| {
+        b.iter(|| std::hint::black_box(trace::enabled(trace::Detail::Task)))
+    });
+
+    trace::enable(trace::Detail::Task);
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let _s = trace::span!("bench-span", trace::Detail::Task, 0, n = 42,);
+            std::hint::black_box(());
+        })
+    });
+    trace::disable();
+    // Drain the events the enabled measurement recorded so the process exits lean.
+    let tr = trace::collect();
+    std::hint::black_box(tr.events.len());
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -577,6 +577,7 @@ impl SortBenchReport {
             concat!(
                 "{{\n",
                 "  \"benchmark\": \"sort-kernels\",\n",
+                "  \"host\": {},\n",
                 "  \"keys\": {},\n",
                 "  \"ns_per_elem\": {{\n",
                 "    \"raduls_closure\": {:.3},\n",
@@ -589,6 +590,7 @@ impl SortBenchReport {
                 "\"counts_per_sec\": {:.1} }}\n",
                 "}}\n"
             ),
+            host_json(),
             self.keys,
             self.raduls_closure_ns,
             self.raduls_kernel_ns,
@@ -601,6 +603,24 @@ impl SortBenchReport {
             self.counts_per_sec(),
         )
     }
+}
+
+/// The `"host"` block embedded in every `BENCH_*.json` artifact: logical core count,
+/// the SIMD path the dispatcher chose, and any `HYSORTK_*` environment overrides in
+/// effect. The ratchet skips unknown keys, so this is purely provenance for humans
+/// comparing artifacts produced on different machines.
+pub fn host_json() -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut env: Vec<String> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("HYSORTK_"))
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    env.sort();
+    let env = env.join(" ").replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        "{{ \"logical_cores\": {cores}, \"simd\": \"{}\", \"env\": \"{env}\" }}",
+        hysortk_dna::simd::path_name()
+    )
 }
 
 /// Median-of-samples wall time of `f` in seconds.
@@ -735,6 +755,7 @@ impl ParseBenchReport {
             concat!(
                 "{{\n",
                 "  \"benchmark\": \"parse-stage\",\n",
+                "  \"host\": {},\n",
                 "  \"reads\": {},\n",
                 "  \"bases\": {},\n",
                 "  \"supermers\": {},\n",
@@ -748,6 +769,7 @@ impl ParseBenchReport {
                 "  \"simd\": {{ \"path\": \"{}\", \"speedup_vs_scalar\": {:.3} }}\n",
                 "}}\n"
             ),
+            host_json(),
             self.reads,
             self.bases,
             self.supermers,
@@ -997,6 +1019,7 @@ impl CountBenchReport {
             concat!(
                 "{{\n",
                 "  \"benchmark\": \"count-stage\",\n",
+                "  \"host\": {},\n",
                 "  \"records\": {},\n",
                 "  \"precounted\": {},\n",
                 "  \"params\": {{ \"k\": {}, \"tasks\": {}, \"sources\": {}, \"workers\": {} }},\n",
@@ -1005,6 +1028,7 @@ impl CountBenchReport {
                 "  \"parallel_speedup\": {:.3}\n",
                 "}}\n"
             ),
+            host_json(),
             self.records,
             self.precounted,
             self.k,
@@ -1155,6 +1179,7 @@ impl ExchangeBenchReport {
             concat!(
                 "{{\n",
                 "  \"benchmark\": \"exchange-stage\",\n",
+                "  \"host\": {},\n",
                 "  \"kmers\": {},\n",
                 "  \"payload_bytes\": {},\n",
                 "  \"params\": {{ \"ranks\": {}, \"batch_size\": {}, \"rounds\": {}, ",
@@ -1169,6 +1194,7 @@ impl ExchangeBenchReport {
                 "only buffer-recycling and cache effects, not hidden communication\"\n",
                 "}}\n"
             ),
+            host_json(),
             self.kmers,
             self.payload_bytes,
             self.ranks,
@@ -1317,6 +1343,7 @@ impl IngestBenchReport {
             concat!(
                 "{{\n",
                 "  \"benchmark\": \"ingest\",\n",
+                "  \"host\": {},\n",
                 "  \"file_bytes\": {},\n",
                 "  \"bases\": {},\n",
                 "  \"reads\": {},\n",
@@ -1326,6 +1353,7 @@ impl IngestBenchReport {
                 "  \"ingest_overhead\": {:.3}\n",
                 "}}\n"
             ),
+            host_json(),
             self.file_bytes,
             self.bases,
             self.reads,
@@ -1441,6 +1469,14 @@ pub struct E2eBenchReport {
     pub secs: f64,
     /// Which SIMD path the dispatcher chose ("avx2", "sse2" or "scalar").
     pub simd_path: &'static str,
+    /// Whether the flight recorder was on during the timed samples. Benchmarks run
+    /// with it off; the field pins that in the artifact so a trace-enabled run can
+    /// never be mistaken for a regression (or an improvement).
+    pub trace_enabled: bool,
+    /// Measured per-rank wall-clock seconds per pipeline stage (min/mean/max across
+    /// ranks), from the first timed sample. Unlike `secs` this attributes the wall
+    /// time, so the ratchet can localise an e2e slowdown to a stage.
+    pub stage_wall: hysortk_core::StageWallTimes,
 }
 
 /// FNV-1a 64-bit, used to fingerprint benchmark outputs in the JSON artifacts.
@@ -1464,12 +1500,31 @@ impl E2eBenchReport {
         self.file_bytes as f64 / self.secs.max(1e-12)
     }
 
+    /// The `"stage_wall"` object: mean measured seconds per stage keyed by stage
+    /// name, plus the mean total rank wall. Stage names come from the pipeline's
+    /// wall buckets (`ingest`, `parse`, `serialize`, `exchange-wait`, `count`,
+    /// `checkpoint`, `merge`, `other`); the named stages partition the rank wall.
+    fn stage_wall_json(&self) -> String {
+        let mut parts: Vec<String> = self
+            .stage_wall
+            .stages
+            .iter()
+            .map(|s| format!("\"{}\": {:.4}", s.name, s.mean))
+            .collect();
+        parts.push(format!(
+            "\"total_mean\": {:.4}",
+            self.stage_wall.total_mean()
+        ));
+        parts.join(", ")
+    }
+
     /// Render as the `BENCH_e2e.json` document (hand-rolled, like the others).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
                 "{{\n",
                 "  \"benchmark\": \"e2e\",\n",
+                "  \"host\": {},\n",
                 "  \"file_bytes\": {},\n",
                 "  \"bases\": {},\n",
                 "  \"reads\": {},\n",
@@ -1479,9 +1534,12 @@ impl E2eBenchReport {
                 "  \"seconds\": {:.4},\n",
                 "  \"bases_per_sec\": {:.1},\n",
                 "  \"file_bytes_per_sec\": {:.1},\n",
-                "  \"simd\": {{ \"path\": \"{}\" }}\n",
+                "  \"simd\": {{ \"path\": \"{}\" }},\n",
+                "  \"trace_enabled\": {},\n",
+                "  \"stage_wall\": {{ {} }}\n",
                 "}}\n"
             ),
+            host_json(),
             self.file_bytes,
             self.bases,
             self.reads,
@@ -1494,6 +1552,8 @@ impl E2eBenchReport {
             self.bases_per_sec(),
             self.file_bytes_per_sec(),
             self.simd_path,
+            self.trace_enabled,
+            self.stage_wall_json(),
         )
     }
 }
@@ -1526,11 +1586,20 @@ pub fn bench_e2e_on(preset: DatasetPreset, ranks: usize, samples: usize) -> E2eB
         .len();
     let opts = IngestOptions::default();
 
+    // The headline artifact gates the ratchet on wall time, so the flight recorder
+    // must be off while sampling — and the artifact records that it was.
+    let trace_enabled = hysortk_trace::enabled(hysortk_trace::Detail::Stage);
+    assert!(
+        !trace_enabled,
+        "bench_e2e must run with tracing disabled; enable() leaked from a caller"
+    );
+
     let samples = samples.max(1);
     let mut times = Vec::with_capacity(samples);
     let mut fingerprint = 0u64;
     let mut total_kmers = 0u64;
     let mut distinct_kmers = 0u64;
+    let mut stage_wall = hysortk_core::StageWallTimes::default();
     for i in 0..samples {
         let start = std::time::Instant::now();
         let out = count_kmers_from_files_with::<Kmer1, _>(&[&path], &cfg, opts.clone())
@@ -1541,6 +1610,7 @@ pub fn bench_e2e_on(preset: DatasetPreset, ranks: usize, samples: usize) -> E2eB
             fingerprint = fp;
             total_kmers = out.report.total_kmers;
             distinct_kmers = out.report.distinct_kmers;
+            stage_wall = out.report.stage_wall.clone();
         } else {
             assert_eq!(
                 fp, fingerprint,
@@ -1563,6 +1633,8 @@ pub fn bench_e2e_on(preset: DatasetPreset, ranks: usize, samples: usize) -> E2eB
         histogram_fingerprint: fingerprint,
         secs: times[samples / 2],
         simd_path: hysortk_dna::simd::path_name(),
+        trace_enabled,
+        stage_wall,
     }
 }
 
@@ -1583,12 +1655,23 @@ mod tests {
             histogram_fingerprint: 0xDEADBEEF,
             secs: 0.5,
             simd_path: "avx2",
+            trace_enabled: false,
+            stage_wall: hysortk_core::StageWallTimes::from_rank_buckets(
+                &["parse", "count"],
+                &[vec![0.1, 0.2], vec![0.3, 0.4]],
+            ),
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"bases_per_sec\": 3800000.0"));
         assert!(json.contains("\"histogram_fingerprint\": \"0x00000000deadbeef\""));
         assert!(json.contains("\"simd\": { \"path\": \"avx2\" }"));
+        assert!(json.contains("\"trace_enabled\": false"));
+        // Stage means across the two ranks: parse (0.1+0.3)/2, count (0.2+0.4)/2.
+        assert!(json.contains(
+            "\"stage_wall\": { \"parse\": 0.2000, \"count\": 0.3000, \"total_mean\": 0.5000 }"
+        ));
+        assert!(json.contains("\"host\": { \"logical_cores\": "));
     }
 
     #[test]
@@ -1598,6 +1681,34 @@ mod tests {
         assert!(report.distinct_kmers > 0);
         assert!(report.secs > 0.0);
         assert_ne!(report.histogram_fingerprint, 0);
+        assert!(
+            !report.trace_enabled,
+            "benchmarks must sample with tracing off"
+        );
+        // The measured stage walls must attribute (nearly) all of the rank wall: the
+        // named buckets plus the `other` residue partition it by construction, so the
+        // sum of stage means equals the mean rank wall.
+        let stage_sum: f64 = report.stage_wall.stages.iter().map(|s| s.mean).sum();
+        let total = report.stage_wall.total_mean();
+        assert!(total > 0.0, "stage_wall captured no wall time");
+        assert!(
+            (stage_sum - total).abs() <= 0.10 * total,
+            "stage walls ({stage_sum:.4}s) do not sum to the rank wall ({total:.4}s)"
+        );
+    }
+
+    #[test]
+    fn disabled_tracing_is_cheap_enough_to_leave_in_hot_loops() {
+        // The recorder off-path is one relaxed atomic load; 10M disabled span!
+        // invocations must stay far below any measurable share of a benchmark run
+        // (generous bound: unoptimised test builds on loaded CI machines).
+        assert!(!hysortk_trace::enabled(hysortk_trace::Detail::Task));
+        let start = std::time::Instant::now();
+        for i in 0..10_000_000u64 {
+            let _s = hysortk_trace::span!("bench-disabled", hysortk_trace::Detail::Task, 0, i = i,);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        assert!(secs < 10.0, "10M disabled spans took {secs:.2}s");
     }
 
     #[test]

@@ -86,6 +86,14 @@ pub const METRICS: &[MetricSpec] = &[
         // more than same-machine speedup ratios do.
         tolerance: 0.50,
     },
+    MetricSpec {
+        file: "BENCH_e2e.json",
+        path: "stage_wall.total_mean",
+        higher_is_better: false,
+        // Measured (not modeled) mean rank wall; same hardware-variance slack as the
+        // throughput figure above.
+        tolerance: 0.50,
+    },
 ];
 
 /// Name of the override file, looked up next to the baselines.

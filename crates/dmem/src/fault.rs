@@ -29,6 +29,8 @@ use std::any::TypeId;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::time::Duration;
 
+use hysortk_trace as trace;
+
 use crate::error::DmemError;
 
 /// Where a fault fires: one rank, one stage label, one round (or collective phase).
@@ -355,9 +357,26 @@ impl FaultPlan {
         for fault in self.matching(rank, stage, round) {
             match &fault.kind {
                 FaultKind::DelayPost { millis } if fault.take_once() => {
+                    trace::instant(
+                        "fault:delay-post",
+                        trace::Detail::Stage,
+                        rank as u32,
+                        &[("round", round as u64), ("millis", *millis)],
+                    );
+                    trace::vlog!(
+                        rank,
+                        "fault delay-post fired at {stage}:{round} ({millis} ms)"
+                    );
                     std::thread::sleep(Duration::from_millis(*millis));
                 }
                 FaultKind::FailRank if fault.take_once() => {
+                    trace::instant(
+                        "fault:fail-rank",
+                        trace::Detail::Stage,
+                        rank as u32,
+                        &[("round", round as u64)],
+                    );
+                    trace::vlog!(rank, "fault fail-rank fired at {stage}:{round}");
                     return Err(DmemError::InjectedFault {
                         rank,
                         stage: stage.to_string(),
@@ -394,6 +413,17 @@ impl FaultPlan {
                     if len > *keep {
                         send.drain(start + *keep..start + len);
                         counts[*dest] = *keep;
+                        trace::instant(
+                            "fault:truncate-segment",
+                            trace::Detail::Stage,
+                            rank as u32,
+                            &[("round", round as u64), ("dest", *dest as u64)],
+                        );
+                        trace::vlog!(
+                            rank,
+                            "fault truncate-segment fired at {stage}:{round} \
+                             (dest {dest}, kept {keep} of {len})"
+                        );
                     }
                 }
                 FaultKind::CorruptSegment { dest, bit }
@@ -412,6 +442,17 @@ impl FaultPlan {
                         };
                         let byte = start + (*bit / 8) as usize % len;
                         bytes[byte] ^= 1 << (*bit % 8) as u8;
+                        trace::instant(
+                            "fault:corrupt-segment",
+                            trace::Detail::Stage,
+                            rank as u32,
+                            &[("round", round as u64), ("dest", *dest as u64)],
+                        );
+                        trace::vlog!(
+                            rank,
+                            "fault corrupt-segment fired at {stage}:{round} \
+                             (dest {dest}, bit {bit})"
+                        );
                     }
                 }
                 _ => {}
@@ -434,6 +475,8 @@ impl FaultPlan {
                     .is_ok()
                 {
                     fault.fired.store(true, Ordering::Release);
+                    trace::instant("fault:transient-io", trace::Detail::Stage, rank as u32, &[]);
+                    trace::vlog!(rank, "fault transient-io fired on ingest read");
                     return true;
                 }
             }

@@ -224,6 +224,14 @@ impl Cluster {
                 .filter_map(|r| r.as_ref().err())
                 .all(&recoverable);
             if failed > 0 && all_recoverable && recoveries < policy.max_attempts {
+                hysortk_trace::log_at(
+                    hysortk_trace::Verbosity::Verbose,
+                    0,
+                    format_args!(
+                        "recovery: respawning generation {} after {failed} rank failure(s)",
+                        recoveries + 1
+                    ),
+                );
                 let backoff = policy
                     .backoff
                     .saturating_mul(1u32 << recoveries.min(16) as u32);
@@ -257,6 +265,14 @@ impl Cluster {
                 let shared = Arc::clone(&shared);
                 handles.push(scope.spawn(move || {
                     let mut ctx = RankCtx::new(rank, Arc::clone(&shared), generation);
+                    if generation > 0 {
+                        hysortk_trace::instant(
+                            "recovery-generation",
+                            hysortk_trace::Detail::Stage,
+                            rank as u32,
+                            &[("generation", generation as u64)],
+                        );
+                    }
                     match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
                         Ok(out) => {
                             *res_slot = Some(out);

@@ -43,6 +43,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use hysortk_trace as trace;
+
 use crate::collectives::{AbortState, FlatReceived, ABORT_TICK, WAIT_DEADLINE};
 use crate::error::DmemError;
 use crate::fault::FaultPlan;
@@ -64,6 +66,9 @@ struct RoundSlot {
 /// The shared state of one in-flight exchange: `rounds × ranks` slots plus the posted
 /// counters the waiters sleep on.
 pub(crate) struct RoundBoard {
+    /// The exchange sequence number this board was checked out under; scopes
+    /// the trace flow-arrow ids so arrows of successive exchanges never pair.
+    seq: u64,
     ranks: usize,
     rounds: usize,
     /// How many ranks have posted each round; guarded by one mutex so waiters can
@@ -76,8 +81,9 @@ pub(crate) struct RoundBoard {
 }
 
 impl RoundBoard {
-    fn new(ranks: usize, rounds: usize) -> Self {
+    fn new(seq: u64, ranks: usize, rounds: usize) -> Self {
         RoundBoard {
+            seq,
             ranks,
             rounds,
             posted: Mutex::new(vec![0; rounds]),
@@ -116,7 +122,7 @@ impl BoardRegistry {
         let mut boards = self.boards.lock().unwrap_or_else(|e| e.into_inner());
         let entry = boards
             .entry(seq)
-            .or_insert_with(|| (Arc::new(RoundBoard::new(ranks, rounds)), 0));
+            .or_insert_with(|| (Arc::new(RoundBoard::new(seq, ranks, rounds)), 0));
         let board = Arc::clone(&entry.0);
         assert_eq!(
             (board.ranks, board.rounds),
@@ -217,6 +223,13 @@ impl RoundExchange {
         mut send: Vec<u8>,
         counts: &[usize],
     ) -> Result<(), DmemError> {
+        let _span = trace::span!(
+            "round-post",
+            trace::Detail::Round,
+            self.rank,
+            round = round,
+            bytes = send.len(),
+        );
         assert!(round < self.board.rounds, "round {round} out of range");
         assert!(!self.posted[round], "round {round} posted twice");
         assert_eq!(
@@ -283,7 +296,28 @@ impl RoundExchange {
         let mut posted = self.board.posted.lock().unwrap_or_else(|e| e.into_inner());
         posted[round] += 1;
         self.board.cv.notify_all();
+        drop(posted);
+        // Arrow origin: this post. Every receiver's completion is the target.
+        trace::flow(
+            "round-flight",
+            trace::Detail::Round,
+            self.rank as u32,
+            self.flow_id(self.rank, round),
+            true,
+        );
+        trace::counter(
+            "inflight-bytes",
+            trace::Detail::Round,
+            self.rank as u32,
+            self.inflight,
+        );
         Ok(())
+    }
+
+    /// Flow-arrow id of `(exchange, poster, round)` — agreed across ranks
+    /// because `seq` comes from the shared board.
+    fn flow_id(&self, poster: usize, round: usize) -> u64 {
+        (self.board.seq << 32) ^ ((poster as u64) << 20) ^ round as u64
     }
 
     /// Copy this rank's segments of `round` out of every poster's buffer into `into`.
@@ -302,6 +336,13 @@ impl RoundExchange {
                 );
             }
             into.displs.push(into.data.len());
+            trace::flow(
+                "round-flight",
+                trace::Detail::Round,
+                self.rank as u32,
+                self.flow_id(src, round),
+                false,
+            );
             if slot.readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Last reader: hand the spent buffer back to its poster for reuse.
                 let mut guard = slot.data.lock().unwrap_or_else(|e| e.into_inner());
@@ -315,6 +356,12 @@ impl RoundExchange {
         }
         self.inflight -= self.round_wire[round];
         self.completed[round] = true;
+        trace::counter(
+            "inflight-bytes",
+            trace::Detail::Round,
+            self.rank as u32,
+            self.inflight,
+        );
     }
 
     /// Complete `round` if every rank has posted it, filling `into` (cleared first)
@@ -353,6 +400,7 @@ impl RoundExchange {
         round: usize,
         into: &mut FlatReceived<u8>,
     ) -> Result<(), DmemError> {
+        let _span = trace::span!("round-wait", trace::Detail::Round, self.rank, round = round);
         assert!(round < self.board.rounds, "round {round} out of range");
         assert!(!self.completed[round], "round {round} completed twice");
         let start = Instant::now();

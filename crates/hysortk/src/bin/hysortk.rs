@@ -25,6 +25,7 @@ use hysortk_core::{CountResult, HySortKConfig, HysortkError};
 use hysortk_dmem::FaultPlan;
 use hysortk_dna::io::IngestOptions;
 use hysortk_dna::kmer::{Kmer1, Kmer2, KmerCode};
+use hysortk_trace::{Detail, Verbosity};
 
 const USAGE: &str = "\
 usage: hysortk count <files…> [options]
@@ -44,6 +45,17 @@ options:
   --no-overlap       bulk-synchronous exchange instead of the round engine
   --out <path>       write the multiplicity histogram TSV here (default stdout)
   -h, --help         this help
+
+observability:
+  --trace <path>        record a flight-recorder timeline of the run and write it
+                        as Chrome trace-event JSON (load in Perfetto or
+                        chrome://tracing; pid = rank, tid = worker thread)
+  --trace-detail <lvl>  trace granularity: stage (per-stage spans), round (adds
+                        per-round exchange lanes + flow arrows; default), task
+                        (adds per-task count spans and worker queue times)
+  -v, --verbose         rank-tagged progress on stderr: faults fired, I/O
+                        retries, recovery respawns, checkpoint commits
+  --quiet               suppress the run summary (errors still print)
 
 checkpointing & recovery:
   --checkpoint <dir>        commit an epoch manifest per rank after every committed
@@ -96,6 +108,9 @@ struct CliArgs {
     io_retries: Option<u32>,
     io_backoff_ms: Option<u64>,
     fault: Option<String>,
+    trace: Option<PathBuf>,
+    trace_detail: Detail,
+    verbosity: Verbosity,
 }
 
 /// `Ok(None)` means help was explicitly requested (usage on stdout, exit 0);
@@ -127,6 +142,9 @@ fn parse_args(mut args: std::env::Args) -> Result<Option<CliArgs>, String> {
         io_retries: None,
         io_backoff_ms: None,
         fault: None,
+        trace: None,
+        trace_detail: Detail::Round,
+        verbosity: Verbosity::Normal,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -171,6 +189,10 @@ fn parse_args(mut args: std::env::Args) -> Result<Option<CliArgs>, String> {
                 cli.io_backoff_ms = Some(parse_num(&value("--io-backoff-ms")?, "--io-backoff-ms")?)
             }
             "--fault" => cli.fault = Some(value("--fault")?),
+            "--trace" => cli.trace = Some(PathBuf::from(value("--trace")?)),
+            "--trace-detail" => cli.trace_detail = Detail::parse(&value("--trace-detail")?)?,
+            "-v" | "--verbose" => cli.verbosity = Verbosity::Verbose,
+            "--quiet" => cli.verbosity = Verbosity::Quiet,
             "-h" | "--help" => return Ok(None),
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
             file => cli.files.push(PathBuf::from(file)),
@@ -269,6 +291,9 @@ fn run<K: KmerCode>(cli: &CliArgs, cfg: &HySortKConfig) -> Result<(), HysortkErr
     }
 
     let report = &result.report;
+    if cli.verbosity == Verbosity::Quiet {
+        return Ok(());
+    }
     eprintln!(
         "[hysortk] {} file(s), k={} m={} ranks={} overlap={}",
         cli.files.len(),
@@ -315,6 +340,12 @@ fn run<K: KmerCode>(cli: &CliArgs, cfg: &HySortKConfig) -> Result<(), HysortkErr
         report.stage_times.summary(),
         wall,
     );
+    eprintln!(
+        "[hysortk] measured rank wall mean {:.3}s (straggler bound {:.3}s): {}",
+        report.stage_wall.total_mean(),
+        report.stage_wall.total_max(),
+        report.stage_wall.summary(),
+    );
     if let Some(path) = &cli.out {
         eprintln!("[hysortk] histogram written to {}", path.display());
     }
@@ -345,11 +376,42 @@ fn main() -> ExitCode {
         eprintln!("hysortk: invalid configuration: {e}");
         return ExitCode::from(2);
     }
+    hysortk_trace::set_verbosity(cli.verbosity);
+    if cli.trace.is_some() {
+        hysortk_trace::enable(cli.trace_detail);
+    }
     let outcome = if cli.k <= 32 {
         run::<Kmer1>(&cli, &cfg)
     } else {
         run::<Kmer2>(&cli, &cfg)
     };
+    // The trace is written even when the run failed: a timeline ending at the fault
+    // is exactly what post-mortem debugging wants.
+    if let Some(path) = &cli.trace {
+        let tr = hysortk_trace::collect();
+        if tr.dropped > 0 {
+            eprintln!(
+                "[hysortk] warning: {} trace event(s) dropped to ring-buffer wraps",
+                tr.dropped
+            );
+        }
+        match std::fs::write(path, tr.to_chrome_json()) {
+            Ok(()) => {
+                if cli.verbosity != Verbosity::Quiet {
+                    eprintln!(
+                        "[hysortk] trace ({} events, detail {}) written to {}",
+                        tr.events.len(),
+                        cli.trace_detail.name(),
+                        path.display()
+                    );
+                }
+            }
+            Err(e) => eprintln!(
+                "[hysortk] warning: cannot write trace {}: {e}",
+                path.display()
+            ),
+        }
+    }
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -40,6 +40,7 @@ use hysortk_dmem::FaultPlan;
 use hysortk_dmem::RankCtx;
 use hysortk_dna::kmer::KmerCode;
 use hysortk_task::ScratchBank;
+use hysortk_trace as trace;
 
 use crate::config::HySortKConfig;
 use crate::error::HysortkError;
@@ -595,6 +596,21 @@ impl<K: KmerCode> RoundCheckpointer<K> {
                 ckpt.base_histogram = state.histogram;
                 ckpt.base_received = state.received_records;
                 ckpt.base_precounted = state.precounted_records;
+                trace::instant(
+                    "checkpoint-restored",
+                    trace::Detail::Stage,
+                    rank as u32,
+                    &[
+                        ("next_round", state.next_round as u64),
+                        ("rounds_total", state.rounds_total as u64),
+                    ],
+                );
+                trace::vlog!(
+                    rank,
+                    "checkpoint restored: resuming at round {} of {}",
+                    state.next_round,
+                    state.rounds_total
+                );
                 ckpt.seed = Some(RestoredSeed {
                     tasks: state.tasks,
                     task_sizes: state.task_sizes,
@@ -721,11 +737,22 @@ impl<K: KmerCode> RoundCheckpointer<K> {
             &task_sizes[self.sizes_mark..],
             &tasks[self.tasks_mark..],
         );
+        let manifest_bytes = bytes.len() as u64;
         atomic_write(&self.dir, round, self.rank, self.fault.as_deref(), &bytes)?;
         self.prev_epoch = Some(round);
         self.tasks_mark = tasks.len();
         self.sizes_mark = task_sizes.len();
         self.epochs_committed += 1;
+        trace::instant(
+            "checkpoint-epoch",
+            trace::Detail::Stage,
+            self.rank as u32,
+            &[("round", round as u64), ("bytes", manifest_bytes)],
+        );
+        trace::vlog!(
+            self.rank,
+            "checkpoint epoch committed at round {round} ({manifest_bytes} manifest bytes)"
+        );
         Ok(())
     }
 }

@@ -50,7 +50,7 @@
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hysortk_dmem::{Cluster, FaultPlan, RankCtx, RecoveryPolicy};
 use hysortk_dna::extension::Extension;
@@ -60,6 +60,7 @@ use hysortk_dna::readset::Read;
 use hysortk_perfmodel::{PerfModel, SortAlgorithm};
 use hysortk_supermer::mmer::{MmerScorer, ScoreFunction};
 use hysortk_task::{ScratchBank, WorkerPool};
+use hysortk_trace as trace;
 
 use crate::config::HySortKConfig;
 use crate::error::HysortkError;
@@ -262,6 +263,16 @@ fn next_batch_with_retry(
             Err(e) if is_transient_io_error(&e) && attempt + 1 < attempts => {
                 attempt += 1;
                 counters.io_retries += 1;
+                trace::instant(
+                    "io-retry",
+                    trace::Detail::Stage,
+                    rank as u32,
+                    &[("attempt", u64::from(attempt))],
+                );
+                trace::vlog!(
+                    rank,
+                    "transient read failure (attempt {attempt}): {e}; retrying"
+                );
                 // Exponential base doubling per attempt (shift capped so a huge
                 // configured budget cannot overflow), plus deterministic jitter so
                 // simultaneous retries across ranks decorrelate.
@@ -291,12 +302,13 @@ fn rank_pipeline_from_files<K: KmerCode>(
     sorter: SortAlgorithm,
     opts: &IngestOptions,
 ) -> Result<RankOutput<K>, HysortkError> {
+    let rank_start = Instant::now();
     let rank = ctx.rank();
     let p = ctx.size();
     let k = cfg.k;
     let mut counters = RankCounters::default();
     let scorer = MmerScorer::new(cfg.m, ScoreFunction::Hash { seed: cfg.seed });
-    let pool = WorkerPool::new(cfg.workers_per_process(), cfg.threads_per_worker);
+    let pool = WorkerPool::new(cfg.workers_per_process(), cfg.threads_per_worker).for_rank(rank);
     let bank = ScratchBank::new();
 
     // The rank's packed reads, accumulated batch by batch. These must outlive stage 1:
@@ -312,10 +324,17 @@ fn rank_pipeline_from_files<K: KmerCode>(
         source,
     };
 
+    let ingest_span = trace::span!("stage1-ingest", trace::Detail::Stage, rank);
     match ShardReader::open(files, rank, p, opts.clone()) {
         Err(e) => ingest_error = Some(io_error(e)),
         Ok(mut shard) => loop {
-            let mut batch = match next_batch_with_retry(ctx, &mut shard, rank, cfg, &mut counters) {
+            let read_start = Instant::now();
+            let next = {
+                let _span = trace::span!("shard-read", trace::Detail::Round, rank);
+                next_batch_with_retry(ctx, &mut shard, rank, cfg, &mut counters)
+            };
+            counters.wall.ingest += read_start.elapsed().as_secs_f64();
+            let mut batch = match next {
                 Ok(Some(batch)) => batch,
                 Ok(None) => break,
                 Err(e) => {
@@ -341,6 +360,13 @@ fn rank_pipeline_from_files<K: KmerCode>(
                 )));
                 break;
             }
+            let parse_start = Instant::now();
+            let _parse_span = trace::span!(
+                "parse-batch",
+                trace::Detail::Round,
+                rank,
+                reads = batch.len(),
+            );
             for (i, read) in batch.iter_mut().enumerate() {
                 read.id = ((base + i as u64) * p as u64 + rank as u64) as u32;
                 counters.bases_parsed += read.len() as u64;
@@ -367,8 +393,10 @@ fn rank_pipeline_from_files<K: KmerCode>(
                 }
             }
             owned.extend(batch);
+            counters.wall.parse += parse_start.elapsed().as_secs_f64();
         },
     }
+    drop(ingest_span);
 
     let my_reads: Vec<&Read> = owned.iter().collect();
     let stage1: Stage1<K> = if cfg.use_supermers {
@@ -378,7 +406,11 @@ fn rank_pipeline_from_files<K: KmerCode>(
     };
     let output = stages_2_and_3(
         ctx, &my_reads, stage1, counters, cfg, num_tasks, sorter, &pool,
-    );
+    )
+    .map(|mut out| {
+        out.counters.wall.total = rank_start.elapsed().as_secs_f64();
+        out
+    });
     match ingest_error {
         Some(e) => Err(e),
         None => output,

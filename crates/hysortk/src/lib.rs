@@ -43,5 +43,5 @@ pub use ingest::{
 };
 pub use pipeline::count_kmers;
 pub use reference::{reference_counts, reference_counts_bounded, reference_extensions};
-pub use result::{CountResult, KmerHistogram, RunReport};
+pub use result::{CountResult, KmerHistogram, RunReport, StageWall, StageWallTimes};
 pub use wire::WireError;

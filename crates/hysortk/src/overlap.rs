@@ -36,10 +36,11 @@ use std::collections::BTreeMap;
 use hysortk_dmem::{FlatReceived, RankCtx};
 use hysortk_dna::kmer::KmerCode;
 use hysortk_task::{ScratchBank, WorkerPool};
+use hysortk_trace as trace;
 
 use crate::checkpoint::RoundCheckpointer;
 use crate::error::HysortkError;
-use crate::pipeline::SendSerializer;
+use crate::pipeline::{timed, SendSerializer, WallBuckets};
 use crate::stage3::{self, BlockIndexBuilder, CountParams, CountScratch, Stage3Output, TaskCounts};
 
 /// The task → round packing of one exchange, identical on every rank.
@@ -130,7 +131,9 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
     params: &CountParams,
     pool: &WorkerPool,
     mut ckpt: Option<&mut RoundCheckpointer<K>>,
+    wall: &mut WallBuckets,
 ) -> Result<OverlapRun<K>, HysortkError> {
+    let _stage_span = trace::span!("stage23-overlap", trace::Detail::Stage, ctx.rank());
     let p = ctx.size();
     let plan = plan_rounds(tasks_of, global_sizes, round_budget);
     // The plan derives from globally identical inputs (the assignment, the all-reduced
@@ -166,6 +169,13 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
                        task_sizes: &mut Vec<u64>,
                        decoded: &mut BTreeMap<u32, u64>|
      -> Result<(), HysortkError> {
+        let _span = trace::span!(
+            "overlap-count",
+            trace::Detail::Round,
+            rank,
+            round = round,
+            bytes = recv.data.len(),
+        );
         let mut builder = BlockIndexBuilder::<K>::new();
         for src in 0..p {
             builder
@@ -183,7 +193,16 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
             index.slots.iter().collect(),
             &bank,
             || CountScratch::new(params.max_count),
-            |scratch, slot| stage3::count_task(slot, k, params, scratch),
+            |scratch, slot| {
+                let _span = trace::span!(
+                    "count-task",
+                    trace::Detail::Task,
+                    rank,
+                    task = slot.task,
+                    records = slot.records,
+                );
+                stage3::count_task(slot, k, params, scratch)
+            },
         );
         all_tasks.extend(counted);
         Ok(())
@@ -228,7 +247,15 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
 
         // The first resumed round is serialised with nothing in flight: unavoidably
         // exposed pipeline fill.
-        let buf = serialize_round(ser, &engine, start, &mut counts);
+        let buf = timed(&mut wall.serialize, || {
+            let _span = trace::span!(
+                "overlap-serialize",
+                trace::Detail::Round,
+                rank,
+                round = start
+            );
+            serialize_round(ser, &engine, start, &mut counts)
+        });
         exposed_bytes += buf.len() as u64;
         let driven = (|| -> Result<(), HysortkError> {
             engine.post_round(0, buf, &counts)?;
@@ -236,7 +263,15 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
                 // Serialize round r+1 into a recycled back buffer while round r is
                 // in flight.
                 if r + 1 < rounds {
-                    let buf = serialize_round(ser, &engine, r + 1, &mut counts);
+                    let buf = timed(&mut wall.serialize, || {
+                        let _span = trace::span!(
+                            "overlap-serialize",
+                            trace::Detail::Round,
+                            rank,
+                            round = r + 1,
+                        );
+                        serialize_round(ser, &engine, r + 1, &mut counts)
+                    });
                     hidden_bytes += buf.len() as u64;
                     engine.post_round(r + 1 - start, buf, &counts)?;
                 }
@@ -246,36 +281,58 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
                 // sees the complete cumulative state).
                 if r > start {
                     hidden_bytes += previous.data.len() as u64;
-                    count_round(
-                        &previous,
-                        r - 1,
-                        &mut all_tasks,
-                        &mut task_sizes,
-                        &mut decoded,
-                    )?;
+                    timed(&mut wall.count, || {
+                        count_round(
+                            &previous,
+                            r - 1,
+                            &mut all_tasks,
+                            &mut task_sizes,
+                            &mut decoded,
+                        )
+                    })?;
                     if let Some(c) = ckpt.as_deref_mut() {
                         if c.should_commit(r - 1) {
-                            c.commit(r - 1, &all_tasks, &task_sizes, &decoded, &bank)?;
+                            timed(&mut wall.checkpoint, || {
+                                let _span = trace::span!(
+                                    "checkpoint-commit",
+                                    trace::Detail::Round,
+                                    rank,
+                                    round = r - 1,
+                                );
+                                c.commit(r - 1, &all_tasks, &task_sizes, &decoded, &bank)
+                            })?;
                         }
                     }
                 }
                 // Complete round r (blocks only if some rank has not posted it yet).
-                engine.wait_round(r - start, &mut current)?;
+                timed(&mut wall.exchange_wait, || {
+                    engine.wait_round(r - start, &mut current)
+                })?;
                 std::mem::swap(&mut current, &mut previous);
             }
             // The last round completes with nothing left in flight: exposed pipeline
             // drain.
             exposed_bytes += previous.data.len() as u64;
-            count_round(
-                &previous,
-                rounds - 1,
-                &mut all_tasks,
-                &mut task_sizes,
-                &mut decoded,
-            )?;
+            timed(&mut wall.count, || {
+                count_round(
+                    &previous,
+                    rounds - 1,
+                    &mut all_tasks,
+                    &mut task_sizes,
+                    &mut decoded,
+                )
+            })?;
             if let Some(c) = ckpt.as_deref_mut() {
                 if c.should_commit(rounds - 1) {
-                    c.commit(rounds - 1, &all_tasks, &task_sizes, &decoded, &bank)?;
+                    timed(&mut wall.checkpoint, || {
+                        let _span = trace::span!(
+                            "checkpoint-commit",
+                            trace::Detail::Round,
+                            rank,
+                            round = rounds - 1,
+                        );
+                        c.commit(rounds - 1, &all_tasks, &task_sizes, &decoded, &bank)
+                    })?;
                 }
             }
             Ok(())
@@ -307,7 +364,9 @@ pub(crate) fn exchange_and_count<K: KmerCode>(
         return Err(e);
     }
 
-    let mut out = Stage3Output::assemble(all_tasks, bank.into_scratches(), params.max_count);
+    let mut out = timed(&mut wall.count, || {
+        Stage3Output::assemble(all_tasks, bank.into_scratches(), params.max_count)
+    });
     if let Some(c) = ckpt {
         // The scratches only saw the rounds this generation recounted; fold the
         // restored cumulative histogram and decode counters back in.

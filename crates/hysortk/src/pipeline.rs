@@ -21,6 +21,8 @@
 //! counters in the returned [`RunReport`] are measurements, not estimates; only the
 //! conversion to seconds goes through the performance model.
 
+use std::time::Instant;
+
 use hysortk_dmem::{Cluster, CommStats, RankCtx};
 use hysortk_dna::extension::Extension;
 use hysortk_dna::kmer::KmerCode;
@@ -34,13 +36,77 @@ use hysortk_supermer::streaming::{for_each_supermer, SupermerScratch};
 use hysortk_task::{
     assign_greedy, detect_heavy_tasks, schedule_lpt, Assignment, ScratchBank, WorkerPool,
 };
+use hysortk_trace as trace;
 
 use crate::checkpoint::{run_fingerprint, sizes_hash, RoundCheckpointer};
 use crate::config::HySortKConfig;
 use crate::error::HysortkError;
-use crate::result::{CountResult, KmerHistogram, RunReport};
+use crate::result::{CountResult, KmerHistogram, RunReport, StageWallTimes};
 use crate::stage3::{self, CountParams};
 use crate::wire::{write_block, write_records_uncompressed, SupermerBlockWriter, TaskPayload};
+
+/// Measured wall-clock seconds of one rank, bucketed by pipeline stage. The
+/// buckets are accumulated with plain `Instant` deltas at a handful of sites
+/// per round — cheap enough to stay on unconditionally, independent of the
+/// tracing flag — and aggregated across ranks into
+/// [`StageWallTimes`] by [`merge_outputs`]. `total` spans the whole rank
+/// closure; the un-bucketed residue becomes the `other` stage, so the stages
+/// always sum to the rank's wall time.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WallBuckets {
+    pub(crate) ingest: f64,
+    pub(crate) parse: f64,
+    pub(crate) serialize: f64,
+    pub(crate) exchange_wait: f64,
+    pub(crate) count: f64,
+    pub(crate) checkpoint: f64,
+    pub(crate) merge: f64,
+    pub(crate) total: f64,
+}
+
+impl WallBuckets {
+    /// Stage names, in pipeline order, parallel to [`WallBuckets::to_stage_vec`].
+    pub(crate) const NAMES: [&'static str; 8] = [
+        "ingest",
+        "parse",
+        "serialize",
+        "exchange-wait",
+        "count",
+        "checkpoint",
+        "merge",
+        "other",
+    ];
+
+    /// The per-stage seconds, with everything `total` covers but no named
+    /// bucket caught as `other`.
+    pub(crate) fn to_stage_vec(self) -> Vec<f64> {
+        let named = self.ingest
+            + self.parse
+            + self.serialize
+            + self.exchange_wait
+            + self.count
+            + self.checkpoint
+            + self.merge;
+        vec![
+            self.ingest,
+            self.parse,
+            self.serialize,
+            self.exchange_wait,
+            self.count,
+            self.checkpoint,
+            self.merge,
+            (self.total - named).max(0.0),
+        ]
+    }
+}
+
+/// Run `f`, adding its wall time to `bucket`.
+pub(crate) fn timed<T>(bucket: &mut f64, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    *bucket += start.elapsed().as_secs_f64();
+    out
+}
 
 /// Work counters measured by one rank.
 #[derive(Debug, Clone, Default)]
@@ -65,6 +131,8 @@ pub(crate) struct RankCounters {
     pub(crate) io_retries: u64,
     /// Checkpoint epochs this rank committed (zero without a checkpoint directory).
     epochs_committed: u64,
+    /// Measured wall-clock seconds of this rank, bucketed by stage.
+    pub(crate) wall: WallBuckets,
 }
 
 /// Per-rank result of the pipeline.
@@ -72,7 +140,7 @@ pub(crate) struct RankOutput<K: KmerCode> {
     counts: Vec<(K, u64)>,
     extensions: Option<Vec<Vec<Extension>>>,
     histogram: KmerHistogram,
-    counters: RankCounters,
+    pub(crate) counters: RankCounters,
 }
 
 /// Compact send-side reference to one supermer: the read it was cut from (an index
@@ -343,6 +411,7 @@ fn rank_pipeline<K: KmerCode>(
     num_tasks: usize,
     sorter: SortAlgorithm,
 ) -> Result<RankOutput<K>, HysortkError> {
+    let rank_start = Instant::now();
     let rank = ctx.rank();
     let k = cfg.k;
     let mut counters = RankCounters::default();
@@ -354,8 +423,15 @@ fn rank_pipeline<K: KmerCode>(
     // into the packed reads are staged. The records ablation path keeps the simple
     // sequential per-read loop.
     let my_reads: Vec<&Read> = reads.reads()[ranges[rank].clone()].iter().collect();
-    let pool = WorkerPool::new(cfg.workers_per_process(), cfg.threads_per_worker);
+    let pool = WorkerPool::new(cfg.workers_per_process(), cfg.threads_per_worker).for_rank(rank);
 
+    let parse_start = Instant::now();
+    let parse_span = trace::span_with(
+        "stage1-parse",
+        trace::Detail::Stage,
+        rank as u32,
+        &[("reads", my_reads.len() as u64)],
+    );
     let stage1: Stage1<K> = if cfg.use_supermers {
         let bank = ScratchBank::new();
         let chunks = parse_supermers_parallel(&my_reads, 0, k, &scorer, num_tasks, &pool, &bank);
@@ -375,10 +451,14 @@ fn rank_pipeline<K: KmerCode>(
         }
         Stage1::Records(tasks)
     };
+    drop(parse_span);
+    counters.wall.parse += parse_start.elapsed().as_secs_f64();
 
-    stages_2_and_3(
+    let mut out = stages_2_and_3(
         ctx, &my_reads, stage1, counters, cfg, num_tasks, sorter, &pool,
-    )
+    )?;
+    out.counters.wall.total = rank_start.elapsed().as_secs_f64();
+    Ok(out)
 }
 
 /// Stage 1 in records (naive-exchange ablation) mode for one read: canonicalise every
@@ -441,7 +521,10 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
     // The "root retrieves data about the size of each task" step, realised as a
     // butterfly sum all-reduce so every rank computes the same assignment
     // deterministically at O(log p) vector transfers per rank.
-    let global_sizes = ctx.allreduce_sum_u64(&local_sizes, "task-sizes")?;
+    let global_sizes = timed(&mut counters.wall.exchange_wait, || {
+        let _span = trace::span!("allreduce-task-sizes", trace::Detail::Stage, ctx.rank());
+        ctx.allreduce_sum_u64(&local_sizes, "task-sizes")
+    })?;
 
     let assignment = if cfg.use_task_layer {
         assign_greedy(&global_sizes, p)
@@ -466,6 +549,11 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
     // k-mer width + mode) and the sizes hash (input identity) are what restore
     // validates a manifest chain against. Restore triggers on `--resume` and on
     // recovery respawns (`generation > 0`); a fresh run just records the directory.
+    let ckpt_open_start = Instant::now();
+    let open_span = cfg
+        .checkpoint_dir
+        .is_some()
+        .then(|| trace::span("checkpoint-open", trace::Detail::Stage, ctx.rank() as u32));
     let mut ckpt: Option<RoundCheckpointer<K>> = match &cfg.checkpoint_dir {
         Some(dir) => {
             let fingerprint = run_fingerprint::<K>(cfg, num_tasks);
@@ -481,6 +569,10 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
         }
         None => None,
     };
+    drop(open_span);
+    if cfg.checkpoint_dir.is_some() {
+        counters.wall.checkpoint += ckpt_open_start.elapsed().as_secs_f64();
+    }
 
     // ---------------- stages 2 + 3: serialise, exchange, sort & count ----------------
     // Both execution modes serialise every task through the same [`SendSerializer`]
@@ -530,6 +622,7 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
             &params,
             pool,
             ckpt.as_mut(),
+            &mut counters.wall,
         )?;
         counters.overlap_hidden_bytes = run.hidden_bytes;
         counters.overlap_exposed_bytes = run.exposed_bytes;
@@ -540,6 +633,8 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
         // Restore is deterministic over the shared directory and the fingerprint pins
         // the execution mode, so every rank takes this branch together — the run
         // stays SPMD-uniform with no rank waiting in a collective.
+        let restore_start = Instant::now();
+        let _span = trace::span!("checkpoint-restore", trace::Detail::Stage, ctx.rank());
         let (tasks, task_sizes, decoded, rounds_total) = restored;
         if let Err(source) =
             stage3::verify_decoded_totals(&decoded, &assignment.tasks_of[ctx.rank()], &global_sizes)
@@ -562,11 +657,14 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
             received_records,
             precounted_records,
         };
+        counters.wall.checkpoint += restore_start.elapsed().as_secs_f64();
         (out, task_sizes, rounds_total)
     } else {
         // One contiguous send buffer with per-destination counts (MPI `Alltoallv`
         // style): the assignment's task lists group each destination's blocks
         // contiguously.
+        let serialize_start = Instant::now();
+        let ser_span = trace::span!("stage2-serialize", trace::Detail::Stage, ctx.rank());
         let mut send: Vec<u8> = Vec::new();
         let mut send_counts = vec![0usize; p];
         for (dest, tasks) in assignment.tasks_of.iter().enumerate() {
@@ -576,14 +674,25 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
             }
             send_counts[dest] = send.len() - dest_start;
         }
+        drop(ser_span);
+        counters.wall.serialize += serialize_start.elapsed().as_secs_f64();
         let batch_bytes = cfg.batch_size * K::num_bytes(k);
-        let exchange =
-            ctx.alltoall_rounds_flat(send, &send_counts, batch_bytes.max(1), "exchange")?;
+        let exchange = timed(&mut counters.wall.exchange_wait, || {
+            let _span = trace::span_with(
+                "stage2-exchange",
+                trace::Detail::Stage,
+                ctx.rank() as u32,
+                &[("send_bytes", send.len() as u64)],
+            );
+            ctx.alltoall_rounds_flat(send, &send_counts, batch_bytes.max(1), "exchange")
+        })?;
 
         // One cheap header pass over the flat receive buffer builds the per-task block
         // index with exact record totals; the worker pool then runs the fused
         // decode→sort→count per task straight from the borrowed wire bytes (see
         // `crate::stage3`).
+        let count_start = Instant::now();
+        let count_span = trace::span!("stage3-count", trace::Detail::Stage, ctx.rank());
         let index = match stage3::build_block_index::<K, _>(
             (0..p).map(|src| exchange.received.from_rank(src)),
             k,
@@ -618,10 +727,14 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
             return Err(e);
         }
         let out = stage3::count_blocks_parallel(&index, k, &params, pool);
+        drop(count_span);
+        counters.wall.count += count_start.elapsed().as_secs_f64();
         // The bulk path has no intermediate round boundaries to persist at; it commits
         // one all-or-nothing epoch once everything is counted, so `--resume` (and an
         // in-run respawn) skips the exchange entirely instead of replaying part of it.
         if let Some(c) = ckpt.as_mut() {
+            let commit_start = Instant::now();
+            let _span = trace::span!("checkpoint-commit", trace::Detail::Stage, ctx.rank());
             let committed = c.set_rounds_total(exchange.rounds).and_then(|()| {
                 c.commit_cumulative(
                     exchange.rounds - 1,
@@ -639,6 +752,7 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
                 }
                 return Err(e);
             }
+            counters.wall.checkpoint += commit_start.elapsed().as_secs_f64();
         }
         (out, task_sizes, exchange.rounds)
     };
@@ -652,7 +766,10 @@ pub(crate) fn stages_2_and_3<K: KmerCode>(
     // ---------------- merge the task outputs of this rank ----------------------------
     // Tasks hold disjoint k-mer sets, so the merge is an in-place sort of the
     // concatenated `(k-mer, count)` pairs; extension ranges move, nothing is cloned.
-    let merged = stage3::merge_task_counts(stage3_out, &params);
+    let merged = timed(&mut counters.wall.merge, || {
+        let _span = trace::span!("merge-tasks", trace::Detail::Stage, ctx.rank());
+        stage3::merge_task_counts(stage3_out, &params)
+    });
 
     Ok(RankOutput {
         counts: merged.counts,
@@ -878,9 +995,16 @@ pub(crate) fn merge_outputs<K: KmerCode>(
         aux_fraction,
     ) + input_per_node;
 
+    // ---- measured wall-clock rollup ----------------------------------------------------
+    // Unlike the modeled stage times above these are raw `Instant` deltas, never
+    // projected through `data_scale`: they report the run that actually happened.
+    let wall_buckets: Vec<Vec<f64>> = counters.iter().map(|c| c.wall.to_stage_vec()).collect();
+    let stage_wall = StageWallTimes::from_rank_buckets(&WallBuckets::NAMES, &wall_buckets);
+
     let retained = counts.len() as u64;
     let report = RunReport {
         stage_times: stages,
+        stage_wall,
         comm: CommStats::aggregate(&comm),
         peak_memory_per_node: peak,
         sorter,

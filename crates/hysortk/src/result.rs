@@ -80,11 +80,96 @@ impl KmerHistogram {
     }
 }
 
+/// Measured wall-clock seconds of one pipeline stage, aggregated over ranks.
+/// Unlike the modeled [`StageTimes`], these are real `Instant` deltas from the
+/// run that just happened; min vs max exposes stragglers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageWall {
+    /// Stage name (`parse`, `serialize`, `exchange-wait`, `count`, …).
+    pub name: &'static str,
+    /// Fastest rank's seconds in this stage.
+    pub min: f64,
+    /// Mean seconds across ranks.
+    pub mean: f64,
+    /// Slowest rank's seconds in this stage (the straggler).
+    pub max: f64,
+}
+
+/// The measured wall-clock rollup of a run: per-stage min/mean/max over
+/// ranks. Stages partition each rank thread's wall time (the `other` bucket
+/// absorbs everything not covered by a named stage), so
+/// [`StageWallTimes::total_mean`] tracks the mean rank wall time and the sum
+/// over stages accounts for the whole run, not just the instrumented parts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageWallTimes {
+    /// Per-stage aggregates, in pipeline order.
+    pub stages: Vec<StageWall>,
+    /// Number of ranks aggregated.
+    pub ranks: usize,
+}
+
+impl StageWallTimes {
+    /// Aggregate per-rank stage buckets: `per_rank[r][s]` is rank `r`'s
+    /// seconds in stage `names[s]`.
+    pub fn from_rank_buckets(names: &[&'static str], per_rank: &[Vec<f64>]) -> Self {
+        let ranks = per_rank.len();
+        let stages = names
+            .iter()
+            .enumerate()
+            .map(|(s, &name)| {
+                let mut min = f64::INFINITY;
+                let mut max = 0.0f64;
+                let mut sum = 0.0f64;
+                for rank in per_rank {
+                    let v = rank.get(s).copied().unwrap_or(0.0);
+                    min = min.min(v);
+                    max = max.max(v);
+                    sum += v;
+                }
+                StageWall {
+                    name,
+                    min: if ranks == 0 { 0.0 } else { min },
+                    mean: if ranks == 0 { 0.0 } else { sum / ranks as f64 },
+                    max,
+                }
+            })
+            .collect();
+        StageWallTimes { stages, ranks }
+    }
+
+    /// Look one stage up by name.
+    pub fn get(&self, name: &str) -> Option<&StageWall> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of per-stage mean seconds — the mean rank wall time.
+    pub fn total_mean(&self) -> f64 {
+        self.stages.iter().map(|s| s.mean).sum()
+    }
+
+    /// Sum of per-stage straggler seconds (an upper bound on rank wall time).
+    pub fn total_max(&self) -> f64 {
+        self.stages.iter().map(|s| s.max).sum()
+    }
+
+    /// One-line `stage=mean(min..max)` rendering for the CLI summary.
+    pub fn summary(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| format!("{}={:.3}s({:.3}..{:.3})", s.name, s.mean, s.min, s.max))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
 /// Everything measured and modeled about one counting run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Per-stage modeled seconds (parse / exchange / sort / scan …).
     pub stage_times: StageTimes,
+    /// Per-stage *measured* wall-clock seconds with per-rank min/mean/max
+    /// (always collected; independent of the tracing flag).
+    pub stage_wall: StageWallTimes,
     /// Aggregated communication statistics from the simulated cluster.
     pub comm: CommStats,
     /// Modeled peak memory per node, bytes.
@@ -183,6 +268,32 @@ mod tests {
         assert_eq!(h.get(5), 1);
         assert_eq!(h.get(9), 1);
         assert_eq!(h.distinct(), 4);
+    }
+
+    #[test]
+    fn stage_wall_aggregates_min_mean_max_per_stage() {
+        let per_rank = vec![vec![1.0, 4.0], vec![3.0, 0.0], vec![2.0, 2.0]];
+        let wall = StageWallTimes::from_rank_buckets(&["parse", "count"], &per_rank);
+        assert_eq!(wall.ranks, 3);
+        let parse = wall.get("parse").unwrap();
+        assert_eq!((parse.min, parse.mean, parse.max), (1.0, 2.0, 3.0));
+        let count = wall.get("count").unwrap();
+        assert_eq!((count.min, count.mean, count.max), (0.0, 2.0, 4.0));
+        assert!((wall.total_mean() - 4.0).abs() < 1e-12);
+        assert!((wall.total_max() - 7.0).abs() < 1e-12);
+        assert!(wall.get("absent").is_none());
+        let line = wall.summary();
+        assert!(line.contains("parse=2.000s(1.000..3.000)"), "{line}");
+    }
+
+    #[test]
+    fn stage_wall_tolerates_short_rank_vectors() {
+        // A rank that never reached a stage (e.g. died early) reports no
+        // bucket for it; aggregation treats the missing entry as zero.
+        let per_rank = vec![vec![1.0], vec![]];
+        let wall = StageWallTimes::from_rank_buckets(&["parse", "count"], &per_rank);
+        assert_eq!(wall.get("parse").unwrap().max, 1.0);
+        assert_eq!(wall.get("count").unwrap().max, 0.0);
     }
 
     #[test]

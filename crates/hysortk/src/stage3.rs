@@ -37,6 +37,7 @@ use hysortk_sort::{
     kway_merge_by_key, merge_runs_with_counts, paradis_sort_from, raduls_sort, raduls_sort_with_aux,
 };
 use hysortk_task::WorkerPool;
+use hysortk_trace as trace;
 
 use crate::result::KmerHistogram;
 use crate::wire::{read_blocks, PayloadView, WireError};
@@ -491,10 +492,20 @@ pub fn count_blocks_parallel<K: KmerCode>(
     pool: &WorkerPool,
 ) -> Stage3Output<K> {
     let work: Vec<&TaskSlot<'_, K>> = index.slots.iter().collect();
+    let rank = pool.rank();
     let (tasks, scratches) = pool.execute_with_scratch(
         work,
         || CountScratch::new(params.max_count),
-        |scratch, slot| count_task(slot, k, params, scratch),
+        |scratch, slot| {
+            let _span = trace::span!(
+                "count-task",
+                trace::Detail::Task,
+                rank,
+                task = slot.task,
+                records = slot.records,
+            );
+            count_task(slot, k, params, scratch)
+        },
     );
     Stage3Output::assemble(tasks, scratches, params.max_count)
 }

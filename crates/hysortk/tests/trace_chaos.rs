@@ -1,0 +1,139 @@
+//! Chaos-harness × flight-recorder matrix.
+//!
+//! The recorder must be a pure observer: turning it on must not change any count,
+//! and the events it captures during an injected failure must tell the story — the
+//! fault firing, the cluster respawning a recovery generation, and every span
+//! properly nested on its thread. The whole matrix lives in ONE test because the
+//! recorder is process-global: parallel tests flipping `enable`/`disable` would
+//! race each other's collections.
+
+use std::sync::Arc;
+
+use hysortk_core::{count_kmers_from_files, count_kmers_from_files_faulted, HySortKConfig};
+use hysortk_dmem::{FaultKind, FaultPlan};
+use hysortk_dna::io::IngestOptions;
+use hysortk_dna::kmer::Kmer1;
+use hysortk_dna::{fasta, ReadSet};
+use hysortk_trace as trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn overlapping_reads(seed: u64) -> ReadSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let genome: Vec<u8> = (0..2_500).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+    let reads: Vec<Vec<u8>> = (0..80)
+        .map(|_| {
+            let start = rng.gen_range(0..genome.len() - 250);
+            genome[start..start + 250].to_vec()
+        })
+        .collect();
+    ReadSet::from_ascii_reads(&reads)
+}
+
+fn small_cfg(ranks: usize, overlap: bool) -> HySortKConfig {
+    let mut cfg = HySortKConfig::small(21, 9, ranks);
+    cfg.min_count = 1;
+    cfg.max_count = 1_000_000;
+    cfg.overlap = overlap;
+    cfg.recovery_attempts = 3;
+    cfg.recovery_backoff_ms = 1;
+    cfg
+}
+
+#[test]
+fn tracing_is_a_pure_observer_across_the_chaos_matrix() {
+    let reads = overlapping_reads(77);
+    let path = std::env::temp_dir().join(format!("hysortk_trace_chaos_{}.fa", std::process::id()));
+    fasta::write_fasta_file(&path, &reads, 70).unwrap();
+
+    for ranks in [1usize, 2, 7] {
+        for overlap in [false, true] {
+            let tag = format!("ranks={ranks} overlap={overlap}");
+            let cfg = small_cfg(ranks, overlap);
+
+            // Reference: tracing off. The recorder must stay silent.
+            trace::disable();
+            let _ = trace::collect(); // drain anything a previous cell left behind
+            let healthy = count_kmers_from_files::<Kmer1, _>(&[&path], &cfg).unwrap();
+            let silent = trace::collect();
+            assert!(
+                silent.events.is_empty(),
+                "{tag}: disabled recorder captured {} events",
+                silent.events.len()
+            );
+
+            // Same run with the recorder on at full detail: byte-identical answer.
+            trace::enable(trace::Detail::Task);
+            let traced = count_kmers_from_files::<Kmer1, _>(&[&path], &cfg).unwrap();
+            trace::disable();
+            let tr = trace::collect();
+            assert_eq!(
+                traced.counts, healthy.counts,
+                "{tag}: tracing changed counts"
+            );
+            assert_eq!(
+                traced.histogram, healthy.histogram,
+                "{tag}: tracing changed the histogram"
+            );
+            assert!(
+                !tr.events.is_empty(),
+                "{tag}: enabled recorder captured nothing"
+            );
+            tr.check_well_nested()
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            assert!(
+                tr.with_label("stage1-ingest").next().is_some(),
+                "{tag}: no ingest span in the trace"
+            );
+
+            // Chaos: a rank failure mid-exchange (recovered by respawning the
+            // generation) plus one transient ingest I/O error (absorbed by the
+            // retry loop). Counts still byte-identical, and the trace shows the
+            // fault, the retry and the recovery generation.
+            let plan = FaultPlan::new()
+                .with_fault(0, "exchange", 0, FaultKind::FailRank)
+                .with_fault(0, "ingest", 0, FaultKind::TransientIo { failures: 1 });
+            trace::enable(trace::Detail::Task);
+            let recovered = count_kmers_from_files_faulted::<Kmer1, _>(
+                &[&path],
+                &cfg,
+                IngestOptions::default(),
+                Arc::new(plan),
+            )
+            .unwrap();
+            trace::disable();
+            let tr = trace::collect();
+            assert_eq!(
+                recovered.counts, healthy.counts,
+                "{tag}: recovery changed counts"
+            );
+            assert_eq!(
+                recovered.histogram, healthy.histogram,
+                "{tag}: recovery changed the histogram"
+            );
+            assert!(
+                recovered.report.recoveries >= 1,
+                "{tag}: no recovery recorded"
+            );
+            tr.check_well_nested()
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            assert!(
+                tr.with_label("fault:fail-rank").next().is_some(),
+                "{tag}: injected rank failure left no trace event"
+            );
+            assert!(
+                tr.with_label("fault:transient-io").next().is_some(),
+                "{tag}: transient I/O fault left no trace event"
+            );
+            assert!(
+                tr.with_label("io-retry").next().is_some(),
+                "{tag}: ingest retry left no trace event"
+            );
+            assert!(
+                tr.with_label("recovery-generation").next().is_some(),
+                "{tag}: recovery generation left no trace event"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}

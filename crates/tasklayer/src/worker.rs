@@ -12,7 +12,9 @@
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
+use hysortk_trace as trace;
 use rayon::prelude::*;
 
 use crate::TaskId;
@@ -47,6 +49,11 @@ pub struct WorkerPool {
     workers: usize,
     threads_per_worker: usize,
     pool: Arc<rayon::ThreadPool>,
+    /// Rank attributed to trace events this pool emits. The backing rayon pool
+    /// is cached process-wide and *shared across simulated ranks*, so rank can
+    /// never be inferred from the worker thread — it is carried explicitly by
+    /// the pool handle, which is per-rank.
+    rank: u32,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -70,7 +77,20 @@ impl WorkerPool {
             workers,
             threads_per_worker,
             pool,
+            rank: 0,
         }
+    }
+
+    /// Attribute this pool handle's trace events to `rank` (see the `rank`
+    /// field: worker threads are shared, the handle is not).
+    pub fn for_rank(mut self, rank: usize) -> Self {
+        self.rank = rank as u32;
+        self
+    }
+
+    /// The rank this handle attributes trace events to (see [`WorkerPool::for_rank`]).
+    pub fn rank(&self) -> u32 {
+        self.rank
     }
 
     /// Number of workers.
@@ -147,11 +167,31 @@ impl WorkerPool {
         I: Fn() -> S + Sync + Send,
         F: Fn(&mut S, T) -> R + Sync + Send,
     {
+        let _span = trace::span!(
+            "pool-execute",
+            trace::Detail::Task,
+            self.rank,
+            tasks = tasks.len(),
+        );
+        // Queue time: from handing the tasks to the shared rayon pool until a
+        // worker segment actually starts running them.
+        let submit = trace::enabled(trace::Detail::Task).then(Instant::now);
+        let rank = self.rank;
         let per_thread: Vec<(S, Vec<R>)> = self.pool.install(|| {
             tasks
                 .into_par_iter()
                 .fold(
-                    || (init(), Vec::new()),
+                    || {
+                        if let Some(at) = submit {
+                            trace::instant(
+                                "worker-dequeue",
+                                trace::Detail::Task,
+                                rank,
+                                &[("queue_us", at.elapsed().as_micros() as u64)],
+                            );
+                        }
+                        (init(), Vec::new())
+                    },
                     |(mut scratch, mut out), task| {
                         out.push(f(&mut scratch, task));
                         (scratch, out)
