@@ -8,6 +8,8 @@
 //! cargo run -p hysortk-bench --release --bin repro -- bench-parse  # writes BENCH_parse.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-count  # writes BENCH_count.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-exchange  # writes BENCH_exchange.json
+//! cargo run -p hysortk-bench --release --bin repro -- bench-exchange --backend process
+//!                                                     # forked ranks only; writes BENCH_exchange.process.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-ingest  # writes BENCH_ingest.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-e2e    # writes BENCH_e2e.json
 //! cargo run -p hysortk-bench --release --bin repro -- bench-check  # perf ratchet vs baselines
@@ -151,11 +153,62 @@ fn bench_count() {
 }
 
 /// Time the end-to-end pipeline with the non-blocking round engine against the
-/// bulk-synchronous exchange on a multi-rank run, then write `BENCH_exchange.json` —
-/// the exchange-stage point on the repo's performance trajectory.
-fn bench_exchange() {
-    eprintln!("[repro] timing overlapped vs bulk exchange, 8 nodes x 16 ppn …");
-    let report = bench::bench_exchange();
+/// bulk-synchronous exchange, then write `BENCH_exchange.json` — the exchange-stage
+/// point on the repo's performance trajectory. `--backend thread` keeps the 128-rank
+/// in-process simulation only; `--backend process` measures the forked-rank backend
+/// (every byte over UNIX sockets) only; the default `both` runs the two and folds the
+/// process row into `BENCH_exchange.json`'s `backends` array. The process measurement
+/// is additionally written standalone as `BENCH_exchange.process.json`.
+fn bench_exchange(args: &[String]) {
+    let mut backend = "both".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" => match it.next() {
+                Some(b) if matches!(b.as_str(), "thread" | "process" | "both") => {
+                    backend = b.clone();
+                }
+                other => {
+                    eprintln!(
+                        "--backend wants thread, process or both (got {})",
+                        other.map_or("nothing", |s| s.as_str())
+                    );
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown bench-exchange flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = None;
+    if backend != "process" {
+        eprintln!("[repro] timing overlapped vs bulk exchange, 8 nodes x 16 ppn (thread) …");
+        report = Some(bench::bench_exchange());
+    }
+    if backend != "thread" {
+        eprintln!("[repro] timing overlapped vs bulk exchange, forked ranks (process) …");
+        let row = bench::bench_exchange_process(3);
+        println!(
+            "process backend on {} forked ranks ({} rounds): {:.2}x measured wall \
+             speedup of the overlapped exchange over bulk-synchronous",
+            row.ranks,
+            row.rounds,
+            row.wall_speedup()
+        );
+        let path = "BENCH_exchange.process.json";
+        match std::fs::write(path, row.to_json()) {
+            Ok(()) => eprintln!("[repro] wrote {path}"),
+            Err(e) => eprintln!("[repro] could not write {path}: {e}"),
+        }
+        if let Some(report) = report.as_mut() {
+            report.backends.push(row);
+        }
+    }
+
+    let Some(report) = report else { return };
     let json = report.to_json();
     print!("{json}");
     println!(
@@ -292,7 +345,7 @@ fn main() {
         "bench-sort" => bench_sort(),
         "bench-parse" => bench_parse(),
         "bench-count" => bench_count(),
-        "bench-exchange" => bench_exchange(),
+        "bench-exchange" => bench_exchange(&std::env::args().skip(2).collect::<Vec<_>>()),
         "bench-ingest" => bench_ingest(),
         "bench-e2e" => bench_e2e(),
         "bench-check" => bench_check(&std::env::args().skip(2).collect::<Vec<_>>()),

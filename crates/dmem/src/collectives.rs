@@ -2,9 +2,11 @@
 //!
 //! The collectives follow MPI semantics in SPMD style: every rank must call the same
 //! sequence of collectives with compatible types, and each call is a synchronisation
-//! point. Data moves through a shared *exchange board* — one posting slot per rank plus
-//! a reusable barrier — so a rank can only observe another rank's data by receiving it
-//! through a collective, mirroring real distributed memory.
+//! point. Data moves through the rank's [`Transport`] — byte segments between
+//! rank-private buffers — so a rank can only observe another rank's data by receiving
+//! it through a collective, mirroring real distributed memory. Payloads of the
+//! matrix collectives are encoded with the [`Wire`](crate::wire::Wire) codec; the
+//! hot flat exchanges reinterpret [`Pod`] element buffers as bytes directly.
 //!
 //! Every collective returns `Result<_, DmemError>`: when any rank fails (panics, hits
 //! an injected fault, or publishes a local error via [`RankCtx::abort`]), a
@@ -12,159 +14,22 @@
 //! wait unblocks promptly with [`DmemError::PeerFailed`] naming the failing rank —
 //! a failing rank can no longer hang its peers.
 
-use std::any::Any;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
 use crate::error::DmemError;
 use crate::fault::FaultPlan;
-use crate::nonblocking::{BoardRegistry, RoundExchange};
+use crate::nonblocking::RoundExchange;
 use crate::stats::CommStats;
-
-/// Poll interval of abortable waits: how quickly a blocked rank notices an abort.
-pub(crate) const ABORT_TICK: Duration = Duration::from_millis(2);
-
-/// Backstop deadline of abortable waits: a rank that observes neither completion nor
-/// an abort for this long gives up with [`DmemError::Timeout`] instead of hanging.
-pub(crate) const WAIT_DEADLINE: Duration = Duration::from_secs(30);
-
-/// Cluster-wide abort flag: the first failure wins and is broadcast to every blocked
-/// rank. `publish` is idempotent — later failures keep the first (root-cause) record.
-pub(crate) struct AbortState {
-    flag: AtomicBool,
-    info: Mutex<Option<(usize, String)>>,
-}
-
-impl AbortState {
-    pub(crate) fn new() -> Self {
-        AbortState {
-            flag: AtomicBool::new(false),
-            info: Mutex::new(None),
-        }
-    }
-
-    /// Record that `rank` failed with `detail` and raise the abort flag. First-wins:
-    /// if an abort is already published this is a no-op, so re-publishing an observed
-    /// `PeerFailed` never overwrites the root cause.
-    pub(crate) fn publish(&self, rank: usize, detail: &str) {
-        {
-            let mut info = self.info.lock().unwrap_or_else(|e| e.into_inner());
-            if info.is_none() {
-                *info = Some((rank, detail.to_string()));
-            }
-        }
-        self.flag.store(true, Ordering::Release);
-    }
-
-    /// The abort as seen by a peer blocked at `round`, if one has been published.
-    pub(crate) fn peer_failure(&self, round: usize) -> Option<DmemError> {
-        if !self.flag.load(Ordering::Acquire) {
-            return None;
-        }
-        let info = self.info.lock().unwrap_or_else(|e| e.into_inner());
-        let (rank, detail) = info
-            .clone()
-            .unwrap_or((usize::MAX, "unidentified rank failure".to_string()));
-        Some(DmemError::PeerFailed {
-            rank,
-            round,
-            detail,
-        })
-    }
-}
-
-/// A reusable barrier whose waiters poll the cluster abort flag: when a peer fails
-/// and never arrives, every waiter returns [`DmemError::PeerFailed`] instead of
-/// parking forever (with [`DmemError::Timeout`] as the backstop).
-pub(crate) struct AbortableBarrier {
-    size: usize,
-    /// `(waiting count, generation)`; a generation bump releases the current cohort.
-    state: Mutex<(usize, u64)>,
-    cv: Condvar,
-}
-
-impl AbortableBarrier {
-    fn new(size: usize) -> Self {
-        AbortableBarrier {
-            size,
-            state: Mutex::new((0, 0)),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn wait(&self, abort: &AbortState, label: &str, round: usize) -> Result<(), DmemError> {
-        if let Some(e) = abort.peer_failure(round) {
-            return Err(e);
-        }
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        state.0 += 1;
-        if state.0 == self.size {
-            state.0 = 0;
-            state.1 = state.1.wrapping_add(1);
-            self.cv.notify_all();
-            return Ok(());
-        }
-        let generation = state.1;
-        let start = Instant::now();
-        loop {
-            let (guard, _) = self
-                .cv
-                .wait_timeout(state, ABORT_TICK)
-                .unwrap_or_else(|e| e.into_inner());
-            state = guard;
-            if state.1 != generation {
-                return Ok(());
-            }
-            if let Some(e) = abort.peer_failure(round) {
-                state.0 -= 1;
-                return Err(e);
-            }
-            if start.elapsed() >= WAIT_DEADLINE {
-                state.0 -= 1;
-                return Err(DmemError::Timeout {
-                    label: label.to_string(),
-                    round,
-                    waited_ms: start.elapsed().as_millis() as u64,
-                });
-            }
-        }
-    }
-}
-
-pub(crate) struct Shared {
-    size: usize,
-    barrier: AbortableBarrier,
-    slots: Vec<Mutex<Option<Box<dyn Any + Send>>>>,
-    /// Round boards of in-flight non-blocking exchanges (see [`crate::nonblocking`]).
-    round_boards: BoardRegistry,
-    /// Cluster-wide abort flag, shared with every round exchange.
-    abort: Arc<AbortState>,
-    /// The active fault-injection plan, if any; `None` costs one branch per collective.
-    fault: Option<Arc<FaultPlan>>,
-}
-
-impl Shared {
-    pub(crate) fn new(size: usize, fault: Option<Arc<FaultPlan>>) -> Self {
-        Shared {
-            size,
-            barrier: AbortableBarrier::new(size),
-            slots: (0..size).map(|_| Mutex::new(None)).collect(),
-            round_boards: BoardRegistry::default(),
-            abort: Arc::new(AbortState::new()),
-            fault,
-        }
-    }
-
-    pub(crate) fn abort_state(&self) -> &AbortState {
-        &self.abort
-    }
-}
+use crate::transport::Transport;
+use crate::wire::{self, Pod, Wire};
 
 /// The per-rank handle passed to the closure given to [`crate::Cluster::run`].
 pub struct RankCtx {
     rank: usize,
-    shared: Arc<Shared>,
+    size: usize,
+    transport: Arc<dyn Transport>,
+    /// The active fault-injection plan, if any; `None` costs one branch per collective.
+    fault: Option<Arc<FaultPlan>>,
     stats: CommStats,
     /// Sequence number of the next non-blocking round exchange this rank opens; the
     /// SPMD discipline makes the N-th exchange of every rank resolve to one board.
@@ -232,11 +97,18 @@ pub struct FlatRoundedExchange<T> {
 }
 
 impl RankCtx {
-    pub(crate) fn new(rank: usize, shared: Arc<Shared>, generation: usize) -> Self {
-        let size = shared.size;
+    pub(crate) fn new(
+        rank: usize,
+        transport: Arc<dyn Transport>,
+        fault: Option<Arc<FaultPlan>>,
+        generation: usize,
+    ) -> Self {
+        let size = transport.size();
         RankCtx {
             rank,
-            shared,
+            size,
+            transport,
+            fault,
             stats: CommStats::new(size),
             nb_seq: 0,
             generation,
@@ -258,7 +130,12 @@ impl RankCtx {
 
     /// Number of ranks in the cluster.
     pub fn size(&self) -> usize {
-        self.shared.size
+        self.size
+    }
+
+    /// Which backend this rank runs on (thread or process).
+    pub fn backend(&self) -> crate::transport::Backend {
+        self.transport.backend()
     }
 
     /// Which recovery generation this rank belongs to: 0 on a cluster's first run,
@@ -278,13 +155,13 @@ impl RankCtx {
     /// [`Cluster::with_fault_plan`](crate::Cluster::with_fault_plan). The ingest layer
     /// uses this to route transient-I/O faults through the real retry path.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
-        self.shared.fault.as_deref()
+        self.fault.as_deref()
     }
 
     /// Owned handle on the active fault plan, for components (like a checkpoint
     /// writer) that outlive a single borrow of the context.
     pub fn fault_plan_arc(&self) -> Option<Arc<FaultPlan>> {
-        self.shared.fault.clone()
+        self.fault.clone()
     }
 
     /// Publish a cluster-wide abort naming this rank: every peer currently blocked in
@@ -295,32 +172,35 @@ impl RankCtx {
     /// inside collectives — otherwise those peers would wait for posts that will
     /// never come.
     pub fn abort(&self, detail: &str) {
-        self.shared.abort.publish(self.rank, detail);
+        self.transport.publish_abort(self.rank, detail);
     }
 
     /// Synchronise all ranks. Fails with [`DmemError::PeerFailed`] when a rank
     /// aborts instead of arriving.
     pub fn barrier(&self) -> Result<(), DmemError> {
-        let result = self.shared.barrier.wait(&self.shared.abort, "barrier", 0);
+        let result = self.transport.barrier("barrier", 0);
         if let Err(e) = &result {
-            self.shared.abort.publish(self.rank, &e.to_string());
+            self.publish_local_failure(e);
         }
         result
     }
 
-    fn slot(&self, rank: usize) -> MutexGuard<'_, Option<Box<dyn Any + Send>>> {
-        // A poisoned slot just means some rank panicked mid-collective; the data is a
-        // plain posting and the abort machinery handles the failure, so recover it.
-        self.shared.slots[rank]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+    /// Publish a cluster-wide abort for an error that originated on this rank.
+    /// A [`DmemError::PeerFailed`] is an *observation* of someone else's abort,
+    /// not a new failure — re-publishing it would re-announce the abort under
+    /// this rank's name and could overtake the original on another backend's
+    /// fan-out, so echoes are deliberately not forwarded.
+    fn publish_local_failure(&self, e: &DmemError) {
+        if !matches!(e, DmemError::PeerFailed { .. }) {
+            self.transport.publish_abort(self.rank, &e.to_string());
+        }
     }
 
     /// Core primitive: every rank posts one vector of items per destination and receives
     /// one vector per source. Returns `received[src]`. Does not record statistics —
     /// the public collectives wrap this and do their own accounting. Any failure
     /// publishes a cluster-wide abort before returning, so no peer is left waiting.
-    fn exchange_matrix<T: Clone + Send + 'static>(
+    fn exchange_matrix<T: Wire + Clone + Send + 'static>(
         &self,
         send: Vec<Vec<T>>,
         label: &str,
@@ -328,21 +208,21 @@ impl RankCtx {
     ) -> Result<Vec<Vec<T>>, DmemError> {
         let result = self.exchange_matrix_inner(send, label, round);
         if let Err(e) = &result {
-            self.shared.abort.publish(self.rank, &e.to_string());
+            self.publish_local_failure(e);
         }
         result
     }
 
-    fn exchange_matrix_inner<T: Clone + Send + 'static>(
+    fn exchange_matrix_inner<T: Wire + Clone + Send + 'static>(
         &self,
         send: Vec<Vec<T>>,
         label: &str,
         round: usize,
     ) -> Result<Vec<Vec<T>>, DmemError> {
-        if let Some(e) = self.shared.abort.peer_failure(round) {
+        if let Some(e) = self.transport.peer_failure(round) {
             return Err(e);
         }
-        if let Some(plan) = &self.shared.fault {
+        if let Some(plan) = &self.fault {
             plan.apply_control(self.rank, label, round)?;
         }
         assert_eq!(
@@ -350,44 +230,29 @@ impl RankCtx {
             self.size(),
             "send matrix must have one row per destination"
         );
-        // Post.
-        *self.slot(self.rank) = Some(Box::new(send));
-        if let Err(e) = self.shared.barrier.wait(&self.shared.abort, label, round) {
-            *self.slot(self.rank) = None;
-            return Err(e);
-        }
-        // Read own column.
-        let mut received: Vec<Vec<T>> = Vec::with_capacity(self.size());
-        for src in 0..self.size() {
-            let slot = self.slot(src);
-            let posted = slot
-                .as_ref()
-                .ok_or_else(|| {
-                    DmemError::Protocol(format!(
-                        "collective mismatch in '{label}': rank {src} posted nothing"
-                    ))
-                })?
-                .downcast_ref::<Vec<Vec<T>>>()
-                .ok_or_else(|| {
+        let segments: Vec<Vec<u8>> = send.iter().map(wire::to_bytes).collect();
+        let received = self.transport.exchange(label, round, segments)?;
+        received
+            .iter()
+            .enumerate()
+            .map(|(src, seg)| {
+                wire::from_bytes::<Vec<T>>(seg).ok_or_else(|| {
                     DmemError::Protocol(format!(
                         "collective mismatch in '{label}': rank {src} posted an \
                          inconsistent element type"
                     ))
-                })?;
-            received.push(posted[self.rank].clone());
-        }
-        // Wait until everyone has read before clearing our slot for the next collective.
-        self.shared.barrier.wait(&self.shared.abort, label, round)?;
-        *self.slot(self.rank) = None;
-        Ok(received)
+                })
+            })
+            .collect()
     }
 
     /// Flat-buffer core primitive: every rank posts one contiguous buffer plus
     /// per-destination counts; rank `dst`'s segment is
     /// `send[displs[dst]..displs[dst + 1]]`. Each receiver copies exactly one segment
     /// per source into its flat receive buffer — no nested per-destination vectors, no
-    /// per-block allocations. Does not record statistics.
-    fn exchange_flat<T: Copy + Send + 'static>(
+    /// per-element encoding ([`Pod`] buffers go on the wire as raw bytes). Does not
+    /// record statistics.
+    fn exchange_flat<T: Pod>(
         &self,
         send: Vec<T>,
         counts: &[usize],
@@ -396,19 +261,19 @@ impl RankCtx {
     ) -> Result<FlatReceived<T>, DmemError> {
         let result = self.exchange_flat_inner(send, counts, label, round);
         if let Err(e) = &result {
-            self.shared.abort.publish(self.rank, &e.to_string());
+            self.publish_local_failure(e);
         }
         result
     }
 
-    fn exchange_flat_inner<T: Copy + Send + 'static>(
+    fn exchange_flat_inner<T: Pod>(
         &self,
         mut send: Vec<T>,
         counts: &[usize],
         label: &str,
         round: usize,
     ) -> Result<FlatReceived<T>, DmemError> {
-        if let Some(e) = self.shared.abort.peer_failure(round) {
+        if let Some(e) = self.transport.peer_failure(round) {
             return Err(e);
         }
         assert_eq!(
@@ -417,7 +282,7 @@ impl RankCtx {
             "one count per destination required"
         );
         let mut counts_owned;
-        let counts: &[usize] = if let Some(plan) = &self.shared.fault {
+        let counts: &[usize] = if let Some(plan) = &self.fault {
             counts_owned = counts.to_vec();
             plan.apply_to_segments(self.rank, label, round, &mut send, &mut counts_owned)?;
             &counts_owned
@@ -432,38 +297,22 @@ impl RankCtx {
             displs.push(acc);
         }
         assert_eq!(acc, send.len(), "counts must sum to the send buffer length");
-        // Post the flat buffer with its displacements.
-        *self.slot(self.rank) = Some(Box::new((send, displs)));
-        if let Err(e) = self.shared.barrier.wait(&self.shared.abort, label, round) {
-            *self.slot(self.rank) = None;
-            return Err(e);
-        }
-        // Read own segment from every source's posting.
+        let segments: Vec<Vec<u8>> = (0..self.size())
+            .map(|dst| wire::pod_bytes(&send[displs[dst]..displs[dst + 1]]).to_vec())
+            .collect();
+        let received = self.transport.exchange(label, round, segments)?;
         let mut recv_displs = Vec::with_capacity(self.size() + 1);
         recv_displs.push(0);
         let mut data: Vec<T> = Vec::new();
-        for src in 0..self.size() {
-            let slot = self.slot(src);
-            let (posted, posted_displs) = slot
-                .as_ref()
-                .ok_or_else(|| {
-                    DmemError::Protocol(format!(
-                        "collective mismatch in '{label}': rank {src} posted nothing"
-                    ))
-                })?
-                .downcast_ref::<(Vec<T>, Vec<usize>)>()
-                .ok_or_else(|| {
-                    DmemError::Protocol(format!(
-                        "collective mismatch in '{label}': rank {src} posted an \
-                         inconsistent element type"
-                    ))
-                })?;
-            data.extend_from_slice(&posted[posted_displs[self.rank]..posted_displs[self.rank + 1]]);
+        for (src, seg) in received.iter().enumerate() {
+            wire::extend_from_pod_bytes(&mut data, seg).ok_or_else(|| {
+                DmemError::Protocol(format!(
+                    "collective mismatch in '{label}': rank {src} posted an \
+                     inconsistent element type"
+                ))
+            })?;
             recv_displs.push(data.len());
         }
-        // Wait until everyone has read before clearing our slot for the next collective.
-        self.shared.barrier.wait(&self.shared.abort, label, round)?;
-        *self.slot(self.rank) = None;
         Ok(FlatReceived {
             data,
             displs: recv_displs,
@@ -472,7 +321,7 @@ impl RankCtx {
 
     /// Irregular all-to-all (`MPI_Alltoallv`): `send[dst]` goes to rank `dst`; returns
     /// `received[src]`. Traffic is recorded under `label`.
-    pub fn alltoallv<T: Clone + Send + 'static>(
+    pub fn alltoallv<T: Wire + Clone + Send + 'static>(
         &mut self,
         send: Vec<Vec<T>>,
         label: &str,
@@ -539,7 +388,7 @@ impl RankCtx {
     ///
     /// The returned data is identical to [`RankCtx::alltoallv`]; what differs is the
     /// recorded traffic (padding) and round count, which the performance model uses.
-    pub fn alltoall_rounds<T: Clone + Send + 'static>(
+    pub fn alltoall_rounds<T: Wire + Clone + Send + 'static>(
         &mut self,
         send: Vec<Vec<T>>,
         batch: usize,
@@ -559,7 +408,7 @@ impl RankCtx {
     /// one contiguous send buffer whose segment `dst` holds `counts[dst]` elements.
     /// Moves exactly one segment per rank pair and returns a flat receive buffer.
     /// Traffic is recorded under `label`, byte-identically to [`RankCtx::alltoallv`].
-    pub fn alltoallv_flat<T: Copy + Send + 'static>(
+    pub fn alltoallv_flat<T: Pod>(
         &mut self,
         send: Vec<T>,
         counts: &[usize],
@@ -584,7 +433,7 @@ impl RankCtx {
     /// padded exchange pattern (§3.3.1) and identical traffic accounting, but the
     /// payload moves as one flat buffer plus counts instead of nested per-destination
     /// vectors.
-    pub fn alltoall_rounds_flat<T: Copy + Send + 'static>(
+    pub fn alltoall_rounds_flat<T: Pod>(
         &mut self,
         send: Vec<T>,
         counts: &[usize],
@@ -613,18 +462,19 @@ impl RankCtx {
         assert!(rounds > 0, "a round exchange needs at least one round");
         let seq = self.nb_seq;
         self.nb_seq += 1;
-        let board = self.shared.round_boards.checkout(seq, self.size(), rounds);
+        self.transport.round_open(seq, rounds);
         RoundExchange::new(
-            board,
+            Arc::clone(&self.transport),
+            seq,
+            rounds,
             self.rank,
             label,
-            Arc::clone(&self.shared.abort),
-            self.shared.fault.clone(),
+            self.fault.clone(),
         )
     }
 
     /// All-gather a single value from every rank (indexed by rank).
-    pub fn allgather<T: Clone + Send + 'static>(
+    pub fn allgather<T: Wire + Clone + Send + 'static>(
         &mut self,
         value: T,
         label: &str,
@@ -652,7 +502,7 @@ impl RankCtx {
     /// the same result (MPI requires the same determinism from its reduction ops).
     pub fn allreduce<T, F>(&mut self, value: T, label: &str, combine: F) -> Result<T, DmemError>
     where
-        T: Clone + Send + 'static,
+        T: Wire + Clone + Send + 'static,
         F: Fn(T, T) -> T,
     {
         let mut gathered = self.allgather(value, label)?.into_iter();
@@ -794,7 +644,7 @@ impl RankCtx {
     }
 
     /// Gather one value per rank at `root`; other ranks receive `None`.
-    pub fn gather<T: Clone + Send + 'static>(
+    pub fn gather<T: Wire + Clone + Send + 'static>(
         &mut self,
         value: T,
         root: usize,
@@ -841,7 +691,7 @@ impl RankCtx {
 
     /// Broadcast `value` from `root` to every rank (non-root ranks pass their own value,
     /// which is ignored, mirroring `MPI_Bcast`'s in-place buffer semantics).
-    pub fn broadcast<T: Clone + Send + 'static>(
+    pub fn broadcast<T: Wire + Clone + Send + 'static>(
         &mut self,
         value: T,
         root: usize,
@@ -880,7 +730,7 @@ impl RankCtx {
 
     /// Scatter task assignments from `root`: `parts[dst]` (only meaningful at the root)
     /// is delivered to rank `dst`.
-    pub fn scatter<T: Clone + Send + 'static>(
+    pub fn scatter<T: Wire + Clone + Send + 'static>(
         &mut self,
         parts: Vec<Vec<T>>,
         root: usize,

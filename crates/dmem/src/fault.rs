@@ -304,6 +304,40 @@ impl FaultPlan {
             .count()
     }
 
+    /// Snapshot the per-fault firing state (`fired`, `remaining`), in plan order.
+    ///
+    /// The process backend uses this to carry fault state across the process
+    /// boundary: children report their snapshot home over the control socket and
+    /// the parent folds it into its copy of the plan with
+    /// [`FaultPlan::absorb_state`], so a fail-once fault does not re-fire when a
+    /// recovery generation forks fresh rank processes.
+    pub fn snapshot_state(&self) -> Vec<(bool, u32)> {
+        self.faults
+            .iter()
+            .map(|f| {
+                (
+                    f.fired.load(Ordering::Acquire),
+                    f.remaining.load(Ordering::Acquire),
+                )
+            })
+            .collect()
+    }
+
+    /// Fold a child's [`FaultPlan::snapshot_state`] into this plan: a fault is fired
+    /// if any process fired it, and the transient budget is the minimum remaining
+    /// anywhere. Ignores snapshots of the wrong length (a mismatched plan).
+    pub fn absorb_state(&self, state: &[(bool, u32)]) {
+        if state.len() != self.faults.len() {
+            return;
+        }
+        for (fault, &(fired, remaining)) in self.faults.iter().zip(state) {
+            if fired {
+                fault.fired.store(true, Ordering::Release);
+            }
+            fault.remaining.fetch_min(remaining, Ordering::AcqRel);
+        }
+    }
+
     /// One-line description of the plan, for chaos logs.
     pub fn describe(&self) -> String {
         let faults: Vec<String> = self

@@ -1,0 +1,435 @@
+//! The in-process backend: ranks are OS threads, bytes move through a shared board.
+//!
+//! This is the original simulator substrate, now living behind the
+//! [`Transport`] trait. Data still moves through a shared *exchange board* — one
+//! posting slot per rank plus a reusable abortable barrier — so a rank can only
+//! observe another rank's bytes by receiving them through a collective, mirroring
+//! real distributed memory. The non-blocking round engine's shared state (the
+//! *round board*: `rounds × ranks` slots plus posted counters waiters sleep on)
+//! also lives here; [`RoundExchange`](crate::nonblocking::RoundExchange) drives it
+//! through the `round_*` trait entry points.
+//!
+//! Every blocking wait observes the cluster-wide abort flag, so a failing rank
+//! unblocks its peers with [`DmemError::PeerFailed`] instead of hanging them, with
+//! a wall-clock deadline as the backstop — semantics identical to the
+//! pre-`Transport` implementation, down to the error strings.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::error::DmemError;
+use crate::transport::{AbortState, Backend, Transport, ABORT_TICK, WAIT_DEADLINE};
+
+/// A reusable barrier whose waiters poll the cluster abort flag: when a peer fails
+/// and never arrives, every waiter returns [`DmemError::PeerFailed`] instead of
+/// parking forever (with [`DmemError::Timeout`] as the backstop).
+pub(crate) struct AbortableBarrier {
+    size: usize,
+    /// `(waiting count, generation)`; a generation bump releases the current cohort.
+    state: Mutex<(usize, u64)>,
+    cv: Condvar,
+}
+
+impl AbortableBarrier {
+    fn new(size: usize) -> Self {
+        AbortableBarrier {
+            size,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self, abort: &AbortState, label: &str, round: usize) -> Result<(), DmemError> {
+        if let Some(e) = abort.peer_failure(round) {
+            return Err(e);
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.0 += 1;
+        if state.0 == self.size {
+            state.0 = 0;
+            state.1 = state.1.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let generation = state.1;
+        let start = Instant::now();
+        loop {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(state, ABORT_TICK)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+            if state.1 != generation {
+                return Ok(());
+            }
+            if let Some(e) = abort.peer_failure(round) {
+                state.0 -= 1;
+                return Err(e);
+            }
+            if start.elapsed() >= WAIT_DEADLINE {
+                state.0 -= 1;
+                return Err(DmemError::Timeout {
+                    label: label.to_string(),
+                    round,
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+        }
+    }
+}
+
+/// One rank's posted buffer for one round.
+struct Posted {
+    data: Vec<u8>,
+    displs: Vec<usize>,
+}
+
+/// One (round, source) cell of the round board.
+struct RoundSlot {
+    data: Mutex<Option<Posted>>,
+    /// Ranks that still have to read this slot; the last reader recycles the buffer.
+    readers_left: AtomicUsize,
+}
+
+/// The shared state of one in-flight round exchange: `rounds × ranks` slots plus the
+/// posted counters the waiters sleep on.
+pub(crate) struct RoundBoard {
+    ranks: usize,
+    rounds: usize,
+    /// How many ranks have posted each round; guarded by one mutex so waiters can
+    /// sleep on `cv` instead of spinning. `pub(crate)` so the poisoned-lock
+    /// regression test can poison it the way a dying rank would.
+    pub(crate) posted: Mutex<Vec<usize>>,
+    cv: Condvar,
+    slots: Vec<Vec<RoundSlot>>,
+    /// Fully-consumed send buffers, returned to their poster for reuse.
+    spent: Vec<Mutex<Vec<Vec<u8>>>>,
+}
+
+impl RoundBoard {
+    fn new(ranks: usize, rounds: usize) -> Self {
+        RoundBoard {
+            ranks,
+            rounds,
+            posted: Mutex::new(vec![0; rounds]),
+            cv: Condvar::new(),
+            slots: (0..rounds)
+                .map(|_| {
+                    (0..ranks)
+                        .map(|_| RoundSlot {
+                            data: Mutex::new(None),
+                            readers_left: AtomicUsize::new(ranks),
+                        })
+                        .collect()
+                })
+                .collect(),
+            spent: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+/// Process-wide registry of round boards, held by the cluster's shared state. Boards
+/// are keyed by the per-rank exchange sequence number: every rank opens its exchanges
+/// in the same SPMD order, so the N-th exchange of every rank resolves to the same
+/// board without any synchronisation round-trip.
+#[derive(Default)]
+struct BoardRegistry {
+    boards: Mutex<HashMap<u64, (Arc<RoundBoard>, usize)>>,
+}
+
+impl BoardRegistry {
+    /// Resolve (or create) the board for exchange `seq`. The last of the `ranks`
+    /// participants to resolve it removes the registry entry — the `Arc` keeps the
+    /// board alive for everyone who already holds it.
+    fn checkout(&self, seq: u64, ranks: usize, rounds: usize) -> Arc<RoundBoard> {
+        let mut boards = self.boards.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = boards
+            .entry(seq)
+            .or_insert_with(|| (Arc::new(RoundBoard::new(ranks, rounds)), 0));
+        let board = Arc::clone(&entry.0);
+        assert_eq!(
+            (board.ranks, board.rounds),
+            (ranks, rounds),
+            "round exchange mismatch: ranks disagree on the shape of exchange {seq}"
+        );
+        entry.1 += 1;
+        if entry.1 == ranks {
+            boards.remove(&seq);
+        }
+        board
+    }
+}
+
+/// State shared by every rank of one in-process cluster generation.
+pub(crate) struct InProcShared {
+    size: usize,
+    barrier: AbortableBarrier,
+    /// The exchange board: one posting slot per rank, holding one byte segment per
+    /// destination.
+    slots: Vec<Mutex<Option<Vec<Vec<u8>>>>>,
+    /// Round boards of in-flight non-blocking exchanges.
+    round_boards: BoardRegistry,
+    /// Cluster-wide abort flag, shared with every round exchange.
+    abort: Arc<AbortState>,
+}
+
+impl InProcShared {
+    pub(crate) fn new(size: usize) -> Self {
+        InProcShared {
+            size,
+            barrier: AbortableBarrier::new(size),
+            slots: (0..size).map(|_| Mutex::new(None)).collect(),
+            round_boards: BoardRegistry::default(),
+            abort: Arc::new(AbortState::new()),
+        }
+    }
+}
+
+/// One rank's handle on the in-process substrate.
+pub(crate) struct InProcessTransport {
+    rank: usize,
+    shared: Arc<InProcShared>,
+    /// Round boards this rank has opened and not yet closed, by sequence number.
+    open: Mutex<HashMap<u64, Arc<RoundBoard>>>,
+}
+
+impl InProcessTransport {
+    pub(crate) fn new(shared: Arc<InProcShared>, rank: usize) -> Self {
+        InProcessTransport {
+            rank,
+            shared,
+            open: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn slot(&self, rank: usize) -> MutexGuard<'_, Option<Vec<Vec<u8>>>> {
+        // A poisoned slot just means some rank panicked mid-collective; the data is a
+        // plain posting and the abort machinery handles the failure, so recover it.
+        self.shared.slots[rank]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn board(&self, seq: u64) -> Arc<RoundBoard> {
+        Arc::clone(
+            self.open
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&seq)
+                .expect("round exchange used before round_open"),
+        )
+    }
+
+    /// Test hook: the board of an open exchange, for constructing failure
+    /// scenarios (e.g. poisoning its lock) that chaos schedules only hit
+    /// incidentally.
+    #[cfg(test)]
+    pub(crate) fn board_for_test(&self, seq: u64) -> Arc<RoundBoard> {
+        self.board(seq)
+    }
+
+    /// Copy this rank's segments of `round` out of every poster's buffer. Caller
+    /// guarantees every rank has posted the round. The last reader of a slot hands
+    /// the spent buffer back to its poster for reuse.
+    fn read_round(
+        &self,
+        board: &RoundBoard,
+        round: usize,
+        data: &mut Vec<u8>,
+        displs: &mut Vec<usize>,
+    ) {
+        data.clear();
+        displs.clear();
+        displs.push(0);
+        for src in 0..board.ranks {
+            let slot = &board.slots[round][src];
+            {
+                let guard = slot.data.lock().unwrap_or_else(|e| e.into_inner());
+                let posted = guard.as_ref().expect("round completed before all posts");
+                data.extend_from_slice(
+                    &posted.data[posted.displs[self.rank]..posted.displs[self.rank + 1]],
+                );
+            }
+            displs.push(data.len());
+            if slot.readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last reader: hand the spent buffer back to its poster for reuse.
+                let mut guard = slot.data.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(posted) = guard.take() {
+                    board.spent[src]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(posted.data);
+                }
+            }
+        }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Thread
+    }
+
+    fn exchange(
+        &self,
+        label: &str,
+        round: usize,
+        segments: Vec<Vec<u8>>,
+    ) -> Result<Vec<Vec<u8>>, DmemError> {
+        debug_assert_eq!(segments.len(), self.shared.size);
+        // Post.
+        *self.slot(self.rank) = Some(segments);
+        if let Err(e) = self.shared.barrier.wait(&self.shared.abort, label, round) {
+            *self.slot(self.rank) = None;
+            return Err(e);
+        }
+        // Take own segment from every source's posting. Each receiver takes a
+        // different index, so moving (not cloning) is safe.
+        let mut received: Vec<Vec<u8>> = Vec::with_capacity(self.shared.size);
+        for src in 0..self.shared.size {
+            let mut slot = self.slot(src);
+            let posted = slot.as_mut().ok_or_else(|| {
+                DmemError::Protocol(format!(
+                    "collective mismatch in '{label}': rank {src} posted nothing"
+                ))
+            })?;
+            received.push(std::mem::take(&mut posted[self.rank]));
+        }
+        // Wait until everyone has read before clearing our slot for the next collective.
+        self.shared.barrier.wait(&self.shared.abort, label, round)?;
+        *self.slot(self.rank) = None;
+        Ok(received)
+    }
+
+    fn barrier(&self, label: &str, round: usize) -> Result<(), DmemError> {
+        self.shared.barrier.wait(&self.shared.abort, label, round)
+    }
+
+    fn round_open(&self, seq: u64, rounds: usize) {
+        let board = self
+            .shared
+            .round_boards
+            .checkout(seq, self.shared.size, rounds);
+        self.open
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(seq, board);
+    }
+
+    fn round_post(
+        &self,
+        seq: u64,
+        round: usize,
+        data: Vec<u8>,
+        displs: &[usize],
+    ) -> Result<(), DmemError> {
+        let board = self.board(seq);
+        {
+            let mut slot = board.slots[round][self.rank]
+                .data
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            debug_assert!(slot.is_none(), "round slot already occupied");
+            *slot = Some(Posted {
+                data,
+                displs: displs.to_vec(),
+            });
+        }
+        let mut posted = board.posted.lock().unwrap_or_else(|e| e.into_inner());
+        posted[round] += 1;
+        board.cv.notify_all();
+        Ok(())
+    }
+
+    fn round_try(
+        &self,
+        seq: u64,
+        round: usize,
+        data: &mut Vec<u8>,
+        displs: &mut Vec<usize>,
+    ) -> Result<bool, DmemError> {
+        let board = self.board(seq);
+        {
+            let posted = board.posted.lock().unwrap_or_else(|e| e.into_inner());
+            if posted[round] < board.ranks {
+                return match self.shared.abort.peer_failure(round) {
+                    Some(e) => Err(e),
+                    None => Ok(false),
+                };
+            }
+        }
+        self.read_round(&board, round, data, displs);
+        Ok(true)
+    }
+
+    fn round_wait(
+        &self,
+        seq: u64,
+        round: usize,
+        label: &str,
+        data: &mut Vec<u8>,
+        displs: &mut Vec<usize>,
+    ) -> Result<(), DmemError> {
+        let board = self.board(seq);
+        let start = Instant::now();
+        {
+            let mut posted = board.posted.lock().unwrap_or_else(|e| e.into_inner());
+            while posted[round] < board.ranks {
+                if let Some(e) = self.shared.abort.peer_failure(round) {
+                    return Err(e);
+                }
+                if start.elapsed() >= WAIT_DEADLINE {
+                    let e = DmemError::Timeout {
+                        label: label.to_string(),
+                        round,
+                        waited_ms: start.elapsed().as_millis() as u64,
+                    };
+                    self.shared.abort.publish(self.rank, &e.to_string());
+                    return Err(e);
+                }
+                let (guard, _) = board
+                    .cv
+                    .wait_timeout(posted, ABORT_TICK)
+                    .unwrap_or_else(|e| e.into_inner());
+                posted = guard;
+            }
+        }
+        self.read_round(&board, round, data, displs);
+        Ok(())
+    }
+
+    fn round_take_buffer(&self, seq: u64) -> Vec<u8> {
+        let board = self.board(seq);
+        let mut spent = board.spent[self.rank]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        match spent.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn round_close(&self, seq: u64) {
+        self.open
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&seq);
+    }
+
+    fn publish_abort(&self, rank: usize, detail: &str) {
+        self.shared.abort.publish(rank, detail);
+    }
+
+    fn peer_failure(&self, round: usize) -> Option<DmemError> {
+        self.shared.abort.peer_failure(round)
+    }
+}

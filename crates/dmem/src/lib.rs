@@ -1,17 +1,25 @@
-//! Simulated distributed-memory runtime.
+//! Distributed-memory runtime with pluggable rank backends.
 //!
 //! The paper runs HySortK with MPI across up to 64 Perlmutter nodes. This crate
-//! substitutes an **in-process distributed-memory simulator**: every rank is a real OS
-//! thread with its own private data, and the MPI collectives the pipelines need
-//! (`Alltoallv`, padded `Alltoall` in rounds, `Allreduce`, `Gather`, `Allgather`,
-//! `Broadcast`, `Barrier`) move real bytes between rank-private buffers through a shared
-//! exchange board. No data is shared behind the ranks' backs — a rank can only obtain
-//! another rank's data through a collective, exactly as in MPI — so algorithmic
-//! behaviour (who sends what to whom, how many rounds, how much padding) is preserved.
+//! substitutes a self-contained distributed-memory runtime: every rank has its own
+//! private data, and the MPI collectives the pipelines need (`Alltoallv`, padded
+//! `Alltoall` in rounds, `Allreduce`, `Gather`, `Allgather`, `Broadcast`, `Barrier`)
+//! move real bytes between rank-private buffers through a [`transport::Transport`].
+//! No data is shared behind the ranks' backs — a rank can only obtain another rank's
+//! data through a collective, exactly as in MPI — so algorithmic behaviour (who sends
+//! what to whom, how many rounds, how much padding) is preserved. Two backends exist
+//! (select one with [`Cluster::with_backend`]):
 //!
-//! What is *not* simulated here is wall-clock network time; instead every collective
-//! records its traffic into [`stats::CommStats`], and the `hysortk-perfmodel` crate
-//! converts those measurements into modeled seconds for the scaling experiments.
+//! * [`Backend::Thread`] — every rank is an OS thread in this process, bytes move
+//!   through a shared exchange board (the original simulator; supports arbitrary
+//!   result types via [`Cluster::run`]).
+//! * [`Backend::Process`] — every rank is a `fork()`ed OS process and bytes move
+//!   over UNIX domain sockets, so transfer time is *real*; results cross the
+//!   process boundary via the [`wire::Wire`] codec ([`Cluster::run_wire`]).
+//!
+//! Every collective records its traffic into [`stats::CommStats`] identically on
+//! both backends, and the `hysortk-perfmodel` crate converts those measurements into
+//! modeled seconds for the scaling experiments.
 //!
 //! Besides the blocking collectives there is the **non-blocking round engine**
 //! ([`nonblocking::RoundExchange`], opened via
@@ -26,9 +34,12 @@
 //! injected fault from a [`fault::FaultPlan`] fires, or pipeline code publishes a
 //! local error via [`collectives::RankCtx::abort`] — a cluster-wide abort is raised
 //! and every peer blocked in a barrier or a round wait returns
-//! [`DmemError::PeerFailed`] naming the failing rank. Deterministic fault schedules
-//! for chaos testing are attached with [`Cluster::with_fault_plan`]; a cluster without
-//! a plan pays one `Option` check per collective.
+//! [`DmemError::PeerFailed`] naming the failing rank. On the process backend the
+//! abort fans out over the sockets, and a rank that dies outright (its process exits
+//! mid-run) is detected by its closed connections — a dead peer surfaces as
+//! `PeerFailed`, never a hang. Deterministic fault schedules for chaos testing are
+//! attached with [`Cluster::with_fault_plan`]; a cluster without a plan pays one
+//! `Option` check per collective.
 //!
 //! # Example
 //!
@@ -67,25 +78,34 @@
 pub mod collectives;
 pub mod error;
 pub mod fault;
+mod inprocess;
 pub mod nonblocking;
+mod process;
 pub mod stats;
+pub mod transport;
+pub mod wire;
 
 pub use collectives::{FlatReceived, FlatRoundedExchange, RankCtx, RoundedExchange};
 pub use error::DmemError;
 pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use nonblocking::RoundExchange;
 pub use stats::{CommStats, StageTraffic};
+pub use transport::Backend;
+pub use wire::{Pod, Wire};
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use collectives::Shared;
+use inprocess::{InProcShared, InProcessTransport};
+use transport::Transport;
 
-/// A simulated cluster: `p` ranks, each executed on its own OS thread.
+/// A cluster of `p` ranks, each executed on its own OS thread or process
+/// (see [`Backend`]).
 #[derive(Debug, Clone, Default)]
 pub struct Cluster {
     ranks: usize,
+    backend: Backend,
     fault: Option<Arc<FaultPlan>>,
 }
 
@@ -152,10 +172,29 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 impl Cluster {
-    /// Create a cluster of `ranks` simulated processes.
+    /// Create a cluster of `ranks` ranks on the default [`Backend::Thread`].
     pub fn new(ranks: usize) -> Self {
         assert!(ranks > 0, "a cluster needs at least one rank");
-        Cluster { ranks, fault: None }
+        Cluster {
+            ranks,
+            backend: Backend::default(),
+            fault: None,
+        }
+    }
+
+    /// Select the rank substrate: threads in this process (the default) or
+    /// `fork()`ed processes exchanging real bytes over sockets. The process backend
+    /// runs through [`Cluster::run_wire`] / [`Cluster::run_recovering_wire`], whose
+    /// result types cross the process boundary via the [`Wire`] codec;
+    /// [`Cluster::run`] (arbitrary result types) stays thread-only.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The selected rank substrate.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Attach a deterministic fault-injection plan (see [`fault::FaultPlan`]); every
@@ -179,6 +218,9 @@ impl Cluster {
     /// a cluster-wide abort (so every peer's blocked collective returns
     /// [`DmemError::PeerFailed`] naming the rank), and re-raised on the calling thread
     /// once every rank has finished.
+    ///
+    /// Always runs on the thread backend: an arbitrary `R` cannot cross a process
+    /// boundary. Backend-dispatching drivers use [`Cluster::run_wire`].
     pub fn run<R, F>(&self, f: F) -> ClusterRun<R>
     where
         R: Send,
@@ -187,21 +229,41 @@ impl Cluster {
         self.run_generation(&f, 0)
     }
 
+    /// Run `f` once per rank on the selected [`Backend`]. On [`Backend::Thread`] this
+    /// is [`Cluster::run`]; on [`Backend::Process`] every rank is a forked process and
+    /// the per-rank `Result<T, E>` comes back over a socket via the [`Wire`] codec.
+    /// A rank that panics re-raises the panic on the calling thread, whichever
+    /// backend — process ranks ship the panic text home first.
+    pub fn run_wire<T, E, F>(&self, f: F) -> ClusterRun<Result<T, E>>
+    where
+        T: Wire + Send,
+        E: Wire + Send + From<DmemError>,
+        F: Fn(&mut RankCtx) -> Result<T, E> + Sync,
+    {
+        match self.backend {
+            Backend::Thread => self.run_generation(&f, 0),
+            Backend::Process => self.run_process_generation(&f, 0),
+        }
+    }
+
     /// Run `f` like [`Cluster::run`], but when ranks fail with errors the `recoverable`
     /// predicate accepts, respawn the whole generation — fresh abort state, fresh
     /// exchange boards, same (already partially fired) fault plan — after a doubling
     /// backoff, up to `policy.max_attempts` times.
     ///
-    /// This is the simulated form of in-run rank recovery: the scope join at the end of
-    /// a generation is the recovery barrier every survivor reaches once the abort has
-    /// unwound it, and re-invoking `f` with [`RankCtx::generation`] incremented is the
-    /// respawn. Pipelines that checkpoint observe the bumped generation and restore
-    /// from their last committed epoch instead of recounting from scratch.
+    /// This is in-run rank recovery: the join at the end of a generation is the
+    /// recovery barrier every survivor reaches once the abort has unwound it, and
+    /// re-invoking `f` with [`RankCtx::generation`] incremented is the respawn.
+    /// Pipelines that checkpoint observe the bumped generation and restore from their
+    /// last committed epoch instead of recounting from scratch.
     ///
     /// A generation is retried only when at least one rank failed **and every failed
     /// rank's error is recoverable** — a concrete local defect (wire corruption, an
     /// I/O error) degrades to today's typed abort immediately. Panics are never
     /// recovered: they re-raise on the calling thread exactly as under [`Cluster::run`].
+    ///
+    /// Always runs on the thread backend, like [`Cluster::run`]; the
+    /// backend-dispatching form is [`Cluster::run_recovering_wire`].
     pub fn run_recovering<T, E, F, P>(
         &self,
         policy: &RecoveryPolicy,
@@ -214,9 +276,49 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> Result<T, E> + Sync,
         P: Fn(&E) -> bool,
     {
+        self.recover_loop(policy, recoverable, |generation| {
+            self.run_generation(&f, generation)
+        })
+    }
+
+    /// [`Cluster::run_recovering`] on the selected [`Backend`]. On
+    /// [`Backend::Process`] a respawned generation forks a fresh set of rank
+    /// processes; fault-plan state (which faults already fired) carries across
+    /// generations, so a fail-once fault does not re-fire on the respawn.
+    pub fn run_recovering_wire<T, E, F, P>(
+        &self,
+        policy: &RecoveryPolicy,
+        recoverable: P,
+        f: F,
+    ) -> RecoveringRun<T, E>
+    where
+        T: Wire + Send,
+        E: Wire + Send + From<DmemError>,
+        F: Fn(&mut RankCtx) -> Result<T, E> + Sync,
+        P: Fn(&E) -> bool,
+    {
+        match self.backend {
+            Backend::Thread => self.run_recovering(policy, recoverable, f),
+            Backend::Process => self.recover_loop(policy, recoverable, |generation| {
+                self.run_process_generation(&f, generation)
+            }),
+        }
+    }
+
+    /// The generation loop shared by both recovery entry points: run a generation,
+    /// retry while every failure is recoverable and attempts remain.
+    fn recover_loop<T, E, P>(
+        &self,
+        policy: &RecoveryPolicy,
+        recoverable: P,
+        runner: impl Fn(usize) -> ClusterRun<Result<T, E>>,
+    ) -> RecoveringRun<T, E>
+    where
+        P: Fn(&E) -> bool,
+    {
         let mut recoveries = 0usize;
         loop {
-            let run = self.run_generation(&f, recoveries);
+            let run = runner(recoveries);
             let failed = run.results.iter().filter(|r| r.is_err()).count();
             let all_recoverable = run
                 .results
@@ -249,12 +351,31 @@ impl Cluster {
         }
     }
 
+    fn run_process_generation<T, E, F>(&self, f: &F, generation: usize) -> ClusterRun<Result<T, E>>
+    where
+        T: Wire + Send,
+        E: Wire + Send + From<DmemError>,
+        F: Fn(&mut RankCtx) -> Result<T, E> + Sync,
+    {
+        let outcome =
+            process::run_process_generation(self.ranks, self.fault.clone(), generation, f);
+        if let Some((_, detail)) = outcome.panic {
+            // Re-raise the first child panic on the calling thread, matching the
+            // thread backend's resume_unwind semantics as closely as text allows.
+            panic!("{detail}");
+        }
+        ClusterRun {
+            results: outcome.results,
+            comm: outcome.comm,
+        }
+    }
+
     fn run_generation<R, F>(&self, f: &F, generation: usize) -> ClusterRun<R>
     where
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
     {
-        let shared = Arc::new(Shared::new(self.ranks, self.fault.clone()));
+        let shared = Arc::new(InProcShared::new(self.ranks));
         let mut results: Vec<Option<R>> = (0..self.ranks).map(|_| None).collect();
         let mut comm: Vec<Option<CommStats>> = (0..self.ranks).map(|_| None).collect();
 
@@ -263,8 +384,11 @@ impl Cluster {
             for (rank, (res_slot, comm_slot)) in results.iter_mut().zip(comm.iter_mut()).enumerate()
             {
                 let shared = Arc::clone(&shared);
+                let fault = self.fault.clone();
                 handles.push(scope.spawn(move || {
-                    let mut ctx = RankCtx::new(rank, Arc::clone(&shared), generation);
+                    let transport: Arc<dyn Transport> =
+                        Arc::new(InProcessTransport::new(shared, rank));
+                    let mut ctx = RankCtx::new(rank, Arc::clone(&transport), fault, generation);
                     if generation > 0 {
                         hysortk_trace::instant(
                             "recovery-generation",
@@ -280,7 +404,7 @@ impl Cluster {
                             None
                         }
                         Err(payload) => {
-                            shared.abort_state().publish(rank, &panic_detail(&*payload));
+                            transport.publish_abort(rank, &panic_detail(&*payload));
                             Some(payload)
                         }
                     }
@@ -433,6 +557,18 @@ mod tests {
                 msg.contains("peer rank 0") && msg.contains("rank 0 exploded"),
                 "rank {rank} saw: {msg}"
             );
+        }
+    }
+
+    #[test]
+    fn run_wire_on_the_thread_backend_matches_run() {
+        let run = Cluster::new(3).with_backend(Backend::Thread).run_wire(
+            |ctx| -> Result<u64, DmemError> {
+                ctx.allreduce_u64(ctx.rank() as u64, "sum", |a, b| a + b)
+            },
+        );
+        for res in run.results {
+            assert_eq!(res.unwrap(), 3);
         }
     }
 }

@@ -3,16 +3,17 @@
 //! The paper's flexible hybrid communication (§3.3.1) splits the k-mer exchange into
 //! batched rounds and posts each round with a *non-blocking* all-to-all, so the encode
 //! of the next round and the decode of the previous one proceed while a round is in
-//! flight. [`RoundExchange`] is that primitive for the simulated cluster:
+//! flight. [`RoundExchange`] is that primitive, running over whichever
+//! [`Transport`](crate::transport::Transport) backs the cluster:
 //!
-//! * [`RoundExchange::post_round`] deposits one round's flat send segments on the
-//!   shared round board and **returns immediately** — no barrier, no waiting for the
+//! * [`RoundExchange::post_round`] hands one round's flat send segments to the
+//!   transport and **returns immediately** — no barrier, no waiting for the
 //!   other ranks. A rank may have any number of rounds posted but not yet completed.
-//! * [`RoundExchange::try_complete`] polls one round: if every rank has posted it, the
-//!   caller's segments are copied out and the round completes; otherwise the call
+//! * [`RoundExchange::try_complete`] polls one round: if every rank's segments are
+//!   available, they are copied out and the round completes; otherwise the call
 //!   returns `Ok(false)` without blocking.
-//! * [`RoundExchange::wait_round`] blocks (on a condvar, not a spin) until the round
-//!   can complete, then completes it.
+//! * [`RoundExchange::wait_round`] blocks (on a condvar or a socket, never a spin)
+//!   until the round can complete, then completes it.
 //!
 //! Completion is **per-round and per-rank**: rank 0 can complete round 0 while rank 1
 //! is still serializing round 2. The engine therefore has no synchronisation points at
@@ -26,116 +27,27 @@
 //! post that will never arrive, with a wall-clock deadline as the backstop.
 //!
 //! Buffers are recycled in both directions: a posted send buffer is handed back to its
-//! poster once the last reader has consumed it ([`RoundExchange::take_send_buffer`]),
+//! poster once the transport is done with it ([`RoundExchange::take_send_buffer`]),
 //! and receives land in a caller-owned [`FlatReceived`] that is cleared and refilled
 //! per round. In steady state a double-buffered caller allocates nothing per round.
 //!
 //! Traffic accounting matches the blocking collectives: payload bytes per destination
 //! sum over rounds to exactly what one bulk [`RankCtx::alltoallv_flat`] of the same
 //! data records (asserted by a unit test below), padding regularises every round to
-//! equal-size per-destination messages, and the new *max in-flight bytes* statistic
+//! equal-size per-destination messages, and the *max in-flight bytes* statistic
 //! records the largest volume a rank ever had posted-but-not-completed at once.
 //!
 //! [`RankCtx::alltoallv_flat`]: crate::collectives::RankCtx::alltoallv_flat
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::Arc;
 
 use hysortk_trace as trace;
 
-use crate::collectives::{AbortState, FlatReceived, ABORT_TICK, WAIT_DEADLINE};
+use crate::collectives::FlatReceived;
 use crate::error::DmemError;
 use crate::fault::FaultPlan;
 use crate::stats::CommStats;
-
-/// One rank's posted buffer for one round.
-struct Posted {
-    data: Vec<u8>,
-    displs: Vec<usize>,
-}
-
-/// One (round, source) cell of the round board.
-struct RoundSlot {
-    data: Mutex<Option<Posted>>,
-    /// Ranks that still have to read this slot; the last reader recycles the buffer.
-    readers_left: AtomicUsize,
-}
-
-/// The shared state of one in-flight exchange: `rounds × ranks` slots plus the posted
-/// counters the waiters sleep on.
-pub(crate) struct RoundBoard {
-    /// The exchange sequence number this board was checked out under; scopes
-    /// the trace flow-arrow ids so arrows of successive exchanges never pair.
-    seq: u64,
-    ranks: usize,
-    rounds: usize,
-    /// How many ranks have posted each round; guarded by one mutex so waiters can
-    /// sleep on `cv` instead of spinning.
-    posted: Mutex<Vec<usize>>,
-    cv: Condvar,
-    slots: Vec<Vec<RoundSlot>>,
-    /// Fully-consumed send buffers, returned to their poster for reuse.
-    spent: Vec<Mutex<Vec<Vec<u8>>>>,
-}
-
-impl RoundBoard {
-    fn new(seq: u64, ranks: usize, rounds: usize) -> Self {
-        RoundBoard {
-            seq,
-            ranks,
-            rounds,
-            posted: Mutex::new(vec![0; rounds]),
-            cv: Condvar::new(),
-            slots: (0..rounds)
-                .map(|_| {
-                    (0..ranks)
-                        .map(|_| RoundSlot {
-                            data: Mutex::new(None),
-                            readers_left: AtomicUsize::new(ranks),
-                        })
-                        .collect()
-                })
-                .collect(),
-            spent: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
-        }
-    }
-}
-
-/// Process-wide registry of round boards, held by the cluster's `Shared` state. Boards
-/// are keyed by the per-rank exchange sequence number: every rank opens its exchanges
-/// in the same SPMD order, so the N-th [`RankCtx::round_exchange`] call of every rank
-/// resolves to the same board without any synchronisation round-trip.
-///
-/// [`RankCtx::round_exchange`]: crate::collectives::RankCtx::round_exchange
-#[derive(Default)]
-pub(crate) struct BoardRegistry {
-    boards: Mutex<HashMap<u64, (Arc<RoundBoard>, usize)>>,
-}
-
-impl BoardRegistry {
-    /// Resolve (or create) the board for exchange `seq`. The last of the `ranks`
-    /// participants to resolve it removes the registry entry — the `Arc` keeps the
-    /// board alive for everyone who already holds it.
-    pub(crate) fn checkout(&self, seq: u64, ranks: usize, rounds: usize) -> Arc<RoundBoard> {
-        let mut boards = self.boards.lock().unwrap_or_else(|e| e.into_inner());
-        let entry = boards
-            .entry(seq)
-            .or_insert_with(|| (Arc::new(RoundBoard::new(seq, ranks, rounds)), 0));
-        let board = Arc::clone(&entry.0);
-        assert_eq!(
-            (board.ranks, board.rounds),
-            (ranks, rounds),
-            "round exchange mismatch: ranks disagree on the shape of exchange {seq}"
-        );
-        entry.1 += 1;
-        if entry.1 == ranks {
-            boards.remove(&seq);
-        }
-        board
-    }
-}
+use crate::transport::Transport;
 
 /// A handle on one in-flight round exchange; created by
 /// [`RankCtx::round_exchange`](crate::collectives::RankCtx::round_exchange).
@@ -144,12 +56,18 @@ impl BoardRegistry {
 /// [`RoundExchange::finish`] to record the traffic. Rounds may be posted ahead and
 /// completed out of order; the engine never blocks except in
 /// [`RoundExchange::wait_round`]. On an error return the exchange is dead — drop the
-/// handle without calling `finish`.
+/// handle without calling `finish` (dropping releases the transport's per-exchange
+/// state on every path).
 pub struct RoundExchange {
-    board: Arc<RoundBoard>,
+    transport: Arc<dyn Transport>,
+    /// The exchange sequence number this handle was opened under; scopes the
+    /// transport's per-exchange state and the trace flow-arrow ids so arrows of
+    /// successive exchanges never pair.
+    seq: u64,
+    ranks: usize,
+    rounds: usize,
     rank: usize,
     label: String,
-    abort: Arc<AbortState>,
     fault: Option<Arc<FaultPlan>>,
     posted: Vec<bool>,
     completed: Vec<bool>,
@@ -164,19 +82,21 @@ pub struct RoundExchange {
 
 impl RoundExchange {
     pub(crate) fn new(
-        board: Arc<RoundBoard>,
+        transport: Arc<dyn Transport>,
+        seq: u64,
+        rounds: usize,
         rank: usize,
         label: &str,
-        abort: Arc<AbortState>,
         fault: Option<Arc<FaultPlan>>,
     ) -> Self {
-        let rounds = board.rounds;
-        let ranks = board.ranks;
+        let ranks = transport.size();
         RoundExchange {
-            board,
+            transport,
+            seq,
+            ranks,
+            rounds,
             rank,
             label: label.to_string(),
-            abort,
             fault,
             posted: vec![false; rounds],
             completed: vec![false; rounds],
@@ -191,24 +111,15 @@ impl RoundExchange {
 
     /// Number of rounds of this exchange (globally agreed at creation).
     pub fn rounds(&self) -> usize {
-        self.board.rounds
+        self.rounds
     }
 
     /// Pop a recycled send buffer (cleared, capacity preserved) if a previously posted
-    /// round has been fully consumed by every rank, or a fresh empty one otherwise.
-    /// Serializing each round into a buffer obtained here makes the steady-state send
-    /// side allocation-free: two buffers circulate through post → consume → reuse.
+    /// round has been fully consumed, or a fresh empty one otherwise. Serializing each
+    /// round into a buffer obtained here makes the steady-state send side
+    /// allocation-free: two buffers circulate through post → consume → reuse.
     pub fn take_send_buffer(&self) -> Vec<u8> {
-        let mut spent = self.board.spent[self.rank]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        match spent.pop() {
-            Some(mut buf) => {
-                buf.clear();
-                buf
-            }
-            None => Vec::new(),
-        }
+        self.transport.round_take_buffer(self.seq)
     }
 
     /// Post round `round`: segment `dst` of `send` is `send[displs[dst]..displs[dst+1]]`
@@ -230,14 +141,14 @@ impl RoundExchange {
             round = round,
             bytes = send.len(),
         );
-        assert!(round < self.board.rounds, "round {round} out of range");
+        assert!(round < self.rounds, "round {round} out of range");
         assert!(!self.posted[round], "round {round} posted twice");
         assert_eq!(
             counts.len(),
-            self.board.ranks,
+            self.ranks,
             "one count per destination required"
         );
-        if let Some(e) = self.abort.peer_failure(round) {
+        if let Some(e) = self.transport.peer_failure(round) {
             return Err(e);
         }
         let mut counts_owned;
@@ -246,7 +157,7 @@ impl RoundExchange {
             if let Err(e) =
                 plan.apply_to_segments(self.rank, &self.label, round, &mut send, &mut counts_owned)
             {
-                self.abort.publish(self.rank, &e.to_string());
+                self.transport.publish_abort(self.rank, &e.to_string());
                 return Err(e);
             }
             &counts_owned
@@ -285,18 +196,8 @@ impl RoundExchange {
         self.max_inflight = self.max_inflight.max(self.inflight);
         self.posted[round] = true;
 
-        {
-            let mut slot = self.board.slots[round][self.rank]
-                .data
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            debug_assert!(slot.is_none(), "round slot already occupied");
-            *slot = Some(Posted { data: send, displs });
-        }
-        let mut posted = self.board.posted.lock().unwrap_or_else(|e| e.into_inner());
-        posted[round] += 1;
-        self.board.cv.notify_all();
-        drop(posted);
+        self.transport.round_post(self.seq, round, send, &displs)?;
+
         // Arrow origin: this post. Every receiver's completion is the target.
         trace::flow(
             "round-flight",
@@ -315,27 +216,15 @@ impl RoundExchange {
     }
 
     /// Flow-arrow id of `(exchange, poster, round)` — agreed across ranks
-    /// because `seq` comes from the shared board.
+    /// because `seq` is assigned in SPMD order.
     fn flow_id(&self, poster: usize, round: usize) -> u64 {
-        (self.board.seq << 32) ^ ((poster as u64) << 20) ^ round as u64
+        (self.seq << 32) ^ ((poster as u64) << 20) ^ round as u64
     }
 
-    /// Copy this rank's segments of `round` out of every poster's buffer into `into`.
-    /// Caller guarantees every rank has posted the round.
-    fn read_round(&mut self, round: usize, into: &mut FlatReceived<u8>) {
-        into.data.clear();
-        into.displs.clear();
-        into.displs.push(0);
-        for src in 0..self.board.ranks {
-            let slot = &self.board.slots[round][src];
-            {
-                let guard = slot.data.lock().unwrap_or_else(|e| e.into_inner());
-                let posted = guard.as_ref().expect("round completed before all posts");
-                into.data.extend_from_slice(
-                    &posted.data[posted.displs[self.rank]..posted.displs[self.rank + 1]],
-                );
-            }
-            into.displs.push(into.data.len());
+    /// Bookkeeping after the transport completed `round`: close the flow arrows,
+    /// release the in-flight volume, and mark the round done.
+    fn note_completed(&mut self, round: usize) {
+        for src in 0..self.ranks {
             trace::flow(
                 "round-flight",
                 trace::Detail::Round,
@@ -343,16 +232,6 @@ impl RoundExchange {
                 self.flow_id(src, round),
                 false,
             );
-            if slot.readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
-                // Last reader: hand the spent buffer back to its poster for reuse.
-                let mut guard = slot.data.lock().unwrap_or_else(|e| e.into_inner());
-                if let Some(posted) = guard.take() {
-                    self.board.spent[src]
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push(posted.data);
-                }
-            }
         }
         self.inflight -= self.round_wire[round];
         self.completed[round] = true;
@@ -364,27 +243,24 @@ impl RoundExchange {
         );
     }
 
-    /// Complete `round` if every rank has posted it, filling `into` (cleared first)
-    /// with the received segments in source-rank order. Returns `Ok(false)` — without
-    /// blocking — when some rank has not posted the round yet, and
+    /// Complete `round` if every rank's segments are available, filling `into`
+    /// (cleared first) with the received segments in source-rank order. Returns
+    /// `Ok(false)` — without blocking — when some segment has not arrived yet, and
     /// [`DmemError::PeerFailed`] once a peer has aborted.
     pub fn try_complete(
         &mut self,
         round: usize,
         into: &mut FlatReceived<u8>,
     ) -> Result<bool, DmemError> {
-        assert!(round < self.board.rounds, "round {round} out of range");
+        assert!(round < self.rounds, "round {round} out of range");
         assert!(!self.completed[round], "round {round} completed twice");
+        if !self
+            .transport
+            .round_try(self.seq, round, &mut into.data, &mut into.displs)?
         {
-            let posted = self.board.posted.lock().unwrap_or_else(|e| e.into_inner());
-            if posted[round] < self.board.ranks {
-                return match self.abort.peer_failure(round) {
-                    Some(e) => Err(e),
-                    None => Ok(false),
-                };
-            }
+            return Ok(false);
         }
-        self.read_round(round, into);
+        self.note_completed(round);
         Ok(true)
     }
 
@@ -401,33 +277,16 @@ impl RoundExchange {
         into: &mut FlatReceived<u8>,
     ) -> Result<(), DmemError> {
         let _span = trace::span!("round-wait", trace::Detail::Round, self.rank, round = round);
-        assert!(round < self.board.rounds, "round {round} out of range");
+        assert!(round < self.rounds, "round {round} out of range");
         assert!(!self.completed[round], "round {round} completed twice");
-        let start = Instant::now();
-        {
-            let mut posted = self.board.posted.lock().unwrap_or_else(|e| e.into_inner());
-            while posted[round] < self.board.ranks {
-                if let Some(e) = self.abort.peer_failure(round) {
-                    return Err(e);
-                }
-                if start.elapsed() >= WAIT_DEADLINE {
-                    let e = DmemError::Timeout {
-                        label: self.label.clone(),
-                        round,
-                        waited_ms: start.elapsed().as_millis() as u64,
-                    };
-                    self.abort.publish(self.rank, &e.to_string());
-                    return Err(e);
-                }
-                let (guard, _) = self
-                    .board
-                    .cv
-                    .wait_timeout(posted, ABORT_TICK)
-                    .unwrap_or_else(|e| e.into_inner());
-                posted = guard;
-            }
-        }
-        self.read_round(round, into);
+        self.transport.round_wait(
+            self.seq,
+            round,
+            &self.label,
+            &mut into.data,
+            &mut into.displs,
+        )?;
+        self.note_completed(round);
         Ok(())
     }
 
@@ -447,11 +306,19 @@ impl RoundExchange {
             &self.label,
             &self.per_dest,
             self.padding,
-            self.board.rounds,
+            self.rounds,
             self.rank,
             self.max_pair,
             self.max_inflight,
         );
+    }
+}
+
+impl Drop for RoundExchange {
+    fn drop(&mut self) {
+        // Release the transport's per-exchange state on every path — after a clean
+        // `finish` (which consumes `self`) and after an error drop alike. Idempotent.
+        self.transport.round_close(self.seq);
     }
 }
 
@@ -785,42 +652,47 @@ mod tests {
     #[test]
     #[should_panic(expected = "posted twice")]
     fn double_post_panics() {
-        use super::{BoardRegistry, RoundExchange};
-        use crate::collectives::AbortState;
-        let board = BoardRegistry::default().checkout(0, 1, 1);
-        let mut engine = RoundExchange::new(board, 0, "bad", Arc::new(AbortState::new()), None);
-        engine.post_round(0, Vec::new(), &[0]).unwrap();
-        engine.post_round(0, Vec::new(), &[0]).unwrap();
+        Cluster::new(1).run(|ctx| {
+            let mut engine = ctx.round_exchange(1, "bad");
+            engine.post_round(0, Vec::new(), &[0]).unwrap();
+            engine.post_round(0, Vec::new(), &[0]).unwrap();
+        });
     }
 
-    /// Pins the poisoned-condvar fix in [`RoundExchange::wait_round`]: a rank that dies
+    /// Pins the poisoned-condvar fix in the in-process `round_wait`: a rank that dies
     /// while holding the board's `posted` lock poisons the mutex, and every subsequent
     /// `Condvar::wait_timeout` on it returns a `PoisonError`. The wait loop must
     /// recover the guard (`unwrap_or_else(|e| e.into_inner())`) and keep waiting —
     /// before the fix it panicked, which cascaded a single rank death into a poisoned
     /// panic on every survivor instead of a typed abort. Chaos schedules only hit this
-    /// path incidentally; this test constructs it directly.
+    /// path incidentally; this test constructs it directly. (The process backend has
+    /// its own variant of this scenario: a peer killed mid-round, pinned in
+    /// `process.rs`.)
     #[test]
     fn wait_round_survives_a_poisoned_board_lock() {
-        use super::{BoardRegistry, RoundExchange};
-        use crate::collectives::AbortState;
-        let registry = BoardRegistry::default();
-        let b0 = registry.checkout(0, 2, 1);
-        let b1 = registry.checkout(0, 2, 1);
-        let abort = Arc::new(AbortState::new());
-        let mut e0 = RoundExchange::new(Arc::clone(&b0), 0, "poison", Arc::clone(&abort), None);
-        let mut e1 = RoundExchange::new(b1, 1, "poison", abort, None);
+        use super::RoundExchange;
+        use crate::inprocess::{InProcShared, InProcessTransport};
+        use crate::transport::Transport;
+
+        let shared = Arc::new(InProcShared::new(2));
+        let t0 = Arc::new(InProcessTransport::new(Arc::clone(&shared), 0));
+        let t1 = Arc::new(InProcessTransport::new(Arc::clone(&shared), 1));
+        t0.round_open(0, 1);
+        t1.round_open(0, 1);
+        let board = t0.board_for_test(0);
+        let mut e0 = RoundExchange::new(t0, 0, 1, 0, "poison", None);
+        let mut e1 = RoundExchange::new(t1, 0, 1, 1, "poison", None);
 
         // Poison the posted mutex — and with it every condvar wait on the board — the
         // way a panicking rank would: by dying while holding the lock.
-        let poisoner = Arc::clone(&b0);
+        let poisoner = Arc::clone(&board);
         let _ = std::thread::spawn(move || {
             let _guard = poisoner.posted.lock().unwrap();
             panic!("simulated rank death while holding the board lock");
         })
         .join();
         assert!(
-            b0.posted.is_poisoned(),
+            board.posted.is_poisoned(),
             "the lock must actually be poisoned"
         );
 

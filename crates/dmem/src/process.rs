@@ -1,0 +1,1047 @@
+//! The process backend: ranks are `fork()`ed OS processes, bytes move over
+//! UNIX domain sockets.
+//!
+//! Where the in-process backend simulates distributed memory with threads and a
+//! shared board, this backend *is* distributed memory on one host: every rank is
+//! a real process with its own address space, every segment of every collective
+//! crosses a socket, and the overlap wins the bench reports are measured
+//! transfer time, not a model. No external crates — the only FFI is `fork`,
+//! `waitpid` and `_exit`.
+//!
+//! # Topology and framing
+//!
+//! Before the first fork the parent creates a full mesh of `socketpair`s (one
+//! per unordered rank pair) plus one parent↔child *control* pair per rank. Child
+//! `r` keeps only its own row of the mesh and its own control socket and closes
+//! everything else — that fd hygiene is what makes dead-peer detection work:
+//! when a rank dies, its peers' mesh sockets hit EOF because *nobody else*
+//! holds the write end open.
+//!
+//! Peer frames are length-prefixed: `[kind u8][tag u64 LE][len u32 LE][payload]`
+//! with kinds `DATA`, `ABORT` (tag = origin rank, payload = detail) and `FIN`
+//! (clean goodbye). The tag spaces of collectives, round exchanges and barrier
+//! phases are disjoint (high bits 63/62/61); within each space the SPMD calling
+//! discipline makes per-rank sequence counters agree across ranks, so frames
+//! match up without any negotiation. A per-peer reader thread drains every
+//! frame into a tag-keyed mailbox the moment it arrives — receivers never
+//! leave bytes sitting in a kernel socket buffer, which is what rules out
+//! buffer-full deadlocks in the all-to-all.
+//!
+//! # Failure semantics
+//!
+//! The cluster-wide abort contract is identical to the thread backend: the
+//! first failure fans out as `ABORT` frames, every blocked wait polls the local
+//! abort flag, and a rank that dies without a word (killed, `_exit`) surfaces
+//! as [`DmemError::PeerFailed`] through EOF-without-`FIN` on its sockets —
+//! never a hang. Rust's startup sets `SIGPIPE` to ignore (inherited across
+//! `fork`), so writes to a dead peer fail with `EPIPE` instead of killing the
+//! writer; the writer publishes the abort and returns the typed error.
+//!
+//! Child environment (`HYSORTK_NO_SIMD`, `HYSORTK_FAULT`, verbosity) propagates
+//! by `fork` inheritance — children are clones of the configured parent, no
+//! re-exec, no env marshalling. Fault plans cross the same way; children report
+//! their firing state home over the control socket and the parent folds it back
+//! with [`FaultPlan::absorb_state`], so recovery generations do not re-fire
+//! one-shot faults.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use hysortk_trace as trace;
+
+use crate::collectives::RankCtx;
+use crate::error::DmemError;
+use crate::fault::FaultPlan;
+use crate::stats::CommStats;
+use crate::transport::{AbortState, Backend, Transport, ABORT_TICK, WAIT_DEADLINE};
+use crate::wire::{self, Wire};
+
+mod ffi {
+    extern "C" {
+        pub fn fork() -> i32;
+        pub fn waitpid(pid: i32, status: *mut i32, options: i32) -> i32;
+        pub fn _exit(status: i32) -> !;
+    }
+}
+
+const EINTR: i32 = 4;
+
+/// How long a failed write waits for someone else's abort to arrive before
+/// blaming the write target. A dead peer's EOF or a third rank's ABORT frame
+/// crosses a local socket in microseconds; this only elapses in full when the
+/// peer exited cleanly with no cluster abort at all.
+const PEER_BLAME_GRACE: std::time::Duration = std::time::Duration::from_millis(250);
+
+// Peer-socket frame kinds.
+const FRAME_DATA: u8 = 0;
+const FRAME_ABORT: u8 = 1;
+const FRAME_FIN: u8 = 2;
+
+// Control-socket (child → parent) frame kinds.
+const CTL_RESULT: u8 = 0;
+const CTL_PANIC: u8 = 1;
+const CTL_STATS: u8 = 2;
+const CTL_FAULTS: u8 = 3;
+const CTL_TRACE: u8 = 4;
+
+// Disjoint tag spaces; see the module docs.
+const TAG_COLL: u64 = 1 << 63;
+const TAG_ROUND: u64 = 1 << 62;
+const TAG_BARRIER: u64 = 1 << 61;
+
+fn round_tag(seq: u64, round: usize) -> u64 {
+    TAG_ROUND | (seq << 24) | round as u64
+}
+
+fn barrier_tag(bseq: u64, phase: usize) -> u64 {
+    TAG_BARRIER | (bseq << 8) | phase as u64
+}
+
+/// Tag-keyed inbox of received `DATA` payloads, filled by the reader threads.
+type TagQueues = HashMap<(usize, u64), VecDeque<Vec<u8>>>;
+
+#[derive(Default)]
+struct Mailbox {
+    queues: Mutex<TagQueues>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn push(&self, src: usize, tag: u64, payload: Vec<u8>) {
+        let mut queues = self.queues.lock().unwrap_or_else(|e| e.into_inner());
+        queues.entry((src, tag)).or_default().push_back(payload);
+        drop(queues);
+        self.cv.notify_all();
+    }
+}
+
+/// Per-peer reader: drains every incoming frame into the mailbox until the peer
+/// says goodbye (`FIN`) or its socket dies. EOF without `FIN` *is* the
+/// dead-peer detector — it publishes the abort that unblocks every local wait.
+fn reader_loop(src: usize, mut stream: UnixStream, mailbox: Arc<Mailbox>, abort: Arc<AbortState>) {
+    let mut fin = false;
+    loop {
+        let mut hdr = [0u8; 13];
+        if stream.read_exact(&mut hdr).is_err() {
+            break;
+        }
+        let kind = hdr[0];
+        let tag = u64::from_le_bytes(hdr[1..9].try_into().unwrap());
+        let len = u32::from_le_bytes(hdr[9..13].try_into().unwrap()) as usize;
+        let mut payload = vec![0u8; len];
+        if stream.read_exact(&mut payload).is_err() {
+            break;
+        }
+        match kind {
+            FRAME_DATA => mailbox.push(src, tag, payload),
+            FRAME_ABORT => {
+                let detail = String::from_utf8_lossy(&payload).into_owned();
+                abort.publish(tag as usize, &detail);
+                mailbox.cv.notify_all();
+            }
+            FRAME_FIN => {
+                fin = true;
+                break;
+            }
+            _ => break,
+        }
+    }
+    if !fin {
+        abort.publish(src, &format!("rank {src} exited before completing the run"));
+        mailbox.cv.notify_all();
+    }
+}
+
+/// Per-round state of one open round exchange on this rank.
+struct ProcRound {
+    posted_self: Vec<bool>,
+    /// This rank's own segment of each round (never crosses a socket).
+    self_seg: Vec<Option<Vec<u8>>>,
+    /// Recycled send buffers: handed back the moment the socket writes return,
+    /// which is even earlier than the in-process backend's all-readers-done.
+    spent: Vec<Vec<u8>>,
+}
+
+/// One rank's handle on the socket mesh.
+pub(crate) struct ProcessTransport {
+    rank: usize,
+    size: usize,
+    /// Write ends, one per peer (`None` at this rank's own index). The reader
+    /// side of each socket lives on its reader thread via `try_clone`.
+    writers: Vec<Option<Mutex<UnixStream>>>,
+    mailbox: Arc<Mailbox>,
+    abort: Arc<AbortState>,
+    /// Ensures the `ABORT` fan-out happens once per rank, whoever publishes.
+    abort_sent: AtomicBool,
+    coll_seq: AtomicU64,
+    barrier_seq: AtomicU64,
+    rounds: Mutex<HashMap<u64, ProcRound>>,
+}
+
+impl ProcessTransport {
+    pub(crate) fn new(rank: usize, peers: Vec<Option<UnixStream>>) -> Self {
+        let size = peers.len();
+        debug_assert!(peers[rank].is_none(), "a rank has no socket to itself");
+        let mailbox = Arc::new(Mailbox::default());
+        let abort = Arc::new(AbortState::new());
+        for (src, stream) in peers.iter().enumerate() {
+            if let Some(s) = stream {
+                let reader = s.try_clone().expect("clone peer socket for reading");
+                let mb = Arc::clone(&mailbox);
+                let ab = Arc::clone(&abort);
+                std::thread::spawn(move || reader_loop(src, reader, mb, ab));
+            }
+        }
+        ProcessTransport {
+            rank,
+            size,
+            writers: peers.into_iter().map(|s| s.map(Mutex::new)).collect(),
+            mailbox,
+            abort,
+            abort_sent: AtomicBool::new(false),
+            coll_seq: AtomicU64::new(0),
+            barrier_seq: AtomicU64::new(0),
+            rounds: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn send_frame(&self, dst: usize, kind: u8, tag: u64, payload: &[u8]) -> std::io::Result<()> {
+        let mut hdr = [0u8; 13];
+        hdr[0] = kind;
+        hdr[1..9].copy_from_slice(&tag.to_le_bytes());
+        hdr[9..13].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        let writer = self.writers[dst].as_ref().expect("no socket to self");
+        let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
+        stream.write_all(&hdr)?;
+        stream.write_all(payload)
+    }
+
+    /// Send one `DATA` frame; a write failure means the peer is gone (`EPIPE`
+    /// thanks to ignored `SIGPIPE`). Before blaming `dst`, give the reader
+    /// threads a short grace to deliver the *real* story — the peer may have
+    /// exited because some third rank aborted, and that ABORT frame (or the
+    /// dead peer's own EOF) is usually already in flight. First published
+    /// abort wins, exactly like the shared abort flag on the thread backend.
+    fn send_data(
+        &self,
+        dst: usize,
+        tag: u64,
+        payload: &[u8],
+        round: usize,
+    ) -> Result<(), DmemError> {
+        if self.send_frame(dst, FRAME_DATA, tag, payload).is_err() {
+            let start = Instant::now();
+            loop {
+                if let Some(e) = self.abort.peer_failure(round) {
+                    return Err(e);
+                }
+                if start.elapsed() >= PEER_BLAME_GRACE {
+                    break;
+                }
+                std::thread::sleep(ABORT_TICK);
+            }
+            self.publish_abort(dst, &format!("rank {dst} exited before completing the run"));
+            return Err(self
+                .abort
+                .peer_failure(round)
+                .expect("abort was just published"));
+        }
+        Ok(())
+    }
+
+    /// Clean goodbye to every peer, so their readers stop without an abort.
+    fn send_fin_all(&self) {
+        for dst in 0..self.size {
+            if dst != self.rank {
+                let _ = self.send_frame(dst, FRAME_FIN, 0, &[]);
+            }
+        }
+    }
+
+    /// Pop the next payload for `(src, tag)`, sleeping abort-aware until it
+    /// arrives. Drains already-delivered frames even after an abort (data that
+    /// made it through is still good); the deadline publishes, so peers follow.
+    fn recv_blocking(
+        &self,
+        src: usize,
+        tag: u64,
+        label: &str,
+        round: usize,
+    ) -> Result<Vec<u8>, DmemError> {
+        let start = Instant::now();
+        let mut queues = self
+            .mailbox
+            .queues
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(q) = queues.get_mut(&(src, tag)) {
+                if let Some(payload) = q.pop_front() {
+                    if q.is_empty() {
+                        queues.remove(&(src, tag));
+                    }
+                    return Ok(payload);
+                }
+            }
+            if let Some(e) = self.abort.peer_failure(round) {
+                return Err(e);
+            }
+            if start.elapsed() >= WAIT_DEADLINE {
+                let e = DmemError::Timeout {
+                    label: label.to_string(),
+                    round,
+                    waited_ms: start.elapsed().as_millis() as u64,
+                };
+                drop(queues);
+                self.publish_abort(self.rank, &e.to_string());
+                return Err(e);
+            }
+            let (guard, _) = self
+                .mailbox
+                .cv
+                .wait_timeout(queues, ABORT_TICK)
+                .unwrap_or_else(|e| e.into_inner());
+            queues = guard;
+        }
+    }
+
+    /// All-or-nothing completion of one round: under a single mailbox lock,
+    /// check that every peer's segment is in and pop them all, so a false poll
+    /// consumes nothing.
+    fn try_collect_round(
+        &self,
+        seq: u64,
+        round: usize,
+        data: &mut Vec<u8>,
+        displs: &mut Vec<usize>,
+    ) -> Result<bool, DmemError> {
+        {
+            let rounds = self.rounds.lock().unwrap_or_else(|e| e.into_inner());
+            let pr = rounds
+                .get(&seq)
+                .expect("round exchange used before round_open");
+            assert!(
+                pr.posted_self[round],
+                "round {round} completed before this rank posted it"
+            );
+        }
+        let tag = round_tag(seq, round);
+        let mut payloads: Vec<Option<Vec<u8>>> = (0..self.size).map(|_| None).collect();
+        {
+            let mut queues = self
+                .mailbox
+                .queues
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let ready = (0..self.size)
+                .filter(|&s| s != self.rank)
+                .all(|s| queues.get(&(s, tag)).is_some_and(|q| !q.is_empty()));
+            if !ready {
+                return match self.abort.peer_failure(round) {
+                    Some(e) => Err(e),
+                    None => Ok(false),
+                };
+            }
+            for (src, slot) in payloads.iter_mut().enumerate() {
+                if src == self.rank {
+                    continue;
+                }
+                let q = queues.get_mut(&(src, tag)).expect("checked above");
+                *slot = q.pop_front();
+                if q.is_empty() {
+                    queues.remove(&(src, tag));
+                }
+            }
+        }
+        let self_seg = {
+            let mut rounds = self.rounds.lock().unwrap_or_else(|e| e.into_inner());
+            rounds
+                .get_mut(&seq)
+                .expect("round exchange used before round_open")
+                .self_seg[round]
+                .take()
+                .expect("self segment consumed twice")
+        };
+        data.clear();
+        displs.clear();
+        displs.push(0);
+        for (src, payload) in payloads.iter().enumerate() {
+            let seg: &[u8] = if src == self.rank {
+                &self_seg
+            } else {
+                payload.as_deref().expect("checked above")
+            };
+            data.extend_from_slice(seg);
+            displs.push(data.len());
+        }
+        Ok(true)
+    }
+}
+
+impl Transport for ProcessTransport {
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Process
+    }
+
+    fn exchange(
+        &self,
+        label: &str,
+        round: usize,
+        mut segments: Vec<Vec<u8>>,
+    ) -> Result<Vec<Vec<u8>>, DmemError> {
+        debug_assert_eq!(segments.len(), self.size);
+        // The SPMD discipline keeps this counter aligned across ranks: every
+        // rank calls the same collectives in the same order.
+        let tag = TAG_COLL | self.coll_seq.fetch_add(1, Ordering::Relaxed);
+        for (dst, segment) in segments.iter().enumerate() {
+            if dst != self.rank {
+                self.send_data(dst, tag, segment, round)?;
+            }
+        }
+        let mut received = Vec::with_capacity(self.size);
+        for src in 0..self.size {
+            if src == self.rank {
+                received.push(std::mem::take(&mut segments[self.rank]));
+            } else {
+                received.push(self.recv_blocking(src, tag, label, round)?);
+            }
+        }
+        Ok(received)
+    }
+
+    /// Dissemination barrier: `ceil(log2 p)` phases, phase `k` sends a token
+    /// `2^k` ranks ahead and receives one from `2^k` behind. O(p log p) empty
+    /// frames total, no coordinator, and every phase is an abort-aware receive.
+    fn barrier(&self, label: &str, round: usize) -> Result<(), DmemError> {
+        if let Some(e) = self.abort.peer_failure(round) {
+            return Err(e);
+        }
+        if self.size == 1 {
+            return Ok(());
+        }
+        let bseq = self.barrier_seq.fetch_add(1, Ordering::Relaxed);
+        let phases = self.size.next_power_of_two().trailing_zeros() as usize;
+        for k in 0..phases {
+            let dist = 1usize << k;
+            let to = (self.rank + dist) % self.size;
+            let from = (self.rank + self.size - dist) % self.size;
+            let tag = barrier_tag(bseq, k);
+            self.send_data(to, tag, &[], round)?;
+            self.recv_blocking(from, tag, label, round)?;
+        }
+        Ok(())
+    }
+
+    fn round_open(&self, seq: u64, rounds: usize) {
+        self.rounds
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                seq,
+                ProcRound {
+                    posted_self: vec![false; rounds],
+                    self_seg: (0..rounds).map(|_| None).collect(),
+                    spent: Vec::new(),
+                },
+            );
+    }
+
+    fn round_post(
+        &self,
+        seq: u64,
+        round: usize,
+        data: Vec<u8>,
+        displs: &[usize],
+    ) -> Result<(), DmemError> {
+        let tag = round_tag(seq, round);
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.send_data(dst, tag, &data[displs[dst]..displs[dst + 1]], round)?;
+            }
+        }
+        let mut rounds = self.rounds.lock().unwrap_or_else(|e| e.into_inner());
+        let pr = rounds
+            .get_mut(&seq)
+            .expect("round exchange used before round_open");
+        pr.self_seg[round] = Some(data[displs[self.rank]..displs[self.rank + 1]].to_vec());
+        pr.posted_self[round] = true;
+        // The kernel owns copies of every peer segment now; the send buffer is
+        // immediately reusable.
+        let mut buf = data;
+        buf.clear();
+        pr.spent.push(buf);
+        Ok(())
+    }
+
+    fn round_try(
+        &self,
+        seq: u64,
+        round: usize,
+        data: &mut Vec<u8>,
+        displs: &mut Vec<usize>,
+    ) -> Result<bool, DmemError> {
+        self.try_collect_round(seq, round, data, displs)
+    }
+
+    fn round_wait(
+        &self,
+        seq: u64,
+        round: usize,
+        label: &str,
+        data: &mut Vec<u8>,
+        displs: &mut Vec<usize>,
+    ) -> Result<(), DmemError> {
+        let start = Instant::now();
+        loop {
+            if self.try_collect_round(seq, round, data, displs)? {
+                return Ok(());
+            }
+            if start.elapsed() >= WAIT_DEADLINE {
+                let e = DmemError::Timeout {
+                    label: label.to_string(),
+                    round,
+                    waited_ms: start.elapsed().as_millis() as u64,
+                };
+                self.publish_abort(self.rank, &e.to_string());
+                return Err(e);
+            }
+            let queues = self
+                .mailbox
+                .queues
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let _ = self
+                .mailbox
+                .cv
+                .wait_timeout(queues, ABORT_TICK)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn round_take_buffer(&self, seq: u64) -> Vec<u8> {
+        self.rounds
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_mut(&seq)
+            .expect("round exchange used before round_open")
+            .spent
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn round_close(&self, seq: u64) {
+        self.rounds
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&seq);
+    }
+
+    fn publish_abort(&self, rank: usize, detail: &str) {
+        self.abort.publish(rank, detail);
+        if self.abort_sent.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for dst in 0..self.size {
+            if dst != self.rank {
+                // Best effort: a dead peer can't be told, everyone else must be.
+                let _ = self.send_frame(dst, FRAME_ABORT, rank as u64, detail.as_bytes());
+            }
+        }
+    }
+
+    fn peer_failure(&self, round: usize) -> Option<DmemError> {
+        self.abort.peer_failure(round)
+    }
+}
+
+/// What one forked generation produced, as seen from the parent.
+pub(crate) struct ProcessOutcome<T, E> {
+    pub(crate) results: Vec<Result<T, E>>,
+    pub(crate) comm: Vec<CommStats>,
+    /// First child panic `(rank, raw panic text)`, to re-raise in the parent.
+    pub(crate) panic: Option<(usize, String)>,
+}
+
+fn send_ctl(stream: &mut UnixStream, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    let mut hdr = [0u8; 5];
+    hdr[0] = kind;
+    hdr[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    stream.write_all(&hdr)?;
+    stream.write_all(payload)
+}
+
+/// Everything a child reported over its control socket before exiting.
+#[derive(Default)]
+struct ChildReport {
+    result: Option<Vec<u8>>,
+    panic: Option<String>,
+    stats: Option<Vec<u8>>,
+    faults: Option<Vec<u8>>,
+    trace: Option<Vec<u8>>,
+}
+
+fn read_ctl_to_eof(mut ctl: UnixStream) -> ChildReport {
+    let mut report = ChildReport::default();
+    loop {
+        let mut hdr = [0u8; 5];
+        if ctl.read_exact(&mut hdr).is_err() {
+            break;
+        }
+        let len = u32::from_le_bytes(hdr[1..5].try_into().unwrap()) as usize;
+        let mut payload = vec![0u8; len];
+        if ctl.read_exact(&mut payload).is_err() {
+            break;
+        }
+        match hdr[0] {
+            CTL_RESULT => report.result = Some(payload),
+            CTL_PANIC => report.panic = Some(String::from_utf8_lossy(&payload).into_owned()),
+            CTL_STATS => report.stats = Some(payload),
+            CTL_FAULTS => report.faults = Some(payload),
+            CTL_TRACE => report.trace = Some(payload),
+            _ => break,
+        }
+    }
+    report
+}
+
+/// Block until `pid` is reaped (retrying `EINTR`), so no generation ever
+/// leaves a zombie behind.
+fn reap(pid: i32) {
+    let mut status = 0i32;
+    loop {
+        let r = unsafe { ffi::waitpid(pid, &mut status, 0) };
+        if r == pid {
+            return;
+        }
+        if r == -1 {
+            let errno = std::io::Error::last_os_error().raw_os_error().unwrap_or(0);
+            if errno == EINTR {
+                continue;
+            }
+            return; // ECHILD: already reaped elsewhere
+        }
+    }
+}
+
+/// The rank process body; never returns. Everything the parent needs back
+/// travels over the control socket — `_exit` skips atexit/stdio teardown so a
+/// forked test binary's harness state is never touched.
+fn child_main<T, E, F>(
+    rank: usize,
+    peers: Vec<Option<UnixStream>>,
+    mut control: UnixStream,
+    fault: Option<Arc<FaultPlan>>,
+    generation: usize,
+    f: &F,
+) -> !
+where
+    T: Wire + Send,
+    E: Wire + Send + From<DmemError>,
+    F: Fn(&mut RankCtx) -> Result<T, E> + Sync,
+{
+    // Discard trace events inherited from the parent's buffers (fork copies
+    // them), so this child ships only its own. Skipped when tracing is off:
+    // collect() takes registry locks that some unrelated parent thread may
+    // have held at fork time (multi-threaded test binaries).
+    let tracing = trace::enabled(trace::Detail::Stage);
+    if tracing {
+        let _ = trace::collect();
+    }
+    let transport = Arc::new(ProcessTransport::new(rank, peers));
+    let as_dyn: Arc<dyn Transport> = Arc::clone(&transport) as Arc<dyn Transport>;
+    let mut ctx = RankCtx::new(rank, as_dyn, fault.clone(), generation);
+    if generation > 0 {
+        trace::instant(
+            "recovery-generation",
+            trace::Detail::Stage,
+            rank as u32,
+            &[("generation", generation as u64)],
+        );
+    }
+    match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+        Ok(result) => {
+            transport.send_fin_all();
+            let stats = ctx.into_stats();
+            let _ = send_ctl(&mut control, CTL_RESULT, &wire::to_bytes(&result));
+            let _ = send_ctl(&mut control, CTL_STATS, &wire::to_bytes(&stats));
+            if let Some(plan) = &fault {
+                let _ = send_ctl(
+                    &mut control,
+                    CTL_FAULTS,
+                    &wire::to_bytes(&plan.snapshot_state()),
+                );
+            }
+            if tracing {
+                let _ = send_ctl(&mut control, CTL_TRACE, &trace::collect().to_wire_bytes());
+            }
+            unsafe { ffi::_exit(0) }
+        }
+        Err(payload) => {
+            // Peers first (they may be blocked), then the parent. The abort
+            // detail is the "panicked: ..." form peers expect; the control
+            // frame carries the raw text so the parent's re-raise reproduces
+            // the original panic message.
+            let detail = crate::panic_detail(&*payload);
+            transport.publish_abort(rank, &detail);
+            let raw = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panicked".to_string());
+            let _ = send_ctl(&mut control, CTL_PANIC, raw.as_bytes());
+            if let Some(plan) = &fault {
+                let _ = send_ctl(
+                    &mut control,
+                    CTL_FAULTS,
+                    &wire::to_bytes(&plan.snapshot_state()),
+                );
+            }
+            unsafe { ffi::_exit(101) }
+        }
+    }
+}
+
+/// Fork one generation of rank processes, run `f` in each, and gather results,
+/// stats, fault state and traces back in the parent. Every child is reaped
+/// before this returns. A child that died without reporting a result is
+/// synthesized as `Err(PeerFailed)` so recovery policies can treat a killed
+/// process exactly like an in-run rank failure.
+pub(crate) fn run_process_generation<T, E, F>(
+    ranks: usize,
+    fault: Option<Arc<FaultPlan>>,
+    generation: usize,
+    f: &F,
+) -> ProcessOutcome<T, E>
+where
+    T: Wire + Send,
+    E: Wire + Send + From<DmemError>,
+    F: Fn(&mut RankCtx) -> Result<T, E> + Sync,
+{
+    trace::pin_epoch();
+
+    // All sockets exist before the first fork; each child then closes what
+    // isn't its own (see the module docs on fd hygiene).
+    let mut conns: Vec<Vec<Option<UnixStream>>> = (0..ranks)
+        .map(|_| (0..ranks).map(|_| None).collect())
+        .collect();
+    #[allow(clippy::needless_range_loop)] // two rows of `conns` are written per pair
+    for i in 0..ranks {
+        for j in (i + 1)..ranks {
+            let (a, b) = UnixStream::pair().expect("rank mesh socketpair");
+            conns[i][j] = Some(a);
+            conns[j][i] = Some(b);
+        }
+    }
+    let mut parent_ctl: Vec<Option<UnixStream>> = Vec::with_capacity(ranks);
+    let mut child_ctl: Vec<Option<UnixStream>> = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let (p, c) = UnixStream::pair().expect("control socketpair");
+        parent_ctl.push(Some(p));
+        child_ctl.push(Some(c));
+    }
+
+    let mut pids = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let pid = unsafe { ffi::fork() };
+        assert!(pid >= 0, "fork failed: {}", std::io::Error::last_os_error());
+        if pid == 0 {
+            let peers = std::mem::take(&mut conns[rank]);
+            let control = child_ctl[rank].take().expect("child control socket");
+            drop(conns);
+            drop(child_ctl);
+            drop(parent_ctl);
+            child_main::<T, E, F>(rank, peers, control, fault.clone(), generation, f);
+        }
+        pids.push(pid);
+    }
+    drop(conns);
+    drop(child_ctl);
+
+    // One reader per control socket; a child that dies mid-report just EOFs.
+    let reports: Vec<ChildReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parent_ctl
+            .into_iter()
+            .map(|ctl| {
+                let ctl = ctl.expect("parent control socket");
+                scope.spawn(move || read_ctl_to_eof(ctl))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("control reader panicked"))
+            .collect()
+    });
+
+    for &pid in &pids {
+        reap(pid);
+    }
+
+    let mut results = Vec::with_capacity(ranks);
+    let mut comm = Vec::with_capacity(ranks);
+    let mut panic = None;
+    for (rank, report) in reports.into_iter().enumerate() {
+        if panic.is_none() {
+            if let Some(text) = report.panic {
+                panic = Some((rank, text));
+            }
+        }
+        let decoded = report
+            .result
+            .as_deref()
+            .and_then(wire::from_bytes::<Result<T, E>>);
+        results.push(decoded.unwrap_or_else(|| {
+            Err(E::from(DmemError::PeerFailed {
+                rank,
+                round: 0,
+                detail: format!("rank {rank} exited without reporting a result"),
+            }))
+        }));
+        comm.push(
+            report
+                .stats
+                .as_deref()
+                .and_then(wire::from_bytes::<CommStats>)
+                .unwrap_or_else(|| CommStats::new(ranks)),
+        );
+        if let (Some(plan), Some(bytes)) = (&fault, report.faults.as_deref()) {
+            if let Some(state) = wire::from_bytes::<Vec<(bool, u32)>>(bytes) {
+                plan.absorb_state(&state);
+            }
+        }
+        if let Some(bytes) = report.trace {
+            if let Some(child_trace) = trace::Trace::from_wire_bytes(&bytes) {
+                trace::note_rank_pid(rank as u32, pids[rank] as u32);
+                trace::absorb(child_trace);
+            }
+        }
+    }
+    ProcessOutcome {
+        results,
+        comm,
+        panic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, Cluster, FlatReceived};
+
+    #[test]
+    fn process_backend_collectives_agree_with_the_thread_backend() {
+        let payload = |ctx: &mut RankCtx| -> Result<(Vec<u64>, Vec<u32>, u64), DmemError> {
+            let sum = ctx.allreduce_sum_u64(&[ctx.rank() as u64, 7], "sizes")?;
+            let all = ctx.allgather(ctx.rank() as u32, "gather")?;
+            let max = ctx.allreduce_u64(ctx.rank() as u64 * 3, "max", u64::max)?;
+            ctx.barrier()?;
+            Ok((sum, all, max))
+        };
+        for p in [1usize, 2, 5] {
+            let threaded = Cluster::new(p).run_wire(payload);
+            let forked = Cluster::new(p)
+                .with_backend(Backend::Process)
+                .run_wire(payload);
+            for rank in 0..p {
+                assert_eq!(
+                    threaded.results[rank].as_ref().unwrap(),
+                    forked.results[rank].as_ref().unwrap(),
+                    "p={p} rank={rank}"
+                );
+                assert_eq!(
+                    threaded.comm[rank].payload_bytes, forked.comm[rank].payload_bytes,
+                    "traffic accounting must be backend-independent (p={p} rank={rank})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn process_backend_flat_exchange_moves_real_bytes() {
+        let p = 4;
+        let run = Cluster::new(p).with_backend(Backend::Process).run_wire(
+            |ctx| -> Result<Vec<Vec<u8>>, DmemError> {
+                let send: Vec<u8> = (0..ctx.size() * 3).map(|_| ctx.rank() as u8).collect();
+                let counts = vec![3usize; ctx.size()];
+                let recv = ctx.alltoallv_flat(send, &counts, "exchange")?;
+                Ok((0..ctx.size())
+                    .map(|src| recv.from_rank(src).to_vec())
+                    .collect())
+            },
+        );
+        for (rank, res) in run.results.iter().enumerate() {
+            let per_src = res.as_ref().unwrap();
+            for (src, bytes) in per_src.iter().enumerate() {
+                assert_eq!(bytes, &vec![src as u8; 3], "rank {rank} from {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn process_backend_round_engine_overlaps_and_completes() {
+        let p = 3;
+        let rounds = 4;
+        let run = Cluster::new(p).with_backend(Backend::Process).run_wire(
+            move |ctx| -> Result<Vec<Vec<u8>>, DmemError> {
+                let mut engine = ctx.round_exchange(rounds, "engine");
+                let mut recv = FlatReceived::empty();
+                let mut got = Vec::new();
+                // Post ahead, complete behind: rounds r and r+1 are in flight
+                // together, so segments really sit in socket buffers.
+                engine.post_round(0, round_buf(ctx.rank(), p, 0), &vec![5; p])?;
+                for r in 0..rounds {
+                    if r + 1 < rounds {
+                        engine.post_round(r + 1, round_buf(ctx.rank(), p, r + 1), &vec![5; p])?;
+                    }
+                    engine.wait_round(r, &mut recv)?;
+                    for src in 0..p {
+                        got.push(recv.from_rank(src).to_vec());
+                    }
+                }
+                engine.finish(ctx);
+                Ok(got)
+            },
+        );
+        for (rank, res) in run.results.iter().enumerate() {
+            let got = res.as_ref().unwrap();
+            for r in 0..rounds {
+                for src in 0..p {
+                    assert_eq!(
+                        got[r * p + src],
+                        round_buf(src, 1, r),
+                        "rank {rank} round {r} from {src}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-destination round payload: 5 bytes stamped (src, round) per rank.
+    fn round_buf(src: usize, ranks: usize, round: usize) -> Vec<u8> {
+        let seg: Vec<u8> = (0..5).map(|i| (src * 40 + round * 8 + i) as u8).collect();
+        seg.iter().copied().cycle().take(5 * ranks).collect()
+    }
+
+    /// The ISSUE's satellite regression: a peer killed mid-round (hard `_exit`,
+    /// no unwinding, no abort frame — as close to SIGKILL as a test can get)
+    /// must surface as the typed `PeerFailed` on every survivor's
+    /// `wait_round`, not as a hang. Companion to the poisoned-board unit test
+    /// in `nonblocking.rs`, which pins the same contract on the thread backend.
+    #[test]
+    fn peer_killed_mid_round_surfaces_peer_failed() {
+        let outcome = run_process_generation::<u32, DmemError, _>(3, None, 0, &|ctx| {
+            let mut engine = ctx.round_exchange(2, "engine");
+            let mut recv = FlatReceived::empty();
+            let counts = vec![1usize; 3];
+            engine.post_round(0, vec![ctx.rank() as u8; 3], &counts)?;
+            engine.wait_round(0, &mut recv)?;
+            if ctx.rank() == 1 {
+                // Die without a word between rounds 0 and 1.
+                unsafe { ffi::_exit(9) }
+            }
+            engine.post_round(1, vec![ctx.rank() as u8; 3], &counts)?;
+            engine.wait_round(1, &mut recv)?;
+            engine.finish(ctx);
+            Ok(0)
+        });
+        assert!(outcome.panic.is_none());
+        for (rank, res) in outcome.results.iter().enumerate() {
+            let err = res.as_ref().expect_err("every rank must fail");
+            assert!(
+                matches!(err, DmemError::PeerFailed { rank: 1, .. }),
+                "rank {rank} got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn child_panic_reraises_in_the_parent_and_unblocks_peers() {
+        let outcome = catch_unwind(|| {
+            Cluster::new(2).with_backend(Backend::Process).run_wire(
+                |ctx| -> Result<u32, DmemError> {
+                    if ctx.rank() == 0 {
+                        panic!("rank 0 exploded");
+                    }
+                    ctx.allgather(1u32, "exchange")?;
+                    Ok(1)
+                },
+            )
+        });
+        let payload = outcome.expect_err("the child panic must re-raise");
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(text.contains("rank 0 exploded"), "got: {text}");
+    }
+
+    #[test]
+    fn injected_fail_rank_behaves_like_the_thread_backend() {
+        let plan =
+            Arc::new(FaultPlan::new().with_fault(2, "exchange", 0, crate::FaultKind::FailRank));
+        let run = Cluster::new(4)
+            .with_backend(Backend::Process)
+            .with_fault_plan(Arc::clone(&plan))
+            .run_wire(|ctx| -> Result<u32, DmemError> {
+                let send = vec![ctx.rank() as u8; ctx.size()];
+                let counts = vec![1usize; ctx.size()];
+                ctx.alltoallv_flat(send, &counts, "exchange")?;
+                Ok(0)
+            });
+        // The child fired the fault; its state came home over the control
+        // socket and was absorbed into the parent's plan.
+        assert_eq!(plan.fired_count(), 1);
+        for (rank, res) in run.results.iter().enumerate() {
+            let err = res.as_ref().expect_err("every rank must fail");
+            if rank == 2 {
+                assert!(
+                    matches!(err, DmemError::InjectedFault { rank: 2, .. }),
+                    "rank 2 got {err}"
+                );
+            } else {
+                assert!(
+                    matches!(err, DmemError::PeerFailed { rank: 2, .. }),
+                    "rank {rank} got {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_recovering_wire_respawns_process_generations() {
+        use crate::RecoveryPolicy;
+        let policy = RecoveryPolicy {
+            max_attempts: 2,
+            backoff: std::time::Duration::from_millis(1),
+        };
+        let run = Cluster::new(3)
+            .with_backend(Backend::Process)
+            .run_recovering_wire(
+                &policy,
+                |e: &DmemError| e.is_rank_failure(),
+                |ctx| -> Result<u64, DmemError> {
+                    let sum = ctx.allreduce_u64(ctx.rank() as u64, "probe", |a, b| a + b)?;
+                    if ctx.generation() == 0 && ctx.rank() == 1 {
+                        return Err(DmemError::PeerFailed {
+                            rank: 1,
+                            round: 0,
+                            detail: "simulated recoverable loss".to_string(),
+                        });
+                    }
+                    Ok(sum)
+                },
+            );
+        assert_eq!(run.recoveries, 1);
+        for res in &run.results {
+            assert_eq!(*res.as_ref().unwrap(), 3);
+        }
+    }
+}

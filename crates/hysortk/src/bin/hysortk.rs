@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use hysortk_core::ingest::{count_kmers_from_files_faulted, count_kmers_from_files_with};
 use hysortk_core::{CountResult, HySortKConfig, HysortkError};
-use hysortk_dmem::FaultPlan;
+use hysortk_dmem::{Backend, FaultPlan};
 use hysortk_dna::io::IngestOptions;
 use hysortk_dna::kmer::{Kmer1, Kmer2, KmerCode};
 use hysortk_trace::{Detail, Verbosity};
@@ -43,6 +43,9 @@ options:
   --batch-size <n>   records per destination per exchange round (default 80000)
   --block-bytes <n>  ingestion block size in bytes (default 1 MiB)
   --no-overlap       bulk-synchronous exchange instead of the round engine
+  --backend <b>      how ranks run: `thread` (in-process simulation, default) or
+                     `process` (one forked OS process per rank, exchanges over
+                     UNIX sockets — identical output, real transfer cost)
   --out <path>       write the multiplicity histogram TSV here (default stdout)
   -h, --help         this help
 
@@ -99,6 +102,7 @@ struct CliArgs {
     batch_size: usize,
     block_bytes: usize,
     overlap: bool,
+    backend: Backend,
     out: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
     checkpoint_every: usize,
@@ -133,6 +137,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Option<CliArgs>, String> {
         batch_size: 80_000,
         block_bytes: 1 << 20,
         overlap: true,
+        backend: Backend::Thread,
         out: None,
         checkpoint: None,
         checkpoint_every: 1,
@@ -163,6 +168,11 @@ fn parse_args(mut args: std::env::Args) -> Result<Option<CliArgs>, String> {
                 cli.block_bytes = parse_num(&value("--block-bytes")?, "--block-bytes")?
             }
             "--no-overlap" => cli.overlap = false,
+            "--backend" => {
+                let name = value("--backend")?;
+                cli.backend = Backend::from_name(&name)
+                    .ok_or_else(|| format!("unknown backend `{name}` (try thread or process)"))?;
+            }
             "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
             "--checkpoint" => cli.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
             "--checkpoint-every" => {
@@ -225,6 +235,7 @@ fn config_for(cli: &CliArgs) -> HySortKConfig {
     cfg.max_count = cli.max_count;
     cfg.batch_size = cli.batch_size;
     cfg.overlap = cli.overlap;
+    cfg.backend = cli.backend;
     // `--resume <dir>` implies checkpointing into the same directory, so the finished
     // run is durable end to end (and the run can be killed and resumed again).
     cfg.checkpoint_dir = cli.resume.clone().or_else(|| cli.checkpoint.clone());
@@ -295,12 +306,13 @@ fn run<K: KmerCode>(cli: &CliArgs, cfg: &HySortKConfig) -> Result<(), HysortkErr
         return Ok(());
     }
     eprintln!(
-        "[hysortk] {} file(s), k={} m={} ranks={} overlap={}",
+        "[hysortk] {} file(s), k={} m={} ranks={} overlap={} backend={}",
         cli.files.len(),
         cfg.k,
         cfg.m,
         cfg.total_ranks(),
         cfg.overlap,
+        cfg.backend,
     );
     eprintln!(
         "[hysortk] {} k-mer instances, {} distinct, {} retained in [{}, {}]",

@@ -1,5 +1,6 @@
 //! Configuration of a HySortK run.
 
+use hysortk_dmem::Backend;
 use hysortk_perfmodel::{ExecutionConfig, MachineConfig};
 use hysortk_task::HeavyHitterPolicy;
 
@@ -96,6 +97,12 @@ pub struct HySortKConfig {
     /// Base backoff in milliseconds of the transient-I/O retry; grows exponentially
     /// per attempt with a deterministic jitter (see `hysortk_core::ingest`).
     pub io_backoff_ms: u64,
+    /// How ranks are realised: [`Backend::Thread`] simulates them as threads in this
+    /// process (fast, zero-copy boards), [`Backend::Process`] forks one OS process
+    /// per rank and moves every exchanged byte over UNIX domain sockets (real
+    /// transfer cost, real address-space isolation). Output is byte-identical
+    /// between the two; `hysortk count --backend` selects it on the CLI.
+    pub backend: Backend,
 }
 
 impl Default for HySortKConfig {
@@ -128,6 +135,7 @@ impl Default for HySortKConfig {
             recovery_backoff_ms: 10,
             io_retries: 3,
             io_backoff_ms: 2,
+            backend: Backend::Thread,
         }
     }
 }

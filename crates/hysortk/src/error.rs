@@ -10,7 +10,7 @@
 use std::fmt;
 use std::io;
 
-use hysortk_dmem::DmemError;
+use hysortk_dmem::{DmemError, Wire};
 
 use crate::wire::WireError;
 
@@ -101,6 +101,89 @@ impl std::error::Error for HysortkError {
 impl From<DmemError> for HysortkError {
     fn from(e: DmemError) -> Self {
         HysortkError::Comm(e)
+    }
+}
+
+/// The `io::ErrorKind`s the pipeline distinguishes on the wire. Anything else is
+/// carried as `Other` — the message string still tells the full story.
+const IO_KINDS: [io::ErrorKind; 8] = [
+    io::ErrorKind::NotFound,
+    io::ErrorKind::PermissionDenied,
+    io::ErrorKind::TimedOut,
+    io::ErrorKind::UnexpectedEof,
+    io::ErrorKind::Interrupted,
+    io::ErrorKind::InvalidData,
+    io::ErrorKind::WouldBlock,
+    io::ErrorKind::Other,
+];
+
+fn io_kind_code(kind: io::ErrorKind) -> u8 {
+    IO_KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .unwrap_or(IO_KINDS.len() - 1) as u8
+}
+
+/// Codec for shipping a rank's failure from a forked rank process back to the
+/// parent. `io::Error` travels as a kind code plus its rendered message: the
+/// payload (and any OS error) cannot cross an address space, but the exit code
+/// and the operator-facing report only need kind and text.
+impl Wire for HysortkError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            HysortkError::Config(msg) => {
+                0u8.encode(out);
+                msg.encode(out);
+            }
+            HysortkError::Io { path, rank, source } => {
+                1u8.encode(out);
+                path.encode(out);
+                rank.encode(out);
+                io_kind_code(source.kind()).encode(out);
+                source.to_string().encode(out);
+            }
+            HysortkError::Wire {
+                rank,
+                round,
+                source,
+            } => {
+                2u8.encode(out);
+                rank.encode(out);
+                round.encode(out);
+                source.encode(out);
+            }
+            HysortkError::Comm(e) => {
+                3u8.encode(out);
+                e.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            0 => HysortkError::Config(String::decode(input)?),
+            1 => {
+                let path = String::decode(input)?;
+                let rank = usize::decode(input)?;
+                let kind = IO_KINDS
+                    .get(u8::decode(input)? as usize)
+                    .copied()
+                    .unwrap_or(io::ErrorKind::Other);
+                let message = String::decode(input)?;
+                HysortkError::Io {
+                    path,
+                    rank,
+                    source: io::Error::new(kind, message),
+                }
+            }
+            2 => HysortkError::Wire {
+                rank: usize::decode(input)?,
+                round: usize::decode(input)?,
+                source: WireError::decode(input)?,
+            },
+            3 => HysortkError::Comm(DmemError::decode(input)?),
+            _ => return None,
+        })
     }
 }
 

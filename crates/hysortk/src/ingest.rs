@@ -164,7 +164,7 @@ fn count_kmers_from_files_inner<K: KmerCode, P: AsRef<Path>>(
         SortAlgorithm::Paradis
     };
 
-    let mut cluster = Cluster::new(p);
+    let mut cluster = Cluster::new(p).with_backend(cfg.backend);
     if let Some(plan) = plan {
         cluster = cluster.with_fault_plan(plan);
     }
@@ -182,7 +182,7 @@ fn count_kmers_from_files_inner<K: KmerCode, P: AsRef<Path>>(
         HysortkError::Comm(d) => d.is_rank_failure(),
         _ => false,
     };
-    let run = cluster.run_recovering(&policy, recoverable, |ctx| {
+    let run = cluster.run_recovering_wire(&policy, recoverable, |ctx| {
         rank_pipeline_from_files::<K>(ctx, &files, cfg, num_tasks, sorter, &opts)
     });
     let mut outputs = Vec::with_capacity(run.results.len());

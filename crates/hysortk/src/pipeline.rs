@@ -23,7 +23,7 @@
 
 use std::time::Instant;
 
-use hysortk_dmem::{Cluster, CommStats, RankCtx};
+use hysortk_dmem::{Cluster, CommStats, RankCtx, Wire};
 use hysortk_dna::extension::Extension;
 use hysortk_dna::kmer::KmerCode;
 use hysortk_dna::readset::{Read, ReadSet};
@@ -141,6 +141,139 @@ pub(crate) struct RankOutput<K: KmerCode> {
     extensions: Option<Vec<Vec<Extension>>>,
     histogram: KmerHistogram,
     pub(crate) counters: RankCounters,
+}
+
+impl Wire for WallBuckets {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in self.to_stage_vec() {
+            v.encode(out);
+        }
+        self.total.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let mut stages = [0f64; 8];
+        for slot in &mut stages {
+            *slot = f64::decode(input)?;
+        }
+        let [ingest, parse, serialize, exchange_wait, count, checkpoint, merge, _other] = stages;
+        Some(WallBuckets {
+            ingest,
+            parse,
+            serialize,
+            exchange_wait,
+            count,
+            checkpoint,
+            merge,
+            total: f64::decode(input)?,
+        })
+    }
+}
+
+impl Wire for RankCounters {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.bases_parsed.encode(out);
+        self.kmers_parsed.encode(out);
+        self.supermers_built.encode(out);
+        self.heavy_local_sorted.encode(out);
+        self.received_elements.encode(out);
+        self.precounted_elements.encode(out);
+        self.worker_makespan.encode(out);
+        self.exchange_rounds.encode(out);
+        self.assignment_imbalance.encode(out);
+        self.heavy_tasks.encode(out);
+        self.overlap_hidden_bytes.encode(out);
+        self.overlap_exposed_bytes.encode(out);
+        self.io_retries.encode(out);
+        self.epochs_committed.encode(out);
+        self.wall.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(RankCounters {
+            bases_parsed: u64::decode(input)?,
+            kmers_parsed: u64::decode(input)?,
+            supermers_built: u64::decode(input)?,
+            heavy_local_sorted: u64::decode(input)?,
+            received_elements: u64::decode(input)?,
+            precounted_elements: u64::decode(input)?,
+            worker_makespan: u64::decode(input)?,
+            exchange_rounds: usize::decode(input)?,
+            assignment_imbalance: f64::decode(input)?,
+            heavy_tasks: usize::decode(input)?,
+            overlap_hidden_bytes: u64::decode(input)?,
+            overlap_exposed_bytes: u64::decode(input)?,
+            io_retries: u64::decode(input)?,
+            epochs_committed: u64::decode(input)?,
+            wall: WallBuckets::decode(input)?,
+        })
+    }
+}
+
+/// Codec carrying a rank's entire output home from a forked rank process.
+/// K-mer codes travel as their packed words (`K::WORDS` per code), extensions
+/// as their fixed 8-byte encoding — the same representations the exchange wire
+/// format uses, so the process backend adds no new byte-level invariants.
+impl<K: KmerCode> Wire for RankOutput<K> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.counts.len() as u64).encode(out);
+        for (code, count) in &self.counts {
+            for &w in code.word_slice() {
+                w.encode(out);
+            }
+            count.encode(out);
+        }
+        match &self.extensions {
+            None => false.encode(out),
+            Some(per_kmer) => {
+                true.encode(out);
+                (per_kmer.len() as u64).encode(out);
+                for exts in per_kmer {
+                    (exts.len() as u64).encode(out);
+                    for ext in exts {
+                        out.extend_from_slice(&ext.to_bytes());
+                    }
+                }
+            }
+        }
+        self.histogram.encode(out);
+        self.counters.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let n = u64::decode(input)? as usize;
+        let mut counts = Vec::with_capacity(n.min(input.len() / 8));
+        let mut words = vec![0u64; K::WORDS];
+        for _ in 0..n {
+            for w in &mut words {
+                *w = u64::decode(input)?;
+            }
+            counts.push((K::from_word_slice(&words), u64::decode(input)?));
+        }
+        let extensions = if bool::decode(input)? {
+            let kmers = u64::decode(input)? as usize;
+            let mut per_kmer = Vec::with_capacity(kmers.min(input.len()));
+            for _ in 0..kmers {
+                let m = u64::decode(input)? as usize;
+                let mut exts = Vec::with_capacity(m.min(input.len() / Extension::WIRE_BYTES));
+                for _ in 0..m {
+                    let bytes: &[u8; 8] = input.get(..8)?.try_into().ok()?;
+                    exts.push(Extension::from_bytes(bytes));
+                    *input = &input[8..];
+                }
+                per_kmer.push(exts);
+            }
+            Some(per_kmer)
+        } else {
+            None
+        };
+        Some(RankOutput {
+            counts,
+            extensions,
+            histogram: KmerHistogram::decode(input)?,
+            counters: RankCounters::decode(input)?,
+        })
+    }
 }
 
 /// Compact send-side reference to one supermer: the read it was cut from (an index
@@ -375,8 +508,9 @@ pub fn count_kmers<K: KmerCode>(reads: &ReadSet, cfg: &HySortKConfig) -> CountRe
         SortAlgorithm::Paradis
     };
 
-    let cluster = Cluster::new(p);
-    let run = cluster.run(|ctx| rank_pipeline::<K>(ctx, reads, &ranges, cfg, num_tasks, sorter));
+    let cluster = Cluster::new(p).with_backend(cfg.backend);
+    let run =
+        cluster.run_wire(|ctx| rank_pipeline::<K>(ctx, reads, &ranges, cfg, num_tasks, sorter));
 
     // The in-memory path attaches no fault plan and writes its own wire bytes, so
     // injected faults, checksum-corrupted segments and peer aborts cannot arise;

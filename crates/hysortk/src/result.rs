@@ -1,6 +1,6 @@
 //! Results and run reports.
 
-use hysortk_dmem::CommStats;
+use hysortk_dmem::{CommStats, Wire};
 use hysortk_dna::extension::Extension;
 use hysortk_dna::kmer::KmerCode;
 use hysortk_perfmodel::{SortAlgorithm, StageTimes};
@@ -63,7 +63,24 @@ impl KmerHistogram {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+}
 
+/// Exact bucket-for-bucket codec (process-backend result transport).
+impl Wire for KmerHistogram {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.buckets.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let buckets = Vec::<u64>::decode(input)?;
+        if buckets.len() < 2 {
+            return None;
+        }
+        Some(KmerHistogram { buckets })
+    }
+}
+
+impl KmerHistogram {
     /// Render the histogram as TSV `multiplicity\tdistinct` lines (empty buckets
     /// skipped; the last bucket accumulates counts at or above the cap). This is the
     /// `hysortk count --out` file format, and what the CLI smoke test diffs against

@@ -118,6 +118,77 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Codec for shipping a parse defect across a process-backend control socket: the
+/// variant as a tag byte, then its fields. Rank errors must survive the trip back
+/// to the parent unchanged, or a corrupted segment in a forked rank would degrade
+/// into an unexplained "rank exited" report.
+impl hysortk_dmem::Wire for WireError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WireError::Truncated { offset } => {
+                0u8.encode(out);
+                offset.encode(out);
+            }
+            WireError::BadKind { kind, offset } => {
+                1u8.encode(out);
+                kind.encode(out);
+                offset.encode(out);
+            }
+            WireError::BadExtension { offset } => {
+                2u8.encode(out);
+                offset.encode(out);
+            }
+            WireError::Oversized { offset } => {
+                3u8.encode(out);
+                offset.encode(out);
+            }
+            WireError::Checksum { task, offset } => {
+                4u8.encode(out);
+                task.encode(out);
+                offset.encode(out);
+            }
+            WireError::CountMismatch {
+                task,
+                expected,
+                got,
+            } => {
+                5u8.encode(out);
+                task.encode(out);
+                expected.encode(out);
+                got.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            0 => WireError::Truncated {
+                offset: usize::decode(input)?,
+            },
+            1 => WireError::BadKind {
+                kind: u8::decode(input)?,
+                offset: usize::decode(input)?,
+            },
+            2 => WireError::BadExtension {
+                offset: usize::decode(input)?,
+            },
+            3 => WireError::Oversized {
+                offset: usize::decode(input)?,
+            },
+            4 => WireError::Checksum {
+                task: u32::decode(input)?,
+                offset: usize::decode(input)?,
+            },
+            5 => WireError::CountMismatch {
+                task: u32::decode(input)?,
+                expected: u64::decode(input)?,
+                got: u64::decode(input)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
 /// Checksum guarding each task block: a multiply–rotate hash folded to 32 bits,
 /// appended after the payload by every writer and verified by [`read_blocks`]. Not
 /// cryptographic — it exists so a bit flipped in flight surfaces as

@@ -32,6 +32,29 @@ impl HyperLogLog {
         self.registers.len()
     }
 
+    /// The precision this sketch was built with.
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// The raw register array, for serialising the sketch across a transport.
+    pub fn registers(&self) -> &[u8] {
+        &self.registers
+    }
+
+    /// Rebuild a sketch from its serialised parts. Returns `None` when the
+    /// register count does not match `2^precision` or the precision is out of
+    /// range — a malformed wire payload, not a programming error.
+    pub fn from_parts(precision: u8, registers: Vec<u8>) -> Option<Self> {
+        if !(4..=16).contains(&precision) || registers.len() != 1usize << precision {
+            return None;
+        }
+        Some(HyperLogLog {
+            precision,
+            registers,
+        })
+    }
+
     /// Serialised size in bytes (what an MPI all-reduce of the sketch would move).
     pub fn wire_bytes(&self) -> usize {
         self.registers.len()

@@ -27,6 +27,7 @@
 //! thread id, flow arrows (`s`/`f`) connect a posted exchange round to its
 //! completion on the receiving side.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -393,9 +394,70 @@ pub struct Trace {
     pub dropped: u64,
 }
 
-/// Drain every thread's buffer. Buffers are emptied (a second collect returns
-/// only events recorded in between); per-thread event order is preserved, and
-/// the merged result is stably sorted by timestamp.
+/// Side buffer of events absorbed from other processes (see [`absorb`]);
+/// drained into the merged timeline by [`collect`].
+fn absorbed() -> &'static Mutex<(Vec<Event>, u64)> {
+    static ABSORBED: OnceLock<Mutex<(Vec<Event>, u64)>> = OnceLock::new();
+    ABSORBED.get_or_init(|| Mutex::new((Vec::new(), 0)))
+}
+
+/// Pin the recorder epoch now. The process backend calls this before forking
+/// rank processes so parent and children timestamp against the same monotonic
+/// origin (the epoch `Instant` crosses `fork()` by memory inheritance) and the
+/// merged timeline lines up.
+pub fn pin_epoch() {
+    let _ = epoch();
+}
+
+/// Merge a [`Trace`] collected in another process into this recorder. Thread
+/// ids are remapped through the local tid allocator so child threads never
+/// collide with local ones; events land in a side buffer drained by the next
+/// [`collect`].
+pub fn absorb(trace: Trace) {
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut side = absorbed().lock().unwrap();
+    for mut ev in trace.events {
+        let tid = *remap
+            .entry(ev.tid)
+            .or_insert_with(|| NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        ev.tid = tid;
+        side.0.push(ev);
+    }
+    side.1 += trace.dropped;
+}
+
+/// Record the real OS process id a rank ran on (process backend), so the
+/// Chrome export can label the rank's track with it. The exported `pid` field
+/// stays the rank id — the stable key every downstream consumer relies on.
+pub fn note_rank_pid(rank: u32, pid: u32) {
+    rank_pids().lock().unwrap().insert(rank, pid);
+}
+
+fn rank_pids() -> &'static Mutex<HashMap<u32, u32>> {
+    static RANK_PIDS: OnceLock<Mutex<HashMap<u32, u32>>> = OnceLock::new();
+    RANK_PIDS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Intern a runtime string as `&'static str`, deduplicated so repeated
+/// decodes of the same label (every event of a stage) leak it only once.
+fn intern(s: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let mut map = INTERNED
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap();
+    if let Some(&v) = map.get(s) {
+        return v;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    map.insert(s.to_string(), leaked);
+    leaked
+}
+
+/// Drain every thread's buffer plus the absorbed cross-process side buffer.
+/// Buffers are emptied (a second collect returns only events recorded in
+/// between); per-thread event order is preserved, and the merged result is
+/// stably sorted by timestamp.
 pub fn collect() -> Trace {
     let mut events = Vec::new();
     let mut dropped = 0u64;
@@ -403,6 +465,11 @@ pub fn collect() -> Trace {
         let (mut evs, d) = buf.lock().unwrap().drain();
         events.append(&mut evs);
         dropped += d;
+    }
+    {
+        let mut side = absorbed().lock().unwrap();
+        events.append(&mut side.0);
+        dropped += std::mem::take(&mut side.1);
     }
     events.sort_by_key(|e| e.ts_ns);
     Trace { events, dropped }
@@ -414,6 +481,98 @@ pub fn clear() {
 }
 
 impl Trace {
+    /// Serialize for shipping across a process boundary (the process backend's
+    /// control socket). Labels and argument names travel as strings and are
+    /// re-interned on decode.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::with_capacity(self.events.len() * 48 + 16);
+        out.extend_from_slice(&self.dropped.to_le_bytes());
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for ev in &self.events {
+            put_str(&mut out, ev.label);
+            out.push(ev.kind as u8);
+            out.extend_from_slice(&ev.ts_ns.to_le_bytes());
+            out.extend_from_slice(&ev.rank.to_le_bytes());
+            out.extend_from_slice(&ev.tid.to_le_bytes());
+            out.push(ev.nargs);
+            for (name, value) in ev.args() {
+                put_str(&mut out, name);
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a [`Trace::to_wire_bytes`] payload. Returns `None` on any
+    /// malformed input instead of panicking — a truncated control frame must
+    /// not take the parent down.
+    pub fn from_wire_bytes(mut input: &[u8]) -> Option<Trace> {
+        fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if input.len() < n {
+                return None;
+            }
+            let (head, rest) = input.split_at(n);
+            *input = rest;
+            Some(head)
+        }
+        fn get_u32(input: &mut &[u8]) -> Option<u32> {
+            take(input, 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        }
+        fn get_u64(input: &mut &[u8]) -> Option<u64> {
+            take(input, 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        }
+        fn get_str(input: &mut &[u8]) -> Option<&'static str> {
+            let len = get_u32(input)? as usize;
+            let bytes = take(input, len)?;
+            Some(intern(std::str::from_utf8(bytes).ok()?))
+        }
+        let dropped = get_u64(&mut input)?;
+        let count = get_u64(&mut input)? as usize;
+        let mut events = Vec::with_capacity(count.min(input.len() / 20 + 1));
+        for _ in 0..count {
+            let label = get_str(&mut input)?;
+            let kind = match take(&mut input, 1)?[0] {
+                0 => EventKind::Begin,
+                1 => EventKind::End,
+                2 => EventKind::Instant,
+                3 => EventKind::Counter,
+                4 => EventKind::FlowStart,
+                5 => EventKind::FlowEnd,
+                _ => return None,
+            };
+            let ts_ns = get_u64(&mut input)?;
+            let rank = get_u32(&mut input)?;
+            let tid = get_u32(&mut input)?;
+            let nargs = take(&mut input, 1)?[0];
+            if nargs > 2 {
+                return None;
+            }
+            let mut args = [("", 0u64); 2];
+            for slot in args.iter_mut().take(nargs as usize) {
+                let name = get_str(&mut input)?;
+                let value = get_u64(&mut input)?;
+                *slot = (name, value);
+            }
+            events.push(Event {
+                label,
+                kind,
+                ts_ns,
+                rank,
+                tid,
+                args,
+                nargs,
+            });
+        }
+        if !input.is_empty() {
+            return None;
+        }
+        Some(Trace { events, dropped })
+    }
+
     /// Events with the given label.
     pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
         self.events.iter().filter(move |e| e.label == label)
@@ -424,7 +583,6 @@ impl Trace {
     /// still open at collection time (their end simply never arrived), but an
     /// end without a matching begin on the same thread is an error.
     pub fn check_well_nested(&self) -> Result<(), String> {
-        use std::collections::HashMap;
         let mut stacks: HashMap<u32, Vec<&'static str>> = HashMap::new();
         for ev in &self.events {
             match ev.kind {
@@ -462,18 +620,25 @@ impl Trace {
         let mut out = String::with_capacity(self.events.len() * 96 + 256);
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
-        // Name each rank's process so Perfetto's track labels read "rank N".
+        // Name each rank's process so Perfetto's track labels read "rank N" —
+        // with the real OS pid appended when the process backend recorded one.
+        // The pid *field* stays the rank id either way (the stable key).
         let mut ranks: Vec<u32> = self.events.iter().map(|e| e.rank).collect();
         ranks.sort_unstable();
         ranks.dedup();
+        let pids = rank_pids().lock().unwrap();
         for rank in ranks {
             if !first {
                 out.push(',');
             }
             first = false;
+            let name = match pids.get(&rank) {
+                Some(pid) => format!("rank {rank} (pid {pid})"),
+                None => format!("rank {rank}"),
+            };
             out.push_str(&format!(
                 "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{rank},\"tid\":0,\
-                 \"args\":{{\"name\":\"rank {rank}\"}}}}"
+                 \"args\":{{\"name\":\"{name}\"}}}}"
             ));
         }
         for ev in &self.events {

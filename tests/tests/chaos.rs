@@ -344,6 +344,90 @@ fn truncation_to_a_clean_block_boundary_is_caught_by_reconciliation() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The chaos matrix on the **process backend**: forked rank processes under (a) an
+/// injected rank kill healed by respawning a whole process generation and (b) a
+/// transient ingest failure absorbed by bounded retry inside the child — each
+/// byte-identical to the healthy baseline, in both execution modes. A final
+/// `waitpid(-1)` sweep asserts the parent reaped every forked child: no orphaned
+/// processes, no zombies. (Only this test forks, so sweeping pid -1 cannot steal
+/// another test's children.)
+#[test]
+fn process_backend_absorbs_kills_and_transient_io_without_orphans() {
+    mod ffi {
+        extern "C" {
+            pub fn waitpid(pid: i32, status: *mut i32, options: i32) -> i32;
+        }
+    }
+    const WNOHANG: i32 = 1;
+
+    let reads = overlapping_reads(84);
+    let path = tmp_path("procchaos.fa");
+    fasta::write_fasta_file(&path, &reads, 70).unwrap();
+
+    for overlap in [false, true] {
+        let mut cfg = chaos_cfg(3, overlap);
+        let baseline =
+            count_kmers_from_files_with::<Kmer1, _>(&[&path], &cfg, IngestOptions::default())
+                .expect("healthy run");
+        cfg.backend = hysortk_dmem::Backend::Process;
+
+        // (a) Kill rank 1 mid-exchange: the parent must respawn a fresh process
+        // generation, and the fired-state must come back over the control socket so
+        // the kill does not fire again in generation 1.
+        let plan = Arc::new(FaultPlan::new().with_fault(1, "exchange", 0, FaultKind::FailRank));
+        let result = run_faulted(&path, &cfg, &plan)
+            .unwrap_or_else(|e| panic!("overlap={overlap} fail-rank: {e}"));
+        assert_eq!(
+            plan.fired_count(),
+            1,
+            "overlap={overlap}: fired-state not absorbed from the child"
+        );
+        assert_eq!(
+            result.counts, baseline.counts,
+            "overlap={overlap} fail-rank"
+        );
+        assert_eq!(
+            result.histogram, baseline.histogram,
+            "overlap={overlap} fail-rank"
+        );
+        assert!(
+            result.report.recoveries >= 1,
+            "overlap={overlap}: recovery not reported"
+        );
+
+        // (b) Transient ingest failures retried inside the child; the io_retries
+        // counter must survive the wire trip back to the parent.
+        let plan = Arc::new(FaultPlan::new().with_fault(
+            2,
+            "ingest",
+            0,
+            FaultKind::TransientIo { failures: 2 },
+        ));
+        let result = run_faulted(&path, &cfg, &plan)
+            .unwrap_or_else(|e| panic!("overlap={overlap} transient-io: {e}"));
+        assert!(
+            plan.fired_count() > 0,
+            "overlap={overlap}: the transient fault never fired"
+        );
+        assert_eq!(
+            result.counts, baseline.counts,
+            "overlap={overlap} transient-io"
+        );
+        assert!(
+            result.report.io_retries >= 1,
+            "overlap={overlap}: retried reads must survive the wire trip"
+        );
+    }
+
+    // Every fork must already be reaped: 0 would mean a still-running orphaned
+    // child, a positive pid an unreaped zombie; -1 (ECHILD) says no children remain.
+    let mut status = 0i32;
+    let rc = unsafe { ffi::waitpid(-1, &mut status, WNOHANG) };
+    assert_eq!(rc, -1, "unreaped child process (waitpid returned {rc})");
+
+    std::fs::remove_file(&path).ok();
+}
+
 /// Corrupted wire bytes must be rejected by the per-block checksum with the rank and
 /// round attached — on both execution modes.
 #[test]

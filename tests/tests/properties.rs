@@ -485,6 +485,57 @@ fn overlapped_records_ablation_matches_bulk_with_and_without_compression() {
     }
 }
 
+// ---------------- process backend vs thread backend ----------------------------------
+
+#[test]
+fn process_backend_is_byte_identical_to_thread_backend_across_the_grid() {
+    // Forked rank processes moving every byte over UNIX domain sockets must reproduce
+    // the in-process channel backend exactly — counts, extensions, histogram and
+    // exchanged payload bytes — across rank counts, both exchange modes and both
+    // sorters, on reads with genuine multiplicities.
+    let mut rng = StdRng::seed_from_u64(210);
+    let genome: Vec<u8> = (0..1_500).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+    let seqs: Vec<Vec<u8>> = (0..40)
+        .map(|_| {
+            let start = rng.gen_range(0..genome.len() - 200);
+            genome[start..start + 200].to_vec()
+        })
+        .collect();
+    let reads = ReadSet::from_ascii_reads(&seqs);
+
+    for ranks in [1usize, 2, 7] {
+        for overlap in [false, true] {
+            for raduls in [true, false] {
+                let mut cfg = hysortk_core::HySortKConfig::small(21, 9, ranks);
+                cfg.min_count = 1;
+                cfg.max_count = 1_000_000;
+                cfg.batch_size = 2_048;
+                cfg.machine = machine_for_sorter(raduls);
+                cfg.with_extension = true;
+                cfg.overlap = overlap;
+                let context = format!("ranks={ranks} overlap={overlap} raduls={raduls}");
+
+                cfg.backend = hysortk_dmem::Backend::Thread;
+                let thread = hysortk_core::count_kmers::<Kmer1>(&reads, &cfg);
+                cfg.backend = hysortk_dmem::Backend::Process;
+                let process = hysortk_core::count_kmers::<Kmer1>(&reads, &cfg);
+
+                assert_eq!(process.counts, thread.counts, "counts: {context}");
+                assert_eq!(
+                    process.extensions, thread.extensions,
+                    "extensions: {context}"
+                );
+                assert_eq!(process.histogram, thread.histogram, "histogram: {context}");
+                assert_eq!(
+                    process.report.comm.stage("exchange").unwrap().payload_bytes,
+                    thread.report.comm.stage("exchange").unwrap().payload_bytes,
+                    "exchange payload: {context}"
+                );
+            }
+        }
+    }
+}
+
 // ---------------- stage 3: parallel decode + count vs sequential reference -----------
 
 /// Build one rank's receive segments from random reads: supermer blocks partitioned by
